@@ -1,0 +1,1 @@
+bench/baseline_handwritten.ml: Bytes Char String

@@ -1,0 +1,154 @@
+(* The baseline the paper argues against (§1): a hand-written, C-sockets
+   style implementation of the ARQ packet codec.  Byte offsets, length
+   arithmetic and checksum plumbing are all spelled out by hand, and every
+   step needs its own error check — this file exists to be measured
+   (experiment E3: speed; experiment E6: how much of the code is error
+   handling) against the five-line DSL description in specs/arq.ndsl.
+
+   Wire layout (must be kept in sync with the spec BY HAND — exactly the
+   maintenance hazard the paper describes):
+
+     byte 0        sequence number
+     byte 1        kind (0 = data, 1 = ack)
+     bytes 2-3     payload length, big endian
+     bytes 4-5     Internet checksum over the whole packet
+     bytes 6..     payload
+*)
+
+type packet = Data of { seq : int; payload : string } | Ack of { seq : int }
+
+type parse_error =
+  | Too_short of int
+  | Bad_kind of int
+  | Length_mismatch of { declared : int; actual : int }
+  | Bad_checksum of { expected : int; actual : int }
+  | Ack_with_payload
+
+let header_bytes = 6
+
+(* RFC 1071 checksum, written out longhand. *)
+let internet_checksum ?(skip_at = -1) s =
+  let sum = ref 0 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + 1 < n do
+    (* Error-prone detail #1: remembering to zero the checksum field while
+       summing. *)
+    let hi = if !i = skip_at then 0 else Char.code s.[!i] in
+    let lo = if !i + 1 = skip_at + 1 && !i = skip_at then 0 else Char.code s.[!i + 1] in
+    sum := !sum + ((hi lsl 8) lor lo);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then begin
+    let last = if n - 1 = skip_at then 0 else Char.code s.[n - 1] in
+    sum := !sum + (last lsl 8)
+  end;
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+(* Fast path: each bound is checked exactly once, up front. *)
+let parse (s : string) : (packet, parse_error) result =
+  let n = String.length s in
+  if n < header_bytes then Error (Too_short n)
+  else begin
+    let seq = Char.code s.[0] in
+    let kind = Char.code s.[1] in
+    if kind <> 0 && kind <> 1 then Error (Bad_kind kind)
+    else begin
+      let declared = (Char.code s.[2] lsl 8) lor Char.code s.[3] in
+      let actual = n - header_bytes in
+      if declared <> actual then Error (Length_mismatch { declared; actual })
+      else begin
+        let expected = (Char.code s.[4] lsl 8) lor Char.code s.[5] in
+        let actual_ck = internet_checksum ~skip_at:4 s in
+        if expected <> actual_ck then
+          Error (Bad_checksum { expected; actual = actual_ck })
+        else if kind = 1 then
+          if declared <> 0 then Error Ack_with_payload else Ok (Ack { seq })
+        else Ok (Data { seq; payload = String.sub s header_bytes actual })
+      end
+    end
+  end
+
+(* Naive path: the style the paper says dominates real protocol code — the
+   packet is re-validated defensively at every use site because nothing in
+   the types records that validation already happened. *)
+let parse_revalidating (s : string) : (packet, parse_error) result =
+  (* Stage 1: framing. *)
+  let n = String.length s in
+  if n < header_bytes then Error (Too_short n)
+  else begin
+    (* Stage 2: kind — re-checks framing first. *)
+    let check_framing () = String.length s >= header_bytes in
+    if not (check_framing ()) then Error (Too_short n)
+    else begin
+      let kind = Char.code s.[1] in
+      if kind <> 0 && kind <> 1 then Error (Bad_kind kind)
+      else begin
+        (* Stage 3: length — re-checks framing and kind. *)
+        if not (check_framing ()) then Error (Too_short n)
+        else if Char.code s.[1] > 1 then Error (Bad_kind kind)
+        else begin
+          let declared = (Char.code s.[2] lsl 8) lor Char.code s.[3] in
+          let actual = n - header_bytes in
+          if declared <> actual then Error (Length_mismatch { declared; actual })
+          else begin
+            (* Stage 4: checksum — and once more through the earlier
+               checks, then the expensive part runs. *)
+            if not (check_framing ()) then Error (Too_short n)
+            else begin
+              let declared' = (Char.code s.[2] lsl 8) lor Char.code s.[3] in
+              if declared' <> n - header_bytes then
+                Error (Length_mismatch { declared = declared'; actual })
+              else begin
+                let expected = (Char.code s.[4] lsl 8) lor Char.code s.[5] in
+                let actual_ck = internet_checksum ~skip_at:4 s in
+                if expected <> actual_ck then
+                  Error (Bad_checksum { expected; actual = actual_ck })
+                else begin
+                  (* Stage 5: payload extraction re-verifies the checksum
+                     (it cannot know the caller already did). *)
+                  let again = internet_checksum ~skip_at:4 s in
+                  if again <> expected then
+                    Error (Bad_checksum { expected; actual = again })
+                  else begin
+                    let seq = Char.code s.[0] in
+                    if kind = 1 then
+                      if declared <> 0 then Error Ack_with_payload
+                      else Ok (Ack { seq })
+                    else Ok (Data { seq; payload = String.sub s header_bytes actual })
+                  end
+                end
+              end
+            end
+          end
+        end
+      end
+    end
+  end
+
+let serialize (p : packet) : string =
+  let seq, kind, payload =
+    match p with
+    | Data { seq; payload } -> (seq, 0, payload)
+    | Ack { seq } -> (seq, 1, "")
+  in
+  if seq < 0 || seq > 255 then invalid_arg "serialize: seq out of range";
+  let len = String.length payload in
+  if len > 0xFFFF then invalid_arg "serialize: payload too long";
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set b 0 (Char.chr seq);
+  Bytes.set b 1 (Char.chr kind);
+  Bytes.set b 2 (Char.chr (len lsr 8));
+  Bytes.set b 3 (Char.chr (len land 0xFF));
+  (* Error-prone detail #2: the checksum must be computed over the packet
+     with its own field zeroed, then patched in. *)
+  Bytes.set b 4 '\000';
+  Bytes.set b 5 '\000';
+  Bytes.blit_string payload 0 b header_bytes len;
+  let ck = internet_checksum (Bytes.to_string b) in
+  Bytes.set b 4 (Char.chr (ck lsr 8));
+  Bytes.set b 5 (Char.chr (ck land 0xFF));
+  Bytes.to_string b

@@ -1,0 +1,311 @@
+(* The netdsl compiler driver: check, inspect, fuzz and compile .ndsl
+   protocol specifications from the command line. *)
+
+open Cmdliner
+module P = Netdsl.Lang.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match P.parse_string (read_file path) with
+  | Ok program -> program
+  | Error e ->
+    Format.eprintf "%s: %a@." path P.pp_error e;
+    exit 1
+
+let find_format program name =
+  match P.find_format program name with
+  | Some fmt -> fmt
+  | None ->
+    Format.eprintf "no format named %S (have: %s)@." name
+      (String.concat ", " (List.map fst program.P.formats));
+    exit 1
+
+let find_machine program name =
+  match P.find_machine program name with
+  | Some m -> m
+  | None ->
+    Format.eprintf "no machine named %S (have: %s)@." name
+      (String.concat ", " (List.map fst program.P.machines));
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Arguments *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"The .ndsl source file.")
+
+let format_opt =
+  Arg.(value & opt (some string) None & info [ "format"; "f" ] ~docv:"NAME" ~doc:"Format to operate on (default: the first one).")
+
+let machine_opt =
+  Arg.(value & opt (some string) None & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"Machine to operate on (default: the first one).")
+
+let seed_opt =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let count_opt =
+  Arg.(value & opt int 5 & info [ "count"; "n" ] ~docv:"N" ~doc:"How many items to produce.")
+
+let pick_format program = function
+  | Some name -> find_format program name
+  | None -> (
+    match program.P.formats with
+    | (_, fmt) :: _ -> fmt
+    | [] ->
+      prerr_endline "the file defines no formats";
+      exit 1)
+
+let pick_machine program = function
+  | Some name -> find_machine program name
+  | None -> (
+    match program.P.machines with
+    | (_, m) :: _ -> m
+    | [] ->
+      prerr_endline "the file defines no machines";
+      exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let check_cmd =
+  let run file =
+    let program = load file in
+    List.iter
+      (fun (name, fmt) ->
+        let warnings =
+          List.filter
+            (fun d -> d.Netdsl.Wf.severity = Netdsl.Wf.Warning)
+            (Netdsl.Wf.check fmt)
+        in
+        Format.printf "format %s: %s (%a)@." name
+          (if warnings = [] then "ok" else "ok with warnings")
+          Netdsl.Sizing.pp_bounds (Netdsl.Sizing.bounds fmt);
+        List.iter (fun d -> Format.printf "  %a@." Netdsl.Wf.pp_diagnostic d) warnings)
+      program.P.formats;
+    List.iter
+      (fun (_, m) ->
+        let report = Netdsl.Analysis.analyse m in
+        Format.printf "%a@." Netdsl.Analysis.pp_report report)
+      program.P.machines
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse a specification and report analyses: sizes, well-formedness warnings, completeness, determinism, reachability.")
+    Term.(const run $ file_arg)
+
+let diagram_cmd =
+  let run file format =
+    let program = load file in
+    let fmt = pick_format program format in
+    print_string (Netdsl.Diagram.render fmt)
+  in
+  Cmd.v
+    (Cmd.info "diagram" ~doc:"Render a format as an RFC-style ASCII packet diagram (the paper's Figure 1, regenerated).")
+    Term.(const run $ file_arg $ format_opt)
+
+let dot_cmd =
+  let run file machine =
+    let program = load file in
+    print_string (Netdsl.Dot.of_machine (pick_machine program machine))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a machine as a Graphviz digraph.")
+    Term.(const run $ file_arg $ machine_opt)
+
+let fuzz_cmd =
+  let run file format seed count =
+    let program = load file in
+    let fmt = pick_format program format in
+    let rng = Netdsl.Prng.of_int seed in
+    for i = 1 to count do
+      match Netdsl.Gen.generate_opt rng fmt with
+      | None ->
+        prerr_endline "this format cannot be generated automatically";
+        exit 1
+      | Some v ->
+        let bytes = Netdsl.Codec.encode_exn fmt v in
+        Format.printf "-- packet %d (%d bytes)@.%s" i (String.length bytes)
+          (Netdsl.Hexdump.to_string bytes)
+    done
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Generate random valid packets from a format description.")
+    Term.(const run $ file_arg $ format_opt $ seed_opt $ count_opt)
+
+let tests_cmd =
+  let run file machine =
+    let program = load file in
+    let m = pick_machine program machine in
+    let tests = Netdsl.Testgen.transition_tests m in
+    Format.printf "%d behavioural test cases derived from %s:@." (List.length tests)
+      m.Netdsl.Machine.machine_name;
+    List.iter
+      (fun tc ->
+        Format.printf "  %-24s %s => %a@." tc.Netdsl.Testgen.tc_name
+          (String.concat " " tc.Netdsl.Testgen.events)
+          Netdsl.Machine.pp_config tc.Netdsl.Testgen.expected)
+      tests;
+    let tour = Netdsl.Testgen.transition_tour m in
+    Format.printf "transition tour (%d events, %d runs): %s@."
+      (List.length (List.concat tour))
+      (List.length tour)
+      (String.concat " / " (List.map (String.concat " ") tour))
+  in
+  Cmd.v
+    (Cmd.info "tests" ~doc:"Derive behavioural conformance tests from a machine definition (the paper's automatic test construction).")
+    Term.(const run $ file_arg $ machine_opt)
+
+let codegen_cmd =
+  let run file =
+    let program = load file in
+    print_string (Netdsl.Lang.Codegen.to_ocaml program)
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit an OCaml module reconstructing the specification's formats and machines.")
+    Term.(const run $ file_arg)
+
+let decode_cmd =
+  let hex_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"HEX" ~doc:"Packet bytes in hex.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the decoded value as JSON.")
+  in
+  let run file format hex json =
+    let program = load file in
+    let fmt = pick_format program format in
+    let bytes =
+      match Netdsl.Hexdump.of_hex hex with
+      | b -> b
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    in
+    match Netdsl.Codec.decode fmt bytes with
+    | Ok v ->
+      if json then print_endline (Netdsl.Value.to_json v)
+      else Format.printf "%s@." (Netdsl.Value.to_string v)
+    | Error e ->
+      Format.eprintf "invalid packet: %s@." (Netdsl.Codec.error_to_string e);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "decode" ~doc:"Decode and validate a hex packet against a format.")
+    Term.(const run $ file_arg $ format_opt $ hex_arg $ json_flag)
+
+let print_cmd =
+  let run file =
+    let program = load file in
+    print_string (Netdsl.Lang.Printer.program_to_ndsl program)
+  in
+  Cmd.v
+    (Cmd.info "print"
+       ~doc:"Parse and pretty-print the specification back to canonical .ndsl syntax (a formatter; also works as a decompiler for programs built with the OCaml API and exported via codegen).")
+    Term.(const run $ file_arg)
+
+let abnf_cmd =
+  let run file format =
+    let program = load file in
+    let fmt = pick_format program format in
+    print_string (Netdsl.Abnf.export fmt)
+  in
+  Cmd.v
+    (Cmd.info "abnf"
+       ~doc:"Export a format's syntactic skeleton as ABNF (RFC 5234); everything ABNF cannot express is listed as comments, making the DSL's semantic layer explicit.")
+    Term.(const run $ file_arg $ format_opt)
+
+let run_cmd =
+  let events_arg =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"EVENT" ~doc:"Events to fire, in order.")
+  in
+  let run file machine events =
+    let program = load file in
+    let m = pick_machine program machine in
+    let i = Netdsl.Interp.create m in
+    Format.printf "start: %a@." Netdsl.Machine.pp_config (Netdsl.Interp.config i);
+    List.iter
+      (fun event ->
+        match Netdsl.Interp.fire i event with
+        | Ok t ->
+          Format.printf "%-12s -[%s]-> %a@." event t.Netdsl.Machine.t_label
+            Netdsl.Machine.pp_config (Netdsl.Interp.config i)
+        | Error e ->
+          Format.printf "%-12s REFUSED: %a@." event Netdsl.Interp.pp_error e;
+          exit 2)
+      events;
+    Format.printf "final state %s (accepting: %b)@." (Netdsl.Interp.state i)
+      (Netdsl.Interp.in_accepting i)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a machine on an event sequence; invalid transitions are refused, never executed.")
+    Term.(const run $ file_arg $ machine_opt $ events_arg)
+
+let modelcheck_cmd =
+  let avoid_opt =
+    Arg.(value & opt (some string) None & info [ "avoid" ] ~docv:"STATE"
+           ~doc:"Also check the safety invariant that no machine ever reaches a state with this name.")
+  in
+  let max_states_opt =
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N"
+           ~doc:"Exploration bound.")
+  in
+  let run file avoid max_states =
+    let program = load file in
+    (match program.P.machines with
+    | [] ->
+      prerr_endline "the file defines no machines";
+      exit 1
+    | _ -> ());
+    let sys =
+      Netdsl.Compose.create ~name:(Filename.basename file)
+        (List.map snd program.P.machines)
+    in
+    let stats = Netdsl.Model_check.explore ~max_states sys in
+    Format.printf "composed %d machines: %d states, %d transitions%s@."
+      (List.length program.P.machines)
+      stats.Netdsl.Model_check.num_states stats.Netdsl.Model_check.num_edges
+      (if stats.Netdsl.Model_check.complete then "" else " (truncated)");
+    let failures = ref 0 in
+    let verdict name = function
+      | Netdsl.Model_check.Holds -> Format.printf "  %-24s HOLDS@." name
+      | Netdsl.Model_check.Violated (g, trace) ->
+        incr failures;
+        Format.printf "  %-24s VIOLATED at %a@.  counterexample (%d steps):@.@[<v>%a@]@."
+          name Netdsl.Compose.pp_global g (List.length trace)
+          Netdsl.Model_check.pp_trace trace
+      | Netdsl.Model_check.Unknown ->
+        incr failures;
+        Format.printf "  %-24s UNKNOWN (exploration truncated)@." name
+    in
+    verdict "deadlock freedom" (Netdsl.Model_check.check_deadlock_free ~max_states sys);
+    verdict "can always finish"
+      (Netdsl.Model_check.check_eventually_accepting ~max_states sys);
+    (match avoid with
+    | None -> ()
+    | Some bad ->
+      verdict
+        (Printf.sprintf "never reaches %S" bad)
+        (Netdsl.Model_check.check_invariant ~max_states sys (fun global ->
+             not
+               (List.exists
+                  (fun c -> String.equal c.Netdsl.Machine.state bad)
+                  global))));
+    if !failures > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:"Compose every machine in the file (synchronising on shared event names) and model-check deadlock freedom, the ability to finish, and an optional avoid-state invariant.")
+    Term.(const run $ file_arg $ avoid_opt $ max_states_opt)
+
+let () =
+  let doc = "a DSL toolchain for network protocols" in
+  let info = Cmd.info "netdsl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))

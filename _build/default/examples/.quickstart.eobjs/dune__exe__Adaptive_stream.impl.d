@@ -1,0 +1,1 @@
+examples/adaptive_stream.ml: Float List Loss_classifier Netdsl Printf Prng Rate_control String

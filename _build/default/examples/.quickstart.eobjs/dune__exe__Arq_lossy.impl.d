@@ -1,0 +1,1 @@
+examples/arq_lossy.ml: Channel Diagram Formats Harness Ladder List Netdsl Printf Rto Trace

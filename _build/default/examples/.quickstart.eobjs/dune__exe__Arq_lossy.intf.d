@@ -1,0 +1,1 @@
+examples/arq_lossy.mli:

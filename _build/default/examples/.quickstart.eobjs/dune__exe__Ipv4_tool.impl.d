@@ -1,0 +1,1 @@
+examples/ipv4_tool.ml: Bytes Checksum Codec Diagram Formats Hexdump Netdsl Printf String Value

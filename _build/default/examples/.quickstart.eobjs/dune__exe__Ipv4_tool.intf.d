@@ -1,0 +1,1 @@
+examples/ipv4_tool.mli:

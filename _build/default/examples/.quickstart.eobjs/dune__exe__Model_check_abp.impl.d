@@ -1,0 +1,1 @@
+examples/model_check_abp.ml: Abp Arq_fsm Compose Format List Model_check Netdsl Printf

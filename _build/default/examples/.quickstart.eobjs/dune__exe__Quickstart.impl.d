@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Checksum Codec Desc Diagram Format Gen Hexdump Interp Machine Netdsl Printf Prng String Value Wf

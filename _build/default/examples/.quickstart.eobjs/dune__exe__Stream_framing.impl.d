@@ -1,0 +1,1 @@
+examples/stream_framing.ml: Bytes Char Format Formats Framer List Netdsl Printf Prng String Value

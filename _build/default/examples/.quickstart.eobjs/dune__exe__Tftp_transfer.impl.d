@@ -1,0 +1,1 @@
+examples/tftp_transfer.ml: Buffer Channel Engine Formats List Netdsl Printf Prng String Timer

@@ -1,0 +1,1 @@
+examples/tftp_transfer.mli:

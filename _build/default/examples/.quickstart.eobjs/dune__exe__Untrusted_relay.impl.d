@@ -1,0 +1,1 @@
+examples/untrusted_relay.ml: Float List Netdsl Printf Prng Relay String Trust

@@ -1,0 +1,49 @@
+(* Verifying protocol behaviour by model checking (the approach the paper
+   contrasts with its type-level one, §3.3/§4.2): the alternating-bit
+   protocol composed with lossy channels and a delivery monitor, explored
+   exhaustively — and a buggy receiver caught with a counterexample trace.
+
+   Run with: dune exec examples/model_check_abp.exe *)
+
+open Netdsl
+
+let verdict name = function
+  | Model_check.Holds -> Printf.printf "  %-28s HOLDS\n" name
+  | Model_check.Violated (g, trace) ->
+    Printf.printf "  %-28s VIOLATED at %s (after %d steps)\n" name
+      (Format.asprintf "%a" Compose.pp_global g)
+      (List.length trace)
+  | Model_check.Unknown -> Printf.printf "  %-28s UNKNOWN (truncated)\n" name
+
+let () =
+  print_endline "=== alternating-bit protocol: sender || channels || receiver || monitor ===";
+  let stats = Model_check.explore Abp.system in
+  Printf.printf "state space: %d states, %d transitions\n\n" stats.Model_check.num_states
+    stats.Model_check.num_edges;
+
+  print_endline "correct receiver:";
+  verdict "no duplicate delivery"
+    (Model_check.check_invariant Abp.system Abp.no_duplicate_delivery);
+  verdict "deadlock freedom" (Model_check.check_deadlock_free Abp.system);
+  verdict "can always finish" (Model_check.check_eventually_accepting Abp.system);
+
+  print_endline "\nreceiver with the classic duplicate bug:";
+  (match Model_check.check_invariant Abp.buggy_system Abp.no_duplicate_delivery with
+  | Model_check.Violated (_, trace) ->
+    Printf.printf "  no duplicate delivery      VIOLATED — counterexample (%d steps):\n"
+      (List.length trace);
+    Format.printf "@[<v>%a@]@." Model_check.pp_trace trace
+  | Model_check.Holds -> print_endline "  BUG NOT FOUND (unexpected)"
+  | Model_check.Unknown -> print_endline "  exploration truncated");
+
+  (* The state-explosion the paper warns about (§3.3 point 1): the product
+     space grows exponentially with the sequence-number width, while the
+     GADT encoding (Netdsl.Send_machine) carries the same guarantees with
+     zero exploration. *)
+  print_endline "=== state explosion vs sequence-number width (paper §3.3) ===";
+  List.iter
+    (fun bits ->
+      let s = Model_check.explore (Arq_fsm.system ~seq_bits:bits) in
+      Printf.printf "  seq %d bits: %6d states, %7d transitions\n" bits
+        s.Model_check.num_states s.Model_check.num_edges)
+    [ 1; 2; 3; 4; 6; 8 ]

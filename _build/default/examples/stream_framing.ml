@@ -1,0 +1,53 @@
+(* Messages over a byte stream: a TCP-like transport delivers bytes in
+   arbitrary chunks, and the framing layer reassembles them into validated
+   packets — one bad frame is contained, the stream carries on.
+
+   Run with: dune exec examples/stream_framing.exe *)
+
+open Netdsl
+
+let fmt = Formats.Arq.format
+
+let frame payload =
+  Framer.encode_frame_exn fmt
+    (Value.record
+       [ ("seq", Value.int 0); ("kind", Value.int 0); ("payload", Value.bytes payload) ])
+
+let () =
+  let rng = Prng.create 4242L in
+  let messages = List.init 8 (fun i -> Printf.sprintf "message number %d" i) in
+  (* Concatenate frames, damage one of them in transit. *)
+  let stream = String.concat "" (List.map frame messages) in
+  let stream =
+    (* Flip a bit inside the fifth frame's payload.  (A flip in a length
+       header would desynchronise the stream itself — framing can contain
+       bad bodies, not bad framing.) *)
+    let frame_len = String.length (frame (List.hd messages)) in
+    let victim = (4 * frame_len) + 4 + 6 + 2 in
+    let b = Bytes.of_string stream in
+    Bytes.set b victim (Char.chr (Char.code (Bytes.get b victim) lxor 0x40));
+    Bytes.to_string b
+  in
+  Printf.printf "stream of %d bytes carrying %d frames (one damaged in transit)\n\n"
+    (String.length stream) (List.length messages);
+  (* Deliver in random-sized chunks, like a socket would. *)
+  let f = Framer.create fmt in
+  let pos = ref 0 and chunk_no = ref 0 in
+  while !pos < String.length stream do
+    let n = min (1 + Prng.int rng 13) (String.length stream - !pos) in
+    let results = Framer.feed f (String.sub stream !pos n) in
+    incr chunk_no;
+    List.iter
+      (fun r ->
+        match r with
+        | Ok v ->
+          Printf.printf "chunk %2d completed a frame: %S\n" !chunk_no
+            (Value.get_bytes v "payload")
+        | Error e ->
+          Printf.printf "chunk %2d completed a frame: REJECTED (%s)\n" !chunk_no
+            (Format.asprintf "%a" Framer.pp_error e))
+      results;
+    pos := !pos + n
+  done;
+  Printf.printf "\ndelivered %d of %d frames; %d bytes pending\n"
+    (Framer.frames_delivered f) (List.length messages) (Framer.pending_bytes f)

@@ -1,0 +1,1 @@
+lib/adapt/fuzzy.ml: Float List Option Printf String

@@ -1,0 +1,1 @@
+lib/adapt/loss_classifier.ml: Float Fuzzy List

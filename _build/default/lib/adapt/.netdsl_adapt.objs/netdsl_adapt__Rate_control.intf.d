@@ -1,0 +1,1 @@
+lib/adapt/rate_control.mli:

@@ -1,0 +1,1 @@
+lib/adapt/trust.ml: List Netdsl_util Printf

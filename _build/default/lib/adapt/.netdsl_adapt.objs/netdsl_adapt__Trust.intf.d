@@ -1,0 +1,1 @@
+lib/adapt/trust.mli: Netdsl_util

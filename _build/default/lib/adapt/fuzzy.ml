@@ -1,0 +1,121 @@
+type mf =
+  | Triangle of float * float * float
+  | Trapezoid of float * float * float * float
+  | Gaussian of float * float
+
+let membership mf x =
+  match mf with
+  | Triangle (a, b, c) ->
+    if x <= a || x >= c then if x = b then 1.0 else 0.0
+    else if x <= b then if b = a then 1.0 else (x -. a) /. (b -. a)
+    else if c = b then 1.0
+    else (c -. x) /. (c -. b)
+  | Trapezoid (a, b, c, d) ->
+    if x <= a || x >= d then if x >= b && x <= c then 1.0 else 0.0
+    else if x < b then if b = a then 1.0 else (x -. a) /. (b -. a)
+    else if x <= c then 1.0
+    else if d = c then 1.0
+    else (d -. x) /. (d -. c)
+  | Gaussian (mu, sigma) ->
+    let z = (x -. mu) /. sigma in
+    exp (-0.5 *. z *. z)
+
+type variable = {
+  var_name : string;
+  range : float * float;
+  terms : (string * mf) list;
+}
+
+let variable var_name ~range terms = { var_name; range; terms }
+
+type clause = { var : string; term : string }
+type rule = { premises : clause list; conclusion : clause }
+
+let rule premises (cvar, cterm) =
+  {
+    premises = List.map (fun (var, term) -> { var; term }) premises;
+    conclusion = { var = cvar; term = cterm };
+  }
+
+type t = { inputs : variable list; output : variable; rules : rule list }
+
+let find_var vars name = List.find_opt (fun v -> String.equal v.var_name name) vars
+
+let term_mf v term =
+  match List.assoc_opt term v.terms with
+  | Some mf -> mf
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fuzzy: variable %S has no term %S" v.var_name term)
+
+let create ~inputs ~output rules =
+  if rules = [] then invalid_arg "Fuzzy.create: no rules";
+  List.iter
+    (fun v ->
+      let lo, hi = v.range in
+      if hi <= lo then
+        invalid_arg (Printf.sprintf "Fuzzy.create: empty range for %S" v.var_name);
+      if v.terms = [] then
+        invalid_arg (Printf.sprintf "Fuzzy.create: no terms for %S" v.var_name))
+    (output :: inputs);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          match find_var inputs c.var with
+          | None ->
+            invalid_arg (Printf.sprintf "Fuzzy.create: unknown input variable %S" c.var)
+          | Some v -> ignore (term_mf v c.term))
+        r.premises;
+      if not (String.equal r.conclusion.var output.var_name) then
+        invalid_arg
+          (Printf.sprintf "Fuzzy.create: conclusion %S is not the output variable"
+             r.conclusion.var);
+      ignore (term_mf output r.conclusion.term))
+    rules;
+  { inputs; output; rules }
+
+let clamp (lo, hi) x = Float.max lo (Float.min hi x)
+
+let reading_of t readings name =
+  match List.assoc_opt name readings with
+  | Some x -> (
+    match find_var t.inputs name with
+    | Some v -> clamp v.range x
+    | None -> invalid_arg (Printf.sprintf "Fuzzy.infer: %S is not an input" name))
+  | None -> invalid_arg (Printf.sprintf "Fuzzy.infer: missing reading for %S" name)
+
+let activation t readings r =
+  List.fold_left
+    (fun acc c ->
+      let v = Option.get (find_var t.inputs c.var) in
+      let x = reading_of t readings c.var in
+      Float.min acc (membership (term_mf v c.term) x))
+    1.0 r.premises
+
+let rule_activations t readings =
+  List.map (fun r -> (r, activation t readings r)) t.rules
+
+let samples = 201
+
+let infer t readings =
+  let acts = rule_activations t readings in
+  let lo, hi = t.output.range in
+  let step = (hi -. lo) /. float_of_int (samples - 1) in
+  let num = ref 0.0 and den = ref 0.0 in
+  for i = 0 to samples - 1 do
+    let y = lo +. (float_of_int i *. step) in
+    (* Max-aggregation of min-clipped conclusion sets. *)
+    let mu =
+      List.fold_left
+        (fun acc (r, a) ->
+          if a <= 0.0 then acc
+          else
+            Float.max acc
+              (Float.min a (membership (term_mf t.output r.conclusion.term) y)))
+        0.0 acts
+    in
+    num := !num +. (mu *. y);
+    den := !den +. mu
+  done;
+  if !den = 0.0 then (lo +. hi) /. 2.0 else !num /. !den

@@ -1,0 +1,52 @@
+(** A Mamdani fuzzy-inference engine.
+
+    The paper's first "novel approach" example (§1.1) is "use of a fuzzy
+    systems approach to deal with changes in the network conditions [1] to
+    allow media-stream adaptation".  Reference [1] (Bhatti & Knight 1999)
+    drives QoS adaptation from fuzzy rules over network measurements; this
+    module is that machinery: linguistic variables with membership
+    functions, AND-rules with min implication, max aggregation, and
+    centroid defuzzification. *)
+
+(** Membership functions over a variable's range. *)
+type mf =
+  | Triangle of float * float * float  (** feet and peak: a <= b <= c *)
+  | Trapezoid of float * float * float * float  (** a <= b <= c <= d *)
+  | Gaussian of float * float  (** mean, sigma > 0 *)
+
+val membership : mf -> float -> float
+(** Degree in [\[0, 1\]]. *)
+
+type variable = {
+  var_name : string;
+  range : float * float;  (** universe of discourse, lo < hi *)
+  terms : (string * mf) list;  (** linguistic terms, e.g. "low"/"high" *)
+}
+
+val variable : string -> range:float * float -> (string * mf) list -> variable
+
+type clause = { var : string; term : string }
+
+type rule = {
+  premises : clause list;  (** conjunction (min) *)
+  conclusion : clause;  (** over the output variable *)
+}
+
+val rule : (string * string) list -> string * string -> rule
+(** [rule [("loss","high"); ("delay","rising")] ("rate","decrease")]. *)
+
+type t = { inputs : variable list; output : variable; rules : rule list }
+
+val create : inputs:variable list -> output:variable -> rule list -> t
+(** Raises [Invalid_argument] when a rule references an unknown variable or
+    term, a range is empty, or there are no rules. *)
+
+val infer : t -> (string * float) list -> float
+(** [infer t readings] runs all rules on the named crisp inputs (clamped to
+    their ranges) and returns the centroid of the aggregated output fuzzy
+    set.  When no rule fires at all, the midpoint of the output range is
+    returned.  Raises [Invalid_argument] if a declared input is missing
+    from [readings]. *)
+
+val rule_activations : t -> (string * float) list -> (rule * float) list
+(** Firing strength of each rule — the explainability hook. *)

@@ -1,0 +1,99 @@
+type cause = Congestion | Harsh_channel | Attack
+
+let cause_to_string = function
+  | Congestion -> "congestion"
+  | Harsh_channel -> "harsh-channel"
+  | Attack -> "attack"
+
+type verdict = { cause : cause; scores : (cause * float) list }
+
+type features = {
+  loss_rate : float;
+  burstiness : float;
+  rtt_inflation : float;
+}
+
+(* Membership helpers over the three features. *)
+let low_loss = Fuzzy.Trapezoid (0.0, 0.0, 0.01, 0.05)
+let moderate_loss = Fuzzy.Triangle (0.02, 0.08, 0.2)
+let high_loss = Fuzzy.Trapezoid (0.12, 0.3, 1.0, 1.0)
+let smooth = Fuzzy.Trapezoid (0.0, 0.0, 1.2, 2.0)
+let bursty = Fuzzy.Trapezoid (1.5, 3.0, 50.0, 50.0)
+let rtt_flat = Fuzzy.Trapezoid (0.0, 0.0, 1.2, 1.8)
+let rtt_inflated = Fuzzy.Trapezoid (1.4, 2.5, 20.0, 20.0)
+
+let mu = Fuzzy.membership
+
+let classify f =
+  let loss_hi = mu high_loss f.loss_rate in
+  let loss_mid = mu moderate_loss f.loss_rate in
+  let loss_lo = mu low_loss f.loss_rate in
+  let b_smooth = mu smooth f.burstiness in
+  let b_bursty = mu bursty f.burstiness in
+  let d_flat = mu rtt_flat f.rtt_inflation in
+  let d_infl = mu rtt_inflated f.rtt_inflation in
+  (* Congestion: delay builds up; losses moderate and fairly smooth (queue
+     drops), never with a flat RTT. *)
+  let congestion =
+    Float.min d_infl (Float.max loss_mid (Float.min loss_hi b_smooth))
+  in
+  (* Harsh channel: bursty fades, RTT essentially unchanged. *)
+  let harsh = Float.min b_bursty d_flat in
+  (* Attack: sustained heavy loss with inflated delay (the link is being
+     filled), burstiness high or low. *)
+  let attack = Float.min loss_hi d_infl in
+  (* Benign floor: with low loss every explanation is weak. *)
+  let discount s = Float.min s (1.0 -. loss_lo) in
+  let scores =
+    [
+      (Congestion, discount congestion);
+      (Harsh_channel, discount harsh);
+      (Attack, discount attack);
+    ]
+  in
+  let cause, _ =
+    List.fold_left
+      (fun (bc, bs) (c, s) -> if s > bs then (c, s) else (bc, bs))
+      (Congestion, -1.0) scores
+  in
+  { cause; scores }
+
+let features_of_trace ?baseline_rtt outcomes =
+  let n = List.length outcomes in
+  if n = 0 then { loss_rate = 0.0; burstiness = 0.0; rtt_inflation = 1.0 }
+  else begin
+    let losses = List.filter (fun (ok, _) -> not ok) outcomes in
+    let loss_rate = float_of_int (List.length losses) /. float_of_int n in
+    (* Mean run length of consecutive losses. *)
+    let runs, current =
+      List.fold_left
+        (fun (runs, cur) (ok, _) ->
+          if ok then if cur > 0 then (cur :: runs, 0) else (runs, 0)
+          else (runs, cur + 1))
+        ([], 0) outcomes
+    in
+    let runs = if current > 0 then current :: runs else runs in
+    let burstiness =
+      match runs with
+      | [] -> 0.0
+      | _ ->
+        float_of_int (List.fold_left ( + ) 0 runs) /. float_of_int (List.length runs)
+    in
+    let delivered_rtts = List.filter_map (fun (ok, rtt) -> if ok then Some rtt else None) outcomes in
+    let rtt_inflation =
+      match delivered_rtts with
+      | [] -> 1.0
+      | _ ->
+        let baseline =
+          match baseline_rtt with
+          | Some b -> b
+          | None -> List.fold_left Float.min infinity delivered_rtts
+        in
+        let mean =
+          List.fold_left ( +. ) 0.0 delivered_rtts
+          /. float_of_int (List.length delivered_rtts)
+        in
+        if baseline <= 0.0 then 1.0 else mean /. baseline
+    in
+    { loss_rate; burstiness; rtt_inflation }
+  end

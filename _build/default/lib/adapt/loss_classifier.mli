@@ -1,0 +1,39 @@
+(** Classifying the cause of packet loss.
+
+    The paper asks (§2.2): "under which conditions does sufficient level of
+    packet loss look more like a possible denial of service attack rather
+    than the normal operation of a harsh network environment (e.g.
+    mobile/radio)?"  This module answers with fuzzy evidence scores over
+    three observable features of a measurement epoch:
+
+    - loss rate,
+    - burstiness (mean run length of consecutive losses), and
+    - RTT inflation relative to baseline.
+
+    Heuristics encoded: harsh radio channels lose in bursts without delay
+    inflation (fades); congestion inflates delay before and during loss
+    (queues); a flooding attack shows sustained high loss {e with} delay
+    inflation and little correlation with movement — high rate + high
+    burstiness + inflated RTT. *)
+
+type cause = Congestion | Harsh_channel | Attack
+
+val cause_to_string : cause -> string
+
+type verdict = {
+  cause : cause;  (** highest-scoring explanation *)
+  scores : (cause * float) list;  (** all explanations, scores in [0,1] *)
+}
+
+type features = {
+  loss_rate : float;  (** fraction in [0,1] *)
+  burstiness : float;  (** mean loss-run length, >= 0 *)
+  rtt_inflation : float;  (** current RTT / baseline RTT, >= 0 *)
+}
+
+val classify : features -> verdict
+
+val features_of_trace : ?baseline_rtt:float -> (bool * float) list -> features
+(** [features_of_trace outcomes] summarises a per-packet trace of
+    [(delivered, rtt)] pairs (rtt meaningful for delivered packets) into
+    {!features}.  [baseline_rtt] defaults to the minimum observed RTT. *)

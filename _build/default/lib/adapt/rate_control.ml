@@ -1,0 +1,97 @@
+type impl =
+  | Fuzzy of Fuzzy.t
+  | Threshold of { loss_hi : float; loss_lo : float; increase : float }
+
+type t = {
+  impl : impl;
+  min_rate : float;
+  max_rate : float;
+  mutable current : float;
+  mutable last_direction : int; (* -1 decreasing, +1 increasing, 0 none *)
+  mutable flips : int;
+}
+
+let rate t = t.current
+
+(* The fuzzy controller emits a multiplicative factor in [0.5, 1.2]:
+   aggressive back-off under heavy loss, gentle probing when clean. *)
+let controller =
+  let loss =
+    Fuzzy.variable "loss" ~range:(0.0, 0.5)
+      [
+        ("none", Fuzzy.Trapezoid (0.0, 0.0, 0.005, 0.02));
+        ("light", Fuzzy.Triangle (0.005, 0.03, 0.08));
+        ("heavy", Fuzzy.Trapezoid (0.05, 0.15, 0.5, 0.5));
+      ]
+  in
+  let delay =
+    Fuzzy.variable "delay_trend" ~range:(-1.0, 1.0)
+      [
+        ("falling", Fuzzy.Trapezoid (-1.0, -1.0, -0.5, 0.0));
+        ("steady", Fuzzy.Triangle (-0.4, 0.0, 0.4));
+        ("rising", Fuzzy.Trapezoid (0.0, 0.5, 1.0, 1.0));
+      ]
+  in
+  let factor =
+    Fuzzy.variable "factor" ~range:(0.5, 1.2)
+      [
+        ("cut", Fuzzy.Triangle (0.5, 0.5, 0.75));
+        ("trim", Fuzzy.Triangle (0.6, 0.8, 1.0));
+        ("hold", Fuzzy.Triangle (0.9, 1.0, 1.1));
+        ("probe", Fuzzy.Triangle (1.0, 1.2, 1.2));
+      ]
+  in
+  Fuzzy.create ~inputs:[ loss; delay ] ~output:factor
+    [
+      Fuzzy.rule [ ("loss", "heavy") ] ("factor", "cut");
+      Fuzzy.rule [ ("loss", "light"); ("delay_trend", "rising") ] ("factor", "trim");
+      Fuzzy.rule [ ("loss", "light"); ("delay_trend", "steady") ] ("factor", "hold");
+      Fuzzy.rule [ ("loss", "light"); ("delay_trend", "falling") ] ("factor", "hold");
+      Fuzzy.rule [ ("loss", "none"); ("delay_trend", "rising") ] ("factor", "hold");
+      Fuzzy.rule [ ("loss", "none"); ("delay_trend", "steady") ] ("factor", "probe");
+      Fuzzy.rule [ ("loss", "none"); ("delay_trend", "falling") ] ("factor", "probe");
+    ]
+
+let fuzzy ?(min_rate = 64.0) ?(max_rate = 10_000.0) ~initial () =
+  {
+    impl = Fuzzy controller;
+    min_rate;
+    max_rate;
+    current = initial;
+    last_direction = 0;
+    flips = 0;
+  }
+
+let threshold ?(min_rate = 64.0) ?(max_rate = 10_000.0) ?(loss_hi = 0.05)
+    ?(loss_lo = 0.01) ?(increase = 100.0) ~initial () =
+  {
+    impl = Threshold { loss_hi; loss_lo; increase };
+    min_rate;
+    max_rate;
+    current = initial;
+    last_direction = 0;
+    flips = 0;
+  }
+
+let step t ~loss ~delay_trend =
+  let proposed =
+    match t.impl with
+    | Fuzzy f ->
+      let factor = Fuzzy.infer f [ ("loss", loss); ("delay_trend", delay_trend) ] in
+      t.current *. factor
+    | Threshold { loss_hi; loss_lo; increase } ->
+      if loss > loss_hi then t.current /. 2.0
+      else if loss < loss_lo then t.current +. increase
+      else t.current
+  in
+  let updated = Float.max t.min_rate (Float.min t.max_rate proposed) in
+  let direction = compare updated t.current in
+  if direction <> 0 then begin
+    if t.last_direction <> 0 && direction <> t.last_direction then
+      t.flips <- t.flips + 1;
+    t.last_direction <- direction
+  end;
+  t.current <- updated;
+  updated
+
+let direction_changes t = t.flips

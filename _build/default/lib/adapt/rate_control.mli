@@ -1,0 +1,38 @@
+(** Media-rate adaptation controllers (§1.1 example (i), after ref [1]).
+
+    Two controllers over the same interface so experiment E8 can compare
+    them on identical channel traces:
+
+    - {!fuzzy}: a Mamdani controller mapping (loss rate, delay trend) to a
+      multiplicative rate adjustment — smooth, plateau-seeking;
+    - {!threshold}: the naive baseline — halve above a loss threshold,
+      additively increase below one (AIMD-flavoured), prone to oscillation.
+*)
+
+type t
+
+val rate : t -> float
+(** Current sending rate (units/s). *)
+
+val step : t -> loss:float -> delay_trend:float -> float
+(** Feed one measurement epoch: observed loss fraction in [\[0,1\]] and a
+    delay trend in [\[-1,1\]] (negative = queues draining, positive =
+    building).  Returns (and installs) the new rate, kept within the
+    controller's bounds. *)
+
+val fuzzy : ?min_rate:float -> ?max_rate:float -> initial:float -> unit -> t
+val threshold :
+  ?min_rate:float ->
+  ?max_rate:float ->
+  ?loss_hi:float ->
+  ?loss_lo:float ->
+  ?increase:float ->
+  initial:float ->
+  unit ->
+  t
+(** Defaults: halve when loss > [loss_hi] (0.05), add [increase] (10% of
+    min_rate... rate) when loss < [loss_lo] (0.01). *)
+
+val direction_changes : t -> int
+(** How often the controller has flipped between increasing and decreasing
+    — the oscillation metric of E8. *)

@@ -1,0 +1,51 @@
+module P = Netdsl_util.Prng
+
+type relay = { mutable ewma : float; mutable count : int }
+
+type t = {
+  epsilon : float;
+  alpha : float;
+  rng : P.t;
+  table : (string * relay) list;
+}
+
+let create ?(epsilon = 0.1) ?(alpha = 0.2) ?(initial_score = 0.5) ~relays rng =
+  if relays = [] then invalid_arg "Trust.create: no relays";
+  if epsilon < 0.0 || epsilon > 1.0 then invalid_arg "Trust.create: bad epsilon";
+  {
+    epsilon;
+    alpha;
+    rng;
+    table = List.map (fun name -> (name, { ewma = initial_score; count = 0 })) relays;
+  }
+
+let entry t name =
+  match List.assoc_opt name t.table with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Trust: unknown relay %S" name)
+
+let score t name = (entry t name).ewma
+let probes t name = (entry t name).count
+
+let best t =
+  match t.table with
+  | [] -> assert false
+  | (n0, r0) :: rest ->
+    fst
+      (List.fold_left
+         (fun (bn, bs) (n, r) -> if r.ewma > bs then (n, r.ewma) else (bn, bs))
+         (n0, r0.ewma) rest)
+
+let choose t =
+  if P.bernoulli t.rng t.epsilon then fst (P.pick_list t.rng t.table) else best t
+
+let report t name ~success =
+  let r = entry t name in
+  r.count <- r.count + 1;
+  let x = if success then 1.0 else 0.0 in
+  r.ewma <- ((1.0 -. t.alpha) *. r.ewma) +. (t.alpha *. x)
+
+let scores t =
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (List.map (fun (n, r) -> (n, r.ewma)) t.table)

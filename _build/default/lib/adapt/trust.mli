@@ -1,0 +1,38 @@
+(** Dependable communication over untrusted relays (§1.1 example (ii),
+    after ref [12], Rogers & Bhatti DSN 2007).
+
+    A node must forward through relays some of which may be compromised
+    (silently dropping or corrupting traffic), and "trust cannot be
+    guaranteed across the network" — so the sender {e learns} which relays
+    forward faithfully by exploration: an epsilon-greedy choice over
+    per-relay reliability scores maintained as exponentially weighted
+    moving averages of end-to-end acknowledgement outcomes. *)
+
+type t
+
+val create :
+  ?epsilon:float ->
+  ?alpha:float ->
+  ?initial_score:float ->
+  relays:string list ->
+  Netdsl_util.Prng.t ->
+  t
+(** [epsilon] (default 0.1) is the exploration probability; [alpha]
+    (default 0.2) the EWMA gain; [initial_score] (default 0.5) the
+    optimism prior.  Raises [Invalid_argument] on an empty relay list. *)
+
+val choose : t -> string
+(** Next relay: the best-scored one with probability 1 - epsilon, otherwise
+    uniformly random (exploration, so a recovered relay can be
+    rediscovered). *)
+
+val report : t -> string -> success:bool -> unit
+(** Outcome of an end-to-end probe through the named relay. *)
+
+val score : t -> string -> float
+val best : t -> string
+val scores : t -> (string * float) list
+(** In descending score order. *)
+
+val probes : t -> string -> int
+(** Reports recorded against the relay so far. *)

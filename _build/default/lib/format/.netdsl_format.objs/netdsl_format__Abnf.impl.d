@@ -1,0 +1,1 @@
+lib/format/abnf.ml: Buffer Desc Format Int64 List Netdsl_util Printf String

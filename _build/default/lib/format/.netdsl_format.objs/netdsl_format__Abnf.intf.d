@@ -1,0 +1,1 @@
+lib/format/abnf.mli: Desc

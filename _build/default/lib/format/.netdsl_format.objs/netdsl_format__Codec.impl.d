@@ -1,0 +1,1 @@
+lib/format/codec.ml: Buffer Bytes Char Desc Format Int64 List Netdsl_util Printf Result String Sys Value

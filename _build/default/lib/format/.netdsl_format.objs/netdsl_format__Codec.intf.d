@@ -1,0 +1,1 @@
+lib/format/codec.mli: Desc Format Netdsl_util Value

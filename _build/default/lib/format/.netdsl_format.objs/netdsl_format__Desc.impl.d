@@ -1,0 +1,1 @@
+lib/format/desc.ml: Format Int64 List Netdsl_util Printf String

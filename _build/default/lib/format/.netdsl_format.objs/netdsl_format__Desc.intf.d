@@ -1,0 +1,1 @@
+lib/format/desc.mli: Format Netdsl_util

@@ -1,0 +1,1 @@
+lib/format/diagram.ml: Buffer Bytes Char Desc List Netdsl_util String

@@ -1,0 +1,1 @@
+lib/format/diagram.mli: Desc

@@ -1,0 +1,1 @@
+lib/format/framer.ml: Buffer Char Codec Desc Format List String

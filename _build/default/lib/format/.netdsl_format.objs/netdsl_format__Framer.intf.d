@@ -1,0 +1,1 @@
+lib/format/framer.mli: Codec Desc Format Value

@@ -1,0 +1,1 @@
+lib/format/gen.ml: Bytes Char Codec Desc Int64 List Netdsl_util Printf String Value

@@ -1,0 +1,1 @@
+lib/format/gen.mli: Desc Netdsl_util Value

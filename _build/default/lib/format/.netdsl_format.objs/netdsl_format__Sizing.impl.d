@@ -1,0 +1,1 @@
+lib/format/sizing.ml: Desc Format List Netdsl_util

@@ -1,0 +1,1 @@
+lib/format/sizing.mli: Desc Format

@@ -1,0 +1,1 @@
+lib/format/value.ml: Bool Buffer Char Desc Format Int64 List Netdsl_util Printf String

@@ -1,0 +1,1 @@
+lib/format/value.mli: Desc Format

@@ -1,0 +1,1 @@
+lib/format/wf.ml: Array Desc Format Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/format/wf.mli: Desc Format

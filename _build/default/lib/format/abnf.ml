@@ -1,0 +1,184 @@
+let expr_str e = Format.asprintf "%a" Desc.pp_expr e
+
+(* ------------------------------------------------------------------ *)
+(* What the syntactic notation cannot say. *)
+
+let rec lost_information (fmt : Desc.t) =
+  List.concat_map (field_losses fmt.format_name) fmt.fields
+
+and field_losses owner (f : Desc.field) =
+  let where = Printf.sprintf "%s.%s" owner f.name in
+  let constraint_losses =
+    List.map
+      (fun c -> Format.asprintf "%s: value constraint %a" where Desc.pp_constr c)
+      f.constraints
+  in
+  let ty_losses =
+    match f.ty with
+    | Computed { expr; _ } ->
+      [ Printf.sprintf "%s: derived as %s and checked on decode" where (expr_str expr) ]
+    | Checksum { algorithm; region } ->
+      [
+        Format.asprintf "%s: %s checksum over %a, verified on decode" where
+          (Netdsl_util.Checksum.algorithm_to_string algorithm)
+          (fun ppf -> function
+            | Desc.Region_message -> Format.pp_print_string ppf "the whole message"
+            | Desc.Region_span (a, b) -> Format.fprintf ppf "fields %s..%s" a b
+            | Desc.Region_rest -> Format.pp_print_string ppf "the remaining fields")
+          region;
+      ]
+    | Bytes (Len_expr e) | Bytes (Len_bytes e) ->
+      [ Printf.sprintf "%s: length is data-dependent (%s)" where (expr_str e) ]
+    | Array { elem; length } ->
+      (match length with
+      | Len_expr e -> [ Printf.sprintf "%s: element count is data-dependent (%s)" where (expr_str e) ]
+      | Len_bytes e -> [ Printf.sprintf "%s: byte extent is data-dependent (%s)" where (expr_str e) ]
+      | Len_fixed _ | Len_remaining | Len_terminated _ -> [])
+      @ lost_information elem
+    | Variant { tag; cases; _ } ->
+      Printf.sprintf "%s: case selected by the value of field %S" where tag
+      :: List.concat_map (fun (_, _, sub) -> lost_information sub) cases
+    | Record sub -> lost_information sub
+    | Enum { exhaustive = true; _ } ->
+      [ Printf.sprintf "%s: only the listed enum values are legal" where ]
+    | Uint _ | Bool_flag | Const _ | Enum _ | Bytes _ | Padding _ -> []
+  in
+  ty_losses @ constraint_losses
+
+(* ------------------------------------------------------------------ *)
+(* Rule emission *)
+
+(* Consecutive sub-byte fields are fused into whole octets; ABNF has no
+   bit-level syntax. *)
+type run = Octets of { count : int; note : string list } | Named of string
+
+let rule_name name = String.map (fun c -> if c = '_' then '-' else c) name
+
+let rec collect_rules acc (fmt : Desc.t) =
+  if List.mem_assoc fmt.format_name acc then acc
+  else begin
+    let acc = (fmt.format_name, fmt) :: acc in
+    List.fold_left
+      (fun acc (f : Desc.field) ->
+        match f.ty with
+        | Array { elem; _ } -> collect_rules acc elem
+        | Record sub -> collect_rules acc sub
+        | Variant { cases; default; _ } ->
+          let acc =
+            List.fold_left (fun acc (_, _, sub) -> collect_rules acc sub) acc cases
+          in
+          (match default with Some sub -> collect_rules acc sub | None -> acc)
+        | Uint _ | Bool_flag | Const _ | Enum _ | Computed _ | Checksum _
+        | Bytes _ | Padding _ ->
+          acc)
+      acc fmt.fields
+  end
+
+let const_octets bits value =
+  (* A whole-byte constant becomes exact %x bytes. *)
+  let n = bits / 8 in
+  String.concat "."
+    (List.init n (fun i ->
+         Printf.sprintf "%02X"
+           (Int64.to_int
+              (Int64.logand (Int64.shift_right_logical value (8 * (n - 1 - i))) 0xFFL))))
+
+let format_rule (fmt : Desc.t) =
+  let parts = ref [] and pending_bits = ref 0 and pending_names = ref [] in
+  let flush_bits () =
+    if !pending_bits > 0 then begin
+      if !pending_bits land 7 <> 0 then
+        (* The format itself is not byte-aligned overall; round up with a
+           note (this only happens for deliberately odd layouts). *)
+        pending_bits := (!pending_bits + 7) land lnot 7;
+      parts :=
+        Octets
+          {
+            count = !pending_bits / 8;
+            note = List.rev !pending_names;
+          }
+        :: !parts;
+      pending_bits := 0;
+      pending_names := []
+    end
+  in
+  let add_bits name bits =
+    pending_bits := !pending_bits + bits;
+    pending_names := Printf.sprintf "%s(%d)" name bits :: !pending_names
+  in
+  List.iter
+    (fun (f : Desc.field) ->
+      match f.ty with
+      | Const { bits; value; _ } when bits land 7 = 0 && !pending_bits = 0 ->
+        parts := Named (Printf.sprintf "%%x%s" (const_octets bits value)) :: !parts
+      | Uint { bits; _ } | Const { bits; _ } | Enum { bits; _ } | Computed { bits; _ } ->
+        add_bits f.name bits
+      | Bool_flag -> add_bits f.name 1
+      | Padding { bits } -> add_bits "pad" bits
+      | Checksum { algorithm; _ } ->
+        add_bits f.name (Netdsl_util.Checksum.width_bits algorithm)
+      | Bytes (Len_fixed n) ->
+        flush_bits ();
+        parts := Named (Printf.sprintf "%dOCTET" n) :: !parts
+      | Bytes (Len_terminated t) ->
+        flush_bits ();
+        (* Terminated strings are one of the few semantic lengths ABNF can
+           actually express. *)
+        parts :=
+          Named
+            (Printf.sprintf "*(%%x%02X-FF / %%x00-%02X) %%x%02X"
+               ((t + 1) land 0xFF)
+               ((t - 1) land 0xFF)
+               t)
+          :: !parts
+      | Bytes _ ->
+        flush_bits ();
+        parts := Named "*OCTET" :: !parts
+      | Array { elem; length = Len_fixed n } ->
+        flush_bits ();
+        parts := Named (Printf.sprintf "%d%s" n (rule_name elem.format_name)) :: !parts
+      | Array { elem; _ } ->
+        flush_bits ();
+        parts := Named (Printf.sprintf "*%s" (rule_name elem.format_name)) :: !parts
+      | Record sub ->
+        flush_bits ();
+        parts := Named (rule_name sub.format_name) :: !parts
+      | Variant { cases; default; _ } ->
+        flush_bits ();
+        let alts =
+          List.map (fun (_, _, (sub : Desc.t)) -> rule_name sub.format_name) cases
+          @ (match default with Some (sub : Desc.t) -> [ rule_name sub.format_name ] | None -> [])
+        in
+        parts := Named (Printf.sprintf "( %s )" (String.concat " / " (List.sort_uniq compare alts))) :: !parts)
+    fmt.fields;
+  flush_bits ();
+  let rendered =
+    List.rev_map
+      (function
+        | Named s -> s
+        | Octets { count; note } ->
+          Printf.sprintf "%dOCTET ; bits: %s" count (String.concat " " note))
+      !parts
+  in
+  (* Comments terminate at end of line, so a part carrying a comment must
+     end its line. *)
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (rule_name fmt.format_name);
+  Buffer.add_string buf " =";
+  List.iter
+    (fun part ->
+      Buffer.add_string buf " ";
+      Buffer.add_string buf part;
+      if String.contains part ';' then Buffer.add_string buf "\n   ")
+    rendered;
+  String.trim (Buffer.contents buf)
+
+let export fmt =
+  let rules = List.rev (collect_rules [] fmt) in
+  let body = String.concat "\n" (List.map (fun (_, f) -> format_rule f) rules) in
+  let losses = lost_information fmt in
+  if losses = [] then body ^ "\n"
+  else
+    body ^ "\n\n; NOT EXPRESSIBLE IN ABNF (checked by the DSL):\n"
+    ^ String.concat "\n" (List.map (fun l -> ";   " ^ l) losses)
+    ^ "\n"

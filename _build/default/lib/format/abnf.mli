@@ -1,0 +1,21 @@
+(** ABNF (RFC 5234) export of format descriptions.
+
+    §2.1 of the paper: ABNF "provides a readily machine-parseable
+    definition but remains, essentially, a syntactic notation".  This
+    exporter makes that point executable: it emits the syntactic skeleton
+    of a format as ABNF rules, and every property ABNF cannot express —
+    derived lengths, checksum coverage, value constraints, even the
+    data-dependence of a variable-length field — degrades into a comment.
+    Diffing the export against the source description is a catalogue of
+    what the DSL adds. *)
+
+val export : Desc.t -> string
+(** One rule per format (nested array/record/variant bodies become their
+    own rules).  Sub-byte fields are grouped into whole-octet terminals
+    with a comment describing the packing, since ABNF has no bit
+    syntax. *)
+
+val lost_information : Desc.t -> string list
+(** The semantic facts the ABNF rendering dropped, one human-readable line
+    each (derived fields, checksum coverage, constraints, tag/variant
+    couplings).  Empty for a purely syntactic fixed format. *)

@@ -1,0 +1,199 @@
+(* A diagram is laid out from a flat list of segments, each either a
+   fixed-width run of bits or a variable-length region. *)
+type seg = Fixed of { label : string; bits : int } | Var of { label : string }
+
+let label_of (f : Desc.field) =
+  match f.doc with Some d -> d | None -> f.name
+
+let rec flatten (fmt : Desc.t) : seg list =
+  List.concat_map flatten_field fmt.fields
+
+and flatten_field (f : Desc.field) : seg list =
+  let lbl = label_of f in
+  match f.ty with
+  | Uint { bits; _ } | Const { bits; _ } | Enum { bits; _ } | Computed { bits; _ } ->
+    [ Fixed { label = lbl; bits } ]
+  | Bool_flag -> [ Fixed { label = lbl; bits = 1 } ]
+  | Checksum { algorithm; _ } ->
+    [ Fixed { label = lbl; bits = Netdsl_util.Checksum.width_bits algorithm } ]
+  | Padding { bits } -> [ Fixed { label = lbl; bits } ]
+  | Bytes (Len_fixed n) -> [ Fixed { label = lbl; bits = 8 * n } ]
+  | Bytes (Len_expr _ | Len_bytes _ | Len_remaining | Len_terminated _) ->
+    [ Var { label = lbl } ]
+  | Record sub -> flatten sub
+  | Array { elem; length = Len_fixed n } when n <= 4 ->
+    List.concat (List.init n (fun _ -> flatten elem))
+  | Array _ -> [ Var { label = lbl } ]
+  | Variant _ -> [ Var { label = lbl } ]
+
+(* Rows of cells.  A cell covers [start, start+width) bit columns of its row
+   and carries a label (possibly empty for continuations).  [open_left] /
+   [open_right] mark continuations of a field split across rows. *)
+type cell = {
+  c_start : int;
+  c_width : int;
+  c_label : string;
+  c_id : int; (* segment identity, for continuation-aware separators *)
+}
+
+let layout ~row_bits segs =
+  let rows = ref [] and current = ref [] and pos = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      rows := List.rev !current :: !rows;
+      current := [];
+      pos := 0
+    end
+  in
+  let emit cell =
+    current := cell :: !current;
+    pos := cell.c_start + cell.c_width;
+    if !pos >= row_bits then flush ()
+  in
+  List.iteri
+    (fun id seg ->
+      match seg with
+      | Fixed { label; bits } ->
+        (* Split across rows; the label goes on the widest chunk. *)
+        let rec chunks acc remaining =
+          let space = row_bits - if acc = [] then !pos else 0 in
+          if remaining <= space then List.rev ((space, remaining) :: acc)
+          else chunks ((space, space) :: acc) (remaining - space)
+        in
+        let pieces = List.map snd (chunks [] bits) in
+        let widest = List.fold_left max 0 pieces in
+        let labelled = ref false in
+        List.iter
+          (fun w ->
+            let lbl =
+              if (not !labelled) && w = widest then begin
+                labelled := true;
+                label
+              end
+              else ""
+            in
+            emit { c_start = !pos; c_width = w; c_label = lbl; c_id = id })
+          pieces
+      | Var { label } ->
+        (* A variable region always occupies whole rows of its own. *)
+        flush ();
+        emit
+          { c_start = 0; c_width = row_bits; c_label = label ^ " ..."; c_id = id })
+    segs;
+  flush ();
+  List.rev !rows
+
+let center width label =
+  let label =
+    if String.length label > width then String.sub label 0 width else label
+  in
+  let total = width - String.length label in
+  let left = (total + 1) / 2 in
+  String.make left ' ' ^ label ^ String.make (total - left) ' '
+
+(* Bit extent of a row: where its last cell ends. *)
+let extent cells =
+  List.fold_left (fun acc c -> max acc (c.c_start + c.c_width)) 0 cells
+
+let content_line cells =
+  let width_bits = extent cells in
+  let b = Bytes.make ((2 * width_bits) + 1) ' ' in
+  Bytes.set b 0 '|';
+  Bytes.set b (2 * width_bits) '|';
+  List.iter
+    (fun c ->
+      Bytes.set b (2 * c.c_start) '|';
+      Bytes.set b (2 * (c.c_start + c.c_width)) '|';
+      let col = (2 * c.c_start) + 1 in
+      let width = (2 * c.c_width) - 1 in
+      Bytes.blit_string (center width c.c_label) 0 b col width)
+    cells;
+  Bytes.to_string b
+
+(* Separator between two rows.  Columns interior to a segment that continues
+   from the row above to the row below stay blank; everywhere else the
+   classic "+-" ruling is drawn. *)
+let separator ~row_bits above below =
+  let id_at cells bit =
+    List.find_map
+      (fun c -> if bit >= c.c_start && bit < c.c_start + c.c_width then Some c.c_id else None)
+      cells
+  in
+  (* A separator spans the wider of its two neighbouring rows; between no
+     rows at all it spans the full ruler. *)
+  let row_bits =
+    match max (extent above) (extent below) with 0 -> row_bits | w -> w
+  in
+  let b = Bytes.make ((2 * row_bits) + 1) '-' in
+  for bit = 0 to row_bits - 1 do
+    match (id_at above bit, id_at below bit) with
+    | Some i, Some j when i = j ->
+      Bytes.set b ((2 * bit) + 1) ' ';
+      if bit > 0 && id_at above (bit - 1) = Some i && id_at below (bit - 1) = Some i
+      then Bytes.set b (2 * bit) ' '
+    | _ -> ()
+  done;
+  Bytes.set b 0 '+';
+  Bytes.set b (2 * row_bits) '+';
+  for bit = 1 to row_bits - 1 do
+    if Bytes.get b (2 * bit) <> ' ' then Bytes.set b (2 * bit) '+'
+  done;
+  Bytes.to_string b
+
+let ruler ~row_bits =
+  let tens = Bytes.make ((2 * row_bits) + 1) ' ' in
+  let ones = Bytes.make ((2 * row_bits) + 1) ' ' in
+  for bit = 0 to row_bits - 1 do
+    let col = (2 * bit) + 1 in
+    if bit mod 10 = 0 then
+      Bytes.set tens col (Char.chr (Char.code '0' + (bit / 10 mod 10)));
+    Bytes.set ones col (Char.chr (Char.code '0' + (bit mod 10)))
+  done;
+  let tens_line = " " ^ String.trim (Bytes.to_string tens) in
+  let ones_raw = Bytes.to_string ones in
+  let ones_line = String.sub ones_raw 0 (String.length ones_raw - 1) in
+  [ tens_line; ones_line ]
+
+let render_lines ?(row_bits = 32) ?(indent = 0) fmt =
+  let segs = flatten fmt in
+  let rows = layout ~row_bits segs in
+  let full = separator ~row_bits [] [] in
+  let lines = ruler ~row_bits in
+  let body =
+    match rows with
+    | [] -> [ full ]
+    | first :: _ ->
+      let rec go acc prev = function
+        | [] -> List.rev (separator ~row_bits prev [] :: acc)
+        | row :: rest ->
+          go (content_line row :: separator ~row_bits prev row :: acc) row rest
+      in
+      ignore first;
+      go [] [] rows
+  in
+  let pad = String.make indent ' ' in
+  List.map (fun l -> pad ^ l) (lines @ body)
+
+let render ?row_bits ?indent fmt =
+  String.concat "\n" (render_lines ?row_bits ?indent fmt) ^ "\n"
+
+let normalize s =
+  let collapse line =
+    let buf = Buffer.create (String.length line) in
+    let last_blank = ref false in
+    String.iter
+      (fun c ->
+        if c = ' ' then begin
+          if not !last_blank then Buffer.add_char buf ' ';
+          last_blank := true
+        end
+        else begin
+          Buffer.add_char buf c;
+          last_blank := false
+        end)
+      line;
+    String.trim (Buffer.contents buf)
+  in
+  String.split_on_char '\n' s
+  |> List.map collapse
+  |> List.filter (fun l -> not (String.equal l ""))

@@ -1,0 +1,19 @@
+(** RFC-style ASCII packet diagrams.
+
+    Renders a format description as the classic bit-ruled box diagram used
+    in RFCs ("ASCII pictures" — §2.1 of the paper).  Applied to the IPv4
+    header description this regenerates the paper's Figure 1 / RFC 791
+    layout (experiment E1). *)
+
+val render : ?row_bits:int -> ?indent:int -> Desc.t -> string
+(** [render fmt] draws the diagram with [row_bits] bits per row (default
+    32) and [indent] leading spaces per line (default 0).  Fixed-width
+    fields are drawn to the bit; variable-length fields are drawn as
+    full-width rows marked with the field label. *)
+
+val render_lines : ?row_bits:int -> ?indent:int -> Desc.t -> string list
+
+val normalize : string -> string list
+(** Collapses runs of blanks inside each line and trims; used to compare a
+    generated diagram against a hand-drawn original whose interior spacing
+    is irregular. *)

@@ -1,0 +1,89 @@
+type error =
+  | Frame_too_large of { declared : int; limit : int }
+  | Decode_failed of Codec.error
+
+let pp_error ppf = function
+  | Frame_too_large { declared; limit } ->
+    Format.fprintf ppf "frame of %d bytes exceeds the %d-byte limit" declared limit
+  | Decode_failed e -> Codec.pp_error ppf e
+
+type t = {
+  fmt : Desc.t;
+  max_frame : int;
+  buf : Buffer.t;
+  mutable skip : int; (* bytes of an oversized frame still to discard *)
+  mutable delivered : int;
+}
+
+let create ?(max_frame = 1 lsl 20) fmt =
+  { fmt; max_frame; buf = Buffer.create 256; skip = 0; delivered = 0 }
+
+let header_bytes = 4
+
+let encode_frame fmt v =
+  match Codec.encode fmt v with
+  | Error _ as e -> e
+  | Ok body ->
+    let n = String.length body in
+    let hdr =
+      String.init header_bytes (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+    in
+    Ok (hdr ^ body)
+
+let encode_frame_exn fmt v =
+  match encode_frame fmt v with
+  | Ok s -> s
+  | Error e -> raise (Codec.Error e)
+
+(* Consumes [n] bytes off the front of the buffer. *)
+let take t n =
+  let all = Buffer.contents t.buf in
+  let head = String.sub all 0 n in
+  Buffer.clear t.buf;
+  Buffer.add_substring t.buf all n (String.length all - n);
+  head
+
+let feed t bytes =
+  Buffer.add_string t.buf bytes;
+  let out = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* First finish discarding an oversized frame, if one is in transit. *)
+    if t.skip > 0 then begin
+      let available = Buffer.length t.buf in
+      let discard = min t.skip available in
+      if discard > 0 then begin
+        ignore (take t discard);
+        t.skip <- t.skip - discard;
+        progress := true
+      end
+    end
+    else if Buffer.length t.buf >= header_bytes then begin
+      let all = Buffer.contents t.buf in
+      let declared =
+        (Char.code all.[0] lsl 24) lor (Char.code all.[1] lsl 16)
+        lor (Char.code all.[2] lsl 8) lor Char.code all.[3]
+      in
+      if declared > t.max_frame then begin
+        ignore (take t header_bytes);
+        t.skip <- declared;
+        out := Error (Frame_too_large { declared; limit = t.max_frame }) :: !out;
+        progress := true
+      end
+      else if Buffer.length t.buf >= header_bytes + declared then begin
+        ignore (take t header_bytes);
+        let body = take t declared in
+        (match Codec.decode t.fmt body with
+        | Ok v ->
+          t.delivered <- t.delivered + 1;
+          out := Ok v :: !out
+        | Error e -> out := Error (Decode_failed e) :: !out);
+        progress := true
+      end
+    end
+  done;
+  List.rev !out
+
+let pending_bytes t = Buffer.length t.buf
+let frames_delivered t = t.delivered

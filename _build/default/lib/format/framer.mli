@@ -1,0 +1,39 @@
+(** Message framing over byte streams.
+
+    Formats describe datagrams; a byte-stream transport (TCP-like) needs a
+    framing layer that cuts the stream back into messages regardless of how
+    the bytes were chunked in transit.  A {!t} prefixes each encoded
+    message with a 32-bit big-endian length and reassembles on the way in,
+    delivering each complete frame through the format's validating decoder.
+
+    Per-frame failures (an oversized length, a frame the decoder rejects)
+    are reported for that frame and the stream continues at the next frame
+    boundary — a stream is not poisoned by one bad message. *)
+
+type error =
+  | Frame_too_large of { declared : int; limit : int }
+  | Decode_failed of Codec.error
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : ?max_frame:int -> Desc.t -> t
+(** [max_frame] (default 1 MiB) bounds a frame's declared length; larger
+    declarations fail the frame but the framer resynchronises after
+    skipping the declared bytes. *)
+
+val encode_frame : Desc.t -> Value.t -> (string, Codec.error) result
+(** [length ^ message] ready to write to a stream. *)
+
+val encode_frame_exn : Desc.t -> Value.t -> string
+
+val feed : t -> string -> (Value.t, error) result list
+(** Append bytes that just arrived; returns the results for every frame
+    that completed, in stream order (possibly none, possibly several). *)
+
+val pending_bytes : t -> int
+(** Bytes buffered awaiting a complete frame. *)
+
+val frames_delivered : t -> int
+(** Successfully decoded frames so far. *)

@@ -1,0 +1,40 @@
+(** Random message generation and mutation from format descriptions.
+
+    The paper (§2.3) argues that a unified protocol description "potentially
+    allows automatic construction of (at least some) behavioural test
+    cases".  This module delivers the syntactic half: well-formed random
+    packets generated directly from the description (for round-trip and
+    property testing) and mutants of valid packets (for negative testing
+    and decoder-robustness fuzzing).  The behavioural half lives in
+    [Netdsl_fsm.Testgen]. *)
+
+type config = {
+  max_var_bytes : int;  (** cap for variable-length byte fields (default 64) *)
+  max_array_elems : int;  (** cap for variable-length arrays (default 8) *)
+  max_int_tries : int;  (** attempts to satisfy constraints (default 100) *)
+}
+
+val default_config : config
+
+exception Unsupported of string
+(** Raised when a description cannot be generated for, e.g. a length
+    expression that depends on a derived (computed) field. *)
+
+val generate : ?config:config -> Netdsl_util.Prng.t -> Desc.t -> Value.t
+(** [generate rng fmt] is a random value that encodes successfully against
+    [fmt].  Raises {!Unsupported} for descriptions whose data dependencies
+    cannot be inverted generically. *)
+
+val generate_opt : ?config:config -> Netdsl_util.Prng.t -> Desc.t -> Value.t option
+(** Like {!generate} but [None] instead of {!Unsupported}. *)
+
+val generate_bytes : ?config:config -> Netdsl_util.Prng.t -> Desc.t -> string
+(** [generate_bytes rng fmt] is [generate] composed with the encoder: a
+    random *valid* wire message. *)
+
+val mutate : Netdsl_util.Prng.t -> ?flips:int -> string -> string
+(** [mutate rng s] flips [flips] random bits (default 1) — corruption as a
+    harsh channel or an attacker would produce it. *)
+
+val truncate_random : Netdsl_util.Prng.t -> string -> string
+(** Drops a random non-empty suffix. *)

@@ -1,0 +1,73 @@
+type bounds = { min_bits : int; max_bits : int option }
+
+let pp_bounds ppf b =
+  match b.max_bits with
+  | Some m when m = b.min_bits -> Format.fprintf ppf "exactly %d bits" b.min_bits
+  | Some m -> Format.fprintf ppf "%d to %d bits" b.min_bits m
+  | None -> Format.fprintf ppf "at least %d bits" b.min_bits
+
+let exact n = { min_bits = n; max_bits = Some n }
+let unbounded_from n = { min_bits = n; max_bits = None }
+
+let add a b =
+  {
+    min_bits = a.min_bits + b.min_bits;
+    max_bits =
+      (match (a.max_bits, b.max_bits) with
+      | Some x, Some y -> Some (x + y)
+      | _, None | None, _ -> None);
+  }
+
+let scale n b =
+  {
+    min_bits = n * b.min_bits;
+    max_bits = (match b.max_bits with Some m -> Some (n * m) | None -> None);
+  }
+
+let union a b =
+  {
+    min_bits = min a.min_bits b.min_bits;
+    max_bits =
+      (match (a.max_bits, b.max_bits) with
+      | Some x, Some y -> Some (max x y)
+      | _, None | None, _ -> None);
+  }
+
+let rec bounds (fmt : Desc.t) =
+  List.fold_left (fun acc f -> add acc (field_bounds f)) (exact 0) fmt.fields
+
+and field_bounds (f : Desc.field) =
+  match f.ty with
+  | Uint { bits; _ } | Const { bits; _ } | Enum { bits; _ }
+  | Computed { bits; _ } | Padding { bits } ->
+    exact bits
+  | Bool_flag -> exact 1
+  | Checksum { algorithm; _ } -> exact (Netdsl_util.Checksum.width_bits algorithm)
+  | Bytes (Len_fixed n) -> exact (8 * n)
+  | Bytes (Len_expr _ | Len_bytes _ | Len_remaining) -> unbounded_from 0
+  | Bytes (Len_terminated _) -> unbounded_from 8 (* at least the terminator *)
+  | Array { elem; length = Len_fixed n } -> scale n (bounds elem)
+  | Array { length = Len_expr _ | Len_bytes _ | Len_remaining | Len_terminated _; _ } ->
+    unbounded_from 0
+  | Record sub -> bounds sub
+  | Variant { cases; default; _ } -> (
+    let case_bounds = List.map (fun (_, _, sub) -> bounds sub) cases in
+    let all =
+      match default with
+      | None -> case_bounds
+      | Some sub -> bounds sub :: case_bounds
+    in
+    match all with
+    | [] -> exact 0
+    | first :: rest -> List.fold_left union first rest)
+
+let fixed_bits fmt =
+  let b = bounds fmt in
+  match b.max_bits with Some m when m = b.min_bits -> Some m | Some _ | None -> None
+
+let fixed_bytes fmt =
+  match fixed_bits fmt with
+  | Some n when n land 7 = 0 -> Some (n / 8)
+  | Some _ | None -> None
+
+let min_bytes fmt = ((bounds fmt).min_bits + 7) / 8

@@ -1,0 +1,26 @@
+(** Static size analysis of format descriptions.
+
+    Computes the minimum and (when bounded) maximum encoded size of a
+    format.  The paper's §3.3 notes that static information about the data
+    lets implementations drop dynamic checks; a decoder can reject a
+    too-short datagram with a single length comparison derived here instead
+    of bounds-checking every field read. *)
+
+type bounds = {
+  min_bits : int;
+  max_bits : int option;  (** [None] when the format is unbounded *)
+}
+
+val pp_bounds : Format.formatter -> bounds -> unit
+
+val bounds : Desc.t -> bounds
+val field_bounds : Desc.field -> bounds
+
+val fixed_bits : Desc.t -> int option
+(** [Some n] when every message of the format is exactly [n] bits. *)
+
+val fixed_bytes : Desc.t -> int option
+(** Like {!fixed_bits}, in whole bytes ([None] if not byte-divisible). *)
+
+val min_bytes : Desc.t -> int
+(** Minimum encoded size rounded up to bytes — the cheap reject threshold. *)

@@ -1,0 +1,291 @@
+type severity = Error | Warning
+type diagnostic = { severity : severity; path : string list; message : string }
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s: %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (match d.path with [] -> "<message>" | p -> String.concat "." p)
+    d.message
+
+(* Static scope used while walking a description: names visible to
+   expressions at a given point, with a flag for whether the field occurs
+   before the current position (decodable references must point backwards)
+   and its type. *)
+type entry = { e_ty : Desc.ty; e_backward : bool }
+
+type sscope = { names : (string * entry) list; up : sscope option }
+
+let rec find_name scope name =
+  match List.assoc_opt name scope.names with
+  | Some e -> Some e
+  | None -> ( match scope.up with None -> None | Some s -> find_name s name)
+
+let is_int_bearing : Desc.ty -> bool = function
+  | Uint _ | Bool_flag | Const _ | Enum _ | Computed _ | Checksum _ -> true
+  | Bytes _ | Array _ | Record _ | Variant _ | Padding _ -> false
+
+let check fmt =
+  let diags = ref [] in
+  let emit severity path message = diags := { severity; path; message } :: !diags in
+  let err = emit Error and warn = emit Warning in
+
+  let check_bits path what bits =
+    if bits < 1 || bits > 64 then
+      err path (Printf.sprintf "%s width %d not in [1, 64]" what bits)
+  in
+  let check_endian path bits = function
+    | Desc.Big -> ()
+    | Desc.Little ->
+      if bits land 7 <> 0 then
+        err path "little-endian fields must be a whole number of bytes"
+  in
+  let fits value bits =
+    bits >= 64
+    || Int64.equal (Int64.logand value (Int64.sub (Int64.shift_left 1L bits) 1L)) value
+  in
+
+  (* [backward_only] is true for expressions that the decoder must evaluate
+     mid-parse (length specs); computed-field expressions are checked after
+     the whole message, so they may also look forward. *)
+  let rec check_expr path scope ~backward_only (e : Desc.expr) =
+    match e with
+    | Const _ -> ()
+    | Field name -> (
+      match find_name scope name with
+      | None -> err path (Printf.sprintf "expression references unknown field %S" name)
+      | Some { e_ty; e_backward } ->
+        if not (is_int_bearing e_ty) then
+          err path (Printf.sprintf "expression references non-integer field %S" name);
+        if backward_only && not e_backward then
+          err path
+            (Printf.sprintf
+               "length expression references %S, which is decoded later" name))
+    | Byte_len name -> (
+      match find_name scope name with
+      | None -> err path (Printf.sprintf "len(%s) references unknown field" name)
+      | Some { e_backward; _ } ->
+        if backward_only && not e_backward then
+          err path
+            (Printf.sprintf "length expression references len(%s), decoded later" name))
+    | Msg_len ->
+      if backward_only then
+        err path "length specifications may not depend on the total message length"
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      check_expr path scope ~backward_only a;
+      check_expr path scope ~backward_only b
+  in
+
+  let check_len_spec path scope ~is_array (spec : Desc.len_spec) =
+    match spec with
+    | Len_fixed n -> if n < 0 then err path "negative fixed length"
+    | Len_expr e | Len_bytes e -> check_expr path scope ~backward_only:true e
+    | Len_remaining -> ()
+    | Len_terminated t ->
+      if is_array then err path "arrays cannot be terminator-delimited";
+      if t < 0 || t > 255 then err path "terminator must be a byte value"
+  in
+
+  let rec check_format path scope (fmt : Desc.t) =
+    if String.equal fmt.format_name "" then warn path "format has an empty name";
+    (* Duplicate names within this record. *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (f : Desc.field) ->
+        if Hashtbl.mem seen f.name then
+          err (path @ [ f.name ]) "duplicate field name in record"
+        else Hashtbl.add seen f.name ())
+      fmt.fields;
+    (* Shadowing of outer names. *)
+    List.iter
+      (fun (f : Desc.field) ->
+        match scope.up with
+        | Some up when find_name up f.name <> None ->
+          warn (path @ [ f.name ]) "field shadows a field of an enclosing record"
+        | Some _ | None -> ())
+      fmt.fields;
+    (* Greedy fields must be last in their record. *)
+    let rec check_greedy = function
+      | [] | [ _ ] -> ()
+      | (f : Desc.field) :: rest ->
+        (match f.ty with
+        | Bytes Len_remaining | Array { length = Len_remaining; _ } ->
+          warn (path @ [ f.name ])
+            "greedy (remaining-length) field is followed by more fields"
+        | _ -> ());
+        check_greedy rest
+    in
+    check_greedy fmt.fields;
+    (* Walk fields left to right.  Every sibling is visible (computed-field
+       checks run after the whole message is parsed, so they may look
+       forward); the [e_backward] flag records whether a name precedes the
+       current field, which length expressions require. *)
+    let fields = Array.of_list fmt.fields in
+    Array.iteri
+      (fun i (f : Desc.field) ->
+        let fpath = path @ [ f.name ] in
+        let names =
+          Array.to_list
+            (Array.mapi
+               (fun j (g : Desc.field) ->
+                 (g.name, { e_ty = g.ty; e_backward = j < i }))
+               fields)
+        in
+        (* The field itself is not in its own scope. *)
+        let names = List.filteri (fun j _ -> j <> i) names in
+        check_field fpath { names; up = scope.up } f)
+      fields;
+    (* Computed-field dependency cycles among siblings (only direct Field
+       references are considered; Byte_len cannot cycle since spans do not
+       depend on computed values). *)
+    let computed =
+      List.filter_map
+        (fun (f : Desc.field) ->
+          match f.ty with Computed { expr; _ } -> Some (f.name, expr) | _ -> None)
+        fmt.fields
+    in
+    let rec refs (e : Desc.expr) =
+      match e with
+      | Field n -> [ n ]
+      | Const _ | Byte_len _ | Msg_len -> []
+      | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> refs a @ refs b
+    in
+    let rec has_cycle visiting name =
+      if List.mem name visiting then true
+      else
+        match List.assoc_opt name computed with
+        | None -> false
+        | Some e -> List.exists (has_cycle (name :: visiting)) (refs e)
+    in
+    List.iter
+      (fun (name, e) ->
+        if List.exists (has_cycle [ name ]) (refs e) then
+          err (path @ [ name ]) "computed field dependency cycle")
+      computed
+
+  and check_field path scope (f : Desc.field) =
+    (match f.constraints with
+    | [] -> ()
+    | _ :: _ ->
+      if not (is_int_bearing f.ty) then
+        err path "constraints are only meaningful on integer fields");
+    match f.ty with
+    | Uint { bits; endian } ->
+      check_bits path "integer" bits;
+      check_endian path bits endian
+    | Bool_flag -> ()
+    | Const { bits; endian; value } ->
+      check_bits path "constant" bits;
+      check_endian path bits endian;
+      if not (fits value bits) then
+        err path (Printf.sprintf "constant %Ld does not fit in %d bits" value bits)
+    | Enum { bits; endian; cases; exhaustive } ->
+      check_bits path "enum" bits;
+      check_endian path bits endian;
+      if cases = [] then err path "enum with no cases";
+      if exhaustive && cases = [] then () (* already reported *);
+      let names = Hashtbl.create 8 and vals = Hashtbl.create 8 in
+      List.iter
+        (fun (n, v) ->
+          if Hashtbl.mem names n then
+            err path (Printf.sprintf "duplicate enum case name %S" n)
+          else Hashtbl.add names n ();
+          if Hashtbl.mem vals v then
+            err path (Printf.sprintf "duplicate enum case value %Ld" v)
+          else Hashtbl.add vals v ();
+          if not (fits v bits) then
+            err path (Printf.sprintf "enum value %Ld does not fit in %d bits" v bits))
+        cases
+    | Computed { bits; endian; expr } ->
+      check_bits path "computed field" bits;
+      check_endian path bits endian;
+      (* Forward references are fine: the check runs after the parse.  The
+         current field itself is not yet in scope; a self-reference is
+         reported as unknown, which is the right diagnosis. *)
+      check_expr path scope ~backward_only:false expr
+    | Checksum { algorithm = _; region } -> (
+      match region with
+      | Region_message | Region_rest -> ()
+      | Region_span (a, b) ->
+        (* Span fields must be siblings; they may appear before or after
+           the checksum, so resolution is deferred to the parent walk via a
+           second pass below.  Here we only validate that the names are not
+           obviously absent from scope chain or later siblings: handled by
+           the parent in [check_span_names]. *)
+        if String.equal a "" || String.equal b "" then
+          err path "empty checksum span field name")
+    | Bytes spec -> check_len_spec path scope ~is_array:false spec
+    | Array { elem; length } ->
+      check_len_spec path scope ~is_array:true length;
+      check_format path { names = []; up = Some scope } elem
+    | Record sub -> check_format path { names = []; up = Some scope } sub
+    | Variant { tag; cases; default } -> (
+      (match find_name scope tag with
+      | None ->
+        err path (Printf.sprintf "variant tag %S is not a previously decoded field" tag)
+      | Some { e_ty; e_backward } ->
+        if not (is_int_bearing e_ty) then
+          err path (Printf.sprintf "variant tag %S is not an integer field" tag);
+        if not e_backward then
+          err path (Printf.sprintf "variant tag %S is decoded later than the variant" tag));
+      (match (cases, default) with
+      | [], None -> err path "variant with no cases and no default"
+      | _ -> ());
+      let names = Hashtbl.create 8 and vals = Hashtbl.create 8 in
+      List.iter
+        (fun (n, v, sub) ->
+          if Hashtbl.mem names n then
+            err path (Printf.sprintf "duplicate variant case name %S" n)
+          else Hashtbl.add names n ();
+          if Hashtbl.mem vals v then
+            err path (Printf.sprintf "duplicate variant tag value %Ld" v)
+          else Hashtbl.add vals v ();
+          check_format (path @ [ n ]) { names = []; up = Some scope } sub)
+        cases;
+      match default with
+      | None -> ()
+      | Some sub -> check_format (path @ [ "default" ]) { names = []; up = Some scope } sub)
+    | Padding { bits } ->
+      if bits < 1 then err path "padding width must be at least 1 bit"
+  in
+
+  (* Second pass: checksum span names must be siblings of the checksum. *)
+  let check_span_names path (fmt : Desc.t) =
+    let sibling name = List.exists (fun (f : Desc.field) -> String.equal f.name name) fmt.fields in
+    List.iter
+      (fun (f : Desc.field) ->
+        match f.ty with
+        | Checksum { region = Region_span (a, b); _ } ->
+          if not (sibling a) then
+            err (path @ [ f.name ]) (Printf.sprintf "checksum span: %S is not a sibling field" a);
+          if not (sibling b) then
+            err (path @ [ f.name ]) (Printf.sprintf "checksum span: %S is not a sibling field" b);
+          if sibling a && sibling b then begin
+            let index n =
+              let rec go i = function
+                | [] -> -1
+                | (g : Desc.field) :: rest -> if String.equal g.name n then i else go (i + 1) rest
+              in
+              go 0 fmt.fields
+            in
+            if index a > index b then
+              err (path @ [ f.name ]) "checksum span start comes after its end"
+          end
+        | _ -> ())
+      fmt.fields
+  in
+  check_format [] { names = []; up = None } fmt;
+  Desc.fold_formats (fun () sub -> check_span_names [ sub.format_name ] sub) () fmt;
+  List.rev !diags
+
+let errors fmt = List.filter (fun d -> d.severity = Error) (check fmt)
+let is_well_formed fmt = errors fmt = []
+
+let check_exn fmt =
+  match errors fmt with
+  | [] -> fmt
+  | errs ->
+    let msg =
+      String.concat "\n"
+        (List.map (fun d -> Format.asprintf "%a" pp_diagnostic d) errs)
+    in
+    invalid_arg (Printf.sprintf "malformed format %s:\n%s" fmt.format_name msg)

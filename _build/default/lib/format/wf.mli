@@ -1,0 +1,28 @@
+(** Static well-formedness checking of format descriptions.
+
+    A description that passes {!check} with no errors is guaranteed to be
+    interpretable by {!Codec}: every expression reference resolves, widths
+    are in range, enum and variant cases are unambiguous, checksum regions
+    name real fields, and computed fields contain no dependency cycles.
+    This is the DSL analogue of the paper's "correct by construction": the
+    designer learns about a malformed specification when the description is
+    checked, not when a packet is mis-parsed in production. *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; path : string list; message : string }
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val check : Desc.t -> diagnostic list
+(** All diagnostics for a description, outermost first. *)
+
+val errors : Desc.t -> diagnostic list
+(** Only the [Error]-severity diagnostics. *)
+
+val is_well_formed : Desc.t -> bool
+(** [is_well_formed fmt] iff {!errors} is empty. *)
+
+val check_exn : Desc.t -> Desc.t
+(** Identity when well-formed; raises [Invalid_argument] listing the errors
+    otherwise.  Useful when defining format constants. *)

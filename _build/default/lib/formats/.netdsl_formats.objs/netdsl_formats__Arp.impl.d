@@ -1,0 +1,1 @@
+lib/formats/arp.ml: Desc Int64 Netdsl_format String Value Wf

@@ -1,0 +1,1 @@
+lib/formats/arp.mli: Netdsl_format

@@ -1,0 +1,1 @@
+lib/formats/arq.ml: Codec Desc Format Netdsl_format Netdsl_util Printf String Value Wf

@@ -1,0 +1,1 @@
+lib/formats/arq.mli: Format Netdsl_format

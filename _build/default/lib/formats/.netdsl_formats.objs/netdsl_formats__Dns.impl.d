@@ -1,0 +1,1 @@
+lib/formats/dns.ml: Desc Netdsl_format Value Wf

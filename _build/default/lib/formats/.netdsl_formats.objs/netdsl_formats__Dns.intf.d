@@ -1,0 +1,1 @@
+lib/formats/dns.mli: Netdsl_format

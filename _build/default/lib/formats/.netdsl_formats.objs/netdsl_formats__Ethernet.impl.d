@@ -1,0 +1,1 @@
+lib/formats/ethernet.ml: Char Desc Int64 List Netdsl_format Printf String Value Wf

@@ -1,0 +1,1 @@
+lib/formats/ethernet.mli: Netdsl_format

@@ -1,0 +1,1 @@
+lib/formats/icmp.ml: Desc Int64 Netdsl_format Netdsl_util Value Wf

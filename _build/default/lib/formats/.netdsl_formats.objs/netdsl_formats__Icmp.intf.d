@@ -1,0 +1,1 @@
+lib/formats/icmp.mli: Netdsl_format

@@ -1,0 +1,1 @@
+lib/formats/ipv4.ml: Desc Int64 List Netdsl_format Netdsl_util Printf String Value Wf

@@ -1,0 +1,1 @@
+lib/formats/ipv4.mli: Netdsl_format

@@ -1,0 +1,1 @@
+lib/formats/pcap.ml: Codec Desc List Netdsl_format Value Wf

@@ -1,0 +1,1 @@
+lib/formats/pcap.mli: Netdsl_format

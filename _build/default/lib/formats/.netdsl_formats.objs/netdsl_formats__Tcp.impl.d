@@ -1,0 +1,1 @@
+lib/formats/tcp.ml: Desc Netdsl_format Value Wf

@@ -1,0 +1,1 @@
+lib/formats/tcp.mli: Netdsl_format

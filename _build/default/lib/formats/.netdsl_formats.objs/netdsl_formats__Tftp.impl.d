@@ -1,0 +1,1 @@
+lib/formats/tftp.ml: Codec Desc Format Netdsl_format Result String Value Wf

@@ -1,0 +1,1 @@
+lib/formats/tftp.mli: Format Netdsl_format

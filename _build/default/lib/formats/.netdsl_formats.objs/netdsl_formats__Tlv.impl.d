@@ -1,0 +1,1 @@
+lib/formats/tlv.ml: Desc List Netdsl_format Value Wf

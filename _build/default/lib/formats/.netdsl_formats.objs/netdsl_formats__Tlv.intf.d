@@ -1,0 +1,1 @@
+lib/formats/tlv.mli: Netdsl_format

@@ -1,0 +1,1 @@
+lib/formats/udp.ml: Desc Netdsl_format Value Wf

@@ -1,0 +1,1 @@
+lib/formats/udp.mli: Netdsl_format

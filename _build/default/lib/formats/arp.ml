@@ -1,0 +1,43 @@
+open Netdsl_format
+module D = Desc
+
+let oper_request = 1
+let oper_reply = 2
+
+let format =
+  Wf.check_exn
+    (D.format "arp"
+       [
+         D.field ~doc:"Hardware Type" "htype" (D.const 16 1L);
+         D.field ~doc:"Protocol Type" "ptype" (D.const 16 0x0800L);
+         D.field ~doc:"Hardware Length" "hlen" (D.const 8 6L);
+         D.field ~doc:"Protocol Length" "plen" (D.const 8 4L);
+         D.field ~doc:"Operation" "oper"
+           (D.enum 16
+              [
+                ("request", Int64.of_int oper_request);
+                ("reply", Int64.of_int oper_reply);
+              ]);
+         D.field ~doc:"Sender MAC" "sha" (D.bytes_fixed 6);
+         D.field ~doc:"Sender IP" "spa" D.u32;
+         D.field ~doc:"Target MAC" "tha" (D.bytes_fixed 6);
+         D.field ~doc:"Target IP" "tpa" D.u32;
+       ])
+
+let make ~oper ~sha ~spa ~tha ~tpa =
+  Value.record
+    [
+      ("oper", Value.int oper);
+      ("sha", Value.bytes sha);
+      ("spa", Value.int64 spa);
+      ("tha", Value.bytes tha);
+      ("tpa", Value.int64 tpa);
+    ]
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  make ~oper:oper_request ~sha:sender_mac ~spa:sender_ip
+    ~tha:(String.make 6 '\000') ~tpa:target_ip
+
+let reply ~sender_mac ~sender_ip ~target_mac ~target_ip =
+  make ~oper:oper_reply ~sha:sender_mac ~spa:sender_ip ~tha:target_mac
+    ~tpa:target_ip

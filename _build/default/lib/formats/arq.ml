@@ -1,0 +1,51 @@
+open Netdsl_format
+module D = Desc
+
+let seq_modulus = 256
+
+let format =
+  Wf.check_exn
+    (D.format "arq_packet"
+       [
+         D.field ~doc:"Sequence Number" "seq" D.u8;
+         D.field ~doc:"Kind" "kind" (D.enum 8 [ ("data", 0L); ("ack", 1L) ]);
+         D.field ~doc:"Length" "len" (D.computed 16 (D.Byte_len "payload"));
+         D.field ~doc:"Checksum" "chk"
+           (D.checksum ~region:D.Region_message Netdsl_util.Checksum.Internet);
+         D.field "payload" (D.bytes_expr (D.Field "len"));
+       ])
+
+type packet =
+  | Data of { seq : int; payload : string }
+  | Ack of { seq : int }
+
+let equal_packet a b =
+  match (a, b) with
+  | Data { seq = s1; payload = p1 }, Data { seq = s2; payload = p2 } ->
+    s1 = s2 && String.equal p1 p2
+  | Ack { seq = s1 }, Ack { seq = s2 } -> s1 = s2
+  | (Data _ | Ack _), _ -> false
+
+let pp_packet ppf = function
+  | Data { seq; payload } -> Format.fprintf ppf "DATA(seq=%d, %d bytes)" seq (String.length payload)
+  | Ack { seq } -> Format.fprintf ppf "ACK(seq=%d)" seq
+
+let to_value = function
+  | Data { seq; payload } ->
+    Value.record
+      [ ("seq", Value.int seq); ("kind", Value.int 0); ("payload", Value.bytes payload) ]
+  | Ack { seq } ->
+    Value.record
+      [ ("seq", Value.int seq); ("kind", Value.int 1); ("payload", Value.bytes "") ]
+
+let to_bytes p = Codec.encode_exn format (to_value p)
+
+let of_bytes bytes =
+  match Codec.decode format bytes with
+  | Error e -> Error (Codec.error_to_string e)
+  | Ok v -> (
+    let seq = Value.get_int v "seq" in
+    match Value.get_int v "kind" with
+    | 0 -> Ok (Data { seq; payload = Value.get_bytes v "payload" })
+    | 1 -> Ok (Ack { seq })
+    | k -> Error (Printf.sprintf "impossible kind %d" k))

@@ -1,0 +1,40 @@
+open Netdsl_format
+module D = Desc
+
+let format =
+  Wf.check_exn
+    (D.format "dns"
+       [
+         D.field ~doc:"ID" "id" D.u16;
+         D.field ~doc:"QR" "qr" D.flag;
+         D.field ~doc:"Opcode" "opcode" (D.uint 4);
+         D.field ~doc:"AA" "aa" D.flag;
+         D.field ~doc:"TC" "tc" D.flag;
+         D.field ~doc:"RD" "rd" D.flag;
+         D.field ~doc:"RA" "ra" D.flag;
+         D.field ~doc:"Z" "z" (D.padding 3);
+         D.field ~doc:"RCODE" "rcode" (D.uint 4);
+         D.field ~doc:"QDCOUNT" "qdcount" D.u16;
+         D.field ~doc:"ANCOUNT" "ancount" D.u16;
+         D.field ~doc:"NSCOUNT" "nscount" D.u16;
+         D.field ~doc:"ARCOUNT" "arcount" D.u16;
+         D.field "body" D.bytes_remaining;
+       ])
+
+let query_header ~id ~qdcount =
+  Value.record
+    [
+      ("id", Value.int id);
+      ("qr", Value.bool false);
+      ("opcode", Value.int 0);
+      ("aa", Value.bool false);
+      ("tc", Value.bool false);
+      ("rd", Value.bool true);
+      ("ra", Value.bool false);
+      ("rcode", Value.int 0);
+      ("qdcount", Value.int qdcount);
+      ("ancount", Value.int 0);
+      ("nscount", Value.int 0);
+      ("arcount", Value.int 0);
+      ("body", Value.bytes "");
+    ]

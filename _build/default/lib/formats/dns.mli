@@ -1,0 +1,10 @@
+(** The DNS message header (RFC 1035 §4.1.1): a dense sub-byte flag layout
+    exercising the DSL's bit-level fields.  Question/answer sections use
+    label compression, which needs a pointer-following decoder out of scope
+    for a declarative description; the body rides as opaque bytes. *)
+
+val format : Netdsl_format.Desc.t
+
+val query_header : id:int -> qdcount:int -> Netdsl_format.Value.t
+(** Standard recursive query header with [qdcount] questions and an empty
+    body. *)

@@ -1,0 +1,11 @@
+(** ICMP (RFC 792): echo request/reply with a variant body dispatched on
+    the message type, and a checksum over the whole message. *)
+
+val format : Netdsl_format.Desc.t
+
+val echo_request : id:int -> seq:int -> data:string -> Netdsl_format.Value.t
+val echo_reply : id:int -> seq:int -> data:string -> Netdsl_format.Value.t
+
+val type_echo_reply : int
+val type_echo_request : int
+val type_dest_unreachable : int

@@ -1,0 +1,62 @@
+open Netdsl_format
+module D = Desc
+
+let format =
+  Wf.check_exn
+    (D.format "ipv4"
+       [
+         D.field ~doc:"Version" "version" (D.const 4 4L);
+         D.field ~doc:"IHL" "ihl"
+           (D.computed 4 D.(Div (Add (Byte_len "options", Const 20L), Const 4L)));
+         D.field ~doc:"Type of Service" "tos" D.u8;
+         D.field ~doc:"Total Length" "total_length" (D.computed 16 D.Msg_len);
+         D.field ~doc:"Identification" "identification" D.u16;
+         D.field ~doc:"Flags" "flags" (D.uint 3);
+         D.field ~doc:"Fragment Offset" "fragment_offset" (D.uint 13);
+         D.field ~doc:"Time to Live" "ttl" D.u8;
+         D.field ~doc:"Protocol" "protocol" D.u8;
+         D.field ~doc:"Header Checksum" "header_checksum"
+           (D.checksum
+              ~region:(D.Region_span ("version", "options"))
+              Netdsl_util.Checksum.Internet);
+         D.field ~doc:"Source Address" "source" D.u32;
+         D.field ~doc:"Destination Address" "destination" D.u32;
+         D.field "options"
+           (D.bytes_expr D.(Sub (Mul (Field "ihl", Const 4L), Const 20L)));
+         D.field "payload" D.bytes_remaining;
+       ])
+
+let protocol_icmp = 1
+let protocol_tcp = 6
+let protocol_udp = 17
+
+let make ?(tos = 0) ?(identification = 0) ?(flags = 2) ?(fragment_offset = 0)
+    ?(ttl = 64) ?(options = "") ~protocol ~source ~destination ~payload () =
+  Value.record
+    [
+      ("tos", Value.int tos);
+      ("identification", Value.int identification);
+      ("flags", Value.int flags);
+      ("fragment_offset", Value.int fragment_offset);
+      ("ttl", Value.int ttl);
+      ("protocol", Value.int protocol);
+      ("source", Value.int64 source);
+      ("destination", Value.int64 destination);
+      ("options", Value.bytes options);
+      ("payload", Value.bytes payload);
+    ]
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+    | Some a, Some b, Some c, Some d
+      when List.for_all (fun x -> x >= 0 && x <= 255) [ a; b; c; d ] ->
+      Int64.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+    | _ -> invalid_arg (Printf.sprintf "Ipv4.addr_of_string: %S" s))
+  | _ -> invalid_arg (Printf.sprintf "Ipv4.addr_of_string: %S" s)
+
+let addr_to_string v =
+  let v = Int64.to_int v in
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xFF) ((v lsr 16) land 0xFF)
+    ((v lsr 8) land 0xFF) (v land 0xFF)

@@ -1,0 +1,77 @@
+open Netdsl_format
+module D = Desc
+
+let linktype_ethernet = 1
+
+let record_format =
+  D.format "pcap_record"
+    [
+      D.field ~doc:"Timestamp (s)" "ts_sec" (D.Uint { bits = 32; endian = D.Little });
+      D.field ~doc:"Timestamp (us)" "ts_usec"
+        ~constraints:[ D.In_range (0L, 999_999L) ]
+        (D.Uint { bits = 32; endian = D.Little });
+      D.field ~doc:"Captured Length" "incl_len"
+        (D.Computed { bits = 32; endian = D.Little; expr = D.Byte_len "data" });
+      D.field ~doc:"Original Length" "orig_len" (D.Uint { bits = 32; endian = D.Little });
+      D.field "data" (D.bytes_expr (D.Field "incl_len"));
+    ]
+
+let format =
+  Wf.check_exn
+    (D.format "pcap"
+       [
+         D.field ~doc:"Magic" "magic"
+           (D.Const { bits = 32; endian = D.Little; value = 0xA1B2C3D4L });
+         D.field ~doc:"Version Major" "version_major"
+           (D.Const { bits = 16; endian = D.Little; value = 2L });
+         D.field ~doc:"Version Minor" "version_minor"
+           (D.Const { bits = 16; endian = D.Little; value = 4L });
+         D.field ~doc:"Timezone Offset" "thiszone"
+           (D.Uint { bits = 32; endian = D.Little });
+         D.field ~doc:"Timestamp Accuracy" "sigfigs"
+           (D.Uint { bits = 32; endian = D.Little });
+         D.field ~doc:"Snap Length" "snaplen" (D.Uint { bits = 32; endian = D.Little });
+         D.field ~doc:"Link Type" "linktype" (D.Uint { bits = 32; endian = D.Little });
+         D.field "records" (D.array_remaining record_format);
+       ])
+
+type packet = { ts_sec : int; ts_usec : int; orig_len : int; data : string }
+
+let write ?(snaplen = 65535) ?(linktype = linktype_ethernet) packets =
+  let v =
+    Value.record
+      [
+        ("thiszone", Value.int 0);
+        ("sigfigs", Value.int 0);
+        ("snaplen", Value.int snaplen);
+        ("linktype", Value.int linktype);
+        ( "records",
+          Value.list
+            (List.map
+               (fun p ->
+                 Value.record
+                   [
+                     ("ts_sec", Value.int p.ts_sec);
+                     ("ts_usec", Value.int p.ts_usec);
+                     ("orig_len", Value.int p.orig_len);
+                     ("data", Value.bytes p.data);
+                   ])
+               packets) );
+      ]
+  in
+  Codec.encode_exn format v
+
+let read bytes =
+  match Codec.decode format bytes with
+  | Error e -> Error (Codec.error_to_string e)
+  | Ok v ->
+    Ok
+      (List.map
+         (fun r ->
+           {
+             ts_sec = Value.get_int r "ts_sec";
+             ts_usec = Value.get_int r "ts_usec";
+             orig_len = Value.get_int r "orig_len";
+             data = Value.get_bytes r "data";
+           })
+         (Value.get_list v "records"))

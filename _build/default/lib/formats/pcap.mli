@@ -1,0 +1,29 @@
+(** The classic libpcap capture-file format, in the DSL.
+
+    A real-world format that exercises the DSL features RFC header examples
+    do not: little-endian multi-byte fields, a magic constant, per-record
+    data-dependent lengths and a greedy record array.  (Only the
+    little-endian, microsecond-resolution variant — magic 0xA1B2C3D4 — is
+    described; byte-swapped captures would be a second format value.) *)
+
+val format : Netdsl_format.Desc.t
+(** File = global header (magic, version, snaplen, linktype) followed by
+    records until EOF; each record carries ts_sec/ts_usec, the captured
+    length (derived from the data), the original length, and the bytes. *)
+
+val record_format : Netdsl_format.Desc.t
+
+type packet = {
+  ts_sec : int;
+  ts_usec : int;
+  orig_len : int;  (** original wire length (>= captured length) *)
+  data : string;
+}
+
+val linktype_ethernet : int
+
+val write : ?snaplen:int -> ?linktype:int -> packet list -> string
+(** Serialise a capture file. *)
+
+val read : string -> (packet list, string) result
+(** Parse + validate a capture file. *)

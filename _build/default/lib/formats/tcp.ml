@@ -1,0 +1,49 @@
+open Netdsl_format
+module D = Desc
+
+let format =
+  Wf.check_exn
+    (D.format "tcp"
+       [
+         D.field ~doc:"Source Port" "src_port" D.u16;
+         D.field ~doc:"Destination Port" "dst_port" D.u16;
+         D.field ~doc:"Sequence Number" "seq_number" D.u32;
+         D.field ~doc:"Acknowledgment Number" "ack_number" D.u32;
+         D.field ~doc:"Data Offset" "data_offset"
+           (D.computed 4 D.(Div (Add (Byte_len "options", Const 20L), Const 4L)));
+         D.field ~doc:"Reserved" "reserved" (D.padding 6);
+         D.field ~doc:"URG" "urg" D.flag;
+         D.field ~doc:"ACK" "ack" D.flag;
+         D.field ~doc:"PSH" "psh" D.flag;
+         D.field ~doc:"RST" "rst" D.flag;
+         D.field ~doc:"SYN" "syn" D.flag;
+         D.field ~doc:"FIN" "fin" D.flag;
+         D.field ~doc:"Window" "window" D.u16;
+         D.field ~doc:"Checksum" "checksum" D.u16;
+         D.field ~doc:"Urgent Pointer" "urgent_pointer" D.u16;
+         D.field "options"
+           (D.bytes_expr D.(Sub (Mul (Field "data_offset", Const 4L), Const 20L)));
+         D.field "payload" D.bytes_remaining;
+       ])
+
+let make ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false)
+    ?(psh = false) ?(urg = false) ?(window = 65535) ?(options = "")
+    ?(ack_number = 0L) ~src_port ~dst_port ~seq_number ~payload () =
+  Value.record
+    [
+      ("src_port", Value.int src_port);
+      ("dst_port", Value.int dst_port);
+      ("seq_number", Value.int64 seq_number);
+      ("ack_number", Value.int64 ack_number);
+      ("urg", Value.bool urg);
+      ("ack", Value.bool ack);
+      ("psh", Value.bool psh);
+      ("rst", Value.bool rst);
+      ("syn", Value.bool syn);
+      ("fin", Value.bool fin);
+      ("window", Value.int window);
+      ("checksum", Value.int 0);
+      ("urgent_pointer", Value.int 0);
+      ("options", Value.bytes options);
+      ("payload", Value.bytes payload);
+    ]

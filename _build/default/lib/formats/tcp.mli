@@ -1,0 +1,24 @@
+(** The TCP header (RFC 793): sub-byte flag fields, a data offset derived
+    from the options length, and variable options.  The checksum is a plain
+    field for the same pseudo-header reason as {!Udp}. *)
+
+val format : Netdsl_format.Desc.t
+
+val make :
+  ?syn:bool ->
+  ?ack:bool ->
+  ?fin:bool ->
+  ?rst:bool ->
+  ?psh:bool ->
+  ?urg:bool ->
+  ?window:int ->
+  ?options:string ->
+  ?ack_number:int64 ->
+  src_port:int ->
+  dst_port:int ->
+  seq_number:int64 ->
+  payload:string ->
+  unit ->
+  Netdsl_format.Value.t
+(** [options] must be padded to a multiple of 4 bytes (RFC 793), or encode
+    fails the data-offset derivation. *)

@@ -1,0 +1,106 @@
+open Netdsl_format
+module D = Desc
+
+let request_body name =
+  D.format name
+    [
+      D.field ~doc:"Filename" "filename" D.cstring;
+      D.field ~doc:"Mode" "mode" D.cstring;
+    ]
+
+let data_body =
+  D.format "data"
+    [
+      D.field ~doc:"Block #" "block" D.u16;
+      D.field "data" D.bytes_remaining;
+    ]
+
+let ack_body = D.format "ack" [ D.field ~doc:"Block #" "block" D.u16 ]
+
+let error_body =
+  D.format "error"
+    [
+      D.field ~doc:"ErrorCode" "code" D.u16;
+      D.field ~doc:"ErrMsg" "message" D.cstring;
+    ]
+
+let format =
+  Wf.check_exn
+    (D.format "tftp"
+       [
+         D.field ~doc:"Opcode" "opcode"
+           (D.enum 16
+              [ ("rrq", 1L); ("wrq", 2L); ("data", 3L); ("ack", 4L); ("error", 5L) ]);
+         D.field "body"
+           (D.Variant
+              {
+                tag = "opcode";
+                cases =
+                  [
+                    ("rrq", 1L, request_body "rrq");
+                    ("wrq", 2L, request_body "wrq");
+                    ("data", 3L, data_body);
+                    ("ack", 4L, ack_body);
+                    ("error", 5L, error_body);
+                  ];
+                default = None;
+              });
+       ])
+
+type packet =
+  | Rrq of { filename : string; mode : string }
+  | Wrq of { filename : string; mode : string }
+  | Data of { block : int; data : string }
+  | Ack of { block : int }
+  | Error of { code : int; message : string }
+
+let equal_packet a b =
+  match (a, b) with
+  | Rrq x, Rrq y -> String.equal x.filename y.filename && String.equal x.mode y.mode
+  | Wrq x, Wrq y -> String.equal x.filename y.filename && String.equal x.mode y.mode
+  | Data x, Data y -> x.block = y.block && String.equal x.data y.data
+  | Ack x, Ack y -> x.block = y.block
+  | Error x, Error y -> x.code = y.code && String.equal x.message y.message
+  | (Rrq _ | Wrq _ | Data _ | Ack _ | Error _), _ -> false
+
+let pp_packet ppf = function
+  | Rrq { filename; mode } -> Format.fprintf ppf "RRQ(%s, %s)" filename mode
+  | Wrq { filename; mode } -> Format.fprintf ppf "WRQ(%s, %s)" filename mode
+  | Data { block; data } -> Format.fprintf ppf "DATA(block %d, %d bytes)" block (String.length data)
+  | Ack { block } -> Format.fprintf ppf "ACK(block %d)" block
+  | Error { code; message } -> Format.fprintf ppf "ERROR(%d, %s)" code message
+
+let to_value p =
+  let v opcode case body =
+    Value.record [ ("opcode", Value.int opcode); ("body", Value.variant case (Value.record body)) ]
+  in
+  match p with
+  | Rrq { filename; mode } ->
+    v 1 "rrq" [ ("filename", Value.bytes filename); ("mode", Value.bytes mode) ]
+  | Wrq { filename; mode } ->
+    v 2 "wrq" [ ("filename", Value.bytes filename); ("mode", Value.bytes mode) ]
+  | Data { block; data } ->
+    v 3 "data" [ ("block", Value.int block); ("data", Value.bytes data) ]
+  | Ack { block } -> v 4 "ack" [ ("block", Value.int block) ]
+  | Error { code; message } ->
+    v 5 "error" [ ("code", Value.int code); ("message", Value.bytes message) ]
+
+let to_bytes p = Codec.encode format (to_value p)
+
+let to_bytes_exn p = Codec.encode_exn format (to_value p)
+
+let of_bytes bytes =
+  match Codec.decode format bytes with
+  | Error e -> Result.Error (Codec.error_to_string e)
+  | Ok v -> (
+    match Value.get v "body" with
+    | Value.Variant ("rrq", b) ->
+      Ok (Rrq { filename = Value.get_bytes b "filename"; mode = Value.get_bytes b "mode" })
+    | Value.Variant ("wrq", b) ->
+      Ok (Wrq { filename = Value.get_bytes b "filename"; mode = Value.get_bytes b "mode" })
+    | Value.Variant ("data", b) ->
+      Ok (Data { block = Value.get_int b "block"; data = Value.get_bytes b "data" })
+    | Value.Variant ("ack", b) -> Ok (Ack { block = Value.get_int b "block" })
+    | Value.Variant ("error", b) ->
+      Ok (Error { code = Value.get_int b "code"; message = Value.get_bytes b "message" })
+    | _ -> Result.Error "impossible variant")

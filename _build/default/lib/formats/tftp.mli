@@ -1,0 +1,22 @@
+(** TFTP (RFC 1350): the classic teaching protocol, expressible only once
+    the DSL has NUL-terminated strings.  Opcode-dispatched variant with
+    read/write requests (filename and mode as cstrings), data blocks,
+    acknowledgements and errors. *)
+
+val format : Netdsl_format.Desc.t
+
+type packet =
+  | Rrq of { filename : string; mode : string }
+  | Wrq of { filename : string; mode : string }
+  | Data of { block : int; data : string }
+  | Ack of { block : int }
+  | Error of { code : int; message : string }
+
+val equal_packet : packet -> packet -> bool
+val pp_packet : Format.formatter -> packet -> unit
+
+val to_bytes : packet -> (string, Netdsl_format.Codec.error) result
+(** Fails when a filename/mode/message contains a NUL byte. *)
+
+val to_bytes_exn : packet -> string
+val of_bytes : string -> (packet, string) result

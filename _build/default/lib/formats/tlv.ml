@@ -1,0 +1,30 @@
+open Netdsl_format
+module D = Desc
+
+let entry_format =
+  D.format "tlv_entry"
+    [
+      D.field "tag" D.u8;
+      D.field "length" (D.computed 8 (D.Byte_len "value"));
+      D.field "value" (D.bytes_expr (D.Field "length"));
+    ]
+
+let format =
+  Wf.check_exn
+    (D.format "tlv" [ D.field "entries" (D.array_remaining entry_format) ])
+
+let make pairs =
+  Value.record
+    [
+      ( "entries",
+        Value.list
+          (List.map
+             (fun (tag, value) ->
+               Value.record [ ("tag", Value.int tag); ("value", Value.bytes value) ])
+             pairs) );
+    ]
+
+let entries v =
+  List.map
+    (fun e -> (Value.get_int e "tag", Value.get_bytes e "value"))
+    (Value.get_list v "entries")

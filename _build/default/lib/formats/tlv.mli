@@ -1,0 +1,13 @@
+(** A generic type-length-value stream: the workhorse encoding of options
+    fields and extensible protocols, demonstrating greedy arrays of
+    length-prefixed records. *)
+
+val entry_format : Netdsl_format.Desc.t
+(** One entry: [tag : u8; length : computed u8; value : bytes(length)]. *)
+
+val format : Netdsl_format.Desc.t
+(** A whole message: entries until the input ends. *)
+
+val make : (int * string) list -> Netdsl_format.Value.t
+val entries : Netdsl_format.Value.t -> (int * string) list
+(** Inverse of {!make} on decoded values. *)

@@ -1,0 +1,22 @@
+open Netdsl_format
+module D = Desc
+
+let format =
+  Wf.check_exn
+    (D.format "udp"
+       [
+         D.field ~doc:"Source Port" "src_port" D.u16;
+         D.field ~doc:"Destination Port" "dst_port" D.u16;
+         D.field ~doc:"Length" "length" (D.computed 16 D.Msg_len);
+         D.field ~doc:"Checksum" "checksum" D.u16;
+         D.field "payload" D.bytes_remaining;
+       ])
+
+let make ~src_port ~dst_port ~payload () =
+  Value.record
+    [
+      ("src_port", Value.int src_port);
+      ("dst_port", Value.int dst_port);
+      ("checksum", Value.int 0);
+      ("payload", Value.bytes payload);
+    ]

@@ -1,0 +1,1 @@
+lib/fsm/analysis.ml: Format Hashtbl List Machine Queue String

@@ -1,0 +1,1 @@
+lib/fsm/analysis.mli: Format Machine

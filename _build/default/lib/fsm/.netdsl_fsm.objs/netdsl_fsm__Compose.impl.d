@@ -1,0 +1,1 @@
+lib/fsm/compose.ml: Format Hashtbl List Machine Option Printf String

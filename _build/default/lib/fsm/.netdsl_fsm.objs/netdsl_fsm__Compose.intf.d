@@ -1,0 +1,1 @@
+lib/fsm/compose.mli: Format Machine

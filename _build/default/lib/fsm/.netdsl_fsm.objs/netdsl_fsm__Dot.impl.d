@@ -1,0 +1,1 @@
+lib/fsm/dot.ml: Buffer Compose List Machine Printf String

@@ -1,0 +1,1 @@
+lib/fsm/dot.mli: Compose Machine

@@ -1,0 +1,1 @@
+lib/fsm/equiv.ml: Format Hashtbl List Machine Printf Queue String

@@ -1,0 +1,1 @@
+lib/fsm/equiv.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/fsm/interp.ml: Format List Machine Printf String

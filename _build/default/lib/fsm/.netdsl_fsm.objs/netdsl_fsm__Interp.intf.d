@@ -1,0 +1,1 @@
+lib/fsm/interp.mli: Format Machine

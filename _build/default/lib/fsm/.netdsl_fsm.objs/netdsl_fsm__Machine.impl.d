@@ -1,0 +1,1 @@
+lib/fsm/machine.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fsm/model_check.ml: Compose Format Hashtbl List Machine Printf Queue String

@@ -1,0 +1,1 @@
+lib/fsm/model_check.mli: Compose Format

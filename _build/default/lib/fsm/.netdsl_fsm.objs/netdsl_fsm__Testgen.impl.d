@@ -1,0 +1,1 @@
+lib/fsm/testgen.ml: Array Format Hashtbl List Machine Netdsl_util Printf Queue String

@@ -1,0 +1,1 @@
+lib/fsm/testgen.mli: Machine Netdsl_util

@@ -1,0 +1,166 @@
+module M = Machine
+
+type exploration = {
+  configs : M.config list;
+  edges : (M.config * M.transition * M.config) list;
+  complete : bool;
+}
+
+let explore ?(max_configs = 100_000) (m : M.t) =
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let configs = ref [] and edges = ref [] and complete = ref true in
+  let start = M.initial_config m in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  configs := [ start ];
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun event ->
+        List.iter
+          (fun t ->
+            let c' = M.apply m c t in
+            edges := (c, t, c') :: !edges;
+            if not (Hashtbl.mem seen c') then
+              if !count >= max_configs then complete := false
+              else begin
+                Hashtbl.add seen c' ();
+                incr count;
+                configs := c' :: !configs;
+                Queue.add c' queue
+              end)
+          (M.enabled m c event))
+      m.M.events
+  done;
+  { configs = List.rev !configs; edges = List.rev !edges; complete = !complete }
+
+let unhandled_pairs (m : M.t) =
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun e ->
+          let handled =
+            List.exists
+              (fun (t : M.transition) ->
+                String.equal t.src s && String.equal t.event e)
+              m.transitions
+          in
+          let ignored =
+            List.exists
+              (fun (s', e') -> String.equal s s' && String.equal e e')
+              m.ignores
+          in
+          if handled || ignored then None else Some (s, e))
+        m.events)
+    m.states
+
+let unhandled_configs ?max_configs (m : M.t) =
+  let { configs; _ } = explore ?max_configs m in
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun e ->
+          let ignored =
+            List.exists
+              (fun (s', e') -> String.equal c.M.state s' && String.equal e e')
+              m.ignores
+          in
+          if ignored || M.enabled m c e <> [] then None else Some (c, e))
+        m.events)
+    configs
+
+let nondeterministic_configs ?max_configs (m : M.t) =
+  let { configs; _ } = explore ?max_configs m in
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun e ->
+          match M.enabled m c e with
+          | [] | [ _ ] -> None
+          | ts -> Some (c, e, List.map (fun (t : M.transition) -> t.t_label) ts))
+        m.events)
+    configs
+
+let reachable_states ?max_configs (m : M.t) =
+  let { configs; _ } = explore ?max_configs m in
+  List.sort_uniq String.compare (List.map (fun c -> c.M.state) configs)
+
+let unreachable_states ?max_configs (m : M.t) =
+  let reachable = reachable_states ?max_configs m in
+  List.filter (fun s -> not (List.mem s reachable)) m.states
+
+let dead_transitions ?max_configs (m : M.t) =
+  let { edges; _ } = explore ?max_configs m in
+  let fired =
+    List.sort_uniq String.compare
+      (List.map (fun (_, (t : M.transition), _) -> t.t_label) edges)
+  in
+  List.filter_map
+    (fun (t : M.transition) ->
+      if List.mem t.t_label fired then None else Some t.t_label)
+    m.transitions
+
+let stuck_configs ?max_configs (m : M.t) =
+  let { configs; _ } = explore ?max_configs m in
+  List.filter
+    (fun c ->
+      (not (M.is_accepting m c.M.state))
+      && List.for_all (fun e -> M.enabled m c e = []) m.events)
+    configs
+
+type report = {
+  machine : string;
+  defects : M.defect list;
+  unhandled : (string * string) list;
+  nondeterministic : (M.config * string * string list) list;
+  unreachable : string list;
+  dead : string list;
+  stuck : M.config list;
+  explored_configs : int;
+  exploration_complete : bool;
+}
+
+let analyse ?max_configs (m : M.t) =
+  let e = explore ?max_configs m in
+  {
+    machine = m.machine_name;
+    defects = M.validate m;
+    unhandled = unhandled_pairs m;
+    nondeterministic = nondeterministic_configs ?max_configs m;
+    unreachable = unreachable_states ?max_configs m;
+    dead = dead_transitions ?max_configs m;
+    stuck = stuck_configs ?max_configs m;
+    explored_configs = List.length e.configs;
+    exploration_complete = e.complete;
+  }
+
+let is_clean r =
+  r.defects = [] && r.unhandled = [] && r.nondeterministic = []
+  && r.unreachable = [] && r.dead = [] && r.stuck = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>machine %s: %d configurations explored%s@," r.machine
+    r.explored_configs
+    (if r.exploration_complete then "" else " (truncated)");
+  let section name pp items =
+    match items with
+    | [] -> ()
+    | _ ->
+      Format.fprintf ppf "  %s:@," name;
+      List.iter (fun i -> Format.fprintf ppf "    %a@," pp i) items
+  in
+  section "defects" M.pp_defect r.defects;
+  section "unhandled (state, event)"
+    (fun ppf (s, e) -> Format.fprintf ppf "%s / %s" s e)
+    r.unhandled;
+  section "nondeterministic"
+    (fun ppf (c, e, ts) ->
+      Format.fprintf ppf "%a / %s: {%s}" M.pp_config c e (String.concat ", " ts))
+    r.nondeterministic;
+  section "unreachable states" Format.pp_print_string r.unreachable;
+  section "dead transitions" Format.pp_print_string r.dead;
+  section "stuck configurations" M.pp_config r.stuck;
+  if is_clean r then Format.fprintf ppf "  clean@,";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Static and state-space analyses of a single machine.
+
+    These are the checks the paper wants "for free" from the framework
+    (§3.3): {e soundness} — only declared, well-guarded transitions exist
+    (see {!Machine.validate}); {e completeness} — every (state, event) pair
+    is either handled or explicitly ignored; plus determinism, reachability
+    and dead-transition detection over the concrete configuration space
+    (states x register valuations), which is finite because register
+    domains are bounded. *)
+
+type exploration = {
+  configs : Machine.config list;  (** reachable configurations, BFS order *)
+  edges : (Machine.config * Machine.transition * Machine.config) list;
+  complete : bool;  (** [false] when truncated by [max_configs] *)
+}
+
+val explore : ?max_configs:int -> Machine.t -> exploration
+(** Breadth-first exploration from the initial configuration, trying every
+    declared event everywhere.  [max_configs] defaults to 100_000. *)
+
+(** {1 Completeness} *)
+
+val unhandled_pairs : Machine.t -> (string * string) list
+(** Syntactic completeness: (state, event) pairs with no transition at all
+    and no [ignores] entry.  Independent of guards. *)
+
+val unhandled_configs :
+  ?max_configs:int -> Machine.t -> (Machine.config * string) list
+(** Semantic completeness: reachable configurations in which some event has
+    every transition disabled by its guard (and the pair is not ignored).
+    Stronger than {!unhandled_pairs}: a pair may have transitions whose
+    guards still leave gaps. *)
+
+(** {1 Determinism} *)
+
+val nondeterministic_configs :
+  ?max_configs:int -> Machine.t -> (Machine.config * string * string list) list
+(** Reachable configurations where two or more transitions are enabled for
+    the same event (config, event, transition labels). *)
+
+(** {1 Reachability} *)
+
+val reachable_states : ?max_configs:int -> Machine.t -> string list
+val unreachable_states : ?max_configs:int -> Machine.t -> string list
+
+val dead_transitions : ?max_configs:int -> Machine.t -> string list
+(** Labels of transitions that fire in no reachable configuration. *)
+
+val stuck_configs : ?max_configs:int -> Machine.t -> Machine.config list
+(** Reachable non-accepting configurations with no enabled transition for
+    any event — the machine can jam there.  (The paper's property 4: a run
+    must always be able to end in a consistent state.) *)
+
+(** {1 Summary report} *)
+
+type report = {
+  machine : string;
+  defects : Machine.defect list;
+  unhandled : (string * string) list;
+  nondeterministic : (Machine.config * string * string list) list;
+  unreachable : string list;
+  dead : string list;
+  stuck : Machine.config list;
+  explored_configs : int;
+  exploration_complete : bool;
+}
+
+val analyse : ?max_configs:int -> Machine.t -> report
+val is_clean : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,79 @@
+module M = Machine
+
+type system = { system_name : string; machines : M.t list }
+type global = M.config list
+type fired = (string * string) list
+
+let create ~name machines =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (m : M.t) ->
+      if Hashtbl.mem seen m.machine_name then
+        invalid_arg
+          (Printf.sprintf "Compose.create: duplicate machine name %S" m.machine_name)
+      else Hashtbl.add seen m.machine_name ();
+      ignore (M.validate_exn m))
+    machines;
+  { system_name = name; machines }
+
+let initial sys = List.map M.initial_config sys.machines
+
+let alphabet sys =
+  List.sort_uniq String.compare
+    (List.concat_map (fun (m : M.t) -> m.events) sys.machines)
+
+let participants sys event =
+  List.filter (fun m -> M.has_event m event) sys.machines
+
+let step sys global event =
+  (* For each machine: the list of (new config, fired) choices.  A machine
+     that does not declare the event keeps its configuration; a participant
+     with no enabled transition blocks the whole step. *)
+  let choices =
+    List.map2
+      (fun (m : M.t) c ->
+        if not (M.has_event m event) then Some [ (c, None) ]
+        else
+          match M.enabled m c event with
+          | [] -> None
+          | ts ->
+            Some
+              (List.map
+                 (fun (t : M.transition) ->
+                   (M.apply m c t, Some (m.machine_name, t.t_label)))
+                 ts))
+      sys.machines global
+  in
+  if List.exists Option.is_none choices then []
+  else
+    let choices = List.map Option.get choices in
+    (* Cartesian product across machines. *)
+    List.fold_right
+      (fun machine_choices acc ->
+        List.concat_map
+          (fun (c, f) ->
+            List.map
+              (fun (rest_cfg, rest_fired) ->
+                ( c :: rest_cfg,
+                  match f with None -> rest_fired | Some x -> x :: rest_fired ))
+              acc)
+          machine_choices)
+      choices
+      [ ([], []) ]
+
+let successors sys global =
+  List.concat_map
+    (fun event ->
+      List.map (fun (g, f) -> (event, g, f)) (step sys global event))
+    (alphabet sys)
+
+let all_accepting sys global =
+  List.for_all2 (fun (m : M.t) c -> M.is_accepting m c.M.state) sys.machines global
+
+let pp_global ppf global =
+  Format.fprintf ppf "⟨%s⟩"
+    (String.concat " | "
+       (List.map (fun c -> Format.asprintf "%a" M.pp_config c) global))
+
+let global_equal a b =
+  List.length a = List.length b && List.for_all2 M.config_equal a b

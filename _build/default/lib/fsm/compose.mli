@@ -1,0 +1,39 @@
+(** Parallel composition of machines.
+
+    A {!system} is a set of machines that synchronise CSP-style on shared
+    event names: an event fires globally only if {e every} machine that
+    declares it can take it, and all of them move together; machines that do
+    not declare the event are unaffected.  Lossy channels, peers and
+    environments are just more machines, so a whole protocol (sender ∥
+    channel ∥ receiver) is one composed system that {!Model_check} can
+    explore. *)
+
+type system = { system_name : string; machines : Machine.t list }
+
+type global = Machine.config list
+(** One configuration per machine, in declaration order. *)
+
+val create : name:string -> Machine.t list -> system
+(** Raises [Invalid_argument] if any machine fails {!Machine.validate} or
+    two machines share a name. *)
+
+val initial : system -> global
+val alphabet : system -> string list
+
+val participants : system -> string -> Machine.t list
+(** Machines whose alphabet contains the event. *)
+
+type fired = (string * string) list
+(** (machine name, transition label) for each participant of a step. *)
+
+val step : system -> global -> string -> (global * fired) list
+(** All global successors for one event, with the transitions fired.  Empty
+    when some participant cannot take the event (or no machine declares
+    it). *)
+
+val successors : system -> global -> (string * global * fired) list
+(** All successors over the whole alphabet, tagged with the event. *)
+
+val all_accepting : system -> global -> bool
+val pp_global : Format.formatter -> global -> unit
+val global_equal : global -> global -> bool

@@ -1,0 +1,81 @@
+module M = Machine
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let rec expr_str = function
+  | M.Int n -> string_of_int n
+  | M.Reg r -> r
+  | M.Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_str a) (expr_str b)
+  | M.Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_str a) (expr_str b)
+  | M.Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_str a) (expr_str b)
+  | M.Mod (a, b) -> Printf.sprintf "(%s %% %s)" (expr_str a) (expr_str b)
+
+let rec cond_str = function
+  | M.True -> "true"
+  | M.False -> "false"
+  | M.Eq (a, b) -> Printf.sprintf "%s = %s" (expr_str a) (expr_str b)
+  | M.Ne (a, b) -> Printf.sprintf "%s /= %s" (expr_str a) (expr_str b)
+  | M.Lt (a, b) -> Printf.sprintf "%s < %s" (expr_str a) (expr_str b)
+  | M.Le (a, b) -> Printf.sprintf "%s <= %s" (expr_str a) (expr_str b)
+  | M.Not c -> Printf.sprintf "!(%s)" (cond_str c)
+  | M.And (a, b) -> Printf.sprintf "(%s && %s)" (cond_str a) (cond_str b)
+  | M.Or (a, b) -> Printf.sprintf "(%s || %s)" (cond_str a) (cond_str b)
+
+let edge_label (t : M.transition) =
+  let guard = match t.guard with M.True -> "" | g -> Printf.sprintf " [%s]" (cond_str g) in
+  let actions =
+    match t.actions with
+    | [] -> ""
+    | acts ->
+      " / "
+      ^ String.concat "; "
+          (List.map (fun (M.Assign (r, e)) -> Printf.sprintf "%s := %s" r (expr_str e)) acts)
+  in
+  t.event ^ guard ^ actions
+
+let body ?(prefix = "") buf (m : M.t) =
+  let node s = Printf.sprintf "\"%s%s\"" prefix (escape s) in
+  List.iter
+    (fun s ->
+      let shape = if M.is_accepting m s then "doublecircle" else "circle" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\", shape=%s];\n" (node s) (escape s) shape))
+    m.states;
+  Buffer.add_string buf
+    (Printf.sprintf "  \"%s__start\" [shape=point];\n  \"%s__start\" -> %s;\n" prefix
+       prefix (node m.initial));
+  List.iter
+    (fun (t : M.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" (node t.src) (node t.dst)
+           (escape (edge_label t))))
+    m.transitions
+
+let of_machine m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" (escape m.M.machine_name));
+  body buf m;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_system (sys : Compose.system) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" (escape sys.system_name));
+  List.iteri
+    (fun i (m : M.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" i
+           (escape m.machine_name));
+      let inner = Buffer.create 1024 in
+      body ~prefix:(m.machine_name ^ ".") inner m;
+      (* Indent the inner body to keep the output readable. *)
+      String.split_on_char '\n' (Buffer.contents inner)
+      |> List.iter (fun line ->
+             if not (String.equal line "") then
+               Buffer.add_string buf ("  " ^ line ^ "\n"));
+      Buffer.add_string buf "  }\n")
+    sys.machines;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz (DOT) export of machines and systems, for documentation and
+    visual review of protocol designs. *)
+
+val of_machine : Machine.t -> string
+(** One digraph: states as nodes (initial marked, accepting doubled),
+    transitions as labelled edges ("event [guard] / actions"). *)
+
+val of_system : Compose.system -> string
+(** One digraph with a cluster per machine. *)

@@ -1,0 +1,82 @@
+module M = Machine
+
+type counterexample = { prefix : string list; reason : string }
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf "after [%s]: %s" (String.concat "; " c.prefix) c.reason
+
+let det_step m c event =
+  match M.enabled m c event with
+  | [] -> None
+  | [ t ] -> Some (M.apply m c t)
+  | _ :: _ :: _ ->
+    invalid_arg
+      (Printf.sprintf "Equiv.check: machine %s is nondeterministic" m.M.machine_name)
+
+let check ?(max_pairs = 100_000) (a : M.t) (b : M.t) =
+  let alphabet =
+    List.sort_uniq String.compare (a.events @ b.events)
+  in
+  (* An event declared by only one machine distinguishes them the moment it
+     is enabled there; an event neither declares cannot occur.  We walk the
+     union alphabet and treat "not declared" as "never enabled". *)
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let start = (M.initial_config a, M.initial_config b) in
+  Hashtbl.add seen start ();
+  Queue.add (start, []) queue;
+  let result = ref (Ok ()) in
+  let pairs = ref 1 in
+  while !result = Ok () && not (Queue.is_empty queue) do
+    let (ca, cb), rev_prefix = Queue.pop queue in
+    if M.is_accepting a ca.M.state <> M.is_accepting b cb.M.state then
+      result :=
+        Error
+          {
+            prefix = List.rev rev_prefix;
+            reason =
+              Printf.sprintf "%s %s accepting but %s %s accepting"
+                a.machine_name
+                (if M.is_accepting a ca.M.state then "is" else "is not")
+                b.machine_name
+                (if M.is_accepting b cb.M.state then "is" else "is not");
+          }
+    else
+      List.iter
+        (fun event ->
+          if !result = Ok () then
+            match (det_step a ca event, det_step b cb event) with
+            | None, None -> ()
+            | Some _, None ->
+              result :=
+                Error
+                  {
+                    prefix = List.rev (event :: rev_prefix);
+                    reason =
+                      Printf.sprintf "%s accepts event %S here, %s refuses it"
+                        a.machine_name event b.machine_name;
+                  }
+            | None, Some _ ->
+              result :=
+                Error
+                  {
+                    prefix = List.rev (event :: rev_prefix);
+                    reason =
+                      Printf.sprintf "%s accepts event %S here, %s refuses it"
+                        b.machine_name event a.machine_name;
+                  }
+            | Some ca', Some cb' ->
+              let pair = (ca', cb') in
+              if not (Hashtbl.mem seen pair) then begin
+                if !pairs >= max_pairs then
+                  invalid_arg "Equiv.check: product space exceeds max_pairs";
+                Hashtbl.add seen pair ();
+                incr pairs;
+                Queue.add (pair, event :: rev_prefix) queue
+              end)
+        alphabet
+  done;
+  !result
+
+let equivalent ?max_pairs a b =
+  match check ?max_pairs a b with Ok () -> true | Error _ -> false

@@ -1,0 +1,29 @@
+(** Behavioural equivalence of deterministic machines.
+
+    Two machines are equivalent when no event sequence distinguishes them:
+    at every reachable point they enable the same events (and agree on
+    acceptance).  This is the conformance question behind the paper's
+    model-vs-implementation gap (§3.3 point 2: "there may be errors in
+    transcription between the model and the implementation") — here model
+    and implementation are both first-class machines, so the check is a
+    product-space walk rather than trust. *)
+
+type counterexample = {
+  prefix : string list;  (** events leading to the distinguishing point *)
+  reason : string;  (** what differs after [prefix] *)
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+
+val check :
+  ?max_pairs:int ->
+  Machine.t ->
+  Machine.t ->
+  (unit, counterexample) result
+(** Breadth-first over reachable configuration pairs, so a counterexample
+    is shortest.  Both machines must be deterministic
+    ([Invalid_argument] otherwise) and share an alphabet — an event only
+    one declares is itself a distinction.  [max_pairs] (default 100_000)
+    bounds the product; exceeding it raises [Invalid_argument]. *)
+
+val equivalent : ?max_pairs:int -> Machine.t -> Machine.t -> bool

@@ -1,0 +1,46 @@
+(** Runtime interpreter for machines: §3.2(iii), "a means of combining and
+    executing valid state transitions".
+
+    The interpreter {e cannot} execute an invalid transition: {!fire}
+    refuses events that no guard admits in the current configuration
+    (soundness at runtime) and reports nondeterminism instead of picking
+    silently.  Hooks give the "behavioural hooks ... to allow adaptive
+    behaviour" of §2.2: external policy can observe every transition. *)
+
+type error =
+  | Unknown_event of string
+  | Unhandled of { state : string; event : string }
+  | Nondeterministic of { event : string; labels : string list }
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create :
+  ?on_transition:(Machine.transition -> Machine.config -> unit) ->
+  ?on_unhandled:(string -> Machine.config -> unit) ->
+  Machine.t ->
+  t
+(** The machine is validated on creation ([Invalid_argument] on defects). *)
+
+val machine : t -> Machine.t
+val config : t -> Machine.config
+val state : t -> string
+val register : t -> string -> int
+
+val can_fire : t -> string -> bool
+
+val fire : t -> string -> (Machine.transition, error) result
+(** Fires the unique enabled transition for the event, runs hooks, advances
+    the configuration. *)
+
+val fire_exn : t -> string -> Machine.transition
+
+val fire_all : t -> string list -> (unit, error) result
+(** Fires a sequence, stopping at the first error. *)
+
+val in_accepting : t -> bool
+val reset : t -> unit
+
+val history : t -> (string * Machine.transition) list
+(** Events fired so far with the transitions taken, oldest first. *)

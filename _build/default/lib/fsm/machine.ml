@@ -1,0 +1,243 @@
+type expr =
+  | Int of int
+  | Reg of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Mod of expr * expr
+
+type cond =
+  | True
+  | False
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type action = Assign of string * expr
+
+type register = { reg_name : string; init : int; domain : int }
+
+type transition = {
+  t_label : string;
+  src : string;
+  dst : string;
+  event : string;
+  guard : cond;
+  actions : action list;
+}
+
+type t = {
+  machine_name : string;
+  states : string list;
+  events : string list;
+  registers : register list;
+  initial : string;
+  accepting : string list;
+  transitions : transition list;
+  ignores : (string * string) list;
+}
+
+let machine ~name ~states ~events ?(registers = []) ~initial ?(accepting = [])
+    ?(ignores = []) transitions =
+  {
+    machine_name = name;
+    states;
+    events;
+    registers;
+    initial;
+    accepting;
+    transitions;
+    ignores;
+  }
+
+let trans ?label ?(guard = True) ?(actions = []) ~src ~event ~dst () =
+  let t_label =
+    match label with Some l -> l | None -> Printf.sprintf "%s--%s->%s" src event dst
+  in
+  { t_label; src; dst; event; guard; actions }
+
+let reg ?(init = 0) reg_name ~domain = { reg_name; init; domain }
+
+type env = (string * int) list
+type config = { state : string; regs : env }
+
+let initial_config m =
+  { state = m.initial; regs = List.map (fun r -> (r.reg_name, r.init)) m.registers }
+
+let rec eval_expr env = function
+  | Int n -> n
+  | Reg r -> (
+    match List.assoc_opt r env with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Machine.eval_expr: unknown register %S" r))
+  | Add (a, b) -> eval_expr env a + eval_expr env b
+  | Sub (a, b) -> eval_expr env a - eval_expr env b
+  | Mul (a, b) -> eval_expr env a * eval_expr env b
+  | Mod (a, b) ->
+    let d = eval_expr env b in
+    if d = 0 then invalid_arg "Machine.eval_expr: modulo by zero"
+    else ((eval_expr env a mod d) + d) mod d
+
+let rec eval_cond env = function
+  | True -> true
+  | False -> false
+  | Eq (a, b) -> eval_expr env a = eval_expr env b
+  | Ne (a, b) -> eval_expr env a <> eval_expr env b
+  | Lt (a, b) -> eval_expr env a < eval_expr env b
+  | Le (a, b) -> eval_expr env a <= eval_expr env b
+  | Not c -> not (eval_cond env c)
+  | And (a, b) -> eval_cond env a && eval_cond env b
+  | Or (a, b) -> eval_cond env a || eval_cond env b
+
+let enabled m config event =
+  List.filter
+    (fun t ->
+      String.equal t.src config.state
+      && String.equal t.event event
+      && eval_cond config.regs t.guard)
+    m.transitions
+
+let domain_of m r =
+  match List.find_opt (fun d -> String.equal d.reg_name r) m.registers with
+  | Some d -> d.domain
+  | None -> invalid_arg (Printf.sprintf "Machine.apply: unknown register %S" r)
+
+let apply m config t =
+  let regs =
+    List.fold_left
+      (fun regs (Assign (r, e)) ->
+        let v = eval_expr regs e in
+        let d = domain_of m r in
+        let wrapped = ((v mod d) + d) mod d in
+        (r, wrapped) :: List.remove_assoc r regs)
+      config.regs t.actions
+  in
+  (* Keep register order canonical so that configs compare structurally. *)
+  let regs =
+    List.map (fun r -> (r.reg_name, List.assoc r.reg_name regs)) m.registers
+  in
+  { state = t.dst; regs }
+
+let step m config event = List.map (apply m config) (enabled m config event)
+
+let config_equal a b =
+  String.equal a.state b.state
+  && List.length a.regs = List.length b.regs
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && v1 = v2)
+       a.regs b.regs
+
+let compare_config a b =
+  match String.compare a.state b.state with
+  | 0 -> compare a.regs b.regs
+  | c -> c
+
+let pp_config ppf c =
+  if c.regs = [] then Format.pp_print_string ppf c.state
+  else
+    Format.fprintf ppf "%s(%s)" c.state
+      (String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) c.regs))
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation *)
+
+type defect = { where : string; what : string }
+
+let pp_defect ppf d = Format.fprintf ppf "%s: %s" d.where d.what
+
+let rec expr_regs = function
+  | Int _ -> []
+  | Reg r -> [ r ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) -> expr_regs a @ expr_regs b
+
+let rec cond_regs = function
+  | True | False -> []
+  | Eq (a, b) | Ne (a, b) | Lt (a, b) | Le (a, b) -> expr_regs a @ expr_regs b
+  | Not c -> cond_regs c
+  | And (a, b) | Or (a, b) -> cond_regs a @ cond_regs b
+
+let validate m =
+  let defects = ref [] in
+  let add where what = defects := { where; what } :: !defects in
+  let state_ok s = List.mem s m.states in
+  let event_ok e = List.mem e m.events in
+  let reg_ok r = List.exists (fun d -> String.equal d.reg_name r) m.registers in
+  let dup what names =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then add n (Printf.sprintf "duplicate %s" what)
+        else Hashtbl.add seen n ())
+      names
+  in
+  dup "state" m.states;
+  dup "event" m.events;
+  dup "register" (List.map (fun r -> r.reg_name) m.registers);
+  dup "transition label" (List.map (fun t -> t.t_label) m.transitions);
+  if m.states = [] then add m.machine_name "machine has no states";
+  if not (state_ok m.initial) then
+    add m.initial "initial state is not a declared state";
+  List.iter
+    (fun s -> if not (state_ok s) then add s "accepting state is not declared")
+    m.accepting;
+  List.iter
+    (fun r ->
+      if r.domain < 1 then
+        add r.reg_name (Printf.sprintf "register domain %d is empty" r.domain);
+      if r.init < 0 || (r.domain >= 1 && r.init >= r.domain) then
+        add r.reg_name
+          (Printf.sprintf "initial value %d outside domain [0, %d)" r.init r.domain))
+    m.registers;
+  List.iter
+    (fun (s, e) ->
+      if not (state_ok s) then add s "ignored pair names an undeclared state";
+      if not (event_ok e) then add e "ignored pair names an undeclared event")
+    m.ignores;
+  List.iter
+    (fun t ->
+      if not (state_ok t.src) then
+        add t.t_label (Printf.sprintf "source state %S not declared" t.src);
+      if not (state_ok t.dst) then
+        add t.t_label (Printf.sprintf "destination state %S not declared" t.dst);
+      if not (event_ok t.event) then
+        add t.t_label (Printf.sprintf "event %S not declared" t.event);
+      List.iter
+        (fun r ->
+          if not (reg_ok r) then
+            add t.t_label (Printf.sprintf "guard references unknown register %S" r))
+        (cond_regs t.guard);
+      List.iter
+        (fun (Assign (r, e)) ->
+          if not (reg_ok r) then
+            add t.t_label (Printf.sprintf "action assigns unknown register %S" r);
+          List.iter
+            (fun r ->
+              if not (reg_ok r) then
+                add t.t_label
+                  (Printf.sprintf "action expression references unknown register %S" r))
+            (expr_regs e))
+        t.actions)
+    m.transitions;
+  List.rev !defects
+
+let validate_exn m =
+  match validate m with
+  | [] -> m
+  | defects ->
+    invalid_arg
+      (Printf.sprintf "invalid machine %s:\n%s" m.machine_name
+         (String.concat "\n"
+            (List.map (fun d -> Format.asprintf "  %a" pp_defect d) defects)))
+
+let transitions_from m s =
+  List.filter (fun t -> String.equal t.src s) m.transitions
+
+let find_transition m label =
+  List.find_opt (fun t -> String.equal t.t_label label) m.transitions
+
+let is_accepting m s = List.mem s m.accepting
+let has_event m e = List.mem e m.events

@@ -1,0 +1,143 @@
+(** Protocol state machines as first-class values.
+
+    This is the behavioural half of the DSL (§3.2(ii) of the paper): states,
+    events and guarded transitions with bounded integer registers.  A
+    machine is *data*, so the same definition is analysed statically
+    ({!Analysis}), model-checked in composition with peers and channels
+    ({!Model_check}), executed ({!Interp}), rendered ({!Dot}) and mined for
+    behavioural test cases ({!Testgen}) — the paper's "same framework"
+    requirement.
+
+    Registers have finite domains (arithmetic wraps), which both matches
+    protocol reality — sequence numbers are modular — and keeps every
+    analysis decidable. *)
+
+type expr =
+  | Int of int
+  | Reg of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Mod of expr * expr
+
+type cond =
+  | True
+  | False
+  | Eq of expr * expr
+  | Ne of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+type action = Assign of string * expr
+
+type register = {
+  reg_name : string;
+  init : int;
+  domain : int;  (** values live in [\[0, domain)]; assignment wraps *)
+}
+
+type transition = {
+  t_label : string;  (** unique label, used in traces and coverage *)
+  src : string;
+  dst : string;
+  event : string;
+  guard : cond;
+  actions : action list;
+}
+
+type t = {
+  machine_name : string;
+  states : string list;
+  events : string list;
+  registers : register list;
+  initial : string;
+  accepting : string list;
+      (** consistent terminal states — the paper's "ends in a consistent
+          state, either with success or with timeout" *)
+  transitions : transition list;
+  ignores : (string * string) list;
+      (** (state, event) pairs deliberately unhandled; consumed by the
+          completeness analysis *)
+}
+
+(** {1 Construction} *)
+
+val machine :
+  name:string ->
+  states:string list ->
+  events:string list ->
+  ?registers:register list ->
+  initial:string ->
+  ?accepting:string list ->
+  ?ignores:(string * string) list ->
+  transition list ->
+  t
+
+val trans :
+  ?label:string ->
+  ?guard:cond ->
+  ?actions:action list ->
+  src:string ->
+  event:string ->
+  dst:string ->
+  unit ->
+  transition
+(** [label] defaults to ["src--event->dst"]. *)
+
+val reg : ?init:int -> string -> domain:int -> register
+
+(** {1 Configurations} *)
+
+type env = (string * int) list
+(** Register valuation, in declaration order. *)
+
+type config = { state : string; regs : env }
+
+val initial_config : t -> config
+
+val eval_expr : env -> expr -> int
+(** Raises [Invalid_argument] on an unknown register. *)
+
+val eval_cond : env -> cond -> bool
+
+val enabled : t -> config -> string -> transition list
+(** Transitions enabled in [config] for the given event. *)
+
+val apply : t -> config -> transition -> config
+(** Fires a transition: moves to [dst] and applies actions (register
+    assignments wrap into their domain).  Does not re-check the guard. *)
+
+val step : t -> config -> string -> config list
+(** All successor configurations for an event (empty when unhandled). *)
+
+val config_equal : config -> config -> bool
+val compare_config : config -> config -> int
+val pp_config : Format.formatter -> config -> unit
+
+(** {1 Soundness}
+
+    The paper's soundness property — "only valid transitions can be
+    executed" — holds by construction in the interpreter, {e provided} the
+    machine itself is internally consistent.  {!validate} checks that. *)
+
+type defect = { where : string; what : string }
+
+val validate : t -> defect list
+(** Structural defects: undeclared states/events/registers, duplicate
+    labels, out-of-range initial values, empty domains. *)
+
+val validate_exn : t -> t
+(** Identity when {!validate} is empty; raises [Invalid_argument]
+    otherwise. *)
+
+val pp_defect : Format.formatter -> defect -> unit
+
+(** {1 Queries} *)
+
+val transitions_from : t -> string -> transition list
+val find_transition : t -> string -> transition option
+val is_accepting : t -> string -> bool
+val has_event : t -> string -> bool

@@ -1,0 +1,136 @@
+module M = Machine
+
+type trace_step = { event : string; fired : Compose.fired; dest : Compose.global }
+type trace = trace_step list
+type stats = { num_states : int; num_edges : int; complete : bool }
+
+type 'a verdict = Holds | Violated of 'a | Unknown
+
+(* Shared BFS.  Keeps, per discovered global, its predecessor and the step
+   that reached it, so that shortest counterexample traces can be rebuilt. *)
+type graph = {
+  order : Compose.global list; (* BFS discovery order *)
+  preds : (Compose.global, (Compose.global * string * Compose.fired) option) Hashtbl.t;
+  succs : (Compose.global, (string * Compose.global * Compose.fired) list) Hashtbl.t;
+  g_complete : bool;
+  g_edges : int;
+}
+
+let build ?(max_states = 1_000_000) sys =
+  let preds = Hashtbl.create 4096 in
+  let succs = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let order = ref [] and edges = ref 0 and complete = ref true in
+  let start = Compose.initial sys in
+  Hashtbl.add preds start None;
+  Queue.add start queue;
+  order := [ start ];
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    let next = Compose.successors sys g in
+    Hashtbl.replace succs g next;
+    List.iter
+      (fun (event, g', fired) ->
+        incr edges;
+        if not (Hashtbl.mem preds g') then
+          if !count >= max_states then complete := false
+          else begin
+            Hashtbl.add preds g' (Some (g, event, fired));
+            incr count;
+            order := g' :: !order;
+            Queue.add g' queue
+          end)
+      next
+  done;
+  { order = List.rev !order; preds; succs; g_complete = !complete; g_edges = !edges }
+
+let trace_to graph target =
+  let rec climb acc g =
+    match Hashtbl.find graph.preds g with
+    | None -> acc
+    | Some (pred, event, fired) -> climb ({ event; fired; dest = g } :: acc) pred
+    | exception Not_found -> acc
+  in
+  climb [] target
+
+let explore ?max_states sys =
+  let g = build ?max_states sys in
+  { num_states = List.length g.order; num_edges = g.g_edges; complete = g.g_complete }
+
+let check_invariant ?max_states sys predicate =
+  let graph = build ?max_states sys in
+  match List.find_opt (fun g -> not (predicate g)) graph.order with
+  | Some bad -> Violated (bad, trace_to graph bad)
+  | None -> if graph.g_complete then Holds else Unknown
+
+let deadlocks ?max_states sys =
+  let graph = build ?max_states sys in
+  List.filter_map
+    (fun g ->
+      let succ = try Hashtbl.find graph.succs g with Not_found -> [] in
+      if succ = [] && not (Compose.all_accepting sys g) then
+        Some (g, trace_to graph g)
+      else None)
+    graph.order
+
+let check_deadlock_free ?max_states sys =
+  let graph = build ?max_states sys in
+  let bad =
+    List.find_opt
+      (fun g ->
+        let succ = try Hashtbl.find graph.succs g with Not_found -> [] in
+        succ = [] && not (Compose.all_accepting sys g))
+      graph.order
+  in
+  match bad with
+  | Some g -> Violated (g, trace_to graph g)
+  | None -> if graph.g_complete then Holds else Unknown
+
+let check_eventually_accepting ?max_states sys =
+  let graph = build ?max_states sys in
+  (* Backward closure from accepting globals over the explored graph. *)
+  let rev = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun g next ->
+      List.iter
+        (fun (_, g', _) ->
+          let cur = try Hashtbl.find rev g' with Not_found -> [] in
+          Hashtbl.replace rev g' (g :: cur))
+        next)
+    graph.succs;
+  let good = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  List.iter
+    (fun g ->
+      if Compose.all_accepting sys g then begin
+        Hashtbl.replace good g ();
+        Queue.add g queue
+      end)
+    graph.order;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem good p) then begin
+          Hashtbl.replace good p ();
+          Queue.add p queue
+        end)
+      (try Hashtbl.find rev g with Not_found -> [])
+  done;
+  match List.find_opt (fun g -> not (Hashtbl.mem good g)) graph.order with
+  | Some bad -> Violated (bad, trace_to graph bad)
+  | None -> if graph.g_complete then Holds else Unknown
+
+let reachable ?max_states sys predicate =
+  let graph = build ?max_states sys in
+  List.exists predicate graph.order
+
+let pp_trace ppf trace =
+  List.iteri
+    (fun i step ->
+      Format.fprintf ppf "%2d. %s %s-> %a@," (i + 1) step.event
+        (String.concat ","
+           (List.map (fun (m, t) -> Printf.sprintf "[%s:%s]" m t) step.fired))
+        Compose.pp_global step.dest)
+    trace

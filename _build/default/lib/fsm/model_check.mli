@@ -1,0 +1,59 @@
+(** Explicit-state model checking of composed systems.
+
+    This is the verification route the paper contrasts with the type-level
+    one (§3.3/§4.2): exhaustive exploration of the product state space, with
+    counterexample traces.  The paper's criticism — the space grows
+    explosively with protocol parameters — is exactly what experiment E5
+    measures by sweeping sequence-number width. *)
+
+type trace_step = {
+  event : string;
+  fired : Compose.fired;
+  dest : Compose.global;
+}
+
+type trace = trace_step list
+(** A run from the initial global configuration. *)
+
+type stats = {
+  num_states : int;
+  num_edges : int;
+  complete : bool;  (** [false] when truncated by [max_states] *)
+}
+
+val explore : ?max_states:int -> Compose.system -> stats
+(** Exhaustive BFS of the product space.  [max_states] defaults to
+    1_000_000. *)
+
+type 'a verdict =
+  | Holds
+  | Violated of 'a
+  | Unknown  (** the exploration was truncated before a verdict *)
+
+val check_invariant :
+  ?max_states:int ->
+  Compose.system ->
+  (Compose.global -> bool) ->
+  (Compose.global * trace) verdict
+(** Safety: the predicate holds in every reachable global configuration;
+    violations come with a shortest-path counterexample trace. *)
+
+val deadlocks :
+  ?max_states:int -> Compose.system -> (Compose.global * trace) list
+(** Reachable globals with no successor where not every machine is in an
+    accepting state. *)
+
+val check_deadlock_free :
+  ?max_states:int -> Compose.system -> (Compose.global * trace) verdict
+
+val check_eventually_accepting :
+  ?max_states:int -> Compose.system -> (Compose.global * trace) verdict
+(** Liveness-flavoured: from every reachable global an all-accepting global
+    remains reachable (no livelock region).  A violation names a global
+    from which acceptance is unreachable. *)
+
+val reachable :
+  ?max_states:int -> Compose.system -> (Compose.global -> bool) -> bool
+(** Possibility: some reachable global satisfies the predicate. *)
+
+val pp_trace : Format.formatter -> trace -> unit

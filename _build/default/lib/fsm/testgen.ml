@@ -1,0 +1,332 @@
+module M = Machine
+
+type test_case = {
+  tc_name : string;
+  events : string list;
+  expected : M.config;
+}
+
+(* Deterministic single step: the unique enabled transition for an event. *)
+let det_step m c event =
+  match M.enabled m c event with
+  | [] -> None
+  | [ t ] -> Some (t, M.apply m c t)
+  | _ :: _ :: _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Testgen: machine %s is nondeterministic at %s on %s" m.M.machine_name
+         (Format.asprintf "%a" M.pp_config c)
+         event)
+
+(* BFS over configurations recording, per discovered config, the event path
+   from the start config. *)
+let bfs m start =
+  let preds = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Hashtbl.add preds start None;
+  Queue.add start queue;
+  let discovered = ref [ start ] in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    List.iter
+      (fun event ->
+        match det_step m c event with
+        | None -> ()
+        | Some (t, c') ->
+          if not (Hashtbl.mem preds c') then begin
+            Hashtbl.add preds c' (Some (c, event, t));
+            discovered := c' :: !discovered;
+            Queue.add c' queue
+          end)
+      m.M.events
+  done;
+  (preds, List.rev !discovered)
+
+let path_to preds target =
+  let rec climb acc c =
+    match Hashtbl.find preds c with
+    | None -> acc
+    | Some (pred, event, _) -> climb (event :: acc) pred
+  in
+  climb [] target
+
+(* All (config, event, transition, config') edges of the deterministic
+   reachable graph. *)
+let reachable_edges m =
+  let _, configs = bfs m (M.initial_config m) in
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (fun event ->
+          match det_step m c event with
+          | None -> None
+          | Some (t, c') -> Some (c, event, t, c'))
+        m.M.events)
+    configs
+
+let transition_tests m =
+  let start = M.initial_config m in
+  let preds, configs = bfs m start in
+  ignore configs;
+  let edges = reachable_edges m in
+  let reachable_labels =
+    List.sort_uniq String.compare
+      (List.map (fun (_, _, (t : M.transition), _) -> t.t_label) edges)
+  in
+  List.map
+    (fun label ->
+      (* Shortest test: among edges firing [label], pick the one whose
+         source has the shortest path from the initial config. *)
+      let candidates =
+        List.filter (fun (_, _, (t : M.transition), _) -> String.equal t.t_label label) edges
+      in
+      let with_paths =
+        List.map (fun (c, event, t, c') -> (path_to preds c, event, t, c')) candidates
+      in
+      let shortest =
+        List.fold_left
+          (fun best x ->
+            match best with
+            | None -> Some x
+            | Some (p, _, _, _) ->
+              let p', _, _, _ = x in
+              if List.length p' < List.length p then Some x else best)
+          None with_paths
+      in
+      match shortest with
+      | None -> assert false (* label came from edges *)
+      | Some (path, event, _, dest) ->
+        { tc_name = label; events = path @ [ event ]; expected = dest })
+    reachable_labels
+
+let transition_tour m =
+  let edges = reachable_edges m in
+  let total =
+    List.sort_uniq String.compare
+      (List.map (fun (_, _, (t : M.transition), _) -> t.t_label) edges)
+  in
+  let covered = Hashtbl.create 64 in
+  let segments = ref [] in
+  let tour = ref [] in
+  let current = ref (M.initial_config m) in
+  let remaining () = List.filter (fun l -> not (Hashtbl.mem covered l)) total in
+  (* How many still-uncovered transitions remain fireable from [cfg],
+     assuming [extra] has just been covered.  Used as a lookahead so the
+     tour does not walk into an absorbing state (e.g. the ARQ machine's
+     [sent]) while work remains elsewhere. *)
+  let uncovered_reachable_from cfg extra =
+    let seen = Hashtbl.create 64 in
+    let labels = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.add seen cfg ();
+    Queue.add cfg queue;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      List.iter
+        (fun event ->
+          match det_step m c event with
+          | None -> ()
+          | Some (t, c') ->
+            if
+              (not (Hashtbl.mem covered t.M.t_label))
+              && not (String.equal t.M.t_label extra)
+            then Hashtbl.replace labels t.M.t_label ();
+            if not (Hashtbl.mem seen c') then begin
+              Hashtbl.add seen c' ();
+              Queue.add c' queue
+            end)
+        m.M.events
+    done;
+    Hashtbl.length labels
+  in
+  let rec hunt () =
+    match remaining () with
+    | [] -> ()
+    | rem -> (
+      (* Full BFS from the current config collecting, per uncovered label,
+         the nearest edge that fires it. *)
+      let preds = Hashtbl.create 256 in
+      let queue = Queue.create () in
+      Hashtbl.add preds !current None;
+      Queue.add !current queue;
+      let candidates = Hashtbl.create 16 in
+      (* label -> (src cfg, event, dest cfg, depth) *)
+      let depth = Hashtbl.create 256 in
+      Hashtbl.add depth !current 0;
+      while not (Queue.is_empty queue) do
+        let c = Queue.pop queue in
+        let d = Hashtbl.find depth c in
+        List.iter
+          (fun event ->
+            match det_step m c event with
+            | None -> ()
+            | Some (t, c') ->
+              if
+                (not (Hashtbl.mem covered t.M.t_label))
+                && not (Hashtbl.mem candidates t.M.t_label)
+              then Hashtbl.add candidates t.M.t_label (c, event, c', d + 1);
+              if not (Hashtbl.mem preds c') then begin
+                Hashtbl.add preds c' (Some (c, event));
+                Hashtbl.add depth c' (d + 1);
+                Queue.add c' queue
+              end)
+          m.M.events
+      done;
+      let scored =
+        List.filter_map
+          (fun label ->
+            match Hashtbl.find_opt candidates label with
+            | None -> None
+            | Some (c, event, c', d) ->
+              Some (label, c, event, c', d, uncovered_reachable_from c' label))
+          rem
+      in
+      match scored with
+      | [] ->
+        (* Remaining transitions are unreachable from here.  If some are
+           still reachable from the initial configuration, reset (close the
+           current segment and start a fresh run); otherwise stop. *)
+        if not (M.config_equal !current (M.initial_config m)) && !tour <> [] then begin
+          segments := List.rev !tour :: !segments;
+          tour := [];
+          current := M.initial_config m;
+          hunt ()
+        end
+      | first :: rest ->
+        (* Prefer the candidate that keeps the most uncovered transitions
+           reachable; among equals, the nearest one. *)
+        let better (_, _, _, _, d1, s1) (_, _, _, _, d2, s2) =
+          if s1 <> s2 then s1 > s2 else d1 < d2
+        in
+        let _, c, event, c', _, _ =
+          List.fold_left (fun best x -> if better x best then x else best) first rest
+        in
+        let rec climb acc x =
+          match Hashtbl.find preds x with
+          | None -> acc
+          | Some (pred, ev) -> climb (ev :: acc) pred
+        in
+        let path = climb [] c @ [ event ] in
+        (* Replay the path to mark every transition it fires as covered. *)
+        let cur = ref !current in
+        List.iter
+          (fun ev ->
+            match det_step m !cur ev with
+            | None -> assert false
+            | Some (t', next) ->
+              Hashtbl.replace covered t'.M.t_label ();
+              cur := next)
+          path;
+        current := c';
+        assert (M.config_equal !cur c');
+        tour := List.rev_append path !tour;
+        hunt ())
+  in
+  hunt ();
+  if !tour <> [] then segments := List.rev !tour :: !segments;
+  List.rev !segments
+
+let run_test m tc =
+  let rec go c = function
+    | [] ->
+      if M.config_equal c tc.expected then Ok ()
+      else
+        Error
+          (Format.asprintf "expected %a, ended in %a" M.pp_config tc.expected
+             M.pp_config c)
+    | event :: rest -> (
+      match det_step m c event with
+      | None ->
+        Error (Format.asprintf "event %s unhandled in %a" event M.pp_config c)
+      | Some (_, c') -> go c' rest)
+  in
+  go (M.initial_config m) tc.events
+
+let random_walk_to_coverage rng ?(max_steps = 1_000_000) m =
+  let edges = reachable_edges m in
+  let total = Hashtbl.create 64 in
+  List.iter
+    (fun (_, _, (t : M.transition), _) -> Hashtbl.replace total t.t_label ())
+    edges;
+  let needed = Hashtbl.length total in
+  let covered = Hashtbl.create 64 in
+  (* Configurations recur constantly during a long walk; memoise the
+     enabled-option sets per configuration. *)
+  let options_of = Hashtbl.create 256 in
+  let options c =
+    match Hashtbl.find_opt options_of c with
+    | Some opts -> opts
+    | None ->
+      let opts =
+        List.filter_map
+          (fun event ->
+            match det_step m c event with
+            | None -> None
+            | Some (t, c') -> Some (t, c'))
+          m.M.events
+      in
+      let opts = Array.of_list opts in
+      Hashtbl.add options_of c opts;
+      opts
+  in
+  let current = ref (M.initial_config m) in
+  let steps = ref 0 in
+  let result = ref None in
+  while !result = None && !steps < max_steps do
+    if Hashtbl.length covered >= needed then result := Some !steps
+    else begin
+      let opts = options !current in
+      if Array.length opts = 0 then
+        (* Stuck: restart from the initial configuration (a tester would
+           reset the implementation). *)
+        current := M.initial_config m
+      else begin
+        let t, c' = Netdsl_util.Prng.pick rng opts in
+        if not (Hashtbl.mem covered t.M.t_label) then
+          Hashtbl.replace covered t.M.t_label ();
+        current := c'
+      end;
+      incr steps
+    end
+  done;
+  if !result = None && Hashtbl.length covered >= needed then result := Some !steps;
+  !result
+
+let coverage_of_events m events =
+  let edges = reachable_edges m in
+  let total =
+    List.sort_uniq String.compare
+      (List.map (fun (_, _, (t : M.transition), _) -> t.t_label) edges)
+  in
+  let covered = Hashtbl.create 64 in
+  let c = ref (M.initial_config m) in
+  List.iter
+    (fun event ->
+      match det_step m !c event with
+      | None -> ()
+      | Some (t, c') ->
+        Hashtbl.replace covered t.M.t_label ();
+        c := c')
+    events;
+  (Hashtbl.length covered, List.length total)
+
+let coverage_of_tour m segments =
+  let edges = reachable_edges m in
+  let total =
+    List.sort_uniq String.compare
+      (List.map (fun (_, _, (t : M.transition), _) -> t.t_label) edges)
+  in
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun events ->
+      let c = ref (M.initial_config m) in
+      List.iter
+        (fun event ->
+          match det_step m !c event with
+          | None -> ()
+          | Some (t, c') ->
+            Hashtbl.replace covered t.M.t_label ();
+            c := c')
+        events)
+    segments;
+  (Hashtbl.length covered, List.length total)

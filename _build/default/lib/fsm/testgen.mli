@@ -1,0 +1,47 @@
+(** Behavioural test-case generation from machine definitions.
+
+    The paper (§2.3) argues the DSL "potentially allows automatic
+    construction of (at least some) behavioural test cases".  Given a
+    machine, this module derives conformance tests directly from the
+    definition: per-transition shortest-path tests and a transition tour
+    that covers every reachable transition.  Experiment E10 compares the
+    tour length against random walks to the same coverage. *)
+
+type test_case = {
+  tc_name : string;
+  events : string list;  (** event sequence to feed from the initial state *)
+  expected : Machine.config;  (** configuration after the last event *)
+}
+
+val transition_tests : Machine.t -> test_case list
+(** One test per reachable transition: the shortest event sequence from the
+    initial configuration whose last step fires that transition.
+    Transitions that never fire (dead) get no test.  Requires a
+    deterministic machine (each event enables at most one transition per
+    configuration); raises [Invalid_argument] otherwise. *)
+
+val transition_tour : Machine.t -> string list list
+(** Event sequences that together fire every reachable transition at least
+    once (greedy lookahead tour).  Each segment starts from the initial
+    configuration — a machine with several one-way branches cannot be
+    covered by one run, so a new segment models resetting the
+    implementation under test.  Requires determinism, as above. *)
+
+val coverage_of_tour : Machine.t -> string list list -> int * int
+(** Transition coverage of a segmented tour (each segment replayed from the
+    initial configuration). *)
+
+val run_test : Machine.t -> test_case -> (unit, string) result
+(** Replays a test case against the machine definition itself (or, via
+    {!Interp}, against an implementation) and compares the final
+    configuration. *)
+
+val random_walk_to_coverage :
+  Netdsl_util.Prng.t -> ?max_steps:int -> Machine.t -> int option
+(** Number of steps a uniform random walk needs to fire every reachable
+    transition, or [None] if [max_steps] (default 1_000_000) was not
+    enough.  The baseline for E10. *)
+
+val coverage_of_events : Machine.t -> string list -> int * int
+(** [(covered, total_reachable)] transition coverage achieved by an event
+    sequence from the initial configuration. *)

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Buffer List Netdsl_format Netdsl_fsm Netdsl_util Parser Printf String

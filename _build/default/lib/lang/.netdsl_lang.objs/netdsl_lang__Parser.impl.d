@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Format Int64 Lexer List Loc Netdsl_format Netdsl_fsm Netdsl_util Printf String

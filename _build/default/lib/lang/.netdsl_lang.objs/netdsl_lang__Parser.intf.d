@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Format Loc Netdsl_format Netdsl_fsm

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Buffer Int64 List Netdsl_format Netdsl_fsm Netdsl_util Parser Printf String

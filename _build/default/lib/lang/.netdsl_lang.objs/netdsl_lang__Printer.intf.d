@@ -1,0 +1,1 @@
+lib/lang/printer.mli: Netdsl_format Netdsl_fsm Parser

@@ -1,0 +1,14 @@
+(** OCaml code generation from parsed DSL programs.
+
+    The paper argues that "if an implementation is created from the DSL,
+    then it must operate correctly, simply by the properties obtained from
+    use of [the] type system" (§5).  This backend emits OCaml source that
+    reconstructs each format as a [Netdsl_format.Desc.t] and each machine
+    as a [Netdsl_fsm.Machine.t], so a specification written in [.ndsl]
+    becomes a library module whose codecs and interpreters inherit every
+    guarantee of the host implementation. *)
+
+val to_ocaml : Parser.program -> string
+(** A complete OCaml compilation unit.  Formats are bound as
+    [format_<name>] and machines as [machine_<name>]; a [formats] /
+    [machines] assoc list mirrors {!Parser.program}. *)

@@ -1,0 +1,219 @@
+type token =
+  | IDENT of string
+  | INT of int64
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | EQ
+  | ASSIGN
+  | ARROW
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT v -> Int64.to_string v
+  | STRING s -> Printf.sprintf "%S" s
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COLON -> ":"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | EQ -> "="
+  | ASSIGN -> ":="
+  | ARROW -> "->"
+  | DOTDOT -> ".."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"
+
+exception Error of { loc : Loc.t; message : string }
+
+let fail loc fmt = Printf.ksprintf (fun message -> raise (Error { loc; message })) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc c = { Loc.line = c.line; col = c.col }
+let at_end c = c.pos >= String.length c.src
+let peek c = if at_end c then '\000' else c.src.[c.pos]
+
+let peek2 c =
+  if c.pos + 1 >= String.length c.src then '\000' else c.src.[c.pos + 1]
+
+let advance c =
+  if not (at_end c) then begin
+    if c.src.[c.pos] = '\n' then begin
+      c.line <- c.line + 1;
+      c.col <- 1
+    end
+    else c.col <- c.col + 1;
+    c.pos <- c.pos + 1
+  end
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_ident ch = is_ident_start ch || (ch >= '0' && ch <= '9')
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_hex ch = is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+
+let skip_line c =
+  while (not (at_end c)) && peek c <> '\n' do
+    advance c
+  done
+
+let lex_ident c =
+  let start = c.pos in
+  while is_ident (peek c) do
+    advance c
+  done;
+  String.sub c.src start (c.pos - start)
+
+let lex_int c l =
+  let start = c.pos in
+  if peek c = '0' && (peek2 c = 'x' || peek2 c = 'X') then begin
+    advance c;
+    advance c;
+    if not (is_hex (peek c)) then fail l "malformed hex literal";
+    while is_hex (peek c) do
+      advance c
+    done
+  end
+  else
+    while is_digit (peek c) do
+      advance c
+    done;
+  let text = String.sub c.src start (c.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> v
+  | None -> fail l "integer literal %s out of range" text
+
+let lex_string c l =
+  advance c (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end c then fail l "unterminated string literal"
+    else
+      match peek c with
+      | '"' -> advance c
+      | '\\' ->
+        advance c;
+        (match peek c with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '"' -> Buffer.add_char buf '"'
+        | ch -> fail (loc c) "unknown escape \\%c" ch);
+        advance c;
+        go ()
+      | '\n' -> fail l "newline in string literal"
+      | ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit tok l = out := (tok, l) :: !out in
+  let rec go () =
+    if at_end c then emit EOF (loc c)
+    else begin
+      let l = loc c in
+      (match peek c with
+      | ' ' | '\t' | '\r' | '\n' -> advance c
+      | '#' -> skip_line c
+      | '/' when peek2 c = '/' -> skip_line c
+      | '{' -> advance c; emit LBRACE l
+      | '}' -> advance c; emit RBRACE l
+      | '[' -> advance c; emit LBRACKET l
+      | ']' -> advance c; emit RBRACKET l
+      | '(' -> advance c; emit LPAREN l
+      | ')' -> advance c; emit RPAREN l
+      | ';' -> advance c; emit SEMI l
+      | ',' -> advance c; emit COMMA l
+      | '+' -> advance c; emit PLUS l
+      | '*' -> advance c; emit STAR l
+      | '/' -> advance c; emit SLASH l
+      | ':' ->
+        advance c;
+        if peek c = '=' then begin advance c; emit ASSIGN l end else emit COLON l
+      | '=' ->
+        advance c;
+        if peek c = '=' then begin advance c; emit EQEQ l end else emit EQ l
+      | '-' ->
+        advance c;
+        if peek c = '>' then begin advance c; emit ARROW l end else emit MINUS l
+      | '.' ->
+        advance c;
+        if peek c = '.' then begin advance c; emit DOTDOT l end
+        else fail l "unexpected '.'"
+      | '!' ->
+        advance c;
+        if peek c = '=' then begin advance c; emit NEQ l end else emit BANG l
+      | '<' ->
+        advance c;
+        if peek c = '=' then begin advance c; emit LE l end else emit LT l
+      | '>' ->
+        advance c;
+        if peek c = '=' then begin advance c; emit GE l end else emit GT l
+      | '&' ->
+        advance c;
+        if peek c = '&' then begin advance c; emit ANDAND l end
+        else fail l "expected '&&'"
+      | '|' ->
+        advance c;
+        if peek c = '|' then begin advance c; emit OROR l end
+        else fail l "expected '||'"
+      | '"' -> emit (STRING (lex_string c l)) l
+      | ch when is_digit ch -> emit (INT (lex_int c l)) l
+      | ch when is_ident_start ch -> emit (IDENT (lex_ident c)) l
+      | ch -> fail l "unexpected character %C" ch);
+      if match !out with (EOF, _) :: _ -> false | _ -> true then go ()
+    end
+  in
+  go ();
+  (* An empty source still needs its EOF. *)
+  (match !out with (EOF, _) :: _ -> () | _ -> emit EOF (loc c));
+  List.rev !out

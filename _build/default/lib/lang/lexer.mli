@@ -1,0 +1,48 @@
+(** Tokeniser for the [.ndsl] surface syntax.
+
+    Menhir would be the natural tool here but is not available in the build
+    environment (DESIGN.md §1); the grammar was designed LL(1)-friendly so
+    a hand lexer + recursive-descent parser stay small. *)
+
+type token =
+  | IDENT of string  (** identifiers and keywords *)
+  | INT of int64  (** decimal or 0x-hex *)
+  | STRING of string
+      (** double-quoted, with backslash escapes for n, t, backslash and
+          the double quote *)
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | EQ  (** [=] *)
+  | ASSIGN  (** [:=] *)
+  | ARROW  (** [->] *)
+  | DOTDOT  (** [..] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQEQ
+  | NEQ  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val token_to_string : token -> string
+
+exception Error of { loc : Loc.t; message : string }
+
+val tokenize : string -> (token * Loc.t) list
+(** The token stream, ending with [EOF].  Comments run from [//] or [#] to
+    end of line.  Raises {!Error} on unterminated strings or stray
+    characters. *)

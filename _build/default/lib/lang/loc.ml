@@ -1,0 +1,5 @@
+type t = { line : int; col : int }
+
+let start = { line = 1; col = 1 }
+let pp ppf t = Format.fprintf ppf "line %d, column %d" t.line t.col
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,7 @@
+(** Source positions for DSL diagnostics. *)
+
+type t = { line : int; col : int }
+
+val start : t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,627 @@
+module D = Netdsl_format.Desc
+module Wf = Netdsl_format.Wf
+module M = Netdsl_fsm.Machine
+module L = Lexer
+
+type program = {
+  formats : (string * D.t) list;
+  machines : (string * M.t) list;
+}
+
+type error = { loc : Loc.t; message : string }
+
+exception Parse_error of error
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+
+let fail loc fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { loc; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Token stream *)
+
+type stream = { toks : (L.token * Loc.t) array; mutable pos : int }
+
+let peek s = fst s.toks.(s.pos)
+let peek_loc s = snd s.toks.(s.pos)
+
+
+let next s =
+  let t, l = s.toks.(s.pos) in
+  if s.pos < Array.length s.toks - 1 then s.pos <- s.pos + 1;
+  (t, l)
+
+let expect s tok what =
+  let t, l = next s in
+  if t <> tok then fail l "expected %s, found '%s'" what (L.token_to_string t)
+
+let expect_ident s what =
+  match next s with
+  | L.IDENT name, _ -> name
+  | t, l -> fail l "expected %s, found '%s'" what (L.token_to_string t)
+
+let expect_int s what =
+  match next s with
+  | L.INT v, _ -> v
+  | t, l -> fail l "expected %s, found '%s'" what (L.token_to_string t)
+
+let accept s tok = if peek s = tok then (ignore (next s); true) else false
+
+let accept_kw s kw =
+  match peek s with
+  | L.IDENT name when String.equal name kw ->
+    ignore (next s);
+    true
+  | _ -> false
+
+
+(* ------------------------------------------------------------------ *)
+(* Shared small parsers *)
+
+(* "uintN" -> N *)
+let int_type_bits loc name =
+  let prefix = "uint" in
+  let plen = String.length prefix in
+  if
+    String.length name > plen
+    && String.equal (String.sub name 0 plen) prefix
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub name plen (String.length name - plen))
+  then
+    let bits = int_of_string (String.sub name plen (String.length name - plen)) in
+    if bits < 1 || bits > 64 then fail loc "integer width %d not in [1, 64]" bits
+    else bits
+  else fail loc "expected an integer type like uint8, found %S" name
+
+let is_int_type name =
+  String.length name > 4
+  && String.equal (String.sub name 0 4) "uint"
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub name 4 (String.length name - 4))
+
+(* Format expressions: + - * / over ints, fields and len(...). *)
+let rec parse_fexpr s = parse_fadd s
+
+and parse_fadd s =
+  let lhs = parse_fmul s in
+  let rec go lhs =
+    if accept s L.PLUS then go (D.Add (lhs, parse_fmul s))
+    else if accept s L.MINUS then go (D.Sub (lhs, parse_fmul s))
+    else lhs
+  in
+  go lhs
+
+and parse_fmul s =
+  let lhs = parse_fatom s in
+  let rec go lhs =
+    if accept s L.STAR then go (D.Mul (lhs, parse_fatom s))
+    else if accept s L.SLASH then go (D.Div (lhs, parse_fatom s))
+    else lhs
+  in
+  go lhs
+
+and parse_fatom s =
+  match next s with
+  | L.INT v, _ -> D.Const v
+  | L.LPAREN, _ ->
+    let e = parse_fexpr s in
+    expect s L.RPAREN "')'";
+    e
+  | L.IDENT "len", _ when peek s = L.LPAREN ->
+    expect s L.LPAREN "'(' after len";
+    let target =
+      match next s with
+      | L.IDENT "message", _ -> D.Msg_len
+      | L.IDENT field, _ -> D.Byte_len field
+      | t, l -> fail l "expected a field name or 'message', found '%s'" (L.token_to_string t)
+    in
+    expect s L.RPAREN "')'";
+    target
+  | L.IDENT name, _ -> D.Field name
+  | t, l -> fail l "expected an expression, found '%s'" (L.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Formats *)
+
+let parse_constraint s =
+  if accept_kw s "in" then begin
+    expect s L.LBRACE "'{'";
+    let rec values acc =
+      let v = expect_int s "a constraint value" in
+      if accept s L.COMMA then values (v :: acc) else List.rev (v :: acc)
+    in
+    let vs = values [] in
+    expect s L.RBRACE "'}'";
+    D.One_of vs
+  end
+  else if accept s L.NEQ then D.Not_equal (expect_int s "a value after '!='")
+  else begin
+    let lo = expect_int s "a range bound" in
+    expect s L.DOTDOT "'..'";
+    let hi = expect_int s "a range bound" in
+    D.In_range (lo, hi)
+  end
+
+let parse_len_spec s =
+  (* Inside [ ... ]. *)
+  if accept s L.DOTDOT then D.Len_remaining
+  else if accept_kw s "term" then
+    D.Len_terminated (Int64.to_int (expect_int s "a terminator byte value"))
+  else
+    match parse_fexpr s with
+    | D.Const v -> D.Len_fixed (Int64.to_int v) (* a literal is a fixed length *)
+    | e -> D.Len_expr e
+
+let parse_region s =
+  if accept_kw s "message" then D.Region_message
+  else if accept_kw s "rest" then D.Region_rest
+  else begin
+    let a = expect_ident s "a field name" in
+    expect s L.DOTDOT "'..'";
+    let b = expect_ident s "a field name" in
+    D.Region_span (a, b)
+  end
+
+let parse_enum_cases s =
+  expect s L.LBRACE "'{'";
+  let rec go acc =
+    let name = expect_ident s "an enum case name" in
+    expect s L.EQ "'='";
+    let v = expect_int s "an enum case value" in
+    let acc = (name, v) :: acc in
+    if accept s L.COMMA then
+      if peek s = L.RBRACE then List.rev acc (* trailing comma *) else go acc
+    else List.rev acc
+  in
+  let cases = go [] in
+  expect s L.RBRACE "'}'";
+  cases
+
+let lookup_format env loc name =
+  match List.assoc_opt name env with
+  | Some fmt -> fmt
+  | None -> fail loc "unknown format %S (formats must be defined before use)" name
+
+let parse_ftype s env : D.ty =
+  let loc = peek_loc s in
+  if accept_kw s "flag" then D.Bool_flag
+  else if accept_kw s "cstring" then D.cstring
+  else if accept_kw s "padding" then
+    D.Padding { bits = Int64.to_int (expect_int s "a padding width in bits") }
+  else if accept_kw s "const" then begin
+    let tloc = peek_loc s in
+    let bits = int_type_bits tloc (expect_ident s "an integer type") in
+    let endian = if accept_kw s "le" then D.Little else D.Big in
+    expect s L.EQ "'='";
+    let value = expect_int s "the constant value" in
+    D.Const { bits; endian; value }
+  end
+  else if accept_kw s "checksum" then begin
+    let aloc = peek_loc s in
+    let alg_name = expect_ident s "a checksum algorithm" in
+    let algorithm =
+      match Netdsl_util.Checksum.algorithm_of_string alg_name with
+      | Some a -> a
+      | None ->
+        fail aloc "unknown checksum algorithm %S (expected one of %s)" alg_name
+          (String.concat ", "
+             (List.map Netdsl_util.Checksum.algorithm_to_string
+                Netdsl_util.Checksum.all_algorithms))
+    in
+    let region = if accept_kw s "over" then parse_region s else D.Region_message in
+    D.Checksum { algorithm; region }
+  end
+  else if accept_kw s "bytes" then begin
+    expect s L.LBRACKET "'['";
+    let spec = parse_len_spec s in
+    expect s L.RBRACKET "']'";
+    D.Bytes spec
+  end
+  else if accept_kw s "enum" then begin
+    let tloc = peek_loc s in
+    let bits = int_type_bits tloc (expect_ident s "an integer type") in
+    let endian = if accept_kw s "le" then D.Little else D.Big in
+    let exhaustive = not (accept_kw s "open") in
+    let cases = parse_enum_cases s in
+    D.Enum { bits; endian; cases; exhaustive }
+  end
+  else if accept_kw s "variant" then begin
+    if not (accept_kw s "on") then fail (peek_loc s) "expected 'on' after 'variant'";
+    let tag = expect_ident s "the tag field name" in
+    expect s L.LBRACE "'{'";
+    let cases = ref [] and default = ref None in
+    let rec go () =
+      if accept s L.RBRACE then ()
+      else if accept_kw s "default" then begin
+        expect s L.COLON "':'";
+        let dloc = peek_loc s in
+        let body = expect_ident s "a format name" in
+        expect s L.SEMI "';'";
+        if !default <> None then fail dloc "duplicate default case";
+        default := Some (lookup_format env dloc body);
+        go ()
+      end
+      else begin
+        let cname = expect_ident s "a variant case name" in
+        expect s L.LPAREN "'('";
+        let tagv = expect_int s "the tag value" in
+        expect s L.RPAREN "')'";
+        expect s L.COLON "':'";
+        let bloc = peek_loc s in
+        let body = expect_ident s "a format name" in
+        expect s L.SEMI "';'";
+        cases := (cname, tagv, lookup_format env bloc body) :: !cases;
+        go ()
+      end
+    in
+    go ();
+    D.Variant { tag; cases = List.rev !cases; default = !default }
+  end
+  else begin
+    match peek s with
+    | L.IDENT name when is_int_type name ->
+      ignore (next s);
+      let bits = int_type_bits loc name in
+      let endian = if accept_kw s "le" then D.Little else D.Big in
+      if accept s L.EQ then D.Computed { bits; endian; expr = parse_fexpr s }
+      else D.Uint { bits; endian }
+    | L.IDENT name ->
+      (* A reference to a previously defined format: plain (nested record)
+         or with [..] (array). *)
+      ignore (next s);
+      let elem = lookup_format env loc name in
+      if accept s L.LBRACKET then begin
+        let length =
+          if accept s L.DOTDOT then D.Len_remaining
+          else if accept_kw s "bytes" then D.Len_bytes (parse_fexpr s)
+          else
+            match parse_fexpr s with
+            | D.Const v -> D.Len_fixed (Int64.to_int v)
+            | e -> D.Len_expr e
+        in
+        expect s L.RBRACKET "']'";
+        D.Array { elem; length }
+      end
+      else D.Record elem
+    | t -> fail loc "expected a field type, found '%s'" (L.token_to_string t)
+  end
+
+let parse_field s env =
+  let name = expect_ident s "a field name" in
+  expect s L.COLON "':'";
+  let ty = parse_ftype s env in
+  (* The doc string may appear before or after the constraint clause. *)
+  let take_doc () =
+    match peek s with
+    | L.STRING d ->
+      ignore (next s);
+      Some d
+    | _ -> None
+  in
+  let doc = take_doc () in
+  let constraints =
+    if accept_kw s "where" then [ parse_constraint s ] else []
+  in
+  let doc = match doc with Some _ -> doc | None -> take_doc () in
+  (* The semicolon is optional after brace-closed types (enums, variants),
+     matching common block syntax. *)
+  (match ty with
+  | D.Enum _ | D.Variant _ -> ignore (accept s L.SEMI)
+  | _ -> expect s L.SEMI "';' after field");
+  match doc with
+  | Some d -> D.field ~doc:d ~constraints name ty
+  | None -> D.field ~constraints name ty
+
+let parse_format s env =
+  let floc = peek_loc s in
+  let name = expect_ident s "a format name" in
+  if List.mem_assoc name env then fail floc "duplicate format name %S" name;
+  expect s L.LBRACE "'{'";
+  let rec fields acc =
+    if accept s L.RBRACE then List.rev acc else fields (parse_field s env :: acc)
+  in
+  let fmt = D.format name (fields []) in
+  (match Wf.errors fmt with
+  | [] -> ()
+  | errs ->
+    fail floc "format %s is not well-formed: %s" name
+      (String.concat "; "
+         (List.map (fun d -> Format.asprintf "%a" Wf.pp_diagnostic d) errs)));
+  (name, fmt)
+
+(* ------------------------------------------------------------------ *)
+(* Machines *)
+
+let rec parse_mexpr s = parse_madd s
+
+and parse_madd s =
+  let lhs = parse_mmul s in
+  let rec go lhs =
+    if accept s L.PLUS then go (M.Add (lhs, parse_mmul s))
+    else if accept s L.MINUS then go (M.Sub (lhs, parse_mmul s))
+    else lhs
+  in
+  go lhs
+
+and parse_mmul s =
+  let lhs = parse_matom s in
+  let rec go lhs =
+    if accept s L.STAR then go (M.Mul (lhs, parse_matom s))
+    else if accept_kw s "mod" then go (M.Mod (lhs, parse_matom s))
+    else lhs
+  in
+  go lhs
+
+and parse_matom s =
+  match next s with
+  | L.INT v, l ->
+    if Int64.compare v (Int64.of_int max_int) > 0 then fail l "integer too large"
+    else M.Int (Int64.to_int v)
+  | L.LPAREN, _ ->
+    let e = parse_mexpr s in
+    expect s L.RPAREN "')'";
+    e
+  | L.IDENT name, _ -> M.Reg name
+  | t, l -> fail l "expected an expression, found '%s'" (L.token_to_string t)
+
+let rec parse_cond s = parse_or s
+
+and parse_or s =
+  let lhs = parse_and s in
+  if accept s L.OROR then M.Or (lhs, parse_or s) else lhs
+
+and parse_and s =
+  let lhs = parse_catom s in
+  if accept s L.ANDAND then M.And (lhs, parse_and s) else lhs
+
+and parse_catom s =
+  if accept s L.BANG then M.Not (parse_catom s)
+  else if accept_kw s "true" then M.True
+  else if accept_kw s "false" then M.False
+  else if peek s = L.LPAREN then begin
+    (* '(' may open a grouped condition or a grouped arithmetic operand of
+       a comparison; try the condition reading first and fall back. *)
+    let saved = s.pos in
+    match
+      ignore (next s);
+      let c = parse_cond s in
+      expect s L.RPAREN "')'";
+      c
+    with
+    | c -> c
+    | exception Parse_error _ ->
+      s.pos <- saved;
+      parse_comparison s
+  end
+  else parse_comparison s
+
+and parse_comparison s =
+  begin
+    let lhs = parse_mexpr s in
+    match next s with
+    | L.EQEQ, _ -> M.Eq (lhs, parse_mexpr s)
+    | L.NEQ, _ -> M.Ne (lhs, parse_mexpr s)
+    | L.LT, _ -> M.Lt (lhs, parse_mexpr s)
+    | L.LE, _ -> M.Le (lhs, parse_mexpr s)
+    | L.GT, _ -> M.Lt (parse_mexpr s, lhs)
+    | L.GE, _ -> M.Le (parse_mexpr s, lhs)
+    | t, l -> fail l "expected a comparison operator, found '%s'" (L.token_to_string t)
+  end
+
+type m_acc = {
+  mutable registers : M.register list;
+  mutable states : (string * bool * bool) list; (* name, init, accepting *)
+  mutable events : string list;
+  mutable transitions : M.transition list;
+  mutable m_ignores : (string * string) list;
+}
+
+let parse_registers s acc =
+  expect s L.LBRACE "'{'";
+  let rec go () =
+    if accept s L.RBRACE then ()
+    else begin
+      let name = expect_ident s "a register name" in
+      expect s L.COLON "':'";
+      if not (accept_kw s "mod") then fail (peek_loc s) "expected 'mod'";
+      let domain = Int64.to_int (expect_int s "the register modulus") in
+      let init = if accept s L.EQ then Int64.to_int (expect_int s "the initial value") else 0 in
+      expect s L.SEMI "';'";
+      acc.registers <- acc.registers @ [ M.reg ~init name ~domain ];
+      go ()
+    end
+  in
+  go ()
+
+let parse_states s acc =
+  expect s L.LBRACE "'{'";
+  let rec go () =
+    if accept s L.RBRACE then ()
+    else begin
+      let name = expect_ident s "a state name" in
+      let init = ref false and accepting = ref false in
+      let rec flags () =
+        if accept_kw s "init" || accept_kw s "initial" then begin
+          init := true;
+          flags ()
+        end
+        else if accept_kw s "accepting" then begin
+          accepting := true;
+          flags ()
+        end
+      in
+      flags ();
+      expect s L.SEMI "';'";
+      acc.states <- acc.states @ [ (name, !init, !accepting) ];
+      go ()
+    end
+  in
+  go ()
+
+let parse_events s acc =
+  expect s L.LBRACE "'{'";
+  let rec go () =
+    let name = expect_ident s "an event name" in
+    acc.events <- acc.events @ [ name ];
+    if accept s L.COMMA then
+      if peek s = L.RBRACE then () else go ()
+  in
+  if not (accept s L.RBRACE) then begin
+    go ();
+    expect s L.RBRACE "'}'"
+  end
+
+let parse_transition s acc =
+  let event = expect_ident s "an event name" in
+  expect s L.COLON "':'";
+  let src = expect_ident s "a source state" in
+  expect s L.ARROW "'->'";
+  let dst = expect_ident s "a destination state" in
+  (* The guard and the action block may come in either order. *)
+  let guard = ref M.True and had_guard = ref false in
+  let parse_guard () =
+    if !had_guard then fail (peek_loc s) "duplicate 'when' clause";
+    had_guard := true;
+    guard := parse_cond s
+  in
+  if accept_kw s "when" then parse_guard ();
+  let actions =
+    if accept s L.LBRACE then begin
+      (* Semicolons separate actions; the last one may omit it. *)
+      let rec go acts =
+        if accept s L.RBRACE then List.rev acts
+        else begin
+          let r = expect_ident s "a register name" in
+          expect s L.ASSIGN "':='";
+          let e = parse_mexpr s in
+          let acts = M.Assign (r, e) :: acts in
+          if accept s L.SEMI then go acts
+          else begin
+            expect s L.RBRACE "'}' after actions";
+            List.rev acts
+          end
+        end
+      in
+      go []
+    end
+    else []
+  in
+  if accept_kw s "when" then parse_guard ();
+  let guard = !guard in
+  let label =
+    if accept_kw s "as" then
+      match next s with
+      | L.STRING l, _ -> Some l
+      | t, l -> fail l "expected a label string after 'as', found '%s'" (L.token_to_string t)
+    else None
+  in
+  expect s L.SEMI "';'";
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      (* Auto-label; disambiguate duplicates of the same triple. *)
+      let base = Printf.sprintf "%s--%s->%s" src event dst in
+      let existing =
+        List.filter
+          (fun (t : M.transition) ->
+            String.length t.t_label >= String.length base
+            && String.equal (String.sub t.t_label 0 (String.length base)) base)
+          acc.transitions
+      in
+      if existing = [] then base
+      else Printf.sprintf "%s#%d" base (List.length existing + 1)
+  in
+  acc.transitions <-
+    acc.transitions @ [ { M.t_label = label; src; dst; event; guard; actions } ]
+
+let parse_machine s =
+  let mloc = peek_loc s in
+  let name = expect_ident s "a machine name" in
+  expect s L.LBRACE "'{'";
+  let acc =
+    { registers = []; states = []; events = []; transitions = []; m_ignores = [] }
+  in
+  let rec go () =
+    if accept s L.RBRACE then ()
+    else begin
+      (if accept_kw s "registers" then parse_registers s acc
+       else if accept_kw s "states" then parse_states s acc
+       else if accept_kw s "events" then parse_events s acc
+       else if accept_kw s "on" then parse_transition s acc
+       else if accept_kw s "ignore" then begin
+         let event = expect_ident s "an event name" in
+         if not (accept_kw s "in") then fail (peek_loc s) "expected 'in'";
+         let state = expect_ident s "a state name" in
+         expect s L.SEMI "';'";
+         acc.m_ignores <- acc.m_ignores @ [ (state, event) ]
+       end
+       else
+         fail (peek_loc s)
+           "expected 'registers', 'states', 'events', 'on' or 'ignore', found '%s'"
+           (L.token_to_string (peek s)));
+      go ()
+    end
+  in
+  go ();
+  let initial =
+    match List.filter (fun (_, i, _) -> i) acc.states with
+    | [ (n, _, _) ] -> n
+    | [] -> fail mloc "machine %s declares no 'init' state" name
+    | _ -> fail mloc "machine %s declares more than one 'init' state" name
+  in
+  let m =
+    M.machine ~name
+      ~states:(List.map (fun (n, _, _) -> n) acc.states)
+      ~events:acc.events ~registers:acc.registers ~initial
+      ~accepting:(List.filter_map (fun (n, _, a) -> if a then Some n else None) acc.states)
+      ~ignores:acc.m_ignores acc.transitions
+  in
+  (match M.validate m with
+  | [] -> ()
+  | defects ->
+    fail mloc "machine %s is not valid: %s" name
+      (String.concat "; "
+         (List.map (fun d -> Format.asprintf "%a" M.pp_defect d) defects)));
+  (name, m)
+
+(* ------------------------------------------------------------------ *)
+(* Program *)
+
+let parse_program s =
+  let formats = ref [] and machines = ref [] in
+  let rec go () =
+    match peek s with
+    | L.EOF -> ()
+    | _ ->
+      if accept_kw s "format" then begin
+        let name, fmt = parse_format s (List.rev !formats) in
+        formats := (name, fmt) :: !formats;
+        go ()
+      end
+      else if accept_kw s "machine" then begin
+        let (name, m) = parse_machine s in
+        if List.mem_assoc name !machines then
+          fail (peek_loc s) "duplicate machine name %S" name;
+        machines := (name, m) :: !machines;
+        go ()
+      end
+      else
+        fail (peek_loc s) "expected 'format' or 'machine', found '%s'"
+          (L.token_to_string (peek s))
+  in
+  go ();
+  { formats = List.rev !formats; machines = List.rev !machines }
+
+let parse_string_exn src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { loc; message } -> raise (Parse_error { loc; message })
+  in
+  parse_program { toks = Array.of_list toks; pos = 0 }
+
+let parse_string src =
+  match parse_string_exn src with
+  | p -> Ok p
+  | exception Parse_error e -> Error e
+
+let find_format p name = List.assoc_opt name p.formats
+let find_machine p name = List.assoc_opt name p.machines

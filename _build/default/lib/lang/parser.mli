@@ -1,0 +1,50 @@
+(** Parser and elaborator for the [.ndsl] surface language.
+
+    A source file is a sequence of [format] and [machine] definitions:
+
+    {v
+    // the paper's ARQ packet
+    format arq_packet {
+      seq     : uint8;
+      kind    : enum uint8 { data = 0, ack = 1 };
+      len     : uint16 = len(payload);
+      chk     : checksum internet over message;
+      payload : bytes[len];
+    }
+
+    machine sender {
+      registers { seq : mod 256 = 0; }
+      states { ready init; wait; timeout; sent accepting; }
+      events { send, ok, fail, timer, finish, retry }
+      on send:   ready -> wait;
+      on ok:     wait -> ready { seq := seq + 1 };
+      on fail:   wait -> ready;
+      on timer:  wait -> timeout;
+      on retry:  timeout -> ready;
+      on finish: ready -> sent;
+    }
+    v}
+
+    Formats elaborate to {!Netdsl_format.Desc.t} and machines to
+    {!Netdsl_fsm.Machine.t}; both are checked (well-formedness / structural
+    validation) as part of parsing, so a successfully parsed program is a
+    checked program — names resolve, widths fit, guards reference declared
+    registers.  Format references ([record]/array/variant bodies) must be
+    defined earlier in the file. *)
+
+type program = {
+  formats : (string * Netdsl_format.Desc.t) list;  (** definition order *)
+  machines : (string * Netdsl_fsm.Machine.t) list;
+}
+
+type error = { loc : Loc.t; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (program, error) result
+val parse_string_exn : string -> program
+
+val find_format : program -> string -> Netdsl_format.Desc.t option
+val find_machine : program -> string -> Netdsl_fsm.Machine.t option

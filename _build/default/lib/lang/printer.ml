@@ -1,0 +1,145 @@
+module D = Netdsl_format.Desc
+module M = Netdsl_fsm.Machine
+
+let bpf = Printf.bprintf
+
+let rec fexpr buf (e : D.expr) =
+  match e with
+  | Const v -> bpf buf "%Ld" v
+  | Field n -> bpf buf "%s" n
+  | Byte_len n -> bpf buf "len(%s)" n
+  | Msg_len -> bpf buf "len(message)"
+  | Add (a, b) -> bpf buf "(%a + %a)" fexpr a fexpr b
+  | Sub (a, b) -> bpf buf "(%a - %a)" fexpr a fexpr b
+  | Mul (a, b) -> bpf buf "(%a * %a)" fexpr a fexpr b
+  | Div (a, b) -> bpf buf "(%a / %a)" fexpr a fexpr b
+
+let endian_suffix = function D.Big -> "" | D.Little -> " le"
+
+let len_spec buf (spec : D.len_spec) =
+  match spec with
+  | Len_fixed n -> bpf buf "%d" n
+  | Len_expr e -> fexpr buf e
+  | Len_bytes e -> bpf buf "bytes %a" fexpr e
+  | Len_remaining -> bpf buf ".."
+  | Len_terminated t -> bpf buf "term %d" t
+
+let region buf (r : D.region) =
+  match r with
+  | Region_message -> bpf buf "message"
+  | Region_span (a, b) -> bpf buf "%s..%s" a b
+  | Region_rest -> bpf buf "rest"
+
+let constr buf (c : D.constr) =
+  match c with
+  | In_range (lo, hi) -> bpf buf " where %Ld..%Ld" lo hi
+  | One_of vs ->
+    bpf buf " where in { %s }" (String.concat ", " (List.map Int64.to_string vs))
+  | Not_equal v -> bpf buf " where != %Ld" v
+
+let ty buf (t : D.ty) =
+  match t with
+  | Uint { bits; endian } -> bpf buf "uint%d%s" bits (endian_suffix endian)
+  | Bool_flag -> bpf buf "flag"
+  | Const { bits; endian; value } ->
+    bpf buf "const uint%d%s = %Ld" bits (endian_suffix endian) value
+  | Enum { bits; endian; cases; exhaustive } ->
+    bpf buf "enum uint%d%s%s { %s }" bits (endian_suffix endian)
+      (if exhaustive then "" else " open")
+      (String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "%s = %Ld" n v) cases))
+  | Computed { bits; endian; expr } ->
+    bpf buf "uint%d%s = %a" bits (endian_suffix endian) fexpr expr
+  | Checksum { algorithm; region = r } ->
+    bpf buf "checksum %s over %a"
+      (Netdsl_util.Checksum.algorithm_to_string algorithm)
+      region r
+  | Bytes (Len_terminated 0) -> bpf buf "cstring"
+  | Bytes spec -> bpf buf "bytes[%a]" len_spec spec
+  | Array { elem; length } -> bpf buf "%s[%a]" elem.format_name len_spec length
+  | Record sub -> bpf buf "%s" sub.format_name
+  | Variant { tag; cases; default } ->
+    bpf buf "variant on %s {\n" tag;
+    List.iter
+      (fun (n, v, (sub : D.t)) -> bpf buf "    %s(%Ld) : %s;\n" n v sub.format_name)
+      cases;
+    (match default with
+    | None -> ()
+    | Some (sub : D.t) -> bpf buf "    default : %s;\n" sub.format_name);
+    bpf buf "  }"
+  | Padding { bits } -> bpf buf "padding %d" bits
+
+let field buf (f : D.field) =
+  bpf buf "  %s : %a" f.name ty f.ty;
+  List.iter (constr buf) f.constraints;
+  (match f.doc with None -> () | Some d -> bpf buf " %S" d);
+  bpf buf ";\n"
+
+let format_to_ndsl (fmt : D.t) =
+  let buf = Buffer.create 256 in
+  bpf buf "format %s {\n" fmt.format_name;
+  List.iter (field buf) fmt.fields;
+  bpf buf "}\n";
+  Buffer.contents buf
+
+let rec mexpr buf (e : M.expr) =
+  match e with
+  | Int n -> bpf buf "%d" n
+  | Reg r -> bpf buf "%s" r
+  | Add (a, b) -> bpf buf "(%a + %a)" mexpr a mexpr b
+  | Sub (a, b) -> bpf buf "(%a - %a)" mexpr a mexpr b
+  | Mul (a, b) -> bpf buf "(%a * %a)" mexpr a mexpr b
+  | Mod (a, b) -> bpf buf "(%a mod %a)" mexpr a mexpr b
+
+let rec mcond buf (c : M.cond) =
+  match c with
+  | True -> bpf buf "true"
+  | False -> bpf buf "false"
+  | Eq (a, b) -> bpf buf "%a == %a" mexpr a mexpr b
+  | Ne (a, b) -> bpf buf "%a != %a" mexpr a mexpr b
+  | Lt (a, b) -> bpf buf "%a < %a" mexpr a mexpr b
+  | Le (a, b) -> bpf buf "%a <= %a" mexpr a mexpr b
+  | Not c -> bpf buf "!(%a)" mcond c
+  | And (a, b) -> bpf buf "(%a) && (%a)" mcond a mcond b
+  | Or (a, b) -> bpf buf "(%a) || (%a)" mcond a mcond b
+
+let machine_to_ndsl (m : M.t) =
+  let buf = Buffer.create 512 in
+  bpf buf "machine %s {\n" m.machine_name;
+  if m.registers <> [] then begin
+    bpf buf "  registers {";
+    List.iter
+      (fun (r : M.register) -> bpf buf " %s : mod %d = %d;" r.reg_name r.domain r.init)
+      m.registers;
+    bpf buf " }\n"
+  end;
+  bpf buf "  states {";
+  List.iter
+    (fun s ->
+      bpf buf " %s%s%s;" s
+        (if String.equal s m.initial then " init" else "")
+        (if M.is_accepting m s then " accepting" else ""))
+    m.states;
+  bpf buf " }\n";
+  bpf buf "  events { %s }\n" (String.concat ", " m.events);
+  List.iter
+    (fun (t : M.transition) ->
+      bpf buf "  on %s: %s -> %s" t.event t.src t.dst;
+      (match t.guard with
+      | M.True -> ()
+      | g -> bpf buf " when %a" mcond g);
+      (match t.actions with
+      | [] -> ()
+      | acts ->
+        bpf buf " {";
+        List.iter (fun (M.Assign (r, e)) -> bpf buf " %s := %a;" r mexpr e) acts;
+        bpf buf " }");
+      bpf buf " as %S;\n" t.t_label)
+    m.transitions;
+  List.iter (fun (s, e) -> bpf buf "  ignore %s in %s;\n" e s) m.ignores;
+  bpf buf "}\n";
+  Buffer.contents buf
+
+let program_to_ndsl (p : Parser.program) =
+  String.concat "\n"
+    (List.map (fun (_, fmt) -> format_to_ndsl fmt) p.formats
+    @ List.map (fun (_, m) -> machine_to_ndsl m) p.machines)

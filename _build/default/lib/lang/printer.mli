@@ -1,0 +1,18 @@
+(** Pretty-printing elaborated definitions back to [.ndsl] surface syntax.
+
+    Together with {!Parser} this closes the loop: formats and machines
+    built with the combinator APIs can be exported as DSL source, reviewed,
+    and re-parsed to the same definitions ([parse (print p)] elaborates to
+    formats that encode byte-identically and machines with identical
+    transition systems — property-tested in the suite). *)
+
+val format_to_ndsl : Netdsl_format.Desc.t -> string
+(** One [format name { ... }] block.  Nested array/record/variant bodies
+    must be printed separately (they are format references in the surface
+    syntax); {!program_to_ndsl} handles the ordering. *)
+
+val machine_to_ndsl : Netdsl_fsm.Machine.t -> string
+
+val program_to_ndsl : Parser.program -> string
+(** The whole program, formats before the machines, each sub-format before
+    its user. *)

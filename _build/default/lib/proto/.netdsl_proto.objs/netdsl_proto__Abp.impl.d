@@ -1,0 +1,1 @@
+lib/proto/abp.ml: List Netdsl_fsm String

@@ -1,0 +1,1 @@
+lib/proto/abp.mli: Netdsl_fsm

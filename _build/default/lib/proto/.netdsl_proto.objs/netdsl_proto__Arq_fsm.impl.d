@@ -1,0 +1,1 @@
+lib/proto/arq_fsm.ml: List Netdsl_fsm

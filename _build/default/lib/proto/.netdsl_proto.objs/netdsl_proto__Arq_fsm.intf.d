@@ -1,0 +1,1 @@
+lib/proto/arq_fsm.mli: Netdsl_fsm

@@ -1,0 +1,1 @@
+lib/proto/go_back_n.ml: Array Hashtbl Netdsl_formats Netdsl_sim Rto Seqspace

@@ -1,0 +1,1 @@
+lib/proto/go_back_n.mli: Netdsl_sim Rto

@@ -1,0 +1,1 @@
+lib/proto/harness.ml: Format Go_back_n List Netdsl_formats Netdsl_sim Netdsl_util Printf Rto Selective_repeat Stop_and_wait String

@@ -1,0 +1,1 @@
+lib/proto/harness.mli: Netdsl_sim Rto

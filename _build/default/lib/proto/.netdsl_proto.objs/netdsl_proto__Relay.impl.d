@@ -1,0 +1,1 @@
+lib/proto/relay.ml: Hashtbl List Netdsl_adapt Netdsl_sim Netdsl_util Option String

@@ -1,0 +1,1 @@
+lib/proto/relay.mli: Netdsl_sim

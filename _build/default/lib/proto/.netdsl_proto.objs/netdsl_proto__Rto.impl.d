@@ -1,0 +1,1 @@
+lib/proto/rto.ml: Float

@@ -1,0 +1,1 @@
+lib/proto/selective_repeat.ml: Array Hashtbl Netdsl_formats Netdsl_sim Rto Seqspace

@@ -1,0 +1,1 @@
+lib/proto/selective_repeat.mli: Netdsl_sim Rto

@@ -1,0 +1,1 @@
+lib/proto/stop_and_wait.ml: Array Netdsl_formats Netdsl_sim Rto

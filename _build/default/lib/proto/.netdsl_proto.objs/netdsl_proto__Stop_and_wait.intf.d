@@ -1,0 +1,1 @@
+lib/proto/stop_and_wait.mli: Netdsl_sim Rto

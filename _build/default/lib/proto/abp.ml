@@ -1,0 +1,139 @@
+module M = Netdsl_fsm.Machine
+
+let t = M.trans
+
+let sender =
+  M.machine ~name:"sender"
+    ~states:[ "send0"; "wait0"; "send1"; "wait1"; "done" ]
+    ~events:[ "snd0"; "snd1"; "back0"; "back1"; "timeout"; "finish" ]
+    ~initial:"send0" ~accepting:[ "done" ]
+    ~ignores:
+      [
+        (* No timer runs outside the wait states, and nothing remains to be
+           finished once done. *)
+        ("send0", "timeout"); ("send1", "timeout"); ("done", "timeout");
+        ("send0", "snd1"); ("send1", "snd0");
+        ("wait0", "snd0"); ("wait0", "snd1"); ("wait0", "finish");
+        ("wait1", "snd0"); ("wait1", "snd1"); ("wait1", "finish");
+        ("done", "snd0"); ("done", "snd1"); ("done", "finish");
+      ]
+    [
+      t ~label:"s_send0" ~src:"send0" ~event:"snd0" ~dst:"wait0" ();
+      t ~label:"s_acked0" ~src:"wait0" ~event:"back0" ~dst:"send1" ();
+      t ~label:"s_stale1@wait0" ~src:"wait0" ~event:"back1" ~dst:"wait0" ();
+      t ~label:"s_timeout0" ~src:"wait0" ~event:"timeout" ~dst:"send0" ();
+      t ~label:"s_send1" ~src:"send1" ~event:"snd1" ~dst:"wait1" ();
+      t ~label:"s_acked1" ~src:"wait1" ~event:"back1" ~dst:"send0" ();
+      t ~label:"s_stale0@wait1" ~src:"wait1" ~event:"back0" ~dst:"wait1" ();
+      t ~label:"s_timeout1" ~src:"wait1" ~event:"timeout" ~dst:"send1" ();
+      t ~label:"s_finish0" ~src:"send0" ~event:"finish" ~dst:"done" ();
+      t ~label:"s_finish1" ~src:"send1" ~event:"finish" ~dst:"done" ();
+      (* Late acknowledgements arriving after the round completed are
+         consumed and discarded, so the channel can always empty. *)
+      t ~label:"s_late0@send0" ~src:"send0" ~event:"back0" ~dst:"send0" ();
+      t ~label:"s_late1@send0" ~src:"send0" ~event:"back1" ~dst:"send0" ();
+      t ~label:"s_late0@send1" ~src:"send1" ~event:"back0" ~dst:"send1" ();
+      t ~label:"s_late1@send1" ~src:"send1" ~event:"back1" ~dst:"send1" ();
+      t ~label:"s_late0@done" ~src:"done" ~event:"back0" ~dst:"done" ();
+      t ~label:"s_late1@done" ~src:"done" ~event:"back1" ~dst:"done" ();
+    ]
+
+(* A capacity-one channel that accepts [put0]/[put1], then either delivers
+   ([get0]/[get1]) or silently drops. *)
+let channel ~name ~put0 ~put1 ~get0 ~get1 ~drop =
+  M.machine ~name
+    ~states:[ "empty"; "full0"; "full1" ]
+    ~events:[ put0; put1; get0; get1; drop ]
+    ~initial:"empty" ~accepting:[ "empty" ]
+    ~ignores:
+      [
+        ("empty", get0); ("empty", get1); ("empty", drop);
+        ("full0", put0); ("full0", put1); ("full0", get1);
+        ("full1", put0); ("full1", put1); ("full1", get0);
+      ]
+    [
+      t ~label:(name ^ "_put0") ~src:"empty" ~event:put0 ~dst:"full0" ();
+      t ~label:(name ^ "_put1") ~src:"empty" ~event:put1 ~dst:"full1" ();
+      t ~label:(name ^ "_get0") ~src:"full0" ~event:get0 ~dst:"empty" ();
+      t ~label:(name ^ "_get1") ~src:"full1" ~event:get1 ~dst:"empty" ();
+      t ~label:(name ^ "_drop0") ~src:"full0" ~event:drop ~dst:"empty" ();
+      t ~label:(name ^ "_drop1") ~src:"full1" ~event:drop ~dst:"empty" ();
+    ]
+
+let data_channel =
+  channel ~name:"data_channel" ~put0:"snd0" ~put1:"snd1" ~get0:"rcv0" ~get1:"rcv1"
+    ~drop:"drop_data"
+
+let ack_channel =
+  channel ~name:"ack_channel" ~put0:"ack0" ~put1:"ack1" ~get0:"back0" ~get1:"back1"
+    ~drop:"drop_ack"
+
+let receiver_with ~name ~on_duplicate =
+  (* [on_duplicate] is the destination when an already-delivered sequence
+     number arrives again: the correct receiver re-acknowledges without
+     delivering; the buggy one treats it as fresh data. *)
+  let dup0_dst, dup1_dst = on_duplicate in
+  M.machine ~name
+    ~states:[ "r0"; "got0"; "deliv0"; "dup0"; "r1"; "got1"; "deliv1"; "dup1" ]
+    ~events:[ "rcv0"; "rcv1"; "ack0"; "ack1"; "deliver0"; "deliver1" ]
+    ~initial:"r0" ~accepting:[ "r0"; "r1" ]
+    ~ignores:
+      [
+        (* While processing a packet the receiver does not take another. *)
+        ("got0", "rcv0"); ("got0", "rcv1");
+        ("got1", "rcv0"); ("got1", "rcv1");
+        ("deliv0", "rcv0"); ("deliv0", "rcv1");
+        ("deliv1", "rcv0"); ("deliv1", "rcv1");
+        ("dup0", "rcv0"); ("dup0", "rcv1");
+        ("dup1", "rcv0"); ("dup1", "rcv1");
+        ("r0", "ack0"); ("r0", "ack1"); ("r0", "deliver0"); ("r0", "deliver1");
+        ("r1", "ack0"); ("r1", "ack1"); ("r1", "deliver0"); ("r1", "deliver1");
+      ]
+    [
+      t ~label:"r_new0" ~src:"r0" ~event:"rcv0" ~dst:"got0" ();
+      t ~label:"r_deliver0" ~src:"got0" ~event:"deliver0" ~dst:"deliv0" ();
+      t ~label:"r_ack0" ~src:"deliv0" ~event:"ack0" ~dst:"r1" ();
+      t ~label:"r_dup0" ~src:"r1" ~event:"rcv0" ~dst:dup0_dst ();
+      t ~label:"r_reack0" ~src:"dup0" ~event:"ack0" ~dst:"r1" ();
+      t ~label:"r_new1" ~src:"r1" ~event:"rcv1" ~dst:"got1" ();
+      t ~label:"r_deliver1" ~src:"got1" ~event:"deliver1" ~dst:"deliv1" ();
+      t ~label:"r_ack1" ~src:"deliv1" ~event:"ack1" ~dst:"r0" ();
+      t ~label:"r_dup1" ~src:"r0" ~event:"rcv1" ~dst:dup1_dst ();
+      t ~label:"r_reack1" ~src:"dup1" ~event:"ack1" ~dst:"r0" ();
+    ]
+
+let receiver = receiver_with ~name:"receiver" ~on_duplicate:("dup0", "dup1")
+
+(* The classic duplicate bug: a retransmission is handled exactly like new
+   data, so it is delivered a second time. *)
+let buggy_receiver =
+  receiver_with ~name:"buggy_receiver" ~on_duplicate:("got0", "got1")
+
+let monitor =
+  M.machine ~name:"monitor"
+    ~states:[ "m0"; "m1"; "bad" ]
+    ~events:[ "deliver0"; "deliver1" ]
+    ~initial:"m0" ~accepting:[ "m0"; "m1" ]
+    [
+      t ~label:"m_ok0" ~src:"m0" ~event:"deliver0" ~dst:"m1" ();
+      t ~label:"m_ok1" ~src:"m1" ~event:"deliver1" ~dst:"m0" ();
+      t ~label:"m_dup0" ~src:"m1" ~event:"deliver0" ~dst:"bad" ();
+      t ~label:"m_dup1" ~src:"m0" ~event:"deliver1" ~dst:"bad" ();
+      (* Once the property is broken the monitor stays broken but never
+         blocks the system. *)
+      t ~label:"m_sink0" ~src:"bad" ~event:"deliver0" ~dst:"bad" ();
+      t ~label:"m_sink1" ~src:"bad" ~event:"deliver1" ~dst:"bad" ();
+    ]
+
+let system =
+  Netdsl_fsm.Compose.create ~name:"abp"
+    [ sender; data_channel; receiver; ack_channel; monitor ]
+
+let buggy_system =
+  Netdsl_fsm.Compose.create ~name:"abp_buggy"
+    [ sender; data_channel; buggy_receiver; ack_channel; monitor ]
+
+let no_duplicate_delivery (global : Netdsl_fsm.Compose.global) =
+  match List.rev global with
+  | mon :: _ -> not (String.equal mon.M.state "bad")
+  | [] -> true

@@ -1,0 +1,36 @@
+(** The alternating-bit protocol (the minimal ARQ of the paper's §3.4) as
+    machine definitions, plus the lossy-channel and monitor machines needed
+    to verify it by model checking.
+
+    The composed system is sender ∥ data channel ∥ receiver ∥ ack channel ∥
+    delivery monitor.  Channels have capacity one and may silently drop
+    (events [drop_data] / [drop_ack]), which models the paper's harsh
+    network environment.  The monitor observes [deliver0]/[deliver1] and
+    enters its [bad] state on any non-alternating delivery, so the paper's
+    correctness claim — exactly-once, in-order delivery — is the invariant
+    "monitor never reaches [bad]". *)
+
+val sender : Netdsl_fsm.Machine.t
+(** States [send0 → wait0 → send1 → wait1 → …] with retransmission on
+    [timeout] and [finish] into the accepting [done] state — the paper's
+    guarantee 4 (always able to end consistently in success or timeout). *)
+
+val data_channel : Netdsl_fsm.Machine.t
+val ack_channel : Netdsl_fsm.Machine.t
+
+val receiver : Netdsl_fsm.Machine.t
+(** Correct receiver: re-acknowledges duplicates without re-delivering. *)
+
+val buggy_receiver : Netdsl_fsm.Machine.t
+(** A receiver with the classic duplicate bug: a retransmitted packet is
+    treated as new and delivered twice.  Used to show the model checker
+    producing a counterexample trace. *)
+
+val system : Netdsl_fsm.Compose.system
+(** The correct composed protocol. *)
+
+val buggy_system : Netdsl_fsm.Compose.system
+
+val no_duplicate_delivery : Netdsl_fsm.Compose.global -> bool
+(** The invariant: the monitor machine is not in its [bad] state.  Works
+    for both systems (the monitor is the last machine). *)

@@ -1,0 +1,69 @@
+module M = Netdsl_fsm.Machine
+
+let t = M.trans
+
+let pow2 bits = 1 lsl bits
+
+let sender ~seq_bits =
+  let d = pow2 seq_bits in
+  M.machine ~name:"arq_sender"
+    ~states:[ "ready"; "wait"; "timeout"; "sent" ]
+    ~events:[ "send"; "ok"; "fail"; "timeout"; "finish"; "retry" ]
+    ~registers:[ M.reg "seq" ~domain:d ]
+    ~initial:"ready" ~accepting:[ "sent" ]
+    ~ignores:
+      [
+        ("ready", "ok"); ("ready", "fail"); ("ready", "timeout"); ("ready", "retry");
+        ("wait", "send"); ("wait", "finish"); ("wait", "retry");
+        ("timeout", "send"); ("timeout", "ok"); ("timeout", "fail");
+        ("timeout", "timeout"); ("timeout", "finish");
+        ("sent", "send"); ("sent", "ok"); ("sent", "fail");
+        ("sent", "timeout"); ("sent", "finish"); ("sent", "retry");
+      ]
+    [
+      (* SEND : Ready seq -> Wait seq *)
+      t ~label:"SEND" ~src:"ready" ~event:"send" ~dst:"wait" ();
+      (* OK : Wait seq -> Ready (seq+1), carrying the checked packet *)
+      t ~label:"OK" ~src:"wait" ~event:"ok" ~dst:"ready"
+        ~actions:[ M.Assign ("seq", M.Add (M.Reg "seq", M.Int 1)) ]
+        ();
+      (* FAIL : Wait seq -> Ready seq *)
+      t ~label:"FAIL" ~src:"wait" ~event:"fail" ~dst:"ready" ();
+      (* TIMEOUT : Wait seq -> Timeout seq *)
+      t ~label:"TIMEOUT" ~src:"wait" ~event:"timeout" ~dst:"timeout" ();
+      (* The paper's NextSent Failure arm: after a timeout the machine is
+         ready to try the same sequence number again. *)
+      t ~label:"RETRY" ~src:"timeout" ~event:"retry" ~dst:"ready" ();
+      (* FINISH : Ready seq -> Sent seq *)
+      t ~label:"FINISH" ~src:"ready" ~event:"finish" ~dst:"sent" ();
+    ]
+
+let receiver ~seq_bits =
+  let d = pow2 seq_bits in
+  M.machine ~name:"arq_receiver"
+    ~states:[ "ready_for" ]
+    ~events:[ "ok" ]
+    ~registers:[ M.reg "expected" ~domain:d ]
+    ~initial:"ready_for" ~accepting:[ "ready_for" ]
+    [
+      (* RECV : ReadyFor seq -> ReadyFor (seq+1), only for a verified
+         packet — here abstracted as the shared OK rendezvous. *)
+      t ~label:"RECV" ~src:"ready_for" ~event:"ok" ~dst:"ready_for"
+        ~actions:[ M.Assign ("expected", M.Add (M.Reg "expected", M.Int 1)) ]
+        ();
+    ]
+
+let system ~seq_bits =
+  Netdsl_fsm.Compose.create ~name:"arq"
+    [ sender ~seq_bits; receiver ~seq_bits ]
+
+let in_sync (global : Netdsl_fsm.Compose.global) =
+  match global with
+  | [ snd; rcv ] -> (
+    match (List.assoc_opt "seq" snd.M.regs, List.assoc_opt "expected" rcv.M.regs) with
+    | Some s, Some e ->
+      (* The receiver's expectation tracks the sender's counter exactly:
+         OK is the only step that advances either, and it advances both. *)
+      s = e
+    | _ -> false)
+  | _ -> false

@@ -1,0 +1,21 @@
+(** The paper's §3.4 send/receive machines, parameterised by sequence-number
+    width — the dynamic (first-class FSM) counterpart of [Netdsl_typed].
+
+    States and transitions follow the paper's [SendSt] / [SendTrans]
+    datatypes: Ready, Wait, Timeout and Sent, with SEND / OK / FAIL /
+    TIMEOUT / FINISH transitions, plus RETRY (the paper's [NextSent]
+    "ready to try again" arm).  The sequence number is a register with
+    domain [2^seq_bits], so the explored configuration space grows as
+    [O(2^seq_bits)] — the state explosion experiment E5 sweeps this
+    parameter. *)
+
+val sender : seq_bits:int -> Netdsl_fsm.Machine.t
+val receiver : seq_bits:int -> Netdsl_fsm.Machine.t
+
+val system : seq_bits:int -> Netdsl_fsm.Compose.system
+(** Sender and receiver synchronised on [ok] (delivery + acknowledgement
+    collapse into one rendezvous, as in the paper's sketch). *)
+
+val in_sync : Netdsl_fsm.Compose.global -> bool
+(** Invariant for {!system}: the receiver never runs ahead of the sender by
+    more than the one packet in flight. *)

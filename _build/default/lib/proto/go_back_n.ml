@@ -1,0 +1,216 @@
+module E = Netdsl_sim.Engine
+module T = Netdsl_sim.Timer
+module Arq = Netdsl_formats.Arq
+
+type result =
+  | Complete of { finished_at : float }
+  | Gave_up of { at_message : int; finished_at : float }
+
+type sender_stats = {
+  transmissions : int;
+  retransmissions : int;
+  acks_received : int;
+  stale_acks : int;
+  corrupt_dropped : int;
+}
+
+type sender = {
+  engine : E.t;
+  transmit : string -> unit;
+  rto : Rto.t;
+  timer : T.t;
+  messages : string array;
+  window : int;
+  max_retries : int;
+  on_result : result -> unit;
+  mutable base : int; (* oldest unacknowledged message *)
+  mutable next_seq : int; (* next never-sent message *)
+  mutable retries : int;
+  sent_at : (int, float) Hashtbl.t; (* absolute index -> first-send time *)
+  retransmitted : (int, unit) Hashtbl.t;
+  mutable finished : bool;
+  mutable s_transmissions : int;
+  mutable s_retransmissions : int;
+  mutable s_acks : int;
+  mutable s_stale : int;
+  mutable s_corrupt : int;
+}
+
+let wire i = i mod Arq.seq_modulus
+
+let transmit_packet s i ~resend =
+  let frame = Arq.to_bytes (Arq.Data { seq = wire i; payload = s.messages.(i) }) in
+  s.s_transmissions <- s.s_transmissions + 1;
+  if resend then begin
+    s.s_retransmissions <- s.s_retransmissions + 1;
+    Hashtbl.replace s.retransmitted i ()
+  end
+  else Hashtbl.replace s.sent_at i (E.now s.engine);
+  s.transmit frame
+
+let arm s = T.start s.timer ~after:(Rto.current s.rto)
+
+let fill_window s =
+  while s.next_seq < Array.length s.messages && s.next_seq - s.base < s.window do
+    transmit_packet s s.next_seq ~resend:false;
+    s.next_seq <- s.next_seq + 1
+  done;
+  if s.base < s.next_seq && not (T.is_running s.timer) then arm s
+
+let finish s result =
+  s.finished <- true;
+  T.stop s.timer;
+  s.on_result result
+
+let on_timeout s () =
+  if not s.finished then begin
+    if s.retries >= s.max_retries then
+      finish s (Gave_up { at_message = s.base; finished_at = E.now s.engine })
+    else begin
+      s.retries <- s.retries + 1;
+      Rto.on_timeout s.rto;
+      (* Go-back-N: resend the whole outstanding window. *)
+      for i = s.base to s.next_seq - 1 do
+        transmit_packet s i ~resend:true
+      done;
+      arm s
+    end
+  end
+
+let create_sender engine ~transmit ~rto ~window ?(max_retries = 20) ~on_result
+    messages =
+  if window < 1 || window > 127 then
+    invalid_arg "Go_back_n.create_sender: window must be in [1, 127]";
+  let s_ref = ref None in
+  let timer =
+    T.create engine ~on_expiry:(fun () ->
+        match !s_ref with Some s -> on_timeout s () | None -> ())
+  in
+  let s =
+    {
+      engine;
+      transmit;
+      rto = Rto.create rto;
+      timer;
+      messages = Array.of_list messages;
+      window;
+      max_retries;
+      on_result;
+      base = 0;
+      next_seq = 0;
+      retries = 0;
+      sent_at = Hashtbl.create 64;
+      retransmitted = Hashtbl.create 64;
+      finished = false;
+      s_transmissions = 0;
+      s_retransmissions = 0;
+      s_acks = 0;
+      s_stale = 0;
+      s_corrupt = 0;
+    }
+  in
+  s_ref := Some s;
+  if Array.length s.messages = 0 then
+    finish s (Complete { finished_at = E.now engine })
+  else fill_window s;
+  s
+
+let sender_receive s bytes =
+  if not s.finished then
+    match Arq.of_bytes bytes with
+    | Error _ -> s.s_corrupt <- s.s_corrupt + 1
+    | Ok (Arq.Data _) -> s.s_stale <- s.s_stale + 1
+    | Ok (Arq.Ack { seq }) -> (
+      (* Cumulative: everything up to the acknowledged index is done. *)
+      match
+        Seqspace.resolve ~modulus:Arq.seq_modulus ~wire:seq ~lo:s.base
+          ~hi:(s.next_seq - 1)
+      with
+      | None -> s.s_stale <- s.s_stale + 1
+      | Some acked ->
+        s.s_acks <- s.s_acks + 1;
+        (if not (Hashtbl.mem s.retransmitted acked) then
+           match Hashtbl.find_opt s.sent_at acked with
+           | Some t0 -> Rto.on_sample s.rto (E.now s.engine -. t0)
+           | None -> ()
+         else Rto.on_success_after_backoff s.rto);
+        s.base <- acked + 1;
+        s.retries <- 0;
+        if s.base >= Array.length s.messages then
+          finish s (Complete { finished_at = E.now s.engine })
+        else begin
+          T.stop s.timer;
+          fill_window s;
+          if s.base < s.next_seq then arm s
+        end)
+
+let sender_stats s =
+  {
+    transmissions = s.s_transmissions;
+    retransmissions = s.s_retransmissions;
+    acks_received = s.s_acks;
+    stale_acks = s.s_stale;
+    corrupt_dropped = s.s_corrupt;
+  }
+
+let sender_done s = s.finished
+
+type receiver_stats = {
+  deliveries : int;
+  out_of_order : int;
+  corrupt_dropped_r : int;
+  acks_sent : int;
+}
+
+type receiver = {
+  r_transmit : string -> unit;
+  r_deliver : string -> unit;
+  mutable expected : int;
+  mutable r_deliveries : int;
+  mutable r_ooo : int;
+  mutable r_corrupt : int;
+  mutable r_acks : int;
+}
+
+let create_receiver _engine ~transmit ~deliver =
+  {
+    r_transmit = transmit;
+    r_deliver = deliver;
+    expected = 0;
+    r_deliveries = 0;
+    r_ooo = 0;
+    r_corrupt = 0;
+    r_acks = 0;
+  }
+
+let ack_last_in_order r =
+  if r.expected > 0 then begin
+    r.r_acks <- r.r_acks + 1;
+    r.r_transmit (Arq.to_bytes (Arq.Ack { seq = wire (r.expected - 1) }))
+  end
+
+let receiver_receive r bytes =
+  match Arq.of_bytes bytes with
+  | Error _ -> r.r_corrupt <- r.r_corrupt + 1
+  | Ok (Arq.Ack _) -> ()
+  | Ok (Arq.Data { seq; payload }) ->
+    if seq = wire r.expected then begin
+      r.r_deliveries <- r.r_deliveries + 1;
+      r.r_deliver payload;
+      r.expected <- r.expected + 1;
+      ack_last_in_order r
+    end
+    else begin
+      (* Out of order (a gap, or a duplicate): discard the payload and
+         re-assert the cumulative acknowledgement. *)
+      r.r_ooo <- r.r_ooo + 1;
+      ack_last_in_order r
+    end
+
+let receiver_stats r =
+  {
+    deliveries = r.r_deliveries;
+    out_of_order = r.r_ooo;
+    corrupt_dropped_r = r.r_corrupt;
+    acks_sent = r.r_acks;
+  }

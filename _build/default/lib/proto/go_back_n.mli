@@ -1,0 +1,56 @@
+(** Go-back-N ARQ: the first sliding-window refinement of the paper's
+    stop-and-wait example (its "build new protocols ... quickly and easily"
+    library ambition).  Up to [window] packets are in flight; the receiver
+    accepts only in order and acknowledges cumulatively; a timeout resends
+    the whole window.
+
+    Wire format is the same {!Netdsl_formats.Arq} packet; an ACK carries
+    the highest in-order sequence number received. *)
+
+type result =
+  | Complete of { finished_at : float }
+  | Gave_up of { at_message : int; finished_at : float }
+
+type sender_stats = {
+  transmissions : int;
+  retransmissions : int;
+  acks_received : int;
+  stale_acks : int;
+  corrupt_dropped : int;
+}
+
+type sender
+
+val create_sender :
+  Netdsl_sim.Engine.t ->
+  transmit:(string -> unit) ->
+  rto:Rto.policy ->
+  window:int ->
+  ?max_retries:int ->
+  on_result:(result -> unit) ->
+  string list ->
+  sender
+(** [window] must be in [\[1, 127\]] so cumulative ACKs are unambiguous in
+    the 8-bit sequence space. *)
+
+val sender_receive : sender -> string -> unit
+val sender_stats : sender -> sender_stats
+val sender_done : sender -> bool
+
+type receiver_stats = {
+  deliveries : int;
+  out_of_order : int;  (** valid DATA discarded for arriving out of order *)
+  corrupt_dropped_r : int;
+  acks_sent : int;
+}
+
+type receiver
+
+val create_receiver :
+  Netdsl_sim.Engine.t ->
+  transmit:(string -> unit) ->
+  deliver:(string -> unit) ->
+  receiver
+
+val receiver_receive : receiver -> string -> unit
+val receiver_stats : receiver -> receiver_stats

@@ -1,0 +1,175 @@
+module E = Netdsl_sim.Engine
+module Ch = Netdsl_sim.Channel
+module P = Netdsl_util.Prng
+
+type protocol =
+  | Stop_and_wait
+  | Go_back_n of int
+  | Selective_repeat of int
+
+let protocol_name = function
+  | Stop_and_wait -> "stop-and-wait"
+  | Go_back_n w -> Printf.sprintf "go-back-%d" w
+  | Selective_repeat w -> Printf.sprintf "selective-repeat-%d" w
+
+type outcome = {
+  delivered : string list;
+  completed : bool;
+  gave_up : bool;
+  duration : float;
+  transmissions : int;
+  retransmissions : int;
+  acks_sent : int;
+  corrupt_dropped : int;
+  data_stats : Ch.stats;
+  ack_stats : Ch.stats;
+}
+
+let frame_label bytes =
+  match Netdsl_formats.Arq.of_bytes bytes with
+  | Ok p -> Format.asprintf "%a" Netdsl_formats.Arq.pp_packet p
+  | Error _ -> Printf.sprintf "CORRUPT (%d bytes)" (String.length bytes)
+
+let run ?(seed = 1L) ?(data_cfg = Ch.default_config) ?(ack_cfg = Ch.default_config)
+    ?(rto = Rto.Fixed 1.0) ?(max_retries = 20) ?(until = 10_000.0) ?trace protocol
+    ~messages () =
+  let engine = E.create () in
+  let rng = P.create seed in
+  let delivered = ref [] in
+  let finished = ref None in
+  let duration = ref 0.0 in
+  let record source fmt =
+    Printf.ksprintf
+      (fun msg ->
+        match trace with
+        | Some t -> Netdsl_sim.Trace.record t engine ~source msg
+        | None -> ())
+      fmt
+  in
+  (* The wiring is circular (sender -> data channel -> receiver -> ack
+     channel -> sender); late-bound receive hooks break the cycle. *)
+  let to_receiver = ref (fun (_ : string) -> ()) in
+  let to_sender = ref (fun (_ : string) -> ()) in
+  let data_channel =
+    Ch.create engine (P.split rng) data_cfg ~deliver:(fun bytes ->
+        record "receiver" "recv %s" (frame_label bytes);
+        !to_receiver bytes)
+  in
+  let ack_channel =
+    Ch.create engine (P.split rng) ack_cfg ~deliver:(fun bytes ->
+        record "sender" "recv %s" (frame_label bytes);
+        !to_sender bytes)
+  in
+  let deliver payload =
+    record "app" "deliver %S" payload;
+    delivered := payload :: !delivered
+  in
+  let on_complete completed =
+    finished := Some completed;
+    duration := E.now engine
+  in
+  let stats =
+    match protocol with
+    | Stop_and_wait ->
+      let receiver =
+        Stop_and_wait.create_receiver engine
+          ~transmit:(fun b ->
+            record "receiver" "send %s" (frame_label b);
+            Ch.send ack_channel b)
+          ~deliver
+      in
+      to_receiver := Stop_and_wait.receiver_receive receiver;
+      let sender =
+        Stop_and_wait.create_sender engine
+          ~transmit:(fun b ->
+            record "sender" "send %s" (frame_label b);
+            Ch.send data_channel b)
+          ~rto ~max_retries
+          ~on_result:(function
+            | Stop_and_wait.Complete _ -> on_complete true
+            | Stop_and_wait.Gave_up _ -> on_complete false)
+          messages
+      in
+      to_sender := Stop_and_wait.sender_receive sender;
+      fun () ->
+        let ss = Stop_and_wait.sender_stats sender in
+        let rs = Stop_and_wait.receiver_stats receiver in
+        ( ss.Stop_and_wait.transmissions,
+          ss.Stop_and_wait.retransmissions,
+          rs.Stop_and_wait.acks_sent,
+          ss.Stop_and_wait.corrupt_dropped + rs.Stop_and_wait.corrupt_dropped_r )
+    | Go_back_n window ->
+      let receiver =
+        Go_back_n.create_receiver engine
+          ~transmit:(fun b ->
+            record "receiver" "send %s" (frame_label b);
+            Ch.send ack_channel b)
+          ~deliver
+      in
+      to_receiver := Go_back_n.receiver_receive receiver;
+      let sender =
+        Go_back_n.create_sender engine
+          ~transmit:(fun b ->
+            record "sender" "send %s" (frame_label b);
+            Ch.send data_channel b)
+          ~rto ~window ~max_retries
+          ~on_result:(function
+            | Go_back_n.Complete _ -> on_complete true
+            | Go_back_n.Gave_up _ -> on_complete false)
+          messages
+      in
+      to_sender := Go_back_n.sender_receive sender;
+      fun () ->
+        let ss = Go_back_n.sender_stats sender in
+        let rs = Go_back_n.receiver_stats receiver in
+        ( ss.Go_back_n.transmissions,
+          ss.Go_back_n.retransmissions,
+          rs.Go_back_n.acks_sent,
+          ss.Go_back_n.corrupt_dropped + rs.Go_back_n.corrupt_dropped_r )
+    | Selective_repeat window ->
+      let receiver =
+        Selective_repeat.create_receiver engine
+          ~transmit:(fun b ->
+            record "receiver" "send %s" (frame_label b);
+            Ch.send ack_channel b)
+          ~window ~deliver
+      in
+      to_receiver := Selective_repeat.receiver_receive receiver;
+      let sender =
+        Selective_repeat.create_sender engine
+          ~transmit:(fun b ->
+            record "sender" "send %s" (frame_label b);
+            Ch.send data_channel b)
+          ~rto ~window ~max_retries
+          ~on_result:(function
+            | Selective_repeat.Complete _ -> on_complete true
+            | Selective_repeat.Gave_up _ -> on_complete false)
+          messages
+      in
+      to_sender := Selective_repeat.sender_receive sender;
+      fun () ->
+        let ss = Selective_repeat.sender_stats sender in
+        let rs = Selective_repeat.receiver_stats receiver in
+        ( ss.Selective_repeat.transmissions,
+          ss.Selective_repeat.retransmissions,
+          rs.Selective_repeat.acks_sent,
+          ss.Selective_repeat.corrupt_dropped + rs.Selective_repeat.corrupt_dropped_r )
+  in
+  ignore (E.run ~until engine);
+  let transmissions, retransmissions, acks_sent, corrupt_dropped = stats () in
+  {
+    delivered = List.rev !delivered;
+    completed = !finished = Some true;
+    gave_up = !finished = Some false;
+    duration = (match !finished with Some _ -> !duration | None -> until);
+    transmissions;
+    retransmissions;
+    acks_sent;
+    corrupt_dropped;
+    data_stats = Ch.stats data_channel;
+    ack_stats = Ch.stats ack_channel;
+  }
+
+let exactly_once_in_order outcome ~messages =
+  List.length outcome.delivered = List.length messages
+  && List.for_all2 String.equal outcome.delivered messages

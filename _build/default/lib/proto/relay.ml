@@ -1,0 +1,104 @@
+module E = Netdsl_sim.Engine
+module Net = Netdsl_sim.Network
+module T = Netdsl_sim.Timer
+module P = Netdsl_util.Prng
+module Trust = Netdsl_adapt.Trust
+
+type relay_spec = { relay_name : string; forward_prob : float }
+
+type outcome = {
+  delivered : int;
+  probes : int;
+  scores : (string * float) list;
+  per_relay : (string * int) list;
+  duration : float;
+}
+
+let default_link = Netdsl_sim.Channel.config ~delay:(Netdsl_sim.Channel.Constant 0.01) ()
+
+let run ?(seed = 1L) ?(probes = 1000) ?(timeout = 0.5) ?(epsilon = 0.1)
+    ?(alpha = 0.15) ?(link = default_link) relays =
+  let engine = E.create () in
+  let rng = P.create seed in
+  let net = Net.create engine (P.split rng) in
+  let relay_rng = P.split rng in
+  let trust =
+    Trust.create ~epsilon ~alpha
+      ~relays:(List.map (fun r -> r.relay_name) relays)
+      (P.split rng)
+  in
+  (* Destination: acknowledge every probe back through the relay that
+     carried it (the message carries the relay name, since the destination
+     addresses the reverse path hop by hop). *)
+  Net.add_node net "source" ~on_receive:(fun ~src:_ _ -> ());
+  Net.add_node net "destination" ~on_receive:(fun ~src:_ _ -> ());
+  List.iter
+    (fun spec ->
+      Net.add_node net spec.relay_name ~on_receive:(fun ~src:_ _ -> ());
+      Net.connect net ~config:link "source" spec.relay_name;
+      Net.connect net ~config:link spec.relay_name "destination")
+    relays;
+  (* Relays: forward between source and destination — or, if compromised,
+     silently drop. *)
+  List.iter
+    (fun spec ->
+      Net.set_receiver net spec.relay_name (fun ~src bytes ->
+          if P.bernoulli relay_rng spec.forward_prob then
+            let next =
+              if String.equal src "source" then "destination" else "source"
+            in
+            Net.send net ~src:spec.relay_name ~dst:next bytes))
+    relays;
+  Net.set_receiver net "destination" (fun ~src bytes ->
+      (* Echo the probe as its own acknowledgement, back the way it came. *)
+      Net.send net ~src:"destination" ~dst:src bytes);
+  let delivered = ref 0 in
+  let per_relay = Hashtbl.create 8 in
+  let outstanding = ref None in
+  (* (probe id, relay) *)
+  let probes_done = ref 0 in
+  let timer = ref None in
+  let rec launch_next () =
+    if !probes_done < probes then begin
+      let id = !probes_done in
+      let relay = Trust.choose trust in
+      Hashtbl.replace per_relay relay
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_relay relay));
+      outstanding := Some (id, relay);
+      Net.send net ~src:"source" ~dst:relay (string_of_int id);
+      match !timer with
+      | Some t -> T.start t ~after:timeout
+      | None -> assert false
+    end
+  and resolve ~success relay =
+    outstanding := None;
+    (match !timer with Some t -> T.stop t | None -> ());
+    Trust.report trust relay ~success;
+    incr probes_done;
+    launch_next ()
+  in
+  timer :=
+    Some
+      (T.create engine ~on_expiry:(fun () ->
+           match !outstanding with
+           | Some (_, relay) -> resolve ~success:false relay
+           | None -> ()));
+  Net.set_receiver net "source" (fun ~src bytes ->
+      match !outstanding with
+      | Some (id, relay)
+        when String.equal src relay && String.equal bytes (string_of_int id) ->
+        incr delivered;
+        resolve ~success:true relay
+      | Some _ | None -> () (* stale or duplicate ack: ignore *));
+  launch_next ();
+  ignore (E.run engine);
+  {
+    delivered = !delivered;
+    probes;
+    scores = Trust.scores trust;
+    per_relay =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_relay []);
+    duration = E.now engine;
+  }

@@ -1,0 +1,37 @@
+(** An executable rendering of the paper's untrusted-relay scenario
+    (§1.1 (ii), ref [12]) on the simulated network: a source probes a
+    destination through relays it cannot inspect, learns per-relay trust
+    from end-to-end acknowledgements, and concentrates traffic on relays
+    that actually forward.
+
+    Topology: [source — relay_i — destination] for each relay.  A relay's
+    honesty is its forwarding probability; a compromised relay silently
+    discards most traffic, indistinguishable (to the source) from loss —
+    exactly the uncertainty the paper says protocols must live with. *)
+
+type relay_spec = {
+  relay_name : string;
+  forward_prob : float;  (** probability the relay actually forwards *)
+}
+
+type outcome = {
+  delivered : int;  (** acknowledged probes *)
+  probes : int;
+  scores : (string * float) list;  (** learned trust, descending *)
+  per_relay : (string * int) list;  (** probes carried by each relay *)
+  duration : float;  (** virtual seconds *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?probes:int ->
+  ?timeout:float ->
+  ?epsilon:float ->
+  ?alpha:float ->
+  ?link:Netdsl_sim.Channel.config ->
+  relay_spec list ->
+  outcome
+(** [run relays] drives [probes] (default 1000) sequential probes; each
+    waits for an end-to-end ack or a [timeout] (default 0.5 virtual s).
+    [link] impairs every physical hop identically (default: 10 ms constant
+    delay, lossless — so the only uncertainty is the relays). *)

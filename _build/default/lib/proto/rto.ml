@@ -1,0 +1,64 @@
+type params = {
+  initial : float;
+  min_rto : float;
+  max_rto : float;
+  alpha : float;
+  beta : float;
+  k : float;
+}
+
+type policy = Fixed of float | Adaptive of params
+
+let default_params =
+  { initial = 1.0; min_rto = 0.01; max_rto = 60.0; alpha = 1. /. 8.; beta = 1. /. 4.; k = 4.0 }
+
+let adaptive ?(initial = default_params.initial) ?(min_rto = default_params.min_rto)
+    ?(max_rto = default_params.max_rto) () =
+  Adaptive { default_params with initial; min_rto; max_rto }
+
+type estimator = {
+  p : params;
+  mutable srtt : float option;
+  mutable rttvar : float;
+  mutable backoff : float; (* multiplicative factor, >= 1 *)
+}
+
+type t = Fixed_t of float | Adaptive_t of estimator
+
+let create = function
+  | Fixed f -> Fixed_t f
+  | Adaptive p -> Adaptive_t { p; srtt = None; rttvar = 0.0; backoff = 1.0 }
+
+let clamp p v = Float.max p.min_rto (Float.min p.max_rto v)
+
+let current = function
+  | Fixed_t f -> f
+  | Adaptive_t e -> (
+    match e.srtt with
+    | None -> clamp e.p (e.p.initial *. e.backoff)
+    | Some srtt -> clamp e.p ((srtt +. (e.p.k *. e.rttvar)) *. e.backoff))
+
+let on_sample t rtt =
+  match t with
+  | Fixed_t _ -> ()
+  | Adaptive_t e -> (
+    match e.srtt with
+    | None ->
+      (* RFC 6298 initialisation. *)
+      e.srtt <- Some rtt;
+      e.rttvar <- rtt /. 2.0;
+      e.backoff <- 1.0
+    | Some srtt ->
+      e.rttvar <- ((1.0 -. e.p.beta) *. e.rttvar) +. (e.p.beta *. Float.abs (srtt -. rtt));
+      e.srtt <- Some (((1.0 -. e.p.alpha) *. srtt) +. (e.p.alpha *. rtt));
+      e.backoff <- 1.0)
+
+let on_timeout = function
+  | Fixed_t _ -> ()
+  | Adaptive_t e -> e.backoff <- Float.min 64.0 (e.backoff *. 2.0)
+
+let on_success_after_backoff = function
+  | Fixed_t _ -> ()
+  | Adaptive_t e -> e.backoff <- 1.0
+
+let srtt = function Fixed_t _ -> None | Adaptive_t e -> e.srtt

@@ -1,0 +1,44 @@
+(** Retransmission-timeout policies: the paper's "tuning protocol operation
+    for improved performance ... adaptation of protocol timers" (§1.1,
+    ref [5]).
+
+    The adaptive policy is the classic Jacobson/Karn estimator: smoothed
+    RTT plus variance, exponential backoff on timeout, and no sampling of
+    retransmitted packets (Karn's rule is the caller's duty: only call
+    {!on_sample} for unambiguous measurements). *)
+
+type policy =
+  | Fixed of float  (** constant timeout, no adaptation *)
+  | Adaptive of params
+
+and params = {
+  initial : float;  (** RTO before any sample *)
+  min_rto : float;
+  max_rto : float;
+  alpha : float;  (** SRTT gain, canonically 1/8 *)
+  beta : float;  (** RTTVAR gain, canonically 1/4 *)
+  k : float;  (** variance multiplier, canonically 4 *)
+}
+
+val default_params : params
+(** initial 1s, bounds [0.01, 60], canonical gains. *)
+
+val adaptive : ?initial:float -> ?min_rto:float -> ?max_rto:float -> unit -> policy
+
+type t
+
+val create : policy -> t
+val current : t -> float
+(** The timeout to arm for the next transmission. *)
+
+val on_sample : t -> float -> unit
+(** Feed an unambiguous RTT measurement (seconds).  No-op for [Fixed]. *)
+
+val on_timeout : t -> unit
+(** Exponential backoff (doubling, clamped).  No-op for [Fixed]. *)
+
+val on_success_after_backoff : t -> unit
+(** Clears backoff once a fresh sample is expected again. *)
+
+val srtt : t -> float option
+(** Smoothed RTT, when at least one sample has been taken. *)

@@ -1,0 +1,254 @@
+module E = Netdsl_sim.Engine
+module T = Netdsl_sim.Timer
+module Arq = Netdsl_formats.Arq
+
+type result =
+  | Complete of { finished_at : float }
+  | Gave_up of { at_message : int; finished_at : float }
+
+type sender_stats = {
+  transmissions : int;
+  retransmissions : int;
+  acks_received : int;
+  stale_acks : int;
+  corrupt_dropped : int;
+}
+
+(* Per-outstanding-packet bookkeeping. *)
+type slot = {
+  mutable acked : bool;
+  mutable slot_retransmitted : bool;
+  mutable first_sent : float;
+  mutable slot_retries : int;
+  slot_timer : T.t;
+}
+
+type sender = {
+  engine : E.t;
+  transmit : string -> unit;
+  rto : Rto.t;
+  messages : string array;
+  window : int;
+  max_retries : int;
+  on_result : result -> unit;
+  slots : (int, slot) Hashtbl.t; (* absolute index -> slot *)
+  mutable base : int;
+  mutable next_seq : int;
+  mutable finished : bool;
+  mutable s_transmissions : int;
+  mutable s_retransmissions : int;
+  mutable s_acks : int;
+  mutable s_stale : int;
+  mutable s_corrupt : int;
+}
+
+let wire i = i mod Arq.seq_modulus
+
+let frame_of s i = Arq.to_bytes (Arq.Data { seq = wire i; payload = s.messages.(i) })
+
+let finish s result =
+  s.finished <- true;
+  Hashtbl.iter (fun _ slot -> T.stop slot.slot_timer) s.slots;
+  s.on_result result
+
+let rec on_slot_timeout s i () =
+  if not s.finished then
+    match Hashtbl.find_opt s.slots i with
+    | None -> ()
+    | Some slot ->
+      if slot.acked then ()
+      else if slot.slot_retries >= s.max_retries then
+        finish s (Gave_up { at_message = i; finished_at = E.now s.engine })
+      else begin
+        slot.slot_retries <- slot.slot_retries + 1;
+        slot.slot_retransmitted <- true;
+        s.s_retransmissions <- s.s_retransmissions + 1;
+        s.s_transmissions <- s.s_transmissions + 1;
+        Rto.on_timeout s.rto;
+        s.transmit (frame_of s i);
+        T.start slot.slot_timer ~after:(Rto.current s.rto)
+      end
+
+and send_fresh s i =
+  let slot =
+    {
+      acked = false;
+      slot_retransmitted = false;
+      first_sent = E.now s.engine;
+      slot_retries = 0;
+      slot_timer = T.create s.engine ~on_expiry:(fun () -> on_slot_timeout s i ());
+    }
+  in
+  Hashtbl.replace s.slots i slot;
+  s.s_transmissions <- s.s_transmissions + 1;
+  s.transmit (frame_of s i);
+  T.start slot.slot_timer ~after:(Rto.current s.rto)
+
+let fill_window s =
+  while s.next_seq < Array.length s.messages && s.next_seq - s.base < s.window do
+    send_fresh s s.next_seq;
+    s.next_seq <- s.next_seq + 1
+  done
+
+let create_sender engine ~transmit ~rto ~window ?(max_retries = 20) ~on_result
+    messages =
+  if window < 1 || window > 127 then
+    invalid_arg "Selective_repeat.create_sender: window must be in [1, 127]";
+  let s =
+    {
+      engine;
+      transmit;
+      rto = Rto.create rto;
+      messages = Array.of_list messages;
+      window;
+      max_retries;
+      on_result;
+      slots = Hashtbl.create 64;
+      base = 0;
+      next_seq = 0;
+      finished = false;
+      s_transmissions = 0;
+      s_retransmissions = 0;
+      s_acks = 0;
+      s_stale = 0;
+      s_corrupt = 0;
+    }
+  in
+  if Array.length s.messages = 0 then
+    finish s (Complete { finished_at = E.now engine })
+  else fill_window s;
+  s
+
+let sender_receive s bytes =
+  if not s.finished then
+    match Arq.of_bytes bytes with
+    | Error _ -> s.s_corrupt <- s.s_corrupt + 1
+    | Ok (Arq.Data _) -> s.s_stale <- s.s_stale + 1
+    | Ok (Arq.Ack { seq }) -> (
+      match
+        Seqspace.resolve ~modulus:Arq.seq_modulus ~wire:seq ~lo:s.base
+          ~hi:(s.next_seq - 1)
+      with
+      | None -> s.s_stale <- s.s_stale + 1
+      | Some i -> (
+        match Hashtbl.find_opt s.slots i with
+        | None -> s.s_stale <- s.s_stale + 1
+        | Some slot ->
+          if slot.acked then s.s_stale <- s.s_stale + 1
+          else begin
+            s.s_acks <- s.s_acks + 1;
+            slot.acked <- true;
+            T.stop slot.slot_timer;
+            if slot.slot_retransmitted then Rto.on_success_after_backoff s.rto
+            else Rto.on_sample s.rto (E.now s.engine -. slot.first_sent);
+            (* Slide the base over the acknowledged prefix. *)
+            let continue = ref true in
+            while !continue do
+              match Hashtbl.find_opt s.slots s.base with
+              | Some sl when sl.acked ->
+                Hashtbl.remove s.slots s.base;
+                s.base <- s.base + 1
+              | Some _ | None -> continue := false
+            done;
+            if s.base >= Array.length s.messages then
+              finish s (Complete { finished_at = E.now s.engine })
+            else fill_window s
+          end))
+
+let sender_stats s =
+  {
+    transmissions = s.s_transmissions;
+    retransmissions = s.s_retransmissions;
+    acks_received = s.s_acks;
+    stale_acks = s.s_stale;
+    corrupt_dropped = s.s_corrupt;
+  }
+
+let sender_done s = s.finished
+
+type receiver_stats = {
+  deliveries : int;
+  buffered : int;
+  duplicates : int;
+  corrupt_dropped_r : int;
+  acks_sent : int;
+}
+
+type receiver = {
+  r_transmit : string -> unit;
+  r_deliver : string -> unit;
+  r_window : int;
+  buffer : (int, string) Hashtbl.t; (* absolute index -> payload *)
+  mutable expected : int;
+  mutable r_deliveries : int;
+  mutable r_buffered : int;
+  mutable r_duplicates : int;
+  mutable r_corrupt : int;
+  mutable r_acks : int;
+}
+
+let create_receiver _engine ~transmit ~window ~deliver =
+  if window < 1 || window > 127 then
+    invalid_arg "Selective_repeat.create_receiver: window must be in [1, 127]";
+  {
+    r_transmit = transmit;
+    r_deliver = deliver;
+    r_window = window;
+    buffer = Hashtbl.create 64;
+    expected = 0;
+    r_deliveries = 0;
+    r_buffered = 0;
+    r_duplicates = 0;
+    r_corrupt = 0;
+    r_acks = 0;
+  }
+
+let r_ack r seq =
+  r.r_acks <- r.r_acks + 1;
+  r.r_transmit (Arq.to_bytes (Arq.Ack { seq }))
+
+let receiver_receive r bytes =
+  match Arq.of_bytes bytes with
+  | Error _ -> r.r_corrupt <- r.r_corrupt + 1
+  | Ok (Arq.Ack _) -> ()
+  | Ok (Arq.Data { seq; payload }) -> (
+    (* The incoming wire number can denote a packet in the receive window
+       or one of the last window's packets whose ACK was lost. *)
+    let lo = max 0 (r.expected - r.r_window) in
+    let hi = r.expected + r.r_window - 1 in
+    match Seqspace.resolve ~modulus:Arq.seq_modulus ~wire:seq ~lo ~hi with
+    | None -> r.r_duplicates <- r.r_duplicates + 1
+    | Some i ->
+      if i < r.expected then begin
+        (* Already delivered; the ACK must have been lost. *)
+        r.r_duplicates <- r.r_duplicates + 1;
+        r_ack r seq
+      end
+      else begin
+        if not (Hashtbl.mem r.buffer i) then begin
+          Hashtbl.replace r.buffer i payload;
+          if i > r.expected then r.r_buffered <- r.r_buffered + 1
+        end
+        else r.r_duplicates <- r.r_duplicates + 1;
+        r_ack r seq;
+        (* Release the in-order prefix. *)
+        let continue = ref true in
+        while !continue do
+          match Hashtbl.find_opt r.buffer r.expected with
+          | Some p ->
+            Hashtbl.remove r.buffer r.expected;
+            r.r_deliveries <- r.r_deliveries + 1;
+            r.r_deliver p;
+            r.expected <- r.expected + 1
+          | None -> continue := false
+        done
+      end)
+
+let receiver_stats r =
+  {
+    deliveries = r.r_deliveries;
+    buffered = r.r_buffered;
+    duplicates = r.r_duplicates;
+    corrupt_dropped_r = r.r_corrupt;
+    acks_sent = r.r_acks;
+  }

@@ -1,0 +1,10 @@
+let resolve ~modulus ~wire ~lo ~hi =
+  if hi - lo + 1 > modulus then
+    invalid_arg "Seqspace.resolve: window wider than the sequence space";
+  if hi < lo then None
+  else begin
+    (* Smallest a >= lo with a mod modulus = wire. *)
+    let base = lo - (lo mod modulus) + wire in
+    let a = if base < lo then base + modulus else base in
+    if a <= hi then Some a else None
+  end

@@ -1,0 +1,9 @@
+(** Modular sequence-number arithmetic shared by the sliding-window
+    protocols: mapping a wire sequence number (mod 2^8) back to the unique
+    absolute index inside a window. *)
+
+val resolve : modulus:int -> wire:int -> lo:int -> hi:int -> int option
+(** [resolve ~modulus ~wire ~lo ~hi] is the unique [a] in [\[lo, hi\]] with
+    [a mod modulus = wire], or [None].  Raises [Invalid_argument] when the
+    window is wide enough ([hi - lo + 1 > modulus]) for the answer to be
+    ambiguous. *)

@@ -1,0 +1,193 @@
+module E = Netdsl_sim.Engine
+module T = Netdsl_sim.Timer
+module Arq = Netdsl_formats.Arq
+
+type result =
+  | Complete of { finished_at : float }
+  | Gave_up of { at_message : int; finished_at : float }
+
+type sender_stats = {
+  transmissions : int;
+  retransmissions : int;
+  acks_received : int;
+  stale_acks : int;
+  corrupt_dropped : int;
+}
+
+type sender = {
+  engine : E.t;
+  transmit : string -> unit;
+  rto : Rto.t;
+  timer : T.t;
+  messages : string array;
+  max_retries : int;
+  on_result : result -> unit;
+  mutable index : int; (* next message to be acknowledged *)
+  mutable retries : int;
+  mutable sent_at : float;
+  mutable retransmitted : bool; (* Karn: sample only unambiguous RTTs *)
+  mutable finished : bool;
+  mutable s_transmissions : int;
+  mutable s_retransmissions : int;
+  mutable s_acks : int;
+  mutable s_stale : int;
+  mutable s_corrupt : int;
+}
+
+let seq_of_index i = i mod Arq.seq_modulus
+
+let send_current s =
+  let payload = s.messages.(s.index) in
+  let frame = Arq.to_bytes (Arq.Data { seq = seq_of_index s.index; payload }) in
+  s.s_transmissions <- s.s_transmissions + 1;
+  s.sent_at <- E.now s.engine;
+  s.transmit frame;
+  T.start s.timer ~after:(Rto.current s.rto)
+
+let finish s result =
+  s.finished <- true;
+  T.stop s.timer;
+  s.on_result result
+
+let advance s =
+  s.index <- s.index + 1;
+  s.retries <- 0;
+  s.retransmitted <- false;
+  if s.index >= Array.length s.messages then
+    finish s (Complete { finished_at = E.now s.engine })
+  else send_current s
+
+let on_timeout s () =
+  if not s.finished then begin
+    if s.retries >= s.max_retries then
+      finish s (Gave_up { at_message = s.index; finished_at = E.now s.engine })
+    else begin
+      s.retries <- s.retries + 1;
+      s.retransmitted <- true;
+      s.s_retransmissions <- s.s_retransmissions + 1;
+      Rto.on_timeout s.rto;
+      send_current s
+    end
+  end
+
+let create_sender engine ~transmit ~rto ?(max_retries = 20) ~on_result messages =
+  (* The timer closure needs the sender record, which needs the timer:
+     break the knot with a forward reference. *)
+  let s_ref = ref None in
+  let timer =
+    T.create engine ~on_expiry:(fun () ->
+        match !s_ref with Some s -> on_timeout s () | None -> ())
+  in
+  let s =
+    {
+      engine;
+      transmit;
+      rto = Rto.create rto;
+      timer;
+      messages = Array.of_list messages;
+      max_retries;
+      on_result;
+      index = 0;
+      retries = 0;
+      sent_at = 0.0;
+      retransmitted = false;
+      finished = false;
+      s_transmissions = 0;
+      s_retransmissions = 0;
+      s_acks = 0;
+      s_stale = 0;
+      s_corrupt = 0;
+    }
+  in
+  s_ref := Some s;
+  if Array.length s.messages = 0 then finish s (Complete { finished_at = E.now engine })
+  else send_current s;
+  s
+
+let sender_receive s bytes =
+  if not s.finished then
+    match Arq.of_bytes bytes with
+    | Error _ -> s.s_corrupt <- s.s_corrupt + 1
+    | Ok (Arq.Data _) -> s.s_stale <- s.s_stale + 1
+    | Ok (Arq.Ack { seq }) ->
+      if seq = seq_of_index s.index then begin
+        s.s_acks <- s.s_acks + 1;
+        if s.retransmitted then Rto.on_success_after_backoff s.rto
+        else Rto.on_sample s.rto (E.now s.engine -. s.sent_at);
+        T.stop s.timer;
+        advance s
+      end
+      else s.s_stale <- s.s_stale + 1
+
+let sender_stats s =
+  {
+    transmissions = s.s_transmissions;
+    retransmissions = s.s_retransmissions;
+    acks_received = s.s_acks;
+    stale_acks = s.s_stale;
+    corrupt_dropped = s.s_corrupt;
+  }
+
+let sender_done s = s.finished
+
+type receiver_stats = {
+  deliveries : int;
+  duplicates : int;
+  corrupt_dropped_r : int;
+  acks_sent : int;
+}
+
+type receiver = {
+  r_engine : E.t;
+  r_transmit : string -> unit;
+  r_deliver : string -> unit;
+  mutable expected : int;
+  mutable r_deliveries : int;
+  mutable r_duplicates : int;
+  mutable r_corrupt : int;
+  mutable r_acks : int;
+}
+
+let create_receiver engine ~transmit ~deliver =
+  {
+    r_engine = engine;
+    r_transmit = transmit;
+    r_deliver = deliver;
+    expected = 0;
+    r_deliveries = 0;
+    r_duplicates = 0;
+    r_corrupt = 0;
+    r_acks = 0;
+  }
+
+let send_ack r seq =
+  r.r_acks <- r.r_acks + 1;
+  r.r_transmit (Arq.to_bytes (Arq.Ack { seq }))
+
+let receiver_receive r bytes =
+  match Arq.of_bytes bytes with
+  | Error _ -> r.r_corrupt <- r.r_corrupt + 1
+  | Ok (Arq.Ack _) -> () (* not our direction; ignore *)
+  | Ok (Arq.Data { seq; payload }) ->
+    if seq = seq_of_index r.expected then begin
+      (* Only here does the payload reach the application: the frame has
+         been validated and is the one we were waiting for. *)
+      r.r_deliveries <- r.r_deliveries + 1;
+      r.r_deliver payload;
+      r.expected <- r.expected + 1;
+      send_ack r seq
+    end
+    else begin
+      (* A duplicate of an already-acknowledged packet whose ACK was lost:
+         re-acknowledge, do not re-deliver (exactly-once). *)
+      r.r_duplicates <- r.r_duplicates + 1;
+      send_ack r seq
+    end
+
+let receiver_stats r =
+  {
+    deliveries = r.r_deliveries;
+    duplicates = r.r_duplicates;
+    corrupt_dropped_r = r.r_corrupt;
+    acks_sent = r.r_acks;
+  }

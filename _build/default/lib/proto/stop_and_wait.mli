@@ -1,0 +1,59 @@
+(** The paper's §3.4 protocol, executable: stop-and-wait ARQ.  "All packets
+    must be acknowledged by the receiver before any more packets can be
+    sent."
+
+    Both endpoints exchange raw bytes in the {!Netdsl_formats.Arq} format;
+    anything that fails validation (checksum, framing) is dropped and
+    counted, never processed — the paper's guarantee 2.  The sender always
+    terminates in one of the two consistent outcomes of guarantee 4:
+    {!result.Complete} (everything acknowledged) or {!result.Gave_up}
+    (timeout budget exhausted). *)
+
+type result =
+  | Complete of { finished_at : float }
+  | Gave_up of { at_message : int; finished_at : float }
+
+type sender_stats = {
+  transmissions : int;  (** DATA frames put on the wire, including resends *)
+  retransmissions : int;
+  acks_received : int;
+  stale_acks : int;  (** valid ACKs for a sequence number not in flight *)
+  corrupt_dropped : int;  (** frames that failed validation *)
+}
+
+type sender
+
+val create_sender :
+  Netdsl_sim.Engine.t ->
+  transmit:(string -> unit) ->
+  rto:Rto.policy ->
+  ?max_retries:int ->
+  on_result:(result -> unit) ->
+  string list ->
+  sender
+(** Starts transmitting immediately.  [max_retries] (default 20) bounds
+    retransmissions per message. *)
+
+val sender_receive : sender -> string -> unit
+(** Feed bytes arriving from the network (the ACK path). *)
+
+val sender_stats : sender -> sender_stats
+val sender_done : sender -> bool
+
+type receiver_stats = {
+  deliveries : int;
+  duplicates : int;  (** valid DATA already delivered, re-acknowledged *)
+  corrupt_dropped_r : int;
+  acks_sent : int;
+}
+
+type receiver
+
+val create_receiver :
+  Netdsl_sim.Engine.t ->
+  transmit:(string -> unit) ->
+  deliver:(string -> unit) ->
+  receiver
+
+val receiver_receive : receiver -> string -> unit
+val receiver_stats : receiver -> receiver_stats

@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Bytes Char Engine Format Netdsl_util String

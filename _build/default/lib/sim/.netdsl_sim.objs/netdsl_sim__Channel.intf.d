@@ -1,0 +1,1 @@
+lib/sim/channel.mli: Engine Format Netdsl_util

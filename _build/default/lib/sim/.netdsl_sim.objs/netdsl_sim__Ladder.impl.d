@@ -1,0 +1,1 @@
+lib/sim/ladder.ml: Buffer List Printf String Trace

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Channel Engine Hashtbl List Netdsl_util Option Printf String

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Channel Engine Netdsl_util

@@ -1,0 +1,129 @@
+module P = Netdsl_util.Prng
+
+type delay_model =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+
+type gilbert = {
+  p_good_to_bad : float;
+  p_bad_to_good : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type config = {
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  delay : delay_model;
+  gilbert : gilbert option;
+}
+
+let default_config =
+  { loss = 0.0; duplicate = 0.0; corrupt = 0.0; delay = Constant 0.0; gilbert = None }
+
+let config ?(loss = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0)
+    ?(delay = Constant 0.0) ?gilbert () =
+  { loss; duplicate; corrupt; delay; gilbert }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : P.t;
+  mutable cfg : config;
+  deliver : string -> unit;
+  mutable gilbert_bad : bool;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+}
+
+let create engine rng cfg ~deliver =
+  {
+    engine;
+    rng;
+    cfg;
+    deliver;
+    gilbert_bad = false;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    corrupted = 0;
+  }
+
+let draw_delay t =
+  match t.cfg.delay with
+  | Constant d -> d
+  | Uniform (lo, hi) -> lo +. P.float t.rng (hi -. lo)
+  | Exponential mean -> P.exponential t.rng ~mean
+
+let lost t =
+  match t.cfg.gilbert with
+  | None -> P.bernoulli t.rng t.cfg.loss
+  | Some g ->
+    (* Advance the two-state Markov chain once per packet, then draw from
+       the state's loss rate. *)
+    if t.gilbert_bad then begin
+      if P.bernoulli t.rng g.p_bad_to_good then t.gilbert_bad <- false
+    end
+    else if P.bernoulli t.rng g.p_good_to_bad then t.gilbert_bad <- true;
+    P.bernoulli t.rng (if t.gilbert_bad then g.loss_bad else g.loss_good)
+
+let flip_random_bit rng s =
+  if String.length s = 0 then s
+  else begin
+    let bit = P.int rng (8 * String.length s) in
+    let b = Bytes.of_string s in
+    let idx = bit lsr 3 and mask = 1 lsl (7 - (bit land 7)) in
+    Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lxor mask));
+    Bytes.to_string b
+  end
+
+let deliver_one t msg =
+  let msg, corrupted =
+    if P.bernoulli t.rng t.cfg.corrupt then (flip_random_bit t.rng msg, true)
+    else (msg, false)
+  in
+  if corrupted then t.corrupted <- t.corrupted + 1;
+  let delay = draw_delay t in
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         t.delivered <- t.delivered + 1;
+         t.deliver msg))
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  if lost t then t.dropped <- t.dropped + 1
+  else begin
+    deliver_one t msg;
+    if P.bernoulli t.rng t.cfg.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      deliver_one t msg
+    end
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    duplicated = t.duplicated;
+    corrupted = t.corrupted;
+  }
+
+let set_config t cfg = t.cfg <- cfg
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "sent=%d delivered=%d dropped=%d dup=%d corrupt=%d" s.sent
+    s.delivered s.dropped s.duplicated s.corrupted

@@ -1,0 +1,61 @@
+(** Unidirectional lossy channel models.
+
+    Simulates the paper's "harsh network environment (e.g. mobile/radio)":
+    Bernoulli or bursty (Gilbert–Elliott) loss, duplication, bit
+    corruption, and constant/uniform/exponential propagation delay with
+    optional reordering.  Every impairment draws from a caller-supplied
+    PRNG, so runs are reproducible. *)
+
+type delay_model =
+  | Constant of float
+  | Uniform of float * float  (** inclusive bounds; natural reordering *)
+  | Exponential of float  (** mean *)
+
+type gilbert = {
+  p_good_to_bad : float;  (** per-packet transition probability *)
+  p_bad_to_good : float;
+  loss_good : float;  (** loss probability while in the good state *)
+  loss_bad : float;
+}
+
+type config = {
+  loss : float;  (** Bernoulli loss probability (ignored when [gilbert] set) *)
+  duplicate : float;  (** probability a delivered packet arrives twice *)
+  corrupt : float;  (** probability of a random single-bit flip *)
+  delay : delay_model;
+  gilbert : gilbert option;
+}
+
+val default_config : config
+(** Lossless, instantaneous. *)
+
+val config :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?delay:delay_model ->
+  ?gilbert:gilbert ->
+  unit ->
+  config
+
+type stats = {
+  sent : int;
+  delivered : int;  (** deliveries including duplicates *)
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+}
+
+type t
+
+val create :
+  Engine.t -> Netdsl_util.Prng.t -> config -> deliver:(string -> unit) -> t
+(** [deliver] is invoked (at a later virtual time) for each arriving
+    message, possibly corrupted, possibly more than once. *)
+
+val send : t -> string -> unit
+val stats : t -> stats
+val set_config : t -> config -> unit
+(** Change impairments mid-run (time-varying channels, experiment E8). *)
+
+val pp_stats : Format.formatter -> stats -> unit

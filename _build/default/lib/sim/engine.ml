@@ -1,0 +1,148 @@
+type handle = int
+
+(* Binary min-heap of (time, seq, id).  Equal times order by [seq] so that
+   scheduling order is execution order — the source of determinism. *)
+type entry = { time : float; seq : int; id : handle; fn : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : handle;
+  cancelled : (handle, unit) Hashtbl.t;
+  mutable live : int;
+}
+
+let dummy = { time = 0.; seq = 0; id = -1; fn = ignore }
+
+let create () =
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    clock = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    cancelled = Hashtbl.create 64;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t e =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  (* Sift down. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+let schedule_at t ~time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now (%g)" time t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  push t { time; seq = t.next_seq; id; fn };
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  id
+
+let schedule t ~delay fn =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) fn
+
+let cancel t id =
+  (* Lazy deletion: the entry stays in the heap and is skipped on pop. *)
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.add t.cancelled id ();
+    t.live <- max 0 (t.live - 1)
+  end
+
+let pending t = t.live
+
+(* Pops entries until a live one emerges. *)
+let rec next_live t =
+  if t.size = 0 then None
+  else
+    let e = pop t in
+    if Hashtbl.mem t.cancelled e.id then begin
+      Hashtbl.remove t.cancelled e.id;
+      next_live t
+    end
+    else Some e
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some e ->
+    t.clock <- e.time;
+    t.live <- t.live - 1;
+    e.fn ();
+    true
+
+type outcome = Drained | Until_reached | Event_limit
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let fired = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !fired >= max_events then result := Some Event_limit
+    else
+      match next_live t with
+      | None -> result := Some Drained
+      | Some e ->
+        if e.time > until then begin
+          (* Put it back: the event has not fired. *)
+          push t e;
+          t.clock <- until;
+          result := Some Until_reached
+        end
+        else begin
+          t.clock <- e.time;
+          t.live <- t.live - 1;
+          incr fired;
+          e.fn ()
+        end
+  done;
+  Option.get !result

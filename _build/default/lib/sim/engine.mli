@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation engine.
+
+    The paper's protocols target wireless/mobile networks we cannot attach
+    to; this engine is the substitute substrate (DESIGN.md §1): a virtual
+    clock and an event queue, so protocol logic, channel models and timers
+    all run against simulated time.  Execution is fully deterministic:
+    events at equal times fire in scheduling order, and all randomness
+    lives in caller-supplied {!Netdsl_util.Prng} generators. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event, for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time (seconds by convention). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay] must be
+    non-negative.  Events with equal firing times run in FIFO order. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (not cancelled, not fired) events. *)
+
+type outcome =
+  | Drained  (** the queue emptied *)
+  | Until_reached  (** virtual time hit the [until] bound *)
+  | Event_limit  (** [max_events] fired *)
+
+val run : ?until:float -> ?max_events:int -> t -> outcome
+(** Fires events in time order until one of the bounds is hit.  [until]
+    defaults to infinity, [max_events] to [max_int]. *)
+
+val step : t -> bool
+(** Fires the single next event; [false] when the queue is empty. *)

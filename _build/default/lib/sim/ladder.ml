@@ -1,0 +1,35 @@
+let truncate width s =
+  if String.length s <= width then s else String.sub s 0 (width - 1) ^ "…"
+
+let render ?(col_width = 22) ~columns trace =
+  let buf = Buffer.create 1024 in
+  let pad s = Printf.sprintf "%-*s" col_width (truncate col_width s) in
+  Buffer.add_string buf (Printf.sprintf "%-10s" "time");
+  List.iter (fun c -> Buffer.add_string buf (pad c)) columns;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.make (10 + (col_width * List.length columns)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (e : Trace.entry) ->
+      match List.find_index (String.equal e.source) columns with
+      | None -> ()
+      | Some idx ->
+        Buffer.add_string buf (Printf.sprintf "%-10.6f" e.time);
+        for _ = 1 to idx do
+          Buffer.add_string buf (String.make col_width ' ')
+        done;
+        Buffer.add_string buf (truncate col_width e.message);
+        Buffer.add_char buf '\n')
+    (Trace.entries trace);
+  Buffer.contents buf
+
+let render_all ?col_width trace =
+  let columns =
+    List.fold_left
+      (fun acc (e : Trace.entry) ->
+        if List.mem e.source acc then acc else acc @ [ e.source ])
+      []
+      (Trace.entries trace)
+  in
+  render ?col_width ~columns trace

@@ -1,0 +1,14 @@
+(** Sequence-diagram ("ladder") rendering of simulation traces.
+
+    Turns a {!Trace} into the time-ordered, one-column-per-entity picture
+    protocol engineers sketch on whiteboards: each recorded event appears
+    at its virtual time under the column of its source. *)
+
+val render : ?col_width:int -> columns:string list -> Trace.t -> string
+(** [render ~columns trace] lays the trace out with one column per name in
+    [columns] (in that order).  Events from unlisted sources are dropped.
+    [col_width] (default 22) truncates long messages. *)
+
+val render_all : ?col_width:int -> Trace.t -> string
+(** Like {!render} with the columns inferred from the trace (first-seen
+    order). *)

@@ -1,0 +1,63 @@
+module P = Netdsl_util.Prng
+
+type node = { mutable on_receive : src:string -> string -> unit }
+
+type t = {
+  engine : Engine.t;
+  rng : P.t;
+  node_table : (string, node) Hashtbl.t;
+  links : (string * string, Channel.t) Hashtbl.t; (* directed (src, dst) *)
+}
+
+let create engine rng = { engine; rng; node_table = Hashtbl.create 16; links = Hashtbl.create 32 }
+
+let add_node t name ~on_receive =
+  if Hashtbl.mem t.node_table name then
+    invalid_arg (Printf.sprintf "Network.add_node: duplicate node %S" name);
+  Hashtbl.add t.node_table name { on_receive }
+
+let node t name =
+  match Hashtbl.find_opt t.node_table name with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network: unknown node %S" name)
+
+let set_receiver t name handler = (node t name).on_receive <- handler
+
+let add_directed t src dst config =
+  let receiver = node t dst in
+  let ch =
+    Channel.create t.engine (P.split t.rng) config ~deliver:(fun bytes ->
+        receiver.on_receive ~src bytes)
+  in
+  Hashtbl.add t.links (src, dst) ch
+
+let connect t ?(config = Channel.default_config) ?reverse_config a b =
+  ignore (node t a);
+  ignore (node t b);
+  if String.equal a b then invalid_arg "Network.connect: self-link";
+  if Hashtbl.mem t.links (a, b) || Hashtbl.mem t.links (b, a) then
+    invalid_arg (Printf.sprintf "Network.connect: %s and %s already linked" a b);
+  add_directed t a b config;
+  add_directed t b a (Option.value reverse_config ~default:config)
+
+let link t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some ch -> ch
+  | None -> invalid_arg (Printf.sprintf "Network: no link %s -> %s" src dst)
+
+let send t ~src ~dst bytes = Channel.send (link t ~src ~dst) bytes
+let connected t a b = Hashtbl.mem t.links (a, b)
+
+let neighbours t name =
+  ignore (node t name);
+  Hashtbl.fold
+    (fun (src, dst) _ acc -> if String.equal src name then dst :: acc else acc)
+    t.links []
+  |> List.sort_uniq String.compare
+
+let nodes t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.node_table []
+  |> List.sort_uniq String.compare
+
+let link_stats t ~src ~dst = Channel.stats (link t ~src ~dst)
+let set_link_config t ~src ~dst cfg = Channel.set_config (link t ~src ~dst) cfg

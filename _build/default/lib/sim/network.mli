@@ -1,0 +1,45 @@
+(** Multi-node topologies over the discrete-event engine.
+
+    Nodes are named endpoints with receive handlers; links are pairs of
+    unidirectional {!Channel}s, each with its own impairment model.  This
+    is the substrate for multi-hop scenarios — the paper's MANET/relay
+    settings (§1.1) — on top of which relay selection, flooding or routing
+    logic can run. *)
+
+type t
+
+val create : Engine.t -> Netdsl_util.Prng.t -> t
+(** The PRNG is split per link, so adding links does not perturb the
+    randomness of existing ones. *)
+
+val add_node : t -> string -> on_receive:(src:string -> string -> unit) -> unit
+(** Raises [Invalid_argument] on duplicate names.  [on_receive ~src bytes]
+    runs at delivery time (virtual time). *)
+
+val set_receiver : t -> string -> (src:string -> string -> unit) -> unit
+(** Replace a node's handler (for wiring cycles). *)
+
+val connect :
+  t ->
+  ?config:Channel.config ->
+  ?reverse_config:Channel.config ->
+  string ->
+  string ->
+  unit
+(** [connect t a b] creates a duplex link; [config] impairs a→b traffic
+    (default lossless/instant), [reverse_config] b→a (defaults to
+    [config]).  Raises on unknown nodes, self-links or duplicate links. *)
+
+val send : t -> src:string -> dst:string -> string -> unit
+(** Hands bytes to the src→dst channel.  Raises [Invalid_argument] when
+    the nodes are not connected — there is no implicit routing; multi-hop
+    forwarding is the protocol's job. *)
+
+val connected : t -> string -> string -> bool
+val neighbours : t -> string -> string list
+(** Sorted. *)
+
+val nodes : t -> string list
+val link_stats : t -> src:string -> dst:string -> Channel.stats
+val set_link_config : t -> src:string -> dst:string -> Channel.config -> unit
+(** Change one direction's impairments mid-run (mobility, jamming). *)

@@ -1,0 +1,74 @@
+(* Minimal growable float buffer (OCaml 5.1's stdlib has no Dynarray). *)
+module Buf = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 16 0.0; len = 0 }
+
+  let add d v =
+    if d.len = Array.length d.data then begin
+      let bigger = Array.make (2 * d.len) 0.0 in
+      Array.blit d.data 0 bigger 0 d.len;
+      d.data <- bigger
+    end;
+    d.data.(d.len) <- v;
+    d.len <- d.len + 1
+
+  let sorted d =
+    let a = Array.sub d.data 0 d.len in
+    Array.sort compare a;
+    a
+end
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+  samples : Buf.t option;
+}
+
+let create ?(keep_samples = true) () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sum = 0.0;
+    samples = (if keep_samples then Some (Buf.create ()) else None);
+  }
+
+let add t v =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  let delta = v -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (v -. t.mean));
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  match t.samples with None -> () | Some d -> Buf.add d v
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+let total t = t.sum
+
+let percentile t p =
+  match t.samples with
+  | None -> invalid_arg "Stats.percentile: samples not kept"
+  | Some d ->
+    if t.n = 0 then invalid_arg "Stats.percentile: no samples";
+    let a = Buf.sorted d in
+    let rank = int_of_float (ceil (p *. float_of_int t.n)) in
+    a.(max 0 (min (t.n - 1) (rank - 1)))
+
+let median t = percentile t 0.5
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+    (stddev t) t.min_v t.max_v

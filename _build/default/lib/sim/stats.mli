@@ -1,0 +1,34 @@
+(** Running statistics and sample summaries for experiments. *)
+
+type t
+(** Accumulates a stream of float samples in O(1) memory (count, mean,
+    variance via Welford, min, max) while optionally retaining samples for
+    percentiles. *)
+
+val create : ?keep_samples:bool -> unit -> t
+(** [keep_samples] (default [true]) retains the raw values so percentiles
+    can be computed. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] by nearest-rank on the retained samples; raises
+    [Invalid_argument] if samples were not kept or none were added. *)
+
+val median : t -> float
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = {
+  engine : Engine.t;
+  on_expiry : unit -> unit;
+  mutable pending : Engine.handle option;
+  mutable fired : int;
+}
+
+let create engine ~on_expiry = { engine; on_expiry; pending = None; fired = 0 }
+
+let stop t =
+  match t.pending with
+  | None -> ()
+  | Some h ->
+    Engine.cancel t.engine h;
+    t.pending <- None
+
+let start t ~after =
+  stop t;
+  let handle =
+    Engine.schedule t.engine ~delay:after (fun () ->
+        t.pending <- None;
+        t.fired <- t.fired + 1;
+        t.on_expiry ())
+  in
+  t.pending <- Some handle
+
+let is_running t = t.pending <> None
+let expirations t = t.fired

@@ -1,0 +1,16 @@
+(** Restartable one-shot timers over the engine — the retransmission
+    machinery of ARQ protocols ("adaptation of protocol timers", §1.1). *)
+
+type t
+
+val create : Engine.t -> on_expiry:(unit -> unit) -> t
+(** An idle timer; nothing is scheduled yet. *)
+
+val start : t -> after:float -> unit
+(** (Re)arms the timer: cancels any pending expiry first. *)
+
+val stop : t -> unit
+val is_running : t -> bool
+
+val expirations : t -> int
+(** How many times the timer has fired since creation. *)

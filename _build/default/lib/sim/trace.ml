@@ -1,0 +1,22 @@
+type entry = { time : float; source : string; message : string }
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+
+let record t engine ~source message =
+  t.entries <- { time = Engine.now engine; source; message } :: t.entries
+
+let recordf t engine ~source fmt =
+  Format.kasprintf (fun message -> record t engine ~source message) fmt
+
+let entries t = List.rev t.entries
+let by_source t source =
+  List.filter (fun e -> String.equal e.source source) (entries t)
+
+let length t = List.length t.entries
+let clear t = t.entries <- []
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "%10.6f  %-12s %s@," e.time e.source e.message)
+    (entries t)

@@ -1,0 +1,18 @@
+(** Timestamped event traces for simulations: what happened, when, for
+    post-hoc assertions and experiment output. *)
+
+type entry = { time : float; source : string; message : string }
+
+type t
+
+val create : unit -> t
+val record : t -> Engine.t -> source:string -> string -> unit
+val recordf :
+  t -> Engine.t -> source:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val entries : t -> entry list
+(** Oldest first. *)
+
+val by_source : t -> string -> entry list
+val length : t -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

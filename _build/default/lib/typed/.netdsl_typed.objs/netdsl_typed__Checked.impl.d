@@ -1,0 +1,1 @@
+lib/typed/checked.ml: Bytes Char Format String

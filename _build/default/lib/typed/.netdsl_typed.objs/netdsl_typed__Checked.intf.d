@@ -1,0 +1,1 @@
+lib/typed/checked.mli: Format

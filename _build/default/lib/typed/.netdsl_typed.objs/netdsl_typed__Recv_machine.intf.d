@@ -1,0 +1,1 @@
+lib/typed/recv_machine.mli: Checked

@@ -1,0 +1,1 @@
+lib/typed/send_machine.ml: Checked

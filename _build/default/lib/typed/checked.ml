@@ -1,0 +1,39 @@
+type t = { seq : int; chk : int; payload : string }
+
+let check ~seq ~payload =
+  (* A one-byte sum over the sequence number and payload bytes, offset so
+     that an all-zero packet has a non-zero checksum. *)
+  let acc = ref (0x5C + seq) in
+  String.iter (fun c -> acc := !acc + Char.code c) payload;
+  !acc land 0xFF
+
+let make ~seq ~payload =
+  if seq < 0 || seq > 255 then invalid_arg "Checked.make: seq out of byte range";
+  { seq; chk = check ~seq ~payload; payload }
+
+let of_wire s =
+  if String.length s < 2 then None
+  else begin
+    let seq = Char.code s.[0] and chk = Char.code s.[1] in
+    let payload = String.sub s 2 (String.length s - 2) in
+    if check ~seq ~payload = chk then Some { seq; chk; payload } else None
+  end
+
+let to_wire t =
+  let b = Bytes.create (2 + String.length t.payload) in
+  Bytes.set b 0 (Char.chr t.seq);
+  Bytes.set b 1 (Char.chr t.chk);
+  Bytes.blit_string t.payload 0 b 2 (String.length t.payload);
+  Bytes.to_string b
+
+let seq t = t.seq
+let chk t = t.chk
+let payload t = t.payload
+
+let equal a b = a.seq = b.seq && a.chk = b.chk && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "Pkt(seq=%d, chk=%#x, %d bytes)" t.seq t.chk
+    (String.length t.payload)
+
+let revalidate t = check ~seq:t.seq ~payload:t.payload = t.chk

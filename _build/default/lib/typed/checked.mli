@@ -1,0 +1,49 @@
+(** Proof-carrying packets: the OCaml rendering of the paper's [ChkPacket].
+
+    The paper (§3.4) defines
+
+    {v
+    data Packet = Pkt Byte Byte (List Byte)
+    check : Byte -> List Byte -> Byte
+    data ChkPacket : Packet -> * where
+      chkPacket : (seq : Byte) -> (chk : Byte) -> (data : List Byte) ->
+                  ChkPacket (Pkt seq (check seq data) data)
+    v}
+
+    so that holding a [ChkPacket p] {e is} a proof that [p]'s checksum is
+    valid.  OCaml's abstraction boundary plays the role of the dependent
+    constructor: {!t} is abstract and its only constructors ({!make},
+    {!of_wire}) run [check], so every value of type {!t} in the program is
+    a validated packet.  "When a packet has been validated once, it never
+    needs to be validated again" — downstream code takes {!t} and performs
+    no checks (measured in experiment E4). *)
+
+type t
+(** A packet whose checksum is known to be valid. *)
+
+val check : seq:int -> payload:string -> int
+(** The paper's [check] function: a one-byte checksum over the sequence
+    number and payload (a mod-256 sum, seeded so that [check] of an empty
+    payload still depends on [seq]). *)
+
+val make : seq:int -> payload:string -> t
+(** Constructs a packet and {e computes} its checksum — valid by
+    construction.  [seq] must be in [\[0, 255\]]. *)
+
+val of_wire : string -> t option
+(** Parses [seq; chk; payload...] and validates; [None] is the only answer
+    for corrupt input, so unverified data cannot flow past this point. *)
+
+val to_wire : t -> string
+
+val seq : t -> int
+val chk : t -> int
+val payload : t -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val revalidate : t -> bool
+(** Re-runs the check (always [true] by the invariant).  Exists only as the
+    baseline cost model for experiment E4's "validate at every stage"
+    comparison. *)

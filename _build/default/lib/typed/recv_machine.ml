@@ -1,0 +1,31 @@
+type ready_for = |
+type 's t = { expected : int }
+
+let create ?(initial_seq = 0) () =
+  if initial_seq < 0 || initial_seq > 255 then
+    invalid_arg "Recv_machine.create: seq out of byte range";
+  { expected = initial_seq }
+
+let expected m = m.expected
+
+type outcome =
+  | Accepted of { machine : ready_for t; payload : string; ack : Checked.t }
+  | Duplicate of { machine : ready_for t; ack : Checked.t }
+  | Rejected of { machine : ready_for t }
+
+let on_frame m bytes =
+  match Checked.of_wire bytes with
+  | None -> Rejected { machine = m }
+  | Some packet ->
+    let seq = Checked.seq packet in
+    if seq = m.expected then
+      Accepted
+        {
+          machine = { expected = (m.expected + 1) land 0xFF };
+          payload = Checked.payload packet;
+          ack = Checked.make ~seq ~payload:"";
+        }
+    else
+      (* An old packet whose acknowledgement was lost: re-acknowledge so
+         the sender can advance, but do not deliver again. *)
+      Duplicate { machine = m; ack = Checked.make ~seq ~payload:"" }

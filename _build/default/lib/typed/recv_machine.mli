@@ -1,0 +1,34 @@
+(** The paper's receiver (§3.4): "the receiver will either accept a packet
+    and wait for the next in sequence, or else will reject a packet".
+
+    {v
+    data RecvTrans : RecvSt -> RecvSt -> * where
+      RECV : (seq : Byte) -> (data : List Byte) ->
+             CheckPacket (Pkt seq (check seq data) data) ->
+             RecvTrans (ReadyFor seq) (ReadyFor (seq+1))
+    v}
+
+    With a single state constructor the phantom index is degenerate, but
+    the proof-carrying discipline is not: {!on_frame} is the only entry
+    point, it validates, and its return type makes "accept and advance" /
+    "reject (re-acknowledge)" the only outcomes. *)
+
+type ready_for
+(** The receiver's one state family, [ReadyFor seq]. *)
+
+type 's t
+
+val create : ?initial_seq:int -> unit -> ready_for t
+val expected : _ t -> int
+
+(** Result of offering wire bytes to the receiver. *)
+type outcome =
+  | Accepted of { machine : ready_for t; payload : string; ack : Checked.t }
+      (** In-sequence, verified: deliver [payload] upward, transmit [ack]. *)
+  | Duplicate of { machine : ready_for t; ack : Checked.t }
+      (** Verified but already seen (its ACK was lost): re-acknowledge,
+          deliver nothing. *)
+  | Rejected of { machine : ready_for t }
+      (** Failed validation: drop silently. *)
+
+val on_frame : ready_for t -> string -> outcome

@@ -1,0 +1,78 @@
+type ready = |
+type waiting = |
+type timed_out = |
+type sent = |
+
+type ('pre, 'post) trans =
+  | Send : Checked.t -> (ready, waiting) trans
+  | Ok_ack : Checked.t -> (waiting, ready) trans
+  | Fail : (waiting, ready) trans
+  | Timeout : (waiting, timed_out) trans
+  | Retry : (timed_out, ready) trans
+  | Finish : (ready, sent) trans
+
+(* The phantom parameter tracks the protocol state; the representation
+   carries the value-level data (sequence number, counters). *)
+type 's t = { seq : int; transmissions : int }
+
+type io = { transmit : string -> unit }
+
+let create ?(initial_seq = 0) () =
+  if initial_seq < 0 || initial_seq > 255 then
+    invalid_arg "Send_machine.create: seq out of byte range";
+  { seq = initial_seq; transmissions = 0 }
+
+let seq m = m.seq
+let transmissions m = m.transmissions
+
+exception Wrong_ack of { expected : int; got : int }
+
+let exec : type pre post. io:io -> (pre, post) trans -> pre t -> post t =
+ fun ~io trans m ->
+  match trans with
+  | Send packet ->
+    io.transmit (Checked.to_wire packet);
+    { seq = m.seq; transmissions = m.transmissions + 1 }
+  | Ok_ack ack ->
+    if Checked.seq ack <> m.seq then
+      raise (Wrong_ack { expected = m.seq; got = Checked.seq ack });
+    { seq = (m.seq + 1) land 0xFF; transmissions = m.transmissions }
+  | Fail -> { seq = m.seq; transmissions = m.transmissions }
+  | Timeout -> { seq = m.seq; transmissions = m.transmissions }
+  | Retry -> { seq = m.seq; transmissions = m.transmissions }
+  | Finish -> { seq = m.seq; transmissions = m.transmissions }
+
+type next = Next_ready of ready t | Failed of timed_out t
+
+let send_packet ~io ~recv ?(max_attempts = 10) ~payload m =
+  let packet = Checked.make ~seq:(seq m) ~payload in
+  (* Each attempt is the Ready --SEND--> Wait step followed by whatever the
+     acknowledgement path yields.  Every arm of the match below is forced
+     by the types to land back in [ready] or [timed_out]. *)
+  let rec attempt m n =
+    let w = exec ~io (Send packet) m in
+    match recv () with
+    | None ->
+      let t = exec ~io Timeout w in
+      if n + 1 >= max_attempts then Failed t
+      else attempt (exec ~io Retry t) (n + 1)
+    | Some bytes -> (
+      match Checked.of_wire bytes with
+      | None ->
+        (* Garbled acknowledgement: FAIL back to Ready, try again.  The
+           invalid bytes never became a Checked.t, so nothing downstream
+           can mistake them for a verified ack. *)
+        let r = exec ~io Fail w in
+        if n + 1 >= max_attempts then
+          Failed (exec ~io Timeout (exec ~io (Send packet) r))
+        else attempt r (n + 1)
+      | Some ack -> (
+        match exec ~io (Ok_ack ack) w with
+        | r -> Next_ready r
+        | exception Wrong_ack _ ->
+          let r = exec ~io Fail w in
+          if n + 1 >= max_attempts then
+            Failed (exec ~io Timeout (exec ~io (Send packet) r))
+          else attempt r (n + 1)))
+  in
+  attempt m 0

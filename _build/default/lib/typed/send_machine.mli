@@ -1,0 +1,85 @@
+(** The paper's [SendTrans] DSL, embedded with GADTs: transitions indexed
+    by their pre- and post-states, so that an invalid sequencing of
+    protocol steps is an OCaml {e type error}.
+
+    The paper (§3.4):
+
+    {v
+    data SendTrans : SendSt -> SendSt -> * where
+      SEND    : List Byte -> SendTrans (Ready seq) (Wait seq)
+      OK      : ChkPacket ... -> SendTrans (Wait seq) (Ready (seq+1))
+      FAIL    : SendTrans (Wait seq) (Ready seq)
+      TIMEOUT : SendTrans (Wait seq) (Timeout seq)
+      FINISH  : SendTrans (Ready seq) (Sent seq)
+    v}
+
+    Here the {e state} index is carried by phantom types — e.g.
+    [exec Timeout m] only typechecks when [m : waiting t], giving the
+    paper's guarantee 3 ("timeout cannot occur if an acknowledgement has
+    been received and acted on") at compile time.  The {e value} index (the
+    sequence number) is beyond OCaml's type system; it is enforced
+    dynamically in exactly one place, {!exec}'s [Ok_ack] arm, which rejects
+    an acknowledgement whose (already checksum-verified) sequence number is
+    not the one in flight.
+
+    Try it: [exec ~io Timeout (create ())] does not compile. *)
+
+(** State indices (uninhabited phantom types). *)
+type ready
+type waiting
+type timed_out
+type sent
+
+type ('pre, 'post) trans =
+  | Send : Checked.t -> (ready, waiting) trans
+      (** Carries the (valid-by-construction) packet to transmit. *)
+  | Ok_ack : Checked.t -> (waiting, ready) trans
+      (** Carries the verified acknowledgement — a raw byte string cannot
+          appear here, only a {!Checked.t}. *)
+  | Fail : (waiting, ready) trans
+      (** A negative or garbled acknowledgement outcome: same sequence
+          number will be retried. *)
+  | Timeout : (waiting, timed_out) trans
+  | Retry : (timed_out, ready) trans
+      (** The paper's [NextSent]/[Failure] arm: ready to try again. *)
+  | Finish : (ready, sent) trans
+
+type 's t
+(** A send machine in state ['s], carrying the current sequence number. *)
+
+type io = { transmit : string -> unit }
+(** The effect interpreter hands wire bytes to — the [IO] of the paper's
+    [execTrans : SendTrans s s' -> Machine s -> IO (Machine s')]. *)
+
+val create : ?initial_seq:int -> unit -> ready t
+val seq : _ t -> int
+val transmissions : _ t -> int
+(** Frames handed to [io.transmit] so far. *)
+
+exception Wrong_ack of { expected : int; got : int }
+
+val exec : io:io -> ('pre, 'post) trans -> 'pre t -> 'post t
+(** Fires a transition.  [Send] transmits the packet's wire bytes; [Ok_ack]
+    advances the sequence number (raising {!Wrong_ack} if the verified ack
+    is for a different sequence number — the dynamic residue of the value
+    index); the others update state only. *)
+
+(** Outcome of driving one packet to a consistent state — the paper's
+    [NextSent] family: either ready for the next packet or timed out, never
+    anything in between. *)
+type next =
+  | Next_ready of ready t
+  | Failed of timed_out t
+
+val send_packet :
+  io:io ->
+  recv:(unit -> string option) ->
+  ?max_attempts:int ->
+  payload:string ->
+  ready t ->
+  next
+(** The paper's [sendPacket]: transmits, awaits an acknowledgement via
+    [recv] ([None] models a timeout), retransmits up to [max_attempts]
+    (default 10) times, and — by the return type — ends in a consistent
+    state.  Corrupt and wrong-sequence acknowledgements are dropped (they
+    never construct a [Checked.t] / never pass the sequence test). *)

@@ -1,0 +1,1 @@
+lib/util/checksum.ml: Array Char Int32 Int64 Lazy List String

@@ -1,0 +1,241 @@
+type error =
+  | Truncated of { need_bits : int; have_bits : int }
+  | Width_out_of_range of int
+  | Value_out_of_range of { value : int64; width : int }
+  | Unaligned of { bit_pos : int; operation : string }
+
+exception Error of error
+
+let pp_error ppf = function
+  | Truncated { need_bits; have_bits } ->
+    Format.fprintf ppf "truncated input: need %d bits, have %d" need_bits have_bits
+  | Width_out_of_range w -> Format.fprintf ppf "field width %d out of range" w
+  | Value_out_of_range { value; width } ->
+    Format.fprintf ppf "value %Ld does not fit in %d bits" value width
+  | Unaligned { bit_pos; operation } ->
+    Format.fprintf ppf "%s requires byte alignment (bit position %d)" operation bit_pos
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let check_width w = if w < 0 || w > 64 then raise (Error (Width_out_of_range w))
+
+(* Mask of the [w] low bits of an int64, correct for w = 64. *)
+let mask64 w =
+  if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let fits value width =
+  width >= 64 || Int64.equal (Int64.logand value (mask64 width)) value
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len_bits : int }
+
+  let create ?(capacity = 64) () =
+    { buf = Bytes.make (max capacity 1) '\000'; len_bits = 0 }
+
+  let bit_length t = t.len_bits
+  let byte_length t = (t.len_bits + 7) / 8
+  let is_aligned t = t.len_bits land 7 = 0
+
+  let ensure t extra_bits =
+    let need_bytes = (t.len_bits + extra_bits + 7) / 8 in
+    if need_bytes > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < need_bytes do
+        cap := !cap * 2
+      done;
+      let fresh = Bytes.make !cap '\000' in
+      Bytes.blit t.buf 0 fresh 0 (Bytes.length t.buf);
+      t.buf <- fresh
+    end
+
+  (* Writes bit [b] at absolute bit offset [off]; the byte must exist and
+     the target bit must currently be zero unless [clear] is set. *)
+  let set_bit buf off b =
+    let byte_idx = off lsr 3 and bit_idx = 7 - (off land 7) in
+    let old = Char.code (Bytes.get buf byte_idx) in
+    let updated =
+      if b then old lor (1 lsl bit_idx) else old land lnot (1 lsl bit_idx)
+    in
+    Bytes.set buf byte_idx (Char.chr updated)
+
+  let write_bit t b =
+    ensure t 1;
+    set_bit t.buf t.len_bits b;
+    t.len_bits <- t.len_bits + 1
+
+  let unsafe_put_bits buf ~bit_off ~width v =
+    (* Generic MSB-first bit blit.  [width] <= 64 and the region exists. *)
+    for i = 0 to width - 1 do
+      let bit = Int64.logand (Int64.shift_right_logical v (width - 1 - i)) 1L in
+      set_bit buf (bit_off + i) (Int64.equal bit 1L)
+    done
+
+  let write_bits t ~width v =
+    check_width width;
+    if not (fits v width) then raise (Error (Value_out_of_range { value = v; width }));
+    ensure t width;
+    if width = 8 && is_aligned t then begin
+      Bytes.set t.buf (t.len_bits lsr 3) (Char.chr (Int64.to_int v));
+      t.len_bits <- t.len_bits + 8
+    end
+    else begin
+      unsafe_put_bits t.buf ~bit_off:t.len_bits ~width v;
+      t.len_bits <- t.len_bits + width
+    end
+
+  let write_uint8 t v = write_bits t ~width:8 (Int64.of_int v)
+  let write_uint16_be t v = write_bits t ~width:16 (Int64.of_int v)
+
+  let write_uint16_le t v =
+    if v < 0 || v > 0xFFFF then
+      raise (Error (Value_out_of_range { value = Int64.of_int v; width = 16 }));
+    write_uint8 t (v land 0xFF);
+    write_uint8 t (v lsr 8)
+
+  let write_uint32_be t v = write_bits t ~width:32 v
+
+  let write_uint32_le t v =
+    if not (fits v 32) then raise (Error (Value_out_of_range { value = v; width = 32 }));
+    let b i = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+    write_uint8 t (b 0);
+    write_uint8 t (b 1);
+    write_uint8 t (b 2);
+    write_uint8 t (b 3)
+
+  let write_uint64_be t v = write_bits t ~width:64 v
+
+  let write_string t s =
+    if not (is_aligned t) then
+      raise (Error (Unaligned { bit_pos = t.len_bits; operation = "write_string" }));
+    let n = String.length s in
+    ensure t (n * 8);
+    Bytes.blit_string s 0 t.buf (t.len_bits lsr 3) n;
+    t.len_bits <- t.len_bits + (n * 8)
+
+  let align t =
+    let rem = t.len_bits land 7 in
+    if rem <> 0 then write_bits t ~width:(8 - rem) 0L
+
+  let reserve_bits t n =
+    let off = t.len_bits in
+    ensure t n;
+    (* The backing store is zero-initialised, so reserving is just a cursor
+       move once capacity exists. *)
+    t.len_bits <- t.len_bits + n;
+    off
+
+  let patch_bits t ~bit_off ~width v =
+    check_width width;
+    if not (fits v width) then raise (Error (Value_out_of_range { value = v; width }));
+    if bit_off < 0 || bit_off + width > t.len_bits then
+      raise (Error (Truncated { need_bits = bit_off + width; have_bits = t.len_bits }));
+    unsafe_put_bits t.buf ~bit_off ~width v
+
+  let contents t = Bytes.sub_string t.buf 0 (byte_length t)
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int; limit : int }
+
+  let of_string ?(bit_off = 0) ?bit_len s =
+    let total = String.length s * 8 in
+    let limit =
+      match bit_len with
+      | None -> total
+      | Some n -> min total (bit_off + n)
+    in
+    if bit_off < 0 || bit_off > total then invalid_arg "Bitio.Reader.of_string";
+    { data = s; pos = bit_off; limit }
+
+  let bit_pos t = t.pos
+  let bits_remaining t = t.limit - t.pos
+  let at_end t = t.pos >= t.limit
+  let is_aligned t = t.pos land 7 = 0
+
+  let need t n =
+    if bits_remaining t < n then
+      raise (Error (Truncated { need_bits = n; have_bits = bits_remaining t }))
+
+  let get_bit data off =
+    let byte = Char.code (String.unsafe_get data (off lsr 3)) in
+    byte lsr (7 - (off land 7)) land 1 = 1
+
+  let read_bit t =
+    need t 1;
+    let b = get_bit t.data t.pos in
+    t.pos <- t.pos + 1;
+    b
+
+  let read_bits t ~width =
+    check_width width;
+    need t width;
+    if width land 7 = 0 && is_aligned t then begin
+      (* Fast byte-path. *)
+      let v = ref 0L in
+      for i = 0 to (width lsr 3) - 1 do
+        let byte = Char.code (String.unsafe_get t.data ((t.pos lsr 3) + i)) in
+        v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+      done;
+      t.pos <- t.pos + width;
+      !v
+    end
+    else begin
+      let v = ref 0L in
+      for i = 0 to width - 1 do
+        let bit = if get_bit t.data (t.pos + i) then 1L else 0L in
+        v := Int64.logor (Int64.shift_left !v 1) bit
+      done;
+      t.pos <- t.pos + width;
+      !v
+    end
+
+  let read_bits_int t ~width =
+    if width < 0 || width > 62 then raise (Error (Width_out_of_range width));
+    Int64.to_int (read_bits t ~width)
+
+  let read_uint8 t = read_bits_int t ~width:8
+  let read_uint16_be t = read_bits_int t ~width:16
+
+  let read_uint16_le t =
+    let lo = read_uint8 t in
+    let hi = read_uint8 t in
+    (hi lsl 8) lor lo
+
+  let read_uint32_be t = read_bits t ~width:32
+
+  let read_uint32_le t =
+    let b0 = read_uint8 t in
+    let b1 = read_uint8 t in
+    let b2 = read_uint8 t in
+    let b3 = read_uint8 t in
+    Int64.of_int ((b3 lsl 24) lor (b2 lsl 16) lor (b1 lsl 8) lor b0)
+
+  let read_uint64_be t = read_bits t ~width:64
+
+  let read_string t n =
+    if not (is_aligned t) then
+      raise (Error (Unaligned { bit_pos = t.pos; operation = "read_string" }));
+    need t (n * 8);
+    let s = String.sub t.data (t.pos lsr 3) n in
+    t.pos <- t.pos + (n * 8);
+    s
+
+  let skip_bits t n =
+    need t n;
+    t.pos <- t.pos + n
+
+  let align t =
+    let rem = t.pos land 7 in
+    if rem <> 0 then skip_bits t (8 - rem)
+
+  let sub_window t ~bit_len =
+    need t bit_len;
+    let w = { data = t.data; pos = t.pos; limit = t.pos + bit_len } in
+    t.pos <- t.pos + bit_len;
+    w
+end
+
+let try_with f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Result.Error e

@@ -1,0 +1,122 @@
+(** Bit-level readers and writers over byte strings.
+
+    Network packet formats are defined down to the bit ('on-the-wire'
+    encodings, Figure 1 of the paper), so the codec layer needs I/O that can
+    address individual bits.  Bits within a byte are numbered MSB-first,
+    matching the RFC convention: bit 0 of a byte is its most significant
+    bit.  Multi-bit fields are read and written big-endian ("network byte
+    order") unless an explicit little-endian accessor is used.
+
+    Both ends keep a *bit* cursor; byte-sized operations have fast paths when
+    the cursor is byte-aligned. *)
+
+type error =
+  | Truncated of { need_bits : int; have_bits : int }
+      (** A read ran past the end of the input. *)
+  | Width_out_of_range of int
+      (** A field width outside [\[0, 64\]] (or [\[0, 63\]] for [int] reads)
+          was requested. *)
+  | Value_out_of_range of { value : int64; width : int }
+      (** A value too wide for the requested field was written. *)
+  | Unaligned of { bit_pos : int; operation : string }
+      (** A byte-string operation was attempted off a byte boundary. *)
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** Growable bit-addressed output buffer. *)
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is an initial size hint in bytes. *)
+
+  val bit_length : t -> int
+  (** Number of bits written so far. *)
+
+  val byte_length : t -> int
+  (** Bits written so far, rounded up to whole bytes. *)
+
+  val is_aligned : t -> bool
+  (** Whether the cursor sits on a byte boundary. *)
+
+  val write_bit : t -> bool -> unit
+
+  val write_bits : t -> width:int -> int64 -> unit
+  (** [write_bits t ~width v] appends the [width] low bits of [v],
+      MSB-first.  Raises {!Error} [Value_out_of_range] if [v] does not fit,
+      [Width_out_of_range] if [width] is not in [\[0, 64\]]. *)
+
+  val write_uint8 : t -> int -> unit
+  val write_uint16_be : t -> int -> unit
+  val write_uint16_le : t -> int -> unit
+  val write_uint32_be : t -> int64 -> unit
+  val write_uint32_le : t -> int64 -> unit
+  val write_uint64_be : t -> int64 -> unit
+
+  val write_string : t -> string -> unit
+  (** Appends a byte string.  Requires an aligned cursor. *)
+
+  val align : t -> unit
+  (** Pads with zero bits up to the next byte boundary (no-op if aligned). *)
+
+  val reserve_bits : t -> int -> int
+  (** [reserve_bits t n] appends [n] zero bits and returns their starting bit
+      offset, for later back-patching of length and checksum fields. *)
+
+  val patch_bits : t -> bit_off:int -> width:int -> int64 -> unit
+  (** Overwrites [width] bits starting at [bit_off] with the given value.
+      The region must already have been written or reserved. *)
+
+  val contents : t -> string
+  (** The bytes written so far.  A trailing partial byte is zero-padded; the
+      writer remains usable. *)
+end
+
+(** Bit-addressed cursor over an immutable byte string. *)
+module Reader : sig
+  type t
+
+  val of_string : ?bit_off:int -> ?bit_len:int -> string -> t
+  (** Reader over [string], optionally restricted to a bit window. *)
+
+  val bit_pos : t -> int
+  (** Absolute bit position of the cursor. *)
+
+  val bits_remaining : t -> int
+  val at_end : t -> bool
+  val is_aligned : t -> bool
+
+  val read_bit : t -> bool
+
+  val read_bits : t -> width:int -> int64
+  (** [read_bits t ~width] consumes [width] bits MSB-first (width in
+      [\[0, 64\]]).  Raises {!Error} [Truncated] when not enough input is
+      left. *)
+
+  val read_bits_int : t -> width:int -> int
+  (** Same, for widths in [\[0, 62\]], returned as a native [int]. *)
+
+  val read_uint8 : t -> int
+  val read_uint16_be : t -> int
+  val read_uint16_le : t -> int
+  val read_uint32_be : t -> int64
+  val read_uint32_le : t -> int64
+  val read_uint64_be : t -> int64
+
+  val read_string : t -> int -> string
+  (** [read_string t n] consumes [n] whole bytes.  Requires alignment. *)
+
+  val skip_bits : t -> int -> unit
+  val align : t -> unit
+
+  val sub_window : t -> bit_len:int -> t
+  (** [sub_window t ~bit_len] is a reader over the next [bit_len] bits of
+      [t]; the original cursor advances past the window.  Used for
+      length-delimited payloads. *)
+end
+
+val try_with : (unit -> 'a) -> ('a, error) result
+(** Runs a decoding thunk, converting {!Error} into [Result.Error]. *)

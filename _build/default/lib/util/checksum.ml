@@ -1,0 +1,109 @@
+type algorithm = Internet | Crc32 | Fletcher16 | Adler32 | Xor8 | Sum8
+
+let algorithm_to_string = function
+  | Internet -> "internet"
+  | Crc32 -> "crc32"
+  | Fletcher16 -> "fletcher16"
+  | Adler32 -> "adler32"
+  | Xor8 -> "xor8"
+  | Sum8 -> "sum8"
+
+let all_algorithms = [ Internet; Crc32; Fletcher16; Adler32; Xor8; Sum8 ]
+
+let algorithm_of_string s =
+  List.find_opt (fun a -> String.equal (algorithm_to_string a) s) all_algorithms
+
+let width_bits = function
+  | Internet | Fletcher16 -> 16
+  | Crc32 | Adler32 -> 32
+  | Xor8 | Sum8 -> 8
+
+let range ?(off = 0) ?len s =
+  let len = match len with None -> String.length s - off | Some l -> l in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Checksum: range out of bounds";
+  (off, len)
+
+let internet_checksum ?off ?len s =
+  let off, len = range ?off ?len s in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let word =
+      (Char.code s.[off + !i] lsl 8) lor Char.code s.[off + !i + 1]
+    in
+    sum := !sum + word;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (Char.code s.[off + len - 1] lsl 8);
+  (* Fold carries back into the low 16 bits. *)
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?off ?len s =
+  let off, len = range ?off ?len s in
+  let table = Lazy.force crc32_table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int64.logand (Int64.of_int32 (Int32.logxor !crc 0xFFFFFFFFl)) 0xFFFFFFFFL
+
+let fletcher16 ?off ?len s =
+  let off, len = range ?off ?len s in
+  let a = ref 0 and b = ref 0 in
+  for i = off to off + len - 1 do
+    a := (!a + Char.code s.[i]) mod 255;
+    b := (!b + !a) mod 255
+  done;
+  (!b lsl 8) lor !a
+
+let adler32 ?off ?len s =
+  let off, len = range ?off ?len s in
+  let a = ref 1 and b = ref 0 in
+  for i = off to off + len - 1 do
+    a := (!a + Char.code s.[i]) mod 65521;
+    b := (!b + !a) mod 65521
+  done;
+  Int64.of_int ((!b lsl 16) lor !a)
+
+let xor8 ?off ?len s =
+  let off, len = range ?off ?len s in
+  let acc = ref 0 in
+  for i = off to off + len - 1 do
+    acc := !acc lxor Char.code s.[i]
+  done;
+  !acc
+
+let sum8 ?off ?len s =
+  let off, len = range ?off ?len s in
+  let acc = ref 0 in
+  for i = off to off + len - 1 do
+    acc := (!acc + Char.code s.[i]) land 0xFF
+  done;
+  !acc
+
+let compute alg ?off ?len s =
+  match alg with
+  | Internet -> Int64.of_int (internet_checksum ?off ?len s)
+  | Crc32 -> crc32 ?off ?len s
+  | Fletcher16 -> Int64.of_int (fletcher16 ?off ?len s)
+  | Adler32 -> adler32 ?off ?len s
+  | Xor8 -> Int64.of_int (xor8 ?off ?len s)
+  | Sum8 -> Int64.of_int (sum8 ?off ?len s)
+
+let verify alg ?off ?len s ~expected = Int64.equal (compute alg ?off ?len s) expected

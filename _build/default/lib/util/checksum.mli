@@ -1,0 +1,35 @@
+(** Checksums and error-detecting codes used by packet formats.
+
+    Every algorithm takes an optional byte range so that a checksum can be
+    computed over a slice of a serialised packet (the usual case: the
+    checksum field itself is zeroed during computation, or excluded by
+    range). *)
+
+type algorithm =
+  | Internet  (** RFC 1071 16-bit ones'-complement sum (IPv4, TCP, UDP). *)
+  | Crc32     (** IEEE 802.3 CRC-32 (Ethernet FCS), reflected, as a 32-bit value. *)
+  | Fletcher16
+  | Adler32
+  | Xor8      (** Simple XOR of all bytes (longitudinal redundancy check). *)
+  | Sum8      (** Modulo-256 byte sum. *)
+
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+val all_algorithms : algorithm list
+
+val width_bits : algorithm -> int
+(** Output width of the algorithm, in bits. *)
+
+val compute : algorithm -> ?off:int -> ?len:int -> string -> int64
+(** [compute alg s] is the checksum of [s] (or of [s.(off .. off+len-1)]),
+    as an unsigned value of {!width_bits} bits. *)
+
+val verify : algorithm -> ?off:int -> ?len:int -> string -> expected:int64 -> bool
+
+val internet_checksum : ?off:int -> ?len:int -> string -> int
+(** Direct entry point for the RFC 1071 checksum (already complemented;
+    i.e. the value to place in a header field). *)
+
+val crc32 : ?off:int -> ?len:int -> string -> int64
+val fletcher16 : ?off:int -> ?len:int -> string -> int
+val adler32 : ?off:int -> ?len:int -> string -> int64

@@ -1,0 +1,41 @@
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7F then c else '.'
+
+let to_string ?(width = 16) s =
+  let buf = Buffer.create (String.length s * 4) in
+  let n = String.length s in
+  let line_count = (n + width - 1) / width in
+  for line = 0 to line_count - 1 do
+    let off = line * width in
+    Buffer.add_string buf (Printf.sprintf "%08x  " off);
+    for i = 0 to width - 1 do
+      if off + i < n then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code s.[off + i]))
+      else Buffer.add_string buf "   ";
+      if i = (width / 2) - 1 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to min width (n - off) - 1 do
+      Buffer.add_char buf (printable s.[off + i])
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hexdump.of_hex: bad digit %C" c)
+
+let of_hex s =
+  let cleaned = String.to_seq s |> Seq.filter (fun c -> not (List.mem c [ ' '; '\n'; '\t'; ':' ])) |> String.of_seq in
+  if String.length cleaned mod 2 <> 0 then invalid_arg "Hexdump.of_hex: odd length";
+  String.init
+    (String.length cleaned / 2)
+    (fun i -> Char.chr ((digit cleaned.[2 * i] lsl 4) lor digit cleaned.[(2 * i) + 1]))
+
+let to_hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.of_seq (String.to_seq s)))

@@ -1,0 +1,16 @@
+(** Conventional hex + ASCII dumps of byte strings, for diagnostics and the
+    example programs. *)
+
+val to_string : ?width:int -> string -> string
+(** [to_string s] renders [s] as an offset / hex / ASCII dump, [width] bytes
+    per line (default 16). *)
+
+val pp : Format.formatter -> string -> unit
+
+val of_hex : string -> string
+(** Parses a hex string (whitespace and [:] separators ignored) into raw
+    bytes.  Raises [Invalid_argument] on odd length or bad digits.  Used by
+    golden byte-vector tests. *)
+
+val to_hex : string -> string
+(** Lower-case hex encoding, no separators. *)

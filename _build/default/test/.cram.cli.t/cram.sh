@@ -1,0 +1,58 @@
+  $ cat > ping.ndsl <<'SPEC'
+  > format ping {
+  >   token : uint32 "Token";
+  >   hops  : uint8 where 1..16 "Hops";
+  >   chk   : checksum xor8 over message "Check";
+  > }
+  > machine pinger {
+  >   states { idle init accepting; waiting; }
+  >   events { send, pong, give_up }
+  >   on send: idle -> waiting;
+  >   on pong: waiting -> idle;
+  >   on give_up: waiting -> idle;
+  >   ignore pong in idle; ignore give_up in idle; ignore send in waiting;
+  > }
+  > SPEC
+  $ netdsl check ping.ndsl
+  $ netdsl diagram ping.ndsl
+  $ netdsl decode ping.ndsl 0000002a052f
+  $ netdsl decode ping.ndsl 0000002a05ff
+  $ netdsl tests ping.ndsl
+  $ netdsl fuzz ping.ndsl --count 1 --seed 7
+  $ netdsl dot ping.ndsl | head -4
+  $ netdsl codegen ping.ndsl | head -8
+  $ cat > broken.ndsl <<'SPEC'
+  > format bad {
+  >   x : uint77;
+  > }
+  > SPEC
+  $ netdsl check broken.ndsl
+  $ cat > toy_system.ndsl <<'SPEC'
+  > machine producer {
+  >   states { idle init accepting; busy; }
+  >   events { put, done }
+  >   on put: idle -> busy;
+  >   on done: busy -> idle;
+  >   ignore done in idle; ignore put in busy;
+  > }
+  > machine buffer {
+  >   states { empty init accepting; full; }
+  >   events { put, get }
+  >   on put: empty -> full;
+  >   on get: full -> empty;
+  >   ignore get in empty; ignore put in full;
+  > }
+  > SPEC
+  $ netdsl modelcheck toy_system.ndsl
+  $ cat > deadlock.ndsl <<'SPEC'
+  > machine walker {
+  >   states { a init accepting; pit; }
+  >   events { step }
+  >   on step: a -> pit;
+  >   ignore step in pit;
+  > }
+  > SPEC
+  $ netdsl modelcheck deadlock.ndsl
+  $ netdsl abnf ping.ndsl
+  $ netdsl run ping.ndsl -m pinger send pong send give_up
+  $ netdsl run ping.ndsl -m pinger pong

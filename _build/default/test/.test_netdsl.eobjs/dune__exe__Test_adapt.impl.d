@@ -1,0 +1,1 @@
+test/test_adapt.ml: Alcotest Float Fuzzy List Loss_classifier Netdsl_adapt Netdsl_sim Netdsl_util Printf Rate_control String Trust

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Analysis Compose Dot Equiv Format Interp List Machine Model_check Netdsl_fsm Netdsl_proto Netdsl_util Printf QCheck QCheck_alcotest String Testgen Testutil

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Codegen Format Fun Lexer List Loc Netdsl_format Netdsl_formats Netdsl_fsm Netdsl_lang Netdsl_proto Netdsl_util Option Parser Printer Printf String Sys Testutil

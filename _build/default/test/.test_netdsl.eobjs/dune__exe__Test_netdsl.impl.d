@@ -1,0 +1,1 @@
+test/test_netdsl.ml: Alcotest List Test_adapt Test_format Test_formats Test_fsm Test_lang Test_proto Test_sim Test_typed Test_util

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Harness List Netdsl_proto Netdsl_sim Option Printf QCheck QCheck_alcotest Relay Rto Seqspace String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Engine Ladder List Netdsl_proto Netdsl_sim Netdsl_util Network Printf QCheck QCheck_alcotest Stats String Testutil Timer Trace

@@ -1,0 +1,1 @@
+test/test_typed.ml: Alcotest Bytes Char Checked Format List Netdsl_typed Netdsl_util Printf QCheck QCheck_alcotest Recv_machine Send_machine String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitio Bytes Char Checksum Fun Hexdump Int64 List Netdsl_util Prng QCheck QCheck_alcotest String

@@ -1,0 +1,457 @@
+open Netdsl_adapt
+module P = Netdsl_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzy membership functions *)
+
+let test_triangle () =
+  let t = Fuzzy.Triangle (0.0, 1.0, 2.0) in
+  check_float "peak" 1.0 (Fuzzy.membership t 1.0);
+  check_float "left foot" 0.0 (Fuzzy.membership t 0.0);
+  check_float "halfway up" 0.5 (Fuzzy.membership t 0.5);
+  check_float "halfway down" 0.5 (Fuzzy.membership t 1.5);
+  check_float "outside" 0.0 (Fuzzy.membership t 3.0)
+
+let test_trapezoid () =
+  let t = Fuzzy.Trapezoid (0.0, 1.0, 2.0, 3.0) in
+  check_float "plateau" 1.0 (Fuzzy.membership t 1.5);
+  check_float "rising" 0.5 (Fuzzy.membership t 0.5);
+  check_float "falling" 0.5 (Fuzzy.membership t 2.5);
+  check_float "shoulder left" 1.0 (Fuzzy.membership t 1.0);
+  check_float "outside" 0.0 (Fuzzy.membership t 4.0)
+
+let test_shoulder_trapezoids () =
+  (* Open-shouldered trapezoids (a=b or c=d) are 1 at their extreme. *)
+  let left = Fuzzy.Trapezoid (0.0, 0.0, 0.5, 1.0) in
+  check_float "left shoulder at 0" 1.0 (Fuzzy.membership left 0.0);
+  let right = Fuzzy.Trapezoid (1.0, 2.0, 3.0, 3.0) in
+  check_float "right shoulder at 3" 1.0 (Fuzzy.membership right 3.0)
+
+let test_gaussian () =
+  let g = Fuzzy.Gaussian (5.0, 1.0) in
+  check_float "center" 1.0 (Fuzzy.membership g 5.0);
+  check_bool "symmetric" true
+    (abs_float (Fuzzy.membership g 4.0 -. Fuzzy.membership g 6.0) < 1e-12);
+  check_bool "decays" true (Fuzzy.membership g 9.0 < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzy inference *)
+
+let thermostat =
+  (* A toy system with an obvious correct answer, to validate inference:
+     cold -> heat high, hot -> heat off. *)
+  let temp =
+    Fuzzy.variable "temp" ~range:(0.0, 40.0)
+      [
+        ("cold", Fuzzy.Trapezoid (0.0, 0.0, 10.0, 18.0));
+        ("comfy", Fuzzy.Triangle (15.0, 21.0, 27.0));
+        ("hot", Fuzzy.Trapezoid (24.0, 30.0, 40.0, 40.0));
+      ]
+  in
+  let heat =
+    Fuzzy.variable "heat" ~range:(0.0, 100.0)
+      [
+        ("off", Fuzzy.Triangle (0.0, 0.0, 30.0));
+        ("medium", Fuzzy.Triangle (20.0, 50.0, 80.0));
+        ("full", Fuzzy.Triangle (70.0, 100.0, 100.0));
+      ]
+  in
+  Fuzzy.create ~inputs:[ temp ] ~output:heat
+    [
+      Fuzzy.rule [ ("temp", "cold") ] ("heat", "full");
+      Fuzzy.rule [ ("temp", "comfy") ] ("heat", "medium");
+      Fuzzy.rule [ ("temp", "hot") ] ("heat", "off");
+    ]
+
+let test_inference_extremes () =
+  let cold = Fuzzy.infer thermostat [ ("temp", 2.0) ] in
+  let hot = Fuzzy.infer thermostat [ ("temp", 38.0) ] in
+  let comfy = Fuzzy.infer thermostat [ ("temp", 21.0) ] in
+  check_bool (Printf.sprintf "cold (%.1f) -> high heat" cold) true (cold > 80.0);
+  check_bool (Printf.sprintf "hot (%.1f) -> low heat" hot) true (hot < 20.0);
+  check_bool (Printf.sprintf "comfy (%.1f) -> medium" comfy) true
+    (comfy > 40.0 && comfy < 60.0)
+
+let test_inference_monotone () =
+  (* Hotter input never asks for more heat. *)
+  let prev = ref infinity in
+  for t = 0 to 40 do
+    let h = Fuzzy.infer thermostat [ ("temp", float_of_int t) ] in
+    check_bool (Printf.sprintf "monotone at %d" t) true (h <= !prev +. 1e-9);
+    prev := h
+  done
+
+let test_inference_clamps_inputs () =
+  let way_out = Fuzzy.infer thermostat [ ("temp", 500.0) ] in
+  let edge = Fuzzy.infer thermostat [ ("temp", 40.0) ] in
+  check_float "clamped to range" edge way_out
+
+let test_inference_missing_input () =
+  match Fuzzy.infer thermostat [] with
+  | _ -> Alcotest.fail "missing input accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_create_validation () =
+  let v = Fuzzy.variable "x" ~range:(0.0, 1.0) [ ("t", Fuzzy.Triangle (0.0, 0.5, 1.0)) ] in
+  (* Unknown term in a rule. *)
+  (match Fuzzy.create ~inputs:[ v ] ~output:v [ Fuzzy.rule [ ("x", "nope") ] ("x", "t") ] with
+  | _ -> Alcotest.fail "unknown term accepted"
+  | exception Invalid_argument _ -> ());
+  (* Empty rule set. *)
+  (match Fuzzy.create ~inputs:[ v ] ~output:v [] with
+  | _ -> Alcotest.fail "no rules accepted"
+  | exception Invalid_argument _ -> ());
+  (* Conclusion must target the output. *)
+  let y = Fuzzy.variable "y" ~range:(0.0, 1.0) [ ("t", Fuzzy.Triangle (0.0, 0.5, 1.0)) ] in
+  match Fuzzy.create ~inputs:[ v; y ] ~output:v [ Fuzzy.rule [ ("x", "t") ] ("y", "t") ] with
+  | _ -> Alcotest.fail "conclusion on input accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_rule_activations () =
+  let acts = Fuzzy.rule_activations thermostat [ ("temp", 2.0) ] in
+  Alcotest.(check int) "all rules scored" 3 (List.length acts);
+  let strongest =
+    List.fold_left (fun acc (_, a) -> Float.max acc a) 0.0 acts
+  in
+  check_float "cold fully active" 1.0 strongest
+
+(* ------------------------------------------------------------------ *)
+(* Rate control *)
+
+let test_fuzzy_controller_cuts_under_loss () =
+  let c = Rate_control.fuzzy ~initial:1000.0 () in
+  let r = Rate_control.step c ~loss:0.3 ~delay_trend:0.5 in
+  check_bool (Printf.sprintf "cut hard (%.0f)" r) true (r < 800.0)
+
+let test_fuzzy_controller_probes_when_clean () =
+  let c = Rate_control.fuzzy ~initial:1000.0 () in
+  let r = Rate_control.step c ~loss:0.0 ~delay_trend:0.0 in
+  check_bool (Printf.sprintf "probes upward (%.0f)" r) true (r > 1000.0)
+
+let test_controller_bounds () =
+  let c = Rate_control.fuzzy ~min_rate:100.0 ~max_rate:2000.0 ~initial:150.0 () in
+  for _ = 1 to 50 do
+    ignore (Rate_control.step c ~loss:0.4 ~delay_trend:1.0)
+  done;
+  check_float "floor" 100.0 (Rate_control.rate c);
+  let c2 = Rate_control.fuzzy ~min_rate:100.0 ~max_rate:2000.0 ~initial:1900.0 () in
+  for _ = 1 to 50 do
+    ignore (Rate_control.step c2 ~loss:0.0 ~delay_trend:0.0)
+  done;
+  check_float "ceiling" 2000.0 (Rate_control.rate c2)
+
+(* A shared synthetic channel: capacity 1000; loss grows with overshoot. *)
+let channel_epoch rate =
+  let capacity = 1000.0 in
+  let overshoot = Float.max 0.0 ((rate -. capacity) /. capacity) in
+  let loss = Float.min 0.5 (overshoot *. 0.8) in
+  let delay_trend = Float.max (-1.0) (Float.min 1.0 ((rate -. capacity) /. capacity *. 2.0)) in
+  (loss, delay_trend)
+
+let drive controller epochs =
+  let rates = ref [] in
+  for _ = 1 to epochs do
+    let loss, delay_trend = channel_epoch (Rate_control.rate controller) in
+    rates := Rate_control.step controller ~loss ~delay_trend :: !rates
+  done;
+  List.rev !rates
+
+let test_fuzzy_robust_to_measurement_noise () =
+  (* Loss is measured over finite epochs, so the reading is noisy.  A hard
+     threshold turns a noise spike into a rate halving; the fuzzy
+     controller's graded response only trims.  Compare goodput and severe
+     cuts on identical noise. *)
+  let run controller seed =
+    let rng = P.create seed in
+    let severe = ref 0 and total = ref 0.0 in
+    let epochs = 300 in
+    for _ = 1 to epochs do
+      let rate = Rate_control.rate controller in
+      let base_loss, trend = channel_epoch rate in
+      let noise = P.gaussian rng ~mu:0.0 ~sigma:0.02 in
+      let measured = Float.max 0.0 (base_loss +. noise) in
+      let rate' = Rate_control.step controller ~loss:measured ~delay_trend:trend in
+      if rate' < 0.6 *. rate then incr severe;
+      total := !total +. Float.min rate' 1000.0
+    done;
+    (!severe, !total /. 300.0)
+  in
+  let f_severe, f_goodput = run (Rate_control.fuzzy ~initial:800.0 ()) 1234L in
+  let t_severe, t_goodput = run (Rate_control.threshold ~initial:800.0 ()) 1234L in
+  check_bool
+    (Printf.sprintf "fuzzy severe cuts (%d) < threshold (%d)" f_severe t_severe)
+    true (f_severe < t_severe);
+  check_bool
+    (Printf.sprintf "fuzzy goodput (%.0f) > threshold (%.0f)" f_goodput t_goodput)
+    true (f_goodput > t_goodput)
+
+let test_both_track_capacity () =
+  List.iter
+    (fun c ->
+      let rates = drive c 300 in
+      let tail = List.filteri (fun i _ -> i >= 200) rates in
+      let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
+      check_bool (Printf.sprintf "settles near capacity (%.0f)" mean) true
+        (mean > 600.0 && mean < 1400.0))
+    [ Rate_control.fuzzy ~initial:200.0 (); Rate_control.threshold ~initial:200.0 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Loss classifier *)
+
+let test_classify_harsh_channel () =
+  let v =
+    Loss_classifier.classify
+      { loss_rate = 0.15; burstiness = 5.0; rtt_inflation = 1.0 }
+  in
+  check_str "bursty flat-RTT loss is the radio" "harsh-channel"
+    (Loss_classifier.cause_to_string v.Loss_classifier.cause)
+
+let test_classify_congestion () =
+  let v =
+    Loss_classifier.classify
+      { loss_rate = 0.06; burstiness = 1.0; rtt_inflation = 3.0 }
+  in
+  check_str "inflated RTT with moderate smooth loss is congestion" "congestion"
+    (Loss_classifier.cause_to_string v.Loss_classifier.cause)
+
+let test_classify_attack () =
+  let v =
+    Loss_classifier.classify
+      { loss_rate = 0.45; burstiness = 4.0; rtt_inflation = 4.0 }
+  in
+  check_str "sustained heavy loss with inflated RTT is an attack" "attack"
+    (Loss_classifier.cause_to_string v.Loss_classifier.cause);
+  (* And the attack score clearly dominates. *)
+  let attack = List.assoc Loss_classifier.Attack v.Loss_classifier.scores in
+  let harsh = List.assoc Loss_classifier.Harsh_channel v.Loss_classifier.scores in
+  check_bool "dominates" true (attack > harsh)
+
+let test_classify_benign () =
+  let v =
+    Loss_classifier.classify
+      { loss_rate = 0.002; burstiness = 1.0; rtt_inflation = 1.0 }
+  in
+  List.iter
+    (fun (_, s) -> check_bool "all explanations weak" true (s < 0.3))
+    v.Loss_classifier.scores
+
+let test_features_of_trace () =
+  (* 10 packets: positions 3,4,5 lost (one run of 3); others 10ms except two
+     at 30ms. *)
+  let trace =
+    [
+      (true, 0.010); (true, 0.010); (true, 0.010);
+      (false, 0.0); (false, 0.0); (false, 0.0);
+      (true, 0.030); (true, 0.030); (true, 0.010); (true, 0.010);
+    ]
+  in
+  let f = Loss_classifier.features_of_trace trace in
+  check_float "loss rate" 0.3 f.Loss_classifier.loss_rate;
+  check_float "burstiness" 3.0 f.Loss_classifier.burstiness;
+  check_bool "rtt inflation > 1" true (f.Loss_classifier.rtt_inflation > 1.0)
+
+let test_features_empty_trace () =
+  let f = Loss_classifier.features_of_trace [] in
+  check_float "no loss" 0.0 f.Loss_classifier.loss_rate
+
+(* ------------------------------------------------------------------ *)
+(* Trust *)
+
+let relay_world rng honest =
+  (* Returns a probe function: relay -> success. *)
+  fun name -> P.bernoulli rng (if List.mem name honest then 0.95 else 0.05)
+
+let test_trust_learns_honest_relays () =
+  let rng = P.create 41L in
+  let relays = List.init 10 (fun i -> Printf.sprintf "relay-%d" i) in
+  let honest = [ "relay-2"; "relay-5"; "relay-8" ] in
+  let probe = relay_world (P.split rng) honest in
+  let t = Trust.create ~relays (P.split rng) in
+  for _ = 1 to 2000 do
+    let r = Trust.choose t in
+    Trust.report t r ~success:(probe r)
+  done;
+  check_bool "best is honest" true (List.mem (Trust.best t) honest);
+  (* Honest relays outscore compromised ones. *)
+  let min_honest =
+    List.fold_left (fun acc r -> Float.min acc (Trust.score t r)) 1.0 honest
+  in
+  let max_bad =
+    List.fold_left
+      (fun acc r -> if List.mem r honest then acc else Float.max acc (Trust.score t r))
+      0.0 relays
+  in
+  check_bool
+    (Printf.sprintf "separation (honest>=%.2f, bad<=%.2f)" min_honest max_bad)
+    true
+    (min_honest > max_bad)
+
+let test_trust_mostly_exploits () =
+  let rng = P.create 43L in
+  let relays = [ "good"; "bad" ] in
+  let probe = relay_world (P.split rng) [ "good" ] in
+  let t = Trust.create ~epsilon:0.1 ~relays (P.split rng) in
+  (* Warm-up. *)
+  for _ = 1 to 200 do
+    let r = Trust.choose t in
+    Trust.report t r ~success:(probe r)
+  done;
+  let good_before = Trust.probes t "good" in
+  for _ = 1 to 1000 do
+    let r = Trust.choose t in
+    Trust.report t r ~success:(probe r)
+  done;
+  let good_share = float_of_int (Trust.probes t "good" - good_before) /. 1000.0 in
+  check_bool (Printf.sprintf "good relay carries %.2f of traffic" good_share) true
+    (good_share > 0.85)
+
+let test_trust_rediscovers_recovered_relay () =
+  let rng = P.create 47L in
+  let relays = [ "a"; "b" ] in
+  let t = Trust.create ~epsilon:0.2 ~alpha:0.3 ~relays (P.split rng) in
+  (* Phase 1: a is good, b is bad. *)
+  for _ = 1 to 300 do
+    let r = Trust.choose t in
+    Trust.report t r ~success:(String.equal r "a")
+  done;
+  Alcotest.(check string) "prefers a" "a" (Trust.best t);
+  (* Phase 2: roles flip; exploration must rediscover b. *)
+  for _ = 1 to 600 do
+    let r = Trust.choose t in
+    Trust.report t r ~success:(String.equal r "b")
+  done;
+  Alcotest.(check string) "rediscovered b" "b" (Trust.best t)
+
+let test_trust_validation () =
+  (match Trust.create ~relays:[] (P.create 1L) with
+  | _ -> Alcotest.fail "empty relay list accepted"
+  | exception Invalid_argument _ -> ());
+  let t = Trust.create ~relays:[ "x" ] (P.create 1L) in
+  match Trust.score t "ghost" with
+  | _ -> Alcotest.fail "unknown relay accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_trust_scores_sorted () =
+  let t = Trust.create ~relays:[ "a"; "b"; "c" ] (P.create 9L) in
+  Trust.report t "b" ~success:true;
+  Trust.report t "c" ~success:false;
+  match Trust.scores t with
+  | (first, _) :: _ -> Alcotest.(check string) "b on top" "b" first
+  | [] -> Alcotest.fail "no scores"
+
+let suite =
+  [
+    ( "adapt.fuzzy",
+      [
+        Alcotest.test_case "triangle" `Quick test_triangle;
+        Alcotest.test_case "trapezoid" `Quick test_trapezoid;
+        Alcotest.test_case "shoulders" `Quick test_shoulder_trapezoids;
+        Alcotest.test_case "gaussian" `Quick test_gaussian;
+        Alcotest.test_case "inference extremes" `Quick test_inference_extremes;
+        Alcotest.test_case "inference monotone" `Quick test_inference_monotone;
+        Alcotest.test_case "inputs clamped" `Quick test_inference_clamps_inputs;
+        Alcotest.test_case "missing input" `Quick test_inference_missing_input;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "rule activations" `Quick test_rule_activations;
+      ] );
+    ( "adapt.rate_control",
+      [
+        Alcotest.test_case "cuts under loss" `Quick test_fuzzy_controller_cuts_under_loss;
+        Alcotest.test_case "probes when clean" `Quick test_fuzzy_controller_probes_when_clean;
+        Alcotest.test_case "bounds" `Quick test_controller_bounds;
+        Alcotest.test_case "robust to noisy loss readings" `Quick test_fuzzy_robust_to_measurement_noise;
+        Alcotest.test_case "tracks capacity" `Quick test_both_track_capacity;
+      ] );
+    ( "adapt.loss_classifier",
+      [
+        Alcotest.test_case "harsh channel" `Quick test_classify_harsh_channel;
+        Alcotest.test_case "congestion" `Quick test_classify_congestion;
+        Alcotest.test_case "attack" `Quick test_classify_attack;
+        Alcotest.test_case "benign" `Quick test_classify_benign;
+        Alcotest.test_case "features of trace" `Quick test_features_of_trace;
+        Alcotest.test_case "empty trace" `Quick test_features_empty_trace;
+      ] );
+    ( "adapt.trust",
+      [
+        Alcotest.test_case "learns honest relays" `Quick test_trust_learns_honest_relays;
+        Alcotest.test_case "mostly exploits" `Quick test_trust_mostly_exploits;
+        Alcotest.test_case "rediscovers recovery" `Quick test_trust_rediscovers_recovered_relay;
+        Alcotest.test_case "validation" `Quick test_trust_validation;
+        Alcotest.test_case "scores sorted" `Quick test_trust_scores_sorted;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* §2.2 end-to-end: "does this loss look like an attack or a harsh
+   environment?" — answered from measurements taken on simulated channels
+   rather than hand-picked feature vectors. *)
+
+let probe_channel ?(probes = 400) ?baseline_rtt ~seed cfg =
+  let module E = Netdsl_sim.Engine in
+  let module Ch = Netdsl_sim.Channel in
+  let engine = E.create () in
+  let rng = P.create seed in
+  let outcomes = ref [] in
+  let inflight = ref None in
+  let ch =
+    Ch.create engine rng cfg ~deliver:(fun _ ->
+        match !inflight with
+        | Some t0 ->
+          outcomes := (true, E.now engine -. t0) :: !outcomes;
+          inflight := None
+        | None -> ())
+  in
+  for i = 0 to probes - 1 do
+    (* One probe every 10 ms; resolution checked just before the next. *)
+    ignore
+      (E.schedule engine ~delay:(0.01 *. float_of_int i) (fun () ->
+           (match !inflight with
+           | Some _ ->
+             outcomes := (false, 0.0) :: !outcomes;
+             inflight := None
+           | None -> ());
+           inflight := Some (E.now engine);
+           Ch.send ch "probe"))
+  done;
+  ignore (E.run engine);
+  Loss_classifier.features_of_trace ?baseline_rtt (List.rev !outcomes)
+
+let test_classifier_on_simulated_channels () =
+  let module Ch = Netdsl_sim.Channel in
+  (* Harsh radio: bursty fades, tight flat delay. *)
+  let harsh =
+    probe_channel ~seed:1L
+      (Ch.config
+         ~gilbert:
+           { Ch.p_good_to_bad = 0.05; p_bad_to_good = 0.3; loss_good = 0.01; loss_bad = 0.95 }
+         ~delay:(Ch.Constant 0.002) ())
+  in
+  (* The path's uncongested RTT (2 ms) is known from calm periods; RTT
+     inflation is judged against it, as a transport with an RTT estimator
+     would. *)
+  let congested =
+    probe_channel ~seed:2L ~baseline_rtt:0.002
+      (Ch.config ~loss:0.08 ~delay:(Ch.Uniform (0.004, 0.009)) ())
+  in
+  (* Flood: heavy loss and saturated queues. *)
+  let attacked =
+    probe_channel ~seed:3L ~baseline_rtt:0.002
+      (Ch.config ~loss:0.45 ~delay:(Ch.Uniform (0.006, 0.009)) ())
+  in
+  let classify f = Loss_classifier.(cause_to_string (classify f).cause) in
+  check_str "bursty flat channel" "harsh-channel" (classify harsh);
+  check_str "queueing channel" "congestion" (classify congested);
+  check_str "flooded channel" "attack" (classify attacked)
+
+let integration_suite =
+  ( "adapt.integration",
+    [
+      Alcotest.test_case "classifies simulated channels" `Quick
+        test_classifier_on_simulated_channels;
+    ] )
+
+let suite = suite @ [ integration_suite ]

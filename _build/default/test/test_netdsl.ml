@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "netdsl"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_format.suite;
+         Test_formats.suite;
+         Test_fsm.suite;
+         Test_sim.suite;
+         Test_proto.suite;
+         Test_typed.suite;
+         Test_adapt.suite;
+         Test_lang.suite;
+       ])

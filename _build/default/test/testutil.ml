@@ -1,0 +1,14 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= h - n do
+      if String.equal (String.sub haystack !i n) needle then found := true
+      else incr i
+    done;
+    !found
+  end
