@@ -182,7 +182,13 @@ let decode_cmd =
       match Netdsl.Hexdump.of_hex hex with
       | b -> b
       | exception Invalid_argument msg ->
-        prerr_endline msg;
+        (* "Hexdump.of_hex: odd length" → "odd length" *)
+        let reason =
+          match String.index_opt msg ':' with
+          | Some i -> String.sub msg (i + 2) (String.length msg - i - 2)
+          | None -> msg
+        in
+        Format.eprintf "netdsl: malformed hex input: %s@." reason;
         exit 1
     in
     match Netdsl.Codec.decode fmt bytes with
@@ -196,6 +202,96 @@ let decode_cmd =
   Cmd.v
     (Cmd.info "decode" ~doc:"Decode and validate a hex packet against a format.")
     Term.(const run $ file_arg $ format_opt $ hex_arg $ json_flag)
+
+let bench_cmd =
+  let workers_opt =
+    Arg.(value & opt int 1 & info [ "workers"; "w" ] ~docv:"N"
+           ~doc:"Worker domains; with N > 1, $(b,--key) selects the sharding field.")
+  in
+  let key_opt =
+    Arg.(value & opt (some string) None & info [ "key" ] ~docv:"FIELD"
+           ~doc:"Field to shard flows on (must sit at a fixed wire offset).")
+  in
+  let bench_count_opt =
+    Arg.(value & opt int 200_000 & info [ "count"; "n" ] ~docv:"N"
+           ~doc:"Packets to push through the engine.")
+  in
+  let corrupt_opt =
+    Arg.(value & opt float 0.0 & info [ "corrupt" ] ~docv:"FRACTION"
+           ~doc:"Fraction of packets to bit-flip before feeding (exercises the reject path).")
+  in
+  let run file format count workers key corrupt seed =
+    let program = load file in
+    let fmt = pick_format program format in
+    let rng = Netdsl.Prng.of_int seed in
+    let pool_size = max 1 (min count 4096) in
+    let pool =
+      try
+        Array.init pool_size (fun _ ->
+            let pkt = Netdsl.Gen.generate_bytes rng fmt in
+            if corrupt > 0.0 && Netdsl.Prng.bernoulli rng corrupt then
+              Netdsl.Gen.mutate rng ~flips:(1 + Netdsl.Prng.int rng 4) pkt
+            else pkt)
+      with Netdsl.Gen.Unsupported reason ->
+        Format.eprintf "netdsl: cannot generate packets for %s: %s@."
+          fmt.Netdsl.Desc.format_name reason;
+        exit 1
+    in
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      if workers > 1 then begin
+        let key =
+          match key with
+          | Some k -> k
+          | None ->
+            prerr_endline "netdsl: --workers > 1 requires --key FIELD";
+            exit 1
+        in
+        let config = { Netdsl.Engine.Shard.default_config with workers } in
+        match Netdsl.Engine.Shard.create ~config ~key fmt with
+        | Error e ->
+          Format.eprintf "netdsl: %s@." e;
+          exit 1
+        | Ok shard ->
+          Netdsl.Engine.Shard.start shard;
+          for i = 0 to count - 1 do
+            ignore (Netdsl.Engine.Shard.feed shard pool.(i mod pool_size))
+          done;
+          Netdsl.Engine.Shard.drain shard;
+          Netdsl.Engine.Shard.stats shard
+      end
+      else begin
+        let pipe = Netdsl.Engine.Pipeline.create fmt in
+        let batch = Netdsl.Engine.Pipeline.default_config.batch in
+        let buf = Array.make batch "" in
+        let fed = ref 0 in
+        while !fed < count do
+          let n = min batch (count - !fed) in
+          for i = 0 to n - 1 do
+            buf.(i) <- pool.((!fed + i) mod pool_size)
+          done;
+          Netdsl.Engine.Pipeline.process_batch pipe buf n;
+          fed := !fed + n
+        done;
+        Netdsl.Engine.Pipeline.stats pipe
+      end
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let packets = Netdsl.Engine.Stats.stage_packets stats 0 in
+    let bytes = Netdsl.Engine.Stats.stage_bytes stats 0 in
+    print_string (Netdsl.Engine.Stats.to_text stats);
+    Format.printf "%d packets, %d bytes in %.3fs — %.0f pkts/s, %.1f MB/s (%d worker%s)@."
+      packets bytes dt
+      (float_of_int packets /. dt)
+      (float_of_int bytes /. dt /. 1e6)
+      workers
+      (if workers = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Push generated packets for a format through the processing engine and report per-stage counters and throughput.")
+    Term.(const run $ file_arg $ format_opt $ bench_count_opt $ workers_opt
+          $ key_opt $ corrupt_opt $ seed_opt)
 
 let print_cmd =
   let run file =
@@ -308,4 +404,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))
+          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))

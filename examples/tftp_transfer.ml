@@ -23,7 +23,7 @@ let block_of_file n =
   else String.sub file_bytes off (min block_size (String.length file_bytes - off))
 
 let () =
-  let engine = Engine.create () in
+  let engine = Sim_engine.create () in
   let rng = Prng.create 77L in
   let cfg = Channel.config ~loss:0.25 ~delay:(Channel.Uniform (0.01, 0.03)) () in
   let to_server = ref (fun (_ : string) -> ()) in
@@ -54,13 +54,13 @@ let () =
      fun bytes ->
        match Formats.Tftp.of_bytes bytes with
        | Ok (Formats.Tftp.Rrq { filename; mode }) ->
-         Printf.printf "%8.3fs server: RRQ for %S (%s)\n" (Engine.now engine) filename mode;
+         Printf.printf "%8.3fs server: RRQ for %S (%s)\n" (Sim_engine.now engine) filename mode;
          server_block := 1;
          server_send 1
        | Ok (Formats.Tftp.Ack { block }) ->
          if block = !server_block then
            if block >= last_block then begin
-             Printf.printf "%8.3fs server: transfer complete\n" (Engine.now engine);
+             Printf.printf "%8.3fs server: transfer complete\n" (Sim_engine.now engine);
              server_block := 0;
              match !server_timer with Some t -> Timer.stop t | None -> ()
            end
@@ -82,11 +82,11 @@ let () =
        | Ok (Formats.Tftp.Data { block; data }) ->
          if block = !expected then begin
            Buffer.add_string received data;
-           Printf.printf "%8.3fs client: block %d (%d bytes)\n" (Engine.now engine) block
+           Printf.printf "%8.3fs client: block %d (%d bytes)\n" (Sim_engine.now engine) block
              (String.length data);
            Channel.send client_ch (Formats.Tftp.to_bytes_exn (Formats.Tftp.Ack { block }));
            if String.length data < block_size && !done_at = None then
-             done_at := Some (Engine.now engine)
+             done_at := Some (Sim_engine.now engine)
            else incr expected
          end
          else
@@ -97,7 +97,7 @@ let () =
   Printf.printf "requesting %d-byte file over a 25%%-lossy link\n\n" (String.length file_bytes);
   Channel.send client_ch
     (Formats.Tftp.to_bytes_exn (Formats.Tftp.Rrq { filename = "served.txt"; mode = "octet" }));
-  ignore (Engine.run ~until:60.0 engine);
+  ignore (Sim_engine.run ~until:60.0 engine);
 
   let ok = String.equal (Buffer.contents received) file_bytes in
   Printf.printf "\nreceived %d bytes, identical to the served file: %b\n"

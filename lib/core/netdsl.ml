@@ -13,7 +13,9 @@
       {!Testgen}, {!Interp}, {!Dot}
     - correct-by-construction layer (the paper's §3.4 with OCaml types):
       {!Checked}, {!Send_machine}, {!Recv_machine}
-    - simulation substrate: {!Engine}, {!Channel}, {!Timer}, {!Trace},
+    - packet-processing runtime: {!Engine} (zero-copy {!View} decode,
+      batched pipeline, multicore flow sharding, per-stage counters)
+    - simulation substrate: {!Sim_engine}, {!Channel}, {!Timer}, {!Trace},
       {!Stats}
     - executable protocols: {!Stop_and_wait}, {!Go_back_n},
       {!Selective_repeat}, {!Harness}, {!Rto}, {!Abp}, {!Arq_fsm}
@@ -34,6 +36,7 @@ module Hexdump = Netdsl_util.Hexdump
 module Desc = Netdsl_format.Desc
 module Value = Netdsl_format.Value
 module Codec = Netdsl_format.Codec
+module View = Netdsl_format.View
 module Wf = Netdsl_format.Wf
 module Sizing = Netdsl_format.Sizing
 module Diagram = Netdsl_format.Diagram
@@ -56,8 +59,11 @@ module Checked = Netdsl_typed.Checked
 module Send_machine = Netdsl_typed.Send_machine
 module Recv_machine = Netdsl_typed.Recv_machine
 
+(* Packet-processing runtime *)
+module Engine = Netdsl_engine
+
 (* Simulation substrate *)
-module Engine = Netdsl_sim.Engine
+module Sim_engine = Netdsl_sim.Engine
 module Channel = Netdsl_sim.Channel
 module Timer = Netdsl_sim.Timer
 module Trace = Netdsl_sim.Trace

@@ -1,0 +1,225 @@
+module F = Netdsl_format
+module Fsm = Netdsl_fsm
+
+type config = {
+  batch : int;
+  ring_capacity : int;
+}
+
+let default_config = { batch = 64; ring_capacity = 1024 }
+
+(* Stage indices — fixed layout, also the Stats layout. *)
+let st_decode = 0
+let st_verify = 1
+let st_step = 2
+let st_encode = 3
+
+let stage_names = [ "decode"; "verify"; "step"; "encode" ]
+
+(* Per-slot status during a batch. *)
+let live = 0
+let rej_decode = 1
+let rej_verify = 2
+let rej_step = 3
+let rej_encode = 4
+
+type outcome =
+  | Accepted
+  | Rejected_decode of F.Codec.error
+  | Rejected_verify
+  | Rejected_step
+  | Rejected_encode
+
+type t = {
+  cfg : config;
+  fmt : F.Desc.t;
+  verify : (F.View.t -> bool) option;
+  classify : (F.View.t -> string option) option;
+  machine : Fsm.Interp.prepared option;
+  flow_key : string option;
+  respond : (F.View.t -> Fsm.Interp.t -> F.Value.t option) option;
+  respond_fmt : F.Desc.t;
+  on_response : string -> unit;
+  stats : Stats.t;
+  (* batch scratch: one reusable view per slot, so a whole batch of decoded
+     packets is alive at once while later stages run over it *)
+  views : F.View.t array;
+  status : int array;
+  blen : int array;
+  last_error : F.Codec.error option array;
+  input : string Ring.t;
+  inbuf : string array;
+  default_interp : Fsm.Interp.t option;
+  flows : (int64, Fsm.Interp.t) Hashtbl.t;
+}
+
+let create ?(config = default_config) ?verify ?classify ?machine ?flow_key
+    ?respond ?respond_fmt ?(on_response = fun _ -> ()) fmt =
+  if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
+  let machine = Option.map Fsm.Interp.prepare machine in
+  {
+    cfg = config;
+    fmt;
+    verify;
+    classify;
+    machine;
+    flow_key;
+    respond;
+    respond_fmt = Option.value respond_fmt ~default:fmt;
+    on_response;
+    stats = Stats.create stage_names;
+    views = Array.init config.batch (fun _ -> F.View.create fmt);
+    status = Array.make config.batch live;
+    blen = Array.make config.batch 0;
+    last_error = Array.make config.batch None;
+    input = Ring.create ~capacity:config.ring_capacity;
+    inbuf = Array.make config.batch "";
+    default_interp = Option.map Fsm.Interp.instantiate machine;
+    flows = Hashtbl.create 64;
+  }
+
+let stats t = t.stats
+let format t = t.fmt
+let flow_count t = Hashtbl.length t.flows
+
+let interp_for t view =
+  match t.default_interp with
+  | None -> None
+  | Some dflt -> (
+    match t.flow_key with
+    | None -> Some dflt
+    | Some key -> (
+      match F.View.find_int view key with
+      | None -> Some dflt
+      | Some k -> (
+        match Hashtbl.find_opt t.flows k with
+        | Some i -> Some i
+        | None ->
+          let i = Fsm.Interp.instantiate (Option.get t.machine) in
+          Hashtbl.add t.flows k i;
+          Some i)))
+
+let now () = Unix.gettimeofday ()
+let elapsed_ns t0 t1 = int_of_float ((t1 -. t0) *. 1e9)
+
+(* Process packets [0, n) of [pkts] through all four stages.  Each stage
+   walks the whole batch before the next starts, so stage timing is a
+   straight wall-clock interval around a tight loop. *)
+let process_batch t pkts n =
+  if n > t.cfg.batch then invalid_arg "Pipeline.process_batch: batch too large";
+  let stats = t.stats in
+  (* decode (includes full verification of the view) *)
+  let bytes = ref 0 in
+  let rejects = ref 0 in
+  let t0 = now () in
+  for i = 0 to n - 1 do
+    let pkt = pkts.(i) in
+    t.blen.(i) <- String.length pkt;
+    bytes := !bytes + t.blen.(i);
+    match F.View.decode t.views.(i) pkt with
+    | Ok () ->
+      t.status.(i) <- live;
+      t.last_error.(i) <- None
+    | Error e ->
+      t.status.(i) <- rej_decode;
+      t.last_error.(i) <- Some e;
+      incr rejects
+  done;
+  Stats.record_batch stats st_decode ~packets:n ~bytes:!bytes ~rejects:!rejects
+    ~elapsed_ns:(elapsed_ns t0 (now ()));
+  (* verify: caller-supplied semantic predicate over the view *)
+  (match t.verify with
+  | None -> ()
+  | Some pred ->
+    let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
+    let t0 = now () in
+    for i = 0 to n - 1 do
+      if t.status.(i) = live then begin
+        incr packets;
+        bytes := !bytes + t.blen.(i);
+        if not (pred t.views.(i)) then begin
+          t.status.(i) <- rej_verify;
+          incr rejects
+        end
+      end
+    done;
+    Stats.record_batch stats st_verify ~packets:!packets ~bytes:!bytes
+      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())));
+  (* step: drive the per-flow machine with the classified event *)
+  (match (t.classify, t.default_interp) with
+  | Some classify, Some _ ->
+    let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
+    let t0 = now () in
+    for i = 0 to n - 1 do
+      if t.status.(i) = live then begin
+        incr packets;
+        bytes := !bytes + t.blen.(i);
+        match classify t.views.(i) with
+        | None -> () (* not addressed to the machine; passes through *)
+        | Some event -> (
+          let interp = Option.get (interp_for t t.views.(i)) in
+          match Fsm.Interp.fire interp event with
+          | Ok _ -> ()
+          | Error _ ->
+            t.status.(i) <- rej_step;
+            incr rejects)
+      end
+    done;
+    Stats.record_batch stats st_step ~packets:!packets ~bytes:!bytes
+      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ()))
+  | _ -> ());
+  (* encode: build and emit responses *)
+  (match t.respond with
+  | None -> ()
+  | Some respond ->
+    let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
+    let t0 = now () in
+    for i = 0 to n - 1 do
+      if t.status.(i) = live then begin
+        let view = t.views.(i) in
+        let interp =
+          match interp_for t view with
+          | Some i -> i
+          | None -> invalid_arg "Pipeline: ~respond requires ~machine"
+        in
+        match respond view interp with
+        | None -> ()
+        | Some value -> (
+          incr packets;
+          match F.Codec.encode t.respond_fmt value with
+          | Ok s ->
+            bytes := !bytes + String.length s;
+            t.on_response s
+          | Error _ ->
+            t.status.(i) <- rej_encode;
+            incr rejects)
+      end
+    done;
+    Stats.record_batch stats st_encode ~packets:!packets ~bytes:!bytes
+      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())))
+
+let process t pkt =
+  let pkts = t.inbuf in
+  pkts.(0) <- pkt;
+  process_batch t pkts 1;
+  match t.status.(0) with
+  | s when s = rej_decode -> Rejected_decode (Option.get t.last_error.(0))
+  | s when s = rej_verify -> Rejected_verify
+  | s when s = rej_step -> Rejected_step
+  | s when s = rej_encode -> Rejected_encode
+  | _ -> Accepted
+
+(* Ring-driven operation: a producer [feed]s (blocking when the ring is
+   full — backpressure), a consumer domain sits in [run]. *)
+let feed t pkt = Ring.push t.input pkt
+let close_input t = Ring.close t.input
+
+let run t =
+  let rec loop () =
+    let n = Ring.pop_into t.input t.inbuf in
+    if n > 0 then begin
+      process_batch t t.inbuf n;
+      loop ()
+    end
+  in
+  loop ()

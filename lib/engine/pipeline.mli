@@ -1,0 +1,82 @@
+(** The batched packet pipeline: decode → verify → FSM-step → encode.
+
+    One pipeline = one format, an optional semantic predicate, an optional
+    protocol machine (instantiated per flow), and an optional responder.
+    Packets move through the stages in batches over a pool of reusable
+    zero-copy {!Netdsl_format.View} slots — the decode stage validates
+    everything the allocating codec would, later stages only ever see
+    packets that survived it, and {!Stats} counts packets/bytes/rejects
+    and latency per stage.
+
+    Two driving modes:
+    - synchronous: {!process} / {!process_batch} on the caller's domain
+      (this is what the bench baselines use);
+    - ring-driven: a producer {!feed}s packets into a bounded ring
+      (blocking when full — backpressure) while a consumer domain sits in
+      {!run}.  [Shard] runs one such consumer per worker domain. *)
+
+type config = {
+  batch : int;  (** batch size, and the number of pooled view slots *)
+  ring_capacity : int;  (** input ring bound — the backpressure depth *)
+}
+
+val default_config : config
+(** [{ batch = 64; ring_capacity = 1024 }] *)
+
+type outcome =
+  | Accepted
+  | Rejected_decode of Netdsl_format.Codec.error
+      (** failed syntactic/semantic validation (view decode) *)
+  | Rejected_verify  (** failed the caller's predicate *)
+  | Rejected_step  (** the machine had no enabled transition *)
+  | Rejected_encode  (** the responder produced an unencodable value *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?verify:(Netdsl_format.View.t -> bool) ->
+  ?classify:(Netdsl_format.View.t -> string option) ->
+  ?machine:Netdsl_fsm.Machine.t ->
+  ?flow_key:string ->
+  ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?respond_fmt:Netdsl_format.Desc.t ->
+  ?on_response:(string -> unit) ->
+  Netdsl_format.Desc.t ->
+  t
+(** [create fmt] builds a pipeline for [fmt].
+
+    - [classify] maps a validated view to a machine event ([None]: the
+      packet does not concern the machine and passes through).
+    - [machine] is validated once and instantiated per flow; [flow_key]
+      names the field whose value identifies a flow (without it, one
+      machine instance serves all packets).
+    - [respond] builds a reply value from the view and the flow's machine;
+      it is encoded against [respond_fmt] (default: [fmt]) and handed to
+      [on_response]. *)
+
+val process : t -> string -> outcome
+val process_batch : t -> string array -> int -> unit
+(** [process_batch t pkts n] runs packets [0, n)] of [pkts] through all
+    stages ([n] at most [config.batch]); results land in {!stats}. *)
+
+val feed : t -> string -> bool
+(** Push one packet into the input ring; blocks while the ring is full,
+    [false] after {!close_input}. *)
+
+val close_input : t -> unit
+
+val run : t -> unit
+(** Consume the input ring in batches until it is closed and drained.
+    Intended to run on its own domain. *)
+
+val stats : t -> Stats.t
+(** Stage layout: {!stage_names}. *)
+
+val stage_names : string list
+(** [["decode"; "verify"; "step"; "encode"]] — the {!Stats} layout. *)
+
+val format : t -> Netdsl_format.Desc.t
+
+val flow_count : t -> int
+(** Number of per-flow machine instances created so far. *)

@@ -1,0 +1,115 @@
+(* Bounded ring buffer with blocking hand-off between domains.
+
+   A fixed circular buffer guarded by a mutex and two condition variables.
+   [push] blocks while the ring is full — that *is* the backpressure: a
+   producer outrunning its consumer is throttled to the consumer's pace
+   rather than growing an unbounded queue.  [pop_into] drains up to a
+   batch at a time so consumers amortise the lock over many items. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* next slot to pop *)
+  mutable tail : int; (* next slot to push *)
+  mutable count : int;
+  mutable closed : bool;
+  mu : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    count = 0;
+    closed = false;
+    mu = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.count in
+  Mutex.unlock t.mu;
+  n
+
+let is_closed t =
+  Mutex.lock t.mu;
+  let c = t.closed in
+  Mutex.unlock t.mu;
+  c
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu
+
+let push t x =
+  Mutex.lock t.mu;
+  let cap = Array.length t.buf in
+  while t.count = cap && not t.closed do
+    Condition.wait t.not_full t.mu
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    false
+  end
+  else begin
+    t.buf.(t.tail) <- Some x;
+    t.tail <- (t.tail + 1) mod cap;
+    t.count <- t.count + 1;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mu;
+    true
+  end
+
+let pop t =
+  Mutex.lock t.mu;
+  while t.count = 0 && not t.closed do
+    Condition.wait t.not_empty t.mu
+  done;
+  if t.count = 0 then begin
+    (* closed and drained *)
+    Mutex.unlock t.mu;
+    None
+  end
+  else begin
+    let cap = Array.length t.buf in
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod cap;
+    t.count <- t.count - 1;
+    Condition.signal t.not_full;
+    Mutex.unlock t.mu;
+    x
+  end
+
+let pop_into t out =
+  let max = Array.length out in
+  if max = 0 then 0
+  else begin
+    Mutex.lock t.mu;
+    while t.count = 0 && not t.closed do
+      Condition.wait t.not_empty t.mu
+    done;
+    let cap = Array.length t.buf in
+    let n = min t.count max in
+    for i = 0 to n - 1 do
+      (match t.buf.(t.head) with
+      | Some x -> out.(i) <- x
+      | None -> assert false);
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod cap
+    done;
+    t.count <- t.count - n;
+    if n > 0 then Condition.broadcast t.not_full;
+    Mutex.unlock t.mu;
+    n
+  end

@@ -1,0 +1,32 @@
+(** Bounded blocking ring buffer — the hand-off between pipeline stages and
+    between the sharding producer and its worker domains.
+
+    The bound is the backpressure mechanism: {!push} blocks while the ring
+    is full, so a fast producer is throttled to its consumer's pace instead
+    of queueing unboundedly.  Safe for any number of producers and
+    consumers (mutex + condition variables; the engine's default layout is
+    one producer, one consumer per ring). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Blocks while full.  Returns [false] (dropping the item) once the ring
+    is {!close}d. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while empty.  [None] once the ring is closed {e and} drained —
+    the consumer's termination signal. *)
+
+val pop_into : 'a t -> 'a array -> int
+(** [pop_into t out] pops up to [Array.length out] items in one lock
+    acquisition, blocking until at least one is available or the ring is
+    closed.  Returns the number popped (0 only after close+drain). *)
+
+val close : 'a t -> unit
+(** Wakes all blocked producers and consumers; subsequent pushes fail. *)
+
+val is_closed : 'a t -> bool

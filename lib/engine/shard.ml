@@ -1,0 +1,73 @@
+module F = Netdsl_format
+
+type config = {
+  workers : int;
+  pipeline : Pipeline.config;
+}
+
+let default_config = { workers = Domain.recommended_domain_count (); pipeline = Pipeline.default_config }
+
+type t = {
+  cfg : config;
+  key : F.View.key_extractor;
+  pipes : Pipeline.t array;
+  mutable domains : unit Domain.t array;
+  mutable running : bool;
+  mutable unkeyed : int;
+}
+
+(* Fibonacci hashing of the flow key: adjacent key values (sequence
+   numbers, ports) spread across workers instead of landing together. *)
+let worker_of_key t k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lsr 33) mod Array.length t.pipes
+
+let create ?(config = default_config) ~key ?verify ?classify ?machine ?flow_key
+    ?respond ?respond_fmt ?on_response fmt =
+  if config.workers <= 0 then Error "Shard.create: workers must be positive"
+  else
+    match F.View.key_extractor fmt key with
+    | Error e -> Error (Printf.sprintf "Shard.create: bad key field: %s" e)
+    | Ok ke ->
+      let pipes =
+        Array.init config.workers (fun _ ->
+            Pipeline.create ~config:config.pipeline ?verify ?classify ?machine
+              ?flow_key ?respond ?respond_fmt ?on_response fmt)
+      in
+      Ok { cfg = config; key = ke; pipes; domains = [||]; running = false; unkeyed = 0 }
+
+let workers t = Array.length t.pipes
+
+let start t =
+  if t.running then invalid_arg "Shard.start: already running";
+  t.running <- true;
+  t.domains <-
+    Array.map (fun p -> Domain.spawn (fun () -> Pipeline.run p)) t.pipes
+
+let feed t pkt =
+  let w =
+    match F.View.extract_key t.key pkt with
+    | Some k -> worker_of_key t k
+    | None ->
+      (* too short to carry the key: let worker 0's decode stage reject and
+         count it, rather than dropping it invisibly here *)
+      t.unkeyed <- t.unkeyed + 1;
+      0
+  in
+  Pipeline.feed t.pipes.(w) pkt
+
+let drain t =
+  Array.iter Pipeline.close_input t.pipes;
+  if t.running then begin
+    Array.iter Domain.join t.domains;
+    t.domains <- [||];
+    t.running <- false
+  end
+
+let unkeyed t = t.unkeyed
+let pipelines t = t.pipes
+
+let stats t =
+  let merged = Stats.create Pipeline.stage_names in
+  Array.iter (fun p -> Stats.merge_into ~into:merged (Pipeline.stats p)) t.pipes;
+  merged

@@ -1,0 +1,59 @@
+(** Multicore flow sharding over OCaml 5 domains.
+
+    A shard group owns [workers] pipelines, each consuming its own bounded
+    ring on its own domain.  {!feed} reads the DSL-declared key field
+    straight from the raw packet (a precompiled fixed-offset read — no
+    decode) and hashes it to pick the worker, so all packets of a flow land
+    on the same domain, which exclusively owns that flow's machine
+    instance: no locks anywhere on the hot path.  Backpressure is the
+    rings' bound — a producer outrunning the workers blocks in {!feed}. *)
+
+type config = {
+  workers : int;
+  pipeline : Pipeline.config;
+}
+
+val default_config : config
+(** [workers = Domain.recommended_domain_count ()]. *)
+
+type t
+
+val create :
+  ?config:config ->
+  key:string ->
+  ?verify:(Netdsl_format.View.t -> bool) ->
+  ?classify:(Netdsl_format.View.t -> string option) ->
+  ?machine:Netdsl_fsm.Machine.t ->
+  ?flow_key:string ->
+  ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?respond_fmt:Netdsl_format.Desc.t ->
+  ?on_response:(string -> unit) ->
+  Netdsl_format.Desc.t ->
+  (t, string) result
+(** [create ~key fmt] — [key] names the top-level field to shard on; it
+    must sit at a fixed wire offset (see
+    {!Netdsl_format.View.key_extractor}).  Remaining arguments are passed
+    to each worker's {!Pipeline.create}.  Note that [on_response] runs on
+    worker domains. *)
+
+val start : t -> unit
+(** Spawns the worker domains. *)
+
+val feed : t -> string -> bool
+(** Route one packet to its flow's worker (blocking when that worker's
+    ring is full).  Packets too short to carry the key go to worker 0,
+    whose decode stage rejects and counts them. *)
+
+val drain : t -> unit
+(** Close all rings, wait for the workers to finish the backlog, join the
+    domains. *)
+
+val workers : t -> int
+val pipelines : t -> Pipeline.t array
+
+val stats : t -> Stats.t
+(** Per-stage stats merged across all workers (call after {!drain}, or
+    accept slightly torn counters mid-run). *)
+
+val unkeyed : t -> int
+(** Packets fed that were too short to carry the key field. *)

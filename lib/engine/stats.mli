@@ -1,0 +1,47 @@
+(** First-class engine metrics: per-stage packet/byte/reject counters and
+    latency histograms.
+
+    A [t] is single-owner — each worker domain mutates its own instance
+    with no atomics or locks on the hot path; cross-domain aggregation is
+    an explicit {!merge_into} after (or between) runs.  Histograms use
+    log2-of-nanoseconds buckets, so percentiles are approximate (upper
+    bucket bounds) but recording is O(1) and allocation-free. *)
+
+type t
+
+val create : string list -> t
+(** [create names] — one counter set per stage, in pipeline order. *)
+
+val stage_names : t -> string list
+
+val stage_index : t -> string -> int
+(** Resolve a stage name once; the per-packet calls take the index. *)
+
+val record : t -> int -> bytes:int -> ns:int -> unit
+(** [record t stage ~bytes ~ns] counts one accepted packet. *)
+
+val reject : t -> int -> bytes:int -> unit
+(** Counts one packet that was dropped at this stage. *)
+
+val record_batch :
+  t -> int -> packets:int -> bytes:int -> rejects:int -> elapsed_ns:int -> unit
+(** Batched variant: counters are bumped in bulk and the histogram gets the
+    per-packet mean of the batch. *)
+
+val merge_into : into:t -> t -> unit
+(** Adds [src] into [into] (same stage layout required). *)
+
+val copy : t -> t
+
+val totals : t -> int * int * int
+(** [(packets, bytes, rejects)] summed over stages. *)
+
+val stage_packets : t -> int -> int
+val stage_bytes : t -> int -> int
+val stage_rejects : t -> int -> int
+val stage_mean_ns : t -> int -> int
+
+val pp : Format.formatter -> t -> unit
+(** Text table: packets, bytes, rejects, mean / ~p50 / ~p99 latency. *)
+
+val to_text : t -> string

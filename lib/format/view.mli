@@ -1,0 +1,90 @@
+(** Zero-copy validating decode.
+
+    [View] parses and validates a message exactly as {!Codec.decode} does —
+    constants, enum exhaustiveness, constraints, computed fields, checksums,
+    trailing input — but records only a table of field {e spans} (bit
+    offset / length windows into the original buffer) instead of building a
+    {!Value.t} tree.  No region is copied during validation: checksums are
+    computed in place with {!Netdsl_util.Checksum.compute_zeroed}, and
+    payload bytes are extracted lazily, only when a caller asks for them.
+
+    The validation guarantee is unchanged: {!decode} returns [Ok] only after
+    {e every} check has passed, so no field of an unverified packet is ever
+    surfaced ("no processing occurs on unverified packets", paper §3.4).
+    The equivalence property tests in [test/test_view.ml] assert that a
+    view decode accepts/rejects exactly when the allocating codec does, with
+    identical field values.
+
+    A [t] is a {e reusable} decoder: allocate once, call {!decode} per
+    packet.  In steady state the hot path allocates only small scope
+    bookkeeping, never per-field values — this is the engine's fast path. *)
+
+type error = Codec.error
+(** Shared with {!Codec} so both decode paths report one error type. *)
+
+type t
+(** A reusable decoder and, after a successful {!decode}, a view of the
+    last message.  Accessors are only meaningful after [decode] returned
+    [Ok]; a subsequent [decode] invalidates the previous view. *)
+
+val create : Desc.t -> t
+val format : t -> Desc.t
+
+val decode :
+  ?allow_trailing:bool -> t -> ?off:int -> ?len:int -> string -> (unit, error) result
+(** [decode t data] parses and validates [data] (or the byte window
+    [data.(off .. off+len-1)]) against [format t].  Same semantics and
+    acceptance as {!Codec.decode}, including [allow_trailing]. *)
+
+val of_string : ?allow_trailing:bool -> Desc.t -> string -> (t, error) result
+(** One-shot convenience: [create] + [decode]. *)
+
+(** {2 Field access}
+
+    All lookups address top-level fields by name.  [get_*] raise
+    [Invalid_argument] on a missing field or a kind mismatch. *)
+
+val get_int : t -> string -> int64
+(** Scalar fields: uint, const, enum, computed, checksum (bool as 0/1). *)
+
+val find_int : t -> string -> int64 option
+val get_bool : t -> string -> bool
+
+val get_bytes : t -> string -> string
+(** Copies the payload out of the underlying buffer — the only point at
+    which bytes are materialised. *)
+
+val find_span : t -> string -> (int * int) option
+(** [(bit_off, bit_len)] of a bytes field's content within {!raw} — the
+    true zero-copy access path. *)
+
+val variant_case : t -> string -> string option
+(** The selected case name of a variant field ("default" for the default
+    arm). *)
+
+val raw : t -> string
+(** The buffer the last decode ran over. *)
+
+val length_bytes : t -> int
+(** Size of the decoded window in bytes. *)
+
+val to_value : t -> Value.t
+(** Materialise the full {!Value.t} the allocating codec would have
+    produced (leaves the zero-copy world; used by the equivalence tests). *)
+
+(** {2 Flow keys}
+
+    A precompiled extractor for a scalar field at a fixed wire offset: the
+    sharding key read used by [Engine.Shard] to pick a worker without
+    decoding the packet. *)
+
+type key_extractor
+
+val key_extractor : Desc.t -> string -> (key_extractor, string) result
+(** Compiles an extractor for the named top-level field.  Fails (with a
+    reason) if the field does not exist, is not scalar, or is preceded by a
+    variable-size field. *)
+
+val extract_key : key_extractor -> ?off:int -> string -> int option
+(** Reads the key field from a raw packet ([None] if the buffer is too
+    short for the field). *)

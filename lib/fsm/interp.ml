@@ -25,6 +25,19 @@ let create ?(on_transition = fun _ _ -> ()) ?(on_unhandled = fun _ _ -> ()) m =
   let m = M.validate_exn m in
   { m; cfg = M.initial_config m; log = []; on_transition; on_unhandled }
 
+(* A machine validated once, instantiated many times — one interpreter per
+   flow (or per engine worker) without paying validation per instance. *)
+type prepared = { p_machine : M.t; p_initial : M.config }
+
+let prepare m =
+  let m = M.validate_exn m in
+  { p_machine = m; p_initial = M.initial_config m }
+
+let prepared_machine p = p.p_machine
+
+let instantiate ?(on_transition = fun _ _ -> ()) ?(on_unhandled = fun _ _ -> ()) p =
+  { m = p.p_machine; cfg = p.p_initial; log = []; on_transition; on_unhandled }
+
 let machine t = t.m
 let config t = t.cfg
 let state t = t.cfg.M.state

@@ -23,6 +23,28 @@ val create :
   t
 (** The machine is validated on creation ([Invalid_argument] on defects). *)
 
+(** {2 Prepared machines}
+
+    Validation is linear in the machine; per-flow instantiation should not
+    be.  [prepare] validates once; [instantiate] then mints an independent
+    interpreter in O(1) — the engine creates one per worker domain (and one
+    per flow) from a single prepared machine. *)
+
+type prepared
+
+val prepare : Machine.t -> prepared
+(** Validates ([Invalid_argument] on defects) and caches the initial
+    configuration. *)
+
+val prepared_machine : prepared -> Machine.t
+
+val instantiate :
+  ?on_transition:(Machine.transition -> Machine.config -> unit) ->
+  ?on_unhandled:(string -> Machine.config -> unit) ->
+  prepared ->
+  t
+(** A fresh interpreter at the initial configuration; no re-validation. *)
+
 val machine : t -> Machine.t
 val config : t -> Machine.config
 val state : t -> string

@@ -189,9 +189,28 @@ module Reader = struct
       !v
     end
 
+  (* Native-int variant: no Int64 boxing anywhere — this is the decode hot
+     path for every field narrower than 63 bits. *)
   let read_bits_int t ~width =
     if width < 0 || width > 62 then raise (Error (Width_out_of_range width));
-    Int64.to_int (read_bits t ~width)
+    need t width;
+    if width land 7 = 0 && is_aligned t then begin
+      let v = ref 0 in
+      let base = t.pos lsr 3 in
+      for i = 0 to (width lsr 3) - 1 do
+        v := (!v lsl 8) lor Char.code (String.unsafe_get t.data (base + i))
+      done;
+      t.pos <- t.pos + width;
+      !v
+    end
+    else begin
+      let v = ref 0 in
+      for i = 0 to width - 1 do
+        v := (!v lsl 1) lor (if get_bit t.data (t.pos + i) then 1 else 0)
+      done;
+      t.pos <- t.pos + width;
+      !v
+    end
 
   let read_uint8 t = read_bits_int t ~width:8
   let read_uint16_be t = read_bits_int t ~width:16

@@ -26,6 +26,40 @@ val compute : algorithm -> ?off:int -> ?len:int -> string -> int64
 
 val verify : algorithm -> ?off:int -> ?len:int -> string -> expected:int64 -> bool
 
+val compute_zeroed :
+  algorithm ->
+  off:int ->
+  len:int ->
+  zero_bit_off:int ->
+  zero_bit_len:int ->
+  string ->
+  int64
+(** [compute_zeroed alg ~off ~len ~zero_bit_off ~zero_bit_len s] is the
+    checksum of the byte window [s.(off .. off+len-1)] with the bits in
+    [\[zero_bit_off, zero_bit_off+zero_bit_len)] (absolute bit offsets into
+    [s], MSB-first within a byte) read as zero — the usual "checksum field
+    zeroed during computation" rule, computed {e in place} without copying
+    the region.  The zero span is clipped to the window; an empty or
+    disjoint span degenerates to {!compute}. *)
+
+(** {2 Streaming}
+
+    Incremental computation over discontiguous segments: initialise, feed
+    byte ranges / literal bytes / runs of zeros, extract.  Zero runs cost
+    O(1) for every algorithm except CRC-32 (which is O(n) but touches no
+    memory).  This is what {!compute_zeroed} and the zero-copy decode path
+    are built on. *)
+
+type stream
+
+val stream_init : algorithm -> stream
+val stream_bytes : stream -> string -> int -> int -> unit
+(** [stream_bytes st s off len] feeds [s.(off .. off+len-1)]. *)
+
+val stream_byte : stream -> int -> unit
+val stream_zeros : stream -> int -> unit
+val stream_result : stream -> int64
+
 val internet_checksum : ?off:int -> ?len:int -> string -> int
 (** Direct entry point for the RFC 1071 checksum (already complemented;
     i.e. the value to place in a header field). *)

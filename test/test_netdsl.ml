@@ -11,4 +11,6 @@ let () =
          Test_typed.suite;
          Test_adapt.suite;
          Test_lang.suite;
+         Test_view.suite;
+         Test_engine.suite;
        ])

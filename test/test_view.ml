@@ -1,0 +1,170 @@
+(* Equivalence of the zero-copy [View] decoder and the allocating [Codec]:
+   for every shipped format and any input — valid, bit-flipped, or
+   truncated — both decoders must agree on the accept/reject verdict, and
+   on acceptance the view must materialise exactly the codec's value.
+   This is the safety argument for using the zero-copy path in the engine:
+   it surfaces no field the full validator would have rejected. *)
+
+open Netdsl_format
+module Fm = Netdsl_formats
+module Prng = Netdsl_util.Prng
+
+let trials = 200
+
+(* Formats whose derived-field dependencies Gen cannot invert get a
+   handcrafted generator instead. *)
+let gen_ipv4 rng =
+  let payload = String.make (Prng.int rng 400) 'p' in
+  let options = String.make (4 * Prng.int rng 3) 'o' in
+  let v =
+    Fm.Ipv4.make ~identification:(Prng.int rng 0x10000)
+      ~ttl:(1 + Prng.int rng 255) ~options ~protocol:Fm.Ipv4.protocol_udp
+      ~source:(Fm.Ipv4.addr_of_string "10.0.0.1")
+      ~destination:(Fm.Ipv4.addr_of_string "10.0.0.2")
+      ~payload ()
+  in
+  Codec.encode_exn Fm.Ipv4.format v
+
+let gen_tcp rng =
+  let payload = String.make (Prng.int rng 200) 'p' in
+  let options = String.make (4 * Prng.int rng 3) '\x01' in
+  let v =
+    Fm.Tcp.make ~syn:(Prng.bool rng) ~ack:(Prng.bool rng)
+      ~window:(Prng.int rng 0x10000) ~options ~src_port:(Prng.int rng 0x10000)
+      ~dst_port:(Prng.int rng 0x10000)
+      ~seq_number:(Int64.of_int (Prng.int rng 1000000))
+      ~payload ()
+  in
+  Codec.encode_exn Fm.Tcp.format v
+
+let all_formats =
+  [ ("arp", Fm.Arp.format, None);
+    ("arq", Fm.Arq.format, None);
+    ("dns", Fm.Dns.format, None);
+    ("ethernet", Fm.Ethernet.format, None);
+    ("icmp", Fm.Icmp.format, None);
+    ("ipv4", Fm.Ipv4.format, Some gen_ipv4);
+    ("pcap", Fm.Pcap.format, None);
+    ("tcp", Fm.Tcp.format, Some gen_tcp);
+    ("tftp", Fm.Tftp.format, None);
+    ("tlv", Fm.Tlv.format, None);
+    ("udp", Fm.Udp.format, None) ]
+
+let sample rng fmt custom =
+  match custom with
+  | Some g -> g rng
+  | None -> Gen.generate_bytes rng fmt
+
+(* One packet through both decoders; fails the test on any disagreement. *)
+let check_agree name fmt view packet ~what =
+  let codec_r = Codec.decode fmt packet in
+  let view_r = View.decode view packet in
+  match (codec_r, view_r) with
+  | Ok cv, Ok () ->
+    let vv = View.to_value view in
+    if not (Value.equal cv vv) then
+      Alcotest.failf "%s (%s): decoders accept but values differ\ncodec: %s\nview:  %s"
+        name what (Value.to_string cv) (Value.to_string vv)
+  | Error _, Error _ -> ()
+  | Ok _, Error e ->
+    Alcotest.failf "%s (%s): codec accepts, view rejects: %s" name what
+      (Codec.error_to_string e)
+  | Error e, Ok () ->
+    Alcotest.failf "%s (%s): view accepts, codec rejects: %s" name what
+      (Codec.error_to_string e)
+
+let equivalence_case (name, fmt, custom) =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Prng.of_int 20260806 in
+      let view = View.create fmt in
+      for _ = 1 to trials do
+        let packet = sample rng fmt custom in
+        check_agree name fmt view packet ~what:"valid";
+        check_agree name fmt view
+          (Gen.mutate rng ~flips:(1 + Prng.int rng 8) packet)
+          ~what:"mutated";
+        if String.length packet > 0 then
+          check_agree name fmt view (Gen.truncate_random rng packet)
+            ~what:"truncated"
+      done)
+
+(* The view must also reject garbage the way the codec does, not crash. *)
+let random_garbage () =
+  let rng = Prng.of_int 4096 in
+  List.iter
+    (fun (name, fmt, _) ->
+      let view = View.create fmt in
+      for _ = 1 to 100 do
+        let len = Prng.int rng 64 in
+        let s = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+        check_agree name fmt view s ~what:"garbage"
+      done)
+    all_formats
+
+(* Reuse: a view that just rejected must decode the next packet cleanly. *)
+let reuse_after_reject () =
+  let rng = Prng.of_int 7 in
+  let view = View.create Fm.Arq.format in
+  let good = Gen.generate_bytes rng Fm.Arq.format in
+  (match View.decode view good with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid arq rejected: %s" (Codec.error_to_string e));
+  let before = View.to_value view in
+  (match View.decode view (Gen.mutate rng ~flips:4 good) with
+  | Ok () -> () (* a flip can land in the payload and keep the packet valid *)
+  | Error _ -> ());
+  (match View.decode view good with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "valid arq rejected after reuse: %s" (Codec.error_to_string e));
+  Alcotest.(check bool)
+    "same value after pool reuse" true
+    (Value.equal before (View.to_value view))
+
+(* Windowed decode: the view validates a sub-range of a larger buffer
+   in place, checksums included. *)
+let windowed_decode () =
+  let rng = Prng.of_int 11 in
+  let pkt = Gen.generate_bytes rng Fm.Arq.format in
+  let buf = "HDR" ^ pkt ^ "TRAILER" in
+  let view = View.create Fm.Arq.format in
+  (match View.decode view ~off:3 ~len:(String.length pkt) buf with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "windowed decode failed: %s" (Codec.error_to_string e));
+  let direct = Codec.decode_exn Fm.Arq.format pkt in
+  Alcotest.(check bool)
+    "windowed value matches" true
+    (Value.equal direct (View.to_value view))
+
+let accessors () =
+  let pkt =
+    match Fm.Arq.to_bytes (Fm.Arq.Data { seq = 42; payload = "hello" }) with
+    | s -> s
+  in
+  let view = View.create Fm.Arq.format in
+  (match View.decode view pkt with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "decode failed: %s" (Codec.error_to_string e));
+  Alcotest.(check int64) "seq" 42L (View.get_int view "seq");
+  Alcotest.(check string) "payload" "hello" (View.get_bytes view "payload");
+  Alcotest.(check bool) "missing find_int" true (View.find_int view "nope" = None)
+
+let key_extraction () =
+  let pkt =
+    match Fm.Arq.to_bytes (Fm.Arq.Data { seq = 99; payload = "x" }) with
+    | s -> s
+  in
+  match View.key_extractor Fm.Arq.format "seq" with
+  | Error e -> Alcotest.failf "key_extractor: %s" e
+  | Ok kx ->
+    Alcotest.(check bool) "key value" true (View.extract_key kx pkt = Some 99)
+
+let suite =
+  [ ( "view.equivalence",
+      List.map equivalence_case all_formats
+      @ [ Alcotest.test_case "random garbage" `Quick random_garbage ] );
+    ( "view.behaviour",
+      [ Alcotest.test_case "pool reuse after reject" `Quick reuse_after_reject;
+        Alcotest.test_case "windowed decode" `Quick windowed_decode;
+        Alcotest.test_case "accessors" `Quick accessors;
+        Alcotest.test_case "key extraction" `Quick key_extraction ] ) ]
