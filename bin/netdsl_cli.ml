@@ -203,6 +203,67 @@ let decode_cmd =
     (Cmd.info "decode" ~doc:"Decode and validate a hex packet against a format.")
     Term.(const run $ file_arg $ format_opt $ hex_arg $ json_flag)
 
+let encode_cmd =
+  let fields_arg =
+    Arg.(value & pos_right 0 string []
+         & info [] ~docv:"FIELD=VALUE"
+             ~doc:"Field assignments.  Integers accept 0x/0o/0b prefixes; byte \
+                   fields take a literal string or $(b,hex:)-prefixed hex; \
+                   flags take true/false.  Derived fields (lengths, checksums, \
+                   constants) are filled in automatically.")
+  in
+  let run file format assignments =
+    let program = load file in
+    let fmt = pick_format program format in
+    let die msg =
+      Format.eprintf "netdsl: cannot encode: %s@." msg;
+      exit 1
+    in
+    let parse_assignment a =
+      match String.index_opt a '=' with
+      | None -> die (Printf.sprintf "%S is not a FIELD=VALUE assignment" a)
+      | Some i ->
+        let name = String.sub a 0 i in
+        let raw = String.sub a (i + 1) (String.length a - i - 1) in
+        let field =
+          match Netdsl.Desc.find_field fmt name with
+          | Some f -> f
+          | None -> die (Printf.sprintf "no top-level field %S" name)
+        in
+        let value =
+          match field.Netdsl.Desc.ty with
+          | Netdsl.Desc.Bytes _ ->
+            if String.length raw >= 4 && String.equal (String.sub raw 0 4) "hex:"
+            then (
+              match Netdsl.Hexdump.of_hex (String.sub raw 4 (String.length raw - 4)) with
+              | b -> Netdsl.Value.bytes b
+              | exception Invalid_argument _ ->
+                die (Printf.sprintf "%s: malformed hex value %S" name raw))
+            else Netdsl.Value.bytes raw
+          | Netdsl.Desc.Bool_flag -> (
+            match String.lowercase_ascii raw with
+            | "true" | "1" -> Netdsl.Value.bool true
+            | "false" | "0" -> Netdsl.Value.bool false
+            | _ -> die (Printf.sprintf "%s: expected true or false, got %S" name raw))
+          | _ -> (
+            match Int64.of_string raw with
+            | v -> Netdsl.Value.int64 v
+            | exception _ ->
+              die (Printf.sprintf "%s: %S is not an integer" name raw))
+        in
+        (name, value)
+    in
+    let value = Netdsl.Value.record (List.map parse_assignment assignments) in
+    let emitter = Netdsl.Emit.create fmt in
+    match Netdsl.Emit.encode emitter value with
+    | Ok bytes -> print_endline (Netdsl.Hexdump.to_hex bytes)
+    | Error e -> die (Netdsl.Codec.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Encode FIELD=VALUE assignments into a wire packet (printed as hex); derived fields are computed, supplied values are validated against widths and constraints.")
+    Term.(const run $ file_arg $ format_opt $ fields_arg)
+
 let bench_cmd =
   let workers_opt =
     Arg.(value & opt int 1 & info [ "workers"; "w" ] ~docv:"N"
@@ -404,4 +465,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))
+          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; encode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))

@@ -7,8 +7,8 @@
 
     {2 Map}
 
-    - packet descriptions: {!Desc}, {!Value}, {!Codec}, {!Wf}, {!Sizing},
-      {!Diagram}, {!Gen}
+    - packet descriptions: {!Desc}, {!Value}, {!Codec}, {!Emit}, {!Wf},
+      {!Sizing}, {!Diagram}, {!Gen}
     - behaviour: {!Machine}, {!Analysis}, {!Compose}, {!Model_check},
       {!Testgen}, {!Interp}, {!Dot}
     - correct-by-construction layer (the paper's §3.4 with OCaml types):
@@ -37,6 +37,7 @@ module Desc = Netdsl_format.Desc
 module Value = Netdsl_format.Value
 module Codec = Netdsl_format.Codec
 module View = Netdsl_format.View
+module Emit = Netdsl_format.Emit
 module Wf = Netdsl_format.Wf
 module Sizing = Netdsl_format.Sizing
 module Diagram = Netdsl_format.Diagram

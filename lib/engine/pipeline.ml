@@ -38,8 +38,15 @@ type t = {
   machine : Fsm.Interp.prepared option;
   flow_key : string option;
   respond : (F.View.t -> Fsm.Interp.t -> F.Value.t option) option;
+  respond_patch : (F.View.t -> Fsm.Interp.t -> (string * int64) list option) option;
   respond_fmt : F.Desc.t;
   on_response : string -> unit;
+  (* encode-stage machinery: a compiled emitter for [respond_fmt], a cache
+     of compiled in-place patchers (keyed by field, against [fmt] — patches
+     rewrite the *request* bytes), and one reusable reply buffer *)
+  emitter : F.Emit.t;
+  patchers : (string, (F.Emit.patcher, string) result) Hashtbl.t;
+  mutable reply_buf : Bytes.t;
   stats : Stats.t;
   (* batch scratch: one reusable view per slot, so a whole batch of decoded
      packets is alive at once while later stages run over it *)
@@ -54,9 +61,10 @@ type t = {
 }
 
 let create ?(config = default_config) ?verify ?classify ?machine ?flow_key
-    ?respond ?respond_fmt ?(on_response = fun _ -> ()) fmt =
+    ?respond ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
   let machine = Option.map Fsm.Interp.prepare machine in
+  let respond_fmt = Option.value respond_fmt ~default:fmt in
   {
     cfg = config;
     fmt;
@@ -65,8 +73,12 @@ let create ?(config = default_config) ?verify ?classify ?machine ?flow_key
     machine;
     flow_key;
     respond;
-    respond_fmt = Option.value respond_fmt ~default:fmt;
+    respond_patch;
+    respond_fmt;
     on_response;
+    emitter = F.Emit.create respond_fmt;
+    patchers = Hashtbl.create 4;
+    reply_buf = Bytes.create (max 64 (F.Sizing.min_bytes respond_fmt));
     stats = Stats.create stage_names;
     views = Array.init config.batch (fun _ -> F.View.create fmt);
     status = Array.make config.batch live;
@@ -98,6 +110,28 @@ let interp_for t view =
           let i = Fsm.Interp.instantiate (Option.get t.machine) in
           Hashtbl.add t.flows k i;
           Some i)))
+
+let ensure_reply t len =
+  if Bytes.length t.reply_buf < len then
+    t.reply_buf <- Bytes.create (max len (2 * Bytes.length t.reply_buf))
+
+let patcher_for t field =
+  match Hashtbl.find_opt t.patchers field with
+  | Some r -> r
+  | None ->
+    let r = F.Emit.patcher t.fmt field in
+    Hashtbl.add t.patchers field r;
+    r
+
+(* Emit into the reusable reply buffer, doubling it if the message does not
+   fit (the only source of [Truncated] on a caller-owned buffer). *)
+let rec encode_reply t value =
+  match F.Emit.encode_into t.emitter t.reply_buf value with
+  | Ok _ as ok -> ok
+  | Error (F.Codec.Io { error = Netdsl_util.Bitio.Truncated _; _ }) ->
+    t.reply_buf <- Bytes.create (2 * max 32 (Bytes.length t.reply_buf));
+    encode_reply t value
+  | Error _ as e -> e
 
 let now () = Unix.gettimeofday ()
 let elapsed_ns t0 t1 = int_of_float ((t1 -. t0) *. 1e9)
@@ -168,10 +202,14 @@ let process_batch t pkts n =
     Stats.record_batch stats st_step ~packets:!packets ~bytes:!bytes
       ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ()))
   | _ -> ());
-  (* encode: build and emit responses *)
-  (match t.respond with
-  | None -> ()
-  | Some respond ->
+  (* encode: build and emit responses.  The in-place patch path is tried
+     first — it rewrites a copy of the request's wire bytes and updates the
+     checksum incrementally; otherwise the compiled emitter streams the
+     reply into the reusable buffer.  The interpreting codec is never on
+     this path. *)
+  (match (t.respond, t.respond_patch) with
+  | None, None -> ()
+  | _ ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
     let t0 = now () in
     for i = 0 to n - 1 do
@@ -180,19 +218,52 @@ let process_batch t pkts n =
         let interp =
           match interp_for t view with
           | Some i -> i
-          | None -> invalid_arg "Pipeline: ~respond requires ~machine"
+          | None -> invalid_arg "Pipeline: a responder requires ~machine"
         in
-        match respond view interp with
-        | None -> ()
-        | Some value -> (
-          incr packets;
-          match F.Codec.encode t.respond_fmt value with
-          | Ok s ->
-            bytes := !bytes + String.length s;
-            t.on_response s
-          | Error _ ->
-            t.status.(i) <- rej_encode;
-            incr rejects)
+        let emitted len =
+          bytes := !bytes + len;
+          t.on_response (Bytes.sub_string t.reply_buf 0 len)
+        in
+        let reject () =
+          t.status.(i) <- rej_encode;
+          incr rejects
+        in
+        let patched =
+          match t.respond_patch with
+          | None -> false
+          | Some respond_patch -> (
+            match respond_patch view interp with
+            | None -> false
+            | Some mutations ->
+              incr packets;
+              let len = F.View.length_bytes view in
+              ensure_reply t len;
+              Bytes.blit_string (F.View.raw view) 0 t.reply_buf 0 len;
+              let ok =
+                List.for_all
+                  (fun (field, v) ->
+                    match patcher_for t field with
+                    | Error _ -> false
+                    | Ok p -> (
+                      match F.Emit.patch p ~off:0 ~len t.reply_buf v with
+                      | Ok () -> true
+                      | Error _ -> false))
+                  mutations
+              in
+              if ok then emitted len else reject ();
+              true)
+        in
+        if not patched then
+          match t.respond with
+          | None -> ()
+          | Some respond -> (
+            match respond view interp with
+            | None -> ()
+            | Some value -> (
+              incr packets;
+              match encode_reply t value with
+              | Ok len -> emitted len
+              | Error _ -> reject ()))
       end
     done;
     Stats.record_batch stats st_encode ~packets:!packets ~bytes:!bytes

@@ -40,6 +40,8 @@ val create :
   ?machine:Netdsl_fsm.Machine.t ->
   ?flow_key:string ->
   ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?respond_patch:
+    (Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
   Netdsl_format.Desc.t ->
@@ -52,8 +54,16 @@ val create :
       names the field whose value identifies a flow (without it, one
       machine instance serves all packets).
     - [respond] builds a reply value from the view and the flow's machine;
-      it is encoded against [respond_fmt] (default: [fmt]) and handed to
-      [on_response]. *)
+      it is encoded against [respond_fmt] (default: [fmt]) by a compiled
+      {!Netdsl_format.Emit} plan into a reusable buffer and handed to
+      [on_response].
+    - [respond_patch] is the fast path, consulted before [respond]: return
+      [Some mutations] to answer with a copy of the request whose named
+      scalar fields are rewritten in place ({!Netdsl_format.Emit.patch} —
+      checksum updated incrementally, nothing re-encoded).  Return [None]
+      to fall through to [respond].  A field that cannot be patched (see
+      {!Netdsl_format.Emit.patcher}) rejects the packet at the encode
+      stage. *)
 
 val process : t -> string -> outcome
 val process_batch : t -> string array -> int -> unit

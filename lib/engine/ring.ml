@@ -4,7 +4,20 @@
    [push] blocks while the ring is full — that *is* the backpressure: a
    producer outrunning its consumer is throttled to the consumer's pace
    rather than growing an unbounded queue.  [pop_into] drains up to a
-   batch at a time so consumers amortise the lock over many items. *)
+   batch at a time so consumers amortise the lock over many items.
+
+   Waiting is staged.  Going straight to [Condition.wait] costs a futex
+   sleep/wake round trip on almost every batch when producer and consumer
+   run at similar speed — the ring oscillates around empty/full and the
+   sleeper is woken microseconds after it parked.  So a waiter first spins
+   briefly with [Domain.cpu_relax] (exponentially more pauses per probe,
+   lock released in between), then escalates to [Thread.yield], and only
+   then parks on the condition variable.  The condvar remains the
+   correctness backstop: [close] and the signal paths are unchanged, so a
+   parked waiter can never be stranded. *)
+
+let spin_rounds = 4 (* cpu_relax probes: 1, 2, 4, 8 pauses *)
+let yield_rounds = 4
 
 type 'a t = {
   buf : 'a option array;
@@ -32,6 +45,29 @@ let create ~capacity =
 
 let capacity t = Array.length t.buf
 
+(* Wait until [pred ()] holds.  Called with [t.mu] held; returns with it
+   held.  [pred] must also become true on close (both predicates below
+   include [t.closed]) so a closed ring releases every waiter. *)
+let backoff_wait t cond pred =
+  let attempt = ref 0 in
+  while not (pred ()) do
+    if !attempt < spin_rounds then begin
+      Mutex.unlock t.mu;
+      for _ = 1 to 1 lsl !attempt do
+        Domain.cpu_relax ()
+      done;
+      incr attempt;
+      Mutex.lock t.mu
+    end
+    else if !attempt < spin_rounds + yield_rounds then begin
+      Mutex.unlock t.mu;
+      Thread.yield ();
+      incr attempt;
+      Mutex.lock t.mu
+    end
+    else Condition.wait cond t.mu
+  done
+
 let length t =
   Mutex.lock t.mu;
   let n = t.count in
@@ -54,9 +90,7 @@ let close t =
 let push t x =
   Mutex.lock t.mu;
   let cap = Array.length t.buf in
-  while t.count = cap && not t.closed do
-    Condition.wait t.not_full t.mu
-  done;
+  backoff_wait t t.not_full (fun () -> t.count < cap || t.closed);
   if t.closed then begin
     Mutex.unlock t.mu;
     false
@@ -72,9 +106,7 @@ let push t x =
 
 let pop t =
   Mutex.lock t.mu;
-  while t.count = 0 && not t.closed do
-    Condition.wait t.not_empty t.mu
-  done;
+  backoff_wait t t.not_empty (fun () -> t.count > 0 || t.closed);
   if t.count = 0 then begin
     (* closed and drained *)
     Mutex.unlock t.mu;
@@ -96,9 +128,7 @@ let pop_into t out =
   if max = 0 then 0
   else begin
     Mutex.lock t.mu;
-    while t.count = 0 && not t.closed do
-      Condition.wait t.not_empty t.mu
-    done;
+    backoff_wait t t.not_empty (fun () -> t.count > 0 || t.closed);
     let cap = Array.length t.buf in
     let n = min t.count max in
     for i = 0 to n - 1 do

@@ -23,7 +23,7 @@ let worker_of_key t k =
   (h lsr 33) mod Array.length t.pipes
 
 let create ?(config = default_config) ~key ?verify ?classify ?machine ?flow_key
-    ?respond ?respond_fmt ?on_response fmt =
+    ?respond ?respond_patch ?respond_fmt ?on_response fmt =
   if config.workers <= 0 then Error "Shard.create: workers must be positive"
   else
     match F.View.key_extractor fmt key with
@@ -32,7 +32,7 @@ let create ?(config = default_config) ~key ?verify ?classify ?machine ?flow_key
       let pipes =
         Array.init config.workers (fun _ ->
             Pipeline.create ~config:config.pipeline ?verify ?classify ?machine
-              ?flow_key ?respond ?respond_fmt ?on_response fmt)
+              ?flow_key ?respond ?respond_patch ?respond_fmt ?on_response fmt)
       in
       Ok { cfg = config; key = ke; pipes; domains = [||]; running = false; unkeyed = 0 }
 

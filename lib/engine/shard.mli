@@ -26,6 +26,8 @@ val create :
   ?machine:Netdsl_fsm.Machine.t ->
   ?flow_key:string ->
   ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?respond_patch:
+    (Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
   Netdsl_format.Desc.t ->

@@ -1,0 +1,97 @@
+(** Compiled encode plans: the encode-side mirror of {!View}.
+
+    {!create} lowers a format description once into a flat program of emit
+    ops — widths, endianness and constraint sets resolved at compile time.
+    Derived fields (computed lengths, checksums) are emitted as {e patch
+    slots}: the encoder reserves their bytes, streams the rest of the
+    message, then back-fills them in place, so a checksummed region is
+    written exactly once and never copied.  Encoding into a caller-provided
+    reusable buffer ({!encode_into}, {!encode_view_into}) allocates nothing
+    on the fixed-layout path.
+
+    Output is byte-for-byte identical to {!Codec.encode}, including which
+    consistency checks fire and in what order ([test/test_emit.ml] asserts
+    this property for every shipped format).
+
+    {!patcher}/{!patch} serve respond/forward loops that change one scalar
+    field of an already-valid packet (ARQ data→ack, TTL decrement): the
+    field is rewritten at its fixed wire offset and any Internet checksum
+    over it is updated incrementally (RFC 1624) — no decode, no re-encode,
+    no re-checksum. *)
+
+type t
+(** A compiled emitter.  Holds reusable scratch state; not thread-safe —
+    use one per domain (cf. {!View.t}). *)
+
+type error = Codec.error
+(** Emit errors are {!Codec} errors: same constructors, same rendering. *)
+
+val create : Desc.t -> t
+(** Compile the format.  Ill-formed constructs (e.g. a little-endian field
+    of non-whole-byte width) compile to ops that fail when reached, exactly
+    as {!Codec.encode} does. *)
+
+val format : t -> Desc.t
+
+(** {2 Encoding from values} *)
+
+val encode : t -> Value.t -> (string, error) result
+(** Drop-in equivalent of [Codec.encode (format t)] — same inputs, same
+    bytes, same errors — using the emitter's internal growable buffer. *)
+
+val encode_exn : t -> Value.t -> string
+(** @raise Codec.Error on failure. *)
+
+val encode_into : t -> ?off:int -> Bytes.t -> Value.t -> (int, error) result
+(** [encode_into t buf v] writes the message into [buf] starting at [off]
+    (default [0]) and returns its length in bytes.  The buffer is not
+    grown: a message that does not fit fails with [Io Truncated].  Stale
+    buffer contents never leak into the output.
+    @raise Invalid_argument if [off] is outside [buf]. *)
+
+(** {2 Encoding from views (view-to-wire)}
+
+    Re-emit a decoded message, optionally overriding top-level scalar
+    fields — the respond path: decode a request once, flip a field or two,
+    emit the reply.  Top-level scalars and byte fields are read straight
+    out of the view (aligned byte spans are blitted wire-to-wire without an
+    intermediate copy); derived fields are recomputed.  Fields with nested
+    structure (records, arrays, variants) must be supplied in [set] — a
+    view cannot provide them. *)
+
+val encode_view : t -> ?set:(string * Value.t) list -> View.t -> (string, error) result
+
+val encode_view_exn : t -> ?set:(string * Value.t) list -> View.t -> string
+(** @raise Codec.Error on failure. *)
+
+val encode_view_into :
+  t -> ?set:(string * Value.t) list -> ?off:int -> Bytes.t -> View.t -> (int, error) result
+
+(** {2 In-place patching} *)
+
+type patcher
+(** A compiled single-field rewrite: field offset, width, validation and
+    checksum-delta plan, resolved once. *)
+
+val patcher : Desc.t -> string -> (patcher, string) result
+(** [patcher fmt name] compiles an in-place rewrite of top-level scalar
+    field [name].  Requires the field to be byte-aligned at a fixed offset,
+    not the source of any derived field, and any checksum covering it to be
+    a top-level Internet checksum whose coverage of the field is decidable
+    statically (and whose region provably cannot be all-zero, unless a
+    conservative scan fallback is possible).  [Error reason] explains any
+    rejection. *)
+
+val patcher_field : patcher -> string
+
+val patch : patcher -> ?off:int -> ?len:int -> Bytes.t -> int64 -> (unit, error) result
+(** [patch p buf v] rewrites the field inside the encoded message occupying
+    [buf.(off .. off+len-1)] (default: all of [buf]) to [v], validating [v]
+    against the field's width, enum cases and constraints, and updates the
+    covering Internet checksum incrementally.  If the message was valid
+    before the patch it is valid after — byte-for-byte what a decode →
+    mutate → re-encode round trip would produce.
+    @raise Invalid_argument if the window is outside [buf]. *)
+
+val patch_exn : patcher -> ?off:int -> ?len:int -> Bytes.t -> int64 -> unit
+(** @raise Codec.Error on failure. *)

@@ -71,3 +71,23 @@ let fixed_bytes fmt =
   | Some _ | None -> None
 
 let min_bytes fmt = ((bounds fmt).min_bits + 7) / 8
+
+let fixed_of b = match b.max_bits with Some m when m = b.min_bits -> Some m | _ -> None
+
+let fixed_field_span fmt name =
+  let rec scan off = function
+    | [] -> Result.Error (Printf.sprintf "no top-level field %S" name)
+    | (f : Desc.field) :: rest ->
+      if String.equal f.name name then (
+        match fixed_of (field_bounds f) with
+        | Some m -> Ok (off, m)
+        | None -> Result.Error (Printf.sprintf "field %S has a variable size" name))
+      else (
+        match fixed_of (field_bounds f) with
+        | Some m -> scan (off + m) rest
+        | None ->
+          Result.Error
+            (Printf.sprintf "field %S is not at a fixed offset (preceded by %S)" name
+               f.name))
+  in
+  scan 0 fmt.Desc.fields

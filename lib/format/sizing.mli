@@ -24,3 +24,10 @@ val fixed_bytes : Desc.t -> int option
 
 val min_bytes : Desc.t -> int
 (** Minimum encoded size rounded up to bytes — the cheap reject threshold. *)
+
+val fixed_field_span : Desc.t -> string -> (int * int, string) result
+(** [fixed_field_span fmt name] is the [(bit_off, bit_len)] the named
+    top-level field occupies in {e every} message of [fmt]: the field must
+    have a fixed size and only fixed-size fields before it.  This is what
+    makes a field addressable without decoding — the basis of
+    {!View.key_extractor} flow keys and [Emit.patch] in-place rewrites. *)

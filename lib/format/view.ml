@@ -866,24 +866,16 @@ let scalar_width (f : Desc.field) =
   | Bytes _ | Array _ | Record _ | Variant _ | Padding _ -> None
 
 let key_extractor fmt name =
-  let rec scan off = function
-    | [] -> Result.Error (Printf.sprintf "no top-level field %S" name)
-    | (f : Desc.field) :: rest ->
-      if String.equal f.name name then (
-        match scalar_width f with
-        | Some (bits, endian) when bits <= 62 ->
-          Ok { k_bit_off = off; k_bits = bits; k_endian = endian }
-        | Some _ -> Result.Error (Printf.sprintf "field %S is too wide for a key" name)
-        | None -> Result.Error (Printf.sprintf "field %S is not a scalar" name))
-      else (
-        match Sizing.field_bounds f with
-        | { min_bits; max_bits = Some m } when min_bits = m -> scan (off + m) rest
-        | _ ->
-          Result.Error
-            (Printf.sprintf "field %S is not at a fixed offset (preceded by %S)" name
-               f.name))
-  in
-  scan 0 fmt.Desc.fields
+  match Desc.find_field fmt name with
+  | None -> Result.Error (Printf.sprintf "no top-level field %S" name)
+  | Some f -> (
+    match scalar_width f with
+    | Some (bits, endian) when bits <= 62 -> (
+      match Sizing.fixed_field_span fmt name with
+      | Ok (off, _) -> Ok { k_bit_off = off; k_bits = bits; k_endian = endian }
+      | Error _ as e -> e)
+    | Some _ -> Result.Error (Printf.sprintf "field %S is too wide for a key" name)
+    | None -> Result.Error (Printf.sprintf "field %S is not a scalar" name))
 
 let extract_key ke ?(off = 0) data =
   let bit_off = (off * 8) + ke.k_bit_off in

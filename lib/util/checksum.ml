@@ -81,6 +81,24 @@ let adler32 ?off ?len s =
   done;
   Int64.of_int ((!b lsl 16) lor !a)
 
+(* RFC 1624 incremental update.  With HC the stored checksum, the region's
+   folded word sum is ~HC (mod 0xffff); replacing words summing to [removed]
+   by words summing to [added] gives HC' = ~fold(~HC + ~removed + added),
+   since ~x = 0xffff - x on 16 bits, i.e. negation mod 0xffff. *)
+let internet_fold n =
+  let n = ref n in
+  while !n lsr 16 <> 0 do
+    n := (!n land 0xFFFF) + (!n lsr 16)
+  done;
+  !n
+
+let internet_delta ~checksum ~removed ~added =
+  let removed = internet_fold removed and added = internet_fold added in
+  let acc =
+    (lnot checksum land 0xFFFF) + (lnot removed land 0xFFFF) + added
+  in
+  lnot (internet_fold acc) land 0xFFFF
+
 let xor8 ?off ?len s =
   let off, len = range ?off ?len s in
   let acc = ref 0 in

@@ -64,6 +64,18 @@ val internet_checksum : ?off:int -> ?len:int -> string -> int
 (** Direct entry point for the RFC 1071 checksum (already complemented;
     i.e. the value to place in a header field). *)
 
+val internet_delta : checksum:int -> removed:int -> added:int -> int
+(** [internet_delta ~checksum ~removed ~added] is the RFC 1624 incremental
+    update of a stored Internet [checksum] after 16-bit word contributions
+    summing to [removed] are replaced by contributions summing to [added]
+    (both plain sums, allowed to exceed 0xffff).  A byte at an {e even}
+    offset from the region start contributes [b lsl 8]; at an odd offset it
+    contributes [b] — so any byte-aligned field can be updated regardless of
+    16-bit word alignment.  The result is exact modulo the ones'-complement
+    ±0 ambiguity: a result of [0] also encodes an all-zero region, whose
+    canonical checksum is [0xffff]; callers that can meet that case must
+    disambiguate (see [Netdsl_format.Emit.patch]). *)
+
 val crc32 : ?off:int -> ?len:int -> string -> int64
 val fletcher16 : ?off:int -> ?len:int -> string -> int
 val adler32 : ?off:int -> ?len:int -> string -> int64

@@ -1,0 +1,352 @@
+(* Equivalence of the compiled [Emit] encoder and the interpreting [Codec]:
+   for every shipped format and any generated value both must produce the
+   same bytes (or the same rejection), and [Emit.patch] must produce
+   exactly what a decode → mutate → full re-encode round trip would —
+   incremental checksum included.  This is the licence for the engine's
+   respond path to never call the full encoder. *)
+
+open Netdsl_format
+module Fm = Netdsl_formats
+module Prng = Netdsl_util.Prng
+module Ck = Netdsl_util.Checksum
+
+let trials = 200
+
+(* Formats whose derived-field dependencies Gen cannot invert get a
+   handcrafted value generator instead (cf. test_view.ml). *)
+let gen_ipv4_value rng =
+  let payload = String.make (Prng.int rng 400) 'p' in
+  let options = String.make (4 * Prng.int rng 3) 'o' in
+  Fm.Ipv4.make ~identification:(Prng.int rng 0x10000)
+    ~ttl:(1 + Prng.int rng 255) ~options ~protocol:Fm.Ipv4.protocol_udp
+    ~source:(Fm.Ipv4.addr_of_string "10.0.0.1")
+    ~destination:(Fm.Ipv4.addr_of_string "10.0.0.2")
+    ~payload ()
+
+let gen_tcp_value rng =
+  let payload = String.make (Prng.int rng 200) 'p' in
+  let options = String.make (4 * Prng.int rng 3) '\x01' in
+  Fm.Tcp.make ~syn:(Prng.bool rng) ~ack:(Prng.bool rng)
+    ~window:(Prng.int rng 0x10000) ~options ~src_port:(Prng.int rng 0x10000)
+    ~dst_port:(Prng.int rng 0x10000)
+    ~seq_number:(Int64.of_int (Prng.int rng 1000000))
+    ~payload ()
+
+let all_formats =
+  [ ("arp", Fm.Arp.format, None);
+    ("arq", Fm.Arq.format, None);
+    ("dns", Fm.Dns.format, None);
+    ("ethernet", Fm.Ethernet.format, None);
+    ("icmp", Fm.Icmp.format, None);
+    ("ipv4", Fm.Ipv4.format, Some gen_ipv4_value);
+    ("pcap", Fm.Pcap.format, None);
+    ("tcp", Fm.Tcp.format, Some gen_tcp_value);
+    ("tftp", Fm.Tftp.format, None);
+    ("tlv", Fm.Tlv.format, None);
+    ("udp", Fm.Udp.format, None) ]
+
+let sample rng fmt custom =
+  match custom with Some g -> g rng | None -> Gen.generate rng fmt
+
+let hex = Netdsl_util.Hexdump.to_hex
+
+(* One value through both encoders; fails the test on any disagreement. *)
+let check_same_bytes name fmt emitter value =
+  match (Codec.encode fmt value, Emit.encode emitter value) with
+  | Ok c, Ok e ->
+    if not (String.equal c e) then
+      Alcotest.failf "%s: encoders disagree\ncodec: %s\nemit:  %s" name (hex c)
+        (hex e)
+  | Error _, Error _ -> ()
+  | Ok _, Error e ->
+    Alcotest.failf "%s: codec encodes, emit rejects: %s" name
+      (Codec.error_to_string e)
+  | Error e, Ok _ ->
+    Alcotest.failf "%s: emit encodes, codec rejects: %s" name
+      (Codec.error_to_string e)
+
+let equivalence_case (name, fmt, custom) =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Prng.of_int 20260806 in
+      let emitter = Emit.create fmt in
+      for _ = 1 to trials do
+        let value = sample rng fmt custom in
+        check_same_bytes name fmt emitter value
+      done)
+
+(* encode_into: bytes land at the requested offset, the rest of the buffer
+   is untouched, and an undersized buffer is a clean Truncated error. *)
+let encode_into_offsets () =
+  let rng = Prng.of_int 31 in
+  let emitter = Emit.create Fm.Arq.format in
+  let buf = Bytes.create 256 in
+  for _ = 1 to 50 do
+    Bytes.fill buf 0 (Bytes.length buf) '\xAA';
+    let value = Gen.generate rng Fm.Arq.format in
+    let expected = Codec.encode_exn Fm.Arq.format value in
+    let off = Prng.int rng 32 in
+    match Emit.encode_into emitter ~off buf value with
+    | Error e -> Alcotest.failf "encode_into: %s" (Codec.error_to_string e)
+    | Ok n ->
+      Alcotest.(check int) "length" (String.length expected) n;
+      Alcotest.(check string)
+        "bytes at offset" expected
+        (Bytes.sub_string buf off n);
+      Alcotest.(check char) "byte after message untouched" '\xAA'
+        (Bytes.get buf (off + n));
+      if off > 0 then
+        Alcotest.(check char) "preceding byte untouched" '\xAA'
+          (Bytes.get buf (off - 1))
+  done;
+  let value = Gen.generate rng Fm.Arq.format in
+  match Emit.encode_into emitter Bytes.empty value with
+  | Error (Codec.Io { error = Netdsl_util.Bitio.Truncated _; _ }) -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got %s" (Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "encode into empty buffer succeeded"
+
+(* A reused emitter must never leak bytes of a longer previous message
+   into a shorter next one. *)
+let buffer_reuse () =
+  let emitter = Emit.create Fm.Arq.format in
+  let big = Value.(record [ ("seq", int 1); ("kind", int 0);
+                            ("payload", bytes (String.make 300 '\xFF')) ]) in
+  let small = Value.(record [ ("seq", int 2); ("kind", int 0);
+                              ("payload", bytes "") ]) in
+  List.iter
+    (fun v -> check_same_bytes "arq reuse" Fm.Arq.format emitter v)
+    [ big; small; big; small ]
+
+(* ------------------------------------------------------------------ *)
+(* View-to-wire *)
+
+let decode_view fmt pkt =
+  let view = View.create fmt in
+  match View.decode view pkt with
+  | Ok () -> view
+  | Error e -> Alcotest.failf "decode failed: %s" (Codec.error_to_string e)
+
+(* Re-emitting a decoded message reproduces it byte for byte. *)
+let view_roundtrip_case (name, fmt, custom) =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Prng.of_int 4242 in
+      let emitter = Emit.create fmt in
+      let view = View.create fmt in
+      for _ = 1 to 50 do
+        match Codec.encode fmt (sample rng fmt custom) with
+        | Error _ -> ()
+        | Ok pkt -> (
+          match View.decode view pkt with
+          | Error e ->
+            Alcotest.failf "%s: decode failed: %s" name (Codec.error_to_string e)
+          | Ok () -> (
+            match Emit.encode_view emitter view with
+            | Ok pkt' ->
+              if not (String.equal pkt pkt') then
+                Alcotest.failf "%s: view round trip differs\nin:  %s\nout: %s"
+                  name (hex pkt) (hex pkt')
+            | Error (Codec.Type_mismatch { expected; _ })
+              when String.length expected >= 14
+                   && String.equal (String.sub expected 0 14) "explicit value" ->
+              (* nested structure cannot be sourced from a view, by design *)
+              ()
+            | Error e ->
+              Alcotest.failf "%s: encode_view failed: %s" name
+                (Codec.error_to_string e)))
+      done)
+
+(* [Value.strip_derived] drops computed / checksum / const entries so the
+   mutated value can be re-encoded by the codec as the oracle. *)
+let strip_derived = Value.strip_derived
+
+let set_field name v value =
+  match value with
+  | Value.Record fields ->
+    Value.Record
+      (List.map (fun (n, old) -> (n, if String.equal n name then v else old)) fields)
+  | other -> other
+
+(* encode_view ~set against the reference: decode, strip derived fields,
+   substitute, full re-encode. *)
+let view_override () =
+  let rng = Prng.of_int 99 in
+  let emitter = Emit.create Fm.Arq.format in
+  for _ = 1 to 100 do
+    let pkt = Gen.generate_bytes rng Fm.Arq.format in
+    let view = decode_view Fm.Arq.format pkt in
+    let seq = Int64.of_int (Prng.int rng 256) in
+    let expected =
+      Codec.encode_exn Fm.Arq.format
+        (set_field "seq" (Value.Int seq)
+           (strip_derived Fm.Arq.format (Codec.decode_exn Fm.Arq.format pkt)))
+    in
+    match Emit.encode_view emitter ~set:[ ("seq", Value.Int seq) ] view with
+    | Ok got -> Alcotest.(check string) "override bytes" expected got
+    | Error e -> Alcotest.failf "encode_view ~set: %s" (Codec.error_to_string e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* In-place patching *)
+
+let get_patcher fmt name =
+  match Emit.patcher fmt name with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "patcher %s: %s" name e
+
+(* The oracle: patched bytes = decode → strip derived → substitute →
+   re-encode, and the result must still decode cleanly. *)
+let check_patch fmt patcher field pkt v =
+  let buf = Bytes.of_string pkt in
+  (match Emit.patch patcher buf v with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "patch %s=%Ld: %s" field v (Codec.error_to_string e));
+  let got = Bytes.to_string buf in
+  let expected =
+    Codec.encode_exn fmt
+      (set_field field (Value.Int v)
+         (strip_derived fmt (Codec.decode_exn fmt pkt)))
+  in
+  if not (String.equal expected got) then
+    Alcotest.failf "patch %s=%Ld differs from re-encode\nwant: %s\ngot:  %s"
+      field v (hex expected) (hex got);
+  match Codec.decode fmt got with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "patched %s=%Ld does not re-decode: %s" field v
+      (Codec.error_to_string e)
+
+let patch_arq () =
+  let rng = Prng.of_int 7131 in
+  let p_seq = get_patcher Fm.Arq.format "seq" in
+  let p_kind = get_patcher Fm.Arq.format "kind" in
+  for _ = 1 to 100 do
+    let pkt = Gen.generate_bytes rng Fm.Arq.format in
+    check_patch Fm.Arq.format p_seq "seq" pkt (Int64.of_int (Prng.int rng 256));
+    check_patch Fm.Arq.format p_kind "kind" pkt (Int64.of_int (Prng.int rng 2))
+  done;
+  (* the ones'-complement corner: patching towards an all-zero message must
+     fall back to the canonical 0xffff checksum *)
+  let zero =
+    Codec.encode_exn Fm.Arq.format
+      Value.(record [ ("seq", int 0); ("kind", int 0); ("payload", bytes "") ])
+  in
+  let one =
+    Codec.encode_exn Fm.Arq.format
+      Value.(record [ ("seq", int 1); ("kind", int 0); ("payload", bytes "") ])
+  in
+  check_patch Fm.Arq.format p_seq "seq" zero 0L;
+  check_patch Fm.Arq.format p_seq "seq" one 0L;
+  check_patch Fm.Arq.format p_seq "seq" zero 1L
+
+let patch_ipv4 () =
+  let rng = Prng.of_int 555 in
+  let fields =
+    [ ("tos", fun rng -> Int64.of_int (Prng.int rng 256));
+      ("identification", fun rng -> Int64.of_int (Prng.int rng 0x10000));
+      ("ttl", fun rng -> Int64.of_int (1 + Prng.int rng 255));
+      ("protocol", fun rng -> Int64.of_int (Prng.int rng 256));
+      ("source", fun rng -> Int64.of_int (Prng.int rng 0x40000000)) ]
+  in
+  let patchers = List.map (fun (n, _) -> (n, get_patcher Fm.Ipv4.format n)) fields in
+  for _ = 1 to 60 do
+    let pkt = Codec.encode_exn Fm.Ipv4.format (gen_ipv4_value rng) in
+    List.iter
+      (fun (name, gen) ->
+        check_patch Fm.Ipv4.format (List.assoc name patchers) name pkt (gen rng))
+      fields
+  done
+
+(* Patching inside a window of a larger buffer. *)
+let patch_windowed () =
+  let rng = Prng.of_int 12 in
+  let p_seq = get_patcher Fm.Arq.format "seq" in
+  let pkt = Gen.generate_bytes rng Fm.Arq.format in
+  let buf = Bytes.of_string ("HDR" ^ pkt ^ "TRAILER") in
+  (match Emit.patch p_seq ~off:3 ~len:(String.length pkt) buf 77L with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "windowed patch: %s" (Codec.error_to_string e));
+  let got = Bytes.sub_string buf 3 (String.length pkt) in
+  let expected =
+    Codec.encode_exn Fm.Arq.format
+      (set_field "seq" (Value.Int 77L)
+         (strip_derived Fm.Arq.format (Codec.decode_exn Fm.Arq.format pkt)))
+  in
+  Alcotest.(check string) "windowed patch bytes" expected got;
+  Alcotest.(check string) "prefix intact" "HDR" (Bytes.sub_string buf 0 3);
+  Alcotest.(check string) "suffix intact" "TRAILER"
+    (Bytes.sub_string buf (3 + String.length pkt) 7)
+
+(* Validation: a patch must reject exactly what the full encoder would. *)
+let patch_validation () =
+  let p_kind = get_patcher Fm.Arq.format "kind" in
+  let pkt = Fm.Arq.to_bytes (Fm.Arq.Data { seq = 1; payload = "x" }) in
+  (match Emit.patch p_kind (Bytes.of_string pkt) 7L with
+  | Error (Codec.Enum_unknown _) -> ()
+  | Error e -> Alcotest.failf "expected Enum_unknown, got %s" (Codec.error_to_string e)
+  | Ok () -> Alcotest.fail "out-of-enum kind accepted");
+  let p_seq = get_patcher Fm.Arq.format "seq" in
+  (match Emit.patch p_seq (Bytes.of_string pkt) 256L with
+  | Error (Codec.Value_out_of_range _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Value_out_of_range, got %s" (Codec.error_to_string e)
+  | Ok () -> Alcotest.fail "overwide seq accepted");
+  match Emit.patch p_seq (Bytes.of_string "\x00") 1L with
+  | Error (Codec.Io { error = Netdsl_util.Bitio.Truncated _; _ }) -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got %s" (Codec.error_to_string e)
+  | Ok () -> Alcotest.fail "truncated message accepted"
+
+(* Fields that cannot be patched must be rejected at compile time, with a
+   reason. *)
+let patcher_rejections () =
+  let expect_error fmt name =
+    match Emit.patcher fmt name with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "patcher %S unexpectedly compiled" name
+  in
+  expect_error Fm.Arq.format "len" (* computed *);
+  expect_error Fm.Arq.format "chk" (* checksum *);
+  expect_error Fm.Arq.format "payload" (* not a scalar *);
+  expect_error Fm.Arq.format "nope" (* unknown *);
+  expect_error Fm.Ipv4.format "flags" (* not byte-aligned *);
+  expect_error Fm.Ipv4.format "version" (* constant *);
+  expect_error Fm.Tftp.format "opcode" (* variant tag: others derive from it *)
+
+(* RFC 1624 incremental update against full recomputation. *)
+let internet_delta_matches () =
+  let rng = Prng.of_int 90125 in
+  for _ = 1 to 500 do
+    let len = 2 * (1 + Prng.int rng 32) in
+    let b = Bytes.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+    let before = Ck.internet_checksum (Bytes.to_string b) in
+    let i = Prng.int rng len in
+    let old_byte = Char.code (Bytes.get b i) in
+    let new_byte = Prng.int rng 256 in
+    Bytes.set b i (Char.chr new_byte);
+    let after = Ck.internet_checksum (Bytes.to_string b) in
+    let w = if i land 1 = 0 then 8 else 0 in
+    let delta =
+      Ck.internet_delta ~checksum:before ~removed:(old_byte lsl w)
+        ~added:(new_byte lsl w)
+    in
+    (* modulo the ±0 ambiguity, which full recomputation also canonicalises *)
+    let canon c = if c = 0 then 0xFFFF else c in
+    if canon delta <> canon after then
+      Alcotest.failf "delta %04x <> recomputed %04x (byte %d: %02x -> %02x)"
+        delta after i old_byte new_byte
+  done
+
+let suite =
+  [ ( "emit.equivalence",
+      List.map equivalence_case all_formats
+      @ [ Alcotest.test_case "encode_into offsets" `Quick encode_into_offsets;
+          Alcotest.test_case "buffer reuse" `Quick buffer_reuse ] );
+    ( "emit.view",
+      List.map view_roundtrip_case all_formats
+      @ [ Alcotest.test_case "override" `Quick view_override ] );
+    ( "emit.patch",
+      [ Alcotest.test_case "arq fields" `Quick patch_arq;
+        Alcotest.test_case "ipv4 fields" `Quick patch_ipv4;
+        Alcotest.test_case "windowed" `Quick patch_windowed;
+        Alcotest.test_case "validation" `Quick patch_validation;
+        Alcotest.test_case "rejections" `Quick patcher_rejections;
+        Alcotest.test_case "internet delta" `Quick internet_delta_matches ] ) ]

@@ -205,6 +205,46 @@ let pipeline_responder () =
   | Ok _ -> Alcotest.fail "expected an ack"
   | Error e -> Alcotest.failf "ack does not decode: %s" e
 
+let pipeline_patch_responder () =
+  (* The in-place fast path: answer each data packet by flipping its kind
+     field to Ack and truncating nothing — the reply must be exactly what
+     the value-building responder produces. *)
+  let acks = ref [] in
+  let p =
+    Pipeline.create
+      ~classify:(fun _ -> Some "ok")
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+      ~respond_patch:(fun v _ ->
+        if Netdsl_format.View.get_int v "kind" = 0L then Some [ ("kind", 1L) ]
+        else None)
+      ~on_response:(fun s -> acks := s :: !acks)
+      Fm.Arq.format
+  in
+  check_bool "data accepted" true
+    (Pipeline.process p (arq_data ~seq:7 "pp") = Accepted);
+  check_bool "ack passes through unanswered" true
+    (Pipeline.process p (Fm.Arq.to_bytes (Fm.Arq.Ack { seq = 3 })) = Accepted);
+  check_int "one ack" 1 (List.length !acks);
+  (let module V = Netdsl_format.Value in
+   match Netdsl_format.Codec.decode Fm.Arq.format (List.hd !acks) with
+   | Ok reply ->
+     check_int "reply kind" 1 (V.get_int reply "kind");
+     check_int "reply seq" 7 (V.get_int reply "seq");
+     Alcotest.(check string) "payload kept" "pp" (V.get_bytes reply "payload")
+   | Error e ->
+     Alcotest.failf "patched reply does not decode: %s"
+       (Netdsl_format.Codec.error_to_string e));
+  (* an unpatchable field is a clean encode-stage reject, not a crash *)
+  let p2 =
+    Pipeline.create
+      ~classify:(fun _ -> Some "ok")
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+      ~respond_patch:(fun _ _ -> Some [ ("chk", 0L) ])
+      Fm.Arq.format
+  in
+  check_bool "derived field rejected at encode" true
+    (Pipeline.process p2 (arq_data ~seq:1 "x") = Rejected_encode)
+
 (* ------------------------------------------------------------------ *)
 (* Shard *)
 
@@ -262,7 +302,8 @@ let suite =
         Alcotest.test_case "machine per flow" `Quick pipeline_machine_flows;
         Alcotest.test_case "batch = singles" `Quick pipeline_batch_matches_singles;
         Alcotest.test_case "ring-driven run" `Quick pipeline_ring_driven;
-        Alcotest.test_case "responder" `Quick pipeline_responder ] );
+        Alcotest.test_case "responder" `Quick pipeline_responder;
+        Alcotest.test_case "patch responder" `Quick pipeline_patch_responder ] );
     ( "engine.shard",
       [ Alcotest.test_case "shards cover all packets" `Quick
           shard_all_packets_one_worker_per_flow;

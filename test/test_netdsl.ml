@@ -12,5 +12,6 @@ let () =
          Test_adapt.suite;
          Test_lang.suite;
          Test_view.suite;
+         Test_emit.suite;
          Test_engine.suite;
        ])
