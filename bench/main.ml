@@ -751,14 +751,21 @@ let e11 () =
       [ 1; 2; 4 ]
   in
   let base = match shard_rows with (_, r) :: _ -> r | [] -> 1.0 in
+  (* Honesty: a ratio against the 1-worker row only measures parallel
+     speedup when the workers actually have cores to run on.  A row with
+     more workers than cores is oversubscribed — print and record that
+     instead of a misleading scaling number. *)
   List.iter
     (fun (w, rate) ->
-      Printf.printf "  %-10d %14.0f %11.2fx\n" w rate (rate /. base))
+      if w > cores then
+        Printf.printf "  %-10d %14.0f %12s\n" w rate "oversubscribed"
+      else Printf.printf "  %-10d %14.0f %11.2fx\n" w rate (rate /. base))
     shard_rows;
   if cores < 4 then
     Printf.printf
-      "  (only %d core(s) available: domain scaling cannot exceed 1x here;\n\
-      \   the sharded path adds ring hand-off cost with no parallel win)\n"
+      "  (only %d core(s) available: rows with more workers than cores are\n\
+      \   oversubscribed — they measure ring hand-off overhead, not scaling,\n\
+      \   so no scaling ratio is reported for them)\n"
       cores;
   (* -- machine-readable dump -- *)
   let buf = Buffer.create 1024 in
@@ -778,12 +785,17 @@ let e11 () =
         (if i = List.length decode_rows - 1 then "" else ","))
     decode_rows;
   Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"sharded_skipped\": %b,\n" (cores = 1);
   Buffer.add_string buf "  \"sharded\": [\n";
   List.iteri
     (fun i (w, rate) ->
+      let scaling =
+        (* only meaningful when the workers have real cores underneath *)
+        if w > cores then "" else Printf.sprintf ", \"scaling_vs_1\": %.2f" (rate /. base)
+      in
       Printf.bprintf buf
-        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"scaling_vs_1\": %.2f}%s\n" w
-        rate (rate /. base)
+        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"oversubscribed\": %b%s}%s\n"
+        w rate (w > cores) scaling
         (if i = List.length shard_rows - 1 then "" else ","))
     shard_rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -1034,11 +1046,222 @@ let e12 () =
      time of a memcpy plus an RFC 1624 checksum delta, independent of how\n\
      expensive the full encode would have been."
 
+(* ------------------------------------------------------------------ *)
+(* E13: the behavioural dual of E11/E12 — interpreted Interp.fire vs the
+   compiled Step plan, per event and end-to-end through the pipeline. *)
+
+let e13 () =
+  section "e13" "FSM execution: interpreted fire vs compiled step plans"
+    "§3.2(iii) executing valid transitions; §3.4(3) runtime efficiency";
+  let n = if !quick then 50_000 else 1_000_000 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "(~%d events per measurement; %d core(s) available to this process)\n\n" n cores;
+  (* -- (a) fire latency, machine by machine, over mined tours --------- *)
+  (* Testgen mines transition tours (event runs from the initial
+     configuration that cover every transition); both executors replay
+     the same runs, resetting between runs, so every fired event is a
+     real accept on the machine's own behaviour — no synthetic always-on
+     self-loop. *)
+  Printf.printf "(a) fire latency over Testgen-mined transition tours\n";
+  Printf.printf "  %-20s %14s %14s %9s\n" "machine" "interp ns/ev" "step ns/ev" "speedup";
+  let fire_rows =
+    List.filter_map
+      (fun (name, m) ->
+        match Testgen.transition_tour m with
+        | exception Invalid_argument _ -> None
+        | tours ->
+          let tours = List.filter (fun t -> t <> []) tours in
+          if tours = [] then None
+          else begin
+            let plan = Step.compile m in
+            let name_runs = Array.of_list (List.map Array.of_list tours) in
+            let id_runs =
+              Array.map (Array.map (Step.event_id plan)) name_runs
+            in
+            let per_round =
+              Array.fold_left (fun a r -> a + Array.length r) 0 name_runs
+            in
+            let rounds = max 1 (n / per_round) in
+            let total = rounds * per_round in
+            let interp = Interp.instantiate (Interp.prepare m) in
+            let interp_round () =
+              Array.iter
+                (fun run ->
+                  Interp.reset interp;
+                  Array.iter
+                    (fun ev ->
+                      match Interp.fire interp ev with
+                      | Ok _ -> ()
+                      | Error _ -> assert false)
+                    run)
+                name_runs
+            in
+            let inst = Step.instance plan in
+            let step_round () =
+              Array.iter
+                (fun run ->
+                  Step.reset inst;
+                  Array.iter
+                    (fun ev ->
+                      match Step.fire_id inst ev with
+                      | Step.Fired -> ()
+                      | _ -> assert false)
+                    run)
+                id_runs
+            in
+            interp_round ();
+            step_round ();
+            let interp_ns =
+              time_loop rounds (fun _ -> interp_round ())
+              *. 1e9 /. float_of_int total
+            in
+            let step_ns =
+              time_loop rounds (fun _ -> step_round ())
+              *. 1e9 /. float_of_int total
+            in
+            let speedup = interp_ns /. step_ns in
+            Printf.printf "  %-20s %14.1f %14.1f %8.2fx\n" name interp_ns
+              step_ns speedup;
+            Some (name, interp_ns, step_ns, speedup, total)
+          end)
+      Machines.all
+  in
+  let geomean =
+    match fire_rows with
+    | [] -> 1.0
+    | rows ->
+      exp
+        (List.fold_left (fun a (_, _, _, s, _) -> a +. log s) 0.0 rows
+        /. float_of_int (List.length rows))
+  in
+  Printf.printf "  %-20s %14s %14s %8.2fx (geometric mean)\n" "" "" "" geomean;
+  (* -- (b) pipeline end-to-end: interpreted step stage vs compiled --- *)
+  (* The "before" row reproduces the step stage the pipeline ran before
+     compiled plans landed: decode to a view, read the flow key, look the
+     flow's interpreter up, [Interp.fire] with the event *name*.  The
+     "after" row is the shipped pipeline ([process_batch] with a
+     [classify_id] fast path into [Step.fire_id]) — including its stats
+     and batching bookkeeping, which the hand-rolled baseline is spared,
+     so the comparison, if anything, understates the win. *)
+  let meter =
+    let t = Machine.trans in
+    let count = [ Machine.Assign ("seen", Machine.Add (Machine.Reg "seen", Machine.Int 1)) ] in
+    Machine.machine ~name:"meter" ~states:[ "even"; "odd" ]
+      ~events:[ "pkt" ]
+      ~registers:[ Machine.reg "seen" ~domain:1024 ]
+      ~initial:"even" ~accepting:[ "even" ]
+      [
+        t ~label:"meter_even" ~src:"even" ~event:"pkt" ~dst:"odd" ~actions:count ();
+        t ~label:"meter_odd" ~src:"odd" ~event:"pkt" ~dst:"even" ~actions:count ();
+      ]
+  in
+  let fmt = Formats.Arq.format in
+  let pool =
+    Array.init 256 (fun i ->
+        Formats.Arq.to_bytes
+          (Formats.Arq.Data { seq = i land 0xFF; payload = String.make 256 'x' }))
+  in
+  let mask = Array.length pool - 1 in
+  let pn = if !quick then 20_000 else 200_000 in
+  Printf.printf
+    "\n(b) pipeline end-to-end (ARQ 256B, flow key = seq, %d packets)\n" pn;
+  let before_rate =
+    let view = View.create fmt in
+    let prepared = Interp.prepare meter in
+    let flows : (int64, Interp.t) Hashtbl.t = Hashtbl.create 512 in
+    let once i =
+      match View.decode view pool.(i land mask) with
+      | Error _ -> assert false
+      | Ok () ->
+        let key = View.get_int view "seq" in
+        let inst =
+          match Hashtbl.find_opt flows key with
+          | Some inst -> inst
+          | None ->
+            let inst = Interp.instantiate prepared in
+            Hashtbl.add flows key inst;
+            inst
+        in
+        (match Interp.fire inst "pkt" with
+        | Ok _ -> ()
+        | Error _ -> assert false)
+    in
+    for i = 0 to 999 do once i done;
+    float_of_int pn /. time_loop pn once
+  in
+  let after_rate =
+    let pkt_id = ref 0 in
+    let p =
+      Engine.Pipeline.create ~machine:meter ~flow_key:"seq"
+        ~classify_id:(fun _ -> !pkt_id)
+        fmt
+    in
+    (match Engine.Pipeline.machine_plan p with
+    | Some plan -> pkt_id := Step.event_id plan "pkt"
+    | None -> assert false);
+    let batch = Engine.Pipeline.default_config.Engine.Pipeline.batch in
+    let pkts = Array.make batch "" in
+    let run_batch b =
+      let base = b * batch in
+      for j = 0 to batch - 1 do
+        pkts.(j) <- pool.((base + j) land mask)
+      done;
+      Engine.Pipeline.process_batch p pkts batch
+    in
+    run_batch 0;
+    let nbatches = pn / batch in
+    let dt = time_loop nbatches run_batch in
+    let st = Engine.Pipeline.stats p in
+    let _, _, rejects = Engine.Stats.totals st in
+    assert (Engine.Stats.stage_packets st 0 = (nbatches + 1) * batch);
+    assert (rejects = 0);
+    float_of_int (nbatches * batch) /. dt
+  in
+  let improvement = after_rate /. before_rate in
+  Printf.printf "  %-34s %14s %9s\n" "step stage" "pkts/s" "vs before";
+  Printf.printf "  %-34s %14.0f %9s\n" "interpreted (Interp per flow)" before_rate "1.00x";
+  Printf.printf "  %-34s %14.0f %8.2fx\n" "compiled (Step plan, classify_id)" after_rate improvement;
+  (* -- machine-readable dump -- *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"experiment\": \"e13\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"cores_available\": %d,\n" cores;
+  Printf.bprintf buf "  \"single_core_caveat\": %b,\n" (cores = 1);
+  Buffer.add_string buf "  \"fire\": [\n";
+  List.iteri
+    (fun i (name, interp_ns, step_ns, speedup, total) ->
+      Printf.bprintf buf
+        "    {\"machine\": %S, \"events\": %d, \"interp_ns_per_event\": %.1f, \
+         \"step_ns_per_event\": %.1f, \"step_speedup\": %.2f}%s\n"
+        name total interp_ns step_ns speedup
+        (if i = List.length fire_rows - 1 then "" else ","))
+    fire_rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"fire_speedup_geomean\": %.2f,\n" geomean;
+  Buffer.add_string buf "  \"pipeline\": {\n";
+  Printf.bprintf buf "    \"packets_per_measurement\": %d,\n" pn;
+  Printf.bprintf buf "    \"interp_pkts_per_s\": %.0f,\n" before_rate;
+  Printf.bprintf buf "    \"step_pkts_per_s\": %.0f,\n" after_rate;
+  Printf.bprintf buf "    \"improvement\": %.2f\n" improvement;
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_E13.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+  print_endline
+    "\nRESULT shape: compiling a machine once into integer-indexed tables\n\
+     with guards and actions pre-lowered to closures over a flat register\n\
+     file removes the per-event string lookups, association-list walks and\n\
+     result allocations of the interpreter — several-fold per event — and\n\
+     a visible share of whole-pipeline time even though decode dominates."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("e11", e11); ("e12", e12); ("ablate", ablate);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("ablate", ablate);
   ]
 
 let () =

@@ -402,6 +402,48 @@ let run_cmd =
        ~doc:"Execute a machine on an event sequence; invalid transitions are refused, never executed.")
     Term.(const run $ file_arg $ machine_opt $ events_arg)
 
+let fsm_cmd =
+  (* Compiled-plan counterpart of [run]: the machine is lowered once
+     (Step.compile) and driven on interned event ids — the same execution
+     path the engine's step stage uses. *)
+  let run_cmd =
+    let events_arg =
+      Arg.(value & pos_right 0 string [] & info [] ~docv:"EVENT" ~doc:"Events to fire, in order.")
+    in
+    let run file machine events =
+      let program = load file in
+      let m = pick_machine program machine in
+      let plan = Netdsl.Step.compile m in
+      let inst = Netdsl.Step.instance plan in
+      Format.printf "compiled %s: %d states, %d events, %d registers@."
+        m.Netdsl.Machine.machine_name (Netdsl.Step.n_states plan)
+        (Netdsl.Step.n_events plan)
+        (Netdsl.Step.n_registers plan);
+      Format.printf "start: %a@." Netdsl.Machine.pp_config (Netdsl.Step.config inst);
+      List.iter
+        (fun event ->
+          match Netdsl.Step.fire inst event with
+          | Netdsl.Step.Fired ->
+            let t = Netdsl.Step.transition plan (Netdsl.Step.last_transition inst) in
+            Format.printf "%-12s -[%s]-> %a@." event t.Netdsl.Machine.t_label
+              Netdsl.Machine.pp_config (Netdsl.Step.config inst)
+          | verdict ->
+            Format.eprintf "netdsl: %s@." (Netdsl.Step.describe inst event verdict);
+            exit 1)
+        events;
+      Format.printf "final state %s (accepting: %b)@."
+        (Netdsl.Step.state_name_of inst)
+        (Netdsl.Step.in_accepting inst)
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Execute a machine on an event sequence via its compiled step plan; an unhandled, unknown or nondeterministic event aborts with a clear message.")
+      Term.(const run $ file_arg $ machine_opt $ events_arg)
+  in
+  Cmd.group
+    (Cmd.info "fsm" ~doc:"Operate on machines through compiled execution plans.")
+    [ run_cmd ]
+
 let modelcheck_cmd =
   let avoid_opt =
     Arg.(value & opt (some string) None & info [ "avoid" ] ~docv:"STATE"
@@ -465,4 +507,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; encode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd ]))
+          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; encode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd; fsm_cmd ]))

@@ -10,7 +10,7 @@
     - packet descriptions: {!Desc}, {!Value}, {!Codec}, {!Emit}, {!Wf},
       {!Sizing}, {!Diagram}, {!Gen}
     - behaviour: {!Machine}, {!Analysis}, {!Compose}, {!Model_check},
-      {!Testgen}, {!Interp}, {!Dot}
+      {!Testgen}, {!Interp}, {!Step} (compiled execution plans), {!Dot}
     - correct-by-construction layer (the paper's §3.4 with OCaml types):
       {!Checked}, {!Send_machine}, {!Recv_machine}
     - packet-processing runtime: {!Engine} (zero-copy {!View} decode,
@@ -18,7 +18,8 @@
     - simulation substrate: {!Sim_engine}, {!Channel}, {!Timer}, {!Trace},
       {!Stats}
     - executable protocols: {!Stop_and_wait}, {!Go_back_n},
-      {!Selective_repeat}, {!Harness}, {!Rto}, {!Abp}, {!Arq_fsm}
+      {!Selective_repeat}, {!Harness}, {!Rto}, {!Abp}, {!Arq_fsm},
+      {!Machines} (their first-class guarded-FSM control planes)
     - adaptation and uncertainty: {!Fuzzy}, {!Rate_control},
       {!Loss_classifier}, {!Trust}
     - ready-made formats: {!Formats} (IPv4, UDP, TCP, ICMP, Ethernet, ARP,
@@ -52,6 +53,7 @@ module Compose = Netdsl_fsm.Compose
 module Model_check = Netdsl_fsm.Model_check
 module Testgen = Netdsl_fsm.Testgen
 module Interp = Netdsl_fsm.Interp
+module Step = Netdsl_fsm.Step
 module Dot = Netdsl_fsm.Dot
 module Equiv = Netdsl_fsm.Equiv
 
@@ -82,6 +84,7 @@ module Harness = Netdsl_proto.Harness
 module Abp = Netdsl_proto.Abp
 module Relay = Netdsl_proto.Relay
 module Arq_fsm = Netdsl_proto.Arq_fsm
+module Machines = Netdsl_proto.Machines
 
 (* Adaptation *)
 module Fuzzy = Netdsl_adapt.Fuzzy

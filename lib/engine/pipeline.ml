@@ -4,9 +4,10 @@ module Fsm = Netdsl_fsm
 type config = {
   batch : int;
   ring_capacity : int;
+  max_flows : int;
 }
 
-let default_config = { batch = 64; ring_capacity = 1024 }
+let default_config = { batch = 64; ring_capacity = 1024; max_flows = 65536 }
 
 (* Stage indices — fixed layout, also the Stats layout. *)
 let st_decode = 0
@@ -30,15 +31,46 @@ type outcome =
   | Rejected_step
   | Rejected_encode
 
+(* A per-flow machine instance threaded on an intrusive LRU list: the
+   sentinel's successor is the oldest-idle flow, its predecessor the most
+   recently touched.  Touch and evict are O(1) and allocation-free. *)
+type flow = {
+  f_key : int64;
+  f_inst : Fsm.Step.instance;
+  mutable f_prev : flow;
+  mutable f_next : flow;
+}
+
+type flow_table = {
+  ft : (int64, flow) Hashtbl.t;
+  sentinel : flow;
+  max_flows : int;
+}
+
+let unlink f =
+  f.f_prev.f_next <- f.f_next;
+  f.f_next.f_prev <- f.f_prev
+
+(* Insert just before the sentinel: the most-recently-used end. *)
+let push_mru s f =
+  f.f_prev <- s.f_prev;
+  f.f_next <- s;
+  s.f_prev.f_next <- f;
+  s.f_prev <- f
+
 type t = {
   cfg : config;
   fmt : F.Desc.t;
   verify : (F.View.t -> bool) option;
-  classify : (F.View.t -> string option) option;
-  machine : Fsm.Interp.prepared option;
+  (* the unified classifier: >= 0 is an event id for the plan, any negative
+     value means the packet does not concern the machine *)
+  classifier : (F.View.t -> int) option;
+  plan : Fsm.Step.plan option;
   flow_key : string option;
-  respond : (F.View.t -> Fsm.Interp.t -> F.Value.t option) option;
-  respond_patch : (F.View.t -> Fsm.Interp.t -> (string * int64) list option) option;
+  on_transition : (Fsm.Machine.transition -> unit) option;
+  respond : (F.View.t -> Fsm.Step.instance -> F.Value.t option) option;
+  respond_patch :
+    (F.View.t -> Fsm.Step.instance -> (string * int64) list option) option;
   respond_fmt : F.Desc.t;
   on_response : string -> unit;
   (* encode-stage machinery: a compiled emitter for [respond_fmt], a cache
@@ -56,22 +88,45 @@ type t = {
   last_error : F.Codec.error option array;
   input : string Ring.t;
   inbuf : string array;
-  default_interp : Fsm.Interp.t option;
-  flows : (int64, Fsm.Interp.t) Hashtbl.t;
+  default_inst : Fsm.Step.instance option;
+  flows : flow_table option;
 }
 
-let create ?(config = default_config) ?verify ?classify ?machine ?flow_key
-    ?respond ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) fmt =
+(* Event id handed to [Step.fire_id] for a classified event name the plan
+   does not know: out of range on the high side, so it is refused as
+   [Unknown_event] rather than mistaken for pass-through (negative). *)
+let unknown_event = max_int
+
+let create ?(config = default_config) ?verify ?classify ?classify_id ?machine
+    ?flow_key ?on_transition ?respond ?respond_patch ?respond_fmt
+    ?(on_response = fun _ -> ()) fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
-  let machine = Option.map Fsm.Interp.prepare machine in
+  if config.max_flows <= 0 then
+    invalid_arg "Pipeline.create: max_flows must be positive";
+  let plan = Option.map Fsm.Step.compile machine in
+  let classifier =
+    match (classify_id, classify, plan) with
+    | Some f, _, _ -> Some f
+    | None, Some f, Some plan ->
+      Some
+        (fun view ->
+          match f view with
+          | None -> -1
+          | Some name ->
+            let id = Fsm.Step.event_id plan name in
+            if id < 0 then unknown_event else id)
+    | None, _, _ -> None
+  in
+  let default_inst = Option.map Fsm.Step.instance plan in
   let respond_fmt = Option.value respond_fmt ~default:fmt in
   {
     cfg = config;
     fmt;
     verify;
-    classify;
-    machine;
+    classifier;
+    plan;
     flow_key;
+    on_transition;
     respond;
     respond_patch;
     respond_fmt;
@@ -86,30 +141,53 @@ let create ?(config = default_config) ?verify ?classify ?machine ?flow_key
     last_error = Array.make config.batch None;
     input = Ring.create ~capacity:config.ring_capacity;
     inbuf = Array.make config.batch "";
-    default_interp = Option.map Fsm.Interp.instantiate machine;
-    flows = Hashtbl.create 64;
+    default_inst;
+    flows =
+      (match (default_inst, flow_key) with
+      | Some inst, Some _ ->
+        let rec sentinel =
+          { f_key = Int64.min_int; f_inst = inst; f_prev = sentinel;
+            f_next = sentinel }
+        in
+        Some
+          { ft = Hashtbl.create 64; sentinel; max_flows = config.max_flows }
+      | _ -> None);
   }
 
 let stats t = t.stats
 let format t = t.fmt
-let flow_count t = Hashtbl.length t.flows
+let machine_plan t = t.plan
+let flow_count t = match t.flows with None -> 0 | Some tbl -> Hashtbl.length tbl.ft
 
-let interp_for t view =
-  match t.default_interp with
+let instance_for t view =
+  match t.default_inst with
   | None -> None
   | Some dflt -> (
-    match t.flow_key with
-    | None -> Some dflt
-    | Some key -> (
+    match (t.flow_key, t.flows) with
+    | Some key, Some tbl -> (
       match F.View.find_int view key with
       | None -> Some dflt
       | Some k -> (
-        match Hashtbl.find_opt t.flows k with
-        | Some i -> Some i
+        match Hashtbl.find_opt tbl.ft k with
+        | Some f ->
+          unlink f;
+          push_mru tbl.sentinel f;
+          Some f.f_inst
         | None ->
-          let i = Fsm.Interp.instantiate (Option.get t.machine) in
-          Hashtbl.add t.flows k i;
-          Some i)))
+          if Hashtbl.length tbl.ft >= tbl.max_flows then begin
+            let victim = tbl.sentinel.f_next in
+            unlink victim;
+            Hashtbl.remove tbl.ft victim.f_key;
+            Stats.note_evicted_flow t.stats
+          end;
+          let rec f =
+            { f_key = k; f_inst = Fsm.Step.instance (Option.get t.plan);
+              f_prev = f; f_next = f }
+          in
+          push_mru tbl.sentinel f;
+          Hashtbl.add tbl.ft k f;
+          Some f.f_inst))
+    | _ -> Some dflt)
 
 let ensure_reply t len =
   if Bytes.length t.reply_buf < len then
@@ -179,8 +257,11 @@ let process_batch t pkts n =
     done;
     Stats.record_batch stats st_verify ~packets:!packets ~bytes:!bytes
       ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())));
-  (* step: drive the per-flow machine with the classified event *)
-  (match (t.classify, t.default_interp) with
+  (* step: drive the per-flow compiled machine with the classified event id.
+     The accept path is ids and flat arrays end to end — no strings, no
+     allocation; label reconstruction happens only inside the opt-in
+     [on_transition] hook. *)
+  (match (t.classifier, t.default_inst) with
   | Some classify, Some _ ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
     let t0 = now () in
@@ -188,15 +269,23 @@ let process_batch t pkts n =
       if t.status.(i) = live then begin
         incr packets;
         bytes := !bytes + t.blen.(i);
-        match classify t.views.(i) with
-        | None -> () (* not addressed to the machine; passes through *)
-        | Some event -> (
-          let interp = Option.get (interp_for t t.views.(i)) in
-          match Fsm.Interp.fire interp event with
-          | Ok _ -> ()
-          | Error _ ->
+        let ev = classify t.views.(i) in
+        if ev >= 0 then begin
+          let inst = Option.get (instance_for t t.views.(i)) in
+          match Fsm.Step.fire_id inst ev with
+          | Fsm.Step.Fired -> (
+            match t.on_transition with
+            | None -> ()
+            | Some hook ->
+              (* slow path: recover the transition (and its label) from the
+                 plan's intern tables *)
+              let plan = Fsm.Step.plan_of inst in
+              hook (Fsm.Step.transition plan (Fsm.Step.last_transition inst)))
+          | Fsm.Step.Unknown_event | Fsm.Step.Unhandled
+          | Fsm.Step.Nondeterministic ->
             t.status.(i) <- rej_step;
-            incr rejects)
+            incr rejects
+        end
       end
     done;
     Stats.record_batch stats st_step ~packets:!packets ~bytes:!bytes
@@ -215,8 +304,8 @@ let process_batch t pkts n =
     for i = 0 to n - 1 do
       if t.status.(i) = live then begin
         let view = t.views.(i) in
-        let interp =
-          match interp_for t view with
+        let inst =
+          match instance_for t view with
           | Some i -> i
           | None -> invalid_arg "Pipeline: a responder requires ~machine"
         in
@@ -232,7 +321,7 @@ let process_batch t pkts n =
           match t.respond_patch with
           | None -> false
           | Some respond_patch -> (
-            match respond_patch view interp with
+            match respond_patch view inst with
             | None -> false
             | Some mutations ->
               incr packets;
@@ -257,7 +346,7 @@ let process_batch t pkts n =
           match t.respond with
           | None -> ()
           | Some respond -> (
-            match respond view interp with
+            match respond view inst with
             | None -> ()
             | Some value -> (
               incr packets;

@@ -1,12 +1,20 @@
 (** The batched packet pipeline: decode → verify → FSM-step → encode.
 
     One pipeline = one format, an optional semantic predicate, an optional
-    protocol machine (instantiated per flow), and an optional responder.
-    Packets move through the stages in batches over a pool of reusable
-    zero-copy {!Netdsl_format.View} slots — the decode stage validates
-    everything the allocating codec would, later stages only ever see
-    packets that survived it, and {!Stats} counts packets/bytes/rejects
-    and latency per stage.
+    protocol machine (compiled once to a {!Netdsl_fsm.Step} plan and
+    instantiated per flow), and an optional responder.  Packets move
+    through the stages in batches over a pool of reusable zero-copy
+    {!Netdsl_format.View} slots — the decode stage validates everything
+    the allocating codec would, later stages only ever see packets that
+    survived it, and {!Stats} counts packets/bytes/rejects and latency
+    per stage.
+
+    The step stage runs entirely on integers: the classifier maps a view
+    to an interned event id, the flow table stores flat
+    {!Netdsl_fsm.Step.instance} records, and
+    {!Netdsl_fsm.Step.fire_id} allocates nothing on the accept path.
+    Names and labels reappear only on opt-in slow paths ([on_transition],
+    error reporting).
 
     Two driving modes:
     - synchronous: {!process} / {!process_batch} on the caller's domain
@@ -18,17 +26,21 @@
 type config = {
   batch : int;  (** batch size, and the number of pooled view slots *)
   ring_capacity : int;  (** input ring bound — the backpressure depth *)
+  max_flows : int;
+      (** per-pipeline bound on live flow instances; when a new flow
+          arrives at the bound, the oldest-idle one is evicted (counted in
+          {!Stats.evicted_flows}) *)
 }
 
 val default_config : config
-(** [{ batch = 64; ring_capacity = 1024 }] *)
+(** [{ batch = 64; ring_capacity = 1024; max_flows = 65536 }] *)
 
 type outcome =
   | Accepted
   | Rejected_decode of Netdsl_format.Codec.error
       (** failed syntactic/semantic validation (view decode) *)
   | Rejected_verify  (** failed the caller's predicate *)
-  | Rejected_step  (** the machine had no enabled transition *)
+  | Rejected_step  (** the machine refused the event *)
   | Rejected_encode  (** the responder produced an unencodable value *)
 
 type t
@@ -37,26 +49,44 @@ val create :
   ?config:config ->
   ?verify:(Netdsl_format.View.t -> bool) ->
   ?classify:(Netdsl_format.View.t -> string option) ->
+  ?classify_id:(Netdsl_format.View.t -> int) ->
   ?machine:Netdsl_fsm.Machine.t ->
   ?flow_key:string ->
-  ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?on_transition:(Netdsl_fsm.Machine.transition -> unit) ->
+  ?respond:
+    (Netdsl_format.View.t -> Netdsl_fsm.Step.instance -> Netdsl_format.Value.t option) ->
   ?respond_patch:
-    (Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> (string * int64) list option) ->
+    (Netdsl_format.View.t ->
+    Netdsl_fsm.Step.instance ->
+    (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
   Netdsl_format.Desc.t ->
   t
 (** [create fmt] builds a pipeline for [fmt].
 
-    - [classify] maps a validated view to a machine event ([None]: the
-      packet does not concern the machine and passes through).
-    - [machine] is validated once and instantiated per flow; [flow_key]
-      names the field whose value identifies a flow (without it, one
-      machine instance serves all packets).
-    - [respond] builds a reply value from the view and the flow's machine;
-      it is encoded against [respond_fmt] (default: [fmt]) by a compiled
-      {!Netdsl_format.Emit} plan into a reusable buffer and handed to
-      [on_response].
+    - [classify_id] is the hot-path classifier: map a validated view
+      straight to an interned event id of the compiled machine (resolve
+      names once at setup with {!Netdsl_fsm.Step.event_id} on
+      {!machine_plan}); any negative value means the packet does not
+      concern the machine and passes through.  An id the plan does not
+      know rejects the packet at the step stage.
+    - [classify] is the name-returning convenience ([None]: pass
+      through); it is translated to the id path at create time.  When
+      both are given, [classify_id] wins.
+    - [machine] is validated and compiled once ({!Netdsl_fsm.Step.compile})
+      and instantiated per flow; [flow_key] names the field whose value
+      identifies a flow (without it, one instance serves all packets).
+      At most [config.max_flows] instances are live; beyond that the
+      oldest-idle flow is evicted.
+    - [on_transition] is an opt-in trace hook called after every fired
+      transition with the source {!Netdsl_fsm.Machine.transition}
+      (reconstructed from the plan's intern tables — the slow path; leave
+      it unset to keep the step stage allocation-free).
+    - [respond] builds a reply value from the view and the flow's machine
+      instance; it is encoded against [respond_fmt] (default: [fmt]) by a
+      compiled {!Netdsl_format.Emit} plan into a reusable buffer and
+      handed to [on_response].
     - [respond_patch] is the fast path, consulted before [respond]: return
       [Some mutations] to answer with a copy of the request whose named
       scalar fields are rewritten in place ({!Netdsl_format.Emit.patch} —
@@ -88,5 +118,10 @@ val stage_names : string list
 
 val format : t -> Netdsl_format.Desc.t
 
+val machine_plan : t -> Netdsl_fsm.Step.plan option
+(** The compiled plan of the pipeline's machine, for resolving event ids
+    at setup time ([classify_id]) or reconstructing labels. *)
+
 val flow_count : t -> int
-(** Number of per-flow machine instances created so far. *)
+(** Number of per-flow machine instances currently live (bounded by
+    [config.max_flows]). *)

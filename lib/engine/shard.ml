@@ -22,8 +22,9 @@ let worker_of_key t k =
   let h = k * 0x2545F4914F6CDD1D in
   (h lsr 33) mod Array.length t.pipes
 
-let create ?(config = default_config) ~key ?verify ?classify ?machine ?flow_key
-    ?respond ?respond_patch ?respond_fmt ?on_response fmt =
+let create ?(config = default_config) ~key ?verify ?classify ?classify_id
+    ?machine ?flow_key ?on_transition ?respond ?respond_patch ?respond_fmt
+    ?on_response fmt =
   if config.workers <= 0 then Error "Shard.create: workers must be positive"
   else
     match F.View.key_extractor fmt key with
@@ -31,8 +32,9 @@ let create ?(config = default_config) ~key ?verify ?classify ?machine ?flow_key
     | Ok ke ->
       let pipes =
         Array.init config.workers (fun _ ->
-            Pipeline.create ~config:config.pipeline ?verify ?classify ?machine
-              ?flow_key ?respond ?respond_patch ?respond_fmt ?on_response fmt)
+            Pipeline.create ~config:config.pipeline ?verify ?classify
+              ?classify_id ?machine ?flow_key ?on_transition ?respond
+              ?respond_patch ?respond_fmt ?on_response fmt)
       in
       Ok { cfg = config; key = ke; pipes; domains = [||]; running = false; unkeyed = 0 }
 

@@ -23,11 +23,16 @@ val create :
   key:string ->
   ?verify:(Netdsl_format.View.t -> bool) ->
   ?classify:(Netdsl_format.View.t -> string option) ->
+  ?classify_id:(Netdsl_format.View.t -> int) ->
   ?machine:Netdsl_fsm.Machine.t ->
   ?flow_key:string ->
-  ?respond:(Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> Netdsl_format.Value.t option) ->
+  ?on_transition:(Netdsl_fsm.Machine.transition -> unit) ->
+  ?respond:
+    (Netdsl_format.View.t -> Netdsl_fsm.Step.instance -> Netdsl_format.Value.t option) ->
   ?respond_patch:
-    (Netdsl_format.View.t -> Netdsl_fsm.Interp.t -> (string * int64) list option) ->
+    (Netdsl_format.View.t ->
+    Netdsl_fsm.Step.instance ->
+    (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
   Netdsl_format.Desc.t ->

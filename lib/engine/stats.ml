@@ -15,7 +15,7 @@ type stage = {
   hist : int array; (* hist.(i): per-packet latencies in [2^i, 2^i+1) ns *)
 }
 
-type t = { stages : stage array }
+type t = { stages : stage array; mutable evicted_flows : int }
 
 let create names =
   if names = [] then invalid_arg "Stats.create: no stages";
@@ -27,7 +27,11 @@ let create names =
              { s_name; packets = 0; bytes = 0; rejects = 0; lat_ns = 0;
                hist = Array.make buckets 0 })
            names);
+    evicted_flows = 0;
   }
+
+let note_evicted_flow t = t.evicted_flows <- t.evicted_flows + 1
+let evicted_flows t = t.evicted_flows
 
 let stage_names t = Array.to_list (Array.map (fun s -> s.s_name) t.stages)
 
@@ -83,6 +87,7 @@ let record_batch t i ~packets ~bytes ~rejects ~elapsed_ns =
 let merge_into ~into src =
   if Array.length into.stages <> Array.length src.stages then
     invalid_arg "Stats.merge_into: stage mismatch";
+  into.evicted_flows <- into.evicted_flows + src.evicted_flows;
   Array.iteri
     (fun i (s : stage) ->
       let d = into.stages.(i) in
@@ -139,7 +144,9 @@ let pp ppf t =
         s.bytes s.rejects (ns_str mean)
         (ns_str (percentile_ns s 0.50))
         (ns_str (percentile_ns s 0.99)))
-    t.stages
+    t.stages;
+  if t.evicted_flows > 0 then
+    Format.fprintf ppf "evicted flows: %d@." t.evicted_flows
 
 let to_text t = Format.asprintf "%a" pp t
 

@@ -28,8 +28,15 @@ val record_batch :
 (** Batched variant: counters are bumped in bulk and the histogram gets the
     per-packet mean of the batch. *)
 
+val note_evicted_flow : t -> unit
+(** Counts one flow-table entry discarded to make room (see
+    [Pipeline.config.max_flows]). *)
+
+val evicted_flows : t -> int
+
 val merge_into : into:t -> t -> unit
-(** Adds [src] into [into] (same stage layout required). *)
+(** Adds [src] into [into] (same stage layout required; eviction counters
+    are summed too). *)
 
 val copy : t -> t
 

@@ -1,0 +1,145 @@
+module M = Netdsl_fsm.Machine
+
+let t = M.trans
+let pow2 bits = 1 lsl bits
+
+let stop_and_wait ?(max_attempts = 3) () =
+  M.machine ~name:"saw_sender"
+    ~states:[ "idle"; "awaiting_ack"; "failed"; "closed" ]
+    ~events:[ "send"; "ack0"; "ack1"; "timeout"; "close" ]
+    ~registers:
+      [ M.reg "alt" ~domain:2; M.reg "attempts" ~domain:(max_attempts + 1) ]
+    ~initial:"idle" ~accepting:[ "idle"; "closed" ]
+    ~ignores:
+      [
+        ("idle", "timeout");
+        ("awaiting_ack", "send"); ("awaiting_ack", "close");
+        ("failed", "send"); ("failed", "ack0"); ("failed", "ack1");
+        ("failed", "timeout");
+        ("closed", "send"); ("closed", "ack0"); ("closed", "ack1");
+        ("closed", "timeout"); ("closed", "close");
+      ]
+    [
+      t ~label:"saw_send" ~src:"idle" ~event:"send" ~dst:"awaiting_ack"
+        ~actions:[ M.Assign ("attempts", M.Int 0) ]
+        ();
+      (* The matching acknowledgement flips the alternating bit; the stale
+         one is consumed in place.  Each ack event carries two
+         complementary guards on the same (state, event) slot. *)
+      t ~label:"saw_acked0" ~src:"awaiting_ack" ~event:"ack0" ~dst:"idle"
+        ~guard:(M.Eq (M.Reg "alt", M.Int 0))
+        ~actions:[ M.Assign ("alt", M.Add (M.Reg "alt", M.Int 1)) ]
+        ();
+      t ~label:"saw_stale0" ~src:"awaiting_ack" ~event:"ack0"
+        ~dst:"awaiting_ack"
+        ~guard:(M.Eq (M.Reg "alt", M.Int 1))
+        ();
+      t ~label:"saw_acked1" ~src:"awaiting_ack" ~event:"ack1" ~dst:"idle"
+        ~guard:(M.Eq (M.Reg "alt", M.Int 1))
+        ~actions:[ M.Assign ("alt", M.Add (M.Reg "alt", M.Int 1)) ]
+        ();
+      t ~label:"saw_stale1" ~src:"awaiting_ack" ~event:"ack1"
+        ~dst:"awaiting_ack"
+        ~guard:(M.Eq (M.Reg "alt", M.Int 0))
+        ();
+      t ~label:"saw_retransmit" ~src:"awaiting_ack" ~event:"timeout"
+        ~dst:"awaiting_ack"
+        ~guard:(M.Lt (M.Reg "attempts", M.Int max_attempts))
+        ~actions:[ M.Assign ("attempts", M.Add (M.Reg "attempts", M.Int 1)) ]
+        ();
+      t ~label:"saw_give_up" ~src:"awaiting_ack" ~event:"timeout" ~dst:"failed"
+        ~guard:(M.Not (M.Lt (M.Reg "attempts", M.Int max_attempts)))
+        ();
+      (* Late acknowledgements after the round closed are absorbed. *)
+      t ~label:"saw_late0" ~src:"idle" ~event:"ack0" ~dst:"idle" ();
+      t ~label:"saw_late1" ~src:"idle" ~event:"ack1" ~dst:"idle" ();
+      t ~label:"saw_close" ~src:"idle" ~event:"close" ~dst:"closed" ();
+    ]
+
+let go_back_n ?(seq_bits = 3) ?(window = 4) () =
+  let d = pow2 seq_bits in
+  let occupancy = M.Mod (M.Sub (M.Reg "next", M.Reg "base"), M.Int d) in
+  M.machine ~name:"gbn_sender"
+    ~states:[ "open"; "done" ]
+    ~events:[ "send"; "ack"; "timeout"; "finish" ]
+    ~registers:[ M.reg "base" ~domain:d; M.reg "next" ~domain:d ]
+    ~initial:"open" ~accepting:[ "done" ]
+    ~ignores:
+      [
+        ("done", "send"); ("done", "ack"); ("done", "timeout");
+        ("done", "finish");
+      ]
+    [
+      (* Window occupancy is (next - base) mod 2^bits, so the guard rides
+         the wrap-around; a send with the window full is unhandled. *)
+      t ~label:"gbn_send" ~src:"open" ~event:"send" ~dst:"open"
+        ~guard:(M.Lt (occupancy, M.Int window))
+        ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
+        ();
+      t ~label:"gbn_ack" ~src:"open" ~event:"ack" ~dst:"open"
+        ~guard:(M.Ne (M.Reg "base", M.Reg "next"))
+        ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+        ();
+      (* The go-back: every unacknowledged frame is retransmitted, so the
+         send counter rewinds to the window base. *)
+      t ~label:"gbn_timeout" ~src:"open" ~event:"timeout" ~dst:"open"
+        ~guard:(M.Ne (M.Reg "base", M.Reg "next"))
+        ~actions:[ M.Assign ("next", M.Reg "base") ]
+        ();
+      t ~label:"gbn_finish" ~src:"open" ~event:"finish" ~dst:"done"
+        ~guard:(M.Eq (M.Reg "base", M.Reg "next"))
+        ();
+    ]
+
+let selective_repeat ?(seq_bits = 3) ?(window = 4) () =
+  let d = pow2 seq_bits in
+  let occupancy = M.Mod (M.Sub (M.Reg "next", M.Reg "base"), M.Int d) in
+  let nothing_lost = M.Eq (M.Reg "lost", M.Int 0) in
+  M.machine ~name:"sr_sender"
+    ~states:[ "open"; "done" ]
+    ~events:[ "send"; "ack"; "nak"; "resend"; "finish" ]
+    ~registers:
+      [ M.reg "base" ~domain:d; M.reg "next" ~domain:d; M.reg "lost" ~domain:2 ]
+    ~initial:"open" ~accepting:[ "done" ]
+    ~ignores:
+      [
+        ("done", "send"); ("done", "ack"); ("done", "nak");
+        ("done", "resend"); ("done", "finish");
+      ]
+    [
+      t ~label:"sr_send" ~src:"open" ~event:"send" ~dst:"open"
+        ~guard:(M.And (M.Lt (occupancy, M.Int window), nothing_lost))
+        ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
+        ();
+      t ~label:"sr_ack" ~src:"open" ~event:"ack" ~dst:"open"
+        ~guard:(M.And (M.Ne (M.Reg "base", M.Reg "next"), nothing_lost))
+        ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+        ();
+      t ~label:"sr_nak" ~src:"open" ~event:"nak" ~dst:"open"
+        ~guard:(M.And (M.Ne (M.Reg "base", M.Reg "next"), nothing_lost))
+        ~actions:[ M.Assign ("lost", M.Int 1) ]
+        ();
+      (* Unlike go-back-N, only the one reported frame is retransmitted:
+         base and next are untouched. *)
+      t ~label:"sr_resend" ~src:"open" ~event:"resend" ~dst:"open"
+        ~guard:(M.Eq (M.Reg "lost", M.Int 1))
+        ~actions:[ M.Assign ("lost", M.Int 0) ]
+        ();
+      t ~label:"sr_finish" ~src:"open" ~event:"finish" ~dst:"done"
+        ~guard:(M.And (M.Eq (M.Reg "base", M.Reg "next"), nothing_lost))
+        ();
+    ]
+
+let all =
+  [
+    ("abp_sender", Abp.sender);
+    ("abp_data_channel", Abp.data_channel);
+    ("abp_ack_channel", Abp.ack_channel);
+    ("abp_receiver", Abp.receiver);
+    ("abp_buggy_receiver", Abp.buggy_receiver);
+    ("arq_sender", Arq_fsm.sender ~seq_bits:3);
+    ("arq_receiver", Arq_fsm.receiver ~seq_bits:3);
+    ("stop_and_wait", stop_and_wait ());
+    ("go_back_n", go_back_n ());
+    ("selective_repeat", selective_repeat ());
+  ]

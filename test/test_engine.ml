@@ -152,7 +152,11 @@ let pipeline_batch_matches_singles () =
   in
   let p1 = Pipeline.create Fm.Arq.format in
   Array.iter (fun pkt -> ignore (Pipeline.process p1 pkt)) pkts;
-  let p2 = Pipeline.create ~config:{ Pipeline.batch = 64; ring_capacity = 64 } Fm.Arq.format in
+  let p2 =
+    Pipeline.create
+      ~config:{ Pipeline.default_config with batch = 64; ring_capacity = 64 }
+      Fm.Arq.format
+  in
   let i = ref 0 in
   while !i < n do
     let take = min 64 (n - !i) in
@@ -245,6 +249,61 @@ let pipeline_patch_responder () =
   check_bool "derived field rejected at encode" true
     (Pipeline.process p2 (arq_data ~seq:1 "x") = Rejected_encode)
 
+let pipeline_flow_eviction () =
+  (* max_flows bounds the table and eviction is oldest-idle: with room for
+     3 flows, touching flow 0 must protect it from the next eviction. *)
+  let machine = Netdsl_proto.Arq_fsm.receiver ~seq_bits:8 in
+  let p =
+    Pipeline.create
+      ~config:{ Pipeline.default_config with max_flows = 3 }
+      ~classify:(fun _ -> Some "ok")
+      ~machine ~flow_key:"seq" Fm.Arq.format
+  in
+  let step seq =
+    check_bool "stepped" true (Pipeline.process p (arq_data ~seq "d") = Accepted)
+  in
+  step 0; step 1; step 2;
+  check_int "table full" 3 (Pipeline.flow_count p);
+  check_int "nothing evicted yet" 0 (Stats.evicted_flows (Pipeline.stats p));
+  step 0; (* touch: flow 0 becomes most recent, flow 1 the oldest idle *)
+  step 3; (* must evict flow 1, not flow 0 *)
+  check_int "still bounded" 3 (Pipeline.flow_count p);
+  check_int "one eviction" 1 (Stats.evicted_flows (Pipeline.stats p));
+  step 0; (* if LRU ignored the touch, flow 0 would be gone and this would
+             mint a new instance, evicting again *)
+  check_int "touched flow survived" 1 (Stats.evicted_flows (Pipeline.stats p))
+
+let pipeline_classify_id_fast_path () =
+  (* The id-returning classifier: negative = pass-through, a valid id
+     fires, and the opt-in hook sees the reconstructed transition. *)
+  let machine = Netdsl_proto.Arq_fsm.receiver ~seq_bits:8 in
+  let labels = ref [] in
+  let ok_id = ref (-1) in
+  let p =
+    Pipeline.create
+      ~classify_id:(fun v ->
+        if Netdsl_format.View.get_int v "kind" = 0L then !ok_id else -1)
+      ~machine ~flow_key:"seq"
+      ~on_transition:(fun tr -> labels := tr.Netdsl_fsm.Machine.t_label :: !labels)
+      Fm.Arq.format
+  in
+  let plan = Option.get (Pipeline.machine_plan p) in
+  ok_id := Netdsl_fsm.Step.event_id plan "ok";
+  check_bool "resolved" true (!ok_id >= 0);
+  check_bool "data fires" true (Pipeline.process p (arq_data ~seq:1 "x") = Accepted);
+  check_bool "ack passes through" true
+    (Pipeline.process p (Fm.Arq.to_bytes (Fm.Arq.Ack { seq = 1 })) = Accepted);
+  check_int "one flow (ack passed through)" 1 (Pipeline.flow_count p);
+  check_bool "hook saw RECV" true (!labels = [ "RECV" ]);
+  (* an id the plan does not know is refused at the step stage *)
+  let p2 =
+    Pipeline.create
+      ~classify_id:(fun _ -> 99)
+      ~machine Fm.Arq.format
+  in
+  check_bool "unknown id rejected" true
+    (Pipeline.process p2 (arq_data ~seq:1 "x") = Rejected_step)
+
 (* ------------------------------------------------------------------ *)
 (* Shard *)
 
@@ -303,7 +362,10 @@ let suite =
         Alcotest.test_case "batch = singles" `Quick pipeline_batch_matches_singles;
         Alcotest.test_case "ring-driven run" `Quick pipeline_ring_driven;
         Alcotest.test_case "responder" `Quick pipeline_responder;
-        Alcotest.test_case "patch responder" `Quick pipeline_patch_responder ] );
+        Alcotest.test_case "patch responder" `Quick pipeline_patch_responder;
+        Alcotest.test_case "flow eviction" `Quick pipeline_flow_eviction;
+        Alcotest.test_case "classify_id fast path" `Quick
+          pipeline_classify_id_fast_path ] );
     ( "engine.shard",
       [ Alcotest.test_case "shards cover all packets" `Quick
           shard_all_packets_one_worker_per_flow;

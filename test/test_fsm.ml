@@ -740,3 +740,197 @@ let random_suite =
     ] )
 
 let suite = suite @ [ random_suite ]
+
+(* ------------------------------------------------------------------ *)
+(* Step ≡ Interp: the compiled plan must agree with the interpreter on
+   every shipped machine, over mined and PRNG traces, on accepts and on
+   every refusal — same verdicts, same labels, same configurations. *)
+
+let sorted_regs (c : M.config) = List.sort compare c.M.regs
+
+let configs_agree inst interp =
+  let sc = Step.config inst and ic = Interp.config interp in
+  String.equal sc.M.state ic.M.state && sorted_regs sc = sorted_regs ic
+
+(* One lock-step event; [Error msg] pinpoints the first disagreement. *)
+let lockstep_event inst interp name =
+  let expected_labels = Step.enabled_labels inst name in
+  let sv = Step.fire inst name in
+  let iv = Interp.fire interp name in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let verdicts_agree =
+    match (sv, iv) with
+    | Step.Fired, Ok tr ->
+      let taken = Step.transition (Step.plan_of inst) (Step.last_transition inst) in
+      if String.equal tr.M.t_label taken.M.t_label then Ok ()
+      else
+        fail "labels differ on %S: interp %s, step %s" name tr.M.t_label
+          taken.M.t_label
+    | Step.Unknown_event, Error (Interp.Unknown_event e) when String.equal e name ->
+      Ok ()
+    | Step.Unhandled, Error (Interp.Unhandled { state; event })
+      when String.equal event name && String.equal state (Step.state_name_of inst)
+      ->
+      Ok ()
+    | Step.Nondeterministic, Error (Interp.Nondeterministic { event; labels })
+      when String.equal event name ->
+      if labels = expected_labels then Ok ()
+      else
+        fail "nondet labels differ on %S: interp [%s], step [%s]" name
+          (String.concat "," labels)
+          (String.concat "," expected_labels)
+    | _ ->
+      fail "verdicts differ on %S: step says %S, interp says %s" name
+        (Step.describe inst name sv)
+        (match iv with
+        | Ok tr -> Printf.sprintf "fired %s" tr.M.t_label
+        | Error e -> Format.asprintf "%a" Interp.pp_error e)
+  in
+  match verdicts_agree with
+  | Error _ as e -> e
+  | Ok () ->
+    if configs_agree inst interp then Ok ()
+    else fail "configurations differ after %S" name
+
+let run_lockstep (m : M.t) trace =
+  let inst = Step.instance (Step.compile m) in
+  let interp = Interp.create m in
+  List.iter
+    (fun ev ->
+      match lockstep_event inst interp ev with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" m.M.machine_name msg)
+    trace
+
+let step_matches_interp_on_mined_tours () =
+  (* Testgen-mined traces: every transition of every (deterministic)
+     shipped machine is exercised at least once. *)
+  List.iter
+    (fun (_, m) ->
+      match Testgen.transition_tour m with
+      | tour -> List.iter (run_lockstep m) tour
+      | exception Invalid_argument _ -> () (* nondeterministic: PRNG path *))
+    P.Machines.all
+
+let step_refusal_verdicts () =
+  (* A machine with real nondeterminism and a real gap: both refusals must
+     match the interpreter exactly, leave the configuration in place, and
+     [describe] must render the interpreter's wording. *)
+  let nd =
+    M.machine ~name:"nd" ~states:[ "s"; "t" ] ~events:[ "e"; "f" ] ~initial:"s"
+      [
+        M.trans ~label:"one" ~src:"s" ~event:"e" ~dst:"t" ();
+        M.trans ~label:"two" ~src:"s" ~event:"e" ~dst:"s" ();
+      ]
+  in
+  let inst = Step.instance (Step.compile nd) in
+  let interp = Interp.create nd in
+  List.iter
+    (fun ev ->
+      (match lockstep_event inst interp ev with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "nd: %s" msg);
+      check_str "state untouched" "s" (Step.state_name_of inst))
+    [ "e" (* nondeterministic *); "f" (* unhandled *); "warp" (* unknown *) ];
+  (* describe matches pp_error word for word *)
+  check_str "nondet wording"
+    (Format.asprintf "%a" Interp.pp_error
+       (Interp.Nondeterministic { event = "e"; labels = [ "one"; "two" ] }))
+    (Step.describe inst "e" Step.Nondeterministic);
+  check_str "unhandled wording"
+    (Format.asprintf "%a" Interp.pp_error
+       (Interp.Unhandled { state = "s"; event = "f" }))
+    (Step.describe inst "f" Step.Unhandled);
+  check_str "unknown wording"
+    (Format.asprintf "%a" Interp.pp_error (Interp.Unknown_event "warp"))
+    (Step.describe inst "warp" Step.Unknown_event)
+
+let step_register_wraparound () =
+  (* Assignments that go negative and overflow must wrap exactly like
+     [Machine.apply]: ((v mod d) + d) mod d. *)
+  let m =
+    M.machine ~name:"wrap" ~states:[ "s" ] ~events:[ "dec"; "inc" ]
+      ~registers:[ M.reg "x" ~domain:5 ]
+      ~initial:"s"
+      [
+        M.trans ~label:"dec" ~src:"s" ~event:"dec" ~dst:"s"
+          ~actions:[ M.Assign ("x", M.Sub (M.Reg "x", M.Int 3)) ]
+          ();
+        M.trans ~label:"inc" ~src:"s" ~event:"inc" ~dst:"s"
+          ~actions:[ M.Assign ("x", M.Add (M.Reg "x", M.Int 4)) ]
+          ();
+      ]
+  in
+  let inst = Step.instance (Step.compile m) in
+  let interp = Interp.create m in
+  List.iter
+    (fun ev ->
+      match lockstep_event inst interp ev with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "wrap: %s" msg)
+    [ "dec"; "dec"; "inc"; "inc"; "dec"; "inc"; "dec"; "dec" ];
+  (* spot-check the first wrap: 0 - 3 wraps to 2 in domain 5 *)
+  let i2 = Step.instance (Step.plan_of inst) in
+  check_bool "fresh dec fires" true (Step.fire i2 "dec" = Step.Fired);
+  check_int "0 - 3 wraps to 2" 2 (Step.register_by_name i2 "x")
+
+let step_instance_independence () =
+  (* Instances of one plan are independent; reset restores the initial
+     configuration and clears last_transition. *)
+  let plan = Step.compile (counter 3) in
+  let a = Step.instance plan and b = Step.instance plan in
+  check_bool "a inc" true (Step.fire a "inc" = Step.Fired);
+  check_bool "a inc" true (Step.fire a "inc" = Step.Fired);
+  check_int "a advanced" 2 (Step.register_by_name a "n");
+  check_int "b untouched" 0 (Step.register_by_name b "n");
+  check_bool "ids roundtrip" true
+    (Step.event_name plan (Step.event_id plan "inc") = "inc");
+  check_int "unknown name is -1" (-1) (Step.event_id plan "nope");
+  Step.reset a;
+  check_int "reset regs" 0 (Step.register_by_name a "n");
+  check_int "reset last" (-1) (Step.last_transition a);
+  check_str "reset state" "counting" (Step.state_name_of a)
+
+let prng_trace_agrees rng (m : M.t) =
+  let events = Array.of_list ("__not_an_event__" :: m.M.events) in
+  let inst = Step.instance (Step.compile m) in
+  let interp = Interp.create m in
+  let steps = 1 + Netdsl_util.Prng.int rng 120 in
+  let rec go k =
+    if k = 0 then true
+    else
+      let ev = events.(Netdsl_util.Prng.int rng (Array.length events)) in
+      match lockstep_event inst interp ev with
+      | Ok () -> go (k - 1)
+      | Error msg -> QCheck.Test.fail_report (m.M.machine_name ^ ": " ^ msg)
+  in
+  go steps
+
+let prop_step_equiv_interp_shipped =
+  QCheck.Test.make
+    ~name:"fsm: Step ≡ Interp on every shipped machine (PRNG traces)"
+    ~count:400 QCheck.int64 (fun seed ->
+      let rng = Netdsl_util.Prng.create seed in
+      let _, m = Netdsl_util.Prng.pick_list rng P.Machines.all in
+      prng_trace_agrees rng m)
+
+let prop_step_equiv_interp_random =
+  (* Random machines are frequently nondeterministic and full of gaps, so
+     this hammers the refusal paths far harder than the shipped set. *)
+  QCheck.Test.make ~name:"fsm: Step ≡ Interp on random machines" ~count:300
+    QCheck.int64 (fun seed ->
+      let rng = Netdsl_util.Prng.create seed in
+      prng_trace_agrees rng (random_machine rng))
+
+let step_suite =
+  ( "fsm.step",
+    [
+      Alcotest.test_case "mined tours agree" `Quick step_matches_interp_on_mined_tours;
+      Alcotest.test_case "refusal verdicts agree" `Quick step_refusal_verdicts;
+      Alcotest.test_case "register wraparound" `Quick step_register_wraparound;
+      Alcotest.test_case "instances independent" `Quick step_instance_independence;
+      QCheck_alcotest.to_alcotest prop_step_equiv_interp_shipped;
+      QCheck_alcotest.to_alcotest prop_step_equiv_interp_random;
+    ] )
+
+let suite = suite @ [ step_suite ]
