@@ -48,9 +48,6 @@ let machine_opt =
 let seed_opt =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
-let count_opt =
-  Arg.(value & opt int 5 & info [ "count"; "n" ] ~docv:"N" ~doc:"How many items to produce.")
-
 let pick_format program = function
   | Some name -> find_format program name
   | None -> (
@@ -117,24 +114,77 @@ let dot_cmd =
     Term.(const run $ file_arg $ machine_opt)
 
 let fuzz_cmd =
-  let run file format seed count =
+  (* Differential fuzzing: every format in the file is hammered with
+     structure-aware wire mutants and every compiled fast path (View,
+     Emit, the engine Pipeline) must agree with the interpreted Codec;
+     every machine is driven with adversarial event traces and the
+     compiled Step plan must stay in lock-step with Interp.  Exit 1 with a
+     deterministic, committable repro on the first disagreement. *)
+  let iters_opt =
+    Arg.(value & opt int 10_000 & info [ "iters"; "n" ] ~docv:"K"
+           ~doc:"Mutants per format and traces per machine.")
+  in
+  let plant_bug_flag =
+    Arg.(value & flag & info [ "plant-bug" ]
+           ~doc:"Self-test: plant a known defect (an inverted view accept \
+                 verdict) and prove the harness catches and shrinks it.")
+  in
+  let repro_dir_opt =
+    Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR"
+           ~doc:"Also save any repro dump as a file under DIR (for CI artifacts).")
+  in
+  let run file format machine seed iters plant_bug repro_dir =
     let program = load file in
-    let fmt = pick_format program format in
-    let rng = Netdsl.Prng.of_int seed in
-    for i = 1 to count do
-      match Netdsl.Gen.generate_opt rng fmt with
-      | None ->
-        prerr_endline "this format cannot be generated automatically";
-        exit 1
-      | Some v ->
-        let bytes = Netdsl.Codec.encode_exn fmt v in
-        Format.printf "-- packet %d (%d bytes)@.%s" i (String.length bytes)
-          (Netdsl.Hexdump.to_string bytes)
-    done
+    let module Check = Netdsl.Check in
+    let formats =
+      match format with
+      | Some name -> [ (name, find_format program name) ]
+      | None -> program.P.formats
+    in
+    let machines =
+      match machine with
+      | Some name -> [ (name, find_machine program name) ]
+      | None -> program.P.machines
+    in
+    let bug = if plant_bug then Check.Oracle.Invert_view_accept else Check.Oracle.No_bug in
+    let fail report =
+      print_string (Check.Report.to_string report);
+      flush stdout;
+      (match repro_dir with
+      | None -> ()
+      | Some dir ->
+        let path = Check.Report.save ~dir report in
+        Format.eprintf "repro saved to %s@." path);
+      Format.eprintf "netdsl: fuzzing found a disagreement@.";
+      exit 1
+    in
+    List.iter
+      (fun (name, fmt) ->
+        match Check.Fuzz.run_format ~bug ~seed ~iters fmt with
+        | Error report -> fail report
+        | Ok stats ->
+          Format.printf "format %s: %d mutants (%d accepted, %d rejected) — all paths agree@."
+            name stats.Check.Fuzz.ws_mutants stats.Check.Fuzz.ws_accepted
+            stats.Check.Fuzz.ws_rejected)
+      formats;
+    List.iter
+      (fun (name, m) ->
+        match Check.Fuzz.run_machine ~seed ~iters (name, m) with
+        | Error report -> fail report
+        | Ok stats ->
+          Format.printf
+            "machine %s: %d traces, %d events (%d fired, %d refused) — step = interp@."
+            name stats.Check.Trace_fuzz.traces stats.Check.Trace_fuzz.events
+            stats.Check.Trace_fuzz.fired stats.Check.Trace_fuzz.refused)
+      machines;
+    Format.printf "fuzzed %d format(s), %d machine(s): no disagreements@."
+      (List.length formats) (List.length machines)
   in
   Cmd.v
-    (Cmd.info "fuzz" ~doc:"Generate random valid packets from a format description.")
-    Term.(const run $ file_arg $ format_opt $ seed_opt $ count_opt)
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz a specification: structure-aware wire mutants through View/Codec/Emit/Pipeline, adversarial event traces through Step/Interp; exit 1 with a minimised repro on any disagreement.")
+    Term.(const run $ file_arg $ format_opt $ machine_opt $ seed_opt $ iters_opt
+          $ plant_bug_flag $ repro_dir_opt)
 
 let tests_cmd =
   let run file machine =

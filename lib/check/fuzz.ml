@@ -1,0 +1,102 @@
+module Prng = Netdsl_util.Prng
+module Desc = Netdsl_format.Desc
+
+type wire_stats = {
+  ws_format : string;
+  ws_mutants : int;
+  ws_accepted : int;
+  ws_rejected : int;
+}
+
+(* Shrinking judges every candidate with a fresh oracle: the oracle's
+   stats-consistency model is stateful, and a candidate must stand on its
+   own to be a valid repro. *)
+let disagrees ?bug fmt s =
+  match Oracle.check (Oracle.create ?bug fmt) s with
+  | Ok () -> false
+  | Error _ -> true
+
+let shrink_budget = 600
+
+let minimise ?bug fmt ~seed_packet ~ops =
+  let holds = disagrees ?bug fmt in
+  let initial = Mutate.apply ops seed_packet in
+  (* A finding that only reproduces against the long-lived oracle (e.g. a
+     counter drifted) cannot be shrunk input-wise; report it as found. *)
+  if not (holds initial) then (ops, initial)
+  else
+    let ops =
+      Shrink.list ~max_tests:shrink_budget
+        (fun ops -> holds (Mutate.apply ops seed_packet))
+        ops
+    in
+    let bytes =
+      Shrink.bytes ~max_tests:shrink_budget holds (Mutate.apply ops seed_packet)
+    in
+    (ops, bytes)
+
+let report ?bug fmt ~seed ~seed_packet ~ops =
+  let ops, bytes = minimise ?bug fmt ~seed_packet ~ops in
+  let check, detail =
+    match Oracle.check (Oracle.create ?bug fmt) bytes with
+    | Error d -> (d.Oracle.d_check, d.Oracle.d_detail)
+    | Ok () -> ("unknown", "disagreement vanished while shrinking")
+  in
+  Report.Wire
+    {
+      w_format = fmt.Desc.format_name;
+      w_seed = seed;
+      w_check = check;
+      w_detail = detail;
+      w_seed_packet = seed_packet;
+      w_ops = ops;
+      w_bytes = bytes;
+    }
+
+let run_format ?bug ?golden ~seed ~iters fmt =
+  let rng = Prng.of_int seed in
+  let corpus = Corpus.make ?golden fmt rng in
+  let oracle = Oracle.create ?bug fmt in
+  let plan = Mutate.plan fmt in
+  let failure = ref None in
+  let fail_on ~seed_packet ~ops pkt =
+    match Oracle.check oracle pkt with
+    | Ok () -> ()
+    | Error _ -> failure := Some (report ?bug fmt ~seed ~seed_packet ~ops)
+  in
+  (* every corpus seed goes through the oracle unmutated first: golden
+     samples are exercised even at --iters 0 *)
+  Array.iter
+    (fun s -> if !failure = None then fail_on ~seed_packet:s ~ops:[] s)
+    (Corpus.seeds corpus);
+  let i = ref 0 in
+  while !failure = None && !i < iters do
+    incr i;
+    let seed_packet = Corpus.pick corpus rng in
+    let ops = Mutate.random plan rng seed_packet in
+    fail_on ~seed_packet ~ops (Mutate.apply ops seed_packet)
+  done;
+  match !failure with
+  | Some r -> Error r
+  | None ->
+    let checked = Oracle.checked oracle and accepted = Oracle.accepted oracle in
+    Ok
+      {
+        ws_format = fmt.Desc.format_name;
+        ws_mutants = checked;
+        ws_accepted = accepted;
+        ws_rejected = checked - accepted;
+      }
+
+let run_machine ?bug ~seed ~iters (name, m) =
+  match Trace_fuzz.run ?bug ~seed ~iters (name, m) with
+  | Ok stats -> Ok stats
+  | Error d ->
+    Error
+      (Report.Trace
+         {
+           t_machine = d.Trace_fuzz.t_machine;
+           t_seed = seed;
+           t_detail = d.Trace_fuzz.t_detail;
+           t_events = d.Trace_fuzz.t_trace;
+         })

@@ -1,0 +1,33 @@
+(** The fuzzing driver: corpus → mutate → oracle → shrink → report.
+
+    One call fuzzes one target.  {!run_format} builds a {!Corpus}, checks
+    every corpus seed through the {!Oracle} first (so [iters = 0] still
+    exercises the golden samples), then drives [iters] structure-aware
+    mutants through it; {!run_machine} delegates to {!Trace_fuzz}.  On
+    the first disagreement the input is minimised — the mutation list
+    with {!Shrink.list}, the resulting bytes with {!Shrink.bytes}, each
+    candidate judged by a {e fresh} oracle so shrinking cannot be fooled
+    by accumulated state — and returned as a committable {!Report.t}.
+    Everything is a deterministic function of [(seed, iters)]. *)
+
+type wire_stats = {
+  ws_format : string;
+  ws_mutants : int;  (** messages checked, corpus seeds included *)
+  ws_accepted : int;  (** accepted by every path *)
+  ws_rejected : int;  (** rejected by every path *)
+}
+
+val run_format :
+  ?bug:Oracle.bug ->
+  ?golden:string list ->
+  seed:int ->
+  iters:int ->
+  Netdsl_format.Desc.t ->
+  (wire_stats, Report.t) result
+
+val run_machine :
+  ?bug:bool ->
+  seed:int ->
+  iters:int ->
+  string * Netdsl_fsm.Machine.t ->
+  (Trace_fuzz.stats, Report.t) result

@@ -1,0 +1,145 @@
+module Desc = Netdsl_format.Desc
+module Value = Netdsl_format.Value
+module Codec = Netdsl_format.Codec
+module View = Netdsl_format.View
+module Emit = Netdsl_format.Emit
+module Pipeline = Netdsl_engine.Pipeline
+module Stats = Netdsl_engine.Stats
+
+type bug = No_bug | Invert_view_accept
+
+type disagreement = { d_check : string; d_detail : string }
+
+let disagreement_to_string d = Printf.sprintf "%s: %s" d.d_check d.d_detail
+
+type t = {
+  o_fmt : Desc.t;
+  o_bug : bug;
+  o_view : View.t;
+  o_emit : Emit.t;
+  o_pipe : Pipeline.t;
+  o_saw_verify : bool ref;
+  (* reference model of the pipeline's counters, advanced before each
+     [process]; any drift is a stats-consistency disagreement *)
+  mutable o_exp_decode_pkts : int;
+  mutable o_exp_decode_rejects : int;
+  mutable o_exp_verify_pkts : int;
+  mutable o_checked : int;
+  mutable o_accepted : int;
+}
+
+let create ?(bug = No_bug) fmt =
+  let saw_verify = ref false in
+  let pipe =
+    Pipeline.create
+      ~verify:(fun _ ->
+        saw_verify := true;
+        true)
+      fmt
+  in
+  {
+    o_fmt = fmt;
+    o_bug = bug;
+    o_view = View.create fmt;
+    o_emit = Emit.create fmt;
+    o_pipe = pipe;
+    o_saw_verify = saw_verify;
+    o_exp_decode_pkts = 0;
+    o_exp_decode_rejects = 0;
+    o_exp_verify_pkts = 0;
+    o_checked = 0;
+    o_accepted = 0;
+  }
+
+let format t = t.o_fmt
+let checked t = t.o_checked
+let accepted t = t.o_accepted
+
+let fail check fmt_ = Printf.ksprintf (fun s -> Error { d_check = check; d_detail = s }) fmt_
+
+let err = Codec.error_to_string
+
+(* Check 3: the engine built on the fast paths.  [codec_ok] is the
+   baseline verdict both decoders already agreed on. *)
+let check_pipeline t pkt ~codec_ok =
+  t.o_saw_verify := false;
+  t.o_exp_decode_pkts <- t.o_exp_decode_pkts + 1;
+  if not codec_ok then t.o_exp_decode_rejects <- t.o_exp_decode_rejects + 1
+  else t.o_exp_verify_pkts <- t.o_exp_verify_pkts + 1;
+  let outcome = Pipeline.process t.o_pipe pkt in
+  let stats = Pipeline.stats t.o_pipe in
+  match (outcome, codec_ok) with
+  | (Pipeline.Rejected_verify | Pipeline.Rejected_step | Pipeline.Rejected_encode), _
+    ->
+    fail "pipeline" "pipeline rejected past the decode stage with no predicate armed"
+  | Pipeline.Accepted, false ->
+    fail "pipeline" "pipeline accepted a packet the codec rejects"
+  | Pipeline.Rejected_decode e, true ->
+    fail "pipeline" "pipeline rejected a packet the codec accepts: %s" (err e)
+  | Pipeline.Accepted, true when not !(t.o_saw_verify) ->
+    fail "pipeline" "accepted packet never reached the verify stage"
+  | Pipeline.Rejected_decode _, false when !(t.o_saw_verify) ->
+    fail "pipeline" "rejected mutant leaked past decode into the verify stage"
+  | _ ->
+    let got_dp = Stats.stage_packets stats 0
+    and got_dr = Stats.stage_rejects stats 0
+    and got_vp = Stats.stage_packets stats 1 in
+    if
+      got_dp <> t.o_exp_decode_pkts
+      || got_dr <> t.o_exp_decode_rejects
+      || got_vp <> t.o_exp_verify_pkts
+    then
+      fail "stats"
+        "stage counters drifted: decode %d/%d rejects %d/%d verify %d/%d (got/expected)"
+        got_dp t.o_exp_decode_pkts got_dr t.o_exp_decode_rejects got_vp
+        t.o_exp_verify_pkts
+    else Ok ()
+
+(* Check 2: compiled emit vs interpreting codec on the decoded value. *)
+let check_reencode t value =
+  match (Codec.encode t.o_fmt value, Emit.encode t.o_emit value) with
+  | Ok c, Ok e when String.equal c e -> Ok ()
+  | Ok c, Ok e ->
+    fail "reencode" "same value, different bytes\ncodec: %s\nemit:  %s"
+      (Netdsl_util.Hexdump.to_hex c) (Netdsl_util.Hexdump.to_hex e)
+  | Error _, Error _ -> Ok ()
+  | Ok _, Error e -> fail "reencode" "codec encodes, emit rejects: %s" (err e)
+  | Error e, Ok _ -> fail "reencode" "emit encodes, codec rejects: %s" (err e)
+
+let check_inner t pkt =
+  let codec_r = Codec.decode t.o_fmt pkt in
+  let view_r = View.decode t.o_view pkt in
+  (* the planted defect: report parse success as rejection, as if a bounds
+     check inside the view compiler were inverted *)
+  let view_verdict =
+    match (t.o_bug, view_r) with
+    | Invert_view_accept, Ok () -> Error "planted bug: inverted accept"
+    | _, Ok () -> Ok ()
+    | _, Error e -> Error (err e)
+  in
+  match (codec_r, view_verdict) with
+  | Ok _, Error ve -> fail "verdict" "codec accepts, view rejects: %s" ve
+  | Error ce, Ok () -> fail "verdict" "view accepts, codec rejects: %s" (err ce)
+  | Error _, Error _ -> check_pipeline t pkt ~codec_ok:false
+  | Ok cv, Ok () -> (
+    let vv = View.to_value t.o_view in
+    if not (Value.equal cv vv) then
+      fail "value" "decoders accept but values differ\ncodec: %s\nview:  %s"
+        (Value.to_string cv) (Value.to_string vv)
+    else
+      match check_reencode t cv with
+      | Error _ as e -> e
+      | Ok () -> (
+        match check_pipeline t pkt ~codec_ok:true with
+        | Error _ as e -> e
+        | Ok () ->
+          t.o_accepted <- t.o_accepted + 1;
+          Ok ()))
+
+let check t pkt =
+  t.o_checked <- t.o_checked + 1;
+  (* An exception escaping any fast path is itself a disagreement: the
+     interpreted codec never throws on malformed input. *)
+  match check_inner t pkt with
+  | exception e -> fail "crash" "exception escaped a fast path: %s" (Printexc.to_string e)
+  | r -> r

@@ -1,0 +1,56 @@
+(** The differential oracle: one mutant, every fast path, demand agreement.
+
+    The compiled fast paths ({!Netdsl_format.View} decode,
+    {!Netdsl_format.Emit} encode, the {!Netdsl_engine.Pipeline} built on
+    both) are only trustworthy while they agree with the interpreted
+    {!Netdsl_format.Codec} baseline on *adversarial* input, not just on
+    generator output.  {!check} runs one wire message through three
+    differential comparisons:
+
+    + verdict and value: [View.decode] vs [Codec.decode] must agree on
+      accept/reject, and on acceptance the materialised view value must
+      equal the codec's byte for byte;
+    + re-encode: on accepted input, [Emit.encode] of the decoded value
+      must reproduce [Codec.encode] exactly (same bytes or same error);
+    + engine: [Pipeline.process] must not raise, must reject exactly when
+      the decoders reject, must never let a rejected mutant reach the
+      verify stage, and must keep the per-stage {!Netdsl_engine.Stats}
+      counters consistent with the packets actually fed.
+
+    Any divergence — including an exception escaping a fast path — is a
+    {!disagreement}.  The [bug] hook plants a known defect (inverting the
+    view verdict, as if a bounds check were flipped) so the harness can
+    prove it would catch one. *)
+
+type bug =
+  | No_bug
+  | Invert_view_accept
+      (** report the view verdict inverted on successfully parsed input —
+          the seeded-bug sanity check of the acceptance criteria *)
+
+type disagreement = {
+  d_check : string;
+      (** which comparison diverged: ["verdict"], ["value"], ["reencode"],
+          ["pipeline"], ["stats"] or ["crash"] *)
+  d_detail : string;  (** rendered evidence: both sides of the divergence *)
+}
+
+val disagreement_to_string : disagreement -> string
+
+type t
+(** A reusable oracle for one format: the view, emitter and pipeline are
+    compiled once; {!check} is then allocation-light per mutant. *)
+
+val create : ?bug:bug -> Netdsl_format.Desc.t -> t
+val format : t -> Netdsl_format.Desc.t
+
+val check : t -> string -> (unit, disagreement) result
+(** Run one wire message through all three comparisons.  [Ok] means every
+    path agreed (whether the message was accepted or rejected). *)
+
+val checked : t -> int
+(** Messages checked so far. *)
+
+val accepted : t -> int
+(** Messages all decoders accepted — the accept side of the split that
+    bench e14 reports. *)

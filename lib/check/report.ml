@@ -1,0 +1,68 @@
+module Hexdump = Netdsl_util.Hexdump
+
+type t =
+  | Wire of {
+      w_format : string;
+      w_seed : int;
+      w_check : string;
+      w_detail : string;
+      w_seed_packet : string;
+      w_ops : Mutate.op list;
+      w_bytes : string;
+    }
+  | Trace of {
+      t_machine : string;
+      t_seed : int;
+      t_detail : string;
+      t_events : string list;
+    }
+
+let to_string = function
+  | Wire w ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b "FUZZ DISAGREEMENT (wire)\n";
+    Buffer.add_string b (Printf.sprintf "format: %s\n" w.w_format);
+    Buffer.add_string b (Printf.sprintf "seed: %d\n" w.w_seed);
+    Buffer.add_string b (Printf.sprintf "check: %s\n" w.w_check);
+    Buffer.add_string b
+      (Printf.sprintf "seed-packet: %s\n" (Hexdump.to_hex w.w_seed_packet));
+    List.iter
+      (fun op ->
+        Buffer.add_string b (Printf.sprintf "mutation: %s\n" (Mutate.op_to_string op)))
+      w.w_ops;
+    Buffer.add_string b
+      (Printf.sprintf "input: %s (%d bytes)\n" (Hexdump.to_hex w.w_bytes)
+         (String.length w.w_bytes));
+    Buffer.add_string b (Printf.sprintf "detail: %s\n" w.w_detail);
+    Buffer.contents b
+  | Trace t ->
+    let b = Buffer.create 256 in
+    Buffer.add_string b "FUZZ DISAGREEMENT (trace)\n";
+    Buffer.add_string b (Printf.sprintf "machine: %s\n" t.t_machine);
+    Buffer.add_string b (Printf.sprintf "seed: %d\n" t.t_seed);
+    Buffer.add_string b
+      (Printf.sprintf "trace: %s\n" (String.concat " " t.t_events));
+    Buffer.add_string b (Printf.sprintf "detail: %s\n" t.t_detail);
+    Buffer.contents b
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+let filename = function
+  | Wire w -> Printf.sprintf "repro-wire-%s-seed%d.txt" (sanitize w.w_format) w.w_seed
+  | Trace t ->
+    Printf.sprintf "repro-trace-%s-seed%d.txt" (sanitize t.t_machine) t.t_seed
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename t) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t));
+  path

@@ -1,0 +1,37 @@
+(** Deterministic, committable repro blocks for fuzzer findings.
+
+    A disagreement is worthless if it cannot be replayed: the report
+    records everything needed to reproduce it from a clean checkout — the
+    target (format or machine), the driving seed, the seed input, the
+    mutation list and the final minimised input — in a stable textual
+    form, so a repro can be pasted into a cram test or committed as a
+    regression fixture.  Rendering is purely a function of the fields (no
+    timestamps, no paths), so identical findings produce identical
+    files. *)
+
+type t =
+  | Wire of {
+      w_format : string;
+      w_seed : int;
+      w_check : string;  (** the oracle comparison that diverged *)
+      w_detail : string;
+      w_seed_packet : string;  (** raw bytes the mutation list applies to *)
+      w_ops : Mutate.op list;
+      w_bytes : string;  (** raw bytes of the minimised disagreeing input *)
+    }
+  | Trace of {
+      t_machine : string;
+      t_seed : int;
+      t_detail : string;
+      t_events : string list;  (** minimised event sequence *)
+    }
+
+val to_string : t -> string
+(** The repro block, ending in a newline. *)
+
+val filename : t -> string
+(** Stable name for the dump: [repro-<kind>-<target>-seed<seed>.txt]. *)
+
+val save : dir:string -> t -> string
+(** Writes {!to_string} under {!filename} in [dir] (created if missing)
+    and returns the full path. *)

@@ -1,0 +1,94 @@
+(* Greedy bounded delta debugging.  Both shrinkers maintain the invariant
+   that [best] satisfies the predicate, and only replace it with a
+   strictly smaller (or simpler) candidate that also satisfies it. *)
+
+let with_budget max_tests holds =
+  let used = ref 0 in
+  fun candidate ->
+    if !used >= max_tests then false
+    else begin
+      incr used;
+      holds candidate
+    end
+
+let bytes ?(max_tests = 4000) holds s =
+  if not (holds s) then
+    invalid_arg "Shrink.bytes: predicate does not hold on the input";
+  let try_ = with_budget max_tests holds in
+  let best = ref s in
+  (* Phase 1: structural — cut chunks at halving granularity. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let n = String.length !best in
+    (* suffix and prefix cuts first: boundary bugs shrink in two steps *)
+    List.iter
+      (fun k ->
+        let n = String.length !best in
+        if k > 0 && k < n then begin
+          let suffix_cut = String.sub !best 0 (n - k) in
+          if try_ suffix_cut then begin best := suffix_cut; progress := true end
+          else
+            let prefix_cut = String.sub !best k (n - k) in
+            if try_ prefix_cut then begin best := prefix_cut; progress := true end
+        end)
+      [ n / 2; n / 4; 1 ];
+    (* chunk removal in the middle *)
+    let chunk = ref (max 1 (String.length !best / 2)) in
+    while !chunk >= 1 do
+      let n = String.length !best in
+      let i = ref 0 in
+      while !i + !chunk <= n && String.length !best = n do
+        let cand =
+          String.sub !best 0 !i
+          ^ String.sub !best (!i + !chunk) (n - !i - !chunk)
+        in
+        if String.length cand < n && try_ cand then begin
+          best := cand;
+          progress := true
+        end
+        else i := !i + !chunk
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done
+  done;
+  (* Phase 2: simplify surviving bytes towards zero, one pass. *)
+  let n = String.length !best in
+  for i = 0 to n - 1 do
+    let cur = !best in
+    if i < String.length cur && cur.[i] <> '\x00' then begin
+      let b = Bytes.of_string cur in
+      Bytes.set b i '\x00';
+      let cand = Bytes.to_string b in
+      if try_ cand then best := cand
+    end
+  done;
+  !best
+
+let list ?(max_tests = 4000) holds xs =
+  if not (holds xs) then
+    invalid_arg "Shrink.list: predicate does not hold on the input";
+  let try_ = with_budget max_tests holds in
+  let best = ref xs in
+  let remove_span xs i k =
+    List.filteri (fun j _ -> j < i || j >= i + k) xs
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let chunk = ref (max 1 (List.length !best / 2)) in
+    while !chunk >= 1 do
+      let n = List.length !best in
+      let i = ref 0 in
+      while !i + !chunk <= List.length !best && List.length !best = n do
+        let cand = remove_span !best !i !chunk in
+        if try_ cand then begin
+          best := cand;
+          progress := true
+        end
+        else i := !i + !chunk
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done
+  done;
+  !best

@@ -1,0 +1,19 @@
+(** Input minimisation for disagreement repros.
+
+    A fuzzer finding is only useful once it is small: a 4-byte repro of a
+    checksum disagreement points at the bug, a 400-byte one points at a
+    haystack.  Both shrinkers are greedy delta-debugging loops: remove
+    ever-smaller chunks while the caller's predicate keeps holding,
+    deterministically (no randomness, so a repro shrinks to the same bytes
+    on every machine) and bounded (the predicate is called at most
+    [max_tests] times, so shrinking a pathological input terminates). *)
+
+val bytes : ?max_tests:int -> (string -> bool) -> string -> string
+(** [bytes holds s] minimises [s] under [holds] (which must hold for [s]
+    itself; [max_tests] defaults to 4000).  Tries suffix/prefix cuts,
+    chunk removal at halving granularity, and byte simplification towards
+    ['\x00'].  The result always satisfies [holds]. *)
+
+val list : ?max_tests:int -> ('a list -> bool) -> 'a list -> 'a list
+(** Same loop over list elements (mutation ops, event traces): chunk
+    removal at halving granularity, then single-element removal. *)

@@ -1,0 +1,155 @@
+module Prng = Netdsl_util.Prng
+module Machine = Netdsl_fsm.Machine
+module Interp = Netdsl_fsm.Interp
+module Step = Netdsl_fsm.Step
+module Testgen = Netdsl_fsm.Testgen
+
+type stats = { traces : int; events : int; fired : int; refused : int }
+
+type disagreement = {
+  t_machine : string;
+  t_trace : string list;
+  t_detail : string;
+}
+
+let disagreement_to_string d =
+  Printf.sprintf "machine %s, trace [%s]: %s" d.t_machine
+    (String.concat " " d.t_trace)
+    d.t_detail
+
+(* An event name no machine declares: the "unknown event" injection. *)
+let unknown_event = "__fuzz_unknown__"
+
+let interp_error_to_string e = Format.asprintf "%a" Interp.pp_error e
+
+let config_to_string c = Format.asprintf "%a" Machine.pp_config c
+
+(* Replay one trace on a fresh instance pair, comparing verdict and full
+   configuration after every event.  [bug] corrupts the compiled side's
+   reported configuration once a transition has fired — the planted
+   defect the self-test must catch. *)
+let replay ~bug plan prepared trace =
+  let step = Step.instance plan in
+  let interp = Interp.instantiate prepared in
+  let fired = ref 0 and refused = ref 0 in
+  let rec go = function
+    | [] -> Ok (!fired, !refused)
+    | ev :: rest -> (
+      let sv = Step.fire step ev in
+      let ir = Interp.fire interp ev in
+      let verdicts_agree =
+        match (sv, ir) with
+        | Step.Fired, Ok _ -> true
+        | Step.Unknown_event, Error (Interp.Unknown_event _) -> true
+        | Step.Unhandled, Error (Interp.Unhandled _) -> true
+        | Step.Nondeterministic, Error (Interp.Nondeterministic _) -> true
+        | _ -> false
+      in
+      if not verdicts_agree then
+        Error
+          (Printf.sprintf "verdicts diverge on %S: step %s, interp %s" ev
+             (Step.describe step ev sv)
+             (match ir with
+             | Ok t -> Printf.sprintf "fired [%s]" t.Machine.t_label
+             | Error e -> interp_error_to_string e))
+      else begin
+        (match sv with Step.Fired -> incr fired | _ -> incr refused);
+        let sc = Step.config step in
+        let sc =
+          if bug && sv = Step.Fired then
+            { sc with Machine.state = sc.Machine.state ^ "'" }
+          else sc
+        in
+        let ic = Interp.config interp in
+        if not (Machine.config_equal sc ic) then
+          Error
+            (Printf.sprintf "configurations diverge after %S: step %s, interp %s"
+               ev (config_to_string sc) (config_to_string ic))
+        else go rest
+      end)
+  in
+  go trace
+
+let random_trace rng events =
+  let len = 1 + Prng.int rng 24 in
+  List.init len (fun _ ->
+      if Prng.int rng 16 = 0 then unknown_event else Prng.pick rng events)
+
+(* Adversarial channel moves over a mined trace. *)
+let perturb rng events trace =
+  let arr = ref (Array.of_list trace) in
+  let splice a i insert remove =
+    let n = Array.length a in
+    Array.concat
+      [ Array.sub a 0 i; Array.of_list insert;
+        Array.sub a (i + remove) (n - i - remove) ]
+  in
+  let n_ops = 1 + Prng.int rng 3 in
+  for _ = 1 to n_ops do
+    let a = !arr in
+    let n = Array.length a in
+    if n > 0 then
+      let i = Prng.int rng n in
+      arr :=
+        (match Prng.int rng 5 with
+        | 0 -> splice a i [ a.(i) ] 0 (* duplicate *)
+        | 1 -> splice a i [] 1 (* drop *)
+        | 2 when i + 1 < n ->
+          let b = Array.copy a in
+          b.(i) <- a.(i + 1);
+          b.(i + 1) <- a.(i);
+          b (* reorder neighbours *)
+        | 3 -> splice a i [ unknown_event ] 0 (* unknown injection *)
+        | _ -> splice a i [ Prng.pick rng events ] 0 (* random insertion *))
+  done;
+  Array.to_list !arr
+
+let run ?(bug = false) ~seed ~iters (name, m) =
+  let plan = Step.compile m in
+  let prepared = Interp.prepare m in
+  let rng = Prng.of_int seed in
+  let events = Array.of_list m.Machine.events in
+  let mined =
+    (* Testgen requires determinism; a nondeterministic machine is fuzzed
+       with random traces only. *)
+    match Testgen.transition_tour m with
+    | segments -> segments
+    | exception Invalid_argument _ -> []
+  in
+  let totals = ref { traces = 0; events = 0; fired = 0; refused = 0 } in
+  let failure = ref None in
+  let disagrees trace =
+    match replay ~bug plan prepared trace with Ok _ -> false | Error _ -> true
+  in
+  let run_trace trace =
+    if !failure = None then
+      match replay ~bug plan prepared trace with
+      | Ok (fired, refused) ->
+        let t = !totals in
+        totals :=
+          {
+            traces = t.traces + 1;
+            events = t.events + List.length trace;
+            fired = t.fired + fired;
+            refused = t.refused + refused;
+          }
+      | Error _ ->
+        let small = Shrink.list disagrees trace in
+        let detail =
+          match replay ~bug plan prepared small with
+          | Error d -> d
+          | Ok _ -> "disagreement vanished while shrinking"
+        in
+        failure := Some { t_machine = name; t_trace = small; t_detail = detail }
+  in
+  List.iter run_trace mined;
+  for _ = 1 to iters do
+    if !failure = None then
+      run_trace
+        (match mined with
+        | [] -> random_trace rng events
+        | _ ->
+          if Prng.bool rng then perturb rng events (Prng.pick_list rng mined)
+          else random_trace rng events)
+  done;
+  match !failure with Some d -> Error d | None -> Ok !totals

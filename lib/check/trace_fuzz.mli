@@ -1,0 +1,41 @@
+(** Differential fuzzing for machines: compiled {!Netdsl_fsm.Step} plans
+    vs the {!Netdsl_fsm.Interp} interpreter, driven in lock-step.
+
+    The wire fuzzer's behavioural twin (the attack-synthesis angle from
+    PAPERS.md): event traces are mined from the definition with
+    {!Netdsl_fsm.Testgen.transition_tour}, then perturbed with the
+    classic adversarial channel moves — duplicated events, dropped
+    events, reordered neighbours, unknown event names — plus purely
+    random traces.  After every single event both executions must agree
+    on the verdict (fired / unknown / unhandled / nondeterministic) and,
+    via {!Netdsl_fsm.Machine.config_equal}, on the full configuration
+    (state and every register).  A disagreeing trace is shrunk with
+    {!Shrink.list} before being reported. *)
+
+type stats = {
+  traces : int;  (** traces executed *)
+  events : int;  (** events fired across all traces *)
+  fired : int;  (** events both executions accepted *)
+  refused : int;  (** events both executions refused *)
+}
+
+type disagreement = {
+  t_machine : string;
+  t_trace : string list;  (** minimised event sequence from the initial state *)
+  t_detail : string;  (** verdicts / configurations at the diverging event *)
+}
+
+val disagreement_to_string : disagreement -> string
+
+val run :
+  ?bug:bool ->
+  seed:int ->
+  iters:int ->
+  string * Netdsl_fsm.Machine.t ->
+  (stats, disagreement) result
+(** [run ~seed ~iters (name, m)] replays the mined tour, then [iters]
+    perturbed and random traces.  [bug] plants a defect in the comparison
+    (the compiled configuration is reported with its state swapped after
+    the first fired transition) to prove the lock-step check catches and
+    minimises one.  Nondeterministic machines skip the mined tour
+    (Testgen requires determinism) and run random traces only. *)

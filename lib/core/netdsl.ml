@@ -15,6 +15,9 @@
       {!Checked}, {!Send_machine}, {!Recv_machine}
     - packet-processing runtime: {!Engine} (zero-copy {!View} decode,
       batched pipeline, multicore flow sharding, per-stage counters)
+    - fuzzing + differential testing: {!Check} (structure-aware wire
+      mutation, a Codec/View/Emit/Pipeline oracle, Step-vs-Interp trace
+      lock-step, shrinking, committable repro reports)
     - simulation substrate: {!Sim_engine}, {!Channel}, {!Timer}, {!Trace},
       {!Stats}
     - executable protocols: {!Stop_and_wait}, {!Go_back_n},
@@ -64,6 +67,9 @@ module Recv_machine = Netdsl_typed.Recv_machine
 
 (* Packet-processing runtime *)
 module Engine = Netdsl_engine
+
+(* Fuzzing + differential testing harness *)
+module Check = Netdsl_check
 
 (* Simulation substrate *)
 module Sim_engine = Netdsl_sim.Engine

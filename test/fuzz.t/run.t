@@ -1,0 +1,63 @@
+The differential fuzzer: structure-aware wire mutants must be judged
+identically by the interpreted Codec and every compiled fast path
+(View, Emit, the engine Pipeline); adversarial event traces must keep
+the compiled Step plan in lock-step with the Interp reference.
+
+  $ cat > ping.ndsl <<'SPEC'
+  > format ping {
+  >   token : uint32 "Token";
+  >   hops  : uint8 where 1..16 "Hops";
+  >   chk   : checksum xor8 over message "Check";
+  > }
+  > machine pinger {
+  >   states { idle init accepting; waiting; }
+  >   events { send, pong, give_up }
+  >   on send: idle -> waiting;
+  >   on pong: waiting -> idle;
+  >   on give_up: waiting -> idle;
+  >   ignore pong in idle; ignore give_up in idle; ignore send in waiting;
+  > }
+  > SPEC
+
+A clean run exits 0 and reports the accept/reject split per format and
+the fired/refused split per machine:
+
+  $ netdsl fuzz ping.ndsl --seed 7 --iters 2000
+  format ping: 2016 mutants (58 accepted, 1958 rejected) — all paths agree
+  machine pinger: 2001 traces, 17229 events (8314 fired, 8915 refused) — step = interp
+  fuzzed 1 format(s), 1 machine(s): no disagreements
+
+--iters 0 still pushes every corpus seed through the oracle and every
+mined behavioural trace through the step/interp lock-step:
+
+  $ netdsl fuzz ping.ndsl --seed 7 --iters 0
+  format ping: 16 mutants (16 accepted, 0 rejected) — all paths agree
+  machine pinger: 1 traces, 4 events (4 fired, 0 refused) — step = interp
+  fuzzed 1 format(s), 1 machine(s): no disagreements
+
+The harness must be able to catch a real defect.  --plant-bug inverts
+the view's accept verdict; the fuzzer finds it on the very first corpus
+seed, shrinks the witness, and prints a committable repro:
+
+  $ netdsl fuzz ping.ndsl --seed 7 --iters 100 --plant-bug --repro-dir repros
+  FUZZ DISAGREEMENT (wire)
+  format: ping
+  seed: 7
+  check: verdict
+  seed-packet: 59320dd708b9
+  input: 59320dd708b9 (6 bytes)
+  detail: codec accepts, view rejects: planted bug: inverted accept
+  repro saved to repros/repro-wire-ping-seed7.txt
+  netdsl: fuzzing found a disagreement
+  [1]
+
+The saved dump is exactly what was printed, so CI can archive it:
+
+  $ cat repros/repro-wire-ping-seed7.txt
+  FUZZ DISAGREEMENT (wire)
+  format: ping
+  seed: 7
+  check: verdict
+  seed-packet: 59320dd708b9
+  input: 59320dd708b9 (6 bytes)
+  detail: codec accepts, view rejects: planted bug: inverted accept

@@ -1,0 +1,81 @@
+(* Regenerates the committed golden corpus under test/corpus/: for every
+   shipped format one well-formed wire sample and one canonically
+   malformed one (the first corruption, in a fixed candidate order, that
+   the codec rejects).  Deterministic: fixed seeds, so re-running produces
+   identical files.
+
+     dune exec test/make_corpus.exe            (writes into test/corpus)
+     dune exec test/make_corpus.exe -- DIR     (writes into DIR)
+*)
+
+module Codec = Netdsl_format.Codec
+module Desc = Netdsl_format.Desc
+module Hexdump = Netdsl_util.Hexdump
+module Prng = Netdsl_util.Prng
+module Corpus = Netdsl_check.Corpus
+
+let rejects fmt pkt =
+  match Codec.decode fmt pkt with Ok _ -> false | Error _ -> true
+
+(* Candidate corruptions, mildest first; the malformed golden is the first
+   one the codec refuses. *)
+let malformed_of fmt valid =
+  let n = String.length valid in
+  let set i c =
+    let b = Bytes.of_string valid in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  let candidates =
+    [ (if n > 0 then String.sub valid 0 (n - 1) else valid);
+      (if n > 0 then set (n - 1) (Char.chr (Char.code valid.[n - 1] lxor 0xff))
+       else valid);
+      (if n > 0 then set 0 (Char.chr (Char.code valid.[0] lxor 0x80)) else valid);
+      valid ^ "\xff\xff\xff\xff";
+      String.make (max 1 n) '\x00';
+      (* permissive formats (no checksum, trailing payload absorbs bytes):
+         make an interior count/length field lie, then truncate hard *)
+      (if n > 5 then set 5 '\xff' else valid);
+      (if n > 1 then String.sub valid 0 (n / 2) else valid);
+      (if n > 1 then String.sub valid 0 1 else valid) ]
+  in
+  match List.find_opt (rejects fmt) candidates with
+  | Some m -> m
+  | None ->
+    Printf.eprintf "no corruption of %s rejects — corpus would be vacuous\n"
+      fmt.Desc.format_name;
+    exit 1
+
+let write_file path lines =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, fmt) ->
+      let gen =
+        match Corpus.generator fmt with
+        | Some g -> g
+        | None ->
+          Printf.eprintf "format %s has no generator\n" name;
+          exit 1
+      in
+      let valid = gen (Prng.of_int 20260806) in
+      assert (not (rejects fmt valid));
+      let malformed = malformed_of fmt valid in
+      write_file
+        (Filename.concat dir (name ^ "-valid.hex"))
+        [ Printf.sprintf "# %s: well-formed golden wire sample" name;
+          Hexdump.to_hex valid ];
+      write_file
+        (Filename.concat dir (name ^ "-malformed.hex"))
+        [ Printf.sprintf "# %s: canonical malformed sample (codec rejects)" name;
+          Hexdump.to_hex malformed ];
+      Printf.printf "%-10s valid %d bytes, malformed %d bytes\n" name
+        (String.length valid)
+        (String.length malformed))
+    Corpus.shipped

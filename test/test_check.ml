@@ -1,0 +1,184 @@
+(* The fuzzing harness testing itself: golden corpus samples through the
+   differential oracle, quick fuzz runs over every shipped format and
+   machine (zero disagreements expected), and the planted-bug sanity
+   checks — a harness that cannot catch a known-bad fast path proves
+   nothing by staying green. *)
+
+module Ck = Netdsl_check
+module Desc = Netdsl_format.Desc
+module Codec = Netdsl_format.Codec
+module Prng = Netdsl_util.Prng
+module Fm = Netdsl_formats
+
+let seed = 20260806
+
+let golden_paths fmt =
+  let name = fmt.Desc.format_name in
+  ("corpus/" ^ name ^ "-valid.hex", "corpus/" ^ name ^ "-malformed.hex")
+
+let golden fmt =
+  let valid, malformed = golden_paths fmt in
+  Ck.Corpus.load_hex_file valid @ Ck.Corpus.load_hex_file malformed
+
+let fail_report r = Alcotest.failf "unexpected disagreement:\n%s" (Ck.Report.to_string r)
+
+(* Golden samples: the valid one must decode, the malformed one must be
+   rejected — and the oracle must agree with itself on both. *)
+let golden_case (name, fmt) =
+  Alcotest.test_case name `Quick (fun () ->
+      let valid_path, malformed_path = golden_paths fmt in
+      (match Ck.Corpus.load_hex_file valid_path with
+      | [ pkt ] -> (
+        match Codec.decode fmt pkt with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "golden valid sample rejected: %s"
+            (Codec.error_to_string e))
+      | l -> Alcotest.failf "expected 1 packet in %s, got %d" valid_path (List.length l));
+      (match Ck.Corpus.load_hex_file malformed_path with
+      | [ pkt ] -> (
+        match Codec.decode fmt pkt with
+        | Ok _ -> Alcotest.failf "golden malformed sample accepted"
+        | Error _ -> ())
+      | l ->
+        Alcotest.failf "expected 1 packet in %s, got %d" malformed_path
+          (List.length l));
+      let oracle = Ck.Oracle.create fmt in
+      List.iter
+        (fun pkt ->
+          match Ck.Oracle.check oracle pkt with
+          | Ok () -> ()
+          | Error d ->
+            Alcotest.failf "oracle disagreement on golden sample: %s"
+              (Ck.Oracle.disagreement_to_string d))
+        (golden fmt))
+
+(* --iters 0 still exercises every corpus seed through the oracle. *)
+let zero_iters_case (name, fmt) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Ck.Fuzz.run_format ~golden:(golden fmt) ~seed ~iters:0 fmt with
+      | Error r -> fail_report r
+      | Ok stats ->
+        if stats.Ck.Fuzz.ws_mutants < 2 then
+          Alcotest.failf "only %d seeds checked at iters=0" stats.Ck.Fuzz.ws_mutants)
+
+(* The main property: a few hundred structure-aware mutants per format,
+   zero disagreements between View, Codec, Emit and the Pipeline.  The
+   10k-per-format depth runs in CI via `netdsl fuzz`. *)
+let fuzz_case (name, fmt) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Ck.Fuzz.run_format ~golden:(golden fmt) ~seed ~iters:400 fmt with
+      | Error r -> fail_report r
+      | Ok stats ->
+        if stats.Ck.Fuzz.ws_mutants < 400 then
+          Alcotest.failf "only %d mutants checked" stats.Ck.Fuzz.ws_mutants;
+        if stats.Ck.Fuzz.ws_accepted + stats.Ck.Fuzz.ws_rejected
+           <> stats.Ck.Fuzz.ws_mutants
+        then Alcotest.fail "accept/reject split does not sum to total")
+
+(* The seeded-bug sanity check of the acceptance criteria: inverting the
+   view's accept verdict must be caught and shrunk to a small repro. *)
+let planted_wire_bug () =
+  match
+    Ck.Fuzz.run_format ~bug:Ck.Oracle.Invert_view_accept
+      ~golden:(golden Fm.Arq.format) ~seed ~iters:50 Fm.Arq.format
+  with
+  | Ok _ -> Alcotest.fail "planted view bug not caught"
+  | Error (Ck.Report.Trace _) -> Alcotest.fail "wire bug reported as trace"
+  | Error (Ck.Report.Wire { w_bytes; _ } as r) ->
+    if String.length w_bytes > 64 then
+      Alcotest.failf "repro not shrunk: %d bytes" (String.length w_bytes);
+    let rendered = Ck.Report.to_string r in
+    List.iter
+      (fun needle ->
+        if
+          not
+            (List.exists
+               (fun line ->
+                 String.length line >= String.length needle
+                 && String.sub line 0 (String.length needle) = needle)
+               (String.split_on_char '\n' rendered))
+        then Alcotest.failf "repro missing %S line:\n%s" needle rendered)
+      [ "FUZZ DISAGREEMENT"; "format:"; "seed:"; "check:"; "input:"; "detail:" ]
+
+(* Determinism: the same (seed, iters) must find the same repro, ops
+   included — that is what makes a dump committable. *)
+let planted_bug_deterministic () =
+  let run () =
+    Ck.Fuzz.run_format ~bug:Ck.Oracle.Invert_view_accept
+      ~golden:(golden Fm.Arq.format) ~seed ~iters:50 Fm.Arq.format
+  in
+  match (run (), run ()) with
+  | Error a, Error b ->
+    Alcotest.(check string)
+      "identical repro" (Ck.Report.to_string a) (Ck.Report.to_string b)
+  | _ -> Alcotest.fail "planted bug not caught"
+
+(* Mutation ops are self-contained: replaying a list is pure. *)
+let mutation_replay () =
+  let fmt = Fm.Ipv4.format in
+  let plan = Ck.Mutate.plan fmt in
+  if Ck.Mutate.slots plan = [] then Alcotest.fail "ipv4 plan has no slots";
+  let rng = Prng.of_int seed in
+  let gen = Option.get (Ck.Corpus.generator fmt) in
+  for _ = 1 to 100 do
+    let pkt = gen rng in
+    let ops = Ck.Mutate.random plan rng pkt in
+    let a = Ck.Mutate.apply ops pkt and b = Ck.Mutate.apply ops pkt in
+    Alcotest.(check string) "replay is pure" a b;
+    (* ops survive rendering (used in repro dumps) without raising *)
+    List.iter (fun op -> ignore (Ck.Mutate.op_to_string op)) ops
+  done;
+  (* ops degrade to the identity out of range instead of raising *)
+  let ops =
+    [ Ck.Mutate.Flip_bit 100_000; Ck.Mutate.Set_byte (5000, 1);
+      Ck.Mutate.Truncate 9999;
+      Ck.Mutate.Remove_span { off = 50; len = 100 };
+      Ck.Mutate.Zero_span { off = -1; len = 4 } ]
+  in
+  Alcotest.(check string) "oversized ops are identity" "ab" (Ck.Mutate.apply ops "ab")
+
+let shrink_bytes () =
+  let holds s = String.contains s 'Z' in
+  let shrunk = Ck.Shrink.bytes holds ("prefix-Z-suffix" ^ String.make 100 'x') in
+  Alcotest.(check string) "minimal witness" "Z" shrunk
+
+let shrink_list () =
+  let holds l = List.mem 7 l in
+  let shrunk = Ck.Shrink.list holds [ 1; 2; 3; 7; 9; 11; 13 ] in
+  Alcotest.(check (list int)) "minimal witness" [ 7 ] shrunk
+
+(* Step vs Interp lock-step over every shipped machine. *)
+let trace_case (name, m) =
+  Alcotest.test_case name `Quick (fun () ->
+      match Ck.Fuzz.run_machine ~seed ~iters:80 (name, m) with
+      | Error r -> fail_report r
+      | Ok stats ->
+        if stats.Ck.Trace_fuzz.traces = 0 then Alcotest.fail "no traces executed";
+        if stats.Ck.Trace_fuzz.fired = 0 then
+          Alcotest.failf "no event ever fired on %s — the fuzz is vacuous" name)
+
+let planted_trace_bug () =
+  let target = List.hd Netdsl_proto.Machines.all in
+  match Ck.Fuzz.run_machine ~bug:true ~seed ~iters:50 target with
+  | Ok _ -> Alcotest.fail "planted trace bug not caught"
+  | Error (Ck.Report.Wire _) -> Alcotest.fail "trace bug reported as wire"
+  | Error (Ck.Report.Trace { t_events; _ }) ->
+    (* minimal repro: exactly the first transition that can fire *)
+    if List.length t_events > 2 then
+      Alcotest.failf "trace not shrunk: %d events" (List.length t_events)
+
+let suite =
+  [ ("check.golden", List.map golden_case Ck.Corpus.shipped);
+    ("check.zero_iters", List.map zero_iters_case Ck.Corpus.shipped);
+    ("check.fuzz", List.map fuzz_case Ck.Corpus.shipped);
+    ( "check.self",
+      [ Alcotest.test_case "planted wire bug caught+shrunk" `Quick planted_wire_bug;
+        Alcotest.test_case "planted bug deterministic" `Quick
+          planted_bug_deterministic;
+        Alcotest.test_case "mutation replay" `Quick mutation_replay;
+        Alcotest.test_case "shrink bytes" `Quick shrink_bytes;
+        Alcotest.test_case "shrink list" `Quick shrink_list;
+        Alcotest.test_case "planted trace bug caught+shrunk" `Quick
+          planted_trace_bug ] );
+    ("check.trace", List.map trace_case Netdsl_proto.Machines.all) ]

@@ -12,41 +12,21 @@ module Ck = Netdsl_util.Checksum
 
 let trials = 200
 
-(* Formats whose derived-field dependencies Gen cannot invert get a
-   handcrafted value generator instead (cf. test_view.ml). *)
+module Check = Netdsl_check
+
+(* The handcrafted IPv4/TCP value generators that used to live here (and
+   in test_view.ml) are now centralised in [Netdsl_check.Corpus]. *)
+let all_formats = Check.Corpus.shipped
+
+let sample rng fmt =
+  match Check.Corpus.value_generator fmt with
+  | Some g -> g rng
+  | None -> Alcotest.failf "no value generator for %s" fmt.Desc.format_name
+
 let gen_ipv4_value rng =
-  let payload = String.make (Prng.int rng 400) 'p' in
-  let options = String.make (4 * Prng.int rng 3) 'o' in
-  Fm.Ipv4.make ~identification:(Prng.int rng 0x10000)
-    ~ttl:(1 + Prng.int rng 255) ~options ~protocol:Fm.Ipv4.protocol_udp
-    ~source:(Fm.Ipv4.addr_of_string "10.0.0.1")
-    ~destination:(Fm.Ipv4.addr_of_string "10.0.0.2")
-    ~payload ()
-
-let gen_tcp_value rng =
-  let payload = String.make (Prng.int rng 200) 'p' in
-  let options = String.make (4 * Prng.int rng 3) '\x01' in
-  Fm.Tcp.make ~syn:(Prng.bool rng) ~ack:(Prng.bool rng)
-    ~window:(Prng.int rng 0x10000) ~options ~src_port:(Prng.int rng 0x10000)
-    ~dst_port:(Prng.int rng 0x10000)
-    ~seq_number:(Int64.of_int (Prng.int rng 1000000))
-    ~payload ()
-
-let all_formats =
-  [ ("arp", Fm.Arp.format, None);
-    ("arq", Fm.Arq.format, None);
-    ("dns", Fm.Dns.format, None);
-    ("ethernet", Fm.Ethernet.format, None);
-    ("icmp", Fm.Icmp.format, None);
-    ("ipv4", Fm.Ipv4.format, Some gen_ipv4_value);
-    ("pcap", Fm.Pcap.format, None);
-    ("tcp", Fm.Tcp.format, Some gen_tcp_value);
-    ("tftp", Fm.Tftp.format, None);
-    ("tlv", Fm.Tlv.format, None);
-    ("udp", Fm.Udp.format, None) ]
-
-let sample rng fmt custom =
-  match custom with Some g -> g rng | None -> Gen.generate rng fmt
+  match Check.Corpus.value_generator Fm.Ipv4.format with
+  | Some g -> g rng
+  | None -> Alcotest.fail "no ipv4 generator"
 
 let hex = Netdsl_util.Hexdump.to_hex
 
@@ -65,13 +45,33 @@ let check_same_bytes name fmt emitter value =
     Alcotest.failf "%s: emit encodes, codec rejects: %s" name
       (Codec.error_to_string e)
 
-let equivalence_case (name, fmt, custom) =
+let equivalence_case (name, fmt) =
   Alcotest.test_case name `Quick (fun () ->
       let rng = Prng.of_int 20260806 in
       let emitter = Emit.create fmt in
       for _ = 1 to trials do
-        let value = sample rng fmt custom in
+        let value = sample rng fmt in
         check_same_bytes name fmt emitter value
+      done)
+
+(* Adversarial re-encode: corpus seeds mutated by the structure-aware
+   fuzzer, through the differential oracle — which re-encodes whatever
+   both decoders accept with Emit and Codec and demands identical bytes. *)
+let mutant_case (name, fmt) =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Prng.of_int 46 in
+      let oracle = Check.Oracle.create fmt in
+      let corpus = Check.Corpus.make fmt rng in
+      let plan = Check.Mutate.plan fmt in
+      for _ = 1 to trials do
+        let seed_pkt = Check.Corpus.pick corpus rng in
+        let mutant =
+          Check.Mutate.apply (Check.Mutate.random plan rng seed_pkt) seed_pkt
+        in
+        match Check.Oracle.check oracle mutant with
+        | Ok () -> ()
+        | Error d ->
+          Alcotest.failf "%s: %s" name (Check.Oracle.disagreement_to_string d)
       done)
 
 (* encode_into: bytes land at the requested offset, the rest of the buffer
@@ -126,13 +126,13 @@ let decode_view fmt pkt =
   | Error e -> Alcotest.failf "decode failed: %s" (Codec.error_to_string e)
 
 (* Re-emitting a decoded message reproduces it byte for byte. *)
-let view_roundtrip_case (name, fmt, custom) =
+let view_roundtrip_case (name, fmt) =
   Alcotest.test_case name `Quick (fun () ->
       let rng = Prng.of_int 4242 in
       let emitter = Emit.create fmt in
       let view = View.create fmt in
       for _ = 1 to 50 do
-        match Codec.encode fmt (sample rng fmt custom) with
+        match Codec.encode fmt (sample rng fmt) with
         | Error _ -> ()
         | Ok pkt -> (
           match View.decode view pkt with
@@ -338,6 +338,7 @@ let internet_delta_matches () =
 let suite =
   [ ( "emit.equivalence",
       List.map equivalence_case all_formats
+      @ List.map mutant_case all_formats
       @ [ Alcotest.test_case "encode_into offsets" `Quick encode_into_offsets;
           Alcotest.test_case "buffer reuse" `Quick buffer_reuse ] );
     ( "emit.view",

@@ -273,6 +273,97 @@ let pipeline_flow_eviction () =
              mint a new instance, evicting again *)
   check_int "touched flow survived" 1 (Stats.evicted_flows (Pipeline.stats p))
 
+let pipeline_eviction_churn () =
+  (* Adversarial churn over a max_flows-sized table: 64 flows hammered
+     through an 8-slot table, interleaved with malformed packets.  A
+     reference LRU model predicts, for every accepted packet, the exact
+     per-flow counter the machine instance must hold — so any of the three
+     failure modes (eviction count drifting, a mutant touching the table,
+     an evicted flow resuming from stale state instead of a fresh
+     instance) shows up as a concrete mismatch. *)
+  let module M = Netdsl_fsm.Machine in
+  let module Step = Netdsl_fsm.Step in
+  let max_flows = 8 and n_flows = 64 in
+  let machine =
+    M.machine ~name:"flow_counter" ~states:[ "s" ] ~events:[ "ok" ]
+      ~registers:[ M.reg "n" ~init:0 ~domain:65536 ]
+      ~initial:"s"
+      [ M.trans ~label:"COUNT"
+          ~actions:[ M.Assign ("n", M.Add (M.Reg "n", M.Int 1)) ]
+          ~src:"s" ~event:"ok" ~dst:"s" () ]
+  in
+  let observed = ref None in
+  let p =
+    Pipeline.create
+      ~config:{ Pipeline.default_config with max_flows }
+      ~classify:(fun _ -> Some "ok")
+      ~machine ~flow_key:"seq"
+      ~respond:(fun view inst ->
+        observed :=
+          Some
+            ( Netdsl_format.View.get_int view "seq",
+              Step.register_by_name inst "n" );
+        None)
+      Fm.Arq.format
+  in
+  (* reference model: seq -> count, plus MRU-first recency order *)
+  let counts = Hashtbl.create 16 in
+  let order = ref [] in
+  let evictions = ref 0 in
+  let model_touch seq =
+    match Hashtbl.find_opt counts seq with
+    | Some c ->
+      Hashtbl.replace counts seq (c + 1);
+      order := seq :: List.filter (fun s -> s <> seq) !order;
+      c + 1
+    | None ->
+      if Hashtbl.length counts = max_flows then begin
+        match List.rev !order with
+        | lru :: _ ->
+          Hashtbl.remove counts lru;
+          order := List.filter (fun s -> s <> lru) !order;
+          incr evictions
+        | [] -> assert false
+      end;
+      Hashtbl.replace counts seq 1;
+      order := seq :: !order;
+      1
+  in
+  let rng = Prng.of_int 20260806 in
+  for i = 1 to 2000 do
+    if Prng.int rng 4 = 0 then begin
+      (* malformed packets must bounce at decode without touching flows *)
+      match Pipeline.process p "\xff" with
+      | Rejected_decode _ -> ()
+      | _ -> Alcotest.fail "garbage survived decode"
+    end
+    else begin
+      let seq =
+        match Prng.int rng 3 with
+        | 0 -> i mod n_flows (* sweep: steady eviction pressure *)
+        | 1 -> Prng.int rng n_flows (* random revisits *)
+        | _ -> Prng.int rng max_flows (* hot set that should stay resident *)
+      in
+      let expected = model_touch seq in
+      observed := None;
+      check_bool "accepted" true (Pipeline.process p (arq_data ~seq "d") = Accepted);
+      match !observed with
+      | None -> Alcotest.fail "responder not consulted for accepted packet"
+      | Some (got_seq, got_n) ->
+        check_int "responder saw the packet's flow" seq (Int64.to_int got_seq);
+        if got_n <> expected then
+          Alcotest.failf
+            "flow %d: instance register %d, model %d — stale or lost state after \
+             %d evictions"
+            seq got_n expected !evictions
+    end
+  done;
+  check_int "table stayed bounded" max_flows (Pipeline.flow_count p);
+  check_int "evictions match the model" !evictions
+    (Stats.evicted_flows (Pipeline.stats p));
+  check_int "live flows match the model" (Hashtbl.length counts)
+    (Pipeline.flow_count p)
+
 let pipeline_classify_id_fast_path () =
   (* The id-returning classifier: negative = pass-through, a valid id
      fires, and the opt-in hook sees the reconstructed transition. *)
@@ -364,6 +455,8 @@ let suite =
         Alcotest.test_case "responder" `Quick pipeline_responder;
         Alcotest.test_case "patch responder" `Quick pipeline_patch_responder;
         Alcotest.test_case "flow eviction" `Quick pipeline_flow_eviction;
+        Alcotest.test_case "eviction under adversarial churn" `Quick
+          pipeline_eviction_churn;
         Alcotest.test_case "classify_id fast path" `Quick
           pipeline_classify_id_fast_path ] );
     ( "engine.shard",

@@ -14,4 +14,5 @@ let () =
          Test_view.suite;
          Test_emit.suite;
          Test_engine.suite;
+         Test_check.suite;
        ])

@@ -1,103 +1,66 @@
 (* Equivalence of the zero-copy [View] decoder and the allocating [Codec]:
-   for every shipped format and any input — valid, bit-flipped, or
-   truncated — both decoders must agree on the accept/reject verdict, and
-   on acceptance the view must materialise exactly the codec's value.
-   This is the safety argument for using the zero-copy path in the engine:
-   it surfaces no field the full validator would have rejected. *)
+   for every shipped format and any input — valid, structure-aware mutant,
+   bit-flipped, truncated, or garbage — both decoders must agree on the
+   accept/reject verdict, and on acceptance the view must materialise
+   exactly the codec's value.  This is the safety argument for using the
+   zero-copy path in the engine: it surfaces no field the full validator
+   would have rejected.
+
+   The adversarial inputs come from [Netdsl_check]: corpus seeds mutated
+   by the structure-aware fuzzer, judged by the differential oracle
+   (which also cross-checks Emit and the Pipeline on the same bytes).
+   The ad-hoc IPv4/TCP generators that used to live here are now
+   [Netdsl_check.Corpus.value_generator]. *)
 
 open Netdsl_format
 module Fm = Netdsl_formats
 module Prng = Netdsl_util.Prng
+module Ck = Netdsl_check
 
 let trials = 200
 
-(* Formats whose derived-field dependencies Gen cannot invert get a
-   handcrafted generator instead. *)
-let gen_ipv4 rng =
-  let payload = String.make (Prng.int rng 400) 'p' in
-  let options = String.make (4 * Prng.int rng 3) 'o' in
-  let v =
-    Fm.Ipv4.make ~identification:(Prng.int rng 0x10000)
-      ~ttl:(1 + Prng.int rng 255) ~options ~protocol:Fm.Ipv4.protocol_udp
-      ~source:(Fm.Ipv4.addr_of_string "10.0.0.1")
-      ~destination:(Fm.Ipv4.addr_of_string "10.0.0.2")
-      ~payload ()
-  in
-  Codec.encode_exn Fm.Ipv4.format v
+let all_formats = Ck.Corpus.shipped
 
-let gen_tcp rng =
-  let payload = String.make (Prng.int rng 200) 'p' in
-  let options = String.make (4 * Prng.int rng 3) '\x01' in
-  let v =
-    Fm.Tcp.make ~syn:(Prng.bool rng) ~ack:(Prng.bool rng)
-      ~window:(Prng.int rng 0x10000) ~options ~src_port:(Prng.int rng 0x10000)
-      ~dst_port:(Prng.int rng 0x10000)
-      ~seq_number:(Int64.of_int (Prng.int rng 1000000))
-      ~payload ()
-  in
-  Codec.encode_exn Fm.Tcp.format v
+let expect_agreement name oracle ~what pkt =
+  match Ck.Oracle.check oracle pkt with
+  | Ok () -> ()
+  | Error d ->
+    Alcotest.failf "%s (%s): %s" name what (Ck.Oracle.disagreement_to_string d)
 
-let all_formats =
-  [ ("arp", Fm.Arp.format, None);
-    ("arq", Fm.Arq.format, None);
-    ("dns", Fm.Dns.format, None);
-    ("ethernet", Fm.Ethernet.format, None);
-    ("icmp", Fm.Icmp.format, None);
-    ("ipv4", Fm.Ipv4.format, Some gen_ipv4);
-    ("pcap", Fm.Pcap.format, None);
-    ("tcp", Fm.Tcp.format, Some gen_tcp);
-    ("tftp", Fm.Tftp.format, None);
-    ("tlv", Fm.Tlv.format, None);
-    ("udp", Fm.Udp.format, None) ]
-
-let sample rng fmt custom =
-  match custom with
-  | Some g -> g rng
-  | None -> Gen.generate_bytes rng fmt
-
-(* One packet through both decoders; fails the test on any disagreement. *)
-let check_agree name fmt view packet ~what =
-  let codec_r = Codec.decode fmt packet in
-  let view_r = View.decode view packet in
-  match (codec_r, view_r) with
-  | Ok cv, Ok () ->
-    let vv = View.to_value view in
-    if not (Value.equal cv vv) then
-      Alcotest.failf "%s (%s): decoders accept but values differ\ncodec: %s\nview:  %s"
-        name what (Value.to_string cv) (Value.to_string vv)
-  | Error _, Error _ -> ()
-  | Ok _, Error e ->
-    Alcotest.failf "%s (%s): codec accepts, view rejects: %s" name what
-      (Codec.error_to_string e)
-  | Error e, Ok () ->
-    Alcotest.failf "%s (%s): view accepts, codec rejects: %s" name what
-      (Codec.error_to_string e)
-
-let equivalence_case (name, fmt, custom) =
+(* Valid packets, structure-aware mutants and random truncations, all
+   through the differential oracle. *)
+let equivalence_case (name, fmt) =
   Alcotest.test_case name `Quick (fun () ->
       let rng = Prng.of_int 20260806 in
-      let view = View.create fmt in
+      let oracle = Ck.Oracle.create fmt in
+      let corpus = Ck.Corpus.make fmt rng in
+      let plan = Ck.Mutate.plan fmt in
+      Array.iter
+        (fun s -> expect_agreement name oracle ~what:"corpus seed" s)
+        (Ck.Corpus.seeds corpus);
       for _ = 1 to trials do
-        let packet = sample rng fmt custom in
-        check_agree name fmt view packet ~what:"valid";
-        check_agree name fmt view
-          (Gen.mutate rng ~flips:(1 + Prng.int rng 8) packet)
-          ~what:"mutated";
-        if String.length packet > 0 then
-          check_agree name fmt view (Gen.truncate_random rng packet)
-            ~what:"truncated"
+        let seed_pkt = Ck.Corpus.pick corpus rng in
+        let mutant =
+          Ck.Mutate.apply (Ck.Mutate.random plan rng seed_pkt) seed_pkt
+        in
+        expect_agreement name oracle ~what:"mutant" mutant;
+        expect_agreement name oracle ~what:"bit flips"
+          (Gen.mutate rng ~flips:(1 + Prng.int rng 8) seed_pkt);
+        if String.length seed_pkt > 0 then
+          expect_agreement name oracle ~what:"truncated"
+            (Gen.truncate_random rng seed_pkt)
       done)
 
 (* The view must also reject garbage the way the codec does, not crash. *)
 let random_garbage () =
   let rng = Prng.of_int 4096 in
   List.iter
-    (fun (name, fmt, _) ->
-      let view = View.create fmt in
+    (fun (name, fmt) ->
+      let oracle = Ck.Oracle.create fmt in
       for _ = 1 to 100 do
         let len = Prng.int rng 64 in
         let s = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
-        check_agree name fmt view s ~what:"garbage"
+        expect_agreement name oracle ~what:"garbage" s
       done)
     all_formats
 
