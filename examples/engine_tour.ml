@@ -141,7 +141,12 @@ let scene_tftp () =
 let scene_shard () =
   rule "3. Multicore flow sharding by the DSL-declared \"seq\" field";
   let config = { Engine.Shard.workers = 2; pipeline = Engine.Pipeline.default_config } in
-  match Engine.Shard.create ~config ~key:"seq" Formats.Arq.format with
+  (* two workers on purpose even on a one-core box: the sharding structure
+     is the point of the scene, so opt out of the core clamp *)
+  match
+    Engine.Shard.create ~config ~allow_oversubscribe:true ~key:"seq"
+      Formats.Arq.format
+  with
   | Error e -> Printf.printf "shard setup refused: %s\n" e
   | Ok shard ->
     Engine.Shard.start shard;

@@ -4,9 +4,10 @@ module Codec = Netdsl_format.Codec
 module View = Netdsl_format.View
 module Emit = Netdsl_format.Emit
 module Pipeline = Netdsl_engine.Pipeline
+module Flight = Netdsl_engine.Flight
 module Stats = Netdsl_engine.Stats
 
-type bug = No_bug | Invert_view_accept
+type bug = No_bug | Invert_view_accept | Invert_flight_accept
 
 type disagreement = { d_check : string; d_detail : string }
 
@@ -19,11 +20,19 @@ type t = {
   o_emit : Emit.t;
   o_pipe : Pipeline.t;
   o_saw_verify : bool ref;
-  (* reference model of the pipeline's counters, advanced before each
+  (* check 4: the fused hot decoder, diffed register by register, plus a
+     whole pipeline running in Fused mode over a flight plan demanding
+     every hot-eligible field *)
+  o_hot : View.Hot.t option;
+  o_hot_slots : (string * int) array;
+  o_fused : Pipeline.t;
+  (* reference model of the pipelines' counters, advanced before each
      [process]; any drift is a stats-consistency disagreement *)
   mutable o_exp_decode_pkts : int;
   mutable o_exp_decode_rejects : int;
   mutable o_exp_verify_pkts : int;
+  mutable o_exp_fused_pkts : int;
+  mutable o_exp_fused_rejects : int;
   mutable o_checked : int;
   mutable o_accepted : int;
 }
@@ -37,6 +46,23 @@ let create ?(bug = No_bug) fmt =
         true)
       fmt
   in
+  let eligible = View.Hot.eligible_fields fmt in
+  let hot =
+    match View.Hot.compile ~demand:eligible fmt with
+    | Ok h -> Some h
+    | Error _ -> None
+  in
+  let hot_slots =
+    match hot with
+    | None -> [||]
+    | Some h ->
+      Array.of_list (List.map (fun f -> (f, View.Hot.demand_slot h f)) eligible)
+  in
+  let fused =
+    Pipeline.create ~mode:Pipeline.Fused
+      ~flight:(Flight.spec ~demand:eligible ())
+      fmt
+  in
   {
     o_fmt = fmt;
     o_bug = bug;
@@ -44,9 +70,14 @@ let create ?(bug = No_bug) fmt =
     o_emit = Emit.create fmt;
     o_pipe = pipe;
     o_saw_verify = saw_verify;
+    o_hot = hot;
+    o_hot_slots = hot_slots;
+    o_fused = fused;
     o_exp_decode_pkts = 0;
     o_exp_decode_rejects = 0;
     o_exp_verify_pkts = 0;
+    o_exp_fused_pkts = 0;
+    o_exp_fused_rejects = 0;
     o_checked = 0;
     o_accepted = 0;
   }
@@ -95,6 +126,69 @@ let check_pipeline t pkt ~codec_ok =
         t.o_exp_verify_pkts
     else Ok ()
 
+(* Check 4a: the fused hot decoder against the codec verdict, and — on
+   acceptance — every demanded register against the interpreted view's
+   value for the same field.  [t.o_view] holds the decoded packet when
+   [codec_ok].  The planted fusion defect inverts the hot verdict on
+   accepted input, as if a fused bounds check were flipped. *)
+let check_hot t pkt ~codec_ok =
+  match t.o_hot with
+  | None -> Ok ()
+  | Some h ->
+    let ok = View.Hot.run h pkt in
+    let ok = match (t.o_bug, ok) with Invert_flight_accept, true -> false | _ -> ok in
+    if ok && not codec_ok then
+      fail "flight" "fused decoder accepts a packet the codec rejects"
+    else if (not ok) && codec_ok then
+      fail "flight" "fused decoder rejects a packet the codec accepts"
+    else if not ok then Ok ()
+    else
+      let n = Array.length t.o_hot_slots in
+      let rec go i =
+        if i >= n then Ok ()
+        else begin
+          let field, slot = t.o_hot_slots.(i) in
+          let hv = Int64.of_int (View.Hot.get h slot) in
+          let vv = View.get_int t.o_view field in
+          if Int64.equal hv vv then go (i + 1)
+          else
+            fail "flight" "register %S diverged: fused %Ld, view %Ld" field hv
+              vv
+        end
+      in
+      go 0
+
+(* Check 4b: a whole pipeline in Fused mode (flight plan demanding the
+   hot-eligible fields) must agree with the codec verdict and keep its
+   decode counters consistent — the Fused ≡ Staged ≡ Codec leg. *)
+let check_fused t pkt ~codec_ok =
+  t.o_exp_fused_pkts <- t.o_exp_fused_pkts + 1;
+  if not codec_ok then t.o_exp_fused_rejects <- t.o_exp_fused_rejects + 1;
+  let outcome = Pipeline.process t.o_fused pkt in
+  match (outcome, codec_ok) with
+  | ( ( Pipeline.Rejected_verify | Pipeline.Rejected_step
+      | Pipeline.Rejected_encode ),
+      _ ) ->
+    fail "fused" "fused pipeline rejected past the decode stage with nothing armed"
+  | Pipeline.Accepted, false ->
+    fail "fused" "fused pipeline accepted a packet the codec rejects"
+  | Pipeline.Rejected_decode e, true ->
+    fail "fused" "fused pipeline rejected a packet the codec accepts: %s" (err e)
+  | _ ->
+    let stats = Pipeline.stats t.o_fused in
+    let got_p = Stats.stage_packets stats 0
+    and got_r = Stats.stage_rejects stats 0 in
+    if got_p <> t.o_exp_fused_pkts || got_r <> t.o_exp_fused_rejects then
+      fail "stats"
+        "fused stage counters drifted: decode %d/%d rejects %d/%d (got/expected)"
+        got_p t.o_exp_fused_pkts got_r t.o_exp_fused_rejects
+    else Ok ()
+
+let check_flight t pkt ~codec_ok =
+  match check_hot t pkt ~codec_ok with
+  | Error _ as e -> e
+  | Ok () -> check_fused t pkt ~codec_ok
+
 (* Check 2: compiled emit vs interpreting codec on the decoded value. *)
 let check_reencode t value =
   match (Codec.encode t.o_fmt value, Emit.encode t.o_emit value) with
@@ -120,7 +214,10 @@ let check_inner t pkt =
   match (codec_r, view_verdict) with
   | Ok _, Error ve -> fail "verdict" "codec accepts, view rejects: %s" ve
   | Error ce, Ok () -> fail "verdict" "view accepts, codec rejects: %s" (err ce)
-  | Error _, Error _ -> check_pipeline t pkt ~codec_ok:false
+  | Error _, Error _ -> (
+    match check_flight t pkt ~codec_ok:false with
+    | Error _ as e -> e
+    | Ok () -> check_pipeline t pkt ~codec_ok:false)
   | Ok cv, Ok () -> (
     let vv = View.to_value t.o_view in
     if not (Value.equal cv vv) then
@@ -130,11 +227,14 @@ let check_inner t pkt =
       match check_reencode t cv with
       | Error _ as e -> e
       | Ok () -> (
-        match check_pipeline t pkt ~codec_ok:true with
+        match check_flight t pkt ~codec_ok:true with
         | Error _ as e -> e
-        | Ok () ->
-          t.o_accepted <- t.o_accepted + 1;
-          Ok ()))
+        | Ok () -> (
+          match check_pipeline t pkt ~codec_ok:true with
+          | Error _ as e -> e
+          | Ok () ->
+            t.o_accepted <- t.o_accepted + 1;
+            Ok ())))
 
 let check t pkt =
   t.o_checked <- t.o_checked + 1;

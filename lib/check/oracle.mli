@@ -4,7 +4,7 @@
     {!Netdsl_format.Emit} encode, the {!Netdsl_engine.Pipeline} built on
     both) are only trustworthy while they agree with the interpreted
     {!Netdsl_format.Codec} baseline on *adversarial* input, not just on
-    generator output.  {!check} runs one wire message through three
+    generator output.  {!check} runs one wire message through four
     differential comparisons:
 
     + verdict and value: [View.decode] vs [Codec.decode] must agree on
@@ -15,23 +15,32 @@
     + engine: [Pipeline.process] must not raise, must reject exactly when
       the decoders reject, must never let a rejected mutant reach the
       verify stage, and must keep the per-stage {!Netdsl_engine.Stats}
-      counters consistent with the packets actually fed.
+      counters consistent with the packets actually fed;
+    + fused: the {!Netdsl_format.View.Hot} fused decoder must agree with
+      the codec verdict and, on acceptance, every demanded register must
+      equal the interpreted view's value — and a second pipeline running
+      in [Fused] mode over a {!Netdsl_engine.Flight} plan (demanding all
+      hot-eligible fields) must agree too, with consistent counters:
+      Fused ≡ Staged ≡ Codec.
 
     Any divergence — including an exception escaping a fast path — is a
-    {!disagreement}.  The [bug] hook plants a known defect (inverting the
-    view verdict, as if a bounds check were flipped) so the harness can
-    prove it would catch one. *)
+    {!disagreement}.  The [bug] hook plants a known defect (inverting a
+    verdict, as if a bounds check were flipped) so the harness can prove
+    it would catch one. *)
 
 type bug =
   | No_bug
   | Invert_view_accept
       (** report the view verdict inverted on successfully parsed input —
           the seeded-bug sanity check of the acceptance criteria *)
+  | Invert_flight_accept
+      (** report the fused hot-decoder verdict inverted on accepted input
+          — proves the fused leg can catch a fusion bug *)
 
 type disagreement = {
   d_check : string;
       (** which comparison diverged: ["verdict"], ["value"], ["reencode"],
-          ["pipeline"], ["stats"] or ["crash"] *)
+          ["pipeline"], ["flight"], ["fused"], ["stats"] or ["crash"] *)
   d_detail : string;  (** rendered evidence: both sides of the divergence *)
 }
 

@@ -1,0 +1,476 @@
+(* Fused run-to-completion flight plans.
+
+   A [spec] states, declaratively, everything the pipeline's per-packet
+   closures used to do imperatively: which fields the stages read, the
+   semantic verify predicate, the event classifier, the flow key, and the
+   respond-by-patching rules.  {!compile} lowers the spec against a format
+   once, into two coordinated artefacts:
+
+   - a {e fused} fast path: when the format admits a {!View.Hot} plan for
+     exactly the demanded fields, one [Hot.run] decodes, validates and
+     extracts the demanded registers in a single pass, and every
+     condition is a precompiled closure over native-int registers — no
+     [View.t], no boxed values, no per-packet allocation.  When the
+     format (or a demanded field) is outside the linear subset, the fused
+     path falls back to an internal reusable [View.t]: still fused
+     control flow, staged decode machinery.
+
+   - {e staged} derivations ({!staged_verify}, {!staged_classify_id},
+     {!staged_respond_patch}): the same spec expressed as the closures
+     [Pipeline.create] has always taken, so [Staged] and [Fused] modes of
+     one pipeline run the {e same semantics} from the same source of
+     truth and can be diffed by the oracle.
+
+   Ordering guarantee (paper §3.4): [run] performs the {e complete}
+   syntactic validation of the packet — every constant, constraint,
+   computed field and checksum — before returning, and the pipeline
+   consults [verify] before any classify/step/respond op.  Fusion changes
+   where the work happens, never its order. *)
+
+module F = Netdsl_format
+module Fsm = Netdsl_fsm
+
+(* ---- spec ---- *)
+
+type operand = Field of string | Const of int64
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmp * operand * operand
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type rule = { ev_when : cond; ev_name : string }
+type action = { set_field : string; set_to : operand }
+type response = { re_when : cond; re_set : action list }
+
+type spec = {
+  sp_demand : string list;
+  sp_verify : cond option;
+  sp_classify : rule list;
+  sp_flow_key : string option;
+  sp_respond : response list;
+}
+
+let spec ?(demand = []) ?verify ?(classify = []) ?flow_key ?(respond = []) () =
+  { sp_demand = demand; sp_verify = verify; sp_classify = classify;
+    sp_flow_key = flow_key; sp_respond = respond }
+
+let rec cond_fields acc = function
+  | Cmp (_, a, b) -> operand_field (operand_field acc a) b
+  | All cs | Any cs -> List.fold_left cond_fields acc cs
+  | Not c -> cond_fields acc c
+
+and operand_field acc = function Field f -> f :: acc | Const _ -> acc
+
+let spec_fields s =
+  let acc = s.sp_demand in
+  let acc = match s.sp_flow_key with None -> acc | Some f -> f :: acc in
+  let acc =
+    match s.sp_verify with None -> acc | Some c -> cond_fields acc c
+  in
+  let acc =
+    List.fold_left (fun acc r -> cond_fields acc r.ev_when) acc s.sp_classify
+  in
+  let acc =
+    List.fold_left
+      (fun acc r ->
+        let acc = cond_fields acc r.re_when in
+        List.fold_left (fun acc a -> operand_field acc a.set_to) acc r.re_set)
+      acc s.sp_respond
+  in
+  List.sort_uniq String.compare acc
+
+(* ---- compiled form ---- *)
+
+(* Event id for a classified name the plan does not know — same sentinel
+   as [Pipeline.unknown_event]: refused by [Step.fire_id] as
+   [Unknown_event] rather than mistaken for pass-through. *)
+let unknown_event = max_int
+
+type engine =
+  | Linear of F.View.Hot.t  (* fused fast path: registers, no View.t *)
+  | Interp of F.View.t  (* fallback: fused control flow, staged decode *)
+
+type crule = {
+  (* classify rule: precompiled guard on each side, interned event id *)
+  c_hot : unit -> bool;
+  c_view : F.View.t -> bool;
+  c_ev : int;
+}
+
+type caction = {
+  a_patcher : (F.Emit.patcher, string) result;
+  a_field : string;
+  a_hot : unit -> int64;  (* boxed once per applied patch, unavoidable *)
+  a_view : F.View.t -> int64 option;
+}
+
+type cresponse = {
+  r_hot : unit -> bool;
+  r_view : F.View.t -> bool;
+  r_set : caction array;
+}
+
+type t = {
+  fmt : F.Desc.t;
+  sp_key : string option;
+  engine : engine;
+  verify_hot : (unit -> bool) option;
+  verify_view : (F.View.t -> bool) option;
+  classify : crule array;
+  responses : cresponse array;
+  key_hot : (unit -> int) option;  (* flow key as a native int *)
+  key_view : (F.View.t -> int64 option) option;
+  has_classify : bool;
+  mutable last_err : F.Codec.error option;
+}
+
+let apply0 f = f ()
+
+(* int-side comparison; registers are exact native ints in [0, 2^62). *)
+let cmp_int op x y =
+  match op with
+  | Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+
+let cmp_i64 op x y =
+  let c = Int64.compare x y in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let ttrue () = true
+let tfalse () = false
+
+(* ---- hot-side lowering (registers) ---- *)
+
+(* A constant outside native-int range can never equal a register value
+   (registers are < 2^62): fold the comparison to its known truth. *)
+let fold_high op =
+  (* register value is strictly less than the constant *)
+  match op with Eq | Gt | Ge -> tfalse | Ne | Lt | Le -> ttrue
+
+let fold_low op =
+  (* register value is strictly greater than the constant *)
+  match op with Eq | Lt | Le -> tfalse | Ne | Gt | Ge -> ttrue
+
+let int_of_const c =
+  if Int64.compare c (Int64.of_int max_int) > 0 then `High
+  else if Int64.compare c (Int64.of_int min_int) < 0 then `Low
+  else `Int (Int64.to_int c)
+
+let compile_cmp_hot h op a b =
+  let slot f = F.View.Hot.demand_slot h f in
+  match (a, b) with
+  | Field fa, Field fb ->
+    let sa = slot fa and sb = slot fb in
+    fun () -> cmp_int op (F.View.Hot.get h sa) (F.View.Hot.get h sb)
+  | Field fa, Const c -> (
+    let sa = slot fa in
+    match int_of_const c with
+    | `Int ci -> fun () -> cmp_int op (F.View.Hot.get h sa) ci
+    | `High -> fold_high op
+    | `Low -> fold_low op)
+  | Const c, Field fb -> (
+    let sb = slot fb in
+    match int_of_const c with
+    | `Int ci -> fun () -> cmp_int op ci (F.View.Hot.get h sb)
+    | `High -> fold_low op (* constant above any register value *)
+    | `Low -> fold_high op)
+  | Const ca, Const cb -> if cmp_i64 op ca cb then ttrue else tfalse
+
+let rec compile_cond_hot h = function
+  | Cmp (op, a, b) -> compile_cmp_hot h op a b
+  | All cs ->
+    let cs = List.map (compile_cond_hot h) cs in
+    fun () -> List.for_all apply0 cs
+  | Any cs ->
+    let cs = List.map (compile_cond_hot h) cs in
+    fun () -> List.exists apply0 cs
+  | Not c ->
+    let c = compile_cond_hot h c in
+    fun () -> not (c ())
+
+(* ---- view-side lowering (the staged semantics, shared by the fallback
+   engine and by the staged derivations — identical by construction) ---- *)
+
+let compile_operand_view = function
+  | Const c -> fun _ -> Some c
+  | Field f -> fun view -> F.View.find_int view f
+
+(* A comparison over a field the view cannot produce is [false]: the spec
+   asked about a value the packet does not carry. *)
+let compile_cmp_view op a b =
+  let ga = compile_operand_view a and gb = compile_operand_view b in
+  fun view ->
+    match (ga view, gb view) with
+    | Some x, Some y -> cmp_i64 op x y
+    | _ -> false
+
+let rec compile_cond_view = function
+  | Cmp (op, a, b) -> compile_cmp_view op a b
+  | All cs ->
+    let cs = List.map compile_cond_view cs in
+    fun view -> List.for_all (fun c -> c view) cs
+  | Any cs ->
+    let cs = List.map compile_cond_view cs in
+    fun view -> List.exists (fun c -> c view) cs
+  | Not c ->
+    let c = compile_cond_view c in
+    fun view -> not (c view)
+
+(* ---- compile ---- *)
+
+let compile ?plan fmt sp =
+  let demand = spec_fields sp in
+  let engine =
+    match F.View.Hot.compile ~demand fmt with
+    | Ok h -> Linear h
+    | Error _ -> Interp (F.View.create fmt)
+  in
+  let hot_of cond =
+    match engine with
+    | Linear h -> compile_cond_hot h cond
+    | Interp _ -> ttrue (* never consulted on the fallback engine *)
+  in
+  let event_of name =
+    match plan with
+    | None -> unknown_event
+    | Some p ->
+      let id = Fsm.Step.event_id p name in
+      if id < 0 then unknown_event else id
+  in
+  let classify =
+    Array.of_list
+      (List.map
+         (fun r ->
+           { c_hot = hot_of r.ev_when;
+             c_view = compile_cond_view r.ev_when;
+             c_ev = event_of r.ev_name })
+         sp.sp_classify)
+  in
+  let compile_action a =
+    let a_hot =
+      match (engine, a.set_to) with
+      | Linear h, Field f ->
+        let s = F.View.Hot.demand_slot h f in
+        fun () -> Int64.of_int (F.View.Hot.get h s)
+      | _, Const c -> fun () -> c
+      | Interp _, Field _ -> fun () -> 0L (* never consulted *)
+    in
+    { a_patcher = F.Emit.patcher fmt a.set_field;
+      a_field = a.set_field;
+      a_hot;
+      a_view = compile_operand_view a.set_to }
+  in
+  let responses =
+    Array.of_list
+      (List.map
+         (fun r ->
+           { r_hot = hot_of r.re_when;
+             r_view = compile_cond_view r.re_when;
+             r_set = Array.of_list (List.map compile_action r.re_set) })
+         sp.sp_respond)
+  in
+  let key_hot, key_view =
+    match sp.sp_flow_key with
+    | None -> (None, None)
+    | Some f ->
+      let hot =
+        match engine with
+        | Linear h ->
+          let s = F.View.Hot.demand_slot h f in
+          Some (fun () -> F.View.Hot.get h s)
+        | Interp _ -> None
+      in
+      (hot, Some (fun view -> F.View.find_int view f))
+  in
+  {
+    fmt;
+    sp_key = sp.sp_flow_key;
+    engine;
+    verify_hot = Option.map hot_of sp.sp_verify;
+    verify_view = Option.map compile_cond_view sp.sp_verify;
+    classify;
+    responses;
+    key_hot;
+    key_view;
+    has_classify = sp.sp_classify <> [];
+    last_err = None;
+  }
+
+let tier t = match t.engine with Linear _ -> `Linear | Interp _ -> `Interp
+let format t = t.fmt
+let flow_key_name t = t.sp_key
+
+(* ---- fused per-packet interface ---- *)
+
+let run_window t ~off ~len data =
+  match t.engine with
+  | Linear h -> F.View.Hot.run_window h ~off ~len data
+  | Interp v -> (
+    match F.View.decode v ~off ~len data with
+    | Ok () ->
+      t.last_err <- None;
+      true
+    | Error e ->
+      t.last_err <- Some e;
+      false)
+
+let run t ?(off = 0) ?len data =
+  let len = match len with None -> String.length data - off | Some l -> l in
+  run_window t ~off ~len data
+
+let last_error t = t.last_err
+
+let verify_armed t = t.verify_view <> None
+
+let verify_ok t =
+  match t.engine with
+  | Linear _ -> ( match t.verify_hot with None -> true | Some c -> c ())
+  | Interp v -> ( match t.verify_view with None -> true | Some c -> c v)
+
+let classify_armed t = t.has_classify
+
+(* First matching rule wins; no match means the packet does not concern
+   the machine (pass-through, -1) — same contract as the staged
+   classifier closure. *)
+let event t =
+  (* while-loops, not a local recursive closure: this runs per packet on
+     the fused fast path and must not allocate *)
+  let arr = t.classify in
+  let n = Array.length arr in
+  let found = ref (-1) in
+  let i = ref 0 in
+  (match t.engine with
+  | Linear _ ->
+    while !found < 0 && !i < n do
+      if (Array.unsafe_get arr !i).c_hot () then
+        found := (Array.unsafe_get arr !i).c_ev;
+      incr i
+    done
+  | Interp v ->
+    while !found < 0 && !i < n do
+      if (Array.unsafe_get arr !i).c_view v then
+        found := (Array.unsafe_get arr !i).c_ev;
+      incr i
+    done);
+  !found
+
+(* Flow key as a native int; [min_int] means "no key on this packet"
+   (fall back to the shared default instance, as the staged path does
+   when [find_int] returns [None]).  Wide keys are truncated by
+   [Int64.to_int] identically in both modes. *)
+let no_key = min_int
+
+let flow_key t =
+  match t.engine with
+  | Linear _ -> ( match t.key_hot with None -> no_key | Some k -> k ())
+  | Interp v -> (
+    match t.key_view with
+    | None -> no_key
+    | Some k -> ( match k v with None -> no_key | Some k -> Int64.to_int k))
+
+let response t =
+  let arr = t.responses in
+  let n = Array.length arr in
+  let found = ref (-1) in
+  let i = ref 0 in
+  (match t.engine with
+  | Linear _ ->
+    while !found < 0 && !i < n do
+      if (Array.unsafe_get arr !i).r_hot () then found := !i;
+      incr i
+    done
+  | Interp v ->
+    while !found < 0 && !i < n do
+      if (Array.unsafe_get arr !i).r_view v then found := !i;
+      incr i
+    done);
+  !found
+
+let apply t idx buf ~len =
+  let r = t.responses.(idx) in
+  let n = Array.length r.r_set in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let a = r.r_set.(!i) in
+    (match a.a_patcher with
+    | Error _ -> ok := false
+    | Ok p -> (
+      match t.engine with
+      | Linear _ -> (
+        match F.Emit.patch_window p ~off:0 ~len buf (a.a_hot ()) with
+        | Ok () -> ()
+        | Error _ -> ok := false)
+      | Interp view -> (
+        match a.a_view view with
+        | None -> ok := false
+        | Some v -> (
+          match F.Emit.patch_window p ~off:0 ~len buf v with
+          | Ok () -> ()
+          | Error _ -> ok := false))));
+    incr i
+  done;
+  !ok
+
+let n_responses t = Array.length t.responses
+
+(* ---- staged derivations ----
+
+   The same spec as the closures [Pipeline.create] has always taken.
+   These consult only the view-side lowering, which the fallback engine
+   shares verbatim — so Staged and the Interp-tier Fused path are the
+   same code, and the Linear tier is diffed against it by the oracle. *)
+
+let staged_verify t = t.verify_view
+
+let staged_classify_id t =
+  if not t.has_classify then None
+  else
+    Some
+      (fun view ->
+        let n = Array.length t.classify in
+        let rec go i =
+          if i >= n then -1
+          else if t.classify.(i).c_view view then t.classify.(i).c_ev
+          else go (i + 1)
+        in
+        go 0)
+
+let staged_respond_patch t =
+  if Array.length t.responses = 0 then None
+  else
+    Some
+      (fun view ->
+        let n = Array.length t.responses in
+        let rec pick i =
+          if i >= n then None
+          else if t.responses.(i).r_view view then Some t.responses.(i)
+          else pick (i + 1)
+        in
+        match pick 0 with
+        | None -> None
+        | Some r ->
+          Some
+            (Array.to_list r.r_set
+            |> List.map (fun a ->
+                   match a.a_view view with
+                   | Some v -> (a.a_field, v)
+                   | None ->
+                     (* source field absent: emit an impossible mutation
+                        so the staged encode stage rejects the packet,
+                        exactly as the fused [apply] does *)
+                     ("", 0L))))

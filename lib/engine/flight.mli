@@ -1,0 +1,136 @@
+(** Fused run-to-completion flight plans.
+
+    A {!spec} is a declarative account of what the pipeline's stages do
+    to a packet: which fields are read, the semantic verify predicate,
+    the event classifier, the flow key, and the respond-by-patching
+    rules.  {!compile} lowers it against a format once into a plan that
+    the pipeline's [Fused] mode executes per packet run-to-completion —
+    and simultaneously derives the {e staged} closures ([Staged] mode has
+    always taken), so both modes run the same semantics from one source
+    of truth and the differential oracle can diff them.
+
+    When the format admits a {!Netdsl_format.View.Hot} plan for the
+    demanded fields, the fused path decodes, validates and extracts
+    native-int registers in one pass with no [View.t] and no per-packet
+    allocation (the [`Linear] tier).  Otherwise it falls back to an
+    internal reusable view ([`Interp] tier): fused control flow, staged
+    decode machinery, identical acceptance either way.
+
+    §3.4 ordering: {!run} completes {e all} syntactic validation before
+    any field is surfaced, and the pipeline consults {!verify_ok} before
+    any machine step or response — fusion moves the work, not its order. *)
+
+(** {2 Specs} *)
+
+type operand = Field of string | Const of int64
+(** A value read from a decoded top-level field, or a literal. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmp * operand * operand
+  | All of cond list  (** conjunction; [All \[\]] is true *)
+  | Any of cond list  (** disjunction; [Any \[\]] is false *)
+  | Not of cond
+(** A predicate over decoded fields.  A comparison involving a field the
+    packet does not carry is [false]. *)
+
+type rule = { ev_when : cond; ev_name : string }
+(** Classifier rule: first matching rule names the machine event. *)
+
+type action = { set_field : string; set_to : operand }
+(** In-place patch of one top-level scalar of the request bytes. *)
+
+type response = { re_when : cond; re_set : action list }
+(** Respond rule: first matching rule's actions build the reply. *)
+
+type spec
+
+val spec :
+  ?demand:string list ->
+  ?verify:cond ->
+  ?classify:rule list ->
+  ?flow_key:string ->
+  ?respond:response list ->
+  unit ->
+  spec
+(** [demand] forces extra fields to be extracted (beyond those the
+    conditions, actions and flow key already demand). *)
+
+(** {2 Compilation} *)
+
+type t
+
+val compile : ?plan:Netdsl_fsm.Step.plan -> Netdsl_format.Desc.t -> spec -> t
+(** Always succeeds: formats outside the linear hot subset compile to the
+    [`Interp] tier.  Event names are interned against [plan] (an unknown
+    name classifies to an id [Step.fire_id] refuses as [Unknown_event]). *)
+
+val tier : t -> [ `Linear | `Interp ]
+val format : t -> Netdsl_format.Desc.t
+
+val flow_key_name : t -> string option
+(** The spec's flow-key field, if any. *)
+
+(** {2 Per-packet execution}
+
+    One packet at a time: {!run}, then the accessors, which read the
+    state of the last successful [run]. *)
+
+val run : t -> ?off:int -> ?len:int -> string -> bool
+(** Decode and {e fully} validate one packet against the format — [true]
+    exactly when [View.decode] would return [Ok].  [`Linear] tier
+    allocates nothing. *)
+
+val run_window : t -> off:int -> len:int -> string -> bool
+(** {!run} with both bounds required: the fused per-packet loop uses this
+    so the call site does not box an optional argument. *)
+
+val last_error : t -> Netdsl_format.Codec.error option
+(** Decode error detail of the last failed {!run} — [`Interp] tier only
+    (the linear tier collapses errors to the boolean verdict). *)
+
+val verify_armed : t -> bool
+val verify_ok : t -> bool
+(** The spec's verify predicate over the decoded packet ([true] when the
+    spec has none). *)
+
+val classify_armed : t -> bool
+
+val event : t -> int
+(** Classified event id: [>= 0] a plan event id, [-1] pass-through (no
+    rule matched), [max_int] a rule named an event the plan lacks. *)
+
+val flow_key : t -> int
+(** The flow-key field of the decoded packet as a native int, or
+    [min_int] when the packet carries no key (use the default shared
+    instance, as the staged path does). *)
+
+val no_key : int
+(** = [min_int], the {!flow_key} "no key" sentinel. *)
+
+val n_responses : t -> int
+
+val response : t -> int
+(** Index of the first matching respond rule, or [-1] for none. *)
+
+val apply : t -> int -> Bytes.t -> len:int -> bool
+(** [apply t idx buf ~len] applies respond rule [idx]'s patches in place
+    to the reply bytes [buf.(0 .. len-1)] (a copy of the request).
+    [false] if any patch fails to compile, validate, or find its source
+    field — the packet is then rejected at the encode stage. *)
+
+(** {2 Staged derivations}
+
+    The spec expressed as the closures [Pipeline.create] has always
+    taken; [Staged] mode runs on these, so both modes share one source
+    of truth. *)
+
+val staged_verify : t -> (Netdsl_format.View.t -> bool) option
+
+val staged_classify_id : t -> (Netdsl_format.View.t -> int) option
+
+val staged_respond_patch :
+  t -> (Netdsl_format.View.t -> (string * int64) list option) option
+(** Responses in a spec read only decoded fields, never machine state, so
+    the derived closure takes just the view. *)

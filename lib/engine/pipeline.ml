@@ -5,9 +5,13 @@ type config = {
   batch : int;
   ring_capacity : int;
   max_flows : int;
+  slot_bytes : int;
 }
 
-let default_config = { batch = 64; ring_capacity = 1024; max_flows = 65536 }
+let default_config =
+  { batch = 64; ring_capacity = 1024; max_flows = 65536; slot_bytes = 2048 }
+
+type mode = Staged | Fused
 
 (* Stage indices — fixed layout, also the Stats layout. *)
 let st_decode = 0
@@ -31,36 +35,137 @@ type outcome =
   | Rejected_step
   | Rejected_encode
 
-(* A per-flow machine instance threaded on an intrusive LRU list: the
-   sentinel's successor is the oldest-idle flow, its predecessor the most
-   recently touched.  Touch and evict are O(1) and allocation-free. *)
-type flow = {
-  f_key : int64;
-  f_inst : Fsm.Step.instance;
-  mutable f_prev : flow;
-  mutable f_next : flow;
-}
+(* Per-flow machine instances on an LRU list.  The list is held as parallel
+   int arrays indexed by slot (slot 0 is the sentinel; live flows occupy
+   slots 1..n): the per-packet touch — unlink + relink at the MRU end — is
+   then four unboxed int stores, where an intrusive pointer list would pay
+   a GC write barrier on every one.  The sentinel's successor is the
+   oldest-idle flow, its predecessor the most recently touched.  Touch and
+   evict are O(1) and allocation-free; arrays double up to [max_flows].
 
+   Flow keys are native ints (wide key fields truncate via
+   [Int64.to_int], identically in both modes); [Flight.no_key]
+   (= [min_int]) is the "packet carries no key" sentinel, served by the
+   shared default instance. *)
 type flow_table = {
-  ft : (int64, flow) Hashtbl.t;
-  sentinel : flow;
+  (* key -> slot: open addressing with linear probing, so the per-packet
+     lookup is allocation-free (Hashtbl.find_opt boxes its result and
+     costs ~5x as much on this path).  [hstate] byte per bucket: 0 empty,
+     1 live, 2 tombstone (left by eviction; rehash sweeps them out). *)
+  mutable hkeys : int array;
+  mutable hvals : int array;
+  mutable hstate : Bytes.t;
+  mutable hmask : int; (* bucket count - 1; bucket count is a power of 2 *)
+  mutable hused : int; (* live + tombstones, drives the rehash *)
+  mutable keys : int array; (* slot -> key *)
+  mutable insts : Fsm.Step.instance array;
+  mutable fprev : int array;
+  mutable fnext : int array;
+  mutable n : int; (* live flows, in slots 1..n *)
+  mutable cap : int; (* slots available before the next doubling *)
   max_flows : int;
 }
 
-let unlink f =
-  f.f_prev.f_next <- f.f_next;
-  f.f_next.f_prev <- f.f_prev
+(* Fibonacci hashing; [land max_int] keeps the probe index non-negative. *)
+let hash k = (k * 0x2545F4914F6CDD1D) land max_int
+
+(* Slot holding [k], or -1.  Linear probe until an empty bucket proves
+   absence; tombstones keep the chain alive past deleted keys. *)
+let hfind tbl k =
+  let mask = tbl.hmask in
+  let i = ref (hash k land mask) in
+  let r = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    match Bytes.unsafe_get tbl.hstate !i with
+    | '\000' -> continue := false
+    | '\001' when Array.unsafe_get tbl.hkeys !i = k ->
+      r := Array.unsafe_get tbl.hvals !i;
+      continue := false
+    | _ -> i := (!i + 1) land mask
+  done;
+  !r
+
+(* Caller guarantees [k] is absent (a failed [hfind] just preceded), so
+   the first empty or tombstoned bucket on the chain is insertable. *)
+let hadd tbl k slot =
+  let mask = tbl.hmask in
+  let i = ref (hash k land mask) in
+  while Bytes.unsafe_get tbl.hstate !i = '\001' do
+    i := (!i + 1) land mask
+  done;
+  if Bytes.unsafe_get tbl.hstate !i = '\000' then tbl.hused <- tbl.hused + 1;
+  Bytes.unsafe_set tbl.hstate !i '\001';
+  tbl.hkeys.(!i) <- k;
+  tbl.hvals.(!i) <- slot
+
+let hremove tbl k =
+  let mask = tbl.hmask in
+  let i = ref (hash k land mask) in
+  let continue = ref true in
+  while !continue do
+    match Bytes.unsafe_get tbl.hstate !i with
+    | '\000' -> continue := false
+    | '\001' when Array.unsafe_get tbl.hkeys !i = k ->
+      Bytes.unsafe_set tbl.hstate !i '\002';
+      continue := false
+    | _ -> i := (!i + 1) land mask
+  done
+
+(* Rehash live entries into [buckets'] buckets, dropping tombstones. *)
+let hrehash tbl buckets' =
+  let okeys = tbl.hkeys and ovals = tbl.hvals and ostate = tbl.hstate in
+  let on = tbl.hmask + 1 in
+  tbl.hkeys <- Array.make buckets' 0;
+  tbl.hvals <- Array.make buckets' 0;
+  tbl.hstate <- Bytes.make buckets' '\000';
+  tbl.hmask <- buckets' - 1;
+  tbl.hused <- 0;
+  for i = 0 to on - 1 do
+    if Bytes.unsafe_get ostate i = '\001' then
+      hadd tbl okeys.(i) ovals.(i)
+  done
+
+(* Keep the load factor (live + tombstones) under 3/4; double only when
+   the live population itself needs the room, otherwise rehash in place
+   to shed tombstones. *)
+let hreserve tbl =
+  let buckets = tbl.hmask + 1 in
+  if (tbl.hused + 1) * 4 > buckets * 3 then
+    hrehash tbl (if (tbl.n + 1) * 2 > buckets then buckets * 2 else buckets)
+
+let unlink tbl slot =
+  let p = Array.unsafe_get tbl.fprev slot
+  and nx = Array.unsafe_get tbl.fnext slot in
+  Array.unsafe_set tbl.fnext p nx;
+  Array.unsafe_set tbl.fprev nx p
 
 (* Insert just before the sentinel: the most-recently-used end. *)
-let push_mru s f =
-  f.f_prev <- s.f_prev;
-  f.f_next <- s;
-  s.f_prev.f_next <- f;
-  s.f_prev <- f
+let push_mru tbl slot =
+  let last = Array.unsafe_get tbl.fprev 0 in
+  Array.unsafe_set tbl.fnext last slot;
+  Array.unsafe_set tbl.fprev slot last;
+  Array.unsafe_set tbl.fnext slot 0;
+  Array.unsafe_set tbl.fprev 0 slot
+
+let grow_flows tbl =
+  let cap' = min tbl.max_flows (tbl.cap * 2) in
+  let extend a fill =
+    let a' = Array.make (cap' + 1) fill in
+    Array.blit a 0 a' 0 (tbl.cap + 1);
+    a'
+  in
+  tbl.keys <- extend tbl.keys 0;
+  tbl.insts <- extend tbl.insts tbl.insts.(0);
+  tbl.fprev <- extend tbl.fprev 0;
+  tbl.fnext <- extend tbl.fnext 0;
+  tbl.cap <- cap'
 
 type t = {
   cfg : config;
+  mode : mode;
   fmt : F.Desc.t;
+  flight : Flight.t option;
   verify : (F.View.t -> bool) option;
   (* the unified classifier: >= 0 is an event id for the plan, any negative
      value means the packet does not concern the machine *)
@@ -68,25 +173,38 @@ type t = {
   plan : Fsm.Step.plan option;
   flow_key : string option;
   on_transition : (Fsm.Machine.transition -> unit) option;
-  respond : (F.View.t -> Fsm.Step.instance -> F.Value.t option) option;
+  (* responders receive the flow instance as a thunk: forcing it mints the
+     flow, so a responder that never consults machine state (the
+     flight-derived patch) keeps the flow table identical to fused mode *)
+  respond :
+    (F.View.t -> (unit -> Fsm.Step.instance option) -> F.Value.t option)
+    option;
   respond_patch :
-    (F.View.t -> Fsm.Step.instance -> (string * int64) list option) option;
+    (F.View.t ->
+    (unit -> Fsm.Step.instance option) ->
+    (string * int64) list option)
+    option;
   respond_fmt : F.Desc.t;
   on_response : string -> unit;
+  on_reply : (Bytes.t -> int -> unit) option;
   (* encode-stage machinery: a compiled emitter for [respond_fmt], a cache
      of compiled in-place patchers (keyed by field, against [fmt] — patches
-     rewrite the *request* bytes), and one reusable reply buffer *)
+     rewrite the *request* bytes), and one reusable reply buffer with a
+     per-batch high-water mark so one oversized reply cannot pin a large
+     buffer forever *)
   emitter : F.Emit.t;
   patchers : (string, (F.Emit.patcher, string) result) Hashtbl.t;
   mutable reply_buf : Bytes.t;
+  reply_base : int;
+  mutable reply_hwm : int;
   stats : Stats.t;
-  (* batch scratch: one reusable view per slot, so a whole batch of decoded
-     packets is alive at once while later stages run over it *)
+  (* batch scratch: the packet window of the current batch (data + length),
+     one reusable view per slot for the staged mode, statuses and errors *)
   views : F.View.t array;
   status : int array;
   blen : int array;
   last_error : F.Codec.error option array;
-  input : string Ring.t;
+  input : Slab.t;
   inbuf : string array;
   default_inst : Fsm.Step.instance option;
   flows : flow_table option;
@@ -97,31 +215,75 @@ type t = {
    [Unknown_event] rather than mistaken for pass-through (negative). *)
 let unknown_event = max_int
 
-let create ?(config = default_config) ?verify ?classify ?classify_id ?machine
-    ?flow_key ?on_transition ?respond ?respond_patch ?respond_fmt
-    ?(on_response = fun _ -> ()) fmt =
+let no_key = Flight.no_key
+
+let create ?(config = default_config) ?(mode = Staged) ?flight ?verify
+    ?classify ?classify_id ?machine ?flow_key ?on_transition ?respond
+    ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
   if config.max_flows <= 0 then
     invalid_arg "Pipeline.create: max_flows must be positive";
   let plan = Option.map Fsm.Step.compile machine in
-  let classifier =
-    match (classify_id, classify, plan) with
-    | Some f, _, _ -> Some f
-    | None, Some f, Some plan ->
-      Some
-        (fun view ->
-          match f view with
-          | None -> -1
-          | Some name ->
-            let id = Fsm.Step.event_id plan name in
-            if id < 0 then unknown_event else id)
-    | None, _, _ -> None
+  (* A flight spec is the *whole* per-packet semantics: it cannot be mixed
+     with the closure-style arguments it replaces. *)
+  (match flight with
+  | Some _
+    when verify <> None || classify <> None || classify_id <> None
+         || respond <> None || respond_patch <> None || flow_key <> None ->
+    invalid_arg
+      "Pipeline.create: ~flight replaces \
+       verify/classify/classify_id/flow_key/respond/respond_patch"
+  | _ -> ());
+  if mode = Fused && flight = None then
+    invalid_arg "Pipeline.create: Fused mode requires ~flight";
+  let flight = Option.map (fun sp -> Flight.compile ?plan fmt sp) flight in
+  (* machine absence only surfaces when a responder actually runs *)
+  let need_inst name f = function
+    | Some i -> f i
+    | None -> invalid_arg (Printf.sprintf "Pipeline: %s requires ~machine" name)
+  in
+  let verify, classifier, flow_key, respond, respond_patch =
+    match flight with
+    | Some fl ->
+      ( Flight.staged_verify fl,
+        Flight.staged_classify_id fl,
+        Flight.flow_key_name fl,
+        None,
+        Option.map
+          (fun rp view _inst -> rp view)
+          (Flight.staged_respond_patch fl) )
+    | None ->
+      let classifier =
+        match (classify_id, classify, plan) with
+        | Some f, _, _ -> Some f
+        | None, Some f, Some plan ->
+          Some
+            (fun view ->
+              match f view with
+              | None -> -1
+              | Some name ->
+                let id = Fsm.Step.event_id plan name in
+                if id < 0 then unknown_event else id)
+        | None, _, _ -> None
+      in
+      ( verify,
+        classifier,
+        flow_key,
+        Option.map
+          (fun r view inst -> need_inst "a responder" (r view) (inst ()))
+          respond,
+        Option.map
+          (fun r view inst -> need_inst "a responder" (r view) (inst ()))
+          respond_patch )
   in
   let default_inst = Option.map Fsm.Step.instance plan in
   let respond_fmt = Option.value respond_fmt ~default:fmt in
+  let reply_base = max 64 (F.Sizing.min_bytes respond_fmt) in
   {
     cfg = config;
+    mode;
     fmt;
+    flight;
     verify;
     classifier;
     plan;
@@ -131,63 +293,112 @@ let create ?(config = default_config) ?verify ?classify ?classify_id ?machine
     respond_patch;
     respond_fmt;
     on_response;
+    on_reply;
     emitter = F.Emit.create respond_fmt;
     patchers = Hashtbl.create 4;
-    reply_buf = Bytes.create (max 64 (F.Sizing.min_bytes respond_fmt));
+    reply_buf = Bytes.create reply_base;
+    reply_base;
+    reply_hwm = 0;
     stats = Stats.create stage_names;
     views = Array.init config.batch (fun _ -> F.View.create fmt);
     status = Array.make config.batch live;
     blen = Array.make config.batch 0;
     last_error = Array.make config.batch None;
-    input = Ring.create ~capacity:config.ring_capacity;
+    input =
+      Slab.create ~slot_bytes:config.slot_bytes ~capacity:config.ring_capacity
+        ();
     inbuf = Array.make config.batch "";
     default_inst;
     flows =
       (match (default_inst, flow_key) with
       | Some inst, Some _ ->
-        let rec sentinel =
-          { f_key = Int64.min_int; f_inst = inst; f_prev = sentinel;
-            f_next = sentinel }
-        in
+        let cap = min 256 (max 1 config.max_flows) in
+        let buckets = 1024 in
         Some
-          { ft = Hashtbl.create 64; sentinel; max_flows = config.max_flows }
+          {
+            hkeys = Array.make buckets 0;
+            hvals = Array.make buckets 0;
+            hstate = Bytes.make buckets '\000';
+            hmask = buckets - 1;
+            hused = 0;
+            keys = Array.make (cap + 1) 0;
+            (* slot 0 never fires a transition; the default instance is
+               just an arbitrary well-typed filler *)
+            insts = Array.make (cap + 1) inst;
+            fprev = Array.make (cap + 1) 0;
+            fnext = Array.make (cap + 1) 0;
+            n = 0;
+            cap;
+            max_flows = config.max_flows;
+          }
       | _ -> None);
   }
 
 let stats t = t.stats
 let format t = t.fmt
 let machine_plan t = t.plan
-let flow_count t = match t.flows with None -> 0 | Some tbl -> Hashtbl.length tbl.ft
+let mode t = t.mode
+let flight_tier t = Option.map Flight.tier t.flight
+let flow_count t = match t.flows with None -> 0 | Some tbl -> tbl.n
+let reply_capacity t = Bytes.length t.reply_buf
 
-let instance_for t view =
+(* Instance lookup by native-int key, shared by both modes (the staged
+   side extracts the key from the view first). *)
+(* Option-free touch for the fused per-packet loop (precondition:
+   [t.default_inst = Some dflt]); [instance_for_key] wraps it for the
+   staged side. *)
+let touch_flow t dflt k =
+  match t.flows with
+  | Some tbl when k <> no_key ->
+    let slot = hfind tbl k in
+    if slot >= 0 then begin
+      unlink tbl slot;
+      push_mru tbl slot;
+      Array.unsafe_get tbl.insts slot
+    end
+    else begin
+      let slot =
+        if tbl.n >= tbl.max_flows then begin
+          (* evict the LRU flow and reuse its slot *)
+          let victim = tbl.fnext.(0) in
+          unlink tbl victim;
+          hremove tbl tbl.keys.(victim);
+          Stats.note_evicted_flow t.stats;
+          victim
+        end
+        else begin
+          if tbl.n >= tbl.cap then grow_flows tbl;
+          tbl.n <- tbl.n + 1;
+          tbl.n
+        end
+      in
+      tbl.keys.(slot) <- k;
+      tbl.insts.(slot) <- Fsm.Step.instance (Option.get t.plan);
+      push_mru tbl slot;
+      hreserve tbl;
+      hadd tbl k slot;
+      tbl.insts.(slot)
+    end
+  | _ -> dflt
+
+let instance_for_key t k =
   match t.default_inst with
   | None -> None
-  | Some dflt -> (
-    match (t.flow_key, t.flows) with
-    | Some key, Some tbl -> (
-      match F.View.find_int view key with
-      | None -> Some dflt
-      | Some k -> (
-        match Hashtbl.find_opt tbl.ft k with
-        | Some f ->
-          unlink f;
-          push_mru tbl.sentinel f;
-          Some f.f_inst
-        | None ->
-          if Hashtbl.length tbl.ft >= tbl.max_flows then begin
-            let victim = tbl.sentinel.f_next in
-            unlink victim;
-            Hashtbl.remove tbl.ft victim.f_key;
-            Stats.note_evicted_flow t.stats
-          end;
-          let rec f =
-            { f_key = k; f_inst = Fsm.Step.instance (Option.get t.plan);
-              f_prev = f; f_next = f }
-          in
-          push_mru tbl.sentinel f;
-          Hashtbl.add tbl.ft k f;
-          Some f.f_inst))
-    | _ -> Some dflt)
+  | Some dflt -> Some (touch_flow t dflt k)
+
+let view_key t view =
+  match (t.flow_key, t.flows) with
+  | Some key, Some _ -> (
+    match F.View.find_int view key with
+    | None -> no_key
+    | Some k ->
+      let k = Int64.to_int k in
+      (* the truncation that lands exactly on the sentinel counts as "no
+         key" in both modes *)
+      if k = no_key then no_key else k)
+  | _ -> no_key
+
+let instance_for t view = instance_for_key t (view_key t view)
 
 let ensure_reply t len =
   if Bytes.length t.reply_buf < len then
@@ -211,24 +422,39 @@ let rec encode_reply t value =
     encode_reply t value
   | Error _ as e -> e
 
+let emit_reply t len =
+  if len > t.reply_hwm then t.reply_hwm <- len;
+  match t.on_reply with
+  | Some f -> f t.reply_buf len
+  | None -> t.on_response (Bytes.sub_string t.reply_buf 0 len)
+
+(* High-water reset, once per batch: a single oversized reply grows the
+   buffer transiently; if the batch's replies fit in half the buffer it
+   shrinks back to their high-water mark (never below the format's
+   minimum).  Steady-state traffic never churns the buffer. *)
+let reset_reply_buf t =
+  if
+    Bytes.length t.reply_buf > t.reply_base
+    && t.reply_hwm * 2 <= Bytes.length t.reply_buf
+  then t.reply_buf <- Bytes.create (max t.reply_base t.reply_hwm);
+  t.reply_hwm <- 0
+
 let now () = Unix.gettimeofday ()
 let elapsed_ns t0 t1 = int_of_float ((t1 -. t0) *. 1e9)
 
-(* Process packets [0, n) of [pkts] through all four stages.  Each stage
-   walks the whole batch before the next starts, so stage timing is a
-   straight wall-clock interval around a tight loop. *)
-let process_batch t pkts n =
-  if n > t.cfg.batch then invalid_arg "Pipeline.process_batch: batch too large";
+(* ---- staged mode: each stage walks the whole batch before the next
+   starts, so stage timing is a straight wall-clock interval around a
+   tight loop.  Operates on the batch window [t.inbuf]/[t.blen]. ---- *)
+
+let staged_batch t n =
   let stats = t.stats in
   (* decode (includes full verification of the view) *)
   let bytes = ref 0 in
   let rejects = ref 0 in
   let t0 = now () in
   for i = 0 to n - 1 do
-    let pkt = pkts.(i) in
-    t.blen.(i) <- String.length pkt;
     bytes := !bytes + t.blen.(i);
-    match F.View.decode t.views.(i) pkt with
+    match F.View.decode t.views.(i) ~len:t.blen.(i) t.inbuf.(i) with
     | Ok () ->
       t.status.(i) <- live;
       t.last_error.(i) <- None
@@ -304,14 +530,10 @@ let process_batch t pkts n =
     for i = 0 to n - 1 do
       if t.status.(i) = live then begin
         let view = t.views.(i) in
-        let inst =
-          match instance_for t view with
-          | Some i -> i
-          | None -> invalid_arg "Pipeline: a responder requires ~machine"
-        in
+        let inst () = instance_for t view in
         let emitted len =
           bytes := !bytes + len;
-          t.on_response (Bytes.sub_string t.reply_buf 0 len)
+          emit_reply t len
         in
         let reject () =
           t.status.(i) <- rej_encode;
@@ -358,27 +580,156 @@ let process_batch t pkts n =
     Stats.record_batch stats st_encode ~packets:!packets ~bytes:!bytes
       ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())))
 
+(* ---- fused mode: one run-to-completion pass per packet, no [View.t] on
+   the fast tier.  Counters mirror the staged stage rows exactly (same
+   arming conditions, same increments); wall-clock cannot be split across
+   fused stages, so the whole batch's latency lands on the decode row and
+   the other rows report elapsed 0. ---- *)
+
+let fused_batch t n =
+  let fl = Option.get t.flight in
+  let stats = t.stats in
+  let verify_armed = Flight.verify_armed fl in
+  let step_armed = Flight.classify_armed fl && t.default_inst <> None in
+  let respond_armed = Flight.n_responses fl > 0 in
+  let d_bytes = ref 0 and d_rej = ref 0 in
+  let v_pkts = ref 0 and v_bytes = ref 0 and v_rej = ref 0 in
+  let s_pkts = ref 0 and s_bytes = ref 0 and s_rej = ref 0 in
+  let e_pkts = ref 0 and e_bytes = ref 0 and e_rej = ref 0 in
+  let t0 = now () in
+  for i = 0 to n - 1 do
+    let blen = t.blen.(i) in
+    d_bytes := !d_bytes + blen;
+    if not (Flight.run_window fl ~off:0 ~len:blen t.inbuf.(i)) then begin
+      t.status.(i) <- rej_decode;
+      t.last_error.(i) <- Flight.last_error fl;
+      incr d_rej
+    end
+    else begin
+      t.status.(i) <- live;
+      t.last_error.(i) <- None;
+      (* §3.4: the packet is fully validated (decode above, semantic
+         verify here) before any machine step or response below *)
+      if verify_armed then begin
+        incr v_pkts;
+        v_bytes := !v_bytes + blen;
+        if not (Flight.verify_ok fl) then begin
+          t.status.(i) <- rej_verify;
+          incr v_rej
+        end
+      end;
+      if t.status.(i) = live && step_armed then begin
+        incr s_pkts;
+        s_bytes := !s_bytes + blen;
+        let ev = Flight.event fl in
+        if ev >= 0 then begin
+          let inst =
+            match t.default_inst with
+            | Some dflt -> touch_flow t dflt (Flight.flow_key fl)
+            | None -> assert false (* step_armed implies a default *)
+          in
+          match Fsm.Step.fire_id inst ev with
+          | Fsm.Step.Fired -> (
+            match t.on_transition with
+            | None -> ()
+            | Some hook ->
+              let plan = Fsm.Step.plan_of inst in
+              hook (Fsm.Step.transition plan (Fsm.Step.last_transition inst)))
+          | Fsm.Step.Unknown_event | Fsm.Step.Unhandled
+          | Fsm.Step.Nondeterministic ->
+            t.status.(i) <- rej_step;
+            incr s_rej
+        end
+      end;
+      if t.status.(i) = live && respond_armed then begin
+        let ridx = Flight.response fl in
+        if ridx >= 0 then begin
+          incr e_pkts;
+          ensure_reply t blen;
+          Bytes.blit_string t.inbuf.(i) 0 t.reply_buf 0 blen;
+          if Flight.apply fl ridx t.reply_buf ~len:blen then begin
+            e_bytes := !e_bytes + blen;
+            emit_reply t blen
+          end
+          else begin
+            t.status.(i) <- rej_encode;
+            incr e_rej
+          end
+        end
+      end
+    end
+  done;
+  let elapsed = elapsed_ns t0 (now ()) in
+  Stats.record_batch stats st_decode ~packets:n ~bytes:!d_bytes
+    ~rejects:!d_rej ~elapsed_ns:elapsed;
+  if verify_armed then
+    Stats.record_batch stats st_verify ~packets:!v_pkts ~bytes:!v_bytes
+      ~rejects:!v_rej ~elapsed_ns:0;
+  if step_armed then
+    Stats.record_batch stats st_step ~packets:!s_pkts ~bytes:!s_bytes
+      ~rejects:!s_rej ~elapsed_ns:0;
+  if respond_armed then
+    Stats.record_batch stats st_encode ~packets:!e_pkts ~bytes:!e_bytes
+      ~rejects:!e_rej ~elapsed_ns:0
+
+let run_window t n =
+  (match t.mode with Staged -> staged_batch t n | Fused -> fused_batch t n);
+  reset_reply_buf t
+
+let process_batch t pkts n =
+  if n > t.cfg.batch then invalid_arg "Pipeline.process_batch: batch too large";
+  for i = 0 to n - 1 do
+    t.inbuf.(i) <- pkts.(i);
+    t.blen.(i) <- String.length pkts.(i)
+  done;
+  run_window t n
+
+(* The single-packet decode-error slow path for the fused fast tier: the
+   linear plan collapses errors to a boolean, so recover the detail from
+   the pooled view.  If the view disagrees and accepts, the fused decoder
+   has a bug — report it as such (the differential oracle hunts exactly
+   this). *)
+let recover_decode_error t =
+  match t.last_error.(0) with
+  | Some e -> e
+  | None -> (
+    match F.View.decode t.views.(0) ~len:t.blen.(0) t.inbuf.(0) with
+    | Error e -> e
+    | Ok () ->
+      F.Codec.Eval_error { path = []; reason = "fused decode diverged" })
+
 let process t pkt =
   let pkts = t.inbuf in
   pkts.(0) <- pkt;
-  process_batch t pkts 1;
+  t.blen.(0) <- String.length pkt;
+  run_window t 1;
   match t.status.(0) with
-  | s when s = rej_decode -> Rejected_decode (Option.get t.last_error.(0))
+  | s when s = rej_decode -> Rejected_decode (recover_decode_error t)
   | s when s = rej_verify -> Rejected_verify
   | s when s = rej_step -> Rejected_step
   | s when s = rej_encode -> Rejected_encode
   | _ -> Accepted
 
-(* Ring-driven operation: a producer [feed]s (blocking when the ring is
-   full — backpressure), a consumer domain sits in [run]. *)
-let feed t pkt = Ring.push t.input pkt
-let close_input t = Ring.close t.input
+(* Slab-driven operation: a producer [feed]s — blitting into a
+   preallocated slot, blocking when the slab is full (backpressure) — and
+   a consumer domain sits in [run], processing whole slot runs in place.
+   [Bytes.unsafe_to_string] is safe here: the batch's slots are only read
+   until [Slab.release], and the producer cannot touch them before it. *)
+let feed t pkt = Slab.push t.input pkt
+let feed_batch t pkts n = Slab.push_batch t.input pkts n
+let close_input t = Slab.close t.input
 
 let run t =
+  let slab = t.input in
   let rec loop () =
-    let n = Ring.pop_into t.input t.inbuf in
+    let n = Slab.pop_batch slab ~max:t.cfg.batch in
     if n > 0 then begin
-      process_batch t t.inbuf n;
+      for i = 0 to n - 1 do
+        t.inbuf.(i) <- Bytes.unsafe_to_string (Slab.buf slab i);
+        t.blen.(i) <- Slab.len slab i
+      done;
+      run_window t n;
+      Slab.release slab;
       loop ()
     end
   in

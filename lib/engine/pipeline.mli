@@ -11,29 +11,44 @@
 
     The step stage runs entirely on integers: the classifier maps a view
     to an interned event id, the flow table stores flat
-    {!Netdsl_fsm.Step.instance} records, and
-    {!Netdsl_fsm.Step.fire_id} allocates nothing on the accept path.
+    {!Netdsl_fsm.Step.instance} records keyed by native-int flow keys,
+    and {!Netdsl_fsm.Step.fire_id} allocates nothing on the accept path.
     Names and labels reappear only on opt-in slow paths ([on_transition],
     error reporting).
+
+    Two execution modes over the same semantics:
+    - {!Staged} (default): each stage walks the whole batch before the
+      next starts — per-stage wall-clock timing, views materialised.
+    - {!Fused}: a {!Flight} plan runs each packet to completion in one
+      pass — demand-driven field extraction into native-int registers,
+      no [View.t] on the fast tier, no per-packet allocation.  Requires
+      [~flight]; the same spec also derives the staged closures, so the
+      two modes are differentially testable against each other.
 
     Two driving modes:
     - synchronous: {!process} / {!process_batch} on the caller's domain
       (this is what the bench baselines use);
-    - ring-driven: a producer {!feed}s packets into a bounded ring
-      (blocking when full — backpressure) while a consumer domain sits in
+    - slab-driven: a producer {!feed}s packets into a preallocated
+      {!Slab} (blitting into fixed slots — no per-packet allocation;
+      blocking when full — backpressure) while a consumer domain sits in
       {!run}.  [Shard] runs one such consumer per worker domain. *)
 
 type config = {
   batch : int;  (** batch size, and the number of pooled view slots *)
-  ring_capacity : int;  (** input ring bound — the backpressure depth *)
+  ring_capacity : int;  (** input slab slot count — the backpressure depth *)
   max_flows : int;
       (** per-pipeline bound on live flow instances; when a new flow
           arrives at the bound, the oldest-idle one is evicted (counted in
           {!Stats.evicted_flows}) *)
+  slot_bytes : int;
+      (** input slab slot capacity; {!feed} rejects longer packets *)
 }
 
 val default_config : config
-(** [{ batch = 64; ring_capacity = 1024; max_flows = 65536 }] *)
+(** [{ batch = 64; ring_capacity = 1024; max_flows = 65536;
+      slot_bytes = 2048 }] *)
+
+type mode = Staged | Fused
 
 type outcome =
   | Accepted
@@ -47,6 +62,8 @@ type t
 
 val create :
   ?config:config ->
+  ?mode:mode ->
+  ?flight:Flight.spec ->
   ?verify:(Netdsl_format.View.t -> bool) ->
   ?classify:(Netdsl_format.View.t -> string option) ->
   ?classify_id:(Netdsl_format.View.t -> int) ->
@@ -61,10 +78,18 @@ val create :
     (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
+  ?on_reply:(Bytes.t -> int -> unit) ->
   Netdsl_format.Desc.t ->
   t
 (** [create fmt] builds a pipeline for [fmt].
 
+    - [flight] is a declarative {!Flight.spec} of the whole per-packet
+      semantics (verify, classify, flow key, respond-by-patch), compiled
+      once against [fmt] and [machine].  It {e replaces} — and cannot be
+      combined with — [verify]/[classify]/[classify_id]/[flow_key]/
+      [respond]/[respond_patch].  [Staged] mode runs the spec through
+      the derived closures; [Fused] mode (which requires [~flight]) runs
+      it through the fused plan.
     - [classify_id] is the hot-path classifier: map a validated view
       straight to an interned event id of the compiled machine (resolve
       names once at setup with {!Netdsl_fsm.Step.event_id} on
@@ -77,8 +102,10 @@ val create :
     - [machine] is validated and compiled once ({!Netdsl_fsm.Step.compile})
       and instantiated per flow; [flow_key] names the field whose value
       identifies a flow (without it, one instance serves all packets).
-      At most [config.max_flows] instances are live; beyond that the
-      oldest-idle flow is evicted.
+      Keys are native ints; a key field wider than 62 bits truncates via
+      [Int64.to_int], identically in both modes.  At most
+      [config.max_flows] instances are live; beyond that the oldest-idle
+      flow is evicted.
     - [on_transition] is an opt-in trace hook called after every fired
       transition with the source {!Netdsl_fsm.Machine.transition}
       (reconstructed from the plan's intern tables — the slow path; leave
@@ -86,14 +113,19 @@ val create :
     - [respond] builds a reply value from the view and the flow's machine
       instance; it is encoded against [respond_fmt] (default: [fmt]) by a
       compiled {!Netdsl_format.Emit} plan into a reusable buffer and
-      handed to [on_response].
+      handed to the reply sink.
     - [respond_patch] is the fast path, consulted before [respond]: return
       [Some mutations] to answer with a copy of the request whose named
       scalar fields are rewritten in place ({!Netdsl_format.Emit.patch} —
       checksum updated incrementally, nothing re-encoded).  Return [None]
       to fall through to [respond].  A field that cannot be patched (see
       {!Netdsl_format.Emit.patcher}) rejects the packet at the encode
-      stage. *)
+      stage.
+    - replies go to [on_reply] (borrowed buffer + length — zero-copy; the
+      bytes are only valid during the call) when given, else to
+      [on_response] as a fresh string.  The reply buffer carries a
+      per-batch high-water mark: one oversized reply grows it only until
+      the end of the batch. *)
 
 val process : t -> string -> outcome
 val process_batch : t -> string array -> int -> unit
@@ -101,22 +133,34 @@ val process_batch : t -> string array -> int -> unit
     stages ([n] at most [config.batch]); results land in {!stats}. *)
 
 val feed : t -> string -> bool
-(** Push one packet into the input ring; blocks while the ring is full,
-    [false] after {!close_input}. *)
+(** Blit one packet into the input slab; blocks while the slab is full,
+    [false] after {!close_input}.  Raises [Invalid_argument] if the
+    packet exceeds [config.slot_bytes]. *)
+
+val feed_batch : t -> string array -> int -> bool
+(** [feed_batch t pkts n] publishes [pkts.(0 .. n-1)] taking the slab
+    lock once per free run — the batch hand-off path. *)
 
 val close_input : t -> unit
 
 val run : t -> unit
-(** Consume the input ring in batches until it is closed and drained.
-    Intended to run on its own domain. *)
+(** Consume the input slab in whole-batch slot runs until it is closed
+    and drained.  Intended to run on its own domain. *)
 
 val stats : t -> Stats.t
-(** Stage layout: {!stage_names}. *)
+(** Stage layout: {!stage_names}.  In [Fused] mode the counters mirror
+    the staged rows exactly, but per-stage wall-clock cannot exist in a
+    fused pass: the batch's whole latency lands on the decode row. *)
 
 val stage_names : string list
 (** [["decode"; "verify"; "step"; "encode"]] — the {!Stats} layout. *)
 
 val format : t -> Netdsl_format.Desc.t
+
+val mode : t -> mode
+
+val flight_tier : t -> [ `Linear | `Interp ] option
+(** Tier of the compiled flight plan, when [~flight] was given. *)
 
 val machine_plan : t -> Netdsl_fsm.Step.plan option
 (** The compiled plan of the pipeline's machine, for resolving event ids
@@ -125,3 +169,7 @@ val machine_plan : t -> Netdsl_fsm.Step.plan option
 val flow_count : t -> int
 (** Number of per-flow machine instances currently live (bounded by
     [config.max_flows]). *)
+
+val reply_capacity : t -> int
+(** Current size of the reusable reply buffer (observable for the
+    high-water reset regression test). *)

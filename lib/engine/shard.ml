@@ -5,15 +5,23 @@ type config = {
   pipeline : Pipeline.config;
 }
 
-let default_config = { workers = Domain.recommended_domain_count (); pipeline = Pipeline.default_config }
+let default_config =
+  { workers = Domain.recommended_domain_count ();
+    pipeline = Pipeline.default_config }
 
 type t = {
   cfg : config;
   key : F.View.key_extractor;
   pipes : Pipeline.t array;
+  (* per-worker staging: packets accumulate here and are handed off in
+     batches ([Pipeline.feed_batch] — one slab lock per run), not one
+     lock round-trip per packet *)
+  staged : string array array;
+  staged_n : int array;
   mutable domains : unit Domain.t array;
   mutable running : bool;
   mutable unkeyed : int;
+  warning : string option;
 }
 
 (* Fibonacci hashing of the flow key: adjacent key values (sequence
@@ -22,29 +30,81 @@ let worker_of_key t k =
   let h = k * 0x2545F4914F6CDD1D in
   (h lsr 33) mod Array.length t.pipes
 
-let create ?(config = default_config) ~key ?verify ?classify ?classify_id
-    ?machine ?flow_key ?on_transition ?respond ?respond_patch ?respond_fmt
-    ?on_response fmt =
+let create ?(config = default_config) ?(allow_oversubscribe = false) ~key
+    ?mode ?flight ?verify ?classify ?classify_id ?machine ?flow_key
+    ?on_transition ?respond ?respond_patch ?respond_fmt ?on_response ?on_reply
+    fmt =
   if config.workers <= 0 then Error "Shard.create: workers must be positive"
   else
     match F.View.key_extractor fmt key with
     | Error e -> Error (Printf.sprintf "Shard.create: bad key field: %s" e)
     | Ok ke ->
-      let pipes =
-        Array.init config.workers (fun _ ->
-            Pipeline.create ~config:config.pipeline ?verify ?classify
-              ?classify_id ?machine ?flow_key ?on_transition ?respond
-              ?respond_patch ?respond_fmt ?on_response fmt)
+      (* More worker domains than cores is a benchmark lie waiting to
+         happen: domains time-share, per-worker throughput collapses, and
+         "scaling" rows measure the scheduler.  Clamp unless the caller
+         explicitly opts into oversubscription, and say so in the stats
+         either way. *)
+      let cores = Domain.recommended_domain_count () in
+      let workers, warning =
+        if config.workers <= cores then (config.workers, None)
+        else if allow_oversubscribe then
+          ( config.workers,
+            Some
+              (Printf.sprintf
+                 "shard: %d workers oversubscribe %d available core(s)"
+                 config.workers cores) )
+        else
+          ( cores,
+            Some
+              (Printf.sprintf
+                 "shard: requested %d workers, clamped to %d available \
+                  core(s)"
+                 config.workers cores) )
       in
-      Ok { cfg = config; key = ke; pipes; domains = [||]; running = false; unkeyed = 0 }
+      let pipes =
+        Array.init workers (fun _ ->
+            Pipeline.create ~config:config.pipeline ?mode ?flight ?verify
+              ?classify ?classify_id ?machine ?flow_key ?on_transition
+              ?respond ?respond_patch ?respond_fmt ?on_response ?on_reply fmt)
+      in
+      (match warning with
+      | None -> ()
+      | Some w -> Array.iter (fun p -> Stats.note_warning (Pipeline.stats p) w) pipes);
+      Ok
+        {
+          cfg = config;
+          key = ke;
+          pipes;
+          staged =
+            Array.init workers (fun _ ->
+                Array.make config.pipeline.Pipeline.batch "");
+          staged_n = Array.make workers 0;
+          domains = [||];
+          running = false;
+          unkeyed = 0;
+          warning;
+        }
 
 let workers t = Array.length t.pipes
+let warning t = t.warning
 
 let start t =
   if t.running then invalid_arg "Shard.start: already running";
   t.running <- true;
   t.domains <-
     Array.map (fun p -> Domain.spawn (fun () -> Pipeline.run p)) t.pipes
+
+let flush_worker t w =
+  let n = t.staged_n.(w) in
+  if n > 0 then begin
+    t.staged_n.(w) <- 0;
+    ignore (Pipeline.feed_batch t.pipes.(w) t.staged.(w) n)
+  end
+
+let flush t =
+  for w = 0 to Array.length t.pipes - 1 do
+    flush_worker t w
+  done
 
 let feed t pkt =
   let w =
@@ -56,9 +116,14 @@ let feed t pkt =
       t.unkeyed <- t.unkeyed + 1;
       0
   in
-  Pipeline.feed t.pipes.(w) pkt
+  let staged = t.staged.(w) in
+  staged.(t.staged_n.(w)) <- pkt;
+  t.staged_n.(w) <- t.staged_n.(w) + 1;
+  if t.staged_n.(w) = Array.length staged then flush_worker t w;
+  true
 
 let drain t =
+  flush t;
   Array.iter Pipeline.close_input t.pipes;
   if t.running then begin
     Array.iter Domain.join t.domains;

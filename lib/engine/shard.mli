@@ -1,12 +1,15 @@
 (** Multicore flow sharding over OCaml 5 domains.
 
-    A shard group owns [workers] pipelines, each consuming its own bounded
-    ring on its own domain.  {!feed} reads the DSL-declared key field
-    straight from the raw packet (a precompiled fixed-offset read — no
-    decode) and hashes it to pick the worker, so all packets of a flow land
-    on the same domain, which exclusively owns that flow's machine
-    instance: no locks anywhere on the hot path.  Backpressure is the
-    rings' bound — a producer outrunning the workers blocks in {!feed}. *)
+    A shard group owns [workers] pipelines, each consuming its own
+    SPSC input slab on its own domain.  {!feed} reads the DSL-declared
+    key field straight from the raw packet (a precompiled fixed-offset
+    read — no decode) and hashes it to pick the worker, so all packets of
+    a flow land on the same domain, which exclusively owns that flow's
+    machine instance: no locks anywhere on the hot path.  Packets stage
+    in a per-worker batch and are handed off in whole runs
+    ({!Pipeline.feed_batch} — one slab lock per run).  Backpressure is
+    the slabs' bound — a producer outrunning the workers blocks when a
+    batch flushes into a full slab. *)
 
 type config = {
   workers : int;
@@ -20,7 +23,10 @@ type t
 
 val create :
   ?config:config ->
+  ?allow_oversubscribe:bool ->
   key:string ->
+  ?mode:Pipeline.mode ->
+  ?flight:Flight.spec ->
   ?verify:(Netdsl_format.View.t -> bool) ->
   ?classify:(Netdsl_format.View.t -> string option) ->
   ?classify_id:(Netdsl_format.View.t -> int) ->
@@ -35,27 +41,44 @@ val create :
     (string * int64) list option) ->
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
+  ?on_reply:(Bytes.t -> int -> unit) ->
   Netdsl_format.Desc.t ->
   (t, string) result
 (** [create ~key fmt] — [key] names the top-level field to shard on; it
     must sit at a fixed wire offset (see
     {!Netdsl_format.View.key_extractor}).  Remaining arguments are passed
-    to each worker's {!Pipeline.create}.  Note that [on_response] runs on
-    worker domains. *)
+    to each worker's {!Pipeline.create}.  Note that [on_response] /
+    [on_reply] run on worker domains.
+
+    Worker counts above [Domain.recommended_domain_count ()] are clamped
+    to it — oversubscribed domains time-share a core and measure the
+    scheduler, not the pipeline — unless [allow_oversubscribe] is set.
+    Either way the decision is recorded as a {!Stats} warning on every
+    worker (see {!warning}). *)
 
 val start : t -> unit
 (** Spawns the worker domains. *)
 
 val feed : t -> string -> bool
-(** Route one packet to its flow's worker (blocking when that worker's
-    ring is full).  Packets too short to carry the key go to worker 0,
-    whose decode stage rejects and counts them. *)
+(** Route one packet to its flow's worker.  The packet lands in the
+    worker's staging batch; a full batch flushes to the worker's slab
+    (blocking while that slab is full).  Packets too short to carry the
+    key go to worker 0, whose decode stage rejects and counts them. *)
+
+val flush : t -> unit
+(** Hand off all partially-filled staging batches now.  {!drain} flushes
+    automatically; call this when pausing a live feed. *)
 
 val drain : t -> unit
-(** Close all rings, wait for the workers to finish the backlog, join the
-    domains. *)
+(** Flush staging, close all slabs, wait for the workers to finish the
+    backlog, join the domains. *)
 
 val workers : t -> int
+(** Actual worker count (after any clamping). *)
+
+val warning : t -> string option
+(** The oversubscription/clamp warning, if any was recorded. *)
+
 val pipelines : t -> Pipeline.t array
 
 val stats : t -> Stats.t

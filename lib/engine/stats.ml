@@ -15,7 +15,11 @@ type stage = {
   hist : int array; (* hist.(i): per-packet latencies in [2^i, 2^i+1) ns *)
 }
 
-type t = { stages : stage array; mutable evicted_flows : int }
+type t = {
+  stages : stage array;
+  mutable evicted_flows : int;
+  mutable warnings : string list; (* newest first; deduplicated *)
+}
 
 let create names =
   if names = [] then invalid_arg "Stats.create: no stages";
@@ -28,10 +32,16 @@ let create names =
                hist = Array.make buckets 0 })
            names);
     evicted_flows = 0;
+    warnings = [];
   }
 
 let note_evicted_flow t = t.evicted_flows <- t.evicted_flows + 1
 let evicted_flows t = t.evicted_flows
+
+let note_warning t msg =
+  if not (List.mem msg t.warnings) then t.warnings <- msg :: t.warnings
+
+let warnings t = List.rev t.warnings
 
 let stage_names t = Array.to_list (Array.map (fun s -> s.s_name) t.stages)
 
@@ -88,6 +98,7 @@ let merge_into ~into src =
   if Array.length into.stages <> Array.length src.stages then
     invalid_arg "Stats.merge_into: stage mismatch";
   into.evicted_flows <- into.evicted_flows + src.evicted_flows;
+  List.iter (note_warning into) (warnings src);
   Array.iteri
     (fun i (s : stage) ->
       let d = into.stages.(i) in
@@ -106,6 +117,13 @@ let copy t =
   let c = create (stage_names t) in
   merge_into ~into:c t;
   c
+
+let merge = function
+  | [] -> invalid_arg "Stats.merge: empty list"
+  | s :: rest ->
+    let acc = copy s in
+    List.iter (fun s -> merge_into ~into:acc s) rest;
+    acc
 
 (* Approximate percentile from the log2 histogram: the upper bound of the
    bucket containing the p-th packet. *)
@@ -146,7 +164,8 @@ let pp ppf t =
         (ns_str (percentile_ns s 0.99)))
     t.stages;
   if t.evicted_flows > 0 then
-    Format.fprintf ppf "evicted flows: %d@." t.evicted_flows
+    Format.fprintf ppf "evicted flows: %d@." t.evicted_flows;
+  List.iter (fun w -> Format.fprintf ppf "warning: %s@." w) (warnings t)
 
 let to_text t = Format.asprintf "%a" pp t
 

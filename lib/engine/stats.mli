@@ -34,9 +34,20 @@ val note_evicted_flow : t -> unit
 
 val evicted_flows : t -> int
 
+val note_warning : t -> string -> unit
+(** Attach an operational warning (e.g. oversubscribed workers) to the
+    counter set.  Duplicates are kept once; warnings survive
+    {!merge_into} and are printed by {!pp}. *)
+
+val warnings : t -> string list
+(** Recorded warnings, oldest first. *)
+
 val merge_into : into:t -> t -> unit
 (** Adds [src] into [into] (same stage layout required; eviction counters
-    are summed too). *)
+    are summed and warnings unioned too). *)
+
+val merge : t list -> t
+(** Fresh aggregate of a non-empty list (shard-wide totals). *)
 
 val copy : t -> t
 

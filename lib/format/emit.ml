@@ -1069,8 +1069,63 @@ let patcher (fmt : Desc.t) name =
       pa_min_bytes = Sizing.min_bytes fmt;
       pa_cks = cks }
 
-let patch p ?(off = 0) ?len buf v =
-  let len = match len with None -> Bytes.length buf - off | Some l -> l in
+(* Incremental checksum update, all native ints.  A byte at an even offset
+   from the region start is the high half of its 16-bit word, at an odd
+   offset the low half — so the field itself need not be word-aligned.
+   Top-level with explicit state (not a closure): the respond hot loop of
+   the fused pipeline runs this per packet and must not allocate. *)
+let rec patch_cks ~off ~len ~fbyte ~nbytes ~oldw ~wire buf = function
+  | [] -> ()
+  | c :: rest ->
+    let rbase = off + c.c_region_start in
+    let removed = ref 0 and added = ref 0 in
+    for i = 0 to nbytes - 1 do
+      let sh = 8 * (nbytes - 1 - i) in
+      let w = if (fbyte + i - rbase) land 1 = 0 then 8 else 0 in
+      removed := !removed + (((oldw lsr sh) land 0xFF) lsl w);
+      added := !added + (((wire lsr sh) land 0xFF) lsl w)
+    done;
+    let coff = off + (c.c_bit_off lsr 3) in
+    let hc = (Char.code (Bytes.get buf coff) lsl 8) lor Char.code (Bytes.get buf (coff + 1)) in
+    let hc' = Ck.internet_delta ~checksum:hc ~removed:!removed ~added:!added in
+    let hc' =
+      if hc' <> 0 then hc'
+      else
+        (* 0 and 0xffff encode the same ones'-complement value; the
+           canonical checksum is 0xffff exactly when the summed region
+           is all zero.  Decide by scanning (the new field bytes are in
+           place; the stored checksum reads as zero by convention). *)
+        match c.c_fallback with
+        | F_none -> 0
+        | F_scan rstart ->
+          let rhi = off + len in
+          let rec all_zero i =
+            i >= rhi
+            || ((i = coff || i = coff + 1 || Char.code (Bytes.get buf i) = 0)
+               && all_zero (i + 1))
+          in
+          if all_zero (off + rstart) then 0xFFFF else 0
+    in
+    Bytes.set buf coff (Char.unsafe_chr (hc' lsr 8));
+    Bytes.set buf (coff + 1) (Char.unsafe_chr (hc' land 0xFF));
+    patch_cks ~off ~len ~fbyte ~nbytes ~oldw ~wire buf rest
+
+let rec enum_mem cases v =
+  match cases with
+  | [] -> false
+  | (_, c) :: rest -> Int64.equal c v || enum_mem rest v
+
+let bswap_nat ~bits v =
+  let n = bits / 8 in
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    r := (!r lsl 8) lor ((v lsr (8 * i)) land 0xFF)
+  done;
+  !r
+
+(* Non-optional window variant: the fused reply path calls this so the
+   call site allocates no [Some len]. *)
+let patch_window p ~off ~len buf v =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
     invalid_arg "Emit.patch: window out of bounds";
   match
@@ -1079,70 +1134,101 @@ let patch p ?(off = 0) ?len buf v =
               { path = [ p.pa_name ];
                 error =
                   B.Truncated { need_bits = 8 * p.pa_min_bytes; have_bits = 8 * len } });
-    (* Validate the new value exactly as the full encoder would. *)
-    mask_check ~path:[ p.pa_name ] ~bits:p.pa_bits v;
-    (match p.pa_enum with
-    | Some cases ->
-      if not (List.exists (fun (_, c) -> Int64.equal c v) cases) then
-        fail (Enum_unknown { path = [ p.pa_name ]; value = v })
-    | None -> ());
-    if p.pa_constraints <> [] then
-      apply_constraints ~path:[ p.pa_name ] p.pa_constraints v;
     let fbyte = off + (p.pa_bit_off lsr 3) in
     let nbytes = p.pa_bits lsr 3 in
-    let wire = to_wire ~bits:p.pa_bits ~endian:p.pa_endian v in
-    let byte_of w i =
-      Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * (nbytes - 1 - i))) 0xFFL)
-    in
-    (* Capture the outgoing bytes, then overwrite. *)
-    let oldwire = ref 0L in
-    for i = 0 to nbytes - 1 do
-      oldwire :=
-        Int64.logor (Int64.shift_left !oldwire 8)
-          (Int64.of_int (Char.code (Bytes.get buf (fbyte + i))))
-    done;
-    for i = 0 to nbytes - 1 do
-      Bytes.set buf (fbyte + i) (Char.unsafe_chr (byte_of wire i))
-    done;
-    (* Incremental checksum update.  A byte at an even offset from the
-       region start is the high half of its 16-bit word, at an odd offset
-       the low half — so the field itself need not be word-aligned. *)
-    List.iter
-      (fun c ->
-        let rbase = off + c.c_region_start in
-        let removed = ref 0 and added = ref 0 in
-        for i = 0 to nbytes - 1 do
-          let w = if (fbyte + i - rbase) land 1 = 0 then 8 else 0 in
-          removed := !removed + (byte_of !oldwire i lsl w);
-          added := !added + (byte_of wire i lsl w)
-        done;
-        let coff = off + (c.c_bit_off lsr 3) in
-        let hc = (Char.code (Bytes.get buf coff) lsl 8) lor Char.code (Bytes.get buf (coff + 1)) in
-        let hc' = Ck.internet_delta ~checksum:hc ~removed:!removed ~added:!added in
-        let hc' =
-          if hc' <> 0 then hc'
-          else
-            (* 0 and 0xffff encode the same ones'-complement value; the
-               canonical checksum is 0xffff exactly when the summed region
-               is all zero.  Decide by scanning (the new field bytes are in
-               place; the stored checksum reads as zero by convention). *)
-            match c.c_fallback with
-            | F_none -> 0
-            | F_scan rstart ->
-              let rhi = off + len in
-              let rec all_zero i =
-                i >= rhi
-                || ((i = coff || i = coff + 1 || Char.code (Bytes.get buf i) = 0)
-                   && all_zero (i + 1))
-              in
-              if all_zero (off + rstart) then 0xFFFF else 0
-        in
-        Bytes.set buf coff (Char.unsafe_chr (hc' lsr 8));
-        Bytes.set buf (coff + 1) (Char.unsafe_chr (hc' land 0xFF)))
-      p.pa_cks
+    if p.pa_bits <= 56 then begin
+      (* Native fast path: byte-aligned narrow field, every step in
+         unboxed ints.  [Int64.to_int] keeps the value exact whenever the
+         sign check and the native range check both pass, so together they
+         stand in for [mask_check] without boxing anything. *)
+      if Int64.compare v 0L < 0 then
+        fail (Value_out_of_range { path = [ p.pa_name ]; value = v; bits = p.pa_bits });
+      let vi = Int64.to_int v in
+      if vi < 0 || vi lsr p.pa_bits <> 0 then
+        fail (Value_out_of_range { path = [ p.pa_name ]; value = v; bits = p.pa_bits });
+      (match p.pa_enum with
+      | Some cases ->
+        if not (enum_mem cases v) then
+          fail (Enum_unknown { path = [ p.pa_name ]; value = v })
+      | None -> ());
+      if p.pa_constraints <> [] then
+        apply_constraints ~path:[ p.pa_name ] p.pa_constraints v;
+      let wire =
+        match p.pa_endian with
+        | Desc.Big -> vi
+        | Desc.Little -> bswap_nat ~bits:p.pa_bits vi
+      in
+      (* Capture the outgoing bytes, then overwrite. *)
+      let oldw = ref 0 in
+      for i = 0 to nbytes - 1 do
+        oldw := (!oldw lsl 8) lor Char.code (Bytes.get buf (fbyte + i))
+      done;
+      for i = 0 to nbytes - 1 do
+        Bytes.set buf (fbyte + i)
+          (Char.unsafe_chr ((wire lsr (8 * (nbytes - 1 - i))) land 0xFF))
+      done;
+      patch_cks ~off ~len ~fbyte ~nbytes ~oldw:!oldw ~wire buf p.pa_cks
+    end
+    else begin
+      (* Validate the new value exactly as the full encoder would. *)
+      mask_check ~path:[ p.pa_name ] ~bits:p.pa_bits v;
+      (match p.pa_enum with
+      | Some cases ->
+        if not (List.exists (fun (_, c) -> Int64.equal c v) cases) then
+          fail (Enum_unknown { path = [ p.pa_name ]; value = v })
+      | None -> ());
+      if p.pa_constraints <> [] then
+        apply_constraints ~path:[ p.pa_name ] p.pa_constraints v;
+      let wire = to_wire ~bits:p.pa_bits ~endian:p.pa_endian v in
+      let byte_of w i =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * (nbytes - 1 - i))) 0xFFL)
+      in
+      let oldwire = ref 0L in
+      for i = 0 to nbytes - 1 do
+        oldwire :=
+          Int64.logor (Int64.shift_left !oldwire 8)
+            (Int64.of_int (Char.code (Bytes.get buf (fbyte + i))))
+      done;
+      for i = 0 to nbytes - 1 do
+        Bytes.set buf (fbyte + i) (Char.unsafe_chr (byte_of wire i))
+      done;
+      List.iter
+        (fun c ->
+          let rbase = off + c.c_region_start in
+          let removed = ref 0 and added = ref 0 in
+          for i = 0 to nbytes - 1 do
+            let w = if (fbyte + i - rbase) land 1 = 0 then 8 else 0 in
+            removed := !removed + (byte_of !oldwire i lsl w);
+            added := !added + (byte_of wire i lsl w)
+          done;
+          let coff = off + (c.c_bit_off lsr 3) in
+          let hc = (Char.code (Bytes.get buf coff) lsl 8) lor Char.code (Bytes.get buf (coff + 1)) in
+          let hc' = Ck.internet_delta ~checksum:hc ~removed:!removed ~added:!added in
+          let hc' =
+            if hc' <> 0 then hc'
+            else
+              match c.c_fallback with
+              | F_none -> 0
+              | F_scan rstart ->
+                let rhi = off + len in
+                let rec all_zero i =
+                  i >= rhi
+                  || ((i = coff || i = coff + 1 || Char.code (Bytes.get buf i) = 0)
+                     && all_zero (i + 1))
+                in
+                if all_zero (off + rstart) then 0xFFFF else 0
+          in
+          Bytes.set buf coff (Char.unsafe_chr (hc' lsr 8));
+          Bytes.set buf (coff + 1) (Char.unsafe_chr (hc' land 0xFF)))
+        p.pa_cks
+    end
   with
   | () -> Ok ()
   | exception Codec.Error e -> Result.Error (outward_error e)
+
+let patch p ?(off = 0) ?len buf v =
+  let len = match len with None -> Bytes.length buf - off | Some l -> l in
+  patch_window p ~off ~len buf v
 
 let patch_exn p ?off ?len buf v =
   match patch p ?off ?len buf v with Ok () -> () | Error e -> raise (Codec.Error e)

@@ -93,5 +93,10 @@ val patch : patcher -> ?off:int -> ?len:int -> Bytes.t -> int64 -> (unit, error)
     mutate → re-encode round trip would produce.
     @raise Invalid_argument if the window is outside [buf]. *)
 
+val patch_window :
+  patcher -> off:int -> len:int -> Bytes.t -> int64 -> (unit, error) result
+(** {!patch} with both bounds required: per-packet callers use this so the
+    call site does not box an optional argument. *)
+
 val patch_exn : patcher -> ?off:int -> ?len:int -> Bytes.t -> int64 -> unit
 (** @raise Codec.Error on failure. *)

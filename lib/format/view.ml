@@ -884,3 +884,537 @@ let extract_key ke ?(off = 0) data =
     let r = B.Reader.of_string ~bit_off data in
     let raw = B.Reader.read_bits r ~width:ke.k_bits in
     Some (Int64.to_int (of_wire ~bits:ke.k_bits ~endian:ke.k_endian raw))
+
+(* ------------------------------------------------------------------ *)
+(* Hot: a fused, demand-driven decoder for linear formats.
+
+   [Hot.compile] lowers the same compiled op array a second time, into a
+   flat program over preallocated native-int register/span/pending files:
+   no [View.t] entry table, no scope assoc lists, no deferred-check
+   closures, no reader record — a successful steady-state [run] allocates
+   nothing.  Every check the interpreted decoder performs is preserved
+   (constants, enum exhaustiveness, constraints, computed fields,
+   checksums, trailing bits), only collapsed to a verdict: the accept set
+   is exactly [View.decode]'s, which the differential oracle enforces over
+   the corpus and fuzz mutants.
+
+   Only formats whose top level is a straight line of scalar-ish fields
+   qualify (no arrays/records/variants — no nested scopes), and only when
+   every expression provably stays inside native-int-exact arithmetic;
+   anything else returns [Error] and callers fall back to the interpreted
+   view. *)
+
+module Hot = struct
+  exception Reject
+
+  type hot = {
+    hp : hop array;
+    hdefs : hdef array;
+    hregs : int array; (* latest value of each referenced/demanded field *)
+    hpend : int array; (* raw values of deferred (computed/checksum) fields *)
+    hpoff : int array; (* their own absolute bit offsets, per packet *)
+    hsoff : int array; (* span bit offsets *)
+    hslen : int array; (* span bit lengths *)
+    hdemand : (string * int) array; (* demanded field -> register *)
+    helig : string list;
+    mutable hbase : int; (* window start, bits *)
+    mutable hbits : int; (* window length, bits *)
+    mutable hend : int; (* parse end position, bits *)
+  }
+
+  and iexpr = hot -> int
+
+  and hop = { hreg : int; hspan : int; hk : hkind }
+
+  and hkind =
+    | H_scalar of {
+        sbits : int;
+        slittle : bool;
+        scheck : hcheck;
+        scons : hcon array;
+      }
+    | H_wide of {
+        wbits : int;
+        wendian : Desc.endian;
+        wcheck : wide_check;
+        wcons : Desc.constr list;
+      }
+    | H_bool
+    | H_deferred of { dbits : int; dlittle : bool; dpend : int }
+    | H_bytes_fixed of int (* byte count *)
+    | H_bytes_expr of iexpr
+    | H_bytes_remaining
+    | H_bytes_terminated of int
+    | H_padding of int
+
+  and hcheck = HS_none | HS_const of int | HS_enum of int array
+  and hcon = HC_range of int * int | HC_oneof of int array | HC_ne of int
+
+  and hdef =
+    | HD_computed of { cpend : int; cexpr : iexpr }
+    | HD_checksum of {
+        kpend : int;
+        kbits : int;
+        kalg : Ck.algorithm;
+        kregion : hregion;
+      }
+
+  and hregion = HR_message | HR_rest | HR_span of int * int | HR_unknown
+
+  type t = hot
+
+  (* MSB-first bit read returning a native int; bounds already checked. *)
+  let rec read_narrow s pos width =
+    if width = 0 then 0
+    else if width <= 56 then begin
+      let first = pos lsr 3 in
+      let last = (pos + width - 1) lsr 3 in
+      let drop = pos land 7 in
+      let acc = ref (Char.code (String.unsafe_get s first) land (0xFF lsr drop)) in
+      for i = first + 1 to last do
+        acc := (!acc lsl 8) lor Char.code (String.unsafe_get s i)
+      done;
+      !acc lsr ((8 - ((pos + width) land 7)) land 7)
+    end
+    else
+      let hiw = width - 32 in
+      (read_narrow s pos hiw lsl 32) lor read_narrow s (pos + hiw) 32
+
+  let read_wide s pos width =
+    if width <= 62 then Int64.of_int (read_narrow s pos width)
+    else
+      let hiw = width - 32 in
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (read_narrow s pos hiw)) 32)
+        (Int64.of_int (read_narrow s (pos + hiw) 32))
+
+  let wcon_ok (c : Desc.constr) v =
+    match c with
+    | Desc.In_range (lo, hi) ->
+      Int64.compare lo v <= 0 && Int64.compare v hi <= 0
+    | Desc.One_of vs -> List.exists (Int64.equal v) vs
+    | Desc.Not_equal x -> not (Int64.equal v x)
+
+  (* Narrow constraints against a value in [0, 2^62): endpoints outside
+     that window become always-true / unsatisfiable at compile time, the
+     same classification [narrow_const] applies to constants. *)
+  let compile_con (c : Desc.constr) =
+    match c with
+    | Desc.In_range (lo, hi) ->
+      if
+        Int64.compare lo (Int64.of_int max_int) > 0 || Int64.compare hi 0L < 0
+      then Some (HC_range (1, 0)) (* unsatisfiable *)
+      else
+        let lo' = if Int64.compare lo 0L <= 0 then 0 else Int64.to_int lo in
+        let hi' =
+          if Int64.compare hi (Int64.of_int max_int) >= 0 then max_int
+          else Int64.to_int hi
+        in
+        Some (HC_range (lo', hi'))
+    | Desc.One_of vs -> Some (HC_oneof (Array.of_list (narrow_enum_cases (List.map (fun v -> ("", v)) vs))))
+    | Desc.Not_equal v -> if fits_narrow v then Some (HC_ne (Int64.to_int v)) else None
+
+  (* Expression bounds, tracked as floats with a 4x safety margin under
+     the 2^62 wrap point: a node whose worst-case magnitude stays below
+     2^60 can never make 63-bit arithmetic disagree with int64. *)
+  let bound_limit = ldexp 1. 60
+
+  let compile ?(demand = []) (fmt : Desc.t) =
+    let vn, sn = collect_refs fmt in
+    let vn = List.sort_uniq compare (demand @ vn) in
+    let ops = compile_fields ~vn ~sn [] fmt.Desc.fields in
+    let nops = Array.length ops in
+    let err = ref None in
+    let fail_ msg = if !err = None then err := Some msg in
+    let op_width (op : op) =
+      match op.o_k with
+      | K_scalar s -> s.bits
+      | K_bool -> 1
+      | K_computed c -> c.bits
+      | K_checksum c -> c.bits
+      | _ -> 0
+    in
+    let intish (op : op) =
+      match op.o_k with
+      | K_scalar _ | K_bool | K_checksum _ -> true
+      | K_computed c -> c.bits <= 62
+      | _ -> false
+    in
+    (* slot assignment; binding lists are consed newest-first so the first
+       match below a cutoff is the latest earlier binding, mirroring scope
+       shadowing in the interpreted decoder *)
+    let nregs = ref 0 and nspans = ref 0 and npend = ref 0 in
+    let reg_binds = ref [] and span_binds = ref [] in
+    let reg_of = Array.make (max 1 nops) (-1) in
+    let span_of = Array.make (max 1 nops) (-1) in
+    Array.iteri
+      (fun i (op : op) ->
+        (match op.o_k with
+        | K_array _ | K_record _ | K_variant _ ->
+          fail_ "format is not linear (nested containers)"
+        | K_invalid _ -> fail_ "format has an invalid field"
+        | K_scalar64 _ when op.o_val ->
+          fail_ "a wide (> 62 bit) field value is referenced"
+        | K_computed c when c.bits > 62 ->
+          fail_ "wide computed field"
+        | _ -> ());
+        if op.o_val && intish op then begin
+          reg_of.(i) <- !nregs;
+          reg_binds := (op.o_name, i, !nregs, op_width op) :: !reg_binds;
+          incr nregs
+        end;
+        if op.o_span then begin
+          span_of.(i) <- !nspans;
+          span_binds := (op.o_name, i, !nspans) :: !span_binds;
+          incr nspans
+        end)
+      ops;
+    let lookup_reg ~before name =
+      List.find_map
+        (fun (n, i, slot, w) ->
+          if i < before && String.equal n name then Some (slot, w) else None)
+        !reg_binds
+    in
+    let lookup_span ~before name =
+      List.find_map
+        (fun (n, i, slot) ->
+          if i < before && String.equal n name then Some slot else None)
+        !span_binds
+    in
+    let reject_expr : iexpr = fun _ -> raise Reject in
+    let ck lo hi =
+      if Float.abs lo >= bound_limit || Float.abs hi >= bound_limit then
+        fail_ "expression escapes native-int-exact bounds"
+    in
+    let rec cexpr ~before (e : Desc.expr) : iexpr * float * float =
+      match e with
+      | Desc.Const v ->
+        let f = Int64.to_float v in
+        ck f f;
+        let c = if Float.abs f < bound_limit then Int64.to_int v else 0 in
+        ((fun _ -> c), f, f)
+      | Desc.Field name -> (
+        match lookup_reg ~before name with
+        | Some (slot, w) ->
+          ((fun h -> Array.unsafe_get h.hregs slot), 0., ldexp 1. w -. 1.)
+        | None ->
+          (* the interpreted eval fails with "unknown field" exactly when
+             this expression is evaluated: same verdict, same moment *)
+          (reject_expr, 0., 0.))
+      | Desc.Byte_len name -> (
+        match lookup_span ~before name with
+        | Some slot ->
+          ( (fun h ->
+              let bl = Array.unsafe_get h.hslen slot in
+              if bl land 7 <> 0 then raise Reject else bl lsr 3),
+            0.,
+            ldexp 1. 52 )
+        | None -> (reject_expr, 0., 0.))
+      | Desc.Msg_len -> ((fun h -> h.hbits lsr 3), 0., ldexp 1. 52)
+      | Desc.Add (a, b) ->
+        let fa, alo, ahi = cexpr ~before a in
+        let fb, blo, bhi = cexpr ~before b in
+        let lo = alo +. blo and hi = ahi +. bhi in
+        ck lo hi;
+        ((fun h -> fa h + fb h), lo, hi)
+      | Desc.Sub (a, b) ->
+        let fa, alo, ahi = cexpr ~before a in
+        let fb, blo, bhi = cexpr ~before b in
+        let lo = alo -. bhi and hi = ahi -. blo in
+        ck lo hi;
+        ((fun h -> fa h - fb h), lo, hi)
+      | Desc.Mul (a, b) ->
+        let fa, alo, ahi = cexpr ~before a in
+        let fb, blo, bhi = cexpr ~before b in
+        let p1 = alo *. blo and p2 = alo *. bhi and p3 = ahi *. blo
+        and p4 = ahi *. bhi in
+        let lo = Float.min (Float.min p1 p2) (Float.min p3 p4) in
+        let hi = Float.max (Float.max p1 p2) (Float.max p3 p4) in
+        ck lo hi;
+        ((fun h -> fa h * fb h), lo, hi)
+      | Desc.Div (a, b) ->
+        let fa, alo, ahi = cexpr ~before a in
+        let fb, _, _ = cexpr ~before b in
+        let m = Float.max (Float.abs alo) (Float.abs ahi) in
+        ck (-.m) m;
+        ( (fun h ->
+            let d = fb h in
+            if d = 0 then raise Reject else fa h / d),
+          -.m,
+          m )
+    in
+    let defs = ref [] in
+    let hops =
+      Array.mapi
+        (fun i (op : op) ->
+          let hk =
+            match op.o_k with
+            | K_scalar s ->
+              let scheck =
+                match s.check with
+                | C_none -> HS_none
+                | C_const (c, _) -> HS_const c
+                | C_enum cs -> HS_enum (Array.of_list cs)
+              in
+              H_scalar
+                {
+                  sbits = s.bits;
+                  slittle = s.little;
+                  scheck;
+                  scons =
+                    Array.of_list (List.filter_map compile_con s.constraints);
+                }
+            | K_scalar64 s ->
+              H_wide
+                {
+                  wbits = s.bits;
+                  wendian = s.endian;
+                  wcheck = s.check;
+                  wcons = s.constraints;
+                }
+            | K_bool -> H_bool
+            | K_computed c ->
+              let p = !npend in
+              incr npend;
+              let cexpr', _, _ = cexpr ~before:nops c.expr in
+              defs := HD_computed { cpend = p; cexpr = cexpr' } :: !defs;
+              H_deferred { dbits = c.bits; dlittle = c.little; dpend = p }
+            | K_checksum c ->
+              let p = !npend in
+              incr npend;
+              let kregion =
+                match c.region with
+                | Desc.Region_message -> HR_message
+                | Desc.Region_rest -> HR_rest
+                | Desc.Region_span (a, b) -> (
+                  match
+                    (lookup_span ~before:nops a, lookup_span ~before:nops b)
+                  with
+                  | Some sa, Some sb -> HR_span (sa, sb)
+                  | _ -> HR_unknown)
+              in
+              defs :=
+                HD_checksum { kpend = p; kbits = c.bits; kalg = c.alg; kregion }
+                :: !defs;
+              H_deferred { dbits = c.bits; dlittle = false; dpend = p }
+            | K_bytes (L_fixed n) ->
+              if n < 0 || n > Sys.max_string_length then H_bytes_expr reject_expr
+              else H_bytes_fixed n
+            | K_bytes (L_expr e) ->
+              let f, _, _ = cexpr ~before:i e in
+              H_bytes_expr f
+            | K_bytes L_remaining -> H_bytes_remaining
+            | K_bytes (L_terminated term) -> H_bytes_terminated term
+            | K_padding bits -> H_padding bits
+            | K_array _ | K_record _ | K_variant _ | K_invalid _ -> H_padding 0
+          in
+          { hreg = reg_of.(i); hspan = span_of.(i); hk })
+        ops
+    in
+    let demand_slots =
+      List.map
+        (fun name ->
+          match lookup_reg ~before:nops name with
+          | Some (slot, _) -> (name, slot)
+          | None ->
+            fail_ (Printf.sprintf "demanded field %S is not extractable" name);
+            (name, -1))
+        demand
+    in
+    match !err with
+    | Some msg -> Result.Error msg
+    | None ->
+      Ok
+        {
+          hp = hops;
+          hdefs = Array.of_list (List.rev !defs);
+          hregs = Array.make (max 1 !nregs) 0;
+          hpend = Array.make (max 1 !npend) 0;
+          hpoff = Array.make (max 1 !npend) 0;
+          hsoff = Array.make (max 1 !nspans) 0;
+          hslen = Array.make (max 1 !nspans) 0;
+          hdemand = Array.of_list demand_slots;
+          helig =
+            List.filter_map
+              (fun (op : op) -> if intish op then Some op.o_name else None)
+              (Array.to_list ops);
+          hbase = 0;
+          hbits = 0;
+          hend = 0;
+        }
+
+  let eligible_fields fmt =
+    match compile fmt with Error _ -> [] | Ok h -> h.helig
+
+  let demand_slot h name =
+    let rec go i =
+      if i >= Array.length h.hdemand then
+        invalid_arg (Printf.sprintf "View.Hot: field %S was not demanded" name)
+      else
+        let n, slot = h.hdemand.(i) in
+        if String.equal n name then slot else go (i + 1)
+    in
+    go 0
+
+  let get h slot = Array.unsafe_get h.hregs slot
+
+  (* Non-optional window variant: the fused per-packet path calls this so
+     the call site allocates no [Some len]. *)
+  let run_window h ~off ~len (data : string) =
+    if off < 0 || len < 0 || off + len > String.length data then
+      invalid_arg "View.Hot.run: window out of bounds";
+    h.hbase <- off * 8;
+    h.hbits <- len * 8;
+    let endb = h.hbase + h.hbits in
+    match
+      let pos = ref h.hbase in
+      let prog = h.hp in
+      for i = 0 to Array.length prog - 1 do
+        let op = Array.unsafe_get prog i in
+        let start = !pos in
+        (match op.hk with
+        | H_scalar sc ->
+          if start + sc.sbits > endb then raise Reject;
+          let v0 = read_narrow data start sc.sbits in
+          let v = if sc.slittle then bswap_int ~bits:sc.sbits v0 else v0 in
+          pos := start + sc.sbits;
+          (match sc.scheck with
+          | HS_none -> ()
+          | HS_const c -> if v <> c then raise Reject
+          | HS_enum cs ->
+            let n = Array.length cs in
+            let j = ref 0 in
+            while !j < n && Array.unsafe_get cs !j <> v do
+              incr j
+            done;
+            if !j >= n then raise Reject);
+          let cons = sc.scons in
+          for ci = 0 to Array.length cons - 1 do
+            match Array.unsafe_get cons ci with
+            | HC_range (lo, hi) -> if v < lo || v > hi then raise Reject
+            | HC_oneof a ->
+              let n = Array.length a in
+              let j = ref 0 in
+              while !j < n && Array.unsafe_get a !j <> v do
+                incr j
+              done;
+              if !j >= n then raise Reject
+            | HC_ne x -> if v = x then raise Reject
+          done;
+          if op.hreg >= 0 then Array.unsafe_set h.hregs op.hreg v
+        | H_wide w ->
+          if start + w.wbits > endb then raise Reject;
+          let v =
+            of_wire ~bits:w.wbits ~endian:w.wendian (read_wide data start w.wbits)
+          in
+          pos := start + w.wbits;
+          (match w.wcheck with
+          | W_none -> ()
+          | W_const c -> if not (Int64.equal v c) then raise Reject
+          | W_enum cases ->
+            if not (List.exists (fun (_, c) -> Int64.equal c v) cases) then
+              raise Reject);
+          List.iter (fun c -> if not (wcon_ok c v) then raise Reject) w.wcons
+        | H_bool ->
+          if start + 1 > endb then raise Reject;
+          let v =
+            (Char.code (String.unsafe_get data (start lsr 3))
+            lsr (7 - (start land 7)))
+            land 1
+          in
+          pos := start + 1;
+          if op.hreg >= 0 then Array.unsafe_set h.hregs op.hreg v
+        | H_deferred d ->
+          if start + d.dbits > endb then raise Reject;
+          let v0 = read_narrow data start d.dbits in
+          let v = if d.dlittle then bswap_int ~bits:d.dbits v0 else v0 in
+          pos := start + d.dbits;
+          Array.unsafe_set h.hpend d.dpend v;
+          Array.unsafe_set h.hpoff d.dpend start;
+          if op.hreg >= 0 then Array.unsafe_set h.hregs op.hreg v
+        | H_bytes_fixed n ->
+          let bits = n * 8 in
+          if start + bits > endb then raise Reject;
+          pos := start + bits
+        | H_bytes_expr f ->
+          let n = f h in
+          if n < 0 || n > Sys.max_string_length then raise Reject;
+          let bits = n * 8 in
+          if start + bits > endb then raise Reject;
+          pos := start + bits
+        | H_bytes_remaining ->
+          let rem = endb - start in
+          if rem land 7 <> 0 then raise Reject;
+          pos := endb
+        | H_bytes_terminated term ->
+          let p = ref start in
+          let b = ref (term + 1) in
+          while !b <> term do
+            if !p + 8 > endb then raise Reject;
+            b := read_narrow data !p 8;
+            p := !p + 8
+          done;
+          pos := !p
+        | H_padding bits ->
+          if start + bits > endb then raise Reject;
+          pos := start + bits);
+        if op.hspan >= 0 then begin
+          Array.unsafe_set h.hsoff op.hspan start;
+          Array.unsafe_set h.hslen op.hspan (!pos - start)
+        end
+      done;
+      h.hend <- !pos;
+      (* deferred checks, in parse order, exactly as the interpreted
+         decoder replays its deferred list *)
+      let defs = h.hdefs in
+      for i = 0 to Array.length defs - 1 do
+        match Array.unsafe_get defs i with
+        | HD_computed d ->
+          if d.cexpr h <> Array.unsafe_get h.hpend d.cpend then raise Reject
+        | HD_checksum k ->
+          let ooff = Array.unsafe_get h.hpoff k.kpend in
+          let roff, rlen =
+            match k.kregion with
+            | HR_message -> (h.hbase, h.hbits)
+            | HR_rest -> (ooff + k.kbits, h.hend - (ooff + k.kbits))
+            | HR_span (a, b) ->
+              let aoff = Array.unsafe_get h.hsoff a in
+              let boff = Array.unsafe_get h.hsoff b
+              and blen = Array.unsafe_get h.hslen b in
+              if boff + blen < aoff then raise Reject;
+              (aoff, boff + blen - aoff)
+            | HR_unknown -> raise Reject
+          in
+          if roff land 7 <> 0 || rlen land 7 <> 0 then raise Reject;
+          let actual = Array.unsafe_get h.hpend k.kpend in
+          let agrees =
+            match k.kalg with
+            | Ck.Internet ->
+              Ck.internet_zeroed ~off:(roff lsr 3) ~len:(rlen lsr 3)
+                ~zero_bit_off:ooff ~zero_bit_len:k.kbits data
+              = actual
+            | alg ->
+              Int64.equal
+                (Ck.compute_zeroed alg ~off:(roff lsr 3) ~len:(rlen lsr 3)
+                   ~zero_bit_off:ooff ~zero_bit_len:k.kbits data)
+                (Int64.of_int actual)
+          in
+          if not agrees then raise Reject
+      done;
+      let rem = endb - h.hend in
+      if rem > 0 then begin
+        if rem >= 8 then raise Reject;
+        if read_narrow data h.hend rem <> 0 then raise Reject
+      end
+    with
+    | () -> true
+    | exception Reject -> false
+
+  let run h ?(off = 0) ?len (data : string) =
+    let len =
+      match len with None -> String.length data - off | Some l -> l
+    in
+    run_window h ~off ~len data
+
+  let length_bytes h = h.hbits lsr 3
+end

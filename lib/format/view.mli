@@ -88,3 +88,45 @@ val key_extractor : Desc.t -> string -> (key_extractor, string) result
 val extract_key : key_extractor -> ?off:int -> string -> int option
 (** Reads the key field from a raw packet ([None] if the buffer is too
     short for the field). *)
+
+(** {2 Fused hot-path decode}
+
+    A second lowering of the same compiled plan, for {e linear} formats
+    (straight-line top level, no arrays/records/variants): demand-driven
+    field extraction into preallocated native-int registers, deferred
+    computed/checksum checks without closures, and no reader or scope
+    allocation — a steady-state {!Hot.run} allocates nothing.  The accept
+    set is exactly {!decode}'s (the differential oracle enforces this);
+    only the error detail is collapsed to a boolean verdict.  Formats or
+    demands the lowering cannot prove native-int-exact return [Error] and
+    callers fall back to the interpreted view. *)
+
+module Hot : sig
+  type t
+
+  val compile : ?demand:string list -> Desc.t -> (t, string) result
+  (** [compile ~demand fmt] lowers [fmt]; every name in [demand] must be a
+      top-level scalar-ish field of at most 62 bits, extracted into a
+      register on every successful {!run}. *)
+
+  val run : t -> ?off:int -> ?len:int -> string -> bool
+  (** Parse and fully validate one message; [true] exactly when
+      {!View.decode} would return [Ok].  Steady state allocates nothing. *)
+
+  val run_window : t -> off:int -> len:int -> string -> bool
+  (** {!run} with both bounds required: per-packet callers use this so
+      the call site does not box an optional argument. *)
+
+  val demand_slot : t -> string -> int
+  (** Register index of a demanded field (resolve once at setup). *)
+
+  val get : t -> int -> int
+  (** Register value after a successful {!run}. *)
+
+  val length_bytes : t -> int
+  (** Byte length of the last {!run} window. *)
+
+  val eligible_fields : Desc.t -> string list
+  (** Top-level fields of [fmt] that a hot plan can extract — empty when
+      the format itself is ineligible.  The oracle demands exactly these. *)
+end

@@ -313,6 +313,83 @@ let compute_zeroed alg ~off ~len ~zero_bit_off ~zero_bit_len s =
   end;
   stream_result st
 
+(* Byte-weighted sum of [s.[o .. o+l)]: a byte at even run index is the
+   high half of its big-endian word (weight 256), at odd index the low
+   half — shifted by one when [hi_first] is false.  Unrolled over the
+   even/odd byte streams; addition is associative, so any summation order
+   agrees with the word-by-word definition before the final carry fold.
+   Top-level (not a closure) and all native ints: the fused decode path
+   must not allocate. *)
+let sum_run s o l hi_first =
+  let even = ref 0 and odd = ref 0 in
+  let i = ref 0 in
+  while l - !i >= 8 do
+    let k = o + !i in
+    even :=
+      !even
+      + Char.code (String.unsafe_get s k)
+      + Char.code (String.unsafe_get s (k + 2))
+      + Char.code (String.unsafe_get s (k + 4))
+      + Char.code (String.unsafe_get s (k + 6));
+    odd :=
+      !odd
+      + Char.code (String.unsafe_get s (k + 1))
+      + Char.code (String.unsafe_get s (k + 3))
+      + Char.code (String.unsafe_get s (k + 5))
+      + Char.code (String.unsafe_get s (k + 7));
+    i := !i + 8
+  done;
+  while !i < l do
+    let b = Char.code (String.unsafe_get s (o + !i)) in
+    if !i land 1 = 0 then even := !even + b else odd := !odd + b;
+    incr i
+  done;
+  if hi_first then (!even lsl 8) + !odd else !even + (!odd lsl 8)
+
+(* Unboxed variant of [compute_zeroed Internet] for the fused decode path.
+   Equal to the streaming version because the final fold only depends on
+   the word sum mod 65535 and on whether any unmasked byte is nonzero —
+   both of which the direct masked-word sum preserves.  The zeroed span is
+   handled byte by byte (it is a checksum field, a few bytes); everything
+   around it goes through the unrolled [sum_run]. *)
+let internet_zeroed ~off ~len ~zero_bit_off ~zero_bit_len s =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Checksum.internet_zeroed: range out of bounds";
+  let zlo = max zero_bit_off (off * 8) in
+  let zhi = min (zero_bit_off + zero_bit_len) ((off + len) * 8) in
+  let sum = ref 0 in
+  if zhi <= zlo then sum := sum_run s off len true
+  else if zlo land 7 = 0 && zhi land 7 = 0 then begin
+    (* byte-aligned span (the overwhelmingly common case: a checksum
+       field): one unrolled pass over the whole window, then take the
+       span's bytes back out.  Exact, not approximate — the sum is plain
+       integer addition of weighted bytes, so subtracting before the
+       carry fold is the same as never adding. *)
+    sum := sum_run s off len true;
+    for i = zlo lsr 3 to (zhi lsr 3) - 1 do
+      let b = Char.code (String.unsafe_get s i) in
+      sum := !sum - if (i - off) land 1 = 0 then b lsl 8 else b
+    done
+  end
+  else begin
+    let zfirst = zlo lsr 3 and zlast = (zhi - 1) lsr 3 in
+    sum := sum_run s off (zfirst - off) true;
+    for i = zfirst to zlast do
+      let b = masked_byte s i ~zoff:zlo ~zlen:(zhi - zlo) in
+      if b <> 0 then
+        sum := !sum + if (i - off) land 1 = 0 then b lsl 8 else b
+    done;
+    let rest = zlast + 1 in
+    sum :=
+      !sum
+      + sum_run s rest (off + len - rest) ((rest - off) land 1 = 0)
+  end;
+  let sum = ref !sum in
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
 let compute alg ?off ?len s =
   match alg with
   | Internet -> Int64.of_int (internet_checksum ?off ?len s)

@@ -42,6 +42,11 @@ val compute_zeroed :
     the region.  The zero span is clipped to the window; an empty or
     disjoint span degenerates to {!compute}. *)
 
+val internet_zeroed :
+  off:int -> len:int -> zero_bit_off:int -> zero_bit_len:int -> string -> int
+(** [compute_zeroed Internet] as an unboxed native [int] — bit-for-bit the
+    same result with no allocation, for per-packet hot paths. *)
+
 (** {2 Streaming}
 
     Incremental computation over discontiguous segments: initialise, feed

@@ -101,6 +101,21 @@ let planted_wire_bug () =
         then Alcotest.failf "repro missing %S line:\n%s" needle rendered)
       [ "FUZZ DISAGREEMENT"; "format:"; "seed:"; "check:"; "input:"; "detail:" ]
 
+(* Same sanity check for the fused leg: inverting the fused decoder's
+   accept verdict must be caught by the "flight" comparison and shrunk —
+   proof the new leg can catch a fusion bug. *)
+let planted_flight_bug () =
+  match
+    Ck.Fuzz.run_format ~bug:Ck.Oracle.Invert_flight_accept
+      ~golden:(golden Fm.Arq.format) ~seed ~iters:50 Fm.Arq.format
+  with
+  | Ok _ -> Alcotest.fail "planted fusion bug not caught"
+  | Error (Ck.Report.Trace _) -> Alcotest.fail "fusion bug reported as trace"
+  | Error (Ck.Report.Wire { w_check; w_bytes; _ }) ->
+    Alcotest.(check string) "caught by the flight leg" "flight" w_check;
+    if String.length w_bytes > 64 then
+      Alcotest.failf "repro not shrunk: %d bytes" (String.length w_bytes)
+
 (* Determinism: the same (seed, iters) must find the same repro, ops
    included — that is what makes a dump committable. *)
 let planted_bug_deterministic () =
@@ -174,6 +189,8 @@ let suite =
     ("check.fuzz", List.map fuzz_case Ck.Corpus.shipped);
     ( "check.self",
       [ Alcotest.test_case "planted wire bug caught+shrunk" `Quick planted_wire_bug;
+        Alcotest.test_case "planted fusion bug caught+shrunk" `Quick
+          planted_flight_bug;
         Alcotest.test_case "planted bug deterministic" `Quick
           planted_bug_deterministic;
         Alcotest.test_case "mutation replay" `Quick mutation_replay;

@@ -63,6 +63,135 @@ let ring_pop_into () =
   check_int "after close+drain" 0 (Ring.pop_into r out)
 
 (* ------------------------------------------------------------------ *)
+(* Slab *)
+
+let slab_contents s n = List.init n (fun i -> Bytes.sub_string (Slab.buf s i) 0 (Slab.len s i))
+
+let slab_fifo_wraparound () =
+  (* PRNG-driven push/pop against a queue model, forcing the ring to wrap
+     many times over a small capacity. *)
+  let s = Slab.create ~slot_bytes:32 ~capacity:4 () in
+  let rng = Prng.of_int 42 in
+  let model = Queue.create () in
+  let fed = ref 0 in
+  for _ = 1 to 300 do
+    let free = Slab.capacity s - Slab.length s in
+    let pushes = Prng.int rng (free + 1) in
+    for _ = 1 to pushes do
+      incr fed;
+      let pkt = Printf.sprintf "pkt-%d-%s" !fed (String.make (Prng.int rng 16) 'x') in
+      Queue.push pkt model;
+      check_bool "pushed" true (Slab.push s pkt)
+    done;
+    if Slab.length s > 0 then begin
+      let n = Slab.pop_batch s ~max:(1 + Prng.int rng 4) in
+      List.iter
+        (fun got ->
+          let want = Queue.pop model in
+          Alcotest.(check string) "fifo across wrap" want got)
+        (slab_contents s n);
+      Slab.release s
+    end
+  done
+
+let slab_batch_across_seam () =
+  (* A batch enqueue whose index run crosses the wrap seam must come out
+     whole and ordered. *)
+  let s = Slab.create ~slot_bytes:8 ~capacity:4 () in
+  ignore (Slab.push s "a");
+  ignore (Slab.push s "b");
+  let n = Slab.pop_batch s ~max:4 in
+  check_int "warmup drained" 2 n;
+  Slab.release s;
+  (* tail is now at slot 2: a 4-packet batch occupies slots 2,3,0,1 *)
+  let pkts = [| "c"; "d"; "e"; "f" |] in
+  check_bool "batch pushed" true (Slab.push_batch s pkts 4);
+  check_int "full" 4 (Slab.length s);
+  let n = Slab.pop_batch s ~max:8 in
+  check_int "whole run" 4 n;
+  check_bool "ordered across seam" true
+    (slab_contents s n = [ "c"; "d"; "e"; "f" ]);
+  Slab.release s
+
+let slab_backpressure () =
+  (* A full slab must block the producer until the consumer releases — run
+     the producer on a second domain, same shape as the Ring test. *)
+  let s = Slab.create ~capacity:2 () in
+  ignore (Slab.push s "0");
+  ignore (Slab.push s "1");
+  let pushed = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        ignore (Slab.push_batch s [| "2"; "3" |] 2);
+        Atomic.set pushed true)
+  in
+  Domain.cpu_relax ();
+  let n = Slab.pop_batch s ~max:2 in
+  check_bool "first run" true (slab_contents s n = [ "0"; "1" ]);
+  Slab.release s;
+  let seen = ref [] in
+  while List.length !seen < 2 do
+    let n = Slab.pop_batch s ~max:2 in
+    seen := !seen @ slab_contents s n;
+    Slab.release s
+  done;
+  check_bool "blocked batch completed in order" true (!seen = [ "2"; "3" ]);
+  Domain.join d;
+  check_bool "producer finished" true (Atomic.get pushed)
+
+let slab_lease_discipline () =
+  let s = Slab.create ~slot_bytes:16 ~capacity:2 () in
+  (* zero-copy ingest: lease, fill in place, publish *)
+  (match Slab.lease s with
+  | None -> Alcotest.fail "lease on open slab"
+  | Some buf ->
+    Bytes.blit_string "hello" 0 buf 0 5;
+    (* a second lease or a push while leased violates the discipline *)
+    (try
+       ignore (Slab.lease s);
+       Alcotest.fail "double lease allowed"
+     with Invalid_argument _ -> ());
+    (try
+       ignore (Slab.push s "x");
+       Alcotest.fail "push while leased allowed"
+     with Invalid_argument _ -> ());
+    Slab.publish s 5);
+  (* abandon returns the slot unpublished *)
+  (match Slab.lease s with
+  | None -> Alcotest.fail "second lease"
+  | Some _ -> Slab.abandon s);
+  check_int "only the published slot" 1 (Slab.length s);
+  let n = Slab.pop_batch s ~max:4 in
+  check_bool "leased slot readable" true (slab_contents s n = [ "hello" ]);
+  (* consumer-side discipline: no second batch before release, no release
+     without a batch *)
+  (try
+     ignore (Slab.pop_batch s ~max:1);
+     Alcotest.fail "pop_batch with batch outstanding allowed"
+   with Invalid_argument _ -> ());
+  Slab.release s;
+  (try
+     Slab.release s;
+     Alcotest.fail "double release allowed"
+   with Invalid_argument _ -> ());
+  (* oversized packets are a caller bug, not silent truncation *)
+  try
+    ignore (Slab.push s (String.make 17 'q'));
+    Alcotest.fail "oversize push allowed"
+  with Invalid_argument _ -> ()
+
+let slab_close_drains () =
+  let s = Slab.create ~capacity:4 () in
+  ignore (Slab.push s "a");
+  Slab.close s;
+  check_bool "push after close" false (Slab.push s "b");
+  check_bool "lease after close" true (Slab.lease s = None);
+  let n = Slab.pop_batch s ~max:4 in
+  check_bool "drains remainder" true (slab_contents s n = [ "a" ]);
+  Slab.release s;
+  check_int "closed and drained" 0 (Slab.pop_batch s ~max:4)
+
+(* ------------------------------------------------------------------ *)
 (* Stats *)
 
 let stats_counters () =
@@ -97,6 +226,22 @@ let stats_batch () =
   check_int "batch rejects" 2 (Stats.stage_rejects s 0);
   (* to_text must render without raising *)
   check_bool "text" true (String.length (Stats.to_text s) > 0)
+
+let stats_warnings () =
+  let a = Stats.create [ "x" ] and b = Stats.create [ "x" ] in
+  Stats.note_warning a "w1";
+  Stats.note_warning a "w1" (* duplicates collapse *);
+  Stats.note_warning b "w2";
+  Stats.merge_into ~into:a b;
+  check_bool "union survives merge" true (Stats.warnings a = [ "w1"; "w2" ]);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "rendered" true (contains (Stats.to_text a) "w1");
+  let m = Stats.merge [ a; b ] in
+  check_bool "merge list" true (Stats.warnings m = [ "w1"; "w2" ])
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline *)
@@ -396,11 +541,193 @@ let pipeline_classify_id_fast_path () =
     (Pipeline.process p2 (arq_data ~seq:1 "x") = Rejected_step)
 
 (* ------------------------------------------------------------------ *)
+(* Flight / fused mode *)
+
+(* The ARQ responder as a flight spec: classify data packets to the "ok"
+   event, key flows by seq, answer data with an in-place kind:=ack patch. *)
+let arq_flight =
+  Flight.spec
+    ~verify:(Flight.Cmp (Flight.Lt, Flight.Field "seq", Flight.Const 256L))
+    ~classify:
+      [ { Flight.ev_when = Flight.Cmp (Flight.Eq, Flight.Field "kind", Flight.Const 0L);
+          ev_name = "ok" } ]
+    ~flow_key:"seq"
+    ~respond:
+      [ { Flight.re_when = Flight.Cmp (Flight.Eq, Flight.Field "kind", Flight.Const 0L);
+          re_set = [ { Flight.set_field = "kind"; set_to = Flight.Const 1L } ] } ]
+    ()
+
+let outcome_tag = function
+  | Pipeline.Accepted -> "accepted"
+  | Pipeline.Rejected_decode _ -> "rejected_decode"
+  | Pipeline.Rejected_verify -> "rejected_verify"
+  | Pipeline.Rejected_step -> "rejected_step"
+  | Pipeline.Rejected_encode -> "rejected_encode"
+
+let fused_is_linear () =
+  (* The ARQ format must actually take the fast tier — otherwise the
+     fused-vs-staged diff only exercises the fallback engine. *)
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~flight:arq_flight
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8) Fm.Arq.format
+  in
+  check_bool "linear tier" true (Pipeline.flight_tier p = Some `Linear)
+
+(* The lock-step property: one flight spec, two pipelines (Staged and
+   Fused), identical mixed traffic — per-packet outcomes, reply bytes and
+   every stage counter must agree exactly. *)
+let fused_matches_staged () =
+  let machine = Netdsl_proto.Arq_fsm.receiver ~seq_bits:8 in
+  let mk mode replies =
+    Pipeline.create ~mode ~flight:arq_flight ~machine
+      ~on_response:(fun s -> replies := s :: !replies)
+      Fm.Arq.format
+  in
+  let staged_replies = ref [] and fused_replies = ref [] in
+  let staged = mk Pipeline.Staged staged_replies in
+  let fused = mk Pipeline.Fused fused_replies in
+  let rng = Prng.of_int 77 in
+  for i = 1 to 1000 do
+    let pkt =
+      match Prng.int rng 4 with
+      | 0 -> Fm.Arq.to_bytes (Fm.Arq.Ack { seq = i land 0xFF })
+      | 1 ->
+        (* structure-aware mutants: mostly rejects, some accepts *)
+        Netdsl_format.Gen.mutate rng ~flips:2 (arq_data ~seq:(i land 0xFF) "mm")
+      | _ -> arq_data ~seq:(i land 0xFF) (String.make (Prng.int rng 20) 'p')
+    in
+    let a = Pipeline.process staged pkt and b = Pipeline.process fused pkt in
+    if outcome_tag a <> outcome_tag b then
+      Alcotest.failf "packet %d: staged %s, fused %s" i (outcome_tag a)
+        (outcome_tag b)
+  done;
+  check_int "same reply count" (List.length !staged_replies)
+    (List.length !fused_replies);
+  List.iter2
+    (fun a b -> Alcotest.(check string) "same reply bytes" a b)
+    !staged_replies !fused_replies;
+  check_int "same flow count" (Pipeline.flow_count staged)
+    (Pipeline.flow_count fused);
+  let ss = Pipeline.stats staged and sf = Pipeline.stats fused in
+  List.iteri
+    (fun idx name ->
+      check_int (name ^ " packets equal") (Stats.stage_packets ss idx)
+        (Stats.stage_packets sf idx);
+      check_int (name ^ " rejects equal") (Stats.stage_rejects ss idx)
+        (Stats.stage_rejects sf idx);
+      check_int (name ^ " bytes equal") (Stats.stage_bytes ss idx)
+        (Stats.stage_bytes sf idx))
+    Pipeline.stage_names
+
+let fused_verify_and_passthrough () =
+  (* Fused semantics corners: the verify cond vetoes, acks pass through
+     the classifier without a response, and both land in the counters. *)
+  let spec =
+    Flight.spec
+      ~verify:(Flight.Cmp (Flight.Ne, Flight.Field "seq", Flight.Const 13L))
+      ~classify:
+        [ { Flight.ev_when =
+              Flight.Cmp (Flight.Eq, Flight.Field "kind", Flight.Const 0L);
+            ev_name = "ok" } ]
+      ~flow_key:"seq"
+      ~respond:
+        [ { Flight.re_when =
+              Flight.Cmp (Flight.Eq, Flight.Field "kind", Flight.Const 0L);
+            re_set = [ { Flight.set_field = "kind"; set_to = Flight.Const 1L } ] } ]
+      ()
+  in
+  let replies = ref 0 in
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~flight:spec
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+      ~on_response:(fun _ -> incr replies)
+      Fm.Arq.format
+  in
+  check_bool "vetoed before any step" true
+    (Pipeline.process p (arq_data ~seq:13 "x") = Pipeline.Rejected_verify);
+  check_int "no flow minted for vetoed packet" 0 (Pipeline.flow_count p);
+  check_int "no reply for vetoed packet" 0 !replies;
+  check_bool "ack passes through" true
+    (Pipeline.process p (Fm.Arq.to_bytes (Fm.Arq.Ack { seq = 2 })) = Accepted);
+  check_int "pass-through does not respond" 0 !replies;
+  check_bool "data responds" true
+    (Pipeline.process p (arq_data ~seq:1 "x") = Accepted);
+  check_int "one reply" 1 !replies
+
+let fused_rejected_decode_error () =
+  (* The fast tier collapses decode errors to a verdict; [process] must
+     still recover a faithful error for the one-packet API. *)
+  let p = Pipeline.create ~mode:Pipeline.Fused ~flight:(Flight.spec ()) Fm.Arq.format in
+  match Pipeline.process p "\xff" with
+  | Pipeline.Rejected_decode _ -> ()
+  | o -> Alcotest.failf "expected decode reject, got %s" (outcome_tag o)
+
+let reply_buf_high_water_reset () =
+  (* Regression: one oversized reply used to pin a big buffer forever.
+     Now the buffer shrinks back once the batch's high-water mark drops. *)
+  let p =
+    Pipeline.create
+      ~classify:(fun _ -> Some "ok")
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+      ~respond_patch:(fun v _ ->
+        if Netdsl_format.View.get_int v "kind" = 0L then Some [ ("kind", 1L) ]
+        else None)
+      Fm.Arq.format
+  in
+  let base = Pipeline.reply_capacity p in
+  check_bool "small reply fits the base buffer" true
+    (Pipeline.process p (arq_data ~seq:1 "x") = Accepted
+    && Pipeline.reply_capacity p = base);
+  (* one jumbo request grows the buffer for its batch... *)
+  let jumbo = arq_data ~seq:2 (String.make 4000 'J') in
+  check_bool "jumbo accepted" true (Pipeline.process p jumbo = Accepted);
+  check_bool "buffer grew" true (Pipeline.reply_capacity p >= 4000);
+  (* ...and the next small batch lets it shrink back to the base size *)
+  check_bool "small again" true (Pipeline.process p (arq_data ~seq:3 "x") = Accepted);
+  check_int "high-water reset" base (Pipeline.reply_capacity p);
+  (* steady traffic near the buffer size must not churn it *)
+  let mid = arq_data ~seq:4 (String.make (base * 2) 'M') in
+  check_bool "mid accepted" true (Pipeline.process p mid = Accepted);
+  let grown = Pipeline.reply_capacity p in
+  check_bool "mid again" true (Pipeline.process p mid = Accepted);
+  check_int "no churn while the high-water holds" grown (Pipeline.reply_capacity p)
+
+let pipeline_slab_driven_both_modes () =
+  (* The slab-driven [run] loop in both modes, batch hand-off included:
+     every packet fed must be decoded, replies must flow. *)
+  List.iter
+    (fun mode ->
+      let replies = ref 0 in
+      let p =
+        Pipeline.create ~mode ~flight:arq_flight
+          ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+          ~on_reply:(fun _ _ -> incr replies)
+          Fm.Arq.format
+      in
+      let consumer = Domain.spawn (fun () -> Pipeline.run p) in
+      let batch = Array.init 50 (fun i -> arq_data ~seq:(i land 0xFF) "zz") in
+      for _ = 1 to 6 do
+        check_bool "batch fed" true (Pipeline.feed_batch p batch 50)
+      done;
+      for i = 1 to 200 do
+        check_bool "fed" true (Pipeline.feed p (arq_data ~seq:(i land 0xFF) "y"))
+      done;
+      Pipeline.close_input p;
+      Domain.join consumer;
+      let s = Pipeline.stats p in
+      check_int "all decoded" 500
+        (Stats.stage_packets s (Stats.stage_index s "decode"));
+      check_int "all answered" 500 !replies)
+    [ Pipeline.Staged; Pipeline.Fused ]
+
+(* ------------------------------------------------------------------ *)
 (* Shard *)
 
 let shard_all_packets_one_worker_per_flow () =
   let config = { Shard.workers = 2; pipeline = Pipeline.default_config } in
-  match Shard.create ~config ~key:"seq" Fm.Arq.format with
+  (* CI boxes may expose a single core: opt into oversubscription so the
+     test still exercises two workers *)
+  match Shard.create ~config ~allow_oversubscribe:true ~key:"seq" Fm.Arq.format with
   | Error e -> Alcotest.failf "shard create: %s" e
   | Ok sh ->
     Shard.start sh;
@@ -427,6 +754,51 @@ let shard_all_packets_one_worker_per_flow () =
     Array.iter (fun c -> check_bool "worker busy" true (c > 0)) per_worker;
     check_int "workers sum to total" (n + 1) (Array.fold_left ( + ) 0 per_worker)
 
+let shard_clamps_oversubscription () =
+  let cores = Domain.recommended_domain_count () in
+  let config =
+    { Shard.workers = cores + 2; pipeline = Pipeline.default_config }
+  in
+  (* default: clamp to the available cores and say so *)
+  (match Shard.create ~config ~key:"seq" Fm.Arq.format with
+  | Error e -> Alcotest.failf "shard create: %s" e
+  | Ok sh ->
+    check_int "clamped" cores (Shard.workers sh);
+    check_bool "warned" true (Shard.warning sh <> None);
+    check_bool "warning lands in stats" true
+      (Stats.warnings (Shard.stats sh) <> []));
+  (* explicit opt-in: keep the requested count, still warn *)
+  match Shard.create ~config ~allow_oversubscribe:true ~key:"seq" Fm.Arq.format with
+  | Error e -> Alcotest.failf "shard create: %s" e
+  | Ok sh ->
+    check_int "kept" (cores + 2) (Shard.workers sh);
+    check_bool "warned anyway" true (Shard.warning sh <> None)
+
+let shard_fused_mode () =
+  (* Shard + flight + fused mode end to end on a couple of workers. *)
+  let config = { Shard.workers = 2; pipeline = Pipeline.default_config } in
+  match
+    Shard.create ~config ~allow_oversubscribe:true ~key:"seq"
+      ~mode:Pipeline.Fused ~flight:arq_flight
+      ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8) Fm.Arq.format
+  with
+  | Error e -> Alcotest.failf "shard create: %s" e
+  | Ok sh ->
+    Shard.start sh;
+    let n = 1000 in
+    for i = 1 to n do
+      ignore (Shard.feed sh (arq_data ~seq:(i land 0xFF) "payload"))
+    done;
+    Shard.drain sh;
+    let s = Shard.stats sh in
+    check_int "every packet decoded" n
+      (Stats.stage_packets s (Stats.stage_index s "decode"));
+    check_int "every packet answered" n
+      (Stats.stage_packets s (Stats.stage_index s "encode"));
+    check_int "no rejects" 0
+      (let _, _, r = Stats.totals s in
+       r)
+
 let shard_key_must_be_fixed_offset () =
   (* "payload" sits after a variable-length region boundary? For ARQ all
      header fields are fixed; use a field that does not exist instead. *)
@@ -442,10 +814,20 @@ let suite =
         Alcotest.test_case "close drains" `Quick ring_close_drains;
         Alcotest.test_case "blocking producer" `Quick ring_blocking_producer;
         Alcotest.test_case "pop_into batches" `Quick ring_pop_into ] );
+    ( "engine.slab",
+      [ Alcotest.test_case "fifo across wraparound" `Quick slab_fifo_wraparound;
+        Alcotest.test_case "batch across the wrap seam" `Quick
+          slab_batch_across_seam;
+        Alcotest.test_case "blocked producer backpressure" `Quick
+          slab_backpressure;
+        Alcotest.test_case "lease/return discipline" `Quick
+          slab_lease_discipline;
+        Alcotest.test_case "close drains" `Quick slab_close_drains ] );
     ( "engine.stats",
       [ Alcotest.test_case "counters" `Quick stats_counters;
         Alcotest.test_case "merge" `Quick stats_merge;
-        Alcotest.test_case "batch record" `Quick stats_batch ] );
+        Alcotest.test_case "batch record" `Quick stats_batch;
+        Alcotest.test_case "warnings" `Quick stats_warnings ] );
     ( "engine.pipeline",
       [ Alcotest.test_case "accept and reject" `Quick pipeline_accepts_and_rejects;
         Alcotest.test_case "verify stage" `Quick pipeline_verify_stage;
@@ -459,8 +841,23 @@ let suite =
           pipeline_eviction_churn;
         Alcotest.test_case "classify_id fast path" `Quick
           pipeline_classify_id_fast_path ] );
+    ( "engine.flight",
+      [ Alcotest.test_case "arq flight takes the linear tier" `Quick
+          fused_is_linear;
+        Alcotest.test_case "fused = staged lock-step" `Quick fused_matches_staged;
+        Alcotest.test_case "verify veto and pass-through" `Quick
+          fused_verify_and_passthrough;
+        Alcotest.test_case "decode error recovered" `Quick
+          fused_rejected_decode_error;
+        Alcotest.test_case "reply buffer high-water reset" `Quick
+          reply_buf_high_water_reset;
+        Alcotest.test_case "slab-driven run, both modes" `Quick
+          pipeline_slab_driven_both_modes ] );
     ( "engine.shard",
       [ Alcotest.test_case "shards cover all packets" `Quick
           shard_all_packets_one_worker_per_flow;
+        Alcotest.test_case "oversubscription clamped+warned" `Quick
+          shard_clamps_oversubscription;
+        Alcotest.test_case "fused sharded responder" `Quick shard_fused_mode;
         Alcotest.test_case "bad key rejected" `Quick shard_key_must_be_fixed_offset ] )
   ]
