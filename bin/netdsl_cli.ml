@@ -551,10 +551,124 @@ let modelcheck_cmd =
        ~doc:"Compose every machine in the file (synchronising on shared event names) and model-check deadlock freedom, the ability to finish, and an optional avoid-state invariant.")
     Term.(const run $ file_arg $ avoid_opt $ max_states_opt)
 
+let serve_cmd =
+  let udp_opt =
+    Arg.(value & opt (some int) None & info [ "udp" ] ~docv:"PORT"
+           ~doc:"Listen for UDP datagrams on this port (0 picks an ephemeral port).")
+  in
+  let tcp_opt =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Listen for TCP connections carrying u16 big-endian length-prefixed frames, one frame per packet.")
+  in
+  let host_opt =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Numeric listen address.")
+  in
+  let mode_opt =
+    Arg.(value & opt (enum [ ("fused", `Fused); ("staged", `Staged) ]) `Fused
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Engine mode: $(b,fused) runs each packet to completion through the compiled flight plan; $(b,staged) walks the batch stage by stage.")
+  in
+  let max_packets_opt =
+    Arg.(value & opt (some int) None & info [ "max-packets" ] ~docv:"N"
+           ~doc:"Stop after processing N packets (0 exits right after binding).")
+  in
+  let duration_opt =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Stop after this many seconds.")
+  in
+  let patch_opt =
+    Arg.(value & opt_all string [] & info [ "patch" ] ~docv:"FIELD=VALUE"
+           ~doc:"Patch this scalar field of the reply to a constant (repeatable).  Without any, the reply echoes the validated request unchanged.")
+  in
+  let run file fmt_name host udp tcp mode max_packets duration patches =
+    let program = load file in
+    let fmt = pick_format program fmt_name in
+    let die msg =
+      Format.eprintf "netdsl: %s@." msg;
+      exit 1
+    in
+    let module Net = Netdsl.Net in
+    let module Flight = Netdsl.Engine.Flight in
+    let actions =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | None ->
+            die (Printf.sprintf "bad --patch %S (expected FIELD=VALUE)" spec)
+          | Some i -> (
+            let field = String.sub spec 0 i in
+            let value = String.sub spec (i + 1) (String.length spec - i - 1) in
+            if Netdsl.Desc.find_field fmt field = None then
+              die
+                (Printf.sprintf "unknown field %S in --patch (have: %s)" field
+                   (String.concat ", " (Netdsl.Desc.field_names fmt)));
+            match Int64.of_string_opt value with
+            | None ->
+              die (Printf.sprintf "bad --patch value %S (expected an integer)" value)
+            | Some v -> (
+              (* a patch the respond stage cannot apply would silently
+                 reject every reply at runtime — refuse it before binding *)
+              match Netdsl.Emit.patcher fmt field with
+              | Error e ->
+                die (Printf.sprintf "cannot patch field %S in place: %s" field e)
+              | Ok _ -> { Flight.set_field = field; set_to = Flight.Const v })))
+        patches
+    in
+    let listeners =
+      (match udp with
+      | Some port -> [ Net.Server.Udp { host; port } ]
+      | None -> [])
+      @
+      match tcp with
+      | Some port -> [ Net.Server.Tcp { host; port } ]
+      | None -> []
+    in
+    if listeners = [] then
+      die "nothing to listen on (give --udp PORT and/or --tcp PORT)";
+    let flight =
+      Flight.spec ~respond:[ { Flight.re_when = All []; re_set = actions } ] ()
+    in
+    let mode =
+      match mode with
+      | `Fused -> Netdsl.Engine.Pipeline.Fused
+      | `Staged -> Netdsl.Engine.Pipeline.Staged
+    in
+    match Net.Server.create ~mode ~flight ~listeners fmt with
+    | Error msg -> die msg
+    | Ok srv ->
+      List.iter
+        (fun (proto, h, p) ->
+          Format.printf "serving %s on %s %s:%d (%s mode)@."
+            fmt.Netdsl.Desc.format_name proto h p
+            (match mode with
+            | Netdsl.Engine.Pipeline.Fused -> "fused"
+            | Netdsl.Engine.Pipeline.Staged -> "staged"))
+        (Net.Server.bound srv);
+      let n = Net.Server.run ?max_packets ?duration srv in
+      (* Reported unconditionally: a SIGINT/SIGTERM exit lands here too,
+         [run] having drained what was in flight. *)
+      Format.printf "processed %d packet(s)@." n;
+      List.iter
+        (fun (label, st) ->
+          Format.printf "%s@.  %s@." label
+            (String.concat "\n  "
+               (String.split_on_char '\n' (Net.Stats.to_text st))))
+        (Net.Server.listener_stats srv);
+      print_string
+        (Netdsl.Engine.Stats.to_text (Net.Server.engine_stats srv));
+      Net.Server.close srv
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer real datagrams: bind nonblocking UDP/TCP listeners on a format from the file and run every received packet through the engine, echoing each accepted packet back with the requested fields patched in place.")
+    Term.(const run $ file_arg $ format_opt $ host_opt $ udp_opt $ tcp_opt
+          $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt)
+
 let () =
   let doc = "a DSL toolchain for network protocols" in
   let info = Cmd.info "netdsl" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; encode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd; fsm_cmd ]))
+          [ check_cmd; diagram_cmd; dot_cmd; fuzz_cmd; tests_cmd; codegen_cmd; decode_cmd; encode_cmd; bench_cmd; modelcheck_cmd; abnf_cmd; print_cmd; run_cmd; fsm_cmd; serve_cmd ]))

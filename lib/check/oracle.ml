@@ -243,3 +243,31 @@ let check t pkt =
   match check_inner t pkt with
   | exception e -> fail "crash" "exception escaped a fast path: %s" (Printexc.to_string e)
   | r -> r
+
+(* ---- the in-memory reply reference for the socket oracle leg ----
+
+   [Loopback] (lib/net) reads replies off a real UDP socket and diffs
+   them byte for byte against this: the same flight spec driven through
+   an in-memory pipeline whose [on_response] captures the emitted reply
+   as a fresh string.  Default mode is [Staged] so a fused server is
+   cross-checked against the staged derivation of the same spec — the
+   socket run then differences both the wire path *and* the mode. *)
+module Reply_ref = struct
+  type nonrec t = { r_pipe : Pipeline.t; r_last : string option ref }
+
+  let create ?config ?(mode = Pipeline.Staged) ?machine ~flight fmt =
+    let r_last = ref None in
+    let r_pipe =
+      Pipeline.create ?config ~mode ~flight ?machine
+        ~on_response:(fun s -> r_last := Some s)
+        fmt
+    in
+    { r_pipe; r_last }
+
+  let expected t pkt =
+    t.r_last := None;
+    let outcome = Pipeline.process t.r_pipe pkt in
+    (outcome, !(t.r_last))
+
+  let stats t = Pipeline.stats t.r_pipe
+end

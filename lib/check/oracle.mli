@@ -63,3 +63,32 @@ val checked : t -> int
 val accepted : t -> int
 (** Messages all decoders accepted — the accept side of the split that
     bench e14 reports. *)
+
+(** {2 Socket oracle leg: the in-memory reply reference}
+
+    The reference side of the loopback soak (lib/net's [Loopback]): the
+    same flight spec, driven through an in-memory pipeline, with every
+    emitted reply captured as a fresh string.  A reply read off a real
+    socket must be byte-for-byte identical to {!Reply_ref.expected} for
+    the same input — and a packet for which [expected] returns [None]
+    must produce {e no} datagram.  Defaults to [Staged] mode so a fused
+    server is diffed against the staged derivation of its own spec. *)
+module Reply_ref : sig
+  type t
+
+  val create :
+    ?config:Netdsl_engine.Pipeline.config ->
+    ?mode:Netdsl_engine.Pipeline.mode ->
+    ?machine:Netdsl_fsm.Machine.t ->
+    flight:Netdsl_engine.Flight.spec ->
+    Netdsl_format.Desc.t ->
+    t
+
+  val expected :
+    t -> string -> Netdsl_engine.Pipeline.outcome * string option
+  (** Run one packet; the captured reply, or [None] when the packet is
+      rejected or matches no respond rule.  Flow state advances exactly
+      as the server's pipeline does, so lock-step callers stay in sync. *)
+
+  val stats : t -> Netdsl_engine.Stats.t
+end

@@ -15,6 +15,9 @@
       {!Checked}, {!Send_machine}, {!Recv_machine}
     - packet-processing runtime: {!Engine} (zero-copy {!View} decode,
       batched pipeline, multicore flow sharding, per-stage counters)
+    - socket front end: {!Net} (select-based nonblocking UDP/TCP
+      listeners draining straight into the engine's slab, per-listener
+      wire counters, a loopback soak harness)
     - fuzzing + differential testing: {!Check} (structure-aware wire
       mutation, a Codec/View/Emit/Pipeline oracle, Step-vs-Interp trace
       lock-step, shrinking, committable repro reports)
@@ -67,6 +70,9 @@ module Recv_machine = Netdsl_typed.Recv_machine
 
 (* Packet-processing runtime *)
 module Engine = Netdsl_engine
+
+(* Socket front end: real traffic through the engine *)
+module Net = Netdsl_net
 
 (* Fuzzing + differential testing harness *)
 module Check = Netdsl_check

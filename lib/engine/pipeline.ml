@@ -698,17 +698,34 @@ let recover_decode_error t =
     | Ok () ->
       F.Codec.Eval_error { path = []; reason = "fused decode diverged" })
 
-let process t pkt =
-  let pkts = t.inbuf in
-  pkts.(0) <- pkt;
-  t.blen.(0) <- String.length pkt;
-  run_window t 1;
+let outcome_of_slot0 t =
   match t.status.(0) with
   | s when s = rej_decode -> Rejected_decode (recover_decode_error t)
   | s when s = rej_verify -> Rejected_verify
   | s when s = rej_step -> Rejected_step
   | s when s = rej_encode -> Rejected_encode
   | _ -> Accepted
+
+let process t pkt =
+  let pkts = t.inbuf in
+  pkts.(0) <- pkt;
+  t.blen.(0) <- String.length pkt;
+  run_window t 1;
+  outcome_of_slot0 t
+
+(* Batch-drain entry point for external slab owners (the socket front
+   end): process one packet sitting in a caller-owned buffer without
+   copying it.  [Bytes.unsafe_to_string] is safe under the same contract
+   as [run]: the buffer is only read during this call and the caller must
+   not mutate it until the call returns (a socket slab slot is not
+   recycled before [Slab.release]). *)
+let process_buffer t buf ~len =
+  if len < 0 || len > Bytes.length buf then
+    invalid_arg "Pipeline.process_buffer: len out of bounds";
+  t.inbuf.(0) <- Bytes.unsafe_to_string buf;
+  t.blen.(0) <- len;
+  run_window t 1;
+  outcome_of_slot0 t
 
 (* Slab-driven operation: a producer [feed]s — blitting into a
    preallocated slot, blocking when the slab is full (backpressure) — and

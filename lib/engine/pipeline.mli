@@ -132,6 +132,14 @@ val process_batch : t -> string array -> int -> unit
 (** [process_batch t pkts n] runs packets [0, n)] of [pkts] through all
     stages ([n] at most [config.batch]); results land in {!stats}. *)
 
+val process_buffer : t -> Bytes.t -> len:int -> outcome
+(** [process_buffer t buf ~len] runs the first [len] bytes of [buf]
+    through all stages without copying them — the batch-drain entry
+    point for callers that own their ingest slab (the socket front end
+    leases a {!Slab} slot, [recvfrom]s into it, and hands it here).
+    The buffer is borrowed: it must not be mutated during the call.
+    Raises [Invalid_argument] when [len] exceeds [buf]. *)
+
 val feed : t -> string -> bool
 (** Blit one packet into the input slab; blocks while the slab is full,
     [false] after {!close_input}.  Raises [Invalid_argument] if the

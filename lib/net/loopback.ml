@@ -1,0 +1,214 @@
+module Pipeline = Netdsl_engine.Pipeline
+module Oracle = Netdsl_check.Oracle
+
+type result_ = {
+  sent : int;
+  replies : int;
+  expected_replies : int;
+  disagreements : int;
+  first_disagreement : string option;
+  server_processed : int;
+  alloc_bytes_per_pkt : float;
+  elapsed_s : float;
+  net : Stats.t;
+}
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i ->
+         Printf.sprintf "%02x" (Char.code s.[i])))
+
+(* Wait for the client socket to become readable; [false] on timeout. *)
+let readable ?(timeout = 5.0) fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  | [], _, _ -> false
+  | _ -> true
+
+let recv_one fd buf =
+  match Unix.recvfrom fd buf 0 (Bytes.length buf) [] with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> None
+  | n, _ -> Some (Bytes.sub_string buf 0 n)
+
+let default_warmup ?warmup count =
+  match warmup with
+  | Some w -> max 1 (min w (count - 1))
+  | None -> max 1 (min (count / 5) 2000)
+
+let client_socket () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (try Unix.setsockopt_int fd Unix.SO_RCVBUF (1 lsl 20)
+   with Unix.Unix_error _ -> ());
+  fd
+
+(* Spin up a server on an ephemeral loopback port plus the domain that
+   runs it in two phases — a warmup run, then the measured run whose
+   allocation is metered ([Gc.allocated_bytes] is per-domain, so the
+   meter sees only the server's own garbage) — and run [body] as the
+   client.  The restart between phases doubles as a run-twice exercise
+   of the server loop. *)
+let with_server ?mode ?machine ?config ~flight ~warmup ~count fmt body =
+  match
+    Server.create ?config ?mode ?machine ~signals:false ~flight
+      ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+      fmt
+  with
+  | Error e -> Error (Printf.sprintf "loopback server: %s" e)
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Server.close srv)
+      (fun () ->
+        match Server.udp_port srv with
+        | None -> Error "loopback server: no UDP port"
+        | Some port ->
+          let dom =
+            Domain.spawn (fun () ->
+                let n1 = Server.run ~max_packets:warmup srv in
+                let a0 = Gc.allocated_bytes () in
+                let n2 = Server.run ~max_packets:(count - n1) srv in
+                let a1 = Gc.allocated_bytes () in
+                (n1 + n2, a1 -. a0, n2))
+          in
+          let sent, replies, expected, disagreements, first, elapsed =
+            body port
+          in
+          (* The client is done: if the server is still waiting for
+             packets that will never come (a client that gave up), stop
+             it — the stop path still drains everything already sent. *)
+          Server.request_stop srv;
+          let processed, alloc, measured = Domain.join dom in
+          Ok
+            { sent; replies; expected_replies = expected; disagreements;
+              first_disagreement = first; server_processed = processed;
+              alloc_bytes_per_pkt =
+                (if measured > 0 then alloc /. float_of_int measured else 0.);
+              elapsed_s = elapsed;
+              net = Server.net_stats srv })
+
+let soak ?(mode = Pipeline.Fused) ?machine ?config ?warmup ~flight ~packets
+    ~count fmt =
+  if count < 2 then Error "loopback soak: count must be at least 2"
+  else begin
+    let warmup = default_warmup ?warmup count in
+    (* The reference leg: same spec, staged derivation, in-memory. *)
+    let reference = Oracle.Reply_ref.create ?config ?machine ~flight fmt in
+    with_server ?config ~mode ?machine ~flight ~warmup ~count fmt (fun port ->
+        let addr =
+          Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
+        in
+        let fd = client_socket () in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let rbuf = Bytes.create 65536 in
+            let replies = ref 0 in
+            let expected_n = ref 0 in
+            let disagreements = ref 0 in
+            let first = ref None in
+            let disagree fmt_ =
+              Printf.ksprintf
+                (fun msg ->
+                  incr disagreements;
+                  if !first = None then first := Some msg)
+                fmt_
+            in
+            let t0 = Unix.gettimeofday () in
+            for i = 0 to count - 1 do
+              let pkt = packets i in
+              let _, expect = Oracle.Reply_ref.expected reference pkt in
+              ignore
+                (Unix.sendto fd (Bytes.of_string pkt) 0 (String.length pkt)
+                   [] addr);
+              match expect with
+              | None -> ()
+              | Some want -> (
+                incr expected_n;
+                if not (readable fd) then
+                  disagree "pkt %d: expected a reply, socket stayed silent" i
+                else
+                  match recv_one fd rbuf with
+                  | None ->
+                    disagree "pkt %d: readable but no datagram (EAGAIN)" i
+                  | Some got ->
+                    incr replies;
+                    if not (String.equal got want) then
+                      disagree
+                        "pkt %d: reply differs\n  socket: %s\n  memory: %s" i
+                        (hex got) (hex want))
+            done;
+            (* A rejected packet must stay silent: anything still on the
+               socket is a reply the reference never produced. *)
+            while readable ~timeout:0.1 fd do
+              match recv_one fd rbuf with
+              | None -> ()
+              | Some got ->
+                incr replies;
+                disagree "stray reply after run: %s" (hex got)
+            done;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            (count, !replies, !expected_n, !disagreements, !first, elapsed)))
+  end
+
+let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?(window = 64)
+    ~flight ~packets ~count fmt =
+  if count < 2 then Error "loopback blast: count must be at least 2"
+  else begin
+    let warmup = default_warmup ?warmup count in
+    with_server ?config ~mode ?machine ~flight ~warmup ~count fmt (fun port ->
+        let addr =
+          Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
+        in
+        let fd = client_socket () in
+        Unix.set_nonblock fd;
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let rbuf = Bytes.create 65536 in
+            let sent = ref 0 in
+            let replies = ref 0 in
+            let stalls = ref 0 in
+            let t0 = Unix.gettimeofday () in
+            let drain_replies () =
+              let continue = ref true in
+              while !continue do
+                match recv_one fd rbuf with
+                | None -> continue := false
+                | Some _ -> incr replies
+              done
+            in
+            (* Window of outstanding packets; if the pipe goes dead
+               (every reply dropped) give up rather than spin. *)
+            while !sent < count && !stalls < 5 do
+              if !sent - !replies >= window then begin
+                let before = !replies in
+                ignore (readable ~timeout:1.0 fd);
+                drain_replies ();
+                if !replies = before then incr stalls else stalls := 0
+              end
+              else begin
+                let pkt = packets !sent in
+                (match
+                   Unix.sendto fd (Bytes.of_string pkt) 0 (String.length pkt)
+                     [] addr
+                 with
+                | _ -> incr sent
+                | exception
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                  ->
+                  ignore (readable ~timeout:0.2 fd));
+                drain_replies ()
+              end
+            done;
+            (* tail: collect stragglers until the socket goes quiet *)
+            let quiet = ref 0 in
+            while !replies < !sent && !quiet < 3 do
+              if readable ~timeout:0.5 fd then begin
+                let before = !replies in
+                drain_replies ();
+                if !replies = before then incr quiet else quiet := 0
+              end
+              else incr quiet
+            done;
+            let elapsed = Unix.gettimeofday () -. t0 in
+            (!sent, !replies, !sent, 0, None, elapsed)))
+  end

@@ -1,0 +1,70 @@
+(** Loopback soak harness: the socket leg of the differential oracle.
+
+    A {!Server} runs on its own domain behind a real UDP socket bound to
+    127.0.0.1; the client (the calling domain) sends generated packets
+    through the kernel and diffs every reply byte-for-byte against
+    {!Netdsl_check.Oracle.Reply_ref} — the same flight spec driven
+    through an in-memory pipeline.  A packet whose reference reply is
+    [None] must produce {e no} datagram; any stray reply left on the
+    socket at the end of a run is a disagreement too.
+
+    {!soak} is the correctness leg: lock-step (send one, await its
+    reply), valid + mutated traffic, zero expected disagreements.
+    {!blast} is the throughput leg: valid traffic only, a bounded window
+    of outstanding packets, reporting pkts/s through the socket path.
+
+    Both measure the server domain's own allocation rate after a warmup
+    run ([Gc.allocated_bytes] before/after the measured run, divided by
+    packets processed): the engine side stays at 0 B/pkt (bench e15),
+    so what remains is the [Unix] syscall wrapper — the per-[recvfrom]
+    [sockaddr] boxing — reported honestly, not hidden. *)
+
+type result_ = {
+  sent : int;
+  replies : int;  (** datagrams read back off the socket *)
+  expected_replies : int;  (** packets the reference model answers *)
+  disagreements : int;
+  first_disagreement : string option;
+  server_processed : int;
+  alloc_bytes_per_pkt : float;
+      (** server-domain bytes allocated per packet, post-warmup *)
+  elapsed_s : float;
+  net : Stats.t;  (** the server's merged socket counters *)
+}
+
+val soak :
+  ?mode:Netdsl_engine.Pipeline.mode ->
+  ?machine:Netdsl_fsm.Machine.t ->
+  ?config:Netdsl_engine.Pipeline.config ->
+  ?warmup:int ->
+  flight:Netdsl_engine.Flight.spec ->
+  packets:(int -> string) ->
+  count:int ->
+  Netdsl_format.Desc.t ->
+  (result_, string) result
+(** Lock-step differential run of [count] packets ([packets i] is the
+    [i]th wire message; mix valid and mutated freely — rejected packets
+    are expected to stay silent).  The reference pipeline runs in
+    [Staged] mode regardless of [?mode] (default [Fused]), so a fused
+    server is diffed against the staged derivation of its own spec.
+    The server restarts its loop once after [warmup] packets (default
+    [count/5], capped at 2000) to exercise run-twice restart and scope
+    the allocation measurement to steady state. *)
+
+val blast :
+  ?mode:Netdsl_engine.Pipeline.mode ->
+  ?machine:Netdsl_fsm.Machine.t ->
+  ?config:Netdsl_engine.Pipeline.config ->
+  ?warmup:int ->
+  ?window:int ->
+  flight:Netdsl_engine.Flight.spec ->
+  packets:(int -> string) ->
+  count:int ->
+  Netdsl_format.Desc.t ->
+  (result_, string) result
+(** Throughput run: keep up to [window] (default 64) packets
+    outstanding, never inspecting reply bytes (that is {!soak}'s job —
+    here every [packets i] must be accepted and answered, or the run
+    under-counts).  [replies/elapsed_s] is the socket-path packet rate;
+    both domains share whatever cores the host has, which on a 1-core
+    box oversubscribes — callers report that caveat. *)

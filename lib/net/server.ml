@@ -1,0 +1,486 @@
+module Pipeline = Netdsl_engine.Pipeline
+module Slab = Netdsl_engine.Slab
+module Estats = Netdsl_engine.Stats
+
+type endpoint =
+  | Udp of { host : string; port : int }
+  | Tcp of { host : string; port : int }
+
+type listener = {
+  l_proto : [ `Udp | `Tcp ];
+  l_fd : Unix.file_descr;
+  l_host : string;
+  l_port : int;
+  l_stats : Stats.t;
+  mutable l_conns : conn list;
+}
+
+and conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Bytes.t;  (* reframing buffer: at least one max-size frame *)
+  mutable c_len : int;
+  mutable c_open : bool;
+  c_listener : listener;
+}
+
+(* Where the reply to the packet currently inside the engine goes.  One
+   sink is enqueued per published slab slot, in publish order, so the
+   FIFO stays parallel to the slab's own ring. *)
+type sink =
+  | No_sink
+  | To_udp of listener * Unix.sockaddr
+  | To_conn of conn
+
+type t = {
+  s_pipe : Pipeline.t;
+  s_slab : Slab.t;
+  s_batch : int;
+  s_listeners : listener list;
+  s_sinks : sink array;
+  mutable s_head : int;
+  s_cur : sink ref;
+  s_stop : bool Atomic.t;
+  mutable s_processed : int;
+  s_scratch : Bytes.t;  (* overflow reads land here and are dropped *)
+  s_txbuf : Bytes.t;  (* TCP reply: 2-byte length prefix + payload *)
+  s_prev_signals : (int * Sys.signal_behavior) list;
+  mutable s_closed : bool;
+}
+
+let err_text = function
+  | Unix.EADDRINUSE -> "address already in use"
+  | Unix.EADDRNOTAVAIL -> "address not available"
+  | Unix.EACCES -> "permission denied"
+  | e -> Unix.error_message e
+
+let proto_name = function `Udp -> "udp" | `Tcp -> "tcp"
+
+(* ---- reply path ------------------------------------------------------ *)
+
+(* Called from inside [Pipeline.process_buffer] via [on_reply]: the
+   engine lends us its reply window, we push it onto the wire for the
+   sink of the packet being processed.  Nonblocking throughout — a full
+   socket buffer costs the reply, never the engine. *)
+let send_reply cur txbuf buf len =
+  match !cur with
+  | No_sink -> ()
+  | To_udp (l, addr) -> (
+    let st = l.l_stats in
+    match Unix.sendto l.l_fd buf 0 len [] addr with
+    | n when n = len ->
+      st.Stats.tx_pkts <- st.Stats.tx_pkts + 1;
+      st.Stats.tx_bytes <- st.Stats.tx_bytes + n
+    | _ -> st.Stats.short_writes <- st.Stats.short_writes + 1
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      st.Stats.send_eagain <- st.Stats.send_eagain + 1
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      st.Stats.tx_errors <- st.Stats.tx_errors + 1
+    | exception Unix.Unix_error (_, _, _) ->
+      st.Stats.tx_errors <- st.Stats.tx_errors + 1)
+  | To_conn c ->
+    let st = c.c_listener.l_stats in
+    if not c.c_open || len > 0xffff then
+      st.Stats.tx_errors <- st.Stats.tx_errors + 1
+    else begin
+      Bytes.unsafe_set txbuf 0 (Char.unsafe_chr (len lsr 8));
+      Bytes.unsafe_set txbuf 1 (Char.unsafe_chr (len land 0xff));
+      Bytes.blit buf 0 txbuf 2 len;
+      let total = len + 2 in
+      match Unix.write c.c_fd txbuf 0 total with
+      | n when n = total ->
+        st.Stats.tx_pkts <- st.Stats.tx_pkts + 1;
+        st.Stats.tx_bytes <- st.Stats.tx_bytes + len
+      | _ ->
+        (* A partial frame poisons the stream; drop the connection
+           rather than desynchronise the peer's framing. *)
+        st.Stats.short_writes <- st.Stats.short_writes + 1;
+        (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+        c.c_open <- false
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        st.Stats.send_eagain <- st.Stats.send_eagain + 1
+      | exception Unix.Unix_error (_, _, _) ->
+        st.Stats.tx_errors <- st.Stats.tx_errors + 1;
+        (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+        c.c_open <- false
+    end
+
+(* ---- create ---------------------------------------------------------- *)
+
+let bind_listener ep =
+  let proto, host, port =
+    match ep with
+    | Udp { host; port } -> (`Udp, host, port)
+    | Tcp { host; port } -> (`Tcp, host, port)
+  in
+  if port < 0 || port > 65535 then
+    Error (Printf.sprintf "invalid port %d (expected 0..65535)" port)
+  else
+    match Unix.inet_addr_of_string host with
+    | exception Failure _ ->
+      Error (Printf.sprintf "invalid listen address %S" host)
+    | addr -> (
+      let kind = match proto with `Udp -> Unix.SOCK_DGRAM | `Tcp -> Unix.SOCK_STREAM in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET kind 0 in
+      match
+        Unix.set_nonblock fd;
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (* Widen the kernel buffers so the bounded-backpressure story is
+           the kernel's, not a 208 KiB default's; best-effort. *)
+        (try Unix.setsockopt_int fd Unix.SO_RCVBUF (1 lsl 20)
+         with Unix.Unix_error _ -> ());
+        (try Unix.setsockopt_int fd Unix.SO_SNDBUF (1 lsl 20)
+         with Unix.Unix_error _ -> ());
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        if proto = `Tcp then Unix.listen fd 64;
+        (match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (Printf.sprintf "cannot bind %s %s:%d: %s" (proto_name proto) host
+             port (err_text e))
+      | bound_port ->
+        Ok
+          { l_proto = proto; l_fd = fd; l_host = host; l_port = bound_port;
+            l_stats = Stats.create (); l_conns = [] })
+
+let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
+    ?machine ?(signals = true) ~flight ~listeners fmt =
+  if listeners = [] then Error "no listeners given"
+  else begin
+    let stop = Atomic.make false in
+    (* Handlers go in before any socket exists: a signal that lands
+       during bring-up or a long bind still produces a stats report
+       instead of killing the process mid-setup. *)
+    let prev_signals =
+      if not signals then []
+      else begin
+        let h = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+        let prev_int = Sys.signal Sys.sigint h in
+        let prev_term = Sys.signal Sys.sigterm h in
+        [ (Sys.sigint, prev_int); (Sys.sigterm, prev_term) ]
+      end
+    in
+    let restore_signals () =
+      List.iter (fun (s, b) -> Sys.set_signal s b) prev_signals
+    in
+    let rec bind_all acc = function
+      | [] -> Ok (List.rev acc)
+      | ep :: rest -> (
+        match bind_listener ep with
+        | Ok l -> bind_all (l :: acc) rest
+        | Error _ as e ->
+          List.iter
+            (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+            acc;
+          e)
+    in
+    match bind_all [] listeners with
+    | Error msg ->
+      restore_signals ();
+      Error msg
+    | Ok ls -> (
+      let cur = ref No_sink in
+      let txbuf = Bytes.create (config.Pipeline.slot_bytes + 2) in
+      match
+        Pipeline.create ~config ~mode ~flight ?machine
+          ~on_reply:(fun buf len -> send_reply cur txbuf buf len)
+          fmt
+      with
+      | exception e ->
+        List.iter
+          (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+          ls;
+        restore_signals ();
+        Error (Printexc.to_string e)
+      | pipe ->
+        Ok
+          { s_pipe = pipe;
+            s_slab =
+              Slab.create ~slot_bytes:config.Pipeline.slot_bytes
+                ~capacity:config.Pipeline.ring_capacity ();
+            s_batch = config.Pipeline.batch;
+            s_listeners = ls;
+            s_sinks = Array.make config.Pipeline.ring_capacity No_sink;
+            s_head = 0;
+            s_cur = cur;
+            s_stop = stop;
+            s_processed = 0;
+            s_scratch = Bytes.create config.Pipeline.slot_bytes;
+            s_txbuf = txbuf;
+            s_prev_signals = prev_signals;
+            s_closed = false })
+  end
+
+(* ---- ingest ---------------------------------------------------------- *)
+
+let free_slots t = Slab.capacity t.s_slab - Slab.length t.s_slab
+
+(* The sink FIFO mirrors the slab ring: one entry per published slot, in
+   publish order.  [s_head] is the consumer cursor; the producer cursor
+   is [s_head + Slab.length] (mod capacity) because occupancy is exactly
+   the slab's. *)
+let push_sink t sink =
+  let cap = Array.length t.s_sinks in
+  let tail = (t.s_head + Slab.length t.s_slab - 1 + cap) mod cap in
+  t.s_sinks.(tail) <- sink
+
+let pop_sink t =
+  let s = t.s_sinks.(t.s_head) in
+  t.s_sinks.(t.s_head) <- No_sink;
+  t.s_head <- (t.s_head + 1) mod Array.length t.s_sinks;
+  s
+
+(* Drain one readable UDP socket: datagrams go straight into leased slab
+   slots until the socket runs dry or the slab fills.  On a full slab the
+   next datagram is read into scratch and dropped — counted, bounded,
+   never blocking the engine. *)
+let drain_udp t l =
+  let st = l.l_stats in
+  let continue = ref true in
+  let drained = ref 0 in
+  while !continue do
+    if free_slots t = 0 then begin
+      match
+        Unix.recvfrom l.l_fd t.s_scratch 0 (Bytes.length t.s_scratch) []
+      with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+      | _ ->
+        st.Stats.drops <- st.Stats.drops + 1;
+        (* yield to the engine: one drop per full-slab wake *)
+        continue := false
+    end
+    else
+      match Slab.lease t.s_slab with
+      | None -> continue := false
+      | Some buf -> (
+        match Unix.recvfrom l.l_fd buf 0 (Bytes.length buf) [] with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Slab.abandon t.s_slab;
+          continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> Slab.abandon t.s_slab
+        | exception Unix.Unix_error (_, _, _) ->
+          (* e.g. ECONNREFUSED bounced back from an earlier send *)
+          Slab.abandon t.s_slab
+        | n, addr ->
+          Slab.publish t.s_slab n;
+          push_sink t (To_udp (l, addr));
+          st.Stats.rx_pkts <- st.Stats.rx_pkts + 1;
+          st.Stats.rx_bytes <- st.Stats.rx_bytes + n;
+          if n > st.Stats.hwm_datagram then st.Stats.hwm_datagram <- n;
+          incr drained)
+  done;
+  if !drained > st.Stats.hwm_drain then st.Stats.hwm_drain <- !drained
+
+let close_conn t c =
+  if c.c_open then begin
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    c.c_open <- false;
+    c.c_listener.l_conns <- List.filter (fun c' -> c' != c) c.c_listener.l_conns;
+    c.c_listener.l_stats.Stats.conns_closed <-
+      c.c_listener.l_stats.Stats.conns_closed + 1
+  end;
+  ignore t
+
+let accept_conns t l =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true l.l_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      let c =
+        { c_fd = fd;
+          c_buf = Bytes.create (2 + Slab.slot_bytes t.s_slab);
+          c_len = 0; c_open = true; c_listener = l }
+      in
+      l.l_conns <- c :: l.l_conns;
+      l.l_stats.Stats.conns_accepted <- l.l_stats.Stats.conns_accepted + 1
+  done
+
+(* Cut complete [u16 BE length]-prefixed frames out of a connection's
+   buffer and blit them into the slab.  An oversized frame is a protocol
+   violation: count it and drop the connection (resynchronising a framed
+   stream is not possible). *)
+let extract_frames t c =
+  let st = c.c_listener.l_stats in
+  let continue = ref true in
+  let drained = ref 0 in
+  while !continue && c.c_open && c.c_len >= 2 do
+    let flen =
+      (Char.code (Bytes.get c.c_buf 0) lsl 8)
+      lor Char.code (Bytes.get c.c_buf 1)
+    in
+    if flen > Slab.slot_bytes t.s_slab then begin
+      st.Stats.drops <- st.Stats.drops + 1;
+      close_conn t c
+    end
+    else if c.c_len < 2 + flen then continue := false
+    else begin
+      (if free_slots t = 0 then st.Stats.drops <- st.Stats.drops + 1
+       else begin
+         (* [push] blits immediately, so aliasing the buffer we are
+            about to shift is fine; it cannot block (a free slot was
+            just checked and we are the only producer). *)
+         ignore
+           (Slab.push t.s_slab ~off:2 ~len:flen
+              (Bytes.unsafe_to_string c.c_buf));
+         push_sink t (To_conn c);
+         st.Stats.rx_pkts <- st.Stats.rx_pkts + 1;
+         st.Stats.rx_bytes <- st.Stats.rx_bytes + flen;
+         if flen > st.Stats.hwm_datagram then st.Stats.hwm_datagram <- flen;
+         incr drained
+       end);
+      let rest = c.c_len - 2 - flen in
+      if rest > 0 then Bytes.blit c.c_buf (2 + flen) c.c_buf 0 rest;
+      c.c_len <- rest
+    end
+  done;
+  if !drained > st.Stats.hwm_drain then st.Stats.hwm_drain <- !drained
+
+let drain_conn t c =
+  match Unix.read c.c_fd c.c_buf c.c_len (Bytes.length c.c_buf - c.c_len) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  | 0 -> close_conn t c
+  | n ->
+    c.c_len <- c.c_len + n;
+    extract_frames t c
+
+(* ---- the loop -------------------------------------------------------- *)
+
+(* Process every published slot, strictly in publish order, each packet
+   run to completion (its reply is sent from inside the call) before the
+   next is touched. *)
+let drain_slab t =
+  let n_done = ref 0 in
+  while Slab.length t.s_slab > 0 do
+    let n = Slab.pop_batch t.s_slab ~max:t.s_batch in
+    for i = 0 to n - 1 do
+      t.s_cur := pop_sink t;
+      ignore
+        (Pipeline.process_buffer t.s_pipe (Slab.buf t.s_slab i)
+           ~len:(Slab.len t.s_slab i));
+      incr n_done
+    done;
+    t.s_cur := No_sink;
+    Slab.release t.s_slab
+  done;
+  t.s_processed <- t.s_processed + !n_done;
+  !n_done
+
+let sweep_sockets t =
+  List.iter
+    (fun l ->
+      match l.l_proto with
+      | `Udp -> drain_udp t l
+      | `Tcp ->
+        accept_conns t l;
+        List.iter (fun c -> drain_conn t c) l.l_conns)
+    t.s_listeners
+
+let run ?max_packets ?duration t =
+  if t.s_closed then invalid_arg "Net.Server.run: server is closed";
+  List.iter (fun l -> Stats.reset_highwater l.l_stats) t.s_listeners;
+  let started = Unix.gettimeofday () in
+  let n_run = ref 0 in
+  let over_budget () =
+    match max_packets with None -> false | Some m -> !n_run >= m
+  in
+  let time_left () =
+    match duration with
+    | None -> infinity
+    | Some d -> d -. (Unix.gettimeofday () -. started)
+  in
+  let rec loop () =
+    if Atomic.get t.s_stop then begin
+      (* Graceful stop: answer what the kernel already holds, then
+         drain the slab to empty — no in-flight batch is abandoned. *)
+      sweep_sockets t;
+      n_run := !n_run + drain_slab t
+    end
+    else if over_budget () || time_left () <= 0. then
+      n_run := !n_run + drain_slab t
+    else begin
+      let fds =
+        List.concat_map
+          (fun l ->
+            l.l_fd :: List.map (fun c -> c.c_fd) l.l_conns)
+          t.s_listeners
+      in
+      let timeout = Float.min 0.2 (Float.max 0. (time_left ())) in
+      (match Unix.select fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            match
+              List.find_opt (fun l -> l.l_fd = fd) t.s_listeners
+            with
+            | Some l -> (
+              match l.l_proto with
+              | `Udp -> drain_udp t l
+              | `Tcp -> accept_conns t l)
+            | None -> (
+              match
+                List.find_opt
+                  (fun c -> c.c_fd = fd)
+                  (List.concat_map (fun l -> l.l_conns) t.s_listeners)
+              with
+              | Some c -> drain_conn t c
+              | None -> ()))
+          ready);
+      n_run := !n_run + drain_slab t;
+      loop ()
+    end
+  in
+  loop ();
+  (* a consumed stop request must not stick to the next run *)
+  Atomic.set t.s_stop false;
+  !n_run
+
+let request_stop t = Atomic.set t.s_stop true
+
+(* ---- accessors ------------------------------------------------------- *)
+
+let bound t =
+  List.map
+    (fun l -> (proto_name l.l_proto, l.l_host, l.l_port))
+    t.s_listeners
+
+let udp_port t =
+  List.find_map
+    (fun l -> if l.l_proto = `Udp then Some l.l_port else None)
+    t.s_listeners
+
+let listener_stats t =
+  List.map
+    (fun l ->
+      ( Printf.sprintf "%s %s:%d" (proto_name l.l_proto) l.l_host l.l_port,
+        l.l_stats ))
+    t.s_listeners
+
+let net_stats t = Stats.merge (List.map (fun l -> l.l_stats) t.s_listeners)
+let engine_stats t = Pipeline.stats t.s_pipe
+let processed t = t.s_processed
+
+let close t =
+  if not t.s_closed then begin
+    t.s_closed <- true;
+    List.iter
+      (fun l ->
+        List.iter (fun c -> close_conn t c) l.l_conns;
+        try Unix.close l.l_fd with Unix.Unix_error _ -> ())
+      t.s_listeners;
+    List.iter (fun (s, b) -> Sys.set_signal s b) t.s_prev_signals
+  end

@@ -1,0 +1,99 @@
+(** The socket front end: real traffic through the fused engine.
+
+    A server owns one {!Netdsl_engine.Pipeline} (staged or fused, built
+    from a {!Netdsl_engine.Flight.spec}) and a set of nonblocking
+    listeners that feed it.  The event loop is select-based readiness +
+    batch drain: each wake drains every readable socket into the
+    engine's {!Netdsl_engine.Slab} — a UDP datagram is [recvfrom]'d
+    straight into a leased slot (no copy), a TCP byte stream is reframed
+    into length-prefixed datagrams and blitted in — then processes the
+    published run to completion and sends each patched reply in place
+    from the engine's reply window.  Steady state adds no allocation on
+    the engine side; the only per-packet garbage is the [sockaddr] the
+    [Unix] binding boxes per [recvfrom].
+
+    Packets are processed strictly in the order their slots were
+    published, one at a time, each run to completion (decode → verify →
+    step → respond) before the next starts — the run-to-completion
+    ordering of the in-memory engine survives the socket boundary (see
+    DESIGN.md).
+
+    Backpressure is bounded and non-blocking: when the slab has no free
+    slot, the next datagram is read into a scratch buffer and dropped
+    with {!Stats.t.drops} ticking — the engine is never blocked by the
+    wire, and the kernel socket buffer (not an unbounded queue) absorbs
+    the rest.
+
+    TCP support hides behind the same interface: a connection carries a
+    stream of [u16 big-endian length]-prefixed frames, each frame one
+    engine packet, each reply written back with the same prefix.
+
+    Graceful shutdown: SIGINT/SIGTERM handlers are installed {e before}
+    the sockets are bound (a signal during bring-up still reaches the
+    stats report), and set a stop flag the loop checks between drains.
+    On stop the loop performs one final nonblocking sweep of every
+    socket, drains the slab to empty — flushing replies — and returns,
+    so {!run} always hands control (and the counters) back to the
+    caller. *)
+
+type endpoint =
+  | Udp of { host : string; port : int }
+  | Tcp of { host : string; port : int }
+      (** [host] must be a numeric address ("127.0.0.1", "0.0.0.0", …);
+          [port] 0 binds an ephemeral port (see {!bound}). *)
+
+type t
+
+val create :
+  ?config:Netdsl_engine.Pipeline.config ->
+  ?mode:Netdsl_engine.Pipeline.mode ->
+  ?machine:Netdsl_fsm.Machine.t ->
+  ?signals:bool ->
+  flight:Netdsl_engine.Flight.spec ->
+  listeners:endpoint list ->
+  Netdsl_format.Desc.t ->
+  (t, string) result
+(** Build the pipeline, install signal handlers (unless [~signals:false]
+    — library embeddings and tests must not hijack process signals),
+    then bind every listener.  [Error msg] — with every partial effect
+    undone — on an empty listener list, an out-of-range port, an
+    unparseable host, or a socket/bind failure. *)
+
+val run : ?max_packets:int -> ?duration:float -> t -> int
+(** Serve until a stop condition; returns the number of packets
+    processed by this run.  Stop conditions, checked between drains:
+    - [max_packets]: stop once this run has processed at least that
+      many ([0] returns without reading a socket — the deterministic
+      cram path);
+    - [duration]: stop after that many seconds;
+    - {!request_stop} or SIGINT/SIGTERM: stop after a final nonblocking
+      sweep of every socket, so datagrams already queued in the kernel
+      are still answered.
+    Every packet ingested into the slab is processed and its reply
+    flushed before [run] returns — a stop never abandons in-flight
+    batches.  High-water marks reset on entry ({!Stats.reset_highwater});
+    [run] may be called again on the same server. *)
+
+val request_stop : t -> unit
+(** Thread/domain-safe; also what the signal handlers call. *)
+
+val bound : t -> (string * string * int) list
+(** [(proto, host, port)] per listener, in [listeners] order, with the
+    actual port after an ephemeral bind. *)
+
+val udp_port : t -> int option
+(** Port of the first UDP listener (convenience for loopback tests). *)
+
+val listener_stats : t -> (string * Stats.t) list
+(** Live per-listener counters, labelled ["udp 127.0.0.1:9000"]-style. *)
+
+val net_stats : t -> Stats.t
+(** All listeners merged via {!Stats.merge}. *)
+
+val engine_stats : t -> Netdsl_engine.Stats.t
+val processed : t -> int
+(** Total packets processed since [create] (across runs). *)
+
+val close : t -> unit
+(** Close every socket and restore the previous signal handlers.
+    Idempotent. *)

@@ -1,0 +1,48 @@
+(** Per-listener socket-side counters.
+
+    The engine's {!Netdsl_engine.Stats} counts what happens to a packet
+    {e inside} the pipeline (per-stage packets/bytes/rejects); this
+    module counts what happens at the wire: datagrams received and sent,
+    datagrams dropped under backpressure, sends refused by a full socket
+    buffer, and short writes on the TCP framing path.  One [t] per
+    listener; {!merge} folds them into the server-wide view the CLI
+    prints on exit — including on a SIGINT/SIGTERM exit.
+
+    Counters are cumulative for the listener's lifetime.  The two
+    high-water marks ([hwm_drain], the largest datagram run drained on a
+    single readiness wake, and [hwm_datagram], the largest datagram
+    seen) are per-run observations: {!reset_highwater} clears them and
+    [Server.run] calls it on entry, mirroring the reply-buffer
+    high-water reset of the engine. *)
+
+type t = {
+  mutable rx_pkts : int;
+  mutable rx_bytes : int;
+  mutable tx_pkts : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+      (** datagrams/frames discarded because the ingest slab was full —
+          the bounded-backpressure path that never blocks the engine *)
+  mutable send_eagain : int;
+      (** replies dropped because the socket buffer was full
+          ([EAGAIN]/[EWOULDBLOCK] on a nonblocking send) *)
+  mutable short_writes : int;  (** partial sends (TCP frame splits) *)
+  mutable tx_errors : int;  (** sends refused for any other reason *)
+  mutable conns_accepted : int;  (** TCP connections accepted *)
+  mutable conns_closed : int;  (** TCP connections closed (either end) *)
+  mutable hwm_drain : int;
+      (** largest datagram run drained on one readiness wake this run *)
+  mutable hwm_datagram : int;  (** largest datagram seen this run *)
+}
+
+val create : unit -> t
+val reset_highwater : t -> unit
+
+val merge_into : into:t -> t -> unit
+(** Counters add; high-water marks take the maximum. *)
+
+val merge : t list -> t
+(** Fold into a fresh [t] (the inputs are untouched). *)
+
+val to_text : t -> string
+(** Two aligned lines, deterministic for a given counter state. *)

@@ -1,0 +1,97 @@
+`netdsl serve` binds real sockets, so every failure must exit 1 with a
+clear message before any traffic flows.  A format to serve:
+
+  $ cat > ping.ndsl <<'SPEC'
+  > format ping {
+  >   token : uint32 "Token";
+  >   hops  : uint8 where 1..16 "Hops";
+  >   chk   : checksum xor8 over message "Check";
+  > }
+  > SPEC
+
+No listener at all:
+
+  $ netdsl serve ping.ndsl
+  netdsl: nothing to listen on (give --udp PORT and/or --tcp PORT)
+  [1]
+
+A port outside the valid range:
+
+  $ netdsl serve ping.ndsl --udp 70000
+  netdsl: invalid port 70000 (expected 0..65535)
+  [1]
+
+  $ netdsl serve ping.ndsl --tcp=-1
+  netdsl: invalid port -1 (expected 0..65535)
+  [1]
+
+An address that is not ours to bind (TEST-NET-3 is reserved):
+
+  $ netdsl serve ping.ndsl --udp 0 --host 203.0.113.7
+  netdsl: cannot bind udp 203.0.113.7:0: address not available
+  [1]
+
+A host that is not a numeric address:
+
+  $ netdsl serve ping.ndsl --udp 0 --host not-an-ip
+  netdsl: invalid listen address "not-an-ip"
+  [1]
+
+An unknown format:
+
+  $ netdsl serve ping.ndsl --udp 0 --format pong
+  no format named "pong" (have: ping)
+  [1]
+
+A --patch that names a field the format does not have, or a non-integer
+value — both rejected before binding:
+
+  $ netdsl serve ping.ndsl --udp 0 --patch ttl=7
+  netdsl: unknown field "ttl" in --patch (have: token, hops, chk)
+  [1]
+
+  $ netdsl serve ping.ndsl --udp 0 --patch hops=many
+  netdsl: bad --patch value "many" (expected an integer)
+  [1]
+
+  $ netdsl serve ping.ndsl --udp 0 --patch hops
+  netdsl: bad --patch "hops" (expected FIELD=VALUE)
+  [1]
+
+A patch the respond stage could never apply in place (hops is covered by
+an xor8 checksum, which has no incremental update) — refused up front
+rather than silently rejecting every reply at runtime:
+
+  $ netdsl serve ping.ndsl --udp 0 --patch hops=2
+  netdsl: cannot patch field "hops" in place: checksum algorithm xor8 has no incremental update
+  [1]
+
+The green path is deterministic with --max-packets 0: bind an ephemeral
+port (masked below), process nothing, report the (all-zero) per-listener
+and per-stage counters, exit 0.
+
+  $ netdsl serve ping.ndsl --udp 0 --max-packets 0 | sed -E 's/127\.0\.0\.1:[0-9]+/127.0.0.1:PORT/'
+  serving ping on udp 127.0.0.1:PORT (fused mode)
+  processed 0 packet(s)
+  udp 127.0.0.1:PORT
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+  stage         packets          bytes   rejects       mean     ~p50     ~p99
+  decode              0              0         0        0ns      0ns      0ns
+  verify              0              0         0        0ns      0ns      0ns
+  step                0              0         0        0ns      0ns      0ns
+  encode              0              0         0        0ns      0ns      0ns
+
+Both termination flags parse together (still zero packets):
+
+  $ netdsl serve ping.ndsl --udp 0 --mode staged --max-packets 0 --duration 0.01 | sed -E 's/127\.0\.0\.1:[0-9]+/127.0.0.1:PORT/'
+  serving ping on udp 127.0.0.1:PORT (staged mode)
+  processed 0 packet(s)
+  udp 127.0.0.1:PORT
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+  stage         packets          bytes   rejects       mean     ~p50     ~p99
+  decode              0              0         0        0ns      0ns      0ns
+  verify              0              0         0        0ns      0ns      0ns
+  step                0              0         0        0ns      0ns      0ns
+  encode              0              0         0        0ns      0ns      0ns

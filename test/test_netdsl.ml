@@ -15,4 +15,5 @@ let () =
          Test_emit.suite;
          Test_engine.suite;
          Test_check.suite;
+         Test_net.suite;
        ])
