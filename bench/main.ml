@@ -1451,6 +1451,7 @@ let e15 () =
     (match Engine.Pipeline.flight_tier gf with
     | Some `Linear -> "Linear"
     | Some `Interp -> "Interp"
+    | Some `Stacked -> "Stacked"
     | None -> "none");
   (* -- (a) responder throughput + steady-state allocation, one domain -- *)
   let n = if !quick then 40_000 else 400_000 in
@@ -1777,12 +1778,430 @@ let e16 () =
      which is the position paper's point about where DSL overhead must\n\
      (and need not) go."
 
+(* ------------------------------------------------------------------ *)
+(* E17: fused parse graphs.  A layered header stack (eth -> ipv4 -> udp
+   -> tftp) compiled once into one flat decode/encode plan, priced
+   against the naive sequential reference that re-decodes (re-encodes)
+   every layer through the interpreted per-format path — the pre-stack
+   way to handle a chain.  Semantics are not assumed equal: the chain
+   oracle leg below re-judges both implementations on >= 100k
+   structure-aware cross-layer mutants before the numbers count. *)
+
+let e17 () =
+  section "e17"
+    "fused parse graphs: one flat plan for a layered chain vs per-layer \
+     sequential"
+    "P4-style parse graphs restricted to one path; §3.2 layered formats in \
+     one framework";
+  let cores = Domain.recommended_domain_count () in
+  (* -- the chains: 2, 3 and 4 layers deep.  eth_arp and inet_tftp ship
+     in the catalogue; the 3-layer chain is eth -> ipv4 -> udp with UDP
+     terminal, built here the way an application would. *)
+  let eth_ipv4_udp =
+    match
+      Stack.v ~name:"eth_ipv4_udp"
+        [
+          Stack.layer
+            ~select:
+              ("ethertype", [ Int64.of_int Formats.Ethernet.ethertype_ipv4 ])
+            Formats.Ethernet.format;
+          Stack.layer
+            ~select:("protocol", [ Int64.of_int Formats.Ipv4.protocol_udp ])
+            Formats.Ipv4.format;
+          Stack.layer Formats.Udp.format;
+        ]
+    with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "bench e17: eth_ipv4_udp does not validate: %s\n" e;
+      exit 1
+  in
+  let mac_a = Formats.Ethernet.mac_of_string "02:00:00:00:00:0a" in
+  let mac_b = Formats.Ethernet.mac_of_string "02:00:00:00:00:0b" in
+  let ip_a = Formats.Ipv4.addr_of_string "192.0.2.1" in
+  let ip_b = Formats.Ipv4.addr_of_string "192.0.2.2" in
+  let eth_ipv4_udp_values payload =
+    [|
+      Formats.Ethernet.make ~dst:mac_b ~src:mac_a
+        ~ethertype:Formats.Ethernet.ethertype_ipv4 ~payload:"";
+      Formats.Ipv4.make ~protocol:Formats.Ipv4.protocol_udp ~source:ip_a
+        ~destination:ip_b ~payload:"" ();
+      Formats.Udp.make ~src_port:50000 ~dst_port:4242 ~payload ();
+    |]
+  in
+  let chains =
+    [
+      ("eth_arp", Formats.Stacks.eth_arp, [ Formats.Stacks.eth_arp_values () ]);
+      ("eth_ipv4_udp", eth_ipv4_udp,
+       [ eth_ipv4_udp_values (String.make 32 'u');
+         eth_ipv4_udp_values (String.make 8 'v') ]);
+      ("inet_tftp", Formats.Stacks.inet_tftp,
+       [ Formats.Stacks.inet_tftp_values
+           (Formats.Tftp.Data { block = 7; data = String.make 32 'd' });
+         Formats.Stacks.inet_tftp_values (Formats.Tftp.Ack { block = 7 }) ]);
+    ]
+  in
+  let compile_or_die name stack =
+    match Stack.compile stack with
+    | Ok plan -> plan
+    | Error e ->
+      Printf.eprintf "bench e17: %s does not fuse: %s\n" name e;
+      exit 1
+  in
+  (* -- (a) chained decode: fused Stack.run vs the sequential per-layer
+     reference (interpreted View per layer, window from find_span) -- *)
+  let n = if !quick then 20_000 else 500_000 in
+  let decode_rows =
+    List.map
+      (fun (name, stack, values) ->
+        let plan = compile_or_die name stack in
+        let layers = Stack.layer_count plan in
+        let pool =
+          Array.of_list
+            (List.map
+               (fun vs ->
+                 match Stack.encode plan vs with
+                 | Ok s -> s
+                 | Error e ->
+                   Printf.eprintf "bench e17: %s seed does not encode: %s\n"
+                     name e;
+                   exit 1)
+               values)
+        in
+        let pn = Array.length pool in
+        let seq = Stack.Seq.create plan in
+        Array.iter
+          (fun pkt ->
+            if not (Stack.run plan pkt) then begin
+              Printf.eprintf "bench e17: fused %s rejects its own seed\n" name;
+              exit 1
+            end;
+            match Stack.Seq.decode seq pkt with
+            | Ok () -> ()
+            | Error e ->
+              Printf.eprintf "bench e17: sequential %s rejects its seed: %s\n"
+                name e;
+              exit 1)
+          pool;
+        let timed f =
+          for i = 0 to (n / 10) - 1 do
+            f pool.(i mod pn)
+          done;
+          Gc.full_major ();
+          let a0 = Gc.allocated_bytes () in
+          let dt = time_loop n (fun i -> f pool.(i mod pn)) in
+          let a1 = Gc.allocated_bytes () in
+          (dt *. 1e9 /. float_of_int n, (a1 -. a0) /. float_of_int n)
+        in
+        let f_ns, f_alloc = timed (fun pkt -> ignore (Stack.run plan pkt)) in
+        let s_ns, s_alloc =
+          timed (fun pkt -> ignore (Stack.Seq.decode seq pkt))
+        in
+        (name, layers, String.length pool.(0), f_ns, s_ns, f_alloc, s_alloc))
+      chains
+  in
+  Printf.printf
+    "(a) chained decode, %d packets per row: fused flat plan vs sequential\n\
+    \    per-layer reference\n"
+    n;
+  Printf.printf "  %-14s %6s %6s %10s %10s %8s %10s %10s\n" "chain" "layers"
+    "bytes" "fused ns" "seq ns" "speedup" "fused B/p" "seq B/p";
+  List.iter
+    (fun (name, layers, bytes, f_ns, s_ns, f_alloc, s_alloc) ->
+      Printf.printf "  %-14s %6d %6d %10.1f %10.1f %7.2fx %10.1f %10.1f\n"
+        name layers bytes f_ns s_ns (s_ns /. f_ns) f_alloc s_alloc)
+    decode_rows;
+  (* the headline gate: the deepest chain must pay off *)
+  (match
+     List.find_opt (fun (_, layers, _, _, _, _, _) -> layers = 4) decode_rows
+   with
+  | Some (_, _, _, f_ns, s_ns, f_alloc, _) ->
+    if s_ns /. f_ns < 1.5 then begin
+      Printf.eprintf
+        "bench e17: 4-layer fused decode speedup %.2fx below the 1.5x gate\n"
+        (s_ns /. f_ns);
+      exit 1
+    end;
+    if f_alloc > 0.5 then begin
+      Printf.eprintf
+        "bench e17: fused 4-layer decode allocates %.1f B/pkt (want 0)\n"
+        f_alloc;
+      exit 1
+    end
+  | None ->
+    prerr_endline "bench e17: no 4-layer chain in the matrix";
+    exit 1);
+  (* -- (b) chained encode: headers written once + back-patch vs the
+     naive innermost-first re-encode through every enclosing layer -- *)
+  let en = if !quick then 10_000 else 100_000 in
+  let encode_cases =
+    [
+      ("eth_arp", Formats.Stacks.eth_arp, Formats.Stacks.eth_arp_values ());
+      ("eth_ipv4_udp/32B", eth_ipv4_udp,
+       eth_ipv4_udp_values (String.make 32 'u'));
+      ("eth_ipv4_udp/512B", eth_ipv4_udp,
+       eth_ipv4_udp_values (String.make 512 'u'));
+      ("inet_tftp/32B", Formats.Stacks.inet_tftp,
+       Formats.Stacks.inet_tftp_values
+         (Formats.Tftp.Data { block = 7; data = String.make 32 'd' }));
+      ("inet_tftp/512B", Formats.Stacks.inet_tftp,
+       Formats.Stacks.inet_tftp_values
+         (Formats.Tftp.Data { block = 7; data = String.make 512 'd' }));
+    ]
+  in
+  let encode_rows =
+    List.map
+      (fun (name, stack, vs) ->
+        let plan = compile_or_die name stack in
+        (match (Stack.encode plan vs, Stack.encode_seq plan vs) with
+        | Ok a, Ok b when String.equal a b -> ()
+        | Ok _, Ok _ ->
+          Printf.eprintf "bench e17: %s encode <> encode_seq\n" name;
+          exit 1
+        | Error e, _ | _, Error e ->
+          Printf.eprintf "bench e17: %s encode failed: %s\n" name e;
+          exit 1);
+        let timed f =
+          for _ = 1 to en / 10 do
+            f ()
+          done;
+          Gc.full_major ();
+          let dt = time_loop en (fun _ -> f ()) in
+          dt *. 1e9 /. float_of_int en
+        in
+        (* The fused design point is [encode_into] a caller-owned buffer
+           (the responder's slab): headers land once at their final
+           offsets, nothing is re-copied.  The sequential reference has
+           no such entry point — each layer's encoder allocates and
+           re-copies the grown payload by construction. *)
+        let ebuf = Bytes.create 4096 in
+        let f_ns =
+          timed (fun () -> ignore (Stack.encode_into plan ebuf vs))
+        in
+        let s_ns = timed (fun () -> ignore (Stack.encode_seq plan vs)) in
+        (name, Stack.layer_count plan, f_ns, s_ns))
+      encode_cases
+  in
+  Printf.printf
+    "\n(b) chained encode, %d per row: write-once + RFC 1624 back-patch\n\
+    \    (encode_into a caller buffer) vs innermost-first sequential\n\
+    \    re-encode (byte-equal outputs, checked).  Both are dominated by\n\
+    \    per-layer value-tree encoding, so expect parity in ns — the fused\n\
+    \    entry point buys the no-copy single-buffer discipline, not rate;\n\
+    \    the serve path never runs it at all (it patches in place).\n"
+    en;
+  Printf.printf "  %-18s %6s %10s %10s %8s\n" "chain" "layers" "fused ns"
+    "seq ns" "speedup";
+  List.iter
+    (fun (name, layers, f_ns, s_ns) ->
+      Printf.printf "  %-18s %6d %10.1f %10.1f %7.2fx\n" name layers f_ns s_ns
+        (s_ns /. f_ns))
+    encode_rows;
+  (* -- (c) the layered responder end to end: verify on an inner register,
+     flow-key on the UDP layer, answer by patching ipv4.ttl inside its
+     recorded window (the covering checksum repaired incrementally) -- *)
+  let stack = Formats.Stacks.inet_tftp in
+  let flight =
+    Engine.Flight.(
+      spec
+        ~verify:(Cmp (Lt, Field "tftp.opcode", Const 6L))
+        ~flow_key:"udp.src_port"
+        ~respond:
+          [ { re_when = All [];
+              re_set = [ { set_field = "ipv4.ttl"; set_to = Const 7L } ] } ]
+        ())
+  in
+  let req =
+    match
+      Stack.compile stack
+      |> Result.get_ok
+      |> Fun.flip Stack.encode
+           (Formats.Stacks.inet_tftp_values
+              (Formats.Tftp.Data { block = 7; data = String.make 32 'd' }))
+    with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "bench e17: responder seed: %s\n" e;
+      exit 1
+  in
+  (* engine-level: the fused stacked pipeline in memory, batch-fed *)
+  let batch = Engine.Pipeline.default_config.Engine.Pipeline.batch in
+  let serve_n = if !quick then 40_000 else 400_000 in
+  let p =
+    Engine.Pipeline.create ~mode:Engine.Pipeline.Fused ~stack ~flight
+      ~on_reply:(fun _ _ -> ())
+      (Stack.layer_format stack 0)
+  in
+  let scratch = Array.make batch req in
+  for _ = 0 to 4 do
+    Engine.Pipeline.process_batch p scratch batch
+  done;
+  Gc.full_major ();
+  let batches = serve_n / batch in
+  let a0 = Gc.allocated_bytes () in
+  let dt =
+    time_loop batches (fun _ -> Engine.Pipeline.process_batch p scratch batch)
+  in
+  let a1 = Gc.allocated_bytes () in
+  let eng_pkts = batches * batch in
+  let eng_ns = dt *. 1e9 /. float_of_int eng_pkts in
+  let eng_alloc = (a1 -. a0) /. float_of_int eng_pkts in
+  let eng_rate = float_of_int eng_pkts /. dt in
+  if eng_alloc > 0.5 then begin
+    Printf.eprintf
+      "bench e17: stacked fused responder allocates %.1f B/pkt (want 0)\n"
+      eng_alloc;
+    exit 1
+  end;
+  Printf.printf
+    "\n(c) layered responder (eth->ipv4->udp->tftp, verify tftp.opcode,\n\
+    \    flow-key udp.src_port, patch ipv4.ttl):\n\
+    \  engine (in-memory batches): %.0f pkts/s, %.1f ns/pkt, %.1f B/pkt\n"
+    eng_rate eng_ns eng_alloc;
+  (* socket-path: the same chain served over a real UDP socket pair *)
+  let blast_n = if !quick then 20_000 else 100_000 in
+  let socket_row =
+    match
+      Net.Loopback.blast ~mode:Engine.Pipeline.Fused ~stack ~flight
+        ~packets:(fun _ -> req)
+        ~count:blast_n
+        (Stack.layer_format stack 0)
+    with
+    | Error e ->
+      Printf.eprintf "bench e17: stacked blast failed: %s\n" e;
+      exit 1
+    | Ok r ->
+      let rate =
+        if r.Net.Loopback.elapsed_s > 0. then
+          float_of_int r.Net.Loopback.replies /. r.Net.Loopback.elapsed_s
+        else 0.
+      in
+      Printf.printf
+        "  socket (real UDP round trip): %.0f pkts/s (%d sent, %d replies),\n\
+        \  server domain %.1f B/pkt (the Unix binding's sockaddr boxing —\n\
+        \  the engine holds 0, above)\n"
+        rate r.Net.Loopback.sent r.Net.Loopback.replies
+        r.Net.Loopback.alloc_bytes_per_pkt;
+      (rate, r.Net.Loopback.sent, r.Net.Loopback.replies,
+       r.Net.Loopback.alloc_bytes_per_pkt)
+    in
+  if cores < 2 then
+    Printf.printf
+      "  (client and server share %d core(s): the socket rate is an\n\
+      \   oversubscribed loopback round trip, not engine headroom)\n"
+      cores;
+  (* -- (d) the chain oracle: the numbers above only count because fused
+     and sequential are re-judged equal on cross-layer mutants here -- *)
+  let iters = if !quick then 2_000 else 34_000 in
+  let seed = 20260808 in
+  Printf.printf
+    "\n(d) chain oracle: %d cross-layer mutants per stack, fused chained\n\
+    \    decode vs sequential per-layer (verdict, windows, registers)\n"
+    iters;
+  Printf.printf "  %-14s %9s %9s %9s %12s\n" "stack" "mutants" "chained"
+    "rejected" "mutants/s";
+  let oracle_rows =
+    List.map
+      (fun (name, st) ->
+        let t0 = Unix.gettimeofday () in
+        match Check.Fuzz.run_stack ~seed ~iters (name, st) with
+        | Error r ->
+          prerr_string (Check.Report.to_string r);
+          Printf.eprintf "bench e17: chain disagreement on %s\n" name;
+          exit 1
+        | Ok cs ->
+          let dt = Unix.gettimeofday () -. t0 in
+          let rate = float_of_int cs.Check.Fuzz.cs_mutants /. dt in
+          Printf.printf "  %-14s %9d %9d %9d %12.0f\n" name
+            cs.Check.Fuzz.cs_mutants cs.Check.Fuzz.cs_accepted
+            cs.Check.Fuzz.cs_rejected rate;
+          (name, cs, rate))
+      Formats.Stacks.all
+  in
+  let total_mutants =
+    List.fold_left
+      (fun acc (_, cs, _) -> acc + cs.Check.Fuzz.cs_mutants)
+      0 oracle_rows
+  in
+  Printf.printf "  total: %d mutants, 0 disagreements\n" total_mutants;
+  (* -- machine-readable dump -- *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"experiment\": \"e17\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"cores_available\": %d,\n" cores;
+  Printf.bprintf buf "  \"decode_packets_per_row\": %d,\n" n;
+  Buffer.add_string buf "  \"decode\": [\n";
+  List.iteri
+    (fun i (name, layers, bytes, f_ns, s_ns, f_alloc, s_alloc) ->
+      Printf.bprintf buf
+        "    {\"chain\": %S, \"layers\": %d, \"packet_bytes\": %d, \
+         \"fused_ns_per_pkt\": %.1f, \"seq_ns_per_pkt\": %.1f, \
+         \"fused_speedup\": %.2f, \"fused_alloc_b_per_pkt\": %.1f, \
+         \"seq_alloc_b_per_pkt\": %.1f}%s\n"
+        name layers bytes f_ns s_ns (s_ns /. f_ns) f_alloc s_alloc
+        (if i = List.length decode_rows - 1 then "" else ","))
+    decode_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"four_layer_speedup_gate\": 1.5,\n";
+  Printf.bprintf buf "  \"encode_per_row\": %d,\n" en;
+  Buffer.add_string buf "  \"encode\": [\n";
+  List.iteri
+    (fun i (name, layers, f_ns, s_ns) ->
+      Printf.bprintf buf
+        "    {\"chain\": %S, \"layers\": %d, \"fused_ns\": %.1f, \
+         \"seq_ns\": %.1f, \"fused_speedup\": %.2f}%s\n"
+        name layers f_ns s_ns (s_ns /. f_ns)
+        (if i = List.length encode_rows - 1 then "" else ","))
+    encode_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"responder\": {\n";
+  Printf.bprintf buf
+    "    \"engine\": {\"pkts_per_s\": %.0f, \"ns_per_pkt\": %.1f, \
+     \"alloc_b_per_pkt\": %.1f},\n"
+    eng_rate eng_ns eng_alloc;
+  let sk_rate, sk_sent, sk_replies, sk_alloc = socket_row in
+  Printf.bprintf buf
+    "    \"socket\": {\"pkts_per_s\": %.0f, \"sent\": %d, \"replies\": %d, \
+     \"server_alloc_b_per_pkt\": %.1f}\n"
+    sk_rate sk_sent sk_replies sk_alloc;
+  Buffer.add_string buf "  },\n";
+  Printf.bprintf buf "  \"oracle_iters_per_stack\": %d,\n" iters;
+  Buffer.add_string buf "  \"oracle\": [\n";
+  List.iteri
+    (fun i (name, cs, rate) ->
+      Printf.bprintf buf
+        "    {\"stack\": %S, \"mutants\": %d, \"chained\": %d, \
+         \"rejected\": %d, \"mutants_per_s\": %.0f}%s\n"
+        name cs.Check.Fuzz.cs_mutants cs.Check.Fuzz.cs_accepted
+        cs.Check.Fuzz.cs_rejected rate
+        (if i = List.length oracle_rows - 1 then "" else ","))
+    oracle_rows;
+  Buffer.add_string buf "  ],\n";
+  Printf.bprintf buf "  \"oracle_total_mutants\": %d,\n" total_mutants;
+  Buffer.add_string buf "  \"oracle_disagreements\": 0\n}\n";
+  let path = "BENCH_E17.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+  print_endline
+    "\nRESULT shape: compiling the whole parse graph once beats decoding a\n\
+     layered packet layer by interpreted layer (gated at 1.5x on the\n\
+     4-layer chain, with 0 B/pkt on the fused path); the write-once\n\
+     back-patching encoder matches the sequential re-encode in ns (both\n\
+     are value-tree bound — honest parity) while producing byte-identical\n\
+     output into a single caller buffer; and the layered responder keeps\n\
+     the engine's zero-allocation steady state behind a real socket —\n\
+     equivalence with the per-layer reference is not assumed but re-proved\n\
+     on >= 100k cross-layer mutants each run."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16);
+    ("e16", e16); ("e17", e17);
     ("ablate", ablate);
   ]
 

@@ -33,6 +33,23 @@ let find_machine program name =
       (String.concat ", " (List.map fst program.P.machines));
     exit 1
 
+let find_stack program name =
+  match P.find_stack program name with
+  | Some st -> st
+  | None ->
+    Format.eprintf "no stack named %S (have: %s)@." name
+      (String.concat ", " (List.map fst program.P.stacks));
+    exit 1
+
+(* A stack is only usable through its fused plan; a chain the compiler
+   cannot fuse is a spec defect, reported before any packet is touched. *)
+let compile_stack st =
+  match Netdsl.Stack.compile st with
+  | Ok plan -> plan
+  | Error e ->
+    Format.eprintf "netdsl: stack %s does not fuse: %s@." (Netdsl.Stack.name st) e;
+    exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Arguments *)
 
@@ -47,6 +64,10 @@ let machine_opt =
 
 let seed_opt =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let stack_opt =
+  Arg.(value & opt (some string) None & info [ "stack"; "s" ] ~docv:"NAME"
+         ~doc:"Layered stack to operate on instead of a single format.")
 
 let pick_format program = function
   | Some name -> find_format program name
@@ -84,6 +105,13 @@ let check_cmd =
           Netdsl.Sizing.pp_bounds (Netdsl.Sizing.bounds fmt);
         List.iter (fun d -> Format.printf "  %a@." Netdsl.Wf.pp_diagnostic d) warnings)
       program.P.formats;
+    List.iter
+      (fun (name, st) ->
+        let plan = compile_stack st in
+        Format.printf "stack %s: ok (%d layers: %s)@." name
+          (Netdsl.Stack.layer_count plan)
+          (String.concat " -> " (Netdsl.Stack.layer_names st)))
+      program.P.stacks;
     List.iter
       (fun (_, m) ->
         let report = Netdsl.Analysis.analyse m in
@@ -127,24 +155,33 @@ let fuzz_cmd =
   let plant_bug_flag =
     Arg.(value & flag & info [ "plant-bug" ]
            ~doc:"Self-test: plant a known defect (an inverted view accept \
-                 verdict) and prove the harness catches and shrinks it.")
+                 verdict on formats, an inverted chain accept verdict on \
+                 stacks) and prove the harness catches and shrinks it.")
   in
   let repro_dir_opt =
     Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR"
            ~doc:"Also save any repro dump as a file under DIR (for CI artifacts).")
   in
-  let run file format machine seed iters plant_bug repro_dir =
+  let run file format machine stack seed iters plant_bug repro_dir =
     let program = load file in
     let module Check = Netdsl.Check in
+    (* no selector: fuzz everything in the file; any selector: fuzz only
+       the selected targets *)
+    let selected = format <> None || machine <> None || stack <> None in
     let formats =
       match format with
       | Some name -> [ (name, find_format program name) ]
-      | None -> program.P.formats
+      | None -> if selected then [] else program.P.formats
     in
     let machines =
       match machine with
       | Some name -> [ (name, find_machine program name) ]
-      | None -> program.P.machines
+      | None -> if selected then [] else program.P.machines
+    in
+    let stacks =
+      match stack with
+      | Some name -> [ (name, find_stack program name) ]
+      | None -> if selected then [] else program.P.stacks
     in
     let bug = if plant_bug then Check.Oracle.Invert_view_accept else Check.Oracle.No_bug in
     let fail report =
@@ -168,6 +205,22 @@ let fuzz_cmd =
             stats.Check.Fuzz.ws_rejected)
       formats;
     List.iter
+      (fun (name, st) ->
+        (* fail on an unfusable stack before fuzzing anything *)
+        ignore (compile_stack st);
+        let bug =
+          if plant_bug then Check.Oracle.Invert_chain_accept
+          else Check.Oracle.No_bug
+        in
+        match Check.Fuzz.run_stack ~bug ~seed ~iters (name, st) with
+        | Error report -> fail report
+        | Ok stats ->
+          Format.printf
+            "stack %s: %d mutants (%d chained, %d rejected) — fused = sequential@."
+            name stats.Check.Fuzz.cs_mutants stats.Check.Fuzz.cs_accepted
+            stats.Check.Fuzz.cs_rejected)
+      stacks;
+    List.iter
       (fun (name, m) ->
         match Check.Fuzz.run_machine ~seed ~iters (name, m) with
         | Error report -> fail report
@@ -177,14 +230,14 @@ let fuzz_cmd =
             name stats.Check.Trace_fuzz.traces stats.Check.Trace_fuzz.events
             stats.Check.Trace_fuzz.fired stats.Check.Trace_fuzz.refused)
       machines;
-    Format.printf "fuzzed %d format(s), %d machine(s): no disagreements@."
-      (List.length formats) (List.length machines)
+    Format.printf "fuzzed %d format(s), %d stack(s), %d machine(s): no disagreements@."
+      (List.length formats) (List.length stacks) (List.length machines)
   in
   Cmd.v
     (Cmd.info "fuzz"
-       ~doc:"Differentially fuzz a specification: structure-aware wire mutants through View/Codec/Emit/Pipeline, adversarial event traces through Step/Interp; exit 1 with a minimised repro on any disagreement.")
-    Term.(const run $ file_arg $ format_opt $ machine_opt $ seed_opt $ iters_opt
-          $ plant_bug_flag $ repro_dir_opt)
+       ~doc:"Differentially fuzz a specification: structure-aware wire mutants through View/Codec/Emit/Pipeline, cross-layer mutants through every stack's fused chain vs sequential decode, adversarial event traces through Step/Interp; exit 1 with a minimised repro on any disagreement.")
+    Term.(const run $ file_arg $ format_opt $ machine_opt $ stack_opt $ seed_opt
+          $ iters_opt $ plant_bug_flag $ repro_dir_opt)
 
 let tests_cmd =
   let run file machine =
@@ -225,9 +278,53 @@ let decode_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the decoded value as JSON.")
   in
-  let run file format hex json =
+  (* Chained decode: walk the layered packet with the sequential decoder
+     (the same windows the fused plan computes) and print every layer's
+     field table.  A demux mismatch or a truncated inner header exits 1
+     with the failing layer named. *)
+  let decode_stack program name bytes json =
+    let st = find_stack program name in
+    let plan = compile_stack st in
+    let seq = Netdsl.Stack.Seq.create plan in
+    (match Netdsl.Stack.Seq.decode seq bytes with
+    | Ok () -> ()
+    | Error reason ->
+      Format.eprintf "netdsl: invalid layered packet: %s@." reason;
+      exit 1);
+    let names = Netdsl.Stack.layer_names st in
+    let layer i lname =
+      let off = Netdsl.Stack.Seq.layer_off seq i
+      and len = Netdsl.Stack.Seq.layer_len seq i in
+      let fmt = Netdsl.Stack.layer_format st i in
+      match Netdsl.Codec.decode fmt (String.sub bytes off len) with
+      | Ok v -> (lname, fmt, off, len, v)
+      | Error e ->
+        (* unreachable after an accepting Seq.decode; fail like any other
+           malformed chain if it ever happens *)
+        Format.eprintf "netdsl: invalid layered packet: layer %s: %s@." lname
+          (Netdsl.Codec.error_to_string e);
+        exit 1
+    in
+    let layers = List.mapi layer names in
+    if json then
+      print_endline
+        ("{ "
+        ^ String.concat ", "
+            (List.map
+               (fun (lname, _, _, _, v) ->
+                 Printf.sprintf "%S: %s" lname (Netdsl.Value.to_json v))
+               layers)
+        ^ " }")
+    else
+      List.iter
+        (fun (lname, fmt, off, len, v) ->
+          Format.printf "-- %s (%s) bytes [%d, %d) --@.%s@." lname
+            fmt.Netdsl.Desc.format_name off (off + len)
+            (Netdsl.Value.to_string v))
+        layers
+  in
+  let run file format stack hex json =
     let program = load file in
-    let fmt = pick_format program format in
     let bytes =
       match Netdsl.Hexdump.of_hex hex with
       | b -> b
@@ -241,17 +338,22 @@ let decode_cmd =
         Format.eprintf "netdsl: malformed hex input: %s@." reason;
         exit 1
     in
-    match Netdsl.Codec.decode fmt bytes with
-    | Ok v ->
-      if json then print_endline (Netdsl.Value.to_json v)
-      else Format.printf "%s@." (Netdsl.Value.to_string v)
-    | Error e ->
-      Format.eprintf "invalid packet: %s@." (Netdsl.Codec.error_to_string e);
-      exit 2
+    match stack with
+    | Some name -> decode_stack program name bytes json
+    | None -> (
+      let fmt = pick_format program format in
+      match Netdsl.Codec.decode fmt bytes with
+      | Ok v ->
+        if json then print_endline (Netdsl.Value.to_json v)
+        else Format.printf "%s@." (Netdsl.Value.to_string v)
+      | Error e ->
+        Format.eprintf "invalid packet: %s@." (Netdsl.Codec.error_to_string e);
+        exit 2)
   in
   Cmd.v
-    (Cmd.info "decode" ~doc:"Decode and validate a hex packet against a format.")
-    Term.(const run $ file_arg $ format_opt $ hex_arg $ json_flag)
+    (Cmd.info "decode"
+       ~doc:"Decode and validate a hex packet against a format — or, with $(b,--stack), against a layered chain, printing every layer's fields.")
+    Term.(const run $ file_arg $ format_opt $ stack_opt $ hex_arg $ json_flag)
 
 let encode_cmd =
   let fields_arg =
@@ -581,15 +683,67 @@ let serve_cmd =
     Arg.(value & opt_all string [] & info [ "patch" ] ~docv:"FIELD=VALUE"
            ~doc:"Patch this scalar field of the reply to a constant (repeatable).  Without any, the reply echoes the validated request unchanged.")
   in
-  let run file fmt_name host udp tcp mode max_packets duration patches =
+  let run file fmt_name stack_name host udp tcp mode max_packets duration patches =
     let program = load file in
-    let fmt = pick_format program fmt_name in
     let die msg =
       Format.eprintf "netdsl: %s@." msg;
       exit 1
     in
+    let stack = Option.map (find_stack program) stack_name in
+    (match stack with
+    | Some st ->
+      ignore (compile_stack st);
+      if mode = `Staged then
+        die "--stack serves through the fused chain only (drop --mode staged)"
+    | None -> ());
+    let fmt =
+      (* a stacked server's pipeline format is the chain's outermost layer *)
+      match stack with
+      | Some st -> Netdsl.Stack.layer_format st 0
+      | None -> pick_format program fmt_name
+    in
     let module Net = Netdsl.Net in
     let module Flight = Netdsl.Engine.Flight in
+    (* Validate one --patch FIELD: bare field of [fmt], or, when serving a
+       stack, a qualified "layer.field" resolved against the owning
+       layer's format — rejected before binding either way. *)
+    let check_patch_field field =
+      match stack with
+      | None ->
+        if Netdsl.Desc.find_field fmt field = None then
+          die
+            (Printf.sprintf "unknown field %S in --patch (have: %s)" field
+               (String.concat ", " (Netdsl.Desc.field_names fmt)));
+        Netdsl.Emit.patcher fmt field
+      | Some st -> (
+        match String.index_opt field '.' with
+        | None ->
+          die
+            (Printf.sprintf
+               "--patch %S: patches on a stack are qualified \"layer.field\" \
+                (layers: %s)"
+               field
+               (String.concat ", " (Netdsl.Stack.layer_names st)))
+        | Some i -> (
+          let lname = String.sub field 0 i in
+          let fname = String.sub field (i + 1) (String.length field - i - 1) in
+          let names = Netdsl.Stack.layer_names st in
+          match
+            List.find_index (fun n -> String.equal n lname) names
+          with
+          | None ->
+            die
+              (Printf.sprintf "unknown layer %S in --patch (have: %s)" lname
+                 (String.concat ", " names))
+          | Some li ->
+            let lfmt = Netdsl.Stack.layer_format st li in
+            if Netdsl.Desc.find_field lfmt fname = None then
+              die
+                (Printf.sprintf "unknown field %S in layer %s (have: %s)" fname
+                   lname
+                   (String.concat ", " (Netdsl.Desc.field_names lfmt)));
+            Netdsl.Emit.patcher lfmt fname))
+    in
     let actions =
       List.map
         (fun spec ->
@@ -599,17 +753,13 @@ let serve_cmd =
           | Some i -> (
             let field = String.sub spec 0 i in
             let value = String.sub spec (i + 1) (String.length spec - i - 1) in
-            if Netdsl.Desc.find_field fmt field = None then
-              die
-                (Printf.sprintf "unknown field %S in --patch (have: %s)" field
-                   (String.concat ", " (Netdsl.Desc.field_names fmt)));
             match Int64.of_string_opt value with
             | None ->
               die (Printf.sprintf "bad --patch value %S (expected an integer)" value)
             | Some v -> (
               (* a patch the respond stage cannot apply would silently
                  reject every reply at runtime — refuse it before binding *)
-              match Netdsl.Emit.patcher fmt field with
+              match check_patch_field field with
               | Error e ->
                 die (Printf.sprintf "cannot patch field %S in place: %s" field e)
               | Ok _ -> { Flight.set_field = field; set_to = Flight.Const v })))
@@ -634,13 +784,19 @@ let serve_cmd =
       | `Fused -> Netdsl.Engine.Pipeline.Fused
       | `Staged -> Netdsl.Engine.Pipeline.Staged
     in
-    match Net.Server.create ~mode ~flight ~listeners fmt with
+    match Net.Server.create ~mode ?stack ~flight ~listeners fmt with
     | Error msg -> die msg
     | Ok srv ->
+      let label =
+        match stack with
+        | Some st ->
+          Printf.sprintf "stack %s (%s)" (Netdsl.Stack.name st)
+            (String.concat " -> " (Netdsl.Stack.layer_names st))
+        | None -> fmt.Netdsl.Desc.format_name
+      in
       List.iter
         (fun (proto, h, p) ->
-          Format.printf "serving %s on %s %s:%d (%s mode)@."
-            fmt.Netdsl.Desc.format_name proto h p
+          Format.printf "serving %s on %s %s:%d (%s mode)@." label proto h p
             (match mode with
             | Netdsl.Engine.Pipeline.Fused -> "fused"
             | Netdsl.Engine.Pipeline.Staged -> "staged"))
@@ -661,9 +817,9 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Answer real datagrams: bind nonblocking UDP/TCP listeners on a format from the file and run every received packet through the engine, echoing each accepted packet back with the requested fields patched in place.")
-    Term.(const run $ file_arg $ format_opt $ host_opt $ udp_opt $ tcp_opt
-          $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt)
+       ~doc:"Answer real datagrams: bind nonblocking UDP/TCP listeners on a format from the file and run every received packet through the engine, echoing each accepted packet back with the requested fields patched in place.  With $(b,--stack), packets decode through the fused layered chain and patches are qualified layer.field names.")
+    Term.(const run $ file_arg $ format_opt $ stack_opt $ host_opt $ udp_opt
+          $ tcp_opt $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt)
 
 let () =
   let doc = "a DSL toolchain for network protocols" in

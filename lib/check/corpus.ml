@@ -6,6 +6,7 @@ module Codec = Netdsl_format.Codec
 module Gen = Netdsl_format.Gen
 module Sizing = Netdsl_format.Sizing
 module Fm = Netdsl_formats
+module Stack = Netdsl_format.Stack
 
 type t = { c_fmt : Desc.t; c_seeds : string array }
 
@@ -103,3 +104,63 @@ let make ?(golden = []) ?(count = 16) fmt rng =
 let format c = c.c_fmt
 let seeds c = c.c_seeds
 let pick c rng = Prng.pick rng c.c_seeds
+
+exception No_chain_gen
+
+(* Generic chained values for a stack the catalogue does not know: one
+   generated value per layer, each carrier's demux field pinned to its
+   first accepted edge and its payload cleared for the encoder to
+   splice. *)
+let generic_stack_values stack rng =
+  let n = List.length (Stack.layer_names stack) in
+  Array.init n (fun i ->
+      let fmt = Stack.layer_format stack i in
+      let v =
+        match value_generator fmt with
+        | Some g -> g rng
+        | None -> raise No_chain_gen
+      in
+      if i = n - 1 then v
+      else
+        let field, edge =
+          match Stack.layer_select stack i with
+          | Some (f, e :: _) -> (f, e)
+          | _ -> raise No_chain_gen
+        in
+        let via = Stack.layer_via stack i in
+        Value.record
+          (List.map
+             (fun (name, x) ->
+               if String.equal name field then (name, Value.int64 edge)
+               else if String.equal name via then (name, Value.bytes "")
+               else (name, x))
+             (Value.to_record v)))
+
+(* Chained golden seeds: recognised catalogue stacks get real layered
+   packets built through their own fused encoder; anything else gets
+   generically generated chains, so mutation starts from input that
+   actually chain-decodes whenever the layers are generable at all. *)
+let stack_seeds stack =
+  match Stack.compile stack with
+  | Error _ -> []
+  | Ok plan ->
+    let values =
+      match Stack.name stack with
+      | "inet_tftp" ->
+        [ Fm.Stacks.inet_tftp_values (Fm.Tftp.Ack { block = 1 });
+          Fm.Stacks.inet_tftp_values
+            (Fm.Tftp.Data { block = 7; data = "payload-bytes" });
+          Fm.Stacks.inet_tftp_values
+            (Fm.Tftp.Rrq { filename = "boot.img"; mode = "octet" }) ]
+      | "eth_arp" -> [ Fm.Stacks.eth_arp_values () ]
+      | "ipv4_icmp" ->
+        [ Fm.Stacks.ipv4_icmp_values ();
+          Fm.Stacks.ipv4_icmp_values ~data:"abcdefgh" () ]
+      | _ -> (
+        let rng = Prng.of_int 20260806 in
+        try List.init 4 (fun _ -> generic_stack_values stack rng)
+        with No_chain_gen -> [])
+    in
+    List.filter_map
+      (fun vs -> match Stack.encode plan vs with Ok s -> Some s | Error _ -> None)
+      values

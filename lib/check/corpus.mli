@@ -56,3 +56,17 @@ val seeds : t -> string array
 (** Non-empty. *)
 
 val pick : t -> Netdsl_util.Prng.t -> string
+
+val fallback_seeds : Netdsl_format.Desc.t -> string list
+(** The deterministic reject-path patterns (zero runs, [0xff] runs,
+    counting bytes) at the format's minimum size — what {!make} uses when
+    a format has neither generator nor golden samples. *)
+
+val stack_seeds : Netdsl_format.Stack.t -> string list
+(** Chained golden packets built through the stack's own fused encoder:
+    handcrafted {!Netdsl_formats.Stacks} values for the catalogue stacks
+    ([inet_tftp], [eth_arp], [ipv4_icmp]), generically generated
+    per-layer values (demux pinned to an accepted edge, carrier payload
+    cleared) for any other stack whose layers are generable.  Empty when
+    no layer generator applies — the chain fuzzer then falls back to
+    patterned seeds of the outermost layer. *)

@@ -25,6 +25,28 @@ val run_format :
   Netdsl_format.Desc.t ->
   (wire_stats, Report.t) result
 
+type chain_stats = {
+  cs_stack : string;
+  cs_mutants : int;  (** packets checked, chained seeds included *)
+  cs_accepted : int;  (** accepted by both fused and sequential decode *)
+  cs_rejected : int;
+}
+
+val run_stack :
+  ?bug:Oracle.bug ->
+  ?golden:string list ->
+  seed:int ->
+  iters:int ->
+  string * Netdsl_format.Stack.t ->
+  (chain_stats, Report.t) result
+(** The chained-decode oracle leg: seeds from {!Corpus.stack_seeds} (plus
+    [golden] raw-byte samples), cross-layer mutation via
+    {!Mutate.random_chain} aimed with each seed's real layer windows, and
+    every mutant judged by {!Oracle.Chain} — fused chain vs sequential
+    per-layer decode on verdict, layer windows and every demanded
+    register.  Raises [Invalid_argument] if the stack does not compile
+    (callers should pre-compile to fail cleanly). *)
+
 val run_machine :
   ?bug:bool ->
   seed:int ->

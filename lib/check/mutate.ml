@@ -2,6 +2,7 @@ module Prng = Netdsl_util.Prng
 module Checksum = Netdsl_util.Checksum
 module Desc = Netdsl_format.Desc
 module Sizing = Netdsl_format.Sizing
+module Stack = Netdsl_format.Stack
 
 type kind = Scalar | Const | Computed | Checksum
 
@@ -209,6 +210,99 @@ let random p rng s =
              one byte either side of the minimum size *)
           Truncate (max 0 (p.p_min_bytes - 1 + Prng.int rng 3))
         else random_blind rng len)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-layer mutation.  A chained packet's interesting lies live at
+   layer boundaries: an outer length that undercounts the inner header, a
+   demux field routed at the wrong next format, an outer byte corrupted
+   while the inner checksum stays valid.  The per-layer slot plans are the
+   same compiled tables as [plan]; the caller supplies the seed packet's
+   layer windows (from an accepting sequential decode) so every targeted
+   op lands at its chained wire offset. *)
+
+type chain_plan = {
+  cp_layers : plan array;
+  cp_selects : (string * int64 list) option array;
+}
+
+let chain_plan stack =
+  let n = List.length (Stack.layer_names stack) in
+  {
+    cp_layers = Array.init n (fun i -> plan (Stack.layer_format stack i));
+    cp_selects = Array.init n (fun i -> Stack.layer_select stack i);
+  }
+
+let find_slot p name = List.find_opt (fun s -> String.equal s.s_name name) p.p_slots
+
+let shift_slot ~byte_off slot value =
+  Field_set
+    {
+      name = slot.s_name;
+      bit_off = slot.s_bit_off + (8 * byte_off);
+      bits = slot.s_bits;
+      endian = slot.s_endian;
+      value;
+    }
+
+let random_chain cp ~windows rng s =
+  let len = String.length s in
+  let n = Array.length cp.cp_layers in
+  if len = 0 || Array.length windows <> n then
+    (* the seed never chain-decoded; aim at the outermost layer only *)
+    random cp.cp_layers.(0) rng s
+  else begin
+    (* bytes of layer [i]'s own header: up to where the next layer starts *)
+    let header_len i =
+      let off, l = windows.(i) in
+      if i + 1 < n then fst windows.(i + 1) - off else l
+    in
+    let carrier () = Prng.int rng (n - 1) in
+    let gen_one () =
+      match Prng.int rng 10 with
+      | 0 | 1 | 2 -> (
+        (* any compiled slot of any layer, at its chained offset *)
+        let i = Prng.int rng n in
+        let slots = Array.of_list cp.cp_layers.(i).p_slots in
+        if Array.length slots = 0 then random_blind rng len
+        else
+          let slot = Prng.pick rng slots in
+          shift_slot ~byte_off:(fst windows.(i)) slot
+            (hostile_value rng slot.s_bits))
+      | 3 | 4 -> (
+        (* demux lie: route a carrier at the wrong next format *)
+        let i = carrier () in
+        match cp.cp_selects.(i) with
+        | Some (field, vs) -> (
+          match find_slot cp.cp_layers.(i) field with
+          | Some slot ->
+            let wrong =
+              match Prng.int rng 3 with
+              | 0 -> Int64.add (List.nth vs (Prng.int rng (List.length vs))) 1L
+              | 1 -> 0L
+              | _ -> hostile_value rng slot.s_bits
+            in
+            shift_slot ~byte_off:(fst windows.(i)) slot wrong
+          | None -> random_blind rng len)
+        | None -> random_blind rng len)
+      | 5 | 6 -> (
+        (* outer length lie: shorter than the inner layers need *)
+        let i = carrier () in
+        match List.filter (fun sl -> sl.s_kind = Computed) cp.cp_layers.(i).p_slots with
+        | [] -> random_blind rng len
+        | computed ->
+          let slot = List.nth computed (Prng.int rng (List.length computed)) in
+          let lie = Int64.of_int (Prng.int rng (header_len i + 4)) in
+          shift_slot ~byte_off:(fst windows.(i)) slot lie)
+      | 7 ->
+        (* corrupt one outer header byte, inner layers untouched: every
+           inner checksum stays valid under the outer corruption *)
+        let i = carrier () in
+        let off = fst windows.(i) and hl = max 1 (header_len i) in
+        Set_byte (off + Prng.int rng hl, Prng.byte rng)
+      | _ -> random_blind rng len
+    in
+    List.init (1 + Prng.int rng 3) (fun _ -> gen_one ())
   end
 
 let op_to_string = function

@@ -71,3 +71,26 @@ val random : plan -> Netdsl_util.Prng.t -> string -> op list
 
 val op_to_string : op -> string
 (** Compact deterministic rendering used by {!Report} repros. *)
+
+(** {2 Cross-layer mutation}
+
+    For layered packets ({!Netdsl_format.Stack}), the lies that matter
+    straddle layer boundaries: an outer length field undercounting the
+    inner header, a demux field routed at the wrong next format, an outer
+    byte corrupted while the inner checksum stays valid.  {!chain_plan}
+    compiles one slot {!plan} per layer plus the chain's demux edges;
+    {!random_chain} then emits ordinary {!op}s whose offsets are shifted
+    to each layer's window in the concrete seed packet — repros replay
+    with plain {!apply}, exactly like single-format mutations. *)
+
+type chain_plan
+
+val chain_plan : Netdsl_format.Stack.t -> chain_plan
+
+val random_chain :
+  chain_plan -> windows:(int * int) array -> Netdsl_util.Prng.t -> string -> op list
+(** [random_chain cp ~windows rng seed] draws 1–3 ops aimed at chained
+    offsets; [windows] gives each layer's [(byte_off, byte_len)] in
+    [seed], as reported by an accepting {!Netdsl_format.Stack.Seq} decode.
+    Pass [ [||] ] for a seed that does not chain-decode — mutation then
+    falls back to the outermost layer's plan. *)

@@ -3,11 +3,12 @@ module Value = Netdsl_format.Value
 module Codec = Netdsl_format.Codec
 module View = Netdsl_format.View
 module Emit = Netdsl_format.Emit
+module Stack = Netdsl_format.Stack
 module Pipeline = Netdsl_engine.Pipeline
 module Flight = Netdsl_engine.Flight
 module Stats = Netdsl_engine.Stats
 
-type bug = No_bug | Invert_view_accept | Invert_flight_accept
+type bug = No_bug | Invert_view_accept | Invert_flight_accept | Invert_chain_accept
 
 type disagreement = { d_check : string; d_detail : string }
 
@@ -270,4 +271,150 @@ module Reply_ref = struct
     (outcome, !(t.r_last))
 
   let stats t = Pipeline.stats t.r_pipe
+end
+
+(* ---- the chained-decode oracle leg ----
+
+   One fused [Stack.plan] against the sequential per-layer reference
+   ([Stack.Seq]): verdict, every demanded register, and every layer
+   window must agree on every mutant.  Cross-layer length lies need no
+   special casing — an outer length lie moves the inner window and both
+   implementations must move it identically. *)
+module Chain = struct
+  type nonrec t = {
+    c_bug : bug;
+    c_plan : Stack.plan;
+    c_seq : Stack.Seq.t;
+    c_regs : (int * string * Stack.reg) array;
+        (* layer index, bare field name, fused register *)
+    c_layers : int;
+    mutable c_checked : int;
+    mutable c_accepted : int;
+  }
+
+  (* Every register the chain can serve: each layer's hot-eligible static
+     prefix, qualified.  A candidate the chain compiler cannot extract is
+     probed individually and dropped rather than failing the oracle. *)
+  let demandable stack =
+    List.concat
+      (List.mapi
+         (fun i lname ->
+           List.map
+             (fun f -> lname ^ "." ^ f)
+             (View.Hot.eligible_fields (Stack.layer_format stack i)))
+         (Stack.layer_names stack))
+
+  let create ?(bug = No_bug) stack =
+    let all = demandable stack in
+    let compiled =
+      match Stack.compile ~demand:all stack with
+      | Ok p -> Ok p
+      | Error _ ->
+        let keep =
+          List.filter
+            (fun f -> Result.is_ok (Stack.compile ~demand:[ f ] stack))
+            all
+        in
+        Stack.compile ~demand:keep stack
+    in
+    match compiled with
+    | Error _ as e -> e
+    | Ok plan ->
+      let regs =
+        List.filter_map
+          (fun qualified ->
+            match Stack.reg plan qualified with
+            | Error _ -> None
+            | Ok reg ->
+              let dot = String.index qualified '.' in
+              let lname = String.sub qualified 0 dot in
+              let field =
+                String.sub qualified (dot + 1) (String.length qualified - dot - 1)
+              in
+              let layer = Option.get (Stack.layer_index plan lname) in
+              Some (layer, field, reg))
+          all
+      in
+      Ok
+        {
+          c_bug = bug;
+          c_plan = plan;
+          c_seq = Stack.Seq.create plan;
+          c_regs = Array.of_list regs;
+          c_layers = Stack.layer_count plan;
+          c_checked = 0;
+          c_accepted = 0;
+        }
+
+  let checked t = t.c_checked
+  let accepted t = t.c_accepted
+
+  let check_inner t pkt =
+    let fused = Stack.run t.c_plan pkt in
+    (* the planted defect: the fused chain's accept verdict inverted, as
+       if a chained bounds check were flipped *)
+    let fused =
+      match (t.c_bug, fused) with Invert_chain_accept, true -> false | _, v -> v
+    in
+    match (fused, Stack.Seq.decode t.c_seq pkt) with
+    | true, Error reason ->
+      fail "chain" "fused chain accepts a packet the sequential decode rejects: %s"
+        reason
+    | false, Ok () ->
+      fail "chain" "fused chain rejects a packet the sequential decode accepts"
+    | false, Error _ -> Ok ()
+    | true, Ok () ->
+      let rec windows i =
+        if i >= t.c_layers then Ok ()
+        else begin
+          let fo = Stack.layer_off t.c_plan i
+          and fl = Stack.layer_len t.c_plan i
+          and so = Stack.Seq.layer_off t.c_seq i
+          and sl = Stack.Seq.layer_len t.c_seq i in
+          if fo <> so || fl <> sl then
+            fail "chain"
+              "layer %d window diverged: fused [%d, +%d), sequential [%d, +%d)" i
+              fo fl so sl
+          else windows (i + 1)
+        end
+      in
+      let rec registers i =
+        if i >= Array.length t.c_regs then Ok ()
+        else begin
+          let layer, field, reg = t.c_regs.(i) in
+          let fv = Int64.of_int (Stack.reg_get t.c_plan reg) in
+          let sv =
+            match View.find_int (Stack.Seq.view t.c_seq layer) field with
+            | Some v -> v
+            | None -> -1L
+          in
+          if Int64.equal fv sv then registers (i + 1)
+          else
+            fail "chain" "register %d.%s diverged: fused %Ld, sequential %Ld"
+              layer field fv sv
+        end
+      in
+      (match windows 0 with
+      | Error _ as e -> e
+      | Ok () -> (
+        match registers 0 with
+        | Error _ as e -> e
+        | Ok () ->
+          t.c_accepted <- t.c_accepted + 1;
+          Ok ()))
+
+  let check t pkt =
+    t.c_checked <- t.c_checked + 1;
+    match check_inner t pkt with
+    | exception e ->
+      fail "crash" "exception escaped the fused chain: %s" (Printexc.to_string e)
+    | r -> r
+
+  (* Layer windows of an accepting seed, for aimed cross-layer mutation. *)
+  let seed_windows t pkt =
+    match Stack.Seq.decode t.c_seq pkt with
+    | Error _ -> [||]
+    | Ok () ->
+      Array.init t.c_layers (fun i ->
+          (Stack.Seq.layer_off t.c_seq i, Stack.Seq.layer_len t.c_seq i))
 end

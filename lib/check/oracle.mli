@@ -36,11 +36,16 @@ type bug =
   | Invert_flight_accept
       (** report the fused hot-decoder verdict inverted on accepted input
           — proves the fused leg can catch a fusion bug *)
+  | Invert_chain_accept
+      (** report the fused {e chain} verdict inverted on accepted layered
+          input, as if a chained bounds check were flipped — proves the
+          {!Chain} leg can catch a stack-fusion bug *)
 
 type disagreement = {
   d_check : string;
       (** which comparison diverged: ["verdict"], ["value"], ["reencode"],
-          ["pipeline"], ["flight"], ["fused"], ["stats"] or ["crash"] *)
+          ["pipeline"], ["flight"], ["fused"], ["stats"], ["chain"] or
+          ["crash"] *)
   d_detail : string;  (** rendered evidence: both sides of the divergence *)
 }
 
@@ -63,6 +68,40 @@ val checked : t -> int
 val accepted : t -> int
 (** Messages all decoders accepted — the accept side of the split that
     bench e14 reports. *)
+
+(** {2 Chained-decode oracle leg}
+
+    One fused {!Netdsl_format.Stack.plan} diffed against the sequential
+    per-layer reference ({!Netdsl_format.Stack.Seq}) — same stack, two
+    decode strategies.  On every packet the two must agree on the chain
+    verdict; on acceptance, every layer window and every demanded
+    register (each layer's hot-eligible static prefix, compared against
+    {!Netdsl_format.View.find_int} on the sequential per-layer views,
+    absent variant-case fields as [-1]) must match.  Cross-layer length
+    lies need no special casing: an outer length lie moves the inner
+    window, and both strategies must move it identically or the window
+    comparison fires. *)
+module Chain : sig
+  type t
+
+  val create : ?bug:bug -> Netdsl_format.Stack.t -> (t, string) result
+  (** Compiles the fused plan demanding every per-layer hot-eligible
+      field (candidates the chain compiler cannot extract are probed
+      individually and dropped); [Error] only if the stack itself does
+      not compile. *)
+
+  val check : t -> string -> (unit, disagreement) result
+  (** [d_check] is ["chain"] for any divergence, ["crash"] for an escaped
+      exception. *)
+
+  val checked : t -> int
+  val accepted : t -> int
+
+  val seed_windows : t -> string -> (int * int) array
+  (** Per-layer [(byte_off, byte_len)] windows of a packet the sequential
+      decoder accepts, for {!Mutate.random_chain}; [ [||] ] when it
+      rejects. *)
+end
 
 (** {2 Socket oracle leg: the in-memory reply reference}
 

@@ -8,7 +8,8 @@
     {2 Map}
 
     - packet descriptions: {!Desc}, {!Value}, {!Codec}, {!Emit}, {!Wf},
-      {!Sizing}, {!Diagram}, {!Gen}
+      {!Sizing}, {!Diagram}, {!Gen}, {!Stack} (layered parse graphs
+      compiled to one fused decode/encode plan)
     - behaviour: {!Machine}, {!Analysis}, {!Compose}, {!Model_check},
       {!Testgen}, {!Interp}, {!Step} (compiled execution plans), {!Dot}
     - correct-by-construction layer (the paper's §3.4 with OCaml types):
@@ -51,6 +52,7 @@ module Diagram = Netdsl_format.Diagram
 module Gen = Netdsl_format.Gen
 module Framer = Netdsl_format.Framer
 module Abnf = Netdsl_format.Abnf
+module Stack = Netdsl_format.Stack
 
 (* State-machine DSL *)
 module Machine = Netdsl_fsm.Machine

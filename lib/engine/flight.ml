@@ -90,9 +90,13 @@ let spec_fields s =
    [Unknown_event] rather than mistaken for pass-through. *)
 let unknown_event = max_int
 
+(* Flow-key sentinel for "this packet carries no key". *)
+let no_key = min_int
+
 type engine =
   | Linear of F.View.Hot.t  (* fused fast path: registers, no View.t *)
   | Interp of F.View.t  (* fallback: fused control flow, staged decode *)
+  | Stacked of F.Stack.plan  (* fused layered chain: qualified registers *)
 
 type crule = {
   (* classify rule: precompiled guard on each side, interned event id *)
@@ -104,7 +108,12 @@ type crule = {
 type caction = {
   a_patcher : (F.Emit.patcher, string) result;
   a_field : string;
-  a_hot : unit -> int64;  (* boxed once per applied patch, unavoidable *)
+  a_layer : int;  (* Stacked engine: owning layer index; -1 otherwise *)
+  a_hot : unit -> int64;
+  (* unboxed source for the fused tiers — [Some] whenever the value is a
+     native-int register or an in-range constant, so the applied patch
+     allocates nothing ([a_hot] is the boxing fallback) *)
+  a_hot_int : (unit -> int) option;
   a_view : F.View.t -> int64 option;
 }
 
@@ -202,6 +211,69 @@ let rec compile_cond_hot h = function
     let c = compile_cond_hot h c in
     fun () -> not (c ())
 
+(* ---- stack-side lowering (chain registers) ----
+
+   Same shape as the hot side over [Stack.reg_get] registers, with one
+   extra rule: [reg_get] returns -1 when the accepted packet's variant
+   case does not carry the field (register values are never negative), and
+   a comparison over an absent field is [false] — the same semantics the
+   view side gives [find_int] = [None]. *)
+
+let stack_reg p f =
+  match F.Stack.reg p f with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Flight: " ^ e)
+
+let compile_cmp_stack p op a b =
+  match (a, b) with
+  | Field fa, Field fb ->
+    let ra = stack_reg p fa and rb = stack_reg p fb in
+    fun () ->
+      let x = F.Stack.reg_get p ra in
+      x >= 0
+      &&
+      let y = F.Stack.reg_get p rb in
+      y >= 0 && cmp_int op x y
+  | Field fa, Const c -> (
+    let ra = stack_reg p fa in
+    match int_of_const c with
+    | `Int ci ->
+      fun () ->
+        let x = F.Stack.reg_get p ra in
+        x >= 0 && cmp_int op x ci
+    | `High ->
+      let k = fold_high op in
+      fun () -> F.Stack.reg_get p ra >= 0 && k ()
+    | `Low ->
+      let k = fold_low op in
+      fun () -> F.Stack.reg_get p ra >= 0 && k ())
+  | Const c, Field fb -> (
+    let rb = stack_reg p fb in
+    match int_of_const c with
+    | `Int ci ->
+      fun () ->
+        let y = F.Stack.reg_get p rb in
+        y >= 0 && cmp_int op ci y
+    | `High ->
+      let k = fold_low op in
+      fun () -> F.Stack.reg_get p rb >= 0 && k ()
+    | `Low ->
+      let k = fold_high op in
+      fun () -> F.Stack.reg_get p rb >= 0 && k ())
+  | Const ca, Const cb -> if cmp_i64 op ca cb then ttrue else tfalse
+
+let rec compile_cond_stack p = function
+  | Cmp (op, a, b) -> compile_cmp_stack p op a b
+  | All cs ->
+    let cs = List.map (compile_cond_stack p) cs in
+    fun () -> List.for_all apply0 cs
+  | Any cs ->
+    let cs = List.map (compile_cond_stack p) cs in
+    fun () -> List.exists apply0 cs
+  | Not c ->
+    let c = compile_cond_stack p c in
+    fun () -> not (c ())
+
 (* ---- view-side lowering (the staged semantics, shared by the fallback
    engine and by the staged derivations — identical by construction) ---- *)
 
@@ -242,7 +314,9 @@ let compile ?plan fmt sp =
   let hot_of cond =
     match engine with
     | Linear h -> compile_cond_hot h cond
-    | Interp _ -> ttrue (* never consulted on the fallback engine *)
+    (* never consulted on the fallback engine; [Stacked] never reaches
+       here — it is built only by [compile_stack] *)
+    | Interp _ | Stacked _ -> ttrue
   in
   let event_of name =
     match plan with
@@ -267,11 +341,24 @@ let compile ?plan fmt sp =
         let s = F.View.Hot.demand_slot h f in
         fun () -> Int64.of_int (F.View.Hot.get h s)
       | _, Const c -> fun () -> c
-      | Interp _, Field _ -> fun () -> 0L (* never consulted *)
+      | (Interp _ | Stacked _), Field _ -> fun () -> 0L (* never consulted *)
+    in
+    let a_hot_int =
+      match (engine, a.set_to) with
+      | Linear h, Field f ->
+        let s = F.View.Hot.demand_slot h f in
+        Some (fun () -> F.View.Hot.get h s)
+      | _, Const c -> (
+        match int_of_const c with
+        | `Int ci -> Some (fun () -> ci)
+        | `High | `Low -> None)
+      | (Interp _ | Stacked _), Field _ -> None
     in
     { a_patcher = F.Emit.patcher fmt a.set_field;
       a_field = a.set_field;
+      a_layer = -1;
       a_hot;
+      a_hot_int;
       a_view = compile_operand_view a.set_to }
   in
   let responses =
@@ -292,7 +379,7 @@ let compile ?plan fmt sp =
         | Linear h ->
           let s = F.View.Hot.demand_slot h f in
           Some (fun () -> F.View.Hot.get h s)
-        | Interp _ -> None
+        | Interp _ | Stacked _ -> None
       in
       (hot, Some (fun view -> F.View.find_int view f))
   in
@@ -310,15 +397,138 @@ let compile ?plan fmt sp =
     last_err = None;
   }
 
-let tier t = match t.engine with Linear _ -> `Linear | Interp _ -> `Interp
+(* ---- compile against a layered stack ----
+
+   The chain analogue of {!compile}: every spec field is a qualified
+   ["layer.field"] register of the compiled {!Stack.plan}, actions patch
+   inside the owning layer's recorded window, and there is no staged
+   side — chains are a fused-only construct, diffed against the
+   sequential {!Stack.Seq} reference by the chain oracle instead. *)
+
+let split_qualified f =
+  match String.index_opt f '.' with
+  | None ->
+    Error (Printf.sprintf "field %S is not a qualified layer.field name" f)
+  | Some i ->
+    Ok (String.sub f 0 i, String.sub f (i + 1) (String.length f - i - 1))
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    Result.bind (f x) (fun y ->
+        Result.bind (map_result f tl) (fun tl -> Ok (y :: tl)))
+
+let compile_stack ?plan stack sp =
+  let ( let* ) = Result.bind in
+  let* p = F.Stack.compile ~demand:(spec_fields sp) stack in
+  let stack_of cond = compile_cond_stack p cond in
+  let event_of name =
+    match plan with
+    | None -> unknown_event
+    | Some mp ->
+      let id = Fsm.Step.event_id mp name in
+      if id < 0 then unknown_event else id
+  in
+  let classify =
+    Array.of_list
+      (List.map
+         (fun r ->
+           { c_hot = stack_of r.ev_when;
+             c_view = (fun _ -> false);
+             c_ev = event_of r.ev_name })
+         sp.sp_classify)
+  in
+  let compile_action a =
+    let* lname, fname = split_qualified a.set_field in
+    let* idx =
+      match F.Stack.layer_index p lname with
+      | Some i -> Ok i
+      | None ->
+        Error
+          (Printf.sprintf "respond: %S names no layer of stack %s" a.set_field
+             (F.Stack.name (F.Stack.stack p)))
+    in
+    let a_hot =
+      match a.set_to with
+      | Const c -> fun () -> c
+      | Field f ->
+        (* an absent source reads -1, which the patcher refuses as
+           out-of-range — the respond fails, exactly as the staged path's
+           impossible ("", 0) patch would *)
+        let r = stack_reg p f in
+        fun () -> Int64.of_int (F.Stack.reg_get p r)
+    in
+    let a_hot_int =
+      match a.set_to with
+      | Const c -> (
+        match int_of_const c with
+        | `Int ci -> Some (fun () -> ci)
+        | `High | `Low -> None)
+      | Field f ->
+        let r = stack_reg p f in
+        Some (fun () -> F.Stack.reg_get p r)
+    in
+    Ok
+      { a_patcher = F.Emit.patcher (F.Stack.layer_fmt p idx) fname;
+        a_field = a.set_field;
+        a_layer = idx;
+        a_hot;
+        a_hot_int;
+        a_view = (fun _ -> None) }
+  in
+  let* responses =
+    map_result
+      (fun r ->
+        let* set = map_result compile_action r.re_set in
+        Ok
+          { r_hot = stack_of r.re_when;
+            r_view = (fun _ -> false);
+            r_set = Array.of_list set })
+      sp.sp_respond
+  in
+  let key_hot =
+    match sp.sp_flow_key with
+    | None -> None
+    | Some f ->
+      let r = stack_reg p f in
+      Some
+        (fun () ->
+          let v = F.Stack.reg_get p r in
+          if v < 0 then no_key else v)
+  in
+  Ok
+    {
+      fmt = F.Stack.layer_fmt p 0;
+      sp_key = sp.sp_flow_key;
+      engine = Stacked p;
+      verify_hot = Option.map stack_of sp.sp_verify;
+      verify_view = None;
+      classify;
+      responses = Array.of_list responses;
+      key_hot;
+      key_view = None;
+      has_classify = sp.sp_classify <> [];
+      last_err = None;
+    }
+
+let tier t =
+  match t.engine with
+  | Linear _ -> `Linear
+  | Interp _ -> `Interp
+  | Stacked _ -> `Stacked
+
 let format t = t.fmt
 let flow_key_name t = t.sp_key
+
+let stack_plan t =
+  match t.engine with Stacked p -> Some p | Linear _ | Interp _ -> None
 
 (* ---- fused per-packet interface ---- *)
 
 let run_window t ~off ~len data =
   match t.engine with
   | Linear h -> F.View.Hot.run_window h ~off ~len data
+  | Stacked p -> F.Stack.run_window p ~off ~len data
   | Interp v -> (
     match F.View.decode v ~off ~len data with
     | Ok () ->
@@ -334,11 +544,12 @@ let run t ?(off = 0) ?len data =
 
 let last_error t = t.last_err
 
-let verify_armed t = t.verify_view <> None
+let verify_armed t = t.verify_view <> None || t.verify_hot <> None
 
 let verify_ok t =
   match t.engine with
-  | Linear _ -> ( match t.verify_hot with None -> true | Some c -> c ())
+  | Linear _ | Stacked _ -> (
+    match t.verify_hot with None -> true | Some c -> c ())
   | Interp v -> ( match t.verify_view with None -> true | Some c -> c v)
 
 let classify_armed t = t.has_classify
@@ -354,7 +565,7 @@ let event t =
   let found = ref (-1) in
   let i = ref 0 in
   (match t.engine with
-  | Linear _ ->
+  | Linear _ | Stacked _ ->
     while !found < 0 && !i < n do
       if (Array.unsafe_get arr !i).c_hot () then
         found := (Array.unsafe_get arr !i).c_ev;
@@ -368,15 +579,15 @@ let event t =
     done);
   !found
 
-(* Flow key as a native int; [min_int] means "no key on this packet"
-   (fall back to the shared default instance, as the staged path does
-   when [find_int] returns [None]).  Wide keys are truncated by
+(* Flow key as a native int; [no_key] = [min_int] means "no key on this
+   packet" (fall back to the shared default instance, as the staged path
+   does when [find_int] returns [None]).  Wide keys are truncated by
    [Int64.to_int] identically in both modes. *)
-let no_key = min_int
 
 let flow_key t =
   match t.engine with
-  | Linear _ -> ( match t.key_hot with None -> no_key | Some k -> k ())
+  | Linear _ | Stacked _ -> (
+    match t.key_hot with None -> no_key | Some k -> k ())
   | Interp v -> (
     match t.key_view with
     | None -> no_key
@@ -388,7 +599,7 @@ let response t =
   let found = ref (-1) in
   let i = ref 0 in
   (match t.engine with
-  | Linear _ ->
+  | Linear _ | Stacked _ ->
     while !found < 0 && !i < n do
       if (Array.unsafe_get arr !i).r_hot () then found := !i;
       incr i
@@ -412,9 +623,23 @@ let apply t idx buf ~len =
     | Ok p -> (
       match t.engine with
       | Linear _ -> (
-        match F.Emit.patch_window p ~off:0 ~len buf (a.a_hot ()) with
-        | Ok () -> ()
-        | Error _ -> ok := false)
+        let r =
+          match a.a_hot_int with
+          | Some g -> F.Emit.patch_window_int p ~off:0 ~len buf (g ())
+          | None -> F.Emit.patch_window p ~off:0 ~len buf (a.a_hot ())
+        in
+        match r with Ok () -> () | Error _ -> ok := false)
+      | Stacked sp -> (
+        (* the reply buffer is a byte copy of the accepted request, so the
+           chain's recorded layer windows are valid patch targets *)
+        let loff = F.Stack.layer_off sp a.a_layer
+        and llen = F.Stack.layer_len sp a.a_layer in
+        let r =
+          match a.a_hot_int with
+          | Some g -> F.Emit.patch_window_int p ~off:loff ~len:llen buf (g ())
+          | None -> F.Emit.patch_window p ~off:loff ~len:llen buf (a.a_hot ())
+        in
+        match r with Ok () -> () | Error _ -> ok := false)
       | Interp view -> (
         match a.a_view view with
         | None -> ok := false
@@ -435,10 +660,11 @@ let n_responses t = Array.length t.responses
    shares verbatim — so Staged and the Interp-tier Fused path are the
    same code, and the Linear tier is diffed against it by the oracle. *)
 
+let is_stacked t = match t.engine with Stacked _ -> true | _ -> false
 let staged_verify t = t.verify_view
 
 let staged_classify_id t =
-  if not t.has_classify then None
+  if (not t.has_classify) || is_stacked t then None
   else
     Some
       (fun view ->
@@ -451,7 +677,7 @@ let staged_classify_id t =
         go 0)
 
 let staged_respond_patch t =
-  if Array.length t.responses = 0 then None
+  if Array.length t.responses = 0 || is_stacked t then None
   else
     Some
       (fun view ->

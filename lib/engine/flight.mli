@@ -66,8 +66,31 @@ val compile : ?plan:Netdsl_fsm.Step.plan -> Netdsl_format.Desc.t -> spec -> t
     [`Interp] tier.  Event names are interned against [plan] (an unknown
     name classifies to an id [Step.fire_id] refuses as [Unknown_event]). *)
 
-val tier : t -> [ `Linear | `Interp ]
+val compile_stack :
+  ?plan:Netdsl_fsm.Step.plan ->
+  Netdsl_format.Stack.t ->
+  spec ->
+  (t, string) result
+(** Compile the spec against a layered {!Netdsl_format.Stack} instead of a
+    single format.  Every field the spec mentions must be a qualified
+    ["layer.field"] name; conditions and keys read the chain's fused
+    native-int registers (a field absent from the accepted packet's
+    variant case compares [false], as on the view side), and respond
+    actions patch inside the owning layer's recorded window.  Fails when
+    the stack cannot be fused, a demanded register cannot be extracted, or
+    an action names an unknown layer.  The resulting plan is the
+    [`Stacked] tier: fused-only — the staged derivations return [None]
+    (the chain's ground truth is {!Netdsl_format.Stack.Seq}, diffed by the
+    [lib/check] chain oracle). *)
+
+val tier : t -> [ `Linear | `Interp | `Stacked ]
+
 val format : t -> Netdsl_format.Desc.t
+(** For a [`Stacked] plan this is the outermost layer's format. *)
+
+val stack_plan : t -> Netdsl_format.Stack.plan option
+(** The compiled chain behind a [`Stacked] plan — its registers and layer
+    windows read the state of this flight's last accepting {!run}. *)
 
 val flow_key_name : t -> string option
 (** The spec's flow-key field, if any. *)

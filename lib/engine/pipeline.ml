@@ -208,6 +208,9 @@ type t = {
   inbuf : string array;
   default_inst : Fsm.Step.instance option;
   flows : flow_table option;
+  (* sequential reference decoder of the flight's chain, for recovering
+     layer-qualified decode-error detail on the [`Stacked] tier *)
+  seq : F.Stack.Seq.t option;
 }
 
 (* Event id handed to [Step.fire_id] for a classified event name the plan
@@ -217,7 +220,7 @@ let unknown_event = max_int
 
 let no_key = Flight.no_key
 
-let create ?(config = default_config) ?(mode = Staged) ?flight ?verify
+let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
     ?classify ?classify_id ?machine ?flow_key ?on_transition ?respond
     ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
@@ -236,7 +239,31 @@ let create ?(config = default_config) ?(mode = Staged) ?flight ?verify
   | _ -> ());
   if mode = Fused && flight = None then
     invalid_arg "Pipeline.create: Fused mode requires ~flight";
-  let flight = Option.map (fun sp -> Flight.compile ?plan fmt sp) flight in
+  (* A layered chain has no staged decomposition (its ground truth is the
+     sequential [Stack.Seq] reference, not per-stage view closures), so a
+     stack pipeline is fused-only and spec-only. *)
+  (match stack with
+  | Some _ when flight = None ->
+    invalid_arg "Pipeline.create: ~stack requires ~flight"
+  | Some _ when mode <> Fused ->
+    invalid_arg "Pipeline.create: ~stack requires Fused mode"
+  | _ -> ());
+  let flight =
+    match stack with
+    | None -> Option.map (fun sp -> Flight.compile ?plan fmt sp) flight
+    | Some st ->
+      Option.map
+        (fun sp ->
+          match Flight.compile_stack ?plan st sp with
+          | Ok fl -> fl
+          | Error e -> invalid_arg ("Pipeline.create: stack: " ^ e))
+        flight
+  in
+  let seq =
+    match flight with
+    | Some fl -> Option.map F.Stack.Seq.create (Flight.stack_plan fl)
+    | None -> None
+  in
   (* machine absence only surfaces when a responder actually runs *)
   let need_inst name f = function
     | Some i -> f i
@@ -309,6 +336,7 @@ let create ?(config = default_config) ?(mode = Staged) ?flight ?verify
         ();
     inbuf = Array.make config.batch "";
     default_inst;
+    seq;
     flows =
       (match (default_inst, flow_key) with
       | Some inst, Some _ ->
@@ -339,6 +367,9 @@ let format t = t.fmt
 let machine_plan t = t.plan
 let mode t = t.mode
 let flight_tier t = Option.map Flight.tier t.flight
+
+let stack_plan t =
+  match t.flight with None -> None | Some fl -> Flight.stack_plan fl
 let flow_count t = match t.flows with None -> 0 | Some tbl -> tbl.n
 let reply_capacity t = Bytes.length t.reply_buf
 
@@ -690,9 +721,16 @@ let process_batch t pkts n =
    has a bug — report it as such (the differential oracle hunts exactly
    this). *)
 let recover_decode_error t =
-  match t.last_error.(0) with
-  | Some e -> e
-  | None -> (
+  match (t.last_error.(0), t.seq) with
+  | Some e, _ -> e
+  | None, Some seq -> (
+    (* stacked tier: replay the chain through the sequential reference to
+       name the failing layer *)
+    match F.Stack.Seq.decode seq ~len:t.blen.(0) t.inbuf.(0) with
+    | Error reason -> F.Codec.Eval_error { path = []; reason }
+    | Ok () ->
+      F.Codec.Eval_error { path = []; reason = "fused chain decode diverged" })
+  | None, None -> (
     match F.View.decode t.views.(0) ~len:t.blen.(0) t.inbuf.(0) with
     | Error e -> e
     | Ok () ->

@@ -63,6 +63,7 @@ type t
 val create :
   ?config:config ->
   ?mode:mode ->
+  ?stack:Netdsl_format.Stack.t ->
   ?flight:Flight.spec ->
   ?verify:(Netdsl_format.View.t -> bool) ->
   ?classify:(Netdsl_format.View.t -> string option) ->
@@ -83,6 +84,16 @@ val create :
   t
 (** [create fmt] builds a pipeline for [fmt].
 
+    - [stack] runs the pipeline over a layered {!Netdsl_format.Stack}
+      instead of the single format [fmt] (pass the chain's outermost
+      format as [fmt]; it only feeds staged-side machinery a stack
+      pipeline never exercises).  Requires [~flight] with every spec field
+      qualified as ["layer.field"], and [Fused] mode — a chain has no
+      staged decomposition.  The spec compiles via
+      {!Flight.compile_stack}; respond rules patch a byte copy of the
+      request inside the owning layer's window.  Raises
+      [Invalid_argument] with the compiler's reason when the chain or a
+      spec reference cannot be fused.
     - [flight] is a declarative {!Flight.spec} of the whole per-packet
       semantics (verify, classify, flow key, respond-by-patch), compiled
       once against [fmt] and [machine].  It {e replaces} — and cannot be
@@ -167,8 +178,12 @@ val format : t -> Netdsl_format.Desc.t
 
 val mode : t -> mode
 
-val flight_tier : t -> [ `Linear | `Interp ] option
+val flight_tier : t -> [ `Linear | `Interp | `Stacked ] option
 (** Tier of the compiled flight plan, when [~flight] was given. *)
+
+val stack_plan : t -> Netdsl_format.Stack.plan option
+(** The compiled chain of a [~stack] pipeline: its registers and layer
+    windows read the state of the last accepting decode. *)
 
 val machine_plan : t -> Netdsl_fsm.Step.plan option
 (** The compiled plan of the pipeline's machine, for resolving event ids

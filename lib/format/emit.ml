@@ -928,7 +928,7 @@ let rec has_checksum (fmt : Desc.t) =
       | _ -> false)
     fmt.fields
 
-let patcher (fmt : Desc.t) name =
+let patcher ?(computed = false) (fmt : Desc.t) name =
   let ( let* ) = Result.bind in
   let* f =
     match Desc.find_field fmt name with
@@ -941,6 +941,11 @@ let patcher (fmt : Desc.t) name =
     | Desc.Enum { bits; endian; cases; exhaustive } ->
       Ok (bits, endian, if exhaustive then Some cases else None)
     | Desc.Const _ -> Error (Printf.sprintf "field %S is a constant" name)
+    | Desc.Computed { bits; endian; _ } when computed ->
+      (* The stack back-patcher rewrites derived lengths on purpose: it
+         re-evaluates the defining expression itself over the fused chain
+         and takes responsibility for consistency. *)
+      Ok (bits, endian, None)
     | Desc.Computed _ | Desc.Checksum _ ->
       Error (Printf.sprintf "field %S is derived; a patch would be recomputed away" name)
     | Desc.Bool_flag -> Error (Printf.sprintf "field %S is a single bit, not whole bytes" name)
@@ -1225,6 +1230,49 @@ let patch_window p ~off ~len buf v =
   with
   | () -> Ok ()
   | exception Codec.Error e -> Result.Error (outward_error e)
+
+(* Unboxed-int variant of [patch_window]: the fused respond path reads its
+   source values as native-int registers, and boxing an [Int64] per patch
+   is the last allocation on that path.  Fields wider than 56 bits, enums
+   and constrained fields delegate to the boxing path (identical
+   validation; a native register cannot carry > 62 bits anyway). *)
+let patch_window_int p ~off ~len buf v =
+  if p.pa_bits > 56 || p.pa_enum <> None || p.pa_constraints <> [] then
+    patch_window p ~off ~len buf (Int64.of_int v)
+  else if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Emit.patch: window out of bounds"
+  else
+    match
+      if len < p.pa_min_bytes then
+        fail
+          (Io
+             { path = [ p.pa_name ];
+               error =
+                 B.Truncated
+                   { need_bits = 8 * p.pa_min_bytes; have_bits = 8 * len } });
+      if v < 0 || v lsr p.pa_bits <> 0 then
+        fail
+          (Value_out_of_range
+             { path = [ p.pa_name ]; value = Int64.of_int v; bits = p.pa_bits });
+      let fbyte = off + (p.pa_bit_off lsr 3) in
+      let nbytes = p.pa_bits lsr 3 in
+      let wire =
+        match p.pa_endian with
+        | Desc.Big -> v
+        | Desc.Little -> bswap_nat ~bits:p.pa_bits v
+      in
+      let oldw = ref 0 in
+      for i = 0 to nbytes - 1 do
+        oldw := (!oldw lsl 8) lor Char.code (Bytes.get buf (fbyte + i))
+      done;
+      for i = 0 to nbytes - 1 do
+        Bytes.set buf (fbyte + i)
+          (Char.unsafe_chr ((wire lsr (8 * (nbytes - 1 - i))) land 0xFF))
+      done;
+      patch_cks ~off ~len ~fbyte ~nbytes ~oldw:!oldw ~wire buf p.pa_cks
+    with
+    | () -> Ok ()
+    | exception Codec.Error e -> Result.Error (outward_error e)
 
 let patch p ?(off = 0) ?len buf v =
   let len = match len with None -> Bytes.length buf - off | Some l -> l in

@@ -73,14 +73,20 @@ type patcher
 (** A compiled single-field rewrite: field offset, width, validation and
     checksum-delta plan, resolved once. *)
 
-val patcher : Desc.t -> string -> (patcher, string) result
+val patcher : ?computed:bool -> Desc.t -> string -> (patcher, string) result
 (** [patcher fmt name] compiles an in-place rewrite of top-level scalar
     field [name].  Requires the field to be byte-aligned at a fixed offset,
     not the source of any derived field, and any checksum covering it to be
     a top-level Internet checksum whose coverage of the field is decidable
     statically (and whose region provably cannot be all-zero, unless a
     conservative scan fallback is possible).  [Error reason] explains any
-    rejection. *)
+    rejection.
+
+    [~computed:true] additionally admits [Computed] fields: normally a
+    patch to a derived length would desynchronise it from its defining
+    expression, but the {!Stack} back-patcher re-evaluates that expression
+    over the fused chain itself and writes the provably consistent value —
+    it owns the invariant the default refusal protects. *)
 
 val patcher_field : patcher -> string
 
@@ -97,6 +103,14 @@ val patch_window :
   patcher -> off:int -> len:int -> Bytes.t -> int64 -> (unit, error) result
 (** {!patch} with both bounds required: per-packet callers use this so the
     call site does not box an optional argument. *)
+
+val patch_window_int :
+  patcher -> off:int -> len:int -> Bytes.t -> int -> (unit, error) result
+(** {!patch_window} taking the new value as a native [int] — the fused
+    respond path reads its sources as unboxed registers, and boxing an
+    [Int64] per patch would be its only steady-state allocation.  A
+    negative value is out of range for every field.  Identical validation
+    and result to {!patch_window}. *)
 
 val patch_exn : patcher -> ?off:int -> ?len:int -> Bytes.t -> int64 -> unit
 (** @raise Codec.Error on failure. *)

@@ -1,0 +1,164 @@
+(** Parse graphs: layered header stacks compiled into one flat plan.
+
+    A {!t} names an ordered chain of formats — Ethernet carrying IPv4
+    carrying UDP carrying TFTP — where a declared {e demux} field of each
+    layer (ethertype, protocol, dst_port) must select the next, and a
+    declared {e via} field (the trailing payload bytes) carries it.  This
+    is the P4-style parse graph restricted to one path; branching graphs
+    are expressed as separate chains sharing their prefix formats.
+
+    {!compile} lowers the whole chain once.  Every non-terminal layer must
+    be hot-eligible ({!View.Hot}); its compiled plan records the payload
+    span so the next layer's window is two integer reads — no per-layer
+    closure dispatch, no re-scan.  A terminal layer may additionally be a
+    {e one-level variant} format (a linear prefix ending in a [Variant]
+    over a fixed-offset tag, like TFTP or ICMP): the variant is flattened
+    into one hot plan per case and dispatch is a single tag peek, so even
+    a 4-layer chain ending in TFTP decodes with zero allocation.  Demux
+    edges become flat native-int tables.
+
+    The accept set is exactly that of decoding each layer with
+    {!View.decode} over the payload span of the one before ({!Seq} below
+    is that reference, and the [lib/check] chain oracle diffs the two
+    verdict- and register-exact under the structure-aware mutator).
+    Cross-layer length consistency needs no extra machinery: an outer
+    length lie moves the inner window, and the inner layer's own computed
+    length/checksum checks reject it in both implementations.
+
+    The encode side writes each carrier header once directly at its final
+    offset with an empty payload, writes the innermost message, then
+    {e back-patches} outer [Msg_len]-derived fields (IPv4 total_length,
+    UDP length) innermost-out via {!Emit.patcher} — the covering Internet
+    checksum is repaired incrementally (RFC 1624), so no byte of the
+    chain is written twice.  Output is byte-for-byte what the naive
+    innermost-first sequential re-encode ({!encode_seq}) produces. *)
+
+(** {1 Describing a stack} *)
+
+type layer
+
+val layer :
+  ?name:string ->
+  ?via:string ->
+  ?select:string * int64 list ->
+  Desc.t ->
+  layer
+(** One link of the chain.  [name] (default: the format's name) prefixes
+    this layer's fields in qualified ["layer.field"] references.  [via]
+    (default ["payload"]) names the field carrying the next layer: it must
+    be the trailing [Bytes Len_remaining] field.  [select] gives the demux
+    field and the accepted constants routing to the next layer; required
+    on every layer except the last, forbidden on the last. *)
+
+type t
+(** A validated stack description. *)
+
+val v : name:string -> layer list -> (t, string) result
+(** Validates the chain shape (>= 2 layers, unique layer names, demux
+    fields scalar and in range, via fields trailing byte payloads). *)
+
+val name : t -> string
+val layer_names : t -> string list
+val layer_format : t -> int -> Desc.t
+
+val layer_via : t -> int -> string
+(** The payload field carrying layer [i+1] (meaningless on the last
+    layer, where it is whatever {!layer} defaulted it to). *)
+
+val layer_select : t -> int -> (string * int64 list) option
+(** Layer [i]'s demux edge — [None] exactly on the terminal layer.  With
+    {!layer_via} this is enough to reconstruct the declaration, which is
+    how the surface-language printer round-trips [stack] blocks. *)
+
+(** {1 The compiled plan} *)
+
+type plan
+(** A compiled chain: per-layer fused decoders, demux tables, payload-span
+    windowing, register directory, encoder and back-patch slots.  Like
+    {!View.t}, a plan is a reusable single-thread object: accessors are
+    only meaningful after the last {!run} accepted. *)
+
+val compile : ?demand:string list -> t -> (plan, string) result
+(** [compile ~demand stack] lowers the chain.  [demand] lists qualified
+    ["layer.field"] names that must be readable as native-int registers
+    after every accepting {!run} — the engine demands its classify /
+    flow-key / respond operands this way.  Fails with a reason if a layer
+    cannot be fused or a demanded field cannot be extracted. *)
+
+val stack : plan -> t
+
+val run : plan -> ?off:int -> ?len:int -> string -> bool
+(** Decode and fully validate a layered packet; [true] exactly when the
+    sequential per-layer reference accepts.  Steady state allocates
+    nothing. *)
+
+val run_window : plan -> off:int -> len:int -> string -> bool
+(** {!run} with both bounds required (no optional-argument boxing). *)
+
+(** {2 Registers and windows} *)
+
+type reg
+(** A resolved qualified field: reading it after an accepting {!run} costs
+    two array loads. *)
+
+val reg : plan -> string -> (reg, string) result
+(** Resolve ["layer.field"]; the field must have been in [compile]'s
+    [demand] list. *)
+
+val reg_get : plan -> reg -> int
+(** Register value from the last accepting {!run}, or [-1] when the
+    packet's variant case does not carry the field (field values are
+    always non-negative, so [-1] is unambiguous). *)
+
+val layer_count : plan -> int
+val layer_index : plan -> string -> int option
+val layer_fmt : plan -> int -> Desc.t
+
+val layer_off : plan -> int -> int
+(** Byte offset of layer [i]'s window in the last accepted packet. *)
+
+val layer_len : plan -> int -> int
+(** Byte length of layer [i]'s window in the last accepted packet. *)
+
+(** {1 Fused encode} *)
+
+val encode_into : plan -> ?off:int -> Bytes.t -> Value.t array -> (int, string) result
+(** [encode_into plan buf values] writes the chain (one {!Value.t} per
+    layer, outermost first; carrier payload fields are ignored and may be
+    omitted) into [buf] and returns its total length.  Headers are
+    written once at their final offsets; [Msg_len]-derived outer fields
+    are back-patched innermost-out with incremental checksum repair.
+    Checks that each carrier's demux field actually selects the next
+    layer. *)
+
+val encode : plan -> Value.t array -> (string, string) result
+
+val encode_seq : plan -> Value.t array -> (string, string) result
+(** The naive reference: encode innermost-first, re-carrying (and
+    re-copying) the grown payload through every enclosing layer's full
+    encoder.  Byte-for-byte equal to {!encode} — the property the tests
+    pin and experiment E17 prices. *)
+
+(** {1 Sequential reference decode}
+
+    Decode the chain the pre-stack way: one interpreted {!View.decode}
+    per layer, demux read through {!View.find_int}, the next window from
+    {!View.find_span}.  This is the semantic ground truth the fused plan
+    is diffed against, the naive baseline E17 measures, and the error
+    reporter for the CLI (layer-qualified reasons). *)
+
+module Seq : sig
+  type t
+
+  val create : plan -> t
+
+  val decode : t -> ?off:int -> ?len:int -> string -> (unit, string) result
+  (** [Error reason] names the failing layer: decode error, demux value
+      selecting no next layer, or a misaligned/truncated payload span. *)
+
+  val view : t -> int -> View.t
+  (** Layer [i]'s decoded view after an accepting {!decode}. *)
+
+  val layer_off : t -> int -> int
+  val layer_len : t -> int -> int
+end

@@ -916,6 +916,7 @@ module Hot = struct
     hsoff : int array; (* span bit offsets *)
     hslen : int array; (* span bit lengths *)
     hdemand : (string * int) array; (* demanded field -> register *)
+    hsdemand : (string * int) array; (* demanded span -> span slot *)
     helig : string list;
     mutable hbase : int; (* window start, bits *)
     mutable hbits : int; (* window length, bits *)
@@ -1019,9 +1020,10 @@ module Hot = struct
      2^60 can never make 63-bit arithmetic disagree with int64. *)
   let bound_limit = ldexp 1. 60
 
-  let compile ?(demand = []) (fmt : Desc.t) =
+  let compile ?(demand = []) ?(span_demand = []) (fmt : Desc.t) =
     let vn, sn = collect_refs fmt in
     let vn = List.sort_uniq compare (demand @ vn) in
+    let sn = List.sort_uniq compare (span_demand @ sn) in
     let ops = compile_fields ~vn ~sn [] fmt.Desc.fields in
     let nops = Array.length ops in
     let err = ref None in
@@ -1221,6 +1223,16 @@ module Hot = struct
             (name, -1))
         demand
     in
+    let span_demand_slots =
+      List.map
+        (fun name ->
+          match lookup_span ~before:nops name with
+          | Some slot -> (name, slot)
+          | None ->
+            fail_ (Printf.sprintf "demanded span %S is not extractable" name);
+            (name, -1))
+        span_demand
+    in
     match !err with
     | Some msg -> Result.Error msg
     | None ->
@@ -1234,6 +1246,7 @@ module Hot = struct
           hsoff = Array.make (max 1 !nspans) 0;
           hslen = Array.make (max 1 !nspans) 0;
           hdemand = Array.of_list demand_slots;
+          hsdemand = Array.of_list span_demand_slots;
           helig =
             List.filter_map
               (fun (op : op) -> if intish op then Some op.o_name else None)
@@ -1257,6 +1270,28 @@ module Hot = struct
     go 0
 
   let get h slot = Array.unsafe_get h.hregs slot
+
+  let span_slot h name =
+    let rec go i =
+      if i >= Array.length h.hsdemand then
+        invalid_arg (Printf.sprintf "View.Hot: span %S was not demanded" name)
+      else
+        let n, slot = h.hsdemand.(i) in
+        if String.equal n name then slot else go (i + 1)
+    in
+    go 0
+
+  (* Absolute bit offset/length (within the decoded string, not the
+     window) of a demanded span, from the last accepting [run]. *)
+  let span_off h slot = Array.unsafe_get h.hsoff slot
+  let span_len h slot = Array.unsafe_get h.hslen slot
+  let parse_end_bits h = h.hend
+
+  (* Raw scalar read used by the stack dispatcher to peek a variant tag
+     before choosing a per-case plan; bounds must be pre-checked. *)
+  let read_scalar (data : string) ~bit_off ~bits ~little =
+    let v = read_narrow data bit_off bits in
+    if little then bswap_int ~bits v else v
 
   (* Non-optional window variant: the fused per-packet path calls this so
      the call site allocates no [Some len]. *)

@@ -104,10 +104,14 @@ val extract_key : key_extractor -> ?off:int -> string -> int option
 module Hot : sig
   type t
 
-  val compile : ?demand:string list -> Desc.t -> (t, string) result
+  val compile :
+    ?demand:string list -> ?span_demand:string list -> Desc.t -> (t, string) result
   (** [compile ~demand fmt] lowers [fmt]; every name in [demand] must be a
       top-level scalar-ish field of at most 62 bits, extracted into a
-      register on every successful {!run}. *)
+      register on every successful {!run}.  Every name in [span_demand]
+      must be a top-level bytes-like field; its wire span (absolute bit
+      offset and length) is recorded on every successful {!run} — the
+      window arithmetic {!Stack} chains layers with. *)
 
   val run : t -> ?off:int -> ?len:int -> string -> bool
   (** Parse and fully validate one message; [true] exactly when
@@ -122,6 +126,23 @@ module Hot : sig
 
   val get : t -> int -> int
   (** Register value after a successful {!run}. *)
+
+  val span_slot : t -> string -> int
+  (** Span-slot index of a span-demanded field (resolve once at setup). *)
+
+  val span_off : t -> int -> int
+  (** Absolute bit offset (within the whole decoded string, not the
+      window) of a demanded span after a successful {!run}. *)
+
+  val span_len : t -> int -> int
+  (** Bit length of a demanded span after a successful {!run}. *)
+
+  val parse_end_bits : t -> int
+  (** Absolute bit position where the last successful {!run} stopped. *)
+
+  val read_scalar : string -> bit_off:int -> bits:int -> little:bool -> int
+  (** Raw fixed-offset scalar read ([bits] <= 62, bounds pre-checked by
+      the caller) — the stack dispatcher's variant-tag peek. *)
 
   val length_bytes : t -> int
   (** Byte length of the last {!run} window. *)

@@ -1,0 +1,77 @@
+(* The shipped parse graphs over the format catalogue.  A stack is data:
+   validation happens in [Stack.v], so a mistake here (bad demux field,
+   misplaced payload) would fail at module init — the test suite loads
+   this module, making the catalogue self-checking. *)
+
+open Netdsl_format
+
+let ok_exn = function Ok s -> s | Error e -> invalid_arg ("Stacks: " ^ e)
+
+let inet_tftp =
+  ok_exn
+    (Stack.v ~name:"inet_tftp"
+       [
+         Stack.layer
+           ~select:("ethertype", [ Int64.of_int Ethernet.ethertype_ipv4 ])
+           Ethernet.format;
+         Stack.layer
+           ~select:("protocol", [ Int64.of_int Ipv4.protocol_udp ])
+           Ipv4.format;
+         Stack.layer ~select:("dst_port", [ 69L ]) Udp.format;
+         Stack.layer Tftp.format;
+       ])
+
+let eth_arp =
+  ok_exn
+    (Stack.v ~name:"eth_arp"
+       [
+         Stack.layer
+           ~select:("ethertype", [ Int64.of_int Ethernet.ethertype_arp ])
+           Ethernet.format;
+         Stack.layer Arp.format;
+       ])
+
+let ipv4_icmp =
+  ok_exn
+    (Stack.v ~name:"ipv4_icmp"
+       [
+         Stack.layer
+           ~select:("protocol", [ Int64.of_int Ipv4.protocol_icmp ])
+           Ipv4.format;
+         Stack.layer Icmp.format;
+       ])
+
+let all =
+  [ ("inet_tftp", inet_tftp); ("eth_arp", eth_arp); ("ipv4_icmp", ipv4_icmp) ]
+
+let find name = List.assoc_opt name all
+
+(* Deterministic sample endpoints for corpus generation and tests. *)
+let mac_a = Ethernet.mac_of_string "02:00:00:00:00:0a"
+let mac_b = Ethernet.mac_of_string "02:00:00:00:00:0b"
+let ip_a = Ipv4.addr_of_string "192.0.2.1"
+let ip_b = Ipv4.addr_of_string "192.0.2.2"
+
+let inet_tftp_values ?(src_port = 50000) pkt =
+  [|
+    Ethernet.make ~dst:mac_b ~src:mac_a ~ethertype:Ethernet.ethertype_ipv4
+      ~payload:"";
+    Ipv4.make ~protocol:Ipv4.protocol_udp ~source:ip_a ~destination:ip_b
+      ~payload:"" ();
+    Udp.make ~src_port ~dst_port:69 ~payload:"" ();
+    Tftp.to_value pkt;
+  |]
+
+let eth_arp_values () =
+  [|
+    Ethernet.make ~dst:mac_b ~src:mac_a ~ethertype:Ethernet.ethertype_arp
+      ~payload:"";
+    Arp.request ~sender_mac:mac_a ~sender_ip:ip_a ~target_ip:ip_b;
+  |]
+
+let ipv4_icmp_values ?(data = "abcdefgh") () =
+  [|
+    Ipv4.make ~protocol:Ipv4.protocol_icmp ~source:ip_a ~destination:ip_b
+      ~payload:"" ();
+    Icmp.echo_request ~id:0x1234 ~seq:1 ~data;
+  |]

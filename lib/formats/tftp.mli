@@ -15,6 +15,10 @@ type packet =
 val equal_packet : packet -> packet -> bool
 val pp_packet : Format.formatter -> packet -> unit
 
+val to_value : packet -> Netdsl_format.Value.t
+(** The dynamic record {!to_bytes} encodes — also the innermost layer
+    value of the eth→ipv4→udp→tftp chain in {!Stacks}. *)
+
 val to_bytes : packet -> (string, Netdsl_format.Codec.error) result
 (** Fails when a filename/mode/message contains a NUL byte. *)
 

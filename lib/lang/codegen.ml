@@ -1,4 +1,5 @@
 module D = Netdsl_format.Desc
+module S = Netdsl_format.Stack
 module M = Netdsl_fsm.Machine
 
 let bpf = Printf.bprintf
@@ -156,6 +157,25 @@ let machine_binding buf name (m : M.t) =
     m.transitions;
   bpf buf "    ]\n\n"
 
+(* A parsed stack already validated, so [S.v] cannot fail on replay;
+   [Result.get_ok] keeps the generated binding a plain value. *)
+let stack_binding binding_of buf name (st : S.t) =
+  bpf buf "let %s : S.t =\n  Result.get_ok\n    (S.v ~name:%S\n       [\n" name (S.name st);
+  List.iteri
+    (fun i lname ->
+      let fmt : D.t = S.layer_format st i in
+      bpf buf "         S.layer ~name:%S%s%s %s;\n" lname
+        (match S.layer_select st i with
+        | None -> ""
+        | Some (f, vs) ->
+          Printf.sprintf " ~select:(%S, [ %s ])" f
+            (String.concat "; " (List.map (Printf.sprintf "%LdL") vs)))
+        (if String.equal (S.layer_via st i) "payload" then ""
+         else Printf.sprintf " ~via:%S" (S.layer_via st i))
+        (binding_of fmt))
+    (S.layer_names st);
+  bpf buf "       ])\n\n"
+
 let sanitize name =
   String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') name
 
@@ -163,6 +183,7 @@ let to_ocaml (p : Parser.program) =
   let buf = Buffer.create 4096 in
   bpf buf "(* Generated by the netdsl compiler — do not edit. *)\n";
   bpf buf "module D = Netdsl_format.Desc\n";
+  bpf buf "module S = Netdsl_format.Stack\n";
   bpf buf "module M = Netdsl_fsm.Machine\n\n";
   (* Formats are in definition order, so every reference points backwards
      and the bindings below resolve. *)
@@ -171,11 +192,17 @@ let to_ocaml (p : Parser.program) =
     (fun (name, fmt) -> format_binding binding_of buf ("format_" ^ sanitize name) fmt)
     p.formats;
   List.iter
+    (fun (name, st) -> stack_binding binding_of buf ("stack_" ^ sanitize name) st)
+    p.stacks;
+  List.iter
     (fun (name, m) -> machine_binding buf ("machine_" ^ sanitize name) m)
     p.machines;
   bpf buf "let formats : (string * D.t) list =\n  [ %s ]\n\n"
     (String.concat "; "
        (List.map (fun (n, _) -> Printf.sprintf "(%S, format_%s)" n (sanitize n)) p.formats));
+  bpf buf "let stacks : (string * S.t) list =\n  [ %s ]\n\n"
+    (String.concat "; "
+       (List.map (fun (n, _) -> Printf.sprintf "(%S, stack_%s)" n (sanitize n)) p.stacks));
   bpf buf "let machines : (string * M.t) list =\n  [ %s ]\n"
     (String.concat "; "
        (List.map (fun (n, _) -> Printf.sprintf "(%S, machine_%s)" n (sanitize n)) p.machines));

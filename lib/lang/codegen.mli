@@ -10,5 +10,6 @@
 
 val to_ocaml : Parser.program -> string
 (** A complete OCaml compilation unit.  Formats are bound as
-    [format_<name>] and machines as [machine_<name>]; a [formats] /
-    [machines] assoc list mirrors {!Parser.program}. *)
+    [format_<name>], stacks as [stack_<name>] and machines as
+    [machine_<name>]; [formats] / [stacks] / [machines] assoc lists mirror
+    {!Parser.program}. *)

@@ -1,11 +1,13 @@
 module D = Netdsl_format.Desc
 module Wf = Netdsl_format.Wf
+module S = Netdsl_format.Stack
 module M = Netdsl_fsm.Machine
 module L = Lexer
 
 type program = {
   formats : (string * D.t) list;
   machines : (string * M.t) list;
+  stacks : (string * S.t) list;
 }
 
 type error = { loc : Loc.t; message : string }
@@ -328,6 +330,54 @@ let parse_format s env =
   (name, fmt)
 
 (* ------------------------------------------------------------------ *)
+(* Stacks *)
+
+(* One layer:  fmt [as name] [select field (= v | in { v, v })] [via field] ;
+   The format must be defined earlier in the file, like any reference. *)
+let parse_stack_layer s env =
+  let floc = peek_loc s in
+  let fmt = lookup_format env floc (expect_ident s "a format name") in
+  let lname = if accept_kw s "as" then Some (expect_ident s "a layer name") else None in
+  let select =
+    if accept_kw s "select" then begin
+      let field = expect_ident s "a demux field name" in
+      if accept s L.EQ then Some (field, [ expect_int s "a demux value" ])
+      else if accept_kw s "in" then begin
+        expect s L.LBRACE "'{'";
+        let rec values acc =
+          let v = expect_int s "a demux value" in
+          if accept s L.COMMA then
+            if peek s = L.RBRACE then List.rev (v :: acc) (* trailing comma *)
+            else values (v :: acc)
+          else List.rev (v :: acc)
+        in
+        let vs = values [] in
+        expect s L.RBRACE "'}'";
+        Some (field, vs)
+      end
+      else
+        fail (peek_loc s) "expected '=' or 'in' after the demux field, found '%s'"
+          (L.token_to_string (peek s))
+    end
+    else None
+  in
+  let via = if accept_kw s "via" then Some (expect_ident s "the payload field name") else None in
+  expect s L.SEMI "';' after stack layer";
+  S.layer ?name:lname ?via ?select fmt
+
+let parse_stack s env =
+  let sloc = peek_loc s in
+  let name = expect_ident s "a stack name" in
+  expect s L.LBRACE "'{'";
+  let rec layers acc =
+    if accept s L.RBRACE then List.rev acc
+    else layers (parse_stack_layer s env :: acc)
+  in
+  match S.v ~name (layers []) with
+  | Ok st -> (name, st)
+  | Error e -> fail sloc "stack %s is not well-formed: %s" name e
+
+(* ------------------------------------------------------------------ *)
 (* Machines *)
 
 let rec parse_mexpr s = parse_madd s
@@ -587,7 +637,7 @@ let parse_machine s =
 (* Program *)
 
 let parse_program s =
-  let formats = ref [] and machines = ref [] in
+  let formats = ref [] and machines = ref [] and stacks = ref [] in
   let rec go () =
     match peek s with
     | L.EOF -> ()
@@ -604,12 +654,23 @@ let parse_program s =
         machines := (name, m) :: !machines;
         go ()
       end
+      else if accept_kw s "stack" then begin
+        let sloc = peek_loc s in
+        let name, st = parse_stack s (List.rev !formats) in
+        if List.mem_assoc name !stacks then fail sloc "duplicate stack name %S" name;
+        stacks := (name, st) :: !stacks;
+        go ()
+      end
       else
-        fail (peek_loc s) "expected 'format' or 'machine', found '%s'"
+        fail (peek_loc s) "expected 'format', 'machine' or 'stack', found '%s'"
           (L.token_to_string (peek s))
   in
   go ();
-  { formats = List.rev !formats; machines = List.rev !machines }
+  {
+    formats = List.rev !formats;
+    machines = List.rev !machines;
+    stacks = List.rev !stacks;
+  }
 
 let parse_string_exn src =
   let toks =
@@ -625,3 +686,4 @@ let parse_string src =
 
 let find_format p name = List.assoc_opt name p.formats
 let find_machine p name = List.assoc_opt name p.machines
+let find_stack p name = List.assoc_opt name p.stacks

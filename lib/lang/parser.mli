@@ -1,6 +1,7 @@
 (** Parser and elaborator for the [.ndsl] surface language.
 
-    A source file is a sequence of [format] and [machine] definitions:
+    A source file is a sequence of [format], [machine] and [stack]
+    definitions:
 
     {v
     // the paper's ARQ packet
@@ -25,16 +26,33 @@
     }
     v}
 
-    Formats elaborate to {!Netdsl_format.Desc.t} and machines to
-    {!Netdsl_fsm.Machine.t}; both are checked (well-formedness / structural
-    validation) as part of parsing, so a successfully parsed program is a
-    checked program — names resolve, widths fit, guards reference declared
-    registers.  Format references ([record]/array/variant bodies) must be
-    defined earlier in the file. *)
+    A [stack] names an ordered chain of earlier-defined formats — the
+    layered parse graph {!Netdsl_format.Stack} compiles into one fused
+    decode/encode plan.  Each layer is a format reference plus the demux
+    edge routing to the next layer, and optionally the payload field
+    carrying it ([via], default [payload]) and a layer alias ([as]):
+
+    {v
+    stack inet_tftp {
+      ethernet select ethertype = 0x0800;
+      ipv4     select protocol = 17;
+      udp      select dst_port in { 69 };
+      tftp;
+    }
+    v}
+
+    Formats elaborate to {!Netdsl_format.Desc.t}, machines to
+    {!Netdsl_fsm.Machine.t} and stacks to {!Netdsl_format.Stack.t}; all are
+    checked (well-formedness / structural validation) as part of parsing,
+    so a successfully parsed program is a checked program — names resolve,
+    widths fit, guards reference declared registers, demux fields exist and
+    fit.  Format references ([record]/array/variant bodies and stack
+    layers) must be defined earlier in the file. *)
 
 type program = {
   formats : (string * Netdsl_format.Desc.t) list;  (** definition order *)
   machines : (string * Netdsl_fsm.Machine.t) list;
+  stacks : (string * Netdsl_format.Stack.t) list;
 }
 
 type error = { loc : Loc.t; message : string }
@@ -48,3 +66,4 @@ val parse_string_exn : string -> program
 
 val find_format : program -> string -> Netdsl_format.Desc.t option
 val find_machine : program -> string -> Netdsl_fsm.Machine.t option
+val find_stack : program -> string -> Netdsl_format.Stack.t option

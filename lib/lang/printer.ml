@@ -1,4 +1,5 @@
 module D = Netdsl_format.Desc
+module S = Netdsl_format.Stack
 module M = Netdsl_fsm.Machine
 
 let bpf = Printf.bprintf
@@ -81,6 +82,29 @@ let format_to_ndsl (fmt : D.t) =
   bpf buf "}\n";
   Buffer.contents buf
 
+let stack_to_ndsl (st : S.t) =
+  let buf = Buffer.create 128 in
+  bpf buf "stack %s {\n" (S.name st);
+  List.iteri
+    (fun i lname ->
+      let fmt : D.t = S.layer_format st i in
+      bpf buf "  %s" fmt.format_name;
+      if not (String.equal lname fmt.format_name) then bpf buf " as %s" lname;
+      (match S.layer_select st i with
+      | None -> ()
+      | Some (field, [ v ]) -> bpf buf " select %s = %Ld" field v
+      | Some (field, vs) ->
+        bpf buf " select %s in { %s }" field
+          (String.concat ", " (List.map Int64.to_string vs)));
+      (match S.layer_select st i with
+      | Some _ when not (String.equal (S.layer_via st i) "payload") ->
+        bpf buf " via %s" (S.layer_via st i)
+      | _ -> ());
+      bpf buf ";\n")
+    (S.layer_names st);
+  bpf buf "}\n";
+  Buffer.contents buf
+
 let rec mexpr buf (e : M.expr) =
   match e with
   | Int n -> bpf buf "%d" n
@@ -140,6 +164,8 @@ let machine_to_ndsl (m : M.t) =
   Buffer.contents buf
 
 let program_to_ndsl (p : Parser.program) =
+  (* Formats first — stack layers must resolve against them on re-parse. *)
   String.concat "\n"
     (List.map (fun (_, fmt) -> format_to_ndsl fmt) p.formats
+    @ List.map (fun (_, st) -> stack_to_ndsl st) p.stacks
     @ List.map (fun (_, m) -> machine_to_ndsl m) p.machines)

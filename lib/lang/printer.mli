@@ -13,6 +13,10 @@ val format_to_ndsl : Netdsl_format.Desc.t -> string
 
 val machine_to_ndsl : Netdsl_fsm.Machine.t -> string
 
+val stack_to_ndsl : Netdsl_format.Stack.t -> string
+(** One [stack name { ... }] block.  The layer formats must be printed
+    before it (stack layers are format references). *)
+
 val program_to_ndsl : Parser.program -> string
-(** The whole program, formats before the machines, each sub-format before
-    its user. *)
+(** The whole program: formats, then stacks, then machines — each
+    sub-format before its user. *)

@@ -47,9 +47,9 @@ let client_socket () =
    meter sees only the server's own garbage) — and run [body] as the
    client.  The restart between phases doubles as a run-twice exercise
    of the server loop. *)
-let with_server ?mode ?machine ?config ~flight ~warmup ~count fmt body =
+let with_server ?mode ?machine ?config ?stack ~flight ~warmup ~count fmt body =
   match
-    Server.create ?config ?mode ?machine ~signals:false ~flight
+    Server.create ?config ?mode ?machine ?stack ~signals:false ~flight
       ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
       fmt
   with
@@ -149,12 +149,13 @@ let soak ?(mode = Pipeline.Fused) ?machine ?config ?warmup ~flight ~packets
             (count, !replies, !expected_n, !disagreements, !first, elapsed)))
   end
 
-let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?(window = 64)
-    ~flight ~packets ~count fmt =
+let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?stack
+    ?(window = 64) ~flight ~packets ~count fmt =
   if count < 2 then Error "loopback blast: count must be at least 2"
   else begin
     let warmup = default_warmup ?warmup count in
-    with_server ?config ~mode ?machine ~flight ~warmup ~count fmt (fun port ->
+    with_server ?config ~mode ?machine ?stack ~flight ~warmup ~count fmt
+      (fun port ->
         let addr =
           Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
         in

@@ -56,6 +56,7 @@ val blast :
   ?machine:Netdsl_fsm.Machine.t ->
   ?config:Netdsl_engine.Pipeline.config ->
   ?warmup:int ->
+  ?stack:Netdsl_format.Stack.t ->
   ?window:int ->
   flight:Netdsl_engine.Flight.spec ->
   packets:(int -> string) ->
@@ -67,4 +68,7 @@ val blast :
     here every [packets i] must be accepted and answered, or the run
     under-counts).  [replies/elapsed_s] is the socket-path packet rate;
     both domains share whatever cores the host has, which on a 1-core
-    box oversubscribes — callers report that caveat. *)
+    box oversubscribes — callers report that caveat.  [stack] serves a
+    layered chain through the fused plan (flight operands become
+    qualified ["layer.field"] names); [fmt] must then be the stack's
+    outermost format. *)

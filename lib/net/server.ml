@@ -147,7 +147,7 @@ let bind_listener ep =
             l_stats = Stats.create (); l_conns = [] })
 
 let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
-    ?machine ?(signals = true) ~flight ~listeners fmt =
+    ?stack ?machine ?(signals = true) ~flight ~listeners fmt =
   if listeners = [] then Error "no listeners given"
   else begin
     let stop = Atomic.make false in
@@ -185,7 +185,7 @@ let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
       let cur = ref No_sink in
       let txbuf = Bytes.create (config.Pipeline.slot_bytes + 2) in
       match
-        Pipeline.create ~config ~mode ~flight ?machine
+        Pipeline.create ~config ~mode ?stack ~flight ?machine
           ~on_reply:(fun buf len -> send_reply cur txbuf buf len)
           fmt
       with

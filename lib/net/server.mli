@@ -47,6 +47,7 @@ type t
 val create :
   ?config:Netdsl_engine.Pipeline.config ->
   ?mode:Netdsl_engine.Pipeline.mode ->
+  ?stack:Netdsl_format.Stack.t ->
   ?machine:Netdsl_fsm.Machine.t ->
   ?signals:bool ->
   flight:Netdsl_engine.Flight.spec ->
@@ -57,7 +58,13 @@ val create :
     — library embeddings and tests must not hijack process signals),
     then bind every listener.  [Error msg] — with every partial effect
     undone — on an empty listener list, an out-of-range port, an
-    unparseable host, or a socket/bind failure. *)
+    unparseable host, or a socket/bind failure.
+
+    [stack] serves a layered chain: the pipeline decodes each datagram
+    through the fused {!Netdsl_format.Stack} plan and the flight spec
+    (all fields ["layer.field"]-qualified) patches replies inside layer
+    windows — see {!Netdsl_engine.Pipeline.create}.  Requires
+    [~mode:Fused]; [fmt] should be the chain's outermost format. *)
 
 val run : ?max_packets:int -> ?duration:float -> t -> int
 (** Serve until a stop condition; returns the number of packets

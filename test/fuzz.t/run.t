@@ -25,7 +25,7 @@ the fired/refused split per machine:
   $ netdsl fuzz ping.ndsl --seed 7 --iters 2000
   format ping: 2016 mutants (58 accepted, 1958 rejected) — all paths agree
   machine pinger: 2001 traces, 17229 events (8314 fired, 8915 refused) — step = interp
-  fuzzed 1 format(s), 1 machine(s): no disagreements
+  fuzzed 1 format(s), 0 stack(s), 1 machine(s): no disagreements
 
 --iters 0 still pushes every corpus seed through the oracle and every
 mined behavioural trace through the step/interp lock-step:
@@ -33,7 +33,7 @@ mined behavioural trace through the step/interp lock-step:
   $ netdsl fuzz ping.ndsl --seed 7 --iters 0
   format ping: 16 mutants (16 accepted, 0 rejected) — all paths agree
   machine pinger: 1 traces, 4 events (4 fired, 0 refused) — step = interp
-  fuzzed 1 format(s), 1 machine(s): no disagreements
+  fuzzed 1 format(s), 0 stack(s), 1 machine(s): no disagreements
 
 The harness must be able to catch a real defect.  --plant-bug inverts
 the view's accept verdict; the fuzzer finds it on the very first corpus

@@ -1,0 +1,143 @@
+Layered stacks: an ordered chain of formats where a demux field of each
+carrier routes to the next layer and the trailing payload bytes carry
+it.  The CLI decodes, fuzzes and serves them through the fused plan
+compiled by lib/format/stack.ml.  A three-layer chain on the spot:
+
+  $ cat > stacked.ndsl <<'SPEC'
+  > format outer {
+  >   proto   : uint8 "Proto";
+  >   payload : bytes[..];
+  > }
+  > format mid {
+  >   kind : uint16 "Kind";
+  >   body : bytes[..];
+  > }
+  > format inner {
+  >   tag : const uint8 = 0x2a "Tag";
+  >   v   : uint8 "V";
+  > }
+  > stack demo {
+  >   outer select proto = 7;
+  >   mid as middle select kind in { 1, 2 } via body;
+  >   inner;
+  > }
+  > SPEC
+
+check reports the chain and proves it fuses:
+
+  $ netdsl check stacked.ndsl
+  format outer: ok (at least 8 bits)
+  format mid: ok (at least 16 bits)
+  format inner: ok (exactly 16 bits)
+  stack demo: ok (3 layers: outer -> middle -> inner)
+
+The canonical printer round-trips stack declarations:
+
+  $ netdsl print stacked.ndsl | sed -n '/^stack/,$p'
+  stack demo {
+    outer select proto = 7;
+    mid as middle select kind in { 1, 2 } via body;
+    inner;
+  }
+
+Chained decode walks every layer and prints each one's fields with its
+byte window (outer proto 7 -> middle kind 1 -> inner tag 0x2a, v 5):
+
+  $ netdsl decode stacked.ndsl --stack demo 0700012a05
+  -- outer (outer) bytes [0, 5) --
+  {proto = 7; payload = 0x00012a05}
+  -- middle (mid) bytes [1, 5) --
+  {kind = 1; body = 0x2a05}
+  -- inner (inner) bytes [3, 5) --
+  {tag = 42; v = 5}
+
+  $ netdsl decode stacked.ndsl --stack demo 0700012a05 --json
+  { "outer": {"proto":7,"payload":"hex:00012a05"}, "middle": {"kind":1,"body":"hex:2a05"}, "inner": {"tag":42,"v":5} }
+
+A demux mismatch is a clear exit-1 failure naming the layer whose edge
+selects no next format:
+
+  $ netdsl decode stacked.ndsl --stack demo 0600012a05
+  netdsl: invalid layered packet: layer outer: proto = 6 selects no next layer
+  [1]
+
+  $ netdsl decode stacked.ndsl --stack demo 0700032a05
+  netdsl: invalid layered packet: layer middle: kind = 3 selects no next layer
+  [1]
+
+So is an inner header truncated by the outer payload, or an inner
+constant smashed under a perfectly valid carrier:
+
+  $ netdsl decode stacked.ndsl --stack demo 0700012a
+  netdsl: invalid layered packet: layer inner: v: truncated input: need 8 bits, have 0
+  [1]
+
+  $ netdsl decode stacked.ndsl --stack demo 070001ff05
+  netdsl: invalid layered packet: layer inner: tag: constant mismatch: expected 42, found 255
+  [1]
+
+An unknown stack name lists what the file defines:
+
+  $ netdsl decode stacked.ndsl --stack nope 0700012a05
+  no stack named "nope" (have: demo)
+  [1]
+
+Fuzzing a stack diffs the fused chained decode against the sequential
+per-layer reference on every cross-layer mutant (--stack selects just
+this target):
+
+  $ netdsl fuzz stacked.ndsl --stack demo --seed 7 --iters 500
+  stack demo: 504 mutants (29 chained, 475 rejected) — fused = sequential
+  fuzzed 0 format(s), 1 stack(s), 0 machine(s): no disagreements
+
+The chain leg must be able to catch a real defect: --plant-bug inverts
+the fused chain's accept verdict (a flipped chained bounds check) and
+the oracle reports it on the very first chained seed:
+
+  $ netdsl fuzz stacked.ndsl --stack demo --seed 7 --iters 50 --plant-bug
+  FUZZ DISAGREEMENT (wire)
+  format: demo
+  seed: 7
+  check: chain
+  seed-packet: 0700012a86
+  input: 0700012a00 (5 bytes)
+  detail: fused chain rejects a packet the sequential decode accepts
+  netdsl: fuzzing found a disagreement
+  [1]
+
+Serving a stack is fused-only — the staged pipeline has no chained
+tier, so the combination is refused before any socket is bound:
+
+  $ netdsl serve stacked.ndsl --stack demo --mode staged --udp 0
+  netdsl: --stack serves through the fused chain only (drop --mode staged)
+  [1]
+
+Patches on a stacked server are qualified layer.field names, validated
+against the owning layer's format before binding:
+
+  $ netdsl serve stacked.ndsl --stack demo --udp 0 --patch v=9
+  netdsl: --patch "v": patches on a stack are qualified "layer.field" (layers: outer, middle, inner)
+  [1]
+
+  $ netdsl serve stacked.ndsl --stack demo --udp 0 --patch nope.v=9
+  netdsl: unknown layer "nope" in --patch (have: outer, middle, inner)
+  [1]
+
+  $ netdsl serve stacked.ndsl --stack demo --udp 0 --patch inner.zz=9
+  netdsl: unknown field "zz" in layer inner (have: tag, v)
+  [1]
+
+The green path binds, reports the chain it serves, and exits after zero
+packets:
+
+  $ netdsl serve stacked.ndsl --stack demo --udp 0 --max-packets 0 --patch inner.v=9 | sed -E 's/127\.0\.0\.1:[0-9]+/127.0.0.1:PORT/'
+  serving stack demo (outer -> middle -> inner) on udp 127.0.0.1:PORT (fused mode)
+  processed 0 packet(s)
+  udp 127.0.0.1:PORT
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+  stage         packets          bytes   rejects       mean     ~p50     ~p99
+  decode              0              0         0        0ns      0ns      0ns
+  verify              0              0         0        0ns      0ns      0ns
+  step                0              0         0        0ns      0ns      0ns
+  encode              0              0         0        0ns      0ns      0ns

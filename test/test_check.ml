@@ -163,6 +163,87 @@ let shrink_list () =
   let shrunk = Ck.Shrink.list holds [ 1; 2; 3; 7; 9; 11; 13 ] in
   Alcotest.(check (list int)) "minimal witness" [ 7 ] shrunk
 
+(* The chained-decode leg: a quick cross-layer fuzz over every catalogue
+   stack must find zero disagreements between the fused chain and the
+   sequential per-layer decode. *)
+let chain_golden name =
+  Ck.Corpus.load_hex_file ("corpus/" ^ name ^ "-chain-valid.hex")
+  @ Ck.Corpus.load_hex_file ("corpus/" ^ name ^ "-chain-malformed.hex")
+
+(* Committed chained goldens: every valid sample must decode through both
+   the fused chain and the sequential reference, every malformed one must
+   be rejected by both. *)
+let chain_golden_case (name, stack) =
+  Alcotest.test_case name `Quick (fun () ->
+      let plan = Result.get_ok (Netdsl_format.Stack.compile stack) in
+      let seq = Netdsl_format.Stack.Seq.create plan in
+      let verdict pkt = (Netdsl_format.Stack.run plan pkt,
+                         Result.is_ok (Netdsl_format.Stack.Seq.decode seq pkt)) in
+      List.iter
+        (fun pkt ->
+          match verdict pkt with
+          | true, true -> ()
+          | f, s ->
+            Alcotest.failf "valid chained golden rejected (fused %b, seq %b)" f s)
+        (Ck.Corpus.load_hex_file ("corpus/" ^ name ^ "-chain-valid.hex"));
+      List.iter
+        (fun pkt ->
+          match verdict pkt with
+          | false, false -> ()
+          | f, s ->
+            Alcotest.failf "malformed chained golden accepted (fused %b, seq %b)"
+              f s)
+        (Ck.Corpus.load_hex_file ("corpus/" ^ name ^ "-chain-malformed.hex")))
+
+let chain_fuzz_case (name, stack) =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        Ck.Fuzz.run_stack ~golden:(chain_golden name) ~seed ~iters:400
+          (name, stack)
+      with
+      | Error r -> fail_report r
+      | Ok stats ->
+        if stats.Ck.Fuzz.cs_mutants < 400 then
+          Alcotest.failf "only %d mutants checked" stats.Ck.Fuzz.cs_mutants;
+        if stats.Ck.Fuzz.cs_accepted = 0 then
+          Alcotest.failf "no mutant ever chain-decoded on %s — the fuzz is vacuous"
+            name;
+        if stats.Ck.Fuzz.cs_accepted + stats.Ck.Fuzz.cs_rejected
+           <> stats.Ck.Fuzz.cs_mutants
+        then Alcotest.fail "accept/reject split does not sum to total")
+
+(* Planted chain bug: inverting the fused chain's accept verdict — a
+   deliberately flipped chained bounds check — must be caught by the
+   "chain" comparison and shrunk, on the very first golden seed. *)
+let planted_chain_bug () =
+  match
+    Ck.Fuzz.run_stack ~bug:Ck.Oracle.Invert_chain_accept ~seed ~iters:50
+      ("inet_tftp", Fm.Stacks.inet_tftp)
+  with
+  | Ok _ -> Alcotest.fail "planted chain bug not caught"
+  | Error (Ck.Report.Trace _) -> Alcotest.fail "chain bug reported as trace"
+  | Error (Ck.Report.Wire { w_check; w_format; _ }) ->
+    Alcotest.(check string) "caught by the chain leg" "chain" w_check;
+    Alcotest.(check string) "against the right stack" "inet_tftp" w_format
+
+let chain_seeds_decode () =
+  List.iter
+    (fun (name, stack) ->
+      let seeds = Ck.Corpus.stack_seeds stack in
+      if seeds = [] then Alcotest.failf "no chained seeds for %s" name;
+      let plan = Result.get_ok (Netdsl_format.Stack.compile stack) in
+      let seq = Netdsl_format.Stack.Seq.create plan in
+      List.iter
+        (fun pkt ->
+          if not (Netdsl_format.Stack.run plan pkt) then
+            Alcotest.failf "fused chain rejects a %s corpus seed" name;
+          match Netdsl_format.Stack.Seq.decode seq pkt with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "sequential decode rejects a %s corpus seed: %s" name e)
+        seeds)
+    Fm.Stacks.all
+
 (* Step vs Interp lock-step over every shipped machine. *)
 let trace_case (name, m) =
   Alcotest.test_case name `Quick (fun () ->
@@ -198,4 +279,9 @@ let suite =
         Alcotest.test_case "shrink list" `Quick shrink_list;
         Alcotest.test_case "planted trace bug caught+shrunk" `Quick
           planted_trace_bug ] );
+    ("check.chain_golden", List.map chain_golden_case Fm.Stacks.all);
+    ("check.chain", List.map chain_fuzz_case Fm.Stacks.all);
+    ( "check.chain_self",
+      [ Alcotest.test_case "chained corpus seeds decode" `Quick chain_seeds_decode;
+        Alcotest.test_case "planted chain bug caught" `Quick planted_chain_bug ] );
     ("check.trace", List.map trace_case Netdsl_proto.Machines.all) ]

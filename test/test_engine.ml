@@ -721,6 +721,144 @@ let pipeline_slab_driven_both_modes () =
     [ Pipeline.Staged; Pipeline.Fused ]
 
 (* ------------------------------------------------------------------ *)
+(* Stack pipelines: layered chains through the fused engine *)
+
+module FF = Netdsl_format
+
+let inet_tftp_plan =
+  lazy
+    (match FF.Stack.compile Fm.Stacks.inet_tftp with
+    | Ok p -> p
+    | Error e -> failwith e)
+
+let tftp_chain ?src_port pkt =
+  match
+    FF.Stack.encode (Lazy.force inet_tftp_plan)
+      (Fm.Stacks.inet_tftp_values ?src_port pkt)
+  with
+  | Ok s -> s
+  | Error e -> failwith e
+
+(* The TFTP responder over the 4-layer chain as a stacked flight: answer
+   an ACK with the same datagram, UDP ports and IPv4 addresses swapped
+   (the IPv4 checksum is repaired incrementally), keyed by client port.
+   Operand registers read the *request's* run, so the two swap patches
+   cannot see each other. *)
+let stack_flight =
+  Flight.spec
+    ~verify:(Flight.Cmp (Flight.Le, Flight.Field "tftp.opcode", Flight.Const 5L))
+    ~flow_key:"udp.src_port"
+    ~respond:
+      [ { Flight.re_when =
+            Flight.Cmp (Flight.Eq, Flight.Field "tftp.opcode", Flight.Const 4L);
+          re_set =
+            [ { Flight.set_field = "udp.dst_port";
+                set_to = Flight.Field "udp.src_port" };
+              { Flight.set_field = "udp.src_port"; set_to = Flight.Const 69L };
+              { Flight.set_field = "ipv4.source";
+                set_to = Flight.Field "ipv4.destination" };
+              { Flight.set_field = "ipv4.destination";
+                set_to = Flight.Field "ipv4.source" } ] } ]
+    ()
+
+let stack_pipeline_serves_chain () =
+  let replies = ref [] in
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~stack:Fm.Stacks.inet_tftp
+      ~flight:stack_flight
+      ~on_response:(fun s -> replies := s :: !replies)
+      Fm.Ethernet.format
+  in
+  check_bool "stacked tier" true (Pipeline.flight_tier p = Some `Stacked);
+  let ack = tftp_chain ~src_port:50000 (Fm.Tftp.Ack { block = 7 }) in
+  check_bool "ack accepted" true (Pipeline.process p ack = Pipeline.Accepted);
+  (* a read request is accepted but matches no respond rule *)
+  let rrq = tftp_chain (Fm.Tftp.Rrq { filename = "f"; mode = "octet" }) in
+  check_bool "rrq passes through" true
+    (Pipeline.process p rrq = Pipeline.Accepted);
+  match !replies with
+  | [ reply ] ->
+    check_int "same length" (String.length ack) (String.length reply);
+    (* fixed layout: eth 14 B, ipv4 20 B (no options) — addresses at
+       26/30, UDP ports at 34/36, IPv4 checksum at 24 *)
+    let u16 s i = (Char.code s.[i] lsl 8) lor Char.code s.[i + 1] in
+    check_int "reply source port is 69" 69 (u16 reply 34);
+    check_int "reply destination is the client port" 50000 (u16 reply 36);
+    check_bool "addresses swapped" true
+      (String.sub reply 26 4 = String.sub ack 30 4
+      && String.sub reply 30 4 = String.sub ack 26 4);
+    check_int "ipv4 checksum repaired" 0
+      (Netdsl_util.Checksum.internet_checksum ~off:14 ~len:20 reply);
+    String.iteri
+      (fun i c ->
+        (* every byte outside the four patched fields and the repaired
+           checksum must be the request's *)
+        let patched = i >= 24 && i < 38 in
+        if (not patched) && c <> ack.[i] then
+          Alcotest.failf "reply byte %d changed unexpectedly" i)
+      reply
+  | l -> Alcotest.failf "expected one reply, got %d" (List.length l)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let stack_pipeline_red_paths () =
+  (match
+     Pipeline.create ~mode:Pipeline.Fused ~stack:Fm.Stacks.inet_tftp
+       Fm.Ethernet.format
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stack without flight accepted");
+  (match
+     Pipeline.create ~stack:Fm.Stacks.inet_tftp ~flight:(Flight.spec ())
+       Fm.Ethernet.format
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "staged stack pipeline accepted");
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~stack:Fm.Stacks.inet_tftp
+      ~flight:(Flight.spec ()) Fm.Ethernet.format
+  in
+  let ack = Bytes.of_string (tftp_chain (Fm.Tftp.Ack { block = 1 })) in
+  (* ethertype := ARP — the chain's first demux edge must refuse, and the
+     recovered error detail must name the failing layer *)
+  Bytes.set ack 12 '\x08';
+  Bytes.set ack 13 '\x06';
+  match Pipeline.process p (Bytes.to_string ack) with
+  | Pipeline.Rejected_decode (FF.Codec.Eval_error { reason; _ }) ->
+    check_bool
+      (Printf.sprintf "reason names the layer (%s)" reason)
+      true (contains_sub reason "ethernet")
+  | o -> Alcotest.failf "expected layered decode reject, got %s" (outcome_tag o)
+
+let stack_pipeline_zero_alloc () =
+  let replies = ref 0 in
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~stack:Fm.Stacks.inet_tftp
+      ~flight:stack_flight
+      ~on_reply:(fun _ _ -> incr replies)
+      Fm.Ethernet.format
+  in
+  let ack = Bytes.of_string (tftp_chain (Fm.Tftp.Ack { block = 3 })) in
+  let len = Bytes.length ack in
+  for _ = 1 to 100 do
+    (* warm-up: sizes the reply buffer *)
+    ignore (Pipeline.process_buffer p ack ~len)
+  done;
+  let n = 10_000 in
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    ignore (Pipeline.process_buffer p ack ~len)
+  done;
+  let per_pkt = (Gc.allocated_bytes () -. before) /. float_of_int n in
+  check_bool
+    (Printf.sprintf "steady state allocates nothing (%.3f B/pkt)" per_pkt)
+    true (per_pkt < 1.0);
+  check_int "every ack answered" (100 + n) !replies
+
+(* ------------------------------------------------------------------ *)
 (* Shard *)
 
 let shard_all_packets_one_worker_per_flow () =
@@ -853,6 +991,13 @@ let suite =
           reply_buf_high_water_reset;
         Alcotest.test_case "slab-driven run, both modes" `Quick
           pipeline_slab_driven_both_modes ] );
+    ( "engine.stack",
+      [ Alcotest.test_case "stacked chain responder" `Quick
+          stack_pipeline_serves_chain;
+        Alcotest.test_case "stack misuse + layered error detail" `Quick
+          stack_pipeline_red_paths;
+        Alcotest.test_case "steady state allocation-free" `Quick
+          stack_pipeline_zero_alloc ] );
     ( "engine.shard",
       [ Alcotest.test_case "shards cover all packets" `Quick
           shard_all_packets_one_worker_per_flow;

@@ -333,6 +333,84 @@ let test_codegen_roundtrip_through_parser () =
       "destination"; "options"; "payload" ]
 
 (* ------------------------------------------------------------------ *)
+(* Stacks *)
+
+let stack_src =
+  {|
+  format a { tag : uint8; payload : bytes[..]; }
+  format b { kind : uint16; body : bytes[..]; }
+  format c { x : uint8; }
+  stack abc {
+    a select tag = 1;
+    b as mid select kind in { 2, 3 } via body;
+    c;
+  }
+  |}
+
+let test_parse_stack () =
+  let p = parse_ok stack_src in
+  let st = Option.get (Parser.find_stack p "abc") in
+  let module S = Netdsl_format.Stack in
+  Alcotest.(check (list string)) "layer names" [ "a"; "mid"; "c" ] (S.layer_names st);
+  check_str "via" "body" (S.layer_via st 1);
+  (match S.layer_select st 0 with
+  | Some ("tag", [ 1L ]) -> ()
+  | _ -> Alcotest.fail "layer 0 select");
+  (match S.layer_select st 1 with
+  | Some ("kind", [ 2L; 3L ]) -> ()
+  | _ -> Alcotest.fail "layer 1 select");
+  check_bool "terminal has no select" true (S.layer_select st 2 = None);
+  (* The parsed stack compiles and routes a real chained packet. *)
+  let plan = Result.get_ok (S.compile st) in
+  check_bool "accepts chain" true (S.run plan "\x01\x00\x02\x2a");
+  check_bool "demux alternative" true (S.run plan "\x01\x00\x03\x2a");
+  check_bool "wrong outer demux" false (S.run plan "\x02\x00\x02\x2a");
+  check_bool "wrong inner demux" false (S.run plan "\x01\x00\x04\x2a");
+  check_bool "truncated inner" false (S.run plan "\x01\x00\x02")
+
+let test_stack_errors () =
+  let e = parse_err {| stack s { nope select t = 1; also_nope; } |} in
+  check_bool "unknown format" true (Testutil.contains e.Parser.message "unknown format");
+  let e2 =
+    parse_err
+      {| format a { tag : uint8; payload : bytes[..]; }
+         format c { x : uint8; }
+         stack s { a; c; } |}
+  in
+  check_bool "missing demux" true (Testutil.contains e2.Parser.message "demux");
+  let e3 =
+    parse_err
+      {| format a { tag : uint8; payload : bytes[..]; }
+         format c { x : uint8; }
+         stack s { a select tag = 1; c; }
+         stack s { a select tag = 2; c; } |}
+  in
+  check_bool "duplicate stack" true (Testutil.contains e3.Parser.message "duplicate stack");
+  let e4 =
+    parse_err
+      {| format a { tag : uint8; payload : bytes[..]; }
+         stack s { a select tag; a2; } |}
+  in
+  check_bool "select needs = or in" true (Testutil.contains e4.Parser.message "expected '=' or 'in'")
+
+let test_stack_codegen () =
+  let p = parse_ok stack_src in
+  let code = Codegen.to_ocaml p in
+  List.iter
+    (fun fragment ->
+      check_bool (Printf.sprintf "contains %s" fragment) true
+        (Testutil.contains code fragment))
+    [
+      "module S = Netdsl_format.Stack";
+      "let stack_abc : S.t";
+      "S.v ~name:\"abc\"";
+      "S.layer ~name:\"a\" ~select:(\"tag\", [ 1L ]) format_a";
+      "S.layer ~name:\"mid\" ~select:(\"kind\", [ 2L; 3L ]) ~via:\"body\" format_b";
+      "S.layer ~name:\"c\" format_c";
+      "let stacks : (string * S.t) list";
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: DSL-defined protocol spec is analysable and model-checkable *)
 
 let test_dsl_machine_analysable () =
@@ -376,6 +454,12 @@ let suite =
         Alcotest.test_case "structure" `Quick test_codegen_structure;
         Alcotest.test_case "covers all fields" `Quick test_codegen_roundtrip_through_parser;
       ] );
+    ( "lang.stacks",
+      [
+        Alcotest.test_case "parse, compile, route" `Quick test_parse_stack;
+        Alcotest.test_case "errors" `Quick test_stack_errors;
+        Alcotest.test_case "codegen" `Quick test_stack_codegen;
+      ] );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -400,11 +484,17 @@ let reparses_identically src =
       (fun (n1, m1) (n2, m2) ->
         check_str "machine name" n1 n2;
         check_bool (Printf.sprintf "machine %s identical" n1) true (m1 = m2))
-      p.Parser.machines p'.Parser.machines
+      p.Parser.machines p'.Parser.machines;
+    List.iter2
+      (fun (n1, s1) (n2, s2) ->
+        check_str "stack name" n1 n2;
+        check_bool (Printf.sprintf "stack %s identical" n1) true (s1 = s2))
+      p.Parser.stacks p'.Parser.stacks
 
 let test_print_parse_roundtrip_arq () = reparses_identically arq_src
 let test_print_parse_roundtrip_ipv4 () = reparses_identically ipv4_src
 let test_print_parse_roundtrip_machine () = reparses_identically sender_src
+let test_print_parse_roundtrip_stack () = reparses_identically stack_src
 
 let test_print_parse_roundtrip_rich () =
   reparses_identically
@@ -441,6 +531,7 @@ let printer_suite =
       Alcotest.test_case "roundtrip: ipv4" `Quick test_print_parse_roundtrip_ipv4;
       Alcotest.test_case "roundtrip: machine" `Quick test_print_parse_roundtrip_machine;
       Alcotest.test_case "roundtrip: rich program" `Quick test_print_parse_roundtrip_rich;
+      Alcotest.test_case "roundtrip: stack" `Quick test_print_parse_roundtrip_stack;
     ] )
 
 let suite = suite @ [ printer_suite ]
@@ -512,7 +603,34 @@ let test_specs_parse_and_check () =
             Alcotest.(check (list string)) (name ^ " machine defects") []
               (List.map (fun d -> d.M.what) (M.validate m)))
           p.Parser.machines)
-    [ "arq.ndsl"; "ipv4.ndsl"; "sensor.ndsl"; "abp.ndsl"; "tftp.ndsl" ]
+    [ "arq.ndsl"; "ipv4.ndsl"; "sensor.ndsl"; "abp.ndsl"; "tftp.ndsl"; "stacks.ndsl" ]
+
+let test_stacks_spec_compiles () =
+  (* Every stack in the shipped spec lowers to a fused plan, and the
+     four-layer chain accepts a packet built by the library catalogue
+     (specs/stacks.ndsl mirrors lib/formats wire layouts). *)
+  match find_spec "stacks.ndsl" with
+  | None -> ()
+  | Some path ->
+    let module S = Netdsl_format.Stack in
+    let p = parse_ok (read_file path) in
+    check_int "three stacks" 3 (List.length p.Parser.stacks);
+    List.iter
+      (fun (name, st) ->
+        match S.compile st with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "stack %s does not compile: %s" name e)
+      p.Parser.stacks;
+    let st = Option.get (Parser.find_stack p "inet_tftp") in
+    let plan = Result.get_ok (S.compile st) in
+    let lib_plan = Result.get_ok (S.compile Netdsl_formats.Stacks.inet_tftp) in
+    let pkt =
+      Result.get_ok
+        (S.encode lib_plan
+           (Netdsl_formats.Stacks.inet_tftp_values
+              (Netdsl_formats.Tftp.Ack { block = 1 })))
+    in
+    check_bool "spec stack accepts library chain" true (S.run plan pkt)
 
 let spec_suite =
   ( "lang.specs",
@@ -520,6 +638,7 @@ let spec_suite =
       Alcotest.test_case "ABP spec equivalent to library" `Quick test_abp_spec_machines_equivalent;
       Alcotest.test_case "ABP spec verifies" `Quick test_abp_spec_verifies;
       Alcotest.test_case "all shipped specs valid" `Quick test_specs_parse_and_check;
+      Alcotest.test_case "stacks spec compiles and routes" `Quick test_stacks_spec_compiles;
     ] )
 
 let suite = suite @ [ spec_suite ]

@@ -310,6 +310,86 @@ let create_red_paths () =
           (mk [ Server.Tcp { host = "127.0.0.1"; port } ]))
 
 (* ------------------------------------------------------------------ *)
+(* serving a layered chain *)
+
+(* A chained TFTP request over real UDP: the server decodes the whole
+   eth -> ipv4 -> udp -> tftp chain through the fused plan, verifies on
+   an inner register, keys flows on the UDP layer and answers with the
+   IPv4 TTL patched inside its recorded layer window — which drags the
+   header checksum along incrementally (RFC 1624), so the reply is still
+   a valid chain.  A packet whose outer demux lies never produces a
+   datagram. *)
+let stacked_serve_chained_tftp () =
+  let module Stack = Netdsl_format.Stack in
+  let stack = Fm.Stacks.inet_tftp in
+  let req =
+    match Corpus.stack_seeds stack with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "no chained seeds for inet_tftp"
+  in
+  let plan = Result.get_ok (Stack.compile stack) in
+  let seq = Stack.Seq.create plan in
+  (match Stack.Seq.decode seq req with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chained seed does not decode: %s" e);
+  let broken_demux =
+    (* ethertype (bytes 12-13 of the ethernet header) no longer selects
+       the ipv4 edge: the chain rejects, the socket stays silent *)
+    let b = Bytes.of_string req in
+    Bytes.set b 13 '\x01';
+    Bytes.to_string b
+  in
+  let flight =
+    Flight.spec
+      ~verify:(Flight.Cmp (Flight.Lt, Flight.Field "tftp.opcode", Flight.Const 6L))
+      ~flow_key:"udp.src_port"
+      ~respond:
+        [ { Flight.re_when = All [];
+            re_set = [ { Flight.set_field = "ipv4.ttl"; set_to = Flight.Const 7L } ] } ]
+      ()
+  in
+  match
+    Server.create ~mode:Pipeline.Fused ~signals:false ~stack ~flight
+      ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+      (Stack.layer_format stack 0)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Server.close srv)
+      (fun () ->
+        let port = Option.get (Server.udp_port srv) in
+        let dom = Domain.spawn (fun () -> Server.run ~max_packets:2 srv) in
+        let fd = udp_client () in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            send fd port broken_demux;
+            send fd port req;
+            (match recv_timeout fd with
+            | None -> Alcotest.fail "no reply to the chained request"
+            | Some reply ->
+              check_int "reply keeps the chained length" (String.length req)
+                (String.length reply);
+              (match Stack.Seq.decode seq reply with
+              | Error e -> Alcotest.failf "reply does not chain-decode: %s" e
+              | Ok () ->
+                check_int "ttl patched inside the ipv4 window" 7
+                  (Int64.to_int
+                     (Netdsl_format.View.get_int (Stack.Seq.view seq 1) "ttl"));
+                let tftp_off = Stack.Seq.layer_off seq 3 in
+                let tftp_len = Stack.Seq.layer_len seq 3 in
+                check_string "tftp window untouched"
+                  (String.sub req tftp_off tftp_len)
+                  (String.sub reply tftp_off tftp_len)));
+            check_bool "no reply to the broken chain" true
+              (recv_timeout ~timeout:0.1 fd = None);
+            check_int "both processed" 2 (Domain.join dom);
+            let st = Server.net_stats srv in
+            check_int "rx counted" 2 st.Nstats.rx_pkts;
+            check_int "one reply sent" 1 st.Nstats.tx_pkts))
+
+(* ------------------------------------------------------------------ *)
 (* the socket oracle leg *)
 
 (* 5k structure-aware mutants (1 in 4 packets mutated) through a real
@@ -356,6 +436,8 @@ let suite =
         Alcotest.test_case "shutdown drains in-flight" `Quick
           shutdown_drains_in_flight;
         Alcotest.test_case "tcp framed round trip" `Quick tcp_roundtrip_framed;
+        Alcotest.test_case "chained tftp served through the fused stack" `Quick
+          stacked_serve_chained_tftp;
         Alcotest.test_case "create red paths" `Quick create_red_paths ] );
     ( "net.loopback",
       [ Alcotest.test_case "5k-mutant socket soak agrees with memory" `Quick

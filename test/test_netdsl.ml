@@ -13,6 +13,7 @@ let () =
          Test_lang.suite;
          Test_view.suite;
          Test_emit.suite;
+         Test_stack.suite;
          Test_engine.suite;
          Test_check.suite;
          Test_net.suite;
