@@ -724,7 +724,8 @@ let e11 () =
   (* -- sharded pipeline scaling -- *)
   Printf.printf
     "\n(b) sharded pipeline (ARQ 256B, key = seq): 1 / 2 / 4 worker domains\n";
-  Printf.printf "  %-10s %14s %12s\n" "workers" "pkts/s" "vs 1 worker";
+  Printf.printf "  %-10s %14s %14s %12s\n" "workers" "pkts/s" "steer ns/pkt"
+    "vs 1 worker";
   let shard_pool = arq_pool 256 in
   let shard_mask = Array.length shard_pool - 1 in
   let shard_n = if !quick then 20_000 else 200_000 in
@@ -743,28 +744,34 @@ let e11 () =
         | Error e -> failwith e
         | Ok shard ->
           Engine.Shard.start shard;
-          let dt =
+          let feed_dt =
             time_loop shard_n (fun i ->
                 ignore (Engine.Shard.feed shard shard_pool.(i land shard_mask)))
           in
           let t0 = Unix.gettimeofday () in
           Engine.Shard.drain shard;
-          let dt = dt +. (Unix.gettimeofday () -. t0) in
+          let dt = feed_dt +. (Unix.gettimeofday () -. t0) in
           let packets, _, rejects = Engine.Stats.totals (Engine.Shard.stats shard) in
           assert (packets = shard_n && rejects = 0);
-          (workers, float_of_int shard_n /. dt))
+          (* the feed loop IS the steering stage: hash + route + blit +
+             publish, plus any backpressure spin when workers lag *)
+          let steer_ns = feed_dt *. 1e9 /. float_of_int shard_n in
+          (workers, float_of_int shard_n /. dt, steer_ns))
       [ 1; 2; 4 ]
   in
-  let base = match shard_rows with (_, r) :: _ -> r | [] -> 1.0 in
+  let base = match shard_rows with (_, r, _) :: _ -> r | [] -> 1.0 in
   (* Honesty: a ratio against the 1-worker row only measures parallel
      speedup when the workers actually have cores to run on.  A row with
      more workers than cores is oversubscribed — print and record that
      instead of a misleading scaling number. *)
   List.iter
-    (fun (w, rate) ->
+    (fun (w, rate, steer_ns) ->
       if w > cores then
-        Printf.printf "  %-10d %14.0f %12s\n" w rate "oversubscribed"
-      else Printf.printf "  %-10d %14.0f %11.2fx\n" w rate (rate /. base))
+        Printf.printf "  %-10d %14.0f %14.1f %12s\n" w rate steer_ns
+          "oversubscribed"
+      else
+        Printf.printf "  %-10d %14.0f %14.1f %11.2fx\n" w rate steer_ns
+          (rate /. base))
     shard_rows;
   if cores < 4 then
     Printf.printf
@@ -793,14 +800,15 @@ let e11 () =
   Printf.bprintf buf "  \"sharded_skipped\": %b,\n" (cores = 1);
   Buffer.add_string buf "  \"sharded\": [\n";
   List.iteri
-    (fun i (w, rate) ->
+    (fun i (w, rate, steer_ns) ->
       let scaling =
         (* only meaningful when the workers have real cores underneath *)
         if w > cores then "" else Printf.sprintf ", \"scaling_vs_1\": %.2f" (rate /. base)
       in
       Printf.bprintf buf
-        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"oversubscribed\": %b%s}%s\n"
-        w rate (w > cores) scaling
+        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"steer_ns_per_pkt\": \
+         %.1f, \"oversubscribed\": %b%s}%s\n"
+        w rate steer_ns (w > cores) scaling
         (if i = List.length shard_rows - 1 then "" else ","))
     shard_rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -1508,7 +1516,8 @@ let e15 () =
   Printf.printf
     "\n(b) slab-fed fused shard (ARQ 256B responder, key = seq): 1 / 2 / 4 \
      workers\n";
-  Printf.printf "  %-10s %14s %12s\n" "workers" "pkts/s" "vs 1 worker";
+  Printf.printf "  %-10s %14s %14s %12s\n" "workers" "pkts/s" "steer ns/pkt"
+    "vs 1 worker";
   let shard_pool = pool 256 in
   let shard_mask = Array.length shard_pool - 1 in
   let shard_n = if !quick then 20_000 else 200_000 in
@@ -1527,26 +1536,30 @@ let e15 () =
         | Error e -> failwith e
         | Ok shard ->
           Engine.Shard.start shard;
-          let dt =
+          let feed_dt =
             time_loop shard_n (fun i ->
                 ignore (Engine.Shard.feed shard shard_pool.(i land shard_mask)))
           in
           let t0 = Unix.gettimeofday () in
           Engine.Shard.drain shard;
-          let dt = dt +. (Unix.gettimeofday () -. t0) in
+          let dt = feed_dt +. (Unix.gettimeofday () -. t0) in
           let stats = Engine.Shard.stats shard in
           let d = Engine.Stats.stage_index stats "decode" in
           assert (Engine.Stats.stage_packets stats d = shard_n);
           assert (Engine.Stats.stage_rejects stats d = 0);
-          (workers, float_of_int shard_n /. dt))
+          let steer_ns = feed_dt *. 1e9 /. float_of_int shard_n in
+          (workers, float_of_int shard_n /. dt, steer_ns))
       [ 1; 2; 4 ]
   in
-  let base = match shard_rows with (_, r) :: _ -> r | [] -> 1.0 in
+  let base = match shard_rows with (_, r, _) :: _ -> r | [] -> 1.0 in
   List.iter
-    (fun (w, rate) ->
+    (fun (w, rate, steer_ns) ->
       if w > cores then
-        Printf.printf "  %-10d %14.0f %12s\n" w rate "oversubscribed"
-      else Printf.printf "  %-10d %14.0f %11.2fx\n" w rate (rate /. base))
+        Printf.printf "  %-10d %14.0f %14.1f %12s\n" w rate steer_ns
+          "oversubscribed"
+      else
+        Printf.printf "  %-10d %14.0f %14.1f %11.2fx\n" w rate steer_ns
+          (rate /. base))
     shard_rows;
   if cores < 4 then
     Printf.printf
@@ -1577,15 +1590,15 @@ let e15 () =
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"sharded\": [\n";
   List.iteri
-    (fun i (w, rate) ->
+    (fun i (w, rate, steer_ns) ->
       let scaling =
         if w > cores then ""
         else Printf.sprintf ", \"scaling_vs_1\": %.2f" (rate /. base)
       in
       Printf.bprintf buf
-        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"oversubscribed\": \
-         %b%s}%s\n"
-        w rate (w > cores) scaling
+        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"steer_ns_per_pkt\": \
+         %.1f, \"oversubscribed\": %b%s}%s\n"
+        w rate steer_ns (w > cores) scaling
         (if i = List.length shard_rows - 1 then "" else ","))
     shard_rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -2196,12 +2209,249 @@ let e17 () =
      equivalence with the per-layer reference is not assumed but re-proved\n\
      on >= 100k cross-layer mutants each run."
 
+let e18 () =
+  section "e18" "SPSC shard steering: uniform vs elephant skew, bucket stealing"
+    "ROADMAP multicore north star; §3.4 per-flow ordering under migration";
+  let cores = Domain.recommended_domain_count () in
+  (* same ARQ responder as e15: verify seq range, classify data frames,
+     shard by seq, patch kind -> ack in place *)
+  let flight =
+    Engine.Flight.(
+      spec
+        ~verify:(Cmp (Lt, Field "seq", Const 256L))
+        ~classify:
+          [ { ev_when = Cmp (Eq, Field "kind", Const 0L); ev_name = "ok" } ]
+        ~flow_key:"seq"
+        ~respond:
+          [ { re_when = Cmp (Eq, Field "kind", Const 0L);
+              re_set = [ { set_field = "kind"; set_to = Const 1L } ] } ]
+        ())
+  in
+  let machine = Arq_fsm.receiver ~seq_bits:8 in
+  let pool =
+    Array.init 256 (fun i ->
+        Formats.Arq.to_bytes
+          (Formats.Arq.Data { seq = i land 0xFF; payload = String.make 64 'x' }))
+  in
+  let shard_n = if !quick then 20_000 else 200_000 in
+  (* uniform mix: all 256 flows round-robin *)
+  let uniform_seqs = Array.init shard_n (fun i -> i land 0xFF) in
+  (* elephant skew: 90% of the traffic lands on flows whose buckets are
+     initially owned by worker 0 under this worker count (hash skew — the
+     adversarial case for static bucket ownership).  The hot flows are
+     still many, so the recoverable parallelism is real: stealing can
+     migrate whole buckets without splitting any single flow. *)
+  let skew_seqs workers =
+    let probe = Engine.Shard.Steer.create ~workers () in
+    let hot = ref [] and cold = ref [] in
+    for s = 255 downto 0 do
+      if Engine.Shard.Steer.worker_of_key probe s = 0 then hot := s :: !hot
+      else cold := s :: !cold
+    done;
+    let hot = Array.of_list !hot and cold = Array.of_list !cold in
+    let cold = if Array.length cold = 0 then hot else cold in
+    Array.init shard_n (fun i ->
+        if i mod 10 < 9 then hot.(i mod Array.length hot)
+        else cold.(i mod Array.length cold))
+  in
+  let run_case ~workers ~stealing seqs =
+    let config =
+      { Engine.Shard.workers; pipeline = Engine.Pipeline.default_config }
+    in
+    match
+      Engine.Shard.create ~config ~allow_oversubscribe:true ~stealing
+        ~key:"seq" ~mode:Engine.Pipeline.Fused ~flight ~machine
+        ~on_reply:(fun _ _ -> ())
+        Formats.Arq.format
+    with
+    | Error e -> failwith e
+    | Ok shard ->
+      Engine.Shard.start shard;
+      (* the alloc window wraps only the steering loop: this is the 0 B/pkt
+         claim (hash + route + blit + publish mint nothing on the ingest
+         domain; OCaml 5 Gc counters are per-domain, so worker-side flow
+         minting does not leak into this number) *)
+      Gc.full_major ();
+      let a0 = Gc.allocated_bytes () in
+      let feed_dt =
+        time_loop shard_n (fun i -> ignore (Engine.Shard.feed shard pool.(seqs.(i))))
+      in
+      let a1 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      Engine.Shard.drain shard;
+      let dt = feed_dt +. (Unix.gettimeofday () -. t0) in
+      let stats = Engine.Shard.stats shard in
+      let d = Engine.Stats.stage_index stats "decode" in
+      assert (Engine.Stats.stage_packets stats d = shard_n);
+      assert (Engine.Stats.stage_rejects stats d = 0);
+      ( float_of_int shard_n /. dt,
+        feed_dt *. 1e9 /. float_of_int shard_n,
+        (a1 -. a0) /. float_of_int shard_n,
+        Engine.Shard.steals shard )
+  in
+  let mark w = if w > cores then "oversubscribed" else "" in
+  (* -- (a) uniform: ideal steering, no stealing needed -- *)
+  Printf.printf "(a) uniform flow mix (256 flows round-robin), stealing off\n";
+  Printf.printf "  %-10s %14s %14s %13s %14s\n" "workers" "pkts/s"
+    "steer ns/pkt" "ingest B/pkt" "vs 1 worker";
+  let uniform_rows =
+    List.map
+      (fun w ->
+        let rate, steer_ns, alloc, _ = run_case ~workers:w ~stealing:false uniform_seqs in
+        (w, rate, steer_ns, alloc))
+      [ 1; 2; 4 ]
+  in
+  let ubase = match uniform_rows with (_, r, _, _) :: _ -> r | [] -> 1.0 in
+  List.iter
+    (fun (w, rate, steer_ns, alloc) ->
+      if w > cores then
+        Printf.printf "  %-10d %14.0f %14.1f %13.2f %14s\n" w rate steer_ns
+          alloc "oversubscribed"
+      else
+        Printf.printf "  %-10d %14.0f %14.1f %13.2f %13.2fx\n" w rate steer_ns
+          alloc (rate /. ubase))
+    uniform_rows;
+  (* -- (b) elephant skew, stealing off vs on -- *)
+  Printf.printf
+    "\n(b) elephant skew (90%% of traffic on worker 0's initial buckets):\n\
+    \    stealing off vs on\n";
+  Printf.printf "  %-10s %14s %14s %10s %10s %15s\n" "workers" "off pkts/s"
+    "on pkts/s" "recovery" "steals" "";
+  let skew_rows =
+    List.map
+      (fun w ->
+        let seqs = skew_seqs w in
+        let off_rate, off_ns, off_alloc, _ = run_case ~workers:w ~stealing:false seqs in
+        let on_rate, on_ns, on_alloc, steals = run_case ~workers:w ~stealing:true seqs in
+        let recovery = on_rate /. off_rate in
+        if w > cores then
+          Printf.printf "  %-10d %14.0f %14.0f %10s %10d %15s\n" w off_rate
+            on_rate "-" steals (mark w)
+        else
+          Printf.printf "  %-10d %14.0f %14.0f %9.2fx %10d %15s\n" w off_rate
+            on_rate recovery steals "";
+        (w, off_rate, off_ns, off_alloc, on_rate, on_ns, on_alloc, steals))
+      [ 1; 2; 4 ]
+  in
+  if cores < 4 then
+    Printf.printf
+      "  (only %d core(s) available: rows with more workers than cores are\n\
+      \   oversubscribed — they time-share a core and measure the scheduler,\n\
+      \   so no scaling/recovery ratio is reported for them)\n"
+      cores;
+  (* -- gates -- *)
+  let failures = ref [] in
+  let gate name ok = if not ok then failures := name :: !failures in
+  let alloc_ok =
+    List.for_all (fun (_, _, _, a) -> a < 1.0) uniform_rows
+    && List.for_all
+         (fun (_, _, _, a_off, _, _, a_on, _) -> a_off < 1.0 && a_on < 1.0)
+         skew_rows
+  in
+  gate "steering allocates (>= 1 B/pkt on the ingest domain)" alloc_ok;
+  let scaling_gates = cores >= 2 in
+  let uniform_2w =
+    if not scaling_gates then None
+    else
+      match List.find_opt (fun (w, _, _, _) -> w = 2) uniform_rows with
+      | Some (_, r, _, _) -> Some (r /. ubase >= 1.6)
+      | None -> None
+  in
+  (match uniform_2w with
+  | Some ok -> gate "uniform 2-worker scaling < 1.6x" ok
+  | None -> ());
+  let skew_recovery =
+    if not scaling_gates then None
+    else
+      match
+        List.find_opt (fun (w, _, _, _, _, _, _, _) -> w = 2) skew_rows
+      with
+      | Some (_, off_rate, _, _, on_rate, _, _, steals) ->
+        Some (on_rate /. off_rate >= 1.3 && steals > 0)
+      | None -> None
+  in
+  (match skew_recovery with
+  | Some ok -> gate "stealing fails to recover 1.3x on 2-worker skew" ok
+  | None -> ());
+  if not scaling_gates then
+    Printf.printf
+      "\n  scaling gates SKIPPED (1 core): only the 0 B/pkt steering gate is\n\
+      \  enforced here; the >= 1.6x uniform and >= 1.3x stealing-recovery\n\
+      \  gates need >= 2 cores and run in multicore CI\n";
+  (* -- machine-readable dump -- *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"experiment\": \"e18\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"cores_available\": %d,\n" cores;
+  Printf.bprintf buf "  \"packets_per_case\": %d,\n" shard_n;
+  Printf.bprintf buf "  \"skew_hot_share\": 0.9,\n";
+  Buffer.add_string buf "  \"uniform\": [\n";
+  List.iteri
+    (fun i (w, rate, steer_ns, alloc) ->
+      let scaling =
+        if w > cores then ""
+        else Printf.sprintf ", \"scaling_vs_1\": %.2f" (rate /. ubase)
+      in
+      Printf.bprintf buf
+        "    {\"workers\": %d, \"pkts_per_s\": %.0f, \"steer_ns_per_pkt\": \
+         %.1f, \"ingest_alloc_b_per_pkt\": %.2f, \"oversubscribed\": %b%s}%s\n"
+        w rate steer_ns alloc (w > cores) scaling
+        (if i = List.length uniform_rows - 1 then "" else ","))
+    uniform_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"skew\": [\n";
+  List.iteri
+    (fun i (w, off_rate, off_ns, off_alloc, on_rate, on_ns, on_alloc, steals) ->
+      let recovery =
+        if w > cores then ""
+        else Printf.sprintf ", \"recovery_vs_no_steal\": %.2f" (on_rate /. off_rate)
+      in
+      Printf.bprintf buf
+        "    {\"workers\": %d, \"stealing_off\": {\"pkts_per_s\": %.0f, \
+         \"steer_ns_per_pkt\": %.1f, \"ingest_alloc_b_per_pkt\": %.2f}, \
+         \"stealing_on\": {\"pkts_per_s\": %.0f, \"steer_ns_per_pkt\": %.1f, \
+         \"ingest_alloc_b_per_pkt\": %.2f, \"steals\": %d}, \
+         \"oversubscribed\": %b%s}%s\n"
+        w off_rate off_ns off_alloc on_rate on_ns on_alloc steals (w > cores)
+        recovery
+        (if i = List.length skew_rows - 1 then "" else ","))
+    skew_rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"gates\": {\n";
+  Printf.bprintf buf "    \"steering_alloc_b_per_pkt_lt_1\": %b,\n" alloc_ok;
+  let opt_b = function None -> "null" | Some b -> string_of_bool b in
+  Printf.bprintf buf "    \"uniform_2w_scaling_ge_1_6x\": %s,\n"
+    (opt_b uniform_2w);
+  Printf.bprintf buf "    \"skew_steal_recovery_ge_1_3x\": %s\n"
+    (opt_b skew_recovery);
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_E18.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+  (match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "bench e18: GATE FAILED: %s\n" f) fs;
+    exit 1);
+  print_endline
+    "\nRESULT shape: per-worker SPSC rings steer each datagram with one hash,\n\
+     one blit and one release store — 0 B/pkt on the ingest domain in every\n\
+     row, uniform or skewed, stealing on or off (the always-on gate).  On a\n\
+     multicore box the uniform mix scales with worker count, and under\n\
+     elephant skew fenced bucket stealing claws back the throughput that\n\
+     static ownership strands on one worker — without splitting any flow,\n\
+     so per-flow run-to-completion ordering survives (the determinism test\n\
+     in test_engine.ml re-proves it with stealing forced on)."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17);
+    ("e16", e16); ("e17", e17); ("e18", e18);
     ("ablate", ablate);
   ]
 

@@ -683,7 +683,24 @@ let serve_cmd =
     Arg.(value & opt_all string [] & info [ "patch" ] ~docv:"FIELD=VALUE"
            ~doc:"Patch this scalar field of the reply to a constant (repeatable).  Without any, the reply echoes the validated request unchanged.")
   in
-  let run file fmt_name stack_name host udp tcp mode max_packets duration patches =
+  let serve_workers_opt =
+    Arg.(value & opt int 1 & info [ "workers"; "w" ] ~docv:"N"
+           ~doc:"Shard the server across N worker domains (UDP only): the listener thread steers each datagram by its flow key into a per-worker lock-free ring.  Requires $(b,--shard-key).")
+  in
+  let shard_key_opt =
+    Arg.(value & opt (some string) None & info [ "shard-key" ] ~docv:"FIELD"
+           ~doc:"Field to steer on with --workers > 1; all packets sharing a value land on the same worker.")
+  in
+  let steal_opt =
+    Arg.(value & flag & info [ "steal" ]
+           ~doc:"Enable work stealing between sharded workers (whole flow-hash buckets, fenced to preserve per-flow ordering).")
+  in
+  let oversubscribe_opt =
+    Arg.(value & flag & info [ "allow-oversubscribe" ]
+           ~doc:"Allow more worker domains than available cores (they will time-share; throughput numbers then measure the scheduler).")
+  in
+  let run file fmt_name stack_name host udp tcp mode max_packets duration patches
+      workers shard_key stealing allow_oversubscribe =
     let program = load file in
     let die msg =
       Format.eprintf "netdsl: %s@." msg;
@@ -784,7 +801,12 @@ let serve_cmd =
       | `Fused -> Netdsl.Engine.Pipeline.Fused
       | `Staged -> Netdsl.Engine.Pipeline.Staged
     in
-    match Net.Server.create ~mode ?stack ~flight ~listeners fmt with
+    if workers > 1 && shard_key = None then
+      die "--workers > 1 requires --shard-key FIELD (the flow field to steer on)";
+    match
+      Net.Server.create ~mode ?stack ~flight ~listeners ~workers
+        ~allow_oversubscribe ~stealing ?shard_key fmt
+    with
     | Error msg -> die msg
     | Ok srv ->
       let label =
@@ -796,10 +818,14 @@ let serve_cmd =
       in
       List.iter
         (fun (proto, h, p) ->
-          Format.printf "serving %s on %s %s:%d (%s mode)@." label proto h p
+          Format.printf "serving %s on %s %s:%d (%s mode%s)@." label proto h p
             (match mode with
             | Netdsl.Engine.Pipeline.Fused -> "fused"
-            | Netdsl.Engine.Pipeline.Staged -> "staged"))
+            | Netdsl.Engine.Pipeline.Staged -> "staged")
+            (if Net.Server.workers srv > 1 then
+               Printf.sprintf ", %d workers%s" (Net.Server.workers srv)
+                 (if stealing then " + stealing" else "")
+             else ""))
         (Net.Server.bound srv);
       let n = Net.Server.run ?max_packets ?duration srv in
       (* Reported unconditionally: a SIGINT/SIGTERM exit lands here too,
@@ -819,7 +845,8 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Answer real datagrams: bind nonblocking UDP/TCP listeners on a format from the file and run every received packet through the engine, echoing each accepted packet back with the requested fields patched in place.  With $(b,--stack), packets decode through the fused layered chain and patches are qualified layer.field names.")
     Term.(const run $ file_arg $ format_opt $ stack_opt $ host_opt $ udp_opt
-          $ tcp_opt $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt)
+          $ tcp_opt $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt
+          $ serve_workers_opt $ shard_key_opt $ steal_opt $ oversubscribe_opt)
 
 let () =
   let doc = "a DSL toolchain for network protocols" in

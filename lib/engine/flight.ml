@@ -58,6 +58,8 @@ let spec ?(demand = []) ?verify ?(classify = []) ?flow_key ?(respond = []) () =
   { sp_demand = demand; sp_verify = verify; sp_classify = classify;
     sp_flow_key = flow_key; sp_respond = respond }
 
+let spec_flow_key s = s.sp_flow_key
+
 let rec cond_fields acc = function
   | Cmp (_, a, b) -> operand_field (operand_field acc a) b
   | All cs | Any cs -> List.fold_left cond_fields acc cs

@@ -57,6 +57,10 @@ val spec :
 (** [demand] forces extra fields to be extracted (beyond those the
     conditions, actions and flow key already demand). *)
 
+val spec_flow_key : spec -> string option
+(** The spec's flow-key field name, if declared — what sharded callers
+    ({!Net.Server} with [workers > 1]) default their steering key to. *)
+
 (** {2 Compilation} *)
 
 type t

@@ -765,6 +765,21 @@ let process_buffer t buf ~len =
   run_window t 1;
   outcome_of_slot0 t
 
+(* Ring-driven operation for the sharded path: the consumer domain has
+   already claimed a batch of [n] slots from its [Spsc] ring; map them
+   into the batch window and run it.  The caller polls and releases —
+   keeping claim lifetime in one place lets [Shard] check migration
+   fences between the claim and the run.  [Bytes.unsafe_to_string] is
+   safe under the ring's contract: slots are only read until
+   [Spsc.release], and the producer cannot reuse them before it. *)
+let process_ring_batch t ring ~n =
+  if n > t.cfg.batch then invalid_arg "Pipeline.process_ring_batch: batch too large";
+  for i = 0 to n - 1 do
+    t.inbuf.(i) <- Bytes.unsafe_to_string (Spsc.buf ring i);
+    t.blen.(i) <- Spsc.len ring i
+  done;
+  run_window t n
+
 (* Slab-driven operation: a producer [feed]s — blitting into a
    preallocated slot, blocking when the slab is full (backpressure) — and
    a consumer domain sits in [run], processing whole slot runs in place.

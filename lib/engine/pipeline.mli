@@ -151,6 +151,13 @@ val process_buffer : t -> Bytes.t -> len:int -> outcome
     The buffer is borrowed: it must not be mutated during the call.
     Raises [Invalid_argument] when [len] exceeds [buf]. *)
 
+val process_ring_batch : t -> Spsc.t -> n:int -> unit
+(** Run the [n] slots the caller has claimed (and not yet released) from
+    its {!Spsc} ring through the batch window in place — the worker-side
+    drain step of the sharded path.  The caller owns the claim lifetime:
+    [Spsc.poll] before, [Spsc.release] after ({!Shard} checks bucket
+    migration fences in between).  [n] at most [config.batch]. *)
+
 val feed : t -> string -> bool
 (** Blit one packet into the input slab; blocks while the slab is full,
     [false] after {!close_input}.  Raises [Invalid_argument] if the

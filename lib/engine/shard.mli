@@ -1,15 +1,31 @@
-(** Multicore flow sharding over OCaml 5 domains.
+(** Multicore flow sharding over OCaml 5 domains — RSS in miniature.
 
     A shard group owns [workers] pipelines, each consuming its own
-    SPSC input slab on its own domain.  {!feed} reads the DSL-declared
-    key field straight from the raw packet (a precompiled fixed-offset
-    read — no decode) and hashes it to pick the worker, so all packets of
-    a flow land on the same domain, which exclusively owns that flow's
-    machine instance: no locks anywhere on the hot path.  Packets stage
-    in a per-worker batch and are handed off in whole runs
-    ({!Pipeline.feed_batch} — one slab lock per run).  Backpressure is
-    the slabs' bound — a producer outrunning the workers blocks when a
-    batch flushes into a full slab. *)
+    lock-free {!Spsc} slot ring on its own domain.  {!feed} reads the
+    DSL-declared key field straight from the raw packet (a precompiled
+    fixed-offset read, no decode, no allocation), hashes it {e once}
+    (Fibonacci hashing, masked into a power-of-two bucket table — never
+    a [mod]), leases a slot in the destination worker's ring, blits the
+    packet once and publishes the slot index.  All packets of a flow
+    land on the same domain, which exclusively owns that flow's machine
+    instance: no locks or shared counters anywhere on the hot path —
+    the hand-off is one release store per packet.
+
+    Backpressure is the rings' bound: a producer outrunning a worker
+    spins (cpu_relax → yield → brief sleep) until that worker frees a
+    slot.
+
+    {b Work stealing} (optional, off by default): an idle worker raises
+    a hungry flag; the steering stage answers by re-owning half of the
+    deepest-backlog victim's flow-hash {e buckets} to the thief, each
+    moved bucket carrying a fence at the victim's current ring position.
+    The thief's first packet of a moved bucket waits until the victim
+    has {e released} past the fence, so per-flow ordering (paper §3.4)
+    survives the migration — see DESIGN.md "Stealing whole buckets".
+    Note that a migrated flow re-mints its machine instance on the new
+    owner: stealing is meant for spec-derived responders (which read
+    only decoded fields — {!Flight} enforces this) and state-tolerant
+    machines. *)
 
 type config = {
   workers : int;
@@ -19,11 +35,69 @@ type config = {
 val default_config : config
 (** [workers = Domain.recommended_domain_count ()]. *)
 
+(** The steering stage, usable on its own: {!Net.Server} drives it
+    directly so [netdsl serve --workers N] steers datagrams with the
+    same discipline (and sink bookkeeping the server owns).  All [t]
+    operations are single-threaded on the steering side unless noted. *)
+module Steer : sig
+  type t
+
+  val create :
+    ?buckets:int ->
+    ?stealing:bool ->
+    ?steal_threshold:int ->
+    workers:int ->
+    unit ->
+    t
+  (** [buckets] (default 256, rounded up to a power of two, at least
+      [workers]) sizes the flow-hash bucket table — the mask domain.
+      [steal_threshold] (default 64): minimum victim backlog, in
+      packets, before buckets migrate.  At most 62 workers (the fence
+      word packs the victim into 6 bits). *)
+
+  val workers : t -> int
+  val buckets : t -> int
+  val stealing : t -> bool
+
+  val steals : t -> int
+  (** Buckets migrated so far. *)
+
+  val unkeyed : t -> int
+
+  val worker_of_key : t -> int -> int
+  (** Pure lookup: the worker currently owning the key's bucket
+      ([View.no_key] → worker 0).  One multiply, one shift, one mask. *)
+
+  val route : t -> key:int -> int
+  (** Steering thread only: route one packet — {!worker_of_key} plus
+      unkeyed accounting and remembering the bucket for {!last_bucket}. *)
+
+  val last_bucket : t -> int
+  (** Bucket of the last {!route}d packet ([-1] if it was unkeyed); tag
+      the published slot with it so {!fence_wait} can look fences up. *)
+
+  val mark_hungry : t -> int -> unit
+  (** Worker side: request work (no-op when stealing is off). *)
+
+  val maybe_rebalance : t -> Spsc.t array -> unit
+  (** Steering thread only, once per routed packet: every 32 packets,
+      serve one hungry worker by migrating buckets (with fences) from
+      the deepest victim. *)
+
+  val fence_wait : t -> Spsc.t array -> me:int -> ring:Spsc.t -> n:int -> unit
+  (** Worker side, between [Spsc.poll] and processing: for each claimed
+      slot whose bucket carries a migration fence naming another worker,
+      wait until that victim's released head passes the fence. *)
+end
+
 type t
 
 val create :
   ?config:config ->
   ?allow_oversubscribe:bool ->
+  ?stealing:bool ->
+  ?steal_threshold:int ->
+  ?buckets:int ->
   key:string ->
   ?mode:Pipeline.mode ->
   ?flight:Flight.spec ->
@@ -46,32 +120,38 @@ val create :
   (t, string) result
 (** [create ~key fmt] — [key] names the top-level field to shard on; it
     must sit at a fixed wire offset (see
-    {!Netdsl_format.View.key_extractor}).  Remaining arguments are passed
-    to each worker's {!Pipeline.create}.  Note that [on_response] /
-    [on_reply] run on worker domains.
+    {!Netdsl_format.View.key_extractor}).  [stealing] /
+    [steal_threshold] / [buckets] configure the {!Steer} stage
+    (stealing defaults off; [steal_threshold] defaults to the pipeline
+    batch size).  Remaining arguments are passed to each worker's
+    {!Pipeline.create}.  Note that [on_response] / [on_reply] run on
+    worker domains — one shared closure sees calls from all of them.
 
     Worker counts above [Domain.recommended_domain_count ()] are clamped
     to it — oversubscribed domains time-share a core and measure the
     scheduler, not the pipeline — unless [allow_oversubscribe] is set.
     Either way the decision is recorded as a {!Stats} warning on every
-    worker (see {!warning}). *)
+    worker (see {!warning}).  The requested count is what reports show;
+    the power-of-two constraint lives in the bucket table, not the
+    worker count. *)
 
 val start : t -> unit
 (** Spawns the worker domains. *)
 
 val feed : t -> string -> bool
-(** Route one packet to its flow's worker.  The packet lands in the
-    worker's staging batch; a full batch flushes to the worker's slab
-    (blocking while that slab is full).  Packets too short to carry the
-    key go to worker 0, whose decode stage rejects and counts them. *)
+(** Route one packet to its flow's worker: hash once, lease a slot in
+    that worker's ring, blit once, publish the index.  Blocks (bounded
+    backoff) while the destination ring is full.  Allocates nothing.
+    Packets too short to carry the key go to worker 0, whose decode
+    stage rejects and counts them. *)
 
 val flush : t -> unit
-(** Hand off all partially-filled staging batches now.  {!drain} flushes
-    automatically; call this when pausing a live feed. *)
+(** No-op since the SPSC rework: {!feed} publishes immediately, there is
+    no staging layer to push out.  Kept for call-site compatibility. *)
 
 val drain : t -> unit
-(** Flush staging, close all slabs, wait for the workers to finish the
-    backlog, join the domains. *)
+(** Close all rings, wait for the workers to finish the backlog, join
+    the domains. *)
 
 val workers : t -> int
 (** Actual worker count (after any clamping). *)
@@ -79,11 +159,21 @@ val workers : t -> int
 val warning : t -> string option
 (** The oversubscription/clamp warning, if any was recorded. *)
 
+val worker_of_key : t -> int -> int
+(** Current steering decision for a flow key (moves when stealing
+    migrates the key's bucket). *)
+
+val steals : t -> int
+(** Buckets migrated by work stealing so far. *)
+
+val steering : t -> Steer.t
+val rings : t -> Spsc.t array
 val pipelines : t -> Pipeline.t array
 
 val stats : t -> Stats.t
-(** Per-stage stats merged across all workers (call after {!drain}, or
-    accept slightly torn counters mid-run). *)
+(** Per-stage stats merged across all workers, with the shard's unkeyed
+    count folded in ({!Stats.unkeyed}).  Call after {!drain}, or accept
+    slightly torn counters mid-run. *)
 
 val unkeyed : t -> int
 (** Packets fed that were too short to carry the key field. *)

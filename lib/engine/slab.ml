@@ -11,7 +11,8 @@
    [[head, head + batch_len)], which the producer cannot overwrite until
    {!release} advances [head].  Blocking and close semantics follow
    [Ring]: the same staged spin → yield → wait backoff, and a closed slab
-   releases every waiter. *)
+   releases every waiter.  For the cross-domain lock-free variant of this
+   shape see [Spsc] (the shard's per-worker rings). *)
 
 let spin_rounds = 4
 let yield_rounds = 4

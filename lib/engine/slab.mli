@@ -11,7 +11,12 @@
 
     Single-producer / single-consumer.  Blocking and close semantics
     follow {!Ring}: producers block while the ring is full, {!pop_batch}
-    blocks while it is empty, and {!close} releases every waiter. *)
+    blocks while it is empty, and {!close} releases every waiter.
+
+    The slab is mutex-based and meant for one domain (or a producer
+    thread that may block).  Its lock-free cross-domain sibling is
+    {!Spsc} — same slot-ring shape, but atomics-only hand-off for the
+    shard's per-worker rings. *)
 
 type t
 

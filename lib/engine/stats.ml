@@ -18,6 +18,7 @@ type stage = {
 type t = {
   stages : stage array;
   mutable evicted_flows : int;
+  mutable unkeyed : int;
   mutable warnings : string list; (* newest first; deduplicated *)
 }
 
@@ -32,11 +33,15 @@ let create names =
                hist = Array.make buckets 0 })
            names);
     evicted_flows = 0;
+    unkeyed = 0;
     warnings = [];
   }
 
 let note_evicted_flow t = t.evicted_flows <- t.evicted_flows + 1
 let evicted_flows t = t.evicted_flows
+
+let note_unkeyed ?(n = 1) t = t.unkeyed <- t.unkeyed + n
+let unkeyed t = t.unkeyed
 
 let note_warning t msg =
   if not (List.mem msg t.warnings) then t.warnings <- msg :: t.warnings
@@ -98,6 +103,7 @@ let merge_into ~into src =
   if Array.length into.stages <> Array.length src.stages then
     invalid_arg "Stats.merge_into: stage mismatch";
   into.evicted_flows <- into.evicted_flows + src.evicted_flows;
+  into.unkeyed <- into.unkeyed + src.unkeyed;
   List.iter (note_warning into) (warnings src);
   Array.iteri
     (fun i (s : stage) ->
@@ -165,6 +171,8 @@ let pp ppf t =
     t.stages;
   if t.evicted_flows > 0 then
     Format.fprintf ppf "evicted flows: %d@." t.evicted_flows;
+  if t.unkeyed > 0 then
+    Format.fprintf ppf "unkeyed packets: %d@." t.unkeyed;
   List.iter (fun w -> Format.fprintf ppf "warning: %s@." w) (warnings t)
 
 let to_text t = Format.asprintf "%a" pp t

@@ -34,6 +34,13 @@ val note_evicted_flow : t -> unit
 
 val evicted_flows : t -> int
 
+val note_unkeyed : ?n:int -> t -> unit
+(** Counts packets the sharding stage could not read a flow key from
+    (too short for the key field) — they are steered to worker 0 for the
+    decode stage to reject; this counter is how they reach reports. *)
+
+val unkeyed : t -> int
+
 val note_warning : t -> string -> unit
 (** Attach an operational warning (e.g. oversubscribed workers) to the
     counter set.  Duplicates are kept once; warnings survive
@@ -43,8 +50,8 @@ val warnings : t -> string list
 (** Recorded warnings, oldest first. *)
 
 val merge_into : into:t -> t -> unit
-(** Adds [src] into [into] (same stage layout required; eviction counters
-    are summed and warnings unioned too). *)
+(** Adds [src] into [into] (same stage layout required; eviction and
+    unkeyed counters are summed and warnings unioned too). *)
 
 val merge : t list -> t
 (** Fresh aggregate of a non-empty list (shard-wide totals). *)

@@ -885,6 +885,36 @@ let extract_key ke ?(off = 0) data =
     let raw = B.Reader.read_bits r ~width:ke.k_bits in
     Some (Int64.to_int (of_wire ~bits:ke.k_bits ~endian:ke.k_endian raw))
 
+(* MSB-first native-int bit read for the steering fast path; bounds
+   already checked by the caller.  Same logic as [Hot.read_narrow]. *)
+let rec key_read_bits s pos width =
+  if width <= 56 then begin
+    let first = pos lsr 3 in
+    let last = (pos + width - 1) lsr 3 in
+    let drop = pos land 7 in
+    let acc = ref (Char.code (String.unsafe_get s first) land (0xFF lsr drop)) in
+    for i = first + 1 to last do
+      acc := (!acc lsl 8) lor Char.code (String.unsafe_get s i)
+    done;
+    !acc lsr ((8 - ((pos + width) land 7)) land 7)
+  end
+  else
+    let hiw = width - 32 in
+    (key_read_bits s pos hiw lsl 32) lor key_read_bits s (pos + hiw) 32
+
+let no_key = min_int
+
+let key_min_bytes ke = (ke.k_bit_off + ke.k_bits + 7) lsr 3
+
+let extract_key_int ke ?(off = 0) data =
+  let bit_off = (off * 8) + ke.k_bit_off in
+  if bit_off + ke.k_bits > String.length data * 8 then no_key
+  else
+    let v = key_read_bits data bit_off ke.k_bits in
+    match ke.k_endian with
+    | Desc.Big -> v
+    | Desc.Little -> bswap_int ~bits:ke.k_bits v
+
 (* ------------------------------------------------------------------ *)
 (* Hot: a fused, demand-driven decoder for linear formats.
 

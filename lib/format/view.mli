@@ -89,6 +89,22 @@ val extract_key : key_extractor -> ?off:int -> string -> int option
 (** Reads the key field from a raw packet ([None] if the buffer is too
     short for the field). *)
 
+val no_key : int
+(** Sentinel ([min_int]) returned by {!extract_key_int} for packets too
+    short to carry the key field.  No real key can collide with it: key
+    fields are at most 62 bits wide. *)
+
+val key_min_bytes : key_extractor -> int
+(** Fewest packet bytes that carry the whole key field — callers reading
+    datagrams into an oversized scratch buffer compare the receive length
+    against this before {!extract_key_int} (whose own bounds check only
+    sees the buffer, not the datagram). *)
+
+val extract_key_int : key_extractor -> ?off:int -> string -> int
+(** Allocation-free variant of {!extract_key} for the per-packet steering
+    path: returns the key as a native int, or {!no_key} when the buffer is
+    too short.  Agrees with [extract_key] on every input (unit-tested). *)
+
 (** {2 Fused hot-path decode}
 
     A second lowering of the same compiled plan, for {e linear} formats

@@ -1,6 +1,10 @@
 module Pipeline = Netdsl_engine.Pipeline
+module Flight = Netdsl_engine.Flight
 module Slab = Netdsl_engine.Slab
+module Spsc = Netdsl_engine.Spsc
+module Shard = Netdsl_engine.Shard
 module Estats = Netdsl_engine.Stats
+module View = Netdsl_format.View
 
 type endpoint =
   | Udp of { host : string; port : int }
@@ -31,6 +35,35 @@ type sink =
   | To_udp of listener * Unix.sockaddr
   | To_conn of conn
 
+(* One sharded worker: its own pipeline, its own SPSC ring, a sink array
+   parallel to the ring's slots (the ingest thread stores the packet's
+   reply sink at [pos land mask] before publishing [pos]), and its own tx
+   counters — worker domains never write a listener's [Stats.t]. *)
+type worker = {
+  w_id : int;
+  w_pipe : Pipeline.t;
+  w_ring : Spsc.t;
+  w_sinks : sink array;
+  w_cur : sink ref;
+  w_stats : Stats.t;
+  w_processed : int Atomic.t;
+}
+
+(* Sharded mode ([workers > 1], UDP only): the select loop becomes a pure
+   steering stage — recv into scratch, read the flow key (fixed-offset,
+   no decode), [Shard.Steer.route], blit once into the destination
+   worker's ring — and the worker domains run the pipelines. *)
+type sharded = {
+  sh_steer : Shard.Steer.t;
+  sh_key : View.key_extractor;
+  sh_key_min : int;  (* fewest datagram bytes that carry the key *)
+  sh_workers : worker array;
+  sh_rings : Spsc.t array;
+  sh_batch : int;
+  mutable sh_published : int;  (* packets blitted into rings, ever *)
+  mutable sh_domains : unit Domain.t array;
+}
+
 type t = {
   s_pipe : Pipeline.t;
   s_slab : Slab.t;
@@ -44,6 +77,7 @@ type t = {
   s_scratch : Bytes.t;  (* overflow reads land here and are dropped *)
   s_txbuf : Bytes.t;  (* TCP reply: 2-byte length prefix + payload *)
   s_prev_signals : (int * Sys.signal_behavior) list;
+  s_shard : sharded option;
   mutable s_closed : bool;
 }
 
@@ -104,6 +138,54 @@ let send_reply cur txbuf buf len =
         c.c_open <- false
     end
 
+(* The sharded reply path: UDP only (sharded mode refuses TCP listeners),
+   charging the worker's own counters — the listener's [Stats.t] stays
+   single-writer (the ingest thread). *)
+let send_reply_sharded st cur buf len =
+  match !cur with
+  | To_udp (l, addr) -> (
+    match Unix.sendto l.l_fd buf 0 len [] addr with
+    | n when n = len ->
+      st.Stats.tx_pkts <- st.Stats.tx_pkts + 1;
+      st.Stats.tx_bytes <- st.Stats.tx_bytes + n
+    | _ -> st.Stats.short_writes <- st.Stats.short_writes + 1
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      st.Stats.send_eagain <- st.Stats.send_eagain + 1
+    | exception Unix.Unix_error (_, _, _) ->
+      st.Stats.tx_errors <- st.Stats.tx_errors + 1)
+  | No_sink | To_conn _ -> ()
+
+(* One sharded worker domain: claim a batch, honour migration fences, set
+   the per-packet sink from the parallel array, run each packet to
+   completion (reply sent from inside the call), release.  Identical
+   discipline to [Shard]'s worker loop, plus sink bookkeeping. *)
+let shard_worker sh w =
+  let ring = w.w_ring in
+  let mask = Array.length w.w_sinks - 1 in
+  let batch = sh.sh_batch in
+  let rec loop idle =
+    match Spsc.poll ring ~max:batch with
+    | -1 -> ()
+    | 0 ->
+      Shard.Steer.mark_hungry sh.sh_steer w.w_id;
+      Spsc.backoff idle;
+      loop (idle + 1)
+    | n ->
+      Shard.Steer.fence_wait sh.sh_steer sh.sh_rings ~me:w.w_id ~ring ~n;
+      let base = Spsc.consumer_pos ring in
+      for i = 0 to n - 1 do
+        w.w_cur := w.w_sinks.((base + i) land mask);
+        ignore
+          (Pipeline.process_buffer w.w_pipe (Spsc.buf ring i)
+             ~len:(Spsc.len ring i))
+      done;
+      w.w_cur := No_sink;
+      ignore (Atomic.fetch_and_add w.w_processed n);
+      Spsc.release ring;
+      loop 0
+  in
+  loop 0
+
 (* ---- create ---------------------------------------------------------- *)
 
 let bind_listener ep =
@@ -147,8 +229,11 @@ let bind_listener ep =
             l_stats = Stats.create (); l_conns = [] })
 
 let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
-    ?stack ?machine ?(signals = true) ~flight ~listeners fmt =
+    ?stack ?machine ?(signals = true) ?(workers = 1)
+    ?(allow_oversubscribe = false) ?(stealing = false) ?shard_key ~flight
+    ~listeners fmt =
   if listeners = [] then Error "no listeners given"
+  else if workers <= 0 then Error "workers must be positive"
   else begin
     let stop = Atomic.make false in
     (* Handlers go in before any socket exists: a signal that lands
@@ -181,37 +266,157 @@ let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
     | Error msg ->
       restore_signals ();
       Error msg
-    | Ok ls -> (
-      let cur = ref No_sink in
-      let txbuf = Bytes.create (config.Pipeline.slot_bytes + 2) in
-      match
-        Pipeline.create ~config ~mode ?stack ~flight ?machine
-          ~on_reply:(fun buf len -> send_reply cur txbuf buf len)
-          fmt
-      with
-      | exception e ->
+    | Ok ls ->
+      let fail msg =
         List.iter
           (fun l -> try Unix.close l.l_fd with Unix.Unix_error _ -> ())
           ls;
         restore_signals ();
-        Error (Printexc.to_string e)
-      | pipe ->
-        Ok
-          { s_pipe = pipe;
-            s_slab =
-              Slab.create ~slot_bytes:config.Pipeline.slot_bytes
-                ~capacity:config.Pipeline.ring_capacity ();
-            s_batch = config.Pipeline.batch;
-            s_listeners = ls;
-            s_sinks = Array.make config.Pipeline.ring_capacity No_sink;
-            s_head = 0;
-            s_cur = cur;
-            s_stop = stop;
-            s_processed = 0;
-            s_scratch = Bytes.create config.Pipeline.slot_bytes;
-            s_txbuf = txbuf;
-            s_prev_signals = prev_signals;
-            s_closed = false })
+        Error msg
+      in
+      if workers = 1 then (
+        let cur = ref No_sink in
+        let txbuf = Bytes.create (config.Pipeline.slot_bytes + 2) in
+        match
+          Pipeline.create ~config ~mode ?stack ~flight ?machine
+            ~on_reply:(fun buf len -> send_reply cur txbuf buf len)
+            fmt
+        with
+        | exception e -> fail (Printexc.to_string e)
+        | pipe ->
+          Ok
+            { s_pipe = pipe;
+              s_slab =
+                Slab.create ~slot_bytes:config.Pipeline.slot_bytes
+                  ~capacity:config.Pipeline.ring_capacity ();
+              s_batch = config.Pipeline.batch;
+              s_listeners = ls;
+              s_sinks = Array.make config.Pipeline.ring_capacity No_sink;
+              s_head = 0;
+              s_cur = cur;
+              s_stop = stop;
+              s_processed = 0;
+              s_scratch = Bytes.create config.Pipeline.slot_bytes;
+              s_txbuf = txbuf;
+              s_prev_signals = prev_signals;
+              s_shard = None;
+              s_closed = false })
+      else if List.exists (fun l -> l.l_proto = `Tcp) ls then
+        fail "sharded mode (workers > 1) serves UDP listeners only"
+      else if stack <> None then
+        fail "sharded mode does not support layered stacks"
+      else begin
+        (* Steer on the flight spec's own flow key unless told otherwise:
+           packets of a flow must land where that flow's machine instance
+           lives, and the spec already names the field that defines a
+           flow. *)
+        let keyname =
+          match shard_key with
+          | Some k -> Ok k
+          | None -> (
+            match Flight.spec_flow_key flight with
+            | Some k -> Ok k
+            | None ->
+              Error
+                "sharded mode needs a steering key: the flight spec has \
+                 no flow key and no ~shard_key was given")
+        in
+        match keyname with
+        | Error e -> fail e
+        | Ok keyname -> (
+          match View.key_extractor fmt keyname with
+          | Error e ->
+            fail
+              (Printf.sprintf "sharded mode: bad steering key %S: %s" keyname
+                 e)
+          | Ok ke -> (
+            (* Same clamp discipline as [Shard.create]: domains beyond the
+               core count time-share and measure the scheduler. *)
+            let cores = Domain.recommended_domain_count () in
+            let n_workers, warn =
+              if workers <= cores then (workers, None)
+              else if allow_oversubscribe then
+                ( workers,
+                  Some
+                    (Printf.sprintf
+                       "serve: %d workers oversubscribe %d available core(s)"
+                       workers cores) )
+              else
+                ( cores,
+                  Some
+                    (Printf.sprintf
+                       "serve: requested %d workers, clamped to %d \
+                        available core(s)"
+                       workers cores) )
+            in
+            let steer =
+              Shard.Steer.create ~stealing
+                ~steal_threshold:config.Pipeline.batch ~workers:n_workers ()
+            in
+            match
+              Array.init n_workers (fun i ->
+                  let cur = ref No_sink in
+                  let wst = Stats.create () in
+                  let pipe =
+                    Pipeline.create ~config ~mode ~flight ?machine
+                      ~on_reply:(fun buf len ->
+                        send_reply_sharded wst cur buf len)
+                      fmt
+                  in
+                  let ring =
+                    Spsc.create ~slot_bytes:config.Pipeline.slot_bytes
+                      ~capacity:config.Pipeline.ring_capacity ()
+                  in
+                  { w_id = i;
+                    w_pipe = pipe;
+                    w_ring = ring;
+                    w_sinks = Array.make (Spsc.capacity ring) No_sink;
+                    w_cur = cur;
+                    w_stats = wst;
+                    w_processed = Atomic.make 0 })
+            with
+            | exception e -> fail (Printexc.to_string e)
+            | ws ->
+              (match warn with
+              | None -> ()
+              | Some w ->
+                Array.iter
+                  (fun wk -> Estats.note_warning (Pipeline.stats wk.w_pipe) w)
+                  ws);
+              let sh =
+                { sh_steer = steer;
+                  sh_key = ke;
+                  sh_key_min = View.key_min_bytes ke;
+                  sh_workers = ws;
+                  sh_rings = Array.map (fun w -> w.w_ring) ws;
+                  sh_batch = config.Pipeline.batch;
+                  sh_published = 0;
+                  sh_domains = [||] }
+              in
+              sh.sh_domains <-
+                Array.map
+                  (fun w -> Domain.spawn (fun () -> shard_worker sh w))
+                  ws;
+              Ok
+                { s_pipe = ws.(0).w_pipe;
+                  s_slab =
+                    (* unused in sharded mode; minimal so it costs one
+                       slot, not a full ring *)
+                    Slab.create ~slot_bytes:config.Pipeline.slot_bytes
+                      ~capacity:1 ();
+                  s_batch = config.Pipeline.batch;
+                  s_listeners = ls;
+                  s_sinks = [||];
+                  s_head = 0;
+                  s_cur = ws.(0).w_cur;
+                  s_stop = stop;
+                  s_processed = 0;
+                  s_scratch = Bytes.create config.Pipeline.slot_bytes;
+                  s_txbuf = Bytes.create 2;
+                  s_prev_signals = prev_signals;
+                  s_shard = Some sh;
+                  s_closed = false }))
+      end
   end
 
 (* ---- ingest ---------------------------------------------------------- *)
@@ -275,6 +480,49 @@ let drain_udp t l =
           st.Stats.rx_bytes <- st.Stats.rx_bytes + n;
           if n > st.Stats.hwm_datagram then st.Stats.hwm_datagram <- n;
           incr drained)
+  done;
+  if !drained > st.Stats.hwm_drain then st.Stats.hwm_drain <- !drained
+
+(* Sharded ingest: the steering stage.  Datagrams land in the scratch
+   buffer (the destination ring is unknown before the packet is read),
+   the flow key is read at its fixed offset — no decode — and the packet
+   is blitted once into the owner worker's ring, its reply sink stored in
+   the parallel slot {e before} the publish.  A full ring costs the
+   packet (counted as a drop) rather than blocking the listener: the
+   select loop must keep serving the other workers' flows. *)
+let drain_udp_sharded t sh l =
+  let st = l.l_stats in
+  let scratch = t.s_scratch in
+  let continue = ref true in
+  let drained = ref 0 in
+  while !continue do
+    match Unix.recvfrom l.l_fd scratch 0 (Bytes.length scratch) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+    | n, addr ->
+      st.Stats.rx_pkts <- st.Stats.rx_pkts + 1;
+      st.Stats.rx_bytes <- st.Stats.rx_bytes + n;
+      if n > st.Stats.hwm_datagram then st.Stats.hwm_datagram <- n;
+      (* scratch is longer than the datagram: bound the key read by the
+         receive length, not the buffer length *)
+      let key =
+        if n < sh.sh_key_min then View.no_key
+        else View.extract_key_int sh.sh_key (Bytes.unsafe_to_string scratch)
+      in
+      let w = sh.sh_workers.(Shard.Steer.route sh.sh_steer ~key) in
+      let ring = w.w_ring in
+      if not (Spsc.has_space ring) then st.Stats.drops <- st.Stats.drops + 1
+      else begin
+        w.w_sinks.(Spsc.producer_pos ring land (Array.length w.w_sinks - 1)) <-
+          To_udp (l, addr);
+        Bytes.blit scratch 0 (Spsc.slot ring) 0 n;
+        Spsc.publish ring ~tag:(Shard.Steer.last_bucket sh.sh_steer) n;
+        sh.sh_published <- sh.sh_published + 1;
+        incr drained
+      end;
+      Shard.Steer.maybe_rebalance sh.sh_steer sh.sh_rings
   done;
   if !drained > st.Stats.hwm_drain then st.Stats.hwm_drain <- !drained
 
@@ -389,8 +637,62 @@ let sweep_sockets t =
         List.iter (fun c -> drain_conn t c) l.l_conns)
     t.s_listeners
 
-let run ?max_packets ?duration t =
-  if t.s_closed then invalid_arg "Net.Server.run: server is closed";
+let shard_processed sh =
+  Array.fold_left
+    (fun acc w -> acc + Atomic.get w.w_processed)
+    0 sh.sh_workers
+
+(* Sharded serve loop: select over the UDP listeners, steer everything
+   readable, and on exit wait (bounded backoff) until the workers have
+   caught up with everything published this run — replies leave from the
+   worker domains, so "served" means the rings are drained, not merely
+   read off the wire. *)
+let run_sharded ?max_packets ?duration t sh =
+  List.iter (fun l -> Stats.reset_highwater l.l_stats) t.s_listeners;
+  let started = Unix.gettimeofday () in
+  let published0 = sh.sh_published in
+  let over_budget () =
+    match max_packets with
+    | None -> false
+    | Some m -> sh.sh_published - published0 >= m
+  in
+  let time_left () =
+    match duration with
+    | None -> infinity
+    | Some d -> d -. (Unix.gettimeofday () -. started)
+  in
+  let fds = List.map (fun l -> l.l_fd) t.s_listeners in
+  let sweep () = List.iter (fun l -> drain_udp_sharded t sh l) t.s_listeners in
+  let rec loop () =
+    if Atomic.get t.s_stop then
+      (* graceful stop: steer what the kernel already holds, then fall
+         through to the drain wait below *)
+      sweep ()
+    else if over_budget () || time_left () <= 0. then ()
+    else begin
+      let timeout = Float.min 0.2 (Float.max 0. (time_left ())) in
+      (match Unix.select fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun l -> l.l_fd = fd) t.s_listeners with
+            | Some l -> drain_udp_sharded t sh l
+            | None -> ())
+          ready);
+      loop ()
+    end
+  in
+  loop ();
+  let k = ref 0 in
+  while shard_processed sh < sh.sh_published do
+    Spsc.backoff !k;
+    incr k
+  done;
+  Atomic.set t.s_stop false;
+  sh.sh_published - published0
+
+let run_single ?max_packets ?duration t =
   List.iter (fun l -> Stats.reset_highwater l.l_stats) t.s_listeners;
   let started = Unix.gettimeofday () in
   let n_run = ref 0 in
@@ -449,6 +751,12 @@ let run ?max_packets ?duration t =
   Atomic.set t.s_stop false;
   !n_run
 
+let run ?max_packets ?duration t =
+  if t.s_closed then invalid_arg "Net.Server.run: server is closed";
+  match t.s_shard with
+  | None -> run_single ?max_packets ?duration t
+  | Some sh -> run_sharded ?max_packets ?duration t sh
+
 let request_stop t = Atomic.set t.s_stop true
 
 (* ---- accessors ------------------------------------------------------- *)
@@ -464,19 +772,66 @@ let udp_port t =
     t.s_listeners
 
 let listener_stats t =
-  List.map
-    (fun l ->
-      ( Printf.sprintf "%s %s:%d" (proto_name l.l_proto) l.l_host l.l_port,
-        l.l_stats ))
-    t.s_listeners
+  let ls =
+    List.map
+      (fun l ->
+        ( Printf.sprintf "%s %s:%d" (proto_name l.l_proto) l.l_host l.l_port,
+          l.l_stats ))
+      t.s_listeners
+  in
+  match t.s_shard with
+  | None -> ls
+  | Some sh ->
+    (* worker tx counters are their own rows: replies leave from worker
+       domains and never touch a listener's (single-writer) stats *)
+    ls
+    @ (Array.to_list sh.sh_workers
+      |> List.map (fun w -> (Printf.sprintf "worker %d (tx)" w.w_id, w.w_stats)))
 
-let net_stats t = Stats.merge (List.map (fun l -> l.l_stats) t.s_listeners)
-let engine_stats t = Pipeline.stats t.s_pipe
-let processed t = t.s_processed
+let net_stats t =
+  let ls = List.map (fun l -> l.l_stats) t.s_listeners in
+  let ws =
+    match t.s_shard with
+    | None -> []
+    | Some sh ->
+      Array.to_list (Array.map (fun w -> w.w_stats) sh.sh_workers)
+  in
+  Stats.merge (ls @ ws)
+
+let engine_stats t =
+  match t.s_shard with
+  | None -> Pipeline.stats t.s_pipe
+  | Some sh ->
+    let merged = Estats.create Pipeline.stage_names in
+    Array.iter
+      (fun w -> Estats.merge_into ~into:merged (Pipeline.stats w.w_pipe))
+      sh.sh_workers;
+    let u = Shard.Steer.unkeyed sh.sh_steer in
+    if u > 0 then Estats.note_unkeyed ~n:u merged;
+    merged
+
+let processed t =
+  match t.s_shard with
+  | None -> t.s_processed
+  | Some sh -> shard_processed sh
+
+let workers t =
+  match t.s_shard with None -> 1 | Some sh -> Array.length sh.sh_workers
+
+let steals t =
+  match t.s_shard with
+  | None -> 0
+  | Some sh -> Shard.Steer.steals sh.sh_steer
 
 let close t =
   if not t.s_closed then begin
     t.s_closed <- true;
+    (match t.s_shard with
+    | None -> ()
+    | Some sh ->
+      Array.iter Spsc.close sh.sh_rings;
+      Array.iter Domain.join sh.sh_domains;
+      sh.sh_domains <- [||]);
     List.iter
       (fun l ->
         List.iter (fun c -> close_conn t c) l.l_conns;

@@ -28,6 +28,19 @@
     stream of [u16 big-endian length]-prefixed frames, each frame one
     engine packet, each reply written back with the same prefix.
 
+    {b Sharded mode} ([~workers] > 1, UDP only): the select loop becomes
+    a pure steering stage — it reads each datagram into scratch, reads
+    the flow key at its fixed wire offset (no decode), and blits the
+    packet once into the owner worker's lock-free {!Netdsl_engine.Spsc}
+    ring; one pipeline per worker domain drains its ring and sends each
+    reply with [sendto] from its own domain (datagrams are atomic, so
+    replies never interleave mid-packet).  Steering follows
+    {!Netdsl_engine.Shard.Steer} exactly: Fibonacci-hashed buckets,
+    per-flow worker affinity, optional fenced bucket stealing.  Run-to-
+    completion ordering holds {e per flow} rather than globally.  A full
+    worker ring drops the datagram (counted) instead of blocking the
+    listener.
+
     Graceful shutdown: SIGINT/SIGTERM handlers are installed {e before}
     the sockets are bound (a signal during bring-up still reaches the
     stats report), and set a stop flag the loop checks between drains.
@@ -50,6 +63,10 @@ val create :
   ?stack:Netdsl_format.Stack.t ->
   ?machine:Netdsl_fsm.Machine.t ->
   ?signals:bool ->
+  ?workers:int ->
+  ?allow_oversubscribe:bool ->
+  ?stealing:bool ->
+  ?shard_key:string ->
   flight:Netdsl_engine.Flight.spec ->
   listeners:endpoint list ->
   Netdsl_format.Desc.t ->
@@ -59,6 +76,17 @@ val create :
     then bind every listener.  [Error msg] — with every partial effect
     undone — on an empty listener list, an out-of-range port, an
     unparseable host, or a socket/bind failure.
+
+    [workers] (default 1) > 1 enables sharded mode: that many pipelines
+    on their own domains (spawned here, joined by {!close}).  Requires
+    UDP-only listeners and a steering key — [shard_key] names the field,
+    defaulting to the flight spec's own flow key; a spec without one is
+    an error.  Counts above [Domain.recommended_domain_count ()] are
+    clamped unless [allow_oversubscribe] (either way a {!Netdsl_engine.Stats}
+    warning is recorded on every worker).  [stealing] turns on fenced
+    bucket stealing for skewed flow mixes
+    ({!Netdsl_engine.Shard.Steer}) — note a stolen flow re-mints its
+    machine instance on the new owner.
 
     [stack] serves a layered chain: the pipeline decodes each datagram
     through the fused {!Netdsl_format.Stack} plan and the flight spec
@@ -92,15 +120,30 @@ val udp_port : t -> int option
 (** Port of the first UDP listener (convenience for loopback tests). *)
 
 val listener_stats : t -> (string * Stats.t) list
-(** Live per-listener counters, labelled ["udp 127.0.0.1:9000"]-style. *)
+(** Live per-listener counters, labelled ["udp 127.0.0.1:9000"]-style.
+    Sharded mode appends one ["worker N (tx)"] row per worker: replies
+    leave from worker domains and are counted there, never on a
+    listener. *)
 
 val net_stats : t -> Stats.t
-(** All listeners merged via {!Stats.merge}. *)
+(** All listeners (and, sharded, all worker tx rows) merged via
+    {!Stats.merge}. *)
 
 val engine_stats : t -> Netdsl_engine.Stats.t
+(** Sharded mode merges every worker pipeline and folds in the steering
+    stage's unkeyed count ({!Netdsl_engine.Stats.unkeyed}). *)
+
 val processed : t -> int
 (** Total packets processed since [create] (across runs). *)
 
+val workers : t -> int
+(** Worker-domain count ([1] outside sharded mode). *)
+
+val steals : t -> int
+(** Flow-hash buckets migrated by work stealing so far ([0] unless
+    sharded with [~stealing:true]). *)
+
 val close : t -> unit
-(** Close every socket and restore the previous signal handlers.
-    Idempotent. *)
+(** Close every socket and restore the previous signal handlers; in
+    sharded mode, first close the worker rings and join the domains
+    (the backlog is drained, replies flushed).  Idempotent. *)

@@ -945,6 +945,312 @@ let shard_key_must_be_fixed_offset () =
   | Ok _ -> Alcotest.fail "key_extractor accepted a missing field"
 
 (* ------------------------------------------------------------------ *)
+(* Spsc *)
+
+let spsc_fifo_wraparound () =
+  (* PRNG-driven push/poll against a queue model over a tiny ring, forcing
+     many wraps; tags must travel with their packets. *)
+  let r = Spsc.create ~slot_bytes:32 ~capacity:4 () in
+  check_int "capacity rounded" 4 (Spsc.capacity r);
+  let rng = Prng.of_int 99 in
+  let model = Queue.create () in
+  let fed = ref 0 in
+  for _ = 1 to 300 do
+    let pushes = Prng.int rng (Spsc.capacity r - Spsc.length r + 1) in
+    for _ = 1 to pushes do
+      incr fed;
+      let pkt = Printf.sprintf "p%d" !fed in
+      Queue.push (pkt, !fed land 0xFF) model;
+      check_bool "pushed" true
+        (Spsc.try_push r ~tag:(!fed land 0xFF) ~len:(String.length pkt) pkt)
+    done;
+    if Spsc.length r > 0 then begin
+      let n = Spsc.poll r ~max:(1 + Prng.int rng 4) in
+      for i = 0 to n - 1 do
+        let want_pkt, want_tag = Queue.pop model in
+        Alcotest.(check string) "fifo across wrap" want_pkt
+          (Bytes.sub_string (Spsc.buf r i) 0 (Spsc.len r i));
+        check_int "tag travels" want_tag (Spsc.tag r i)
+      done;
+      Spsc.release r
+    end
+  done
+
+let spsc_two_domains () =
+  (* The actual SPSC contract: a producer domain races a consumer domain
+     over a small ring; every packet must arrive exactly once, in order. *)
+  let r = Spsc.create ~slot_bytes:16 ~capacity:8 () in
+  let n = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          let pkt = Printf.sprintf "%d" i in
+          let k = ref 0 in
+          while not (Spsc.try_push r ~tag:i ~len:(String.length pkt) pkt) do
+            Spsc.backoff !k;
+            incr k
+          done
+        done;
+        Spsc.close r)
+  in
+  let next = ref 1 in
+  let running = ref true in
+  let k = ref 0 in
+  while !running do
+    match Spsc.poll r ~max:4 with
+    | -1 -> running := false
+    | 0 ->
+      Spsc.backoff !k;
+      incr k
+    | m ->
+      k := 0;
+      for i = 0 to m - 1 do
+        check_int "in order"
+          !next
+          (int_of_string (Bytes.sub_string (Spsc.buf r i) 0 (Spsc.len r i)));
+        check_int "tag in order" !next (Spsc.tag r i);
+        incr next
+      done;
+      Spsc.release r
+  done;
+  Domain.join producer;
+  check_int "every packet arrived" (n + 1) !next
+
+let spsc_backpressure_and_close () =
+  let r = Spsc.create ~capacity:2 () in
+  check_bool "space" true (Spsc.try_push r ~len:1 "a");
+  check_bool "space" true (Spsc.try_push r ~len:1 "b");
+  check_bool "full" false (Spsc.has_space r);
+  check_bool "push refused" false (Spsc.try_push r ~len:1 "c");
+  Spsc.close r;
+  (* close does not lose the backlog *)
+  let m = Spsc.poll r ~max:8 in
+  check_int "backlog claimed" 2 m;
+  Spsc.release r;
+  check_int "then drained" (-1) (Spsc.poll r ~max:8);
+  check_bool "space after release" true (Spsc.has_space r)
+
+let spsc_claim_discipline () =
+  let r = Spsc.create ~capacity:4 () in
+  ignore (Spsc.try_push r ~len:1 "a");
+  ignore (Spsc.poll r ~max:4);
+  (match Spsc.poll r ~max:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double poll accepted");
+  Spsc.release r;
+  match Spsc.release r with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release without claim accepted"
+
+let spsc_positions_are_absolute () =
+  (* head_pos/producer_pos keep counting past the capacity — the property
+     the migration fences rely on. *)
+  let r = Spsc.create ~capacity:2 () in
+  for i = 1 to 10 do
+    ignore (Spsc.try_push r ~len:1 "x");
+    check_int "producer pos" i (Spsc.producer_pos r);
+    ignore (Spsc.poll r ~max:1);
+    Spsc.release r;
+    check_int "head pos" i (Spsc.head_pos r)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Steer *)
+
+let steer_distribution () =
+  (* The Fibonacci hash must spread both sequential and strided keys:
+     either pattern fed to [worker_of_key] should load every worker with
+     a reasonable share (a plain mask would collapse strided keys onto
+     one worker). *)
+  let workers = 4 in
+  let st = Shard.Steer.create ~workers () in
+  check_int "buckets power of two" 256 (Shard.Steer.buckets st);
+  let spread label keys =
+    let counts = Array.make workers 0 in
+    List.iter
+      (fun k ->
+        let w = Shard.Steer.worker_of_key st k in
+        counts.(w) <- counts.(w) + 1)
+      keys;
+    let total = List.length keys in
+    Array.iteri
+      (fun w c ->
+        check_bool
+          (Printf.sprintf "%s: worker %d got %d/%d" label w c total)
+          true
+          (c * 100 / total >= 10))
+      counts
+  in
+  spread "sequential" (List.init 10_000 (fun i -> i));
+  spread "strided 4096" (List.init 10_000 (fun i -> i * 4096));
+  spread "strided 65536" (List.init 10_000 (fun i -> i * 65536));
+  (* unkeyed packets pin to worker 0 *)
+  check_int "no_key to worker 0" 0
+    (Shard.Steer.worker_of_key st Netdsl_format.View.no_key)
+
+let steer_bucket_rounding () =
+  let st = Shard.Steer.create ~buckets:100 ~workers:3 () in
+  check_int "rounded up" 128 (Shard.Steer.buckets st);
+  let st = Shard.Steer.create ~buckets:1 ~workers:5 () in
+  check_bool "at least workers" true (Shard.Steer.buckets st >= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Key extractor fast path *)
+
+let key_int_agrees_with_key_option () =
+  let module V = Netdsl_format.View in
+  let ke =
+    match V.key_extractor Fm.Arq.format "seq" with
+    | Ok ke -> ke
+    | Error e -> Alcotest.failf "key_extractor: %s" e
+  in
+  let rng = Prng.of_int 5 in
+  (* real packets, random garbage, and every truncation length *)
+  let inputs =
+    List.init 64 (fun i -> arq_data ~seq:(i * 4 land 0xFF) "pp")
+    @ List.init 64 (fun _ ->
+          String.init (Prng.int rng 12) (fun _ -> Char.chr (Prng.int rng 256)))
+    @ (let full = arq_data ~seq:200 "x" in
+       List.init (String.length full) (fun l -> String.sub full 0 l))
+  in
+  List.iter
+    (fun pkt ->
+      let opt = V.extract_key ke pkt in
+      let fast = V.extract_key_int ke pkt in
+      (match opt with
+      | None -> check_bool "no_key on short" true (fast = V.no_key)
+      | Some v -> check_int "same key" v fast);
+      (* the min-bytes bound is exactly the no_key frontier *)
+      check_bool "key_min_bytes frontier" true
+        ((String.length pkt >= V.key_min_bytes ke) = (fast <> V.no_key)))
+    inputs
+
+(* ------------------------------------------------------------------ *)
+(* Stats: unkeyed *)
+
+let stats_unkeyed_merge () =
+  let a = Stats.create [ "decode" ] in
+  let b = Stats.create [ "decode" ] in
+  Stats.note_unkeyed a;
+  Stats.note_unkeyed ~n:4 b;
+  check_int "count" 1 (Stats.unkeyed a);
+  let into = Stats.create [ "decode" ] in
+  Stats.merge_into ~into a;
+  Stats.merge_into ~into b;
+  check_int "merged" 5 (Stats.unkeyed into);
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "rendered" true (contains (Stats.to_text into) "unkeyed");
+  check_bool "silent when zero" false
+    (contains (Stats.to_text (Stats.create [ "decode" ])) "unkeyed")
+
+(* ------------------------------------------------------------------ *)
+(* Sharded vs single determinism *)
+
+(* Thread-safe per-flow reply log: the reply's own seq field (read with
+   the steering extractor) keys the table; per-flow append order is the
+   engine's per-flow processing order. *)
+let reply_log () =
+  let module V = Netdsl_format.View in
+  let ke =
+    match V.key_extractor Fm.Arq.format "seq" with
+    | Ok ke -> ke
+    | Error e -> Alcotest.failf "key_extractor: %s" e
+  in
+  let m = Mutex.create () in
+  let tbl : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  let on_response r =
+    let key = V.extract_key_int ke r in
+    Mutex.lock m;
+    let prev = try Hashtbl.find tbl key with Not_found -> [] in
+    Hashtbl.replace tbl key (r :: prev);
+    Mutex.unlock m
+  in
+  (tbl, on_response)
+
+let check_same_replies ~label reference got =
+  let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare in
+  check_bool
+    (Printf.sprintf "%s: same flow set" label)
+    true
+    (keys reference = keys got);
+  Hashtbl.iter
+    (fun k want ->
+      let have = try Hashtbl.find got k with Not_found -> [] in
+      check_bool
+        (Printf.sprintf "%s: flow %d reply sequence (%d vs %d replies)" label
+           k (List.length want) (List.length have))
+        true (want = have))
+    reference
+
+let shard_determinism ~stealing () =
+  let machine = Netdsl_proto.Arq_fsm.receiver ~seq_bits:8 in
+  let flows = 64 in
+  let counters = Array.make flows 0 in
+  let rng = Prng.of_int 7 in
+  let fed = ref [] in
+  let sh_tbl, sh_response = reply_log () in
+  let config = { Shard.workers = 2; pipeline = Pipeline.default_config } in
+  let steal_threshold = if stealing then Some 0 else None in
+  (match
+     Shard.create ~config ~allow_oversubscribe:true ~stealing ?steal_threshold
+       ~key:"seq" ~mode:Pipeline.Fused ~flight:arq_flight ~machine
+       ~on_response:sh_response Fm.Arq.format
+   with
+  | Error e -> Alcotest.failf "shard create: %s" e
+  | Ok sh ->
+    Shard.start sh;
+    let feed_burst n =
+      for _ = 1 to n do
+        let f = Prng.int rng flows in
+        counters.(f) <- counters.(f) + 1;
+        let pkt = arq_data ~seq:f (Printf.sprintf "c%04d" counters.(f)) in
+        fed := pkt :: !fed;
+        ignore (Shard.feed sh pkt)
+      done
+    in
+    feed_burst 2000;
+    if stealing then begin
+      (* pulse: let the workers run dry (and go hungry), then burst again
+         so the rebalancer has a hungry thief and a backlogged victim *)
+      let rounds = ref 0 in
+      while Shard.steals sh = 0 && !rounds < 100 do
+        incr rounds;
+        Unix.sleepf 0.002;
+        feed_burst 200
+      done
+    end;
+    Shard.drain sh;
+    if stealing then
+      check_bool "stealing actually exercised" true (Shard.steals sh > 0)
+    else begin
+      check_int "no steals without stealing" 0 (Shard.steals sh);
+      (* without migration every flow lives on exactly one worker *)
+      let live =
+        Array.fold_left
+          (fun acc p -> acc + Pipeline.flow_count p)
+          0 (Shard.pipelines sh)
+      in
+      check_int "one instance per flow" flows live
+    end);
+  (* reference: the same packets, same order, through one pipeline *)
+  let ref_tbl, ref_response = reply_log () in
+  let p =
+    Pipeline.create ~mode:Pipeline.Fused ~flight:arq_flight ~machine
+      ~on_response:ref_response Fm.Arq.format
+  in
+  List.iter (fun pkt -> ignore (Pipeline.process p pkt)) (List.rev !fed);
+  check_same_replies
+    ~label:(if stealing then "stealing" else "plain")
+    ref_tbl sh_tbl
+
+let shard_determinism_plain () = shard_determinism ~stealing:false ()
+let shard_determinism_stealing () = shard_determinism ~stealing:true ()
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [ ( "engine.ring",
@@ -1004,5 +1310,25 @@ let suite =
         Alcotest.test_case "oversubscription clamped+warned" `Quick
           shard_clamps_oversubscription;
         Alcotest.test_case "fused sharded responder" `Quick shard_fused_mode;
-        Alcotest.test_case "bad key rejected" `Quick shard_key_must_be_fixed_offset ] )
+        Alcotest.test_case "bad key rejected" `Quick shard_key_must_be_fixed_offset ] );
+    ( "engine.spsc",
+      [ Alcotest.test_case "fifo + tags across wraparound" `Quick
+          spsc_fifo_wraparound;
+        Alcotest.test_case "two-domain hand-off" `Quick spsc_two_domains;
+        Alcotest.test_case "backpressure and close drain" `Quick
+          spsc_backpressure_and_close;
+        Alcotest.test_case "claim discipline" `Quick spsc_claim_discipline;
+        Alcotest.test_case "absolute positions" `Quick
+          spsc_positions_are_absolute ] );
+    ( "engine.steer",
+      [ Alcotest.test_case "fibonacci distribution" `Quick steer_distribution;
+        Alcotest.test_case "bucket table rounding" `Quick steer_bucket_rounding;
+        Alcotest.test_case "fast key read = slow key read" `Quick
+          key_int_agrees_with_key_option;
+        Alcotest.test_case "unkeyed stats merge" `Quick stats_unkeyed_merge ] );
+    ( "engine.shard.determinism",
+      [ Alcotest.test_case "sharded = single (per flow)" `Quick
+          shard_determinism_plain;
+        Alcotest.test_case "sharded = single under stealing" `Quick
+          shard_determinism_stealing ] )
   ]

@@ -310,6 +310,111 @@ let create_red_paths () =
           (mk [ Server.Tcp { host = "127.0.0.1"; port } ]))
 
 (* ------------------------------------------------------------------ *)
+(* sharded mode *)
+
+(* Two worker domains behind one UDP socket: the listener steers each
+   datagram by its seq field into a per-worker SPSC ring; replies come
+   back from the worker domains' own [sendto].  Every flow must be
+   answered (kind patched to ack), rx charged to the listener and tx to
+   the worker rows. *)
+let sharded_udp_roundtrip () =
+  match
+    Server.create ~mode:Pipeline.Fused ~signals:false ~flight:arq_flight
+      ~workers:2 ~allow_oversubscribe:true
+      ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+      Fm.Arq.format
+  with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Server.close srv)
+      (fun () ->
+        check_int "two workers" 2 (Server.workers srv);
+        let port = Option.get (Server.udp_port srv) in
+        let n = 64 in
+        let dom = Domain.spawn (fun () -> Server.run ~max_packets:n srv) in
+        let fd = udp_client () in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let sent = Hashtbl.create n in
+            for i = 1 to n do
+              let pkt = arq_data ~seq:(i land 0xFF) (Printf.sprintf "m%02d" i) in
+              Hashtbl.replace sent (i land 0xFF) pkt;
+              send fd port pkt
+            done;
+            (* run returns only after the worker rings are drained, so
+               every reply has left a worker's sendto by now *)
+            check_int "all steered and served" n (Domain.join dom);
+            let got = ref 0 in
+            let continue = ref true in
+            while !continue do
+              match recv_timeout ~timeout:1.0 fd with
+              | None -> continue := false
+              | Some reply ->
+                incr got;
+                let seq = Char.code reply.[0] in
+                check_bool "reply to a sent flow" true (Hashtbl.mem sent seq);
+                check_int "kind patched to ack" 1 (Char.code reply.[1]);
+                check_int "reply keeps the length"
+                  (String.length (Hashtbl.find sent seq))
+                  (String.length reply)
+            done;
+            check_int "every packet answered" n !got;
+            let es = Server.engine_stats srv in
+            let module Estats = Netdsl_engine.Stats in
+            check_int "every packet decoded" n
+              (Estats.stage_packets es (Estats.stage_index es "decode"));
+            let st = Server.net_stats srv in
+            check_int "rx counted (listener)" n st.Nstats.rx_pkts;
+            check_int "tx counted (workers)" n st.Nstats.tx_pkts;
+            (* the listener's own stats carry no tx: replies never touch
+               the select thread *)
+            let l_st =
+              match Server.listener_stats srv with
+              | (_, st) :: _ -> st
+              | [] -> Alcotest.fail "no listener row"
+            in
+            check_int "listener tx untouched" 0 l_st.Nstats.tx_pkts))
+
+let sharded_create_red_paths () =
+  let contains msg sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg
+      && (String.equal (String.sub msg i n) sub || go (i + 1))
+    in
+    go 0
+  in
+  let fail_is expect = function
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" msg expect)
+        true (contains msg expect)
+    | Ok srv ->
+      Server.close srv;
+      Alcotest.failf "expected an error mentioning %S" expect
+  in
+  (* TCP cannot shard: replies would interleave on the stream *)
+  fail_is "UDP"
+    (Server.create ~signals:false ~flight:arq_flight ~workers:2
+       ~allow_oversubscribe:true
+       ~listeners:[ Server.Tcp { host = "127.0.0.1"; port = 0 } ]
+       Fm.Arq.format);
+  (* echo_flight declares no flow key and none is supplied *)
+  fail_is "steering key"
+    (Server.create ~signals:false ~flight:echo_flight ~workers:2
+       ~allow_oversubscribe:true
+       ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+       Fm.Arq.format);
+  (* an explicit ~shard_key must exist in the format *)
+  fail_is "bad steering key"
+    (Server.create ~signals:false ~flight:echo_flight ~workers:2
+       ~allow_oversubscribe:true ~shard_key:"nope"
+       ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+       Fm.Arq.format)
+
+(* ------------------------------------------------------------------ *)
 (* serving a layered chain *)
 
 (* A chained TFTP request over real UDP: the server decodes the whole
@@ -438,7 +543,11 @@ let suite =
         Alcotest.test_case "tcp framed round trip" `Quick tcp_roundtrip_framed;
         Alcotest.test_case "chained tftp served through the fused stack" `Quick
           stacked_serve_chained_tftp;
-        Alcotest.test_case "create red paths" `Quick create_red_paths ] );
+        Alcotest.test_case "create red paths" `Quick create_red_paths;
+        Alcotest.test_case "sharded udp round trip" `Quick
+          sharded_udp_roundtrip;
+        Alcotest.test_case "sharded create red paths" `Quick
+          sharded_create_red_paths ] );
     ( "net.loopback",
       [ Alcotest.test_case "5k-mutant socket soak agrees with memory" `Quick
           loopback_soak_agrees ] ) ]
