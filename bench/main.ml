@@ -2446,12 +2446,212 @@ let e18 () =
      so per-flow run-to-completion ordering survives (the determinism test\n\
      in test_engine.ml re-proves it with stealing forced on)."
 
+(* ------------------------------------------------------------------ *)
+(* E19: hierarchical timer wheel at flow-table scale *)
+
+let e19 () =
+  section "e19"
+    "hierarchical timer wheel: a million armed flows, churn, amortized cost"
+    "§3.4 success-or-timeout, at engine scale";
+  let n_flows = if !quick then 100_000 else 1_000_000 in
+  let nop ~key:_ ~ev:_ = () in
+  (* -- (a) raw wheel: arm every flow, then churn at full occupancy -- *)
+  let w = Engine.Wheel.create () in
+  let arm_dt =
+    time_loop n_flows (fun i ->
+        Engine.Wheel.arm w ~key:i ~after:(1 + (i land 0xFFFF)) ~ev:0)
+  in
+  let million_armed = Engine.Wheel.live w = n_flows in
+  let churn_n = if !quick then 200_000 else 2_000_000 in
+  (* the wheel is fully grown: steady-state churn must mint nothing *)
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let churn_dt =
+    time_loop churn_n (fun i ->
+        Engine.Wheel.arm w
+          ~key:(i * 0x9E3779B1 mod n_flows)
+          ~after:(1 + (i land 0x3FF))
+          ~ev:0;
+        if i land 0xFF = 0xFF then
+          ignore
+            (Engine.Wheel.advance w ~now:(Engine.Wheel.now w + 1) nop))
+  in
+  let a1 = Gc.allocated_bytes () in
+  let churn_alloc = (a1 -. a0) /. float_of_int churn_n in
+  let arm_ns = arm_dt *. 1e9 /. float_of_int n_flows in
+  let churn_ns = churn_dt *. 1e9 /. float_of_int churn_n in
+  Printf.printf "(a) raw wheel, %d armed flows\n" n_flows;
+  Printf.printf "  first arm:  %7.1f ns/op\n" arm_ns;
+  Printf.printf "  churn:      %7.1f ns/op  (%.2f B/op; re-arm + tick mix)\n"
+    churn_ns churn_alloc;
+  (* -- (b) drain: fire every armed timer, cascades included -- *)
+  let live_before = Engine.Wheel.live w in
+  let fired = ref 0 in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  while Engine.Wheel.live w > 0 do
+    fired :=
+      !fired + Engine.Wheel.advance w ~now:(Engine.Wheel.now w + 4096) nop
+  done;
+  let drain_dt = Unix.gettimeofday () -. t0 in
+  let drain_ns = drain_dt *. 1e9 /. float_of_int !fired in
+  Printf.printf "(b) drain: %d expirations at %.1f ns/expiry, %d cascades\n"
+    !fired drain_ns (Engine.Wheel.cascaded w);
+  assert (!fired = live_before);
+  (* -- (c) per-packet amortized overhead through the pipeline: the same
+     fused flight over the same machine, with and without a timeout
+     clause on its one transition.  The deadline is an hour out and the
+     virtual clock never moves, so the difference is pure timer cost:
+     one packed-word read, one wheel re-arm, one poll branch. -- *)
+  let mk_machine timed =
+    Machine.machine ~name:"rearm" ~states:[ "run" ] ~events:[ "pkt" ]
+      ~initial:"run" ~accepting:[ "run" ]
+      [
+        Machine.trans ~label:"pkt" ~src:"run" ~event:"pkt" ~dst:"run"
+          ~timer:
+            (if timed then
+               Machine.Arm_timer { after_ms = 3_600_000; fire = "pkt" }
+             else Machine.No_timer)
+          ();
+      ]
+  in
+  let flight =
+    Engine.Flight.(
+      spec
+        ~verify:(Cmp (Lt, Field "seq", Const 256L))
+        ~classify:
+          [ { ev_when = Cmp (Eq, Field "kind", Const 0L); ev_name = "pkt" } ]
+        ~flow_key:"seq" ())
+  in
+  let pkts =
+    Array.init 256 (fun i ->
+        Formats.Arq.to_bytes (Formats.Arq.Data { seq = i; payload = "x" }))
+  in
+  let mk_pipe timed =
+    let clock = ref 0 in
+    Engine.Pipeline.create
+      ~config:{ Engine.Pipeline.default_config with batch = 256 }
+      ~mode:Engine.Pipeline.Fused ~flight
+      ~machine:(mk_machine timed)
+      ~clock_ms:(fun () -> !clock)
+      Formats.Arq.format
+  in
+  (* batched drive — the engine's normal operating mode; a window is one
+     poll, so the timer cost left per packet is the wheel re-arm.  The
+     overhead is a paired measurement: plain and timed slices alternate
+     inside one timing region, and the reported figure is the median of
+     per-round differences — CPU-frequency drift and scheduler noise hit
+     both slices of a round alike and cancel, where independent best-of
+     runs swing by more than the budget being measured. *)
+  let p_plain = mk_pipe false and p_timed = mk_pipe true in
+  Engine.Pipeline.process_batch p_plain pkts 256;
+  Engine.Pipeline.process_batch p_timed pkts 256;
+  let rounds = if !quick then 48 else 128 in
+  let slice = 16 (* batches of 256 per side per round *) in
+  let slice_pkts = float_of_int (slice * 256) in
+  let diffs = Array.make rounds 0. in
+  let tot_plain = ref 0. and tot_timed = ref 0. in
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  for r = 0 to rounds - 1 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to slice do
+      Engine.Pipeline.process_batch p_plain pkts 256
+    done;
+    let t1 = Unix.gettimeofday () in
+    for _ = 1 to slice do
+      Engine.Pipeline.process_batch p_timed pkts 256
+    done;
+    let t2 = Unix.gettimeofday () in
+    tot_plain := !tot_plain +. (t1 -. t0);
+    tot_timed := !tot_timed +. (t2 -. t1);
+    diffs.(r) <- (t2 -. t1 -. (t1 -. t0)) *. 1e9 /. slice_pkts
+  done;
+  let a1 = Gc.allocated_bytes () in
+  let pipe_n = rounds * slice * 256 in
+  (* both sides ran between [a0] and [a1]; the plain side is known
+     0 B/pkt, so the whole budget is charged to the timed side *)
+  let timed_alloc = (a1 -. a0) /. float_of_int pipe_n in
+  Array.sort compare diffs;
+  let overhead = diffs.(rounds / 2) in
+  let plain_ns = !tot_plain *. 1e9 /. float_of_int pipe_n in
+  let timed_ns = !tot_timed *. 1e9 /. float_of_int pipe_n in
+  Printf.printf
+    "(c) pipeline, 256 flows re-arming every packet (median of %d paired \
+     rounds)\n"
+    rounds;
+  Printf.printf "  no timeout clause:   %7.1f ns/pkt\n" plain_ns;
+  Printf.printf "  with timeout clause: %7.1f ns/pkt  (%.2f B/pkt)\n" timed_ns
+    timed_alloc;
+  Printf.printf "  timer overhead:      %7.1f ns/pkt amortized\n" overhead;
+  (* -- gates -- *)
+  let failures = ref [] in
+  let gate name ok = if not ok then failures := name :: !failures in
+  gate
+    (Printf.sprintf "wheel did not hold %d concurrent timers" n_flows)
+    million_armed;
+  gate "timer overhead > 15 ns/pkt amortized" (overhead <= 15.0);
+  gate "steady-state churn allocates (>= 1 B/op)" (churn_alloc < 1.0);
+  gate "timed pipeline allocates (>= 1 B/pkt steady state)"
+    (timed_alloc < 1.0);
+  (* -- machine-readable dump -- *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"experiment\": \"e19\",\n";
+  Printf.bprintf buf "  \"quick\": %b,\n" !quick;
+  Printf.bprintf buf "  \"armed_flows\": %d,\n" n_flows;
+  Printf.bprintf buf "  \"wheel\": {\n";
+  Printf.bprintf buf "    \"first_arm_ns\": %.1f,\n" arm_ns;
+  Printf.bprintf buf "    \"churn_ns\": %.1f,\n" churn_ns;
+  Printf.bprintf buf "    \"churn_alloc_b_per_op\": %.2f,\n" churn_alloc;
+  Printf.bprintf buf "    \"drain_ns_per_expiry\": %.1f,\n" drain_ns;
+  Printf.bprintf buf "    \"expired\": %d,\n" !fired;
+  Printf.bprintf buf "    \"cascaded\": %d\n" (Engine.Wheel.cascaded w);
+  Buffer.add_string buf "  },\n";
+  Printf.bprintf buf "  \"pipeline\": {\n";
+  Printf.bprintf buf "    \"packets\": %d,\n" pipe_n;
+  Printf.bprintf buf "    \"plain_ns_per_pkt\": %.1f,\n" plain_ns;
+  Printf.bprintf buf "    \"timed_ns_per_pkt\": %.1f,\n" timed_ns;
+  Printf.bprintf buf "    \"timed_alloc_b_per_pkt\": %.2f,\n" timed_alloc;
+  Printf.bprintf buf "    \"timer_overhead_ns_per_pkt\": %.1f\n" overhead;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"gates\": {\n";
+  Printf.bprintf buf "    \"concurrent_armed_flows\": %b,\n" million_armed;
+  Printf.bprintf buf "    \"timer_overhead_le_15ns\": %b,\n"
+    (overhead <= 15.0);
+  Printf.bprintf buf "    \"churn_alloc_b_per_op_lt_1\": %b,\n"
+    (churn_alloc < 1.0);
+  Printf.bprintf buf "    \"pipeline_alloc_b_per_pkt_lt_1\": %b\n"
+    (timed_alloc < 1.0);
+  Buffer.add_string buf "  }\n}\n";
+  let path = "BENCH_E19.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n(wrote %s)\n" path;
+  (match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "bench e19: GATE FAILED: %s\n" f) fs;
+    exit 1);
+  print_endline
+    "\nRESULT shape: the wheel holds a million concurrent deadlines in flat\n\
+     int arrays — arm, re-arm and cancel are O(1) pointer splices, so full-\n\
+     occupancy churn runs at memory speed and allocates nothing.  Draining\n\
+     the whole population cascades entries down the levels a handful of\n\
+     times each.  Through the pipeline, a DSL timeout clause costs one\n\
+     packed-word read and a signature check per accepted packet — deadlines\n\
+     are tick-quantized, so a re-arm inside the same tick is idempotent and\n\
+     skips the wheel entirely; the splice happens once per tick per flow —\n\
+     within the 15 ns/pkt amortized budget, 0 B/pkt at steady state — so\n\
+     per-flow retransmission deadlines ride the fast path instead of a heap."
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
     ("ablate", ablate);
   ]
 

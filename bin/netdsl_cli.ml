@@ -699,8 +699,12 @@ let serve_cmd =
     Arg.(value & flag & info [ "allow-oversubscribe" ]
            ~doc:"Allow more worker domains than available cores (they will time-share; throughput numbers then measure the scheduler).")
   in
+  let tick_opt =
+    Arg.(value & opt int 1 & info [ "tick" ] ~docv:"MS"
+           ~doc:"Timer-wheel granularity: one engine tick per MS milliseconds (default 1).  Timeout durations declared by the served machine round up to whole ticks; without $(b,timeout) clauses the flag has no effect.")
+  in
   let run file fmt_name stack_name host udp tcp mode max_packets duration patches
-      workers shard_key stealing allow_oversubscribe =
+      workers shard_key stealing allow_oversubscribe tick_ms =
     let program = load file in
     let die msg =
       Format.eprintf "netdsl: %s@." msg;
@@ -803,9 +807,10 @@ let serve_cmd =
     in
     if workers > 1 && shard_key = None then
       die "--workers > 1 requires --shard-key FIELD (the flow field to steer on)";
+    if tick_ms <= 0 then die "--tick must be a positive millisecond count";
     match
       Net.Server.create ~mode ?stack ~flight ~listeners ~workers
-        ~allow_oversubscribe ~stealing ?shard_key fmt
+        ~allow_oversubscribe ~stealing ?shard_key ~tick_ms fmt
     with
     | Error msg -> die msg
     | Ok srv ->
@@ -846,7 +851,8 @@ let serve_cmd =
        ~doc:"Answer real datagrams: bind nonblocking UDP/TCP listeners on a format from the file and run every received packet through the engine, echoing each accepted packet back with the requested fields patched in place.  With $(b,--stack), packets decode through the fused layered chain and patches are qualified layer.field names.")
     Term.(const run $ file_arg $ format_opt $ stack_opt $ host_opt $ udp_opt
           $ tcp_opt $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt
-          $ serve_workers_opt $ shard_key_opt $ steal_opt $ oversubscribe_opt)
+          $ serve_workers_opt $ shard_key_opt $ steal_opt $ oversubscribe_opt
+          $ tick_opt)
 
 let () =
   let doc = "a DSL toolchain for network protocols" in

@@ -8,7 +8,12 @@ module Pipeline = Netdsl_engine.Pipeline
 module Flight = Netdsl_engine.Flight
 module Stats = Netdsl_engine.Stats
 
-type bug = No_bug | Invert_view_accept | Invert_flight_accept | Invert_chain_accept
+type bug =
+  | No_bug
+  | Invert_view_accept
+  | Invert_flight_accept
+  | Invert_chain_accept
+  | Drop_expiry
 
 type disagreement = { d_check : string; d_detail : string }
 
@@ -417,4 +422,189 @@ module Chain = struct
     | Ok () ->
       Array.init t.c_layers (fun i ->
           (Stack.Seq.layer_off t.c_seq i, Stack.Seq.layer_len t.c_seq i))
+end
+
+(* ---- the timer oracle leg ----
+
+   One machine with [timeout] clauses, one timeout-laced stimulus trace,
+   two executions of the same compiled [Step] plan:
+
+   - live: an [Engine.Wheel] in integer virtual time — the exact
+     arm/cancel discipline the pipeline's step stage applies (the fired
+     transition's packed timer word drives the wheel, expirations fire
+     back through [fire_id], and an expiry's own transition may re-arm);
+   - reference: the discrete-event simulator — external events scheduled
+     on a [Sim.Engine] heap, the flow's single timer a [Sim.Timer]
+     (start replaces, stop cancels), the ladder's deterministic
+     same-time order (schedule order) arbitrating ties.
+
+   Both sides log every verdict with its virtual time, new state and
+   register file; the logs — and the final configurations — must be
+   identical.  The one deliberate alignment: the wheel is advanced only
+   to [at - 1] before a stimulus at [at], so an expiry due exactly at a
+   stimulus time fires after the stimulus — which is the simulator's
+   order too (the stimulus was scheduled first).
+
+   The planted defect [Drop_expiry] makes the live wheel silently lose
+   every second armed timer, the failure mode a broken cascade or a
+   clobbered freelist would produce: nothing crashes, a deadline just
+   never fires.  The log comparison must catch it. *)
+module Timers = struct
+  module Step = Netdsl_fsm.Step
+  module Wheel = Netdsl_engine.Wheel
+  module Sim = Netdsl_sim
+
+  type nonrec t = {
+    tm_bug : bug;
+    tm_plan : Step.plan;
+    mutable tm_checked : int;
+  }
+
+  let create ?(bug = No_bug) machine =
+    { tm_bug = bug; tm_plan = Step.compile machine; tm_checked = 0 }
+
+  let checked t = t.tm_checked
+
+  (* One log line per delivered event: time, verdict, configuration. *)
+  let entry plan inst time ev = function
+    | Step.Fired ->
+      let buf = Buffer.create 48 in
+      Buffer.add_string buf
+        (Printf.sprintf "t=%d %s -> %s" time (Step.event_name plan ev)
+           (Step.state_name_of inst));
+      for r = 0 to Step.n_registers plan - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf " %s=%d" (Step.register_name plan r)
+             (Step.register inst r))
+      done;
+      Buffer.contents buf
+    | v -> Printf.sprintf "t=%d %s %s" time (Step.event_name plan ev)
+             (match v with
+             | Step.Fired -> assert false
+             | Step.Unknown_event -> "unknown"
+             | Step.Unhandled -> "unhandled"
+             | Step.Nondeterministic -> "nondeterministic")
+
+  let run_live t trace ~horizon =
+    let plan = t.tm_plan in
+    let inst = Step.instance plan in
+    let w = Wheel.create () in
+    let log = ref [] in
+    let arms = ref 0 in
+    let fire time ev =
+      let v = Step.fire_id inst ev in
+      log := entry plan inst time ev v :: !log;
+      if v = Step.Fired then begin
+        let tw = Step.timer_word plan (Step.last_transition inst) in
+        if tw > 0 then begin
+          incr arms;
+          (* the planted wheel defect: every second arm is lost *)
+          if not (t.tm_bug = Drop_expiry && !arms land 1 = 0) then
+            (* the deadline is relative to the event's own time: a
+               stimulus at [at] fires while the wheel still sits at
+               [at - 1] (the tie rule), so fold the lag into [after];
+               expiry callbacks run with the wheel at their tick and
+               the correction is zero *)
+            Wheel.arm w ~key:0
+              ~after:(time - Wheel.now w + Step.timer_after_ms tw)
+              ~ev:(Step.timer_event tw)
+        end
+        else if tw = Step.timer_cancel then ignore (Wheel.cancel w 0)
+      end
+    in
+    let fire_cb ~key:_ ~ev = fire (Wheel.now w) ev in
+    List.iter
+      (fun (at, ev) ->
+        if at > 0 then ignore (Wheel.advance w ~now:(at - 1) fire_cb);
+        fire at ev)
+      trace;
+    ignore (Wheel.advance w ~now:horizon fire_cb);
+    (inst, List.rev !log)
+
+  let run_ref t trace ~horizon =
+    let plan = t.tm_plan in
+    let inst = Step.instance plan in
+    let eng = Sim.Engine.create () in
+    let log = ref [] in
+    let pending_ev = ref (-1) in
+    let tmr = ref None in
+    let rec fire ev =
+      let time = int_of_float (Sim.Engine.now eng) in
+      let v = Step.fire_id inst ev in
+      log := entry plan inst time ev v :: !log;
+      if v = Step.Fired then begin
+        let tw = Step.timer_word plan (Step.last_transition inst) in
+        if tw > 0 then begin
+          pending_ev := Step.timer_event tw;
+          timer_start (float_of_int (Step.timer_after_ms tw))
+        end
+        else if tw = Step.timer_cancel then Sim.Timer.stop (timer ())
+      end
+    and timer () =
+      match !tmr with
+      | Some tm -> tm
+      | None ->
+        let tm = Sim.Timer.create eng ~on_expiry:(fun () -> fire !pending_ev) in
+        tmr := Some tm;
+        tm
+    and timer_start after = Sim.Timer.start (timer ()) ~after in
+    List.iter
+      (fun (at, ev) ->
+        ignore
+          (Sim.Engine.schedule_at eng ~time:(float_of_int at) (fun () ->
+               fire ev)))
+      trace;
+    ignore (Sim.Engine.run ~until:(float_of_int horizon) eng);
+    (inst, List.rev !log)
+
+  let final plan inst =
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf (Step.state_name_of inst);
+    for r = 0 to Step.n_registers plan - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf " %s=%d" (Step.register_name plan r)
+           (Step.register inst r))
+    done;
+    Buffer.contents buf
+
+  let check_inner t ?(horizon_ms = 4096) trace =
+    let trace =
+      List.stable_sort (fun (a, _) (b, _) -> compare a b) trace
+      |> List.map (fun (at, name) ->
+             if at < 0 then invalid_arg "Oracle.Timers.check: negative time";
+             let ev = Step.event_id t.tm_plan name in
+             if ev < 0 then
+               invalid_arg
+                 (Printf.sprintf "Oracle.Timers.check: unknown event %S" name);
+             (at, ev))
+    in
+    let horizon =
+      List.fold_left (fun acc (at, _) -> max acc at) 0 trace + horizon_ms
+    in
+    let inst_live, log_live = run_live t trace ~horizon in
+    let inst_ref, log_ref = run_ref t trace ~horizon in
+    let rec diff i a b =
+      match (a, b) with
+      | [], [] ->
+        let fl = final t.tm_plan inst_live and fr = final t.tm_plan inst_ref in
+        if String.equal fl fr then Ok ()
+        else
+          fail "timers" "final configurations diverged\nwheel: %s\nsim:   %s" fl
+            fr
+      | x :: a', y :: b' when String.equal x y -> diff (i + 1) a' b'
+      | a, b ->
+        let head = function [] -> "<nothing>" | x :: _ -> x in
+        fail "timers"
+          "step-with-wheel and simulator diverged at event #%d\nwheel: %s\nsim:   %s"
+          i (head a) (head b)
+    in
+    diff 0 log_live log_ref
+
+  let check ?horizon_ms t trace =
+    t.tm_checked <- t.tm_checked + 1;
+    match check_inner t ?horizon_ms trace with
+    | exception (Invalid_argument _ as e) -> raise e
+    | exception e ->
+      fail "crash" "exception escaped the timer leg: %s" (Printexc.to_string e)
+    | r -> r
 end

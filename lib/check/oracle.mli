@@ -40,12 +40,17 @@ type bug =
       (** report the fused {e chain} verdict inverted on accepted layered
           input, as if a chained bounds check were flipped — proves the
           {!Chain} leg can catch a stack-fusion bug *)
+  | Drop_expiry
+      (** the live timing wheel silently loses every second armed timer —
+          the failure mode a broken cascade or clobbered freelist would
+          produce (no crash, a deadline just never fires) — proves the
+          {!Timers} leg can catch a wheel that loses timers *)
 
 type disagreement = {
   d_check : string;
       (** which comparison diverged: ["verdict"], ["value"], ["reencode"],
-          ["pipeline"], ["flight"], ["fused"], ["stats"], ["chain"] or
-          ["crash"] *)
+          ["pipeline"], ["flight"], ["fused"], ["stats"], ["chain"],
+          ["timers"] or ["crash"] *)
   d_detail : string;  (** rendered evidence: both sides of the divergence *)
 }
 
@@ -130,4 +135,39 @@ module Reply_ref : sig
       as the server's pipeline does, so lock-step callers stay in sync. *)
 
   val stats : t -> Netdsl_engine.Stats.t
+end
+
+(** {2 Timer oracle leg: Step-with-wheel vs the simulator}
+
+    A machine with [timeout] clauses, executed twice over one
+    timeout-laced stimulus trace: once through the engine's
+    {!Netdsl_engine.Wheel} in integer virtual time (the exact arm/cancel
+    discipline the pipeline's step stage applies — the fired transition's
+    packed timer word drives the wheel, expirations fire back through
+    [fire_id], and an expiry's own transition may re-arm), and once
+    through the discrete-event simulator (external events on a
+    {!Netdsl_sim.Engine} heap, the flow's single timer a
+    {!Netdsl_sim.Timer}).  Every delivered event's verdict, time, state
+    and register file must match, as must the final configurations.
+
+    A stimulus and an expiry due at the same instant deliver the stimulus
+    first on both sides (the simulator's schedule order; the wheel is
+    advanced only to [at - 1] before a stimulus at [at]). *)
+module Timers : sig
+  type t
+
+  val create : ?bug:bug -> Netdsl_fsm.Machine.t -> t
+  (** Compiles the machine once ([Invalid_argument] on defects — the
+      same validation {!Netdsl_fsm.Step.compile} applies). *)
+
+  val check : ?horizon_ms:int -> t -> (int * string) list -> (unit, disagreement) result
+  (** [check t trace] runs the stimuli [(at_ms, event)] (sorted by time,
+      ties in list order) through both executions and diffs the logs.
+      After the last stimulus both sides keep running expiry chains for
+      [horizon_ms] more milliseconds (default 4096) — far-future arms
+      beyond the horizon never fire on either side.  [d_check] is
+      ["timers"], or ["crash"] for an escaped exception.  Raises
+      [Invalid_argument] on a negative time or unknown event name. *)
+
+  val checked : t -> int
 end

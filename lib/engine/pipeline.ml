@@ -211,6 +211,21 @@ type t = {
   (* sequential reference decoder of the flight's chain, for recovering
      layer-qualified decode-error detail on the [`Stacked] tier *)
   seq : F.Stack.Seq.t option;
+  (* time: the wheel exists iff the compiled machine declares timer ops.
+     [timed] guards the per-packet post-fire check with one bool read;
+     [clock_ms] is injectable so tests drive virtual time; [w_*] are the
+     wheel-counter snapshots already folded into [stats]. *)
+  timed : bool;
+  wheel : Wheel.t option;
+  clock_ms : unit -> int;
+  tick_ms : int;
+  mutable w_expired : int;
+  mutable w_cancelled : int;
+  mutable w_cascaded : int;
+  (* the expiry callback is tied once after creation (it closes over [t])
+     so a poll allocates nothing; [expiry_refused] is its out-channel *)
+  mutable expiry_cb : key:int -> ev:int -> unit;
+  mutable expiry_refused : int;
 }
 
 (* Event id handed to [Step.fire_id] for a classified event name the plan
@@ -220,12 +235,97 @@ let unknown_event = max_int
 
 let no_key = Flight.no_key
 
+(* The timer key of a flow: its native-int flow key when the pipeline is
+   keyed; [no_key] stands for the shared default instance (both the
+   unkeyed pipeline and keyless packets of a keyed one). *)
+let wheel_key t k = match t.flows with Some _ -> k | None -> no_key
+
+(* Post-fire timer op: one array read and a zero compare on the packed
+   word ([Step.timer_word]) — the whole hot-path cost for transitions
+   without a clause.  Called only when [t.timed]. *)
+let apply_timer t inst k =
+  let plan = Fsm.Step.plan_of inst in
+  let tw = Fsm.Step.timer_word plan (Fsm.Step.last_transition inst) in
+  if tw <> Fsm.Step.timer_none then begin
+    match t.wheel with
+    | None -> ()
+    | Some w ->
+      if tw > 0 then begin
+        let wn = Wheel.now w in
+        (* same word at the same wheel tick: the deadline is
+           bit-identical to the one already armed — skip the wheel *)
+        if not (Fsm.Step.timer_unchanged inst ~word:tw ~wnow:wn) then
+          (* tick_ms = 1 (the default) skips the round-up division — a
+             runtime divide is a real cost at 15 ns/pkt budgets *)
+          let after =
+            if t.tick_ms = 1 then Fsm.Step.timer_after_ms tw
+            else (Fsm.Step.timer_after_ms tw + t.tick_ms - 1) / t.tick_ms
+          in
+          Fsm.Step.note_timer_armed inst
+            ~hint:
+              (Wheel.arm_hint w
+                 ~hint:(Fsm.Step.timer_hint inst)
+                 ~key:k ~after ~ev:(Fsm.Step.timer_event tw))
+            ~word:tw ~wnow:wn
+      end
+      else begin
+        ignore (Wheel.cancel w k);
+        Fsm.Step.clear_timer_armed inst
+      end
+  end
+
+(* Expiry delivery: the synthesized timeout event enters through the
+   normal step stage — same [fire_id], same [on_transition] hook, same
+   per-flow run-to-completion order (the wheel fires between batches,
+   never inside one) — and the fired transition's own timer op applies,
+   so a retransmission timeout can re-arm itself.  The flow is touched to
+   the MRU end: a flow in active retransmission is not an eviction
+   candidate.  A missing flow (evicted — its timer was cancelled — or a
+   machine that refuses the event) counts as a refused expiry. *)
+let fire_expiry t ~key ~ev =
+  let inst =
+    if key = no_key then t.default_inst
+    else
+      match t.flows with
+      | Some tbl ->
+        let slot = hfind tbl key in
+        if slot >= 0 then begin
+          unlink tbl slot;
+          push_mru tbl slot;
+          Some (Array.unsafe_get tbl.insts slot)
+        end
+        else None
+      | None -> t.default_inst
+  in
+  match inst with
+  | None -> t.expiry_refused <- t.expiry_refused + 1
+  | Some inst -> (
+    (* the fired entry has left the wheel: the instance's armed-timer
+       signature is stale, and the fired transition below may arm a
+       fresh one through [apply_timer] *)
+    Fsm.Step.clear_timer_armed inst;
+    match Fsm.Step.fire_id inst ev with
+    | Fsm.Step.Fired -> (
+      apply_timer t inst key;
+      match t.on_transition with
+      | None -> ()
+      | Some hook ->
+        let plan = Fsm.Step.plan_of inst in
+        hook (Fsm.Step.transition plan (Fsm.Step.last_transition inst)))
+    | Fsm.Step.Unknown_event | Fsm.Step.Unhandled | Fsm.Step.Nondeterministic
+      ->
+      t.expiry_refused <- t.expiry_refused + 1)
+
+let default_clock_ms () = int_of_float (Unix.gettimeofday () *. 1e3)
+
 let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
-    ?classify ?classify_id ?machine ?flow_key ?on_transition ?respond
-    ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply fmt =
+    ?classify ?classify_id ?machine ?flow_key ?on_transition
+    ?(clock_ms = default_clock_ms) ?(tick_ms = 1) ?respond ?respond_patch
+    ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
   if config.max_flows <= 0 then
     invalid_arg "Pipeline.create: max_flows must be positive";
+  if tick_ms <= 0 then invalid_arg "Pipeline.create: tick_ms must be positive";
   let plan = Option.map Fsm.Step.compile machine in
   (* A flight spec is the *whole* per-packet semantics: it cannot be mixed
      with the closure-style arguments it replaces. *)
@@ -306,7 +406,10 @@ let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
   let default_inst = Option.map Fsm.Step.instance plan in
   let respond_fmt = Option.value respond_fmt ~default:fmt in
   let reply_base = max 64 (F.Sizing.min_bytes respond_fmt) in
-  {
+  let timed =
+    match plan with Some p -> Fsm.Step.has_timers p | None -> false
+  in
+  let t = {
     cfg = config;
     mode;
     fmt;
@@ -360,9 +463,38 @@ let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
             max_flows = config.max_flows;
           }
       | _ -> None);
+    timed;
+    wheel = (if timed then Some (Wheel.create ~now:(clock_ms () / tick_ms) ()) else None);
+    clock_ms;
+    tick_ms;
+    w_expired = 0;
+    w_cancelled = 0;
+    w_cascaded = 0;
+    expiry_cb = (fun ~key:_ ~ev:_ -> ());
+    expiry_refused = 0;
   }
+  in
+  (* tie the expiry callback once — polls then allocate nothing *)
+  if timed then t.expiry_cb <- fire_expiry t;
+  t
 
-let stats t = t.stats
+(* Fold the wheel counters' growth since the last sync into [stats], so
+   merged multi-worker reports see exactly one copy of each event. *)
+let sync_timer_stats t =
+  match t.wheel with
+  | None -> ()
+  | Some w ->
+    let e = Wheel.expired w and c = Wheel.cancelled w and k = Wheel.cascaded w in
+    Stats.note_timers t.stats ~expired:(e - t.w_expired)
+      ~cancelled:(c - t.w_cancelled) ~cascaded:(k - t.w_cascaded);
+    t.w_expired <- e;
+    t.w_cancelled <- c;
+    t.w_cascaded <- k
+
+let stats t =
+  sync_timer_stats t;
+  t.stats
+
 let format t = t.fmt
 let machine_plan t = t.plan
 let mode t = t.mode
@@ -390,10 +522,14 @@ let touch_flow t dflt k =
     else begin
       let slot =
         if tbl.n >= tbl.max_flows then begin
-          (* evict the LRU flow and reuse its slot *)
+          (* evict the LRU flow and reuse its slot; its pending timer goes
+             with it — an expiry for a dead flow must never fire *)
           let victim = tbl.fnext.(0) in
           unlink tbl victim;
           hremove tbl tbl.keys.(victim);
+          (match t.wheel with
+          | Some w -> ignore (Wheel.cancel w tbl.keys.(victim))
+          | None -> ());
           Stats.note_evicted_flow t.stats;
           victim
         end
@@ -519,7 +655,7 @@ let staged_batch t n =
      allocation; label reconstruction happens only inside the opt-in
      [on_transition] hook. *)
   (match (t.classifier, t.default_inst) with
-  | Some classify, Some _ ->
+  | Some classify, Some dflt ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
     let t0 = now () in
     for i = 0 to n - 1 do
@@ -528,10 +664,12 @@ let staged_batch t n =
         bytes := !bytes + t.blen.(i);
         let ev = classify t.views.(i) in
         if ev >= 0 then begin
-          let inst = Option.get (instance_for t t.views.(i)) in
+          let k = view_key t t.views.(i) in
+          let inst = touch_flow t dflt k in
           match Fsm.Step.fire_id inst ev with
-          | Fsm.Step.Fired -> (
-            match t.on_transition with
+          | Fsm.Step.Fired ->
+            if t.timed then apply_timer t inst (wheel_key t k);
+            (match t.on_transition with
             | None -> ()
             | Some hook ->
               (* slow path: recover the transition (and its label) from the
@@ -622,6 +760,14 @@ let fused_batch t n =
   let stats = t.stats in
   let verify_armed = Flight.verify_armed fl in
   let step_armed = Flight.classify_armed fl && t.default_inst <> None in
+  (* timer-op bindings hoisted off the per-packet path: the wheel exists
+     iff the machine is timed, so one match replaces [t.timed] plus
+     [t.wheel] loads per packet; [apply_timer] itself is open-coded in
+     the Fired arm below — at a 15 ns/pkt budget the call and the
+     re-loads are measurable *)
+  let wheel = t.wheel in
+  let keyed = t.flows <> None in
+  let tick1 = t.tick_ms = 1 in
   let respond_armed = Flight.n_responses fl > 0 in
   let d_bytes = ref 0 and d_rej = ref 0 in
   let v_pkts = ref 0 and v_bytes = ref 0 and v_rej = ref 0 in
@@ -654,14 +800,48 @@ let fused_batch t n =
         s_bytes := !s_bytes + blen;
         let ev = Flight.event fl in
         if ev >= 0 then begin
+          let k = Flight.flow_key fl in
           let inst =
             match t.default_inst with
-            | Some dflt -> touch_flow t dflt (Flight.flow_key fl)
+            | Some dflt -> touch_flow t dflt k
             | None -> assert false (* step_armed implies a default *)
           in
           match Fsm.Step.fire_id inst ev with
-          | Fsm.Step.Fired -> (
-            match t.on_transition with
+          | Fsm.Step.Fired ->
+            (match wheel with
+            | None -> ()
+            | Some w ->
+              let tw =
+                Fsm.Step.timer_word (Fsm.Step.plan_of inst)
+                  (Fsm.Step.last_transition inst)
+              in
+              if tw <> Fsm.Step.timer_none then begin
+                if tw > 0 then begin
+                  let wn = Wheel.now w in
+                  (* same word at the same wheel tick: bit-identical
+                     deadline already armed — skip the wheel *)
+                  if not (Fsm.Step.timer_unchanged inst ~word:tw ~wnow:wn)
+                  then
+                    let after =
+                      if tick1 then Fsm.Step.timer_after_ms tw
+                      else
+                        (Fsm.Step.timer_after_ms tw + t.tick_ms - 1)
+                        / t.tick_ms
+                    in
+                    Fsm.Step.note_timer_armed inst
+                      ~hint:
+                        (Wheel.arm_hint w
+                           ~hint:(Fsm.Step.timer_hint inst)
+                           ~key:(if keyed then k else no_key)
+                           ~after ~ev:(Fsm.Step.timer_event tw))
+                      ~word:tw ~wnow:wn
+                end
+                else begin
+                  ignore (Wheel.cancel w (if keyed then k else no_key));
+                  Fsm.Step.clear_timer_armed inst
+                end
+              end);
+            (match t.on_transition with
             | None -> ()
             | Some hook ->
               let plan = Fsm.Step.plan_of inst in
@@ -703,8 +883,51 @@ let fused_batch t n =
     Stats.record_batch stats st_encode ~packets:!e_pkts ~bytes:!e_bytes
       ~rejects:!e_rej ~elapsed_ns:0
 
+(* Advance the wheel to the clock and fire what came due.  The expiry
+   count (and any refused expiries) land on the step-stage counters —
+   timeout events are step traffic like any other. *)
+let poll_timers t =
+  match t.wheel with
+  | None -> 0
+  | Some w ->
+    let c = t.clock_ms () in
+    let target = if t.tick_ms = 1 then c else c / t.tick_ms in
+    if target <= Wheel.now w then 0
+    else begin
+      let t0 = now () in
+      t.expiry_refused <- 0;
+      let fired = Wheel.advance w ~now:target t.expiry_cb in
+      let refused = t.expiry_refused in
+      if fired > 0 || refused > 0 then
+        Stats.record_batch t.stats st_step ~packets:(fired + refused) ~bytes:0
+          ~rejects:refused ~elapsed_ns:(elapsed_ns t0 (now ()));
+      sync_timer_stats t;
+      fired
+    end
+
+let timers_live t = match t.wheel with None -> 0 | Some w -> Wheel.live w
+
+let next_timer_s t =
+  match t.wheel with
+  | None -> None
+  | Some w ->
+    let due = Wheel.next_due w in
+    if due < 0 then None
+    else begin
+      let ms = (due * t.tick_ms) - t.clock_ms () in
+      Some (if ms <= 0 then 0. else float_of_int ms /. 1e3)
+    end
+
+let peek_flow t k =
+  match t.flows with
+  | None -> None
+  | Some tbl ->
+    let slot = hfind tbl k in
+    if slot >= 0 then Some tbl.insts.(slot) else None
+
 let run_window t n =
   (match t.mode with Staged -> staged_batch t n | Fused -> fused_batch t n);
+  if t.timed then ignore (poll_timers t);
   reset_reply_buf t
 
 let process_batch t pkts n =

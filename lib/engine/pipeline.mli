@@ -71,6 +71,8 @@ val create :
   ?machine:Netdsl_fsm.Machine.t ->
   ?flow_key:string ->
   ?on_transition:(Netdsl_fsm.Machine.transition -> unit) ->
+  ?clock_ms:(unit -> int) ->
+  ?tick_ms:int ->
   ?respond:
     (Netdsl_format.View.t -> Netdsl_fsm.Step.instance -> Netdsl_format.Value.t option) ->
   ?respond_patch:
@@ -117,6 +119,15 @@ val create :
       [Int64.to_int], identically in both modes.  At most
       [config.max_flows] instances are live; beyond that the oldest-idle
       flow is evicted.
+    - [clock_ms] is the pipeline's clock: a monotone millisecond counter
+      consulted when polling timers ({!poll_timers}, and once per
+      {!run}/{!process_ring_batch} window).  The default reads wall time;
+      tests inject a virtual clock and drive it deterministically.
+    - [tick_ms] (default 1, must be positive) is the timer granularity:
+      one {!Wheel} tick per [tick_ms] milliseconds.  Timeout durations
+      round up to whole ticks.  A wheel exists only when [machine] has
+      at least one [timeout] clause ({!Netdsl_fsm.Step.has_timers});
+      otherwise the timer path costs one branch per accepted packet.
     - [on_transition] is an opt-in trace hook called after every fired
       transition with the source {!Netdsl_fsm.Machine.transition}
       (reconstructed from the plan's intern tables — the slow path; leave
@@ -199,6 +210,32 @@ val machine_plan : t -> Netdsl_fsm.Step.plan option
 val flow_count : t -> int
 (** Number of per-flow machine instances currently live (bounded by
     [config.max_flows]). *)
+
+val poll_timers : t -> int
+(** Advance the timer wheel to the current [clock_ms] reading and fire
+    every expired timer through the step stage: each expiry synthesizes
+    its armed event against the owning flow's instance ([fire_id] — the
+    same run-to-completion path packets take, so per-flow ordering
+    holds), re-applies any [timeout] clause on the fired transition, and
+    counts as one step-stage packet (a refused expiry — evicted flow, or
+    a state with no transition on the timeout event — counts as a step
+    reject).  Returns how many timers fired.  No-op (0) on a pipeline
+    without timers; called automatically after every batch window, and
+    explicitly by select-loop drivers between windows. *)
+
+val timers_live : t -> int
+(** Armed timers currently held (0 when the machine has no [timeout]
+    clauses). *)
+
+val next_timer_s : t -> float option
+(** Seconds until the timer wheel next needs a {!poll_timers} call —
+    a "sleep no longer than" bound for a select loop ([Some 0.] when
+    already due).  [None] when no timers are armed. *)
+
+val peek_flow : t -> int -> Netdsl_fsm.Step.instance option
+(** The live machine instance for a flow key, without touching LRU order
+    — observability for tests comparing per-flow end states across
+    sharded and single-pipeline runs.  [None] on unkeyed pipelines. *)
 
 val reply_capacity : t -> int
 (** Current size of the reusable reply buffer (observable for the

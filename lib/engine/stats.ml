@@ -19,6 +19,9 @@ type t = {
   stages : stage array;
   mutable evicted_flows : int;
   mutable unkeyed : int;
+  mutable timers_expired : int;
+  mutable timers_cancelled : int;
+  mutable timers_cascaded : int;
   mutable warnings : string list; (* newest first; deduplicated *)
 }
 
@@ -34,6 +37,9 @@ let create names =
            names);
     evicted_flows = 0;
     unkeyed = 0;
+    timers_expired = 0;
+    timers_cancelled = 0;
+    timers_cascaded = 0;
     warnings = [];
   }
 
@@ -42,6 +48,15 @@ let evicted_flows t = t.evicted_flows
 
 let note_unkeyed ?(n = 1) t = t.unkeyed <- t.unkeyed + n
 let unkeyed t = t.unkeyed
+
+let note_timers ?(expired = 0) ?(cancelled = 0) ?(cascaded = 0) t =
+  t.timers_expired <- t.timers_expired + expired;
+  t.timers_cancelled <- t.timers_cancelled + cancelled;
+  t.timers_cascaded <- t.timers_cascaded + cascaded
+
+let timers_expired t = t.timers_expired
+let timers_cancelled t = t.timers_cancelled
+let timers_cascaded t = t.timers_cascaded
 
 let note_warning t msg =
   if not (List.mem msg t.warnings) then t.warnings <- msg :: t.warnings
@@ -104,6 +119,9 @@ let merge_into ~into src =
     invalid_arg "Stats.merge_into: stage mismatch";
   into.evicted_flows <- into.evicted_flows + src.evicted_flows;
   into.unkeyed <- into.unkeyed + src.unkeyed;
+  into.timers_expired <- into.timers_expired + src.timers_expired;
+  into.timers_cancelled <- into.timers_cancelled + src.timers_cancelled;
+  into.timers_cascaded <- into.timers_cascaded + src.timers_cascaded;
   List.iter (note_warning into) (warnings src);
   Array.iteri
     (fun i (s : stage) ->
@@ -173,6 +191,9 @@ let pp ppf t =
     Format.fprintf ppf "evicted flows: %d@." t.evicted_flows;
   if t.unkeyed > 0 then
     Format.fprintf ppf "unkeyed packets: %d@." t.unkeyed;
+  if t.timers_expired > 0 || t.timers_cancelled > 0 || t.timers_cascaded > 0 then
+    Format.fprintf ppf "timers: %d expired, %d cancelled, %d cascaded@."
+      t.timers_expired t.timers_cancelled t.timers_cascaded;
   List.iter (fun w -> Format.fprintf ppf "warning: %s@." w) (warnings t)
 
 let to_text t = Format.asprintf "%a" pp t

@@ -41,6 +41,20 @@ val note_unkeyed : ?n:int -> t -> unit
 
 val unkeyed : t -> int
 
+val note_timers : ?expired:int -> ?cancelled:int -> ?cascaded:int -> t -> unit
+(** Fold a batch of timer-wheel activity ([Wheel] counter deltas) into the
+    counter set — bumped by the pipeline after each timer poll. *)
+
+val timers_expired : t -> int
+(** Timers whose deadline was reached and whose event was fired. *)
+
+val timers_cancelled : t -> int
+(** Timers cancelled before expiry (machine [Cancel_timer] ops and
+    flow-eviction cleanup). *)
+
+val timers_cascaded : t -> int
+(** Entries moved down a wheel level on a tick boundary. *)
+
 val note_warning : t -> string -> unit
 (** Attach an operational warning (e.g. oversubscribed workers) to the
     counter set.  Duplicates are kept once; warnings survive

@@ -21,6 +21,11 @@ type action = Assign of string * expr
 
 type register = { reg_name : string; init : int; domain : int }
 
+type timer_op =
+  | No_timer
+  | Arm_timer of { after_ms : int; fire : string }
+  | Cancel_timer
+
 type transition = {
   t_label : string;
   src : string;
@@ -28,6 +33,7 @@ type transition = {
   event : string;
   guard : cond;
   actions : action list;
+  timer : timer_op;
 }
 
 type t = {
@@ -54,11 +60,16 @@ let machine ~name ~states ~events ?(registers = []) ~initial ?(accepting = [])
     ignores;
   }
 
-let trans ?label ?(guard = True) ?(actions = []) ~src ~event ~dst () =
+let trans ?label ?(guard = True) ?(actions = []) ?(timer = No_timer) ~src ~event
+    ~dst () =
   let t_label =
     match label with Some l -> l | None -> Printf.sprintf "%s--%s->%s" src event dst
   in
-  { t_label; src; dst; event; guard; actions }
+  { t_label; src; dst; event; guard; actions; timer }
+
+(* Durations must pack into a native-int timer word next to an event id
+   (see [Step]); ~12 days at millisecond resolution is plenty. *)
+let max_timer_ms = 0x3FFF_FFFF
 
 let reg ?(init = 0) reg_name ~domain = { reg_name; init; domain }
 
@@ -220,7 +231,17 @@ let validate m =
                 add t.t_label
                   (Printf.sprintf "action expression references unknown register %S" r))
             (expr_regs e))
-        t.actions)
+        t.actions;
+      match t.timer with
+      | No_timer | Cancel_timer -> ()
+      | Arm_timer { after_ms; fire } ->
+        if after_ms < 1 || after_ms > max_timer_ms then
+          add t.t_label
+            (Printf.sprintf "timeout duration %dms outside [1, %d]" after_ms
+               max_timer_ms);
+        if not (event_ok fire) then
+          add t.t_label
+            (Printf.sprintf "timeout fires undeclared event %S" fire))
     m.transitions;
   List.rev !defects
 

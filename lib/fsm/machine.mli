@@ -39,6 +39,18 @@ type register = {
   domain : int;  (** values live in [\[0, domain)]; assignment wraps *)
 }
 
+(** The declarative face of paper guarantee 4 (§3.4): a transition may arm
+    a timeout — "in [after_ms], deliver event [fire] unless re-armed or
+    cancelled" — or cancel the flow's pending one.  A flow holds at most
+    one timer: arming replaces the previous deadline (the retransmission
+    idiom), {!Cancel_timer} clears it.  The live engine serves these from
+    a hierarchical timing wheel ([Engine.Wheel]); the simulator serves
+    them from its event queue — the same declaration drives both. *)
+type timer_op =
+  | No_timer
+  | Arm_timer of { after_ms : int; fire : string }
+  | Cancel_timer
+
 type transition = {
   t_label : string;  (** unique label, used in traces and coverage *)
   src : string;
@@ -46,6 +58,7 @@ type transition = {
   event : string;
   guard : cond;
   actions : action list;
+  timer : timer_op;
 }
 
 type t = {
@@ -80,12 +93,17 @@ val trans :
   ?label:string ->
   ?guard:cond ->
   ?actions:action list ->
+  ?timer:timer_op ->
   src:string ->
   event:string ->
   dst:string ->
   unit ->
   transition
-(** [label] defaults to ["src--event->dst"]. *)
+(** [label] defaults to ["src--event->dst"]; [timer] to {!No_timer}. *)
+
+val max_timer_ms : int
+(** Upper bound on {!Arm_timer}'s [after_ms] (validated): durations must
+    pack into a native-int timer word alongside an event id. *)
 
 val reg : ?init:int -> string -> domain:int -> register
 

@@ -23,13 +23,35 @@ type plan = {
   p_accepting : bool array;
   p_transitions : M.transition array; (* declaration order *)
   p_slots : candidate array array; (* state_id * n_events + event_id *)
+  p_timers : int array; (* per-transition packed timer word, see below *)
+  p_has_timers : bool;
 }
+
+(* Timer ops packed into one native int so the engine's post-fire check is
+   an array read and a comparison against 0: [timer_none] = 0 (no op),
+   [timer_cancel] = -1, and an arm is [(after_ms lsl 20) lor fire_event_id]
+   — always positive because validation bounds after_ms >= 1 and machines
+   never intern 2^20 events. *)
+let timer_none = 0
+let timer_cancel = -1
+let timer_after_ms w = w lsr 20
+let timer_event w = w land 0xFFFFF
 
 type instance = {
   i_plan : plan;
   mutable i_state : int;
   i_regs : int array;
   mutable i_last : int;
+  (* the engine's timer cache.  [i_timer] is the wheel entry last armed
+     for this instance's flow (see [Engine.Wheel.arm_hint]) — a hint,
+     never trusted, so staleness is harmless.  [i_tword]/[i_tnow] record
+     the timer word and wheel tick of the last arm: when both match the
+     current re-arm the deadline is bit-identical and the engine skips
+     the wheel entirely — these two the engine MUST keep truthful, by
+     clearing on expiry and cancel. *)
+  mutable i_timer : int;
+  mutable i_tword : int;
+  mutable i_tnow : int;
 }
 
 type verdict = Fired | Unknown_event | Unhandled | Nondeterministic
@@ -159,6 +181,16 @@ let compile m =
   let p_slots = Array.map (fun cs -> Array.of_list (List.rev cs)) buckets in
   let p_accepting = Array.make n_states false in
   List.iter (fun s -> p_accepting.(Hashtbl.find p_state_ids s) <- true) m.M.accepting;
+  let p_timers =
+    Array.map
+      (fun (t : M.transition) ->
+        match t.M.timer with
+        | M.No_timer -> timer_none
+        | M.Cancel_timer -> timer_cancel
+        | M.Arm_timer { after_ms; fire } ->
+          (after_ms lsl 20) lor Hashtbl.find p_event_ids fire)
+      p_transitions
+  in
   {
     p_machine = m;
     p_states;
@@ -172,6 +204,8 @@ let compile m =
     p_accepting;
     p_transitions;
     p_slots;
+    p_timers;
+    p_has_timers = Array.exists (fun w -> w <> timer_none) p_timers;
   }
 
 let machine p = p.p_machine
@@ -187,9 +221,19 @@ let event_name p i = p.p_events.(i)
 let state_name p i = p.p_states.(i)
 let register_name p i = p.p_regs.(i)
 let transition p i = p.p_transitions.(i)
+let timer_word p i = Array.unsafe_get p.p_timers i
+let has_timers p = p.p_has_timers
 
 let instance p =
-  { i_plan = p; i_state = p.p_initial; i_regs = Array.copy p.p_reg_init; i_last = -1 }
+  {
+    i_plan = p;
+    i_state = p.p_initial;
+    i_regs = Array.copy p.p_reg_init;
+    i_last = -1;
+    i_timer = -1;
+    i_tword = 0;
+    i_tnow = 0;
+  }
 
 let plan_of i = i.i_plan
 
@@ -240,6 +284,15 @@ let register_by_name i name =
   | None -> invalid_arg (Printf.sprintf "Step.register_by_name: unknown register %S" name)
 
 let last_transition i = i.i_last
+let timer_hint i = i.i_timer
+let timer_unchanged i ~word ~wnow = word = i.i_tword && wnow = i.i_tnow
+
+let note_timer_armed i ~hint ~word ~wnow =
+  i.i_timer <- hint;
+  i.i_tword <- word;
+  i.i_tnow <- wnow
+
+let clear_timer_armed i = i.i_tword <- 0
 
 let config i =
   let p = i.i_plan in

@@ -76,6 +76,34 @@ val transition : plan -> int -> Machine.transition
 (** The source transition at a compiled index (see {!last_transition}) —
     the label-reconstruction slow path for hooks and traces. *)
 
+(** {2 Compiled timer ops}
+
+    Each transition's {!Machine.timer_op} lowers to one native int — the
+    {e timer word} — so the engine's post-fire check is an array read
+    compared against {!timer_none}.  An arm packs the duration and the
+    interned id of the event the expiry fires:
+    [(after_ms lsl 20) lor fire_event_id]. *)
+
+val timer_word : plan -> int -> int
+(** The packed timer op of the transition at a compiled index (feed it
+    {!last_transition} after a [Fired] verdict).  Allocation-free. *)
+
+val timer_none : int
+(** [0] — the transition carries no timer op. *)
+
+val timer_cancel : int
+(** [-1] — the transition cancels the flow's pending timer. *)
+
+val timer_after_ms : int -> int
+(** Duration of an arm word (a word [> 0]). *)
+
+val timer_event : int -> int
+(** Interned id of the event an arm word fires on expiry. *)
+
+val has_timers : plan -> bool
+(** Whether any transition carries a timer op — lets the engine skip the
+    wheel entirely for timerless machines. *)
+
 (** {2 Instances} *)
 
 val instance : plan -> instance
@@ -106,6 +134,24 @@ val last_transition : instance -> int
 (** Compiled index of the transition taken by the most recent successful
     {!fire_id}, or [-1] if none has fired since creation/{!reset}.  Feed
     it to {!transition} to recover the label — the hook slow path. *)
+
+(** {2 The engine's timer cache}
+
+    Per-instance scratch the engine uses to make the per-packet re-arm
+    cheap.  [timer_hint] is the wheel entry last armed for this
+    instance's flow (fed back to [Engine.Wheel.arm_hint] to skip the key
+    lookup); [-1] at creation; a hint only — the wheel validates it —
+    so staleness costs one lookup, never correctness.
+    [timer_unchanged] checks the (timer word, wheel tick) signature of
+    the last arm recorded by [note_timer_armed]: a match means the
+    re-arm is bit-identical and the engine skips the wheel entirely, so
+    the engine must [clear_timer_armed] whenever the flow's timer leaves
+    the wheel behind its back (expiry delivery, cancel). *)
+
+val timer_hint : instance -> int
+val timer_unchanged : instance -> word:int -> wnow:int -> bool
+val note_timer_armed : instance -> hint:int -> word:int -> wnow:int -> unit
+val clear_timer_armed : instance -> unit
 
 val config : instance -> Machine.config
 (** Reconstruct the {!Machine.config} view (state and register names from

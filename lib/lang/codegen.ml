@@ -153,6 +153,11 @@ let machine_binding buf name (m : M.t) =
                   mexpr b e;
                   Printf.sprintf "M.Assign (%S, %s)" r (Buffer.contents b))
                 acts)));
+      (match t.timer with
+      | M.No_timer -> ()
+      | M.Arm_timer { after_ms; fire } ->
+        bpf buf " ~timer:(M.Arm_timer { after_ms = %d; fire = %S })" after_ms fire
+      | M.Cancel_timer -> bpf buf " ~timer:M.Cancel_timer");
       bpf buf " ();\n")
     m.transitions;
   bpf buf "    ]\n\n"

@@ -556,6 +556,22 @@ let parse_transition s acc =
   in
   if accept_kw s "when" then parse_guard ();
   let guard = !guard in
+  (* 'timeout 200 -> tick' arms the flow's timer (re-arming replaces the
+     pending deadline); 'timeout cancel' clears it. *)
+  let timer =
+    if accept_kw s "timeout" then
+      if accept_kw s "cancel" then M.Cancel_timer
+      else begin
+        let tloc = peek_loc s in
+        let after_ms = Int64.to_int (expect_int s "a timeout duration in ms") in
+        expect s L.ARROW "'->'";
+        let fire = expect_ident s "the event a timeout fires" in
+        if after_ms < 1 || after_ms > M.max_timer_ms then
+          fail tloc "timeout duration %dms outside [1, %d]" after_ms M.max_timer_ms;
+        M.Arm_timer { after_ms; fire }
+      end
+    else M.No_timer
+  in
   let label =
     if accept_kw s "as" then
       match next s with
@@ -581,7 +597,7 @@ let parse_transition s acc =
       else Printf.sprintf "%s#%d" base (List.length existing + 1)
   in
   acc.transitions <-
-    acc.transitions @ [ { M.t_label = label; src; dst; event; guard; actions } ]
+    acc.transitions @ [ { M.t_label = label; src; dst; event; guard; actions; timer } ]
 
 let parse_machine s =
   let mloc = peek_loc s in

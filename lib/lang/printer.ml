@@ -157,6 +157,10 @@ let machine_to_ndsl (m : M.t) =
         bpf buf " {";
         List.iter (fun (M.Assign (r, e)) -> bpf buf " %s := %a;" r mexpr e) acts;
         bpf buf " }");
+      (match t.timer with
+      | M.No_timer -> ()
+      | M.Arm_timer { after_ms; fire } -> bpf buf " timeout %d -> %s" after_ms fire
+      | M.Cancel_timer -> bpf buf " timeout cancel");
       bpf buf " as %S;\n" t.t_label)
     m.transitions;
   List.iter (fun (s, e) -> bpf buf "  ignore %s in %s;\n" e s) m.ignores;

@@ -213,3 +213,79 @@ let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?stack
             let elapsed = Unix.gettimeofday () -. t0 in
             (!sent, !replies, !sent, 0, None, elapsed)))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Lossy virtual-time loopback                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Lossy = struct
+  module Sim_engine = Netdsl_sim.Engine
+  module Channel = Netdsl_sim.Channel
+
+  type t = {
+    l_now : int ref;
+    l_eng : Sim_engine.t;
+    l_chan : Channel.t;
+    l_pending : string Queue.t;
+    l_pipes : Pipeline.t array;
+    l_key_of : string -> int;
+  }
+
+  let create ?(workers = 1) ?(tick_ms = 1)
+      ?(channel = Channel.default_config) ?(seed = 0x1055L) ~machine
+      ~classify ~flow_key ~key_of fmt =
+    if workers < 1 then
+      invalid_arg "Loopback.Lossy.create: workers must be >= 1";
+    let now = ref 0 in
+    let eng = Sim_engine.create () in
+    let pending = Queue.create () in
+    let chan =
+      Channel.create eng (Netdsl_util.Prng.create seed) channel
+        ~deliver:(fun msg -> Queue.add msg pending)
+    in
+    let pipes =
+      Array.init workers (fun _ ->
+          Pipeline.create ~classify ~machine ~flow_key
+            ~clock_ms:(fun () -> !now)
+            ~tick_ms fmt)
+    in
+    {
+      l_now = now;
+      l_eng = eng;
+      l_chan = chan;
+      l_pending = pending;
+      l_pipes = pipes;
+      l_key_of = key_of;
+    }
+
+  let now t = !(t.l_now)
+  let workers t = Array.length t.l_pipes
+  let owner t key = t.l_pipes.(key mod Array.length t.l_pipes)
+  let inject t pkt = Pipeline.process (owner t (t.l_key_of pkt)) pkt
+  let send t pkt = Channel.send t.l_chan pkt
+
+  (* Deliveries the channel released at (or before) the current tick,
+     in release order. *)
+  let flush t =
+    while not (Queue.is_empty t.l_pending) do
+      ignore (inject t (Queue.pop t.l_pending))
+    done
+
+  let run t ~until ~on_tick =
+    while !(t.l_now) < until do
+      t.l_now := !(t.l_now) + 1;
+      ignore (Sim_engine.run ~until:(float_of_int !(t.l_now)) t.l_eng);
+      flush t;
+      Array.iter (fun p -> ignore (Pipeline.poll_timers p)) t.l_pipes;
+      on_tick !(t.l_now)
+    done
+
+  let peek t key = Pipeline.peek_flow (owner t key) key
+  let pipelines t = Array.copy t.l_pipes
+
+  let stats t =
+    Netdsl_engine.Stats.merge
+      (Array.to_list (Array.map Pipeline.stats t.l_pipes))
+
+  let channel_stats t = Channel.stats t.l_chan
+end

@@ -72,3 +72,66 @@ val blast :
     layered chain through the fused plan (flight operands become
     qualified ["layer.field"] names); [fmt] must then be the stack's
     outermost format. *)
+
+(** {2 Lossy virtual-time loopback}
+
+    The deterministic leg of the timer story: a pipeline (or several,
+    modelling sharded workers) driven entirely in virtual milliseconds,
+    with one {!Netdsl_sim.Channel} — the same drop models the simulator
+    uses — standing between the caller and the engine.  [inject]
+    delivers a packet immediately (the reliable direction); [send]
+    routes it through the lossy channel, which may drop, duplicate,
+    corrupt or delay it.  {!run} advances the clock one millisecond at a
+    time: released deliveries are processed first, then every worker's
+    timer wheel is polled (expirations fire through the ordinary step
+    stage), then [on_tick] lets the caller act on what it observes via
+    {!peek}.  Every draw comes from one seeded PRNG, so a run is a pure
+    function of its seed — and a [workers:2] run issues the identical
+    channel-draw sequence as a [workers:1] run of the same schedule,
+    making per-flow shard-vs-single comparison exact. *)
+module Lossy : sig
+  type t
+
+  val create :
+    ?workers:int ->
+    ?tick_ms:int ->
+    ?channel:Netdsl_sim.Channel.config ->
+    ?seed:int64 ->
+    machine:Netdsl_fsm.Machine.t ->
+    classify:(Netdsl_format.View.t -> string option) ->
+    flow_key:string ->
+    key_of:(string -> int) ->
+    Netdsl_format.Desc.t ->
+    t
+  (** [workers] (default 1) pipelines each own a wheel; a packet is
+      routed to pipeline [key_of pkt mod workers] — the same partition
+      the sharded server's steering applies.  [key_of] reads the flow
+      key straight from wire bytes (deliveries carry no side channel). *)
+
+  val now : t -> int
+  val workers : t -> int
+
+  val inject : t -> string -> Netdsl_engine.Pipeline.outcome
+  (** Deliver one packet to its owning pipeline at the current tick. *)
+
+  val send : t -> string -> unit
+  (** Hand one packet to the lossy channel; if it survives, it is
+      delivered (possibly late, possibly twice) during a later {!run}
+      tick. *)
+
+  val run : t -> until:int -> on_tick:(int -> unit) -> unit
+  (** Advance virtual time tick by tick to [until]: per tick, flush the
+      channel's due deliveries, poll every worker's wheel, then call
+      [on_tick now]. *)
+
+  val peek : t -> int -> Netdsl_fsm.Step.instance option
+  (** The flow's live machine instance on its owning worker (no LRU
+      touch) — [None] until first contact. *)
+
+  val pipelines : t -> Netdsl_engine.Pipeline.t array
+  val stats : t -> Netdsl_engine.Stats.t
+  (** Merged engine counters across all workers ({!Netdsl_engine.Stats.merge}
+      folds the timer counters, so expirations are counted once). *)
+
+  val channel_stats : t -> Netdsl_sim.Channel.stats
+end

@@ -168,6 +168,9 @@ let shard_worker sh w =
     | -1 -> ()
     | 0 ->
       Shard.Steer.mark_hungry sh.sh_steer w.w_id;
+      (* No packets: this is the only moment expiry can drive the worker's
+         machines — the batch path polls inside [run_window]. *)
+      ignore (Pipeline.poll_timers w.w_pipe);
       Spsc.backoff idle;
       loop (idle + 1)
     | n ->
@@ -229,7 +232,7 @@ let bind_listener ep =
             l_stats = Stats.create (); l_conns = [] })
 
 let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
-    ?stack ?machine ?(signals = true) ?(workers = 1)
+    ?stack ?machine ?(tick_ms = 1) ?(signals = true) ?(workers = 1)
     ?(allow_oversubscribe = false) ?(stealing = false) ?shard_key ~flight
     ~listeners fmt =
   if listeners = [] then Error "no listeners given"
@@ -278,7 +281,7 @@ let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
         let cur = ref No_sink in
         let txbuf = Bytes.create (config.Pipeline.slot_bytes + 2) in
         match
-          Pipeline.create ~config ~mode ?stack ~flight ?machine
+          Pipeline.create ~config ~mode ?stack ~flight ?machine ~tick_ms
             ~on_reply:(fun buf len -> send_reply cur txbuf buf len)
             fmt
         with
@@ -358,7 +361,7 @@ let create ?(config = Pipeline.default_config) ?(mode = Pipeline.Staged)
                   let cur = ref No_sink in
                   let wst = Stats.create () in
                   let pipe =
-                    Pipeline.create ~config ~mode ~flight ?machine
+                    Pipeline.create ~config ~mode ~flight ?machine ~tick_ms
                       ~on_reply:(fun buf len ->
                         send_reply_sharded wst cur buf len)
                       fmt
@@ -721,6 +724,13 @@ let run_single ?max_packets ?duration t =
           t.s_listeners
       in
       let timeout = Float.min 0.2 (Float.max 0. (time_left ())) in
+      (* Sleep no longer than the engine's next armed deadline: an idle
+         socket must not delay a retransmission timer by the idle cap. *)
+      let timeout =
+        match Pipeline.next_timer_s t.s_pipe with
+        | Some d -> Float.min timeout d
+        | None -> timeout
+      in
       (match Unix.select fds [] [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
@@ -743,6 +753,9 @@ let run_single ?max_packets ?duration t =
               | None -> ()))
           ready);
       n_run := !n_run + drain_slab t;
+      (* The batch path polls inside the engine; an empty drain (select
+         woke for the deadline, not a packet) still advances the wheel. *)
+      ignore (Pipeline.poll_timers t.s_pipe);
       loop ()
     end
   in

@@ -62,6 +62,7 @@ val create :
   ?mode:Netdsl_engine.Pipeline.mode ->
   ?stack:Netdsl_format.Stack.t ->
   ?machine:Netdsl_fsm.Machine.t ->
+  ?tick_ms:int ->
   ?signals:bool ->
   ?workers:int ->
   ?allow_oversubscribe:bool ->
@@ -87,6 +88,14 @@ val create :
     bucket stealing for skewed flow mixes
     ({!Netdsl_engine.Shard.Steer}) — note a stolen flow re-mints its
     machine instance on the new owner.
+
+    [tick_ms] (default 1) is the timer granularity handed to every
+    pipeline ({!Netdsl_engine.Pipeline.create}); it only matters when
+    [machine] declares [timeout] clauses.  The single-worker select loop
+    caps its sleep at the engine's next armed deadline
+    ({!Netdsl_engine.Pipeline.next_timer_s}) and polls the wheel after
+    every sweep, so expirations fire on time on an idle socket; sharded
+    workers each own a wheel and poll it between ring batches.
 
     [stack] serves a layered chain: the pipeline decodes each datagram
     through the fused {!Netdsl_format.Stack} plan and the flight spec

@@ -3,7 +3,17 @@ module M = Netdsl_fsm.Machine
 let t = M.trans
 let pow2 bits = 1 lsl bits
 
-let stop_and_wait ?(max_attempts = 3) () =
+(* The [?timeout_ms] variants attach wheel ops to the existing transitions:
+   every data-bearing or retransmitting move re-arms the flow's single
+   timer (the retransmission idiom), and the move that empties the window
+   cancels it.  [None] compiles to the exact timer-free machines the rest
+   of the suite fixtures against. *)
+let timer_ops timeout_ms =
+  match timeout_ms with
+  | None -> (M.No_timer, M.No_timer)
+  | Some ms -> (M.Arm_timer { after_ms = ms; fire = "timeout" }, M.Cancel_timer)
+
+let stop_and_wait ?(max_attempts = 3) ?timeout_ms () =
   M.machine ~name:"saw_sender"
     ~states:[ "idle"; "awaiting_ack"; "failed"; "closed" ]
     ~events:[ "send"; "ack0"; "ack1"; "timeout"; "close" ]
@@ -19,17 +29,18 @@ let stop_and_wait ?(max_attempts = 3) () =
         ("closed", "send"); ("closed", "ack0"); ("closed", "ack1");
         ("closed", "timeout"); ("closed", "close");
       ]
+    (let arm, cancel = timer_ops timeout_ms in
     [
       t ~label:"saw_send" ~src:"idle" ~event:"send" ~dst:"awaiting_ack"
         ~actions:[ M.Assign ("attempts", M.Int 0) ]
-        ();
+        ~timer:arm ();
       (* The matching acknowledgement flips the alternating bit; the stale
          one is consumed in place.  Each ack event carries two
          complementary guards on the same (state, event) slot. *)
       t ~label:"saw_acked0" ~src:"awaiting_ack" ~event:"ack0" ~dst:"idle"
         ~guard:(M.Eq (M.Reg "alt", M.Int 0))
         ~actions:[ M.Assign ("alt", M.Add (M.Reg "alt", M.Int 1)) ]
-        ();
+        ~timer:cancel ();
       t ~label:"saw_stale0" ~src:"awaiting_ack" ~event:"ack0"
         ~dst:"awaiting_ack"
         ~guard:(M.Eq (M.Reg "alt", M.Int 1))
@@ -37,7 +48,7 @@ let stop_and_wait ?(max_attempts = 3) () =
       t ~label:"saw_acked1" ~src:"awaiting_ack" ~event:"ack1" ~dst:"idle"
         ~guard:(M.Eq (M.Reg "alt", M.Int 1))
         ~actions:[ M.Assign ("alt", M.Add (M.Reg "alt", M.Int 1)) ]
-        ();
+        ~timer:cancel ();
       t ~label:"saw_stale1" ~src:"awaiting_ack" ~event:"ack1"
         ~dst:"awaiting_ack"
         ~guard:(M.Eq (M.Reg "alt", M.Int 0))
@@ -46,19 +57,48 @@ let stop_and_wait ?(max_attempts = 3) () =
         ~dst:"awaiting_ack"
         ~guard:(M.Lt (M.Reg "attempts", M.Int max_attempts))
         ~actions:[ M.Assign ("attempts", M.Add (M.Reg "attempts", M.Int 1)) ]
-        ();
+        ~timer:arm ();
       t ~label:"saw_give_up" ~src:"awaiting_ack" ~event:"timeout" ~dst:"failed"
         ~guard:(M.Not (M.Lt (M.Reg "attempts", M.Int max_attempts)))
-        ();
+        ~timer:cancel ();
       (* Late acknowledgements after the round closed are absorbed. *)
       t ~label:"saw_late0" ~src:"idle" ~event:"ack0" ~dst:"idle" ();
       t ~label:"saw_late1" ~src:"idle" ~event:"ack1" ~dst:"idle" ();
       t ~label:"saw_close" ~src:"idle" ~event:"close" ~dst:"closed" ();
-    ]
+    ])
 
-let go_back_n ?(seq_bits = 3) ?(window = 4) () =
+let go_back_n ?(seq_bits = 3) ?(window = 4) ?timeout_ms () =
   let d = pow2 seq_bits in
   let occupancy = M.Mod (M.Sub (M.Reg "next", M.Reg "base"), M.Int d) in
+  let arm, cancel = timer_ops timeout_ms in
+  let outstanding = M.Ne (M.Reg "base", M.Reg "next") in
+  (* An ack that leaves frames in flight must re-arm the retransmission
+     timer; the ack that empties the window cancels it.  With timers off
+     that distinction is moot and one transition covers both. *)
+  let acks =
+    match timeout_ms with
+    | None ->
+      [
+        t ~label:"gbn_ack" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:outstanding
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ();
+      ]
+    | Some _ ->
+      let empties =
+        M.Eq (M.Mod (M.Add (M.Reg "base", M.Int 1), M.Int d), M.Reg "next")
+      in
+      [
+        t ~label:"gbn_ack_more" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:(M.And (outstanding, M.Not empties))
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ~timer:arm ();
+        t ~label:"gbn_ack_last" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:(M.And (outstanding, empties))
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ~timer:cancel ();
+      ]
+  in
   M.machine ~name:"gbn_sender"
     ~states:[ "open"; "done" ]
     ~events:[ "send"; "ack"; "timeout"; "finish" ]
@@ -69,66 +109,110 @@ let go_back_n ?(seq_bits = 3) ?(window = 4) () =
         ("done", "send"); ("done", "ack"); ("done", "timeout");
         ("done", "finish");
       ]
-    [
-      (* Window occupancy is (next - base) mod 2^bits, so the guard rides
-         the wrap-around; a send with the window full is unhandled. *)
-      t ~label:"gbn_send" ~src:"open" ~event:"send" ~dst:"open"
-        ~guard:(M.Lt (occupancy, M.Int window))
-        ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
-        ();
-      t ~label:"gbn_ack" ~src:"open" ~event:"ack" ~dst:"open"
-        ~guard:(M.Ne (M.Reg "base", M.Reg "next"))
-        ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
-        ();
-      (* The go-back: every unacknowledged frame is retransmitted, so the
-         send counter rewinds to the window base. *)
-      t ~label:"gbn_timeout" ~src:"open" ~event:"timeout" ~dst:"open"
-        ~guard:(M.Ne (M.Reg "base", M.Reg "next"))
-        ~actions:[ M.Assign ("next", M.Reg "base") ]
-        ();
-      t ~label:"gbn_finish" ~src:"open" ~event:"finish" ~dst:"done"
-        ~guard:(M.Eq (M.Reg "base", M.Reg "next"))
-        ();
-    ]
+    ([
+       (* Window occupancy is (next - base) mod 2^bits, so the guard rides
+          the wrap-around; a send with the window full is unhandled. *)
+       t ~label:"gbn_send" ~src:"open" ~event:"send" ~dst:"open"
+         ~guard:(M.Lt (occupancy, M.Int window))
+         ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
+         ~timer:arm ();
+     ]
+    @ acks
+    @ [
+        (* The go-back: every unacknowledged frame is retransmitted, so the
+           send counter rewinds to the window base. *)
+        t ~label:"gbn_timeout" ~src:"open" ~event:"timeout" ~dst:"open"
+          ~guard:outstanding
+          ~actions:[ M.Assign ("next", M.Reg "base") ]
+          ~timer:arm ();
+        t ~label:"gbn_finish" ~src:"open" ~event:"finish" ~dst:"done"
+          ~guard:(M.Eq (M.Reg "base", M.Reg "next"))
+          ~timer:cancel ();
+      ])
 
-let selective_repeat ?(seq_bits = 3) ?(window = 4) () =
+let selective_repeat ?(seq_bits = 3) ?(window = 4) ?timeout_ms () =
   let d = pow2 seq_bits in
   let occupancy = M.Mod (M.Sub (M.Reg "next", M.Reg "base"), M.Int d) in
   let nothing_lost = M.Eq (M.Reg "lost", M.Int 0) in
+  let arm, cancel = timer_ops timeout_ms in
+  let outstanding = M.Ne (M.Reg "base", M.Reg "next") in
+  (* Same split as {!go_back_n}: with timers on, the ack that empties the
+     window cancels where every other ack re-arms. *)
+  let acks =
+    match timeout_ms with
+    | None ->
+      [
+        t ~label:"sr_ack" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:(M.And (outstanding, nothing_lost))
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ();
+      ]
+    | Some _ ->
+      let empties =
+        M.Eq (M.Mod (M.Add (M.Reg "base", M.Int 1), M.Int d), M.Reg "next")
+      in
+      [
+        t ~label:"sr_ack_more" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:(M.And (M.And (outstanding, nothing_lost), M.Not empties))
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ~timer:arm ();
+        t ~label:"sr_ack_last" ~src:"open" ~event:"ack" ~dst:"open"
+          ~guard:(M.And (M.And (outstanding, nothing_lost), empties))
+          ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
+          ~timer:cancel ();
+      ]
+  in
+  (* The timer-free machine has no timeout event at all; the timed variant
+     grows one, whose expiry marks the oldest outstanding frame lost so
+     the ordinary [resend] path retransmits it. *)
+  let timeouts =
+    match timeout_ms with
+    | None -> []
+    | Some _ ->
+      [
+        t ~label:"sr_timeout" ~src:"open" ~event:"timeout" ~dst:"open"
+          ~guard:outstanding
+          ~actions:[ M.Assign ("lost", M.Int 1) ]
+          ~timer:arm ();
+      ]
+  in
   M.machine ~name:"sr_sender"
     ~states:[ "open"; "done" ]
-    ~events:[ "send"; "ack"; "nak"; "resend"; "finish" ]
+    ~events:
+      ([ "send"; "ack"; "nak"; "resend"; "finish" ]
+      @ if timeout_ms = None then [] else [ "timeout" ])
     ~registers:
       [ M.reg "base" ~domain:d; M.reg "next" ~domain:d; M.reg "lost" ~domain:2 ]
     ~initial:"open" ~accepting:[ "done" ]
     ~ignores:
-      [
-        ("done", "send"); ("done", "ack"); ("done", "nak");
-        ("done", "resend"); ("done", "finish");
+      ([
+         ("done", "send"); ("done", "ack"); ("done", "nak");
+         ("done", "resend"); ("done", "finish");
+       ]
+      @ if timeout_ms = None then [] else [ ("done", "timeout") ])
+    ([
+       t ~label:"sr_send" ~src:"open" ~event:"send" ~dst:"open"
+         ~guard:(M.And (M.Lt (occupancy, M.Int window), nothing_lost))
+         ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
+         ~timer:arm ();
+     ]
+    @ acks
+    @ [
+        t ~label:"sr_nak" ~src:"open" ~event:"nak" ~dst:"open"
+          ~guard:(M.And (outstanding, nothing_lost))
+          ~actions:[ M.Assign ("lost", M.Int 1) ]
+          ~timer:arm ();
+        (* Unlike go-back-N, only the one reported frame is retransmitted:
+           base and next are untouched. *)
+        t ~label:"sr_resend" ~src:"open" ~event:"resend" ~dst:"open"
+          ~guard:(M.Eq (M.Reg "lost", M.Int 1))
+          ~actions:[ M.Assign ("lost", M.Int 0) ]
+          ~timer:arm ();
+        t ~label:"sr_finish" ~src:"open" ~event:"finish" ~dst:"done"
+          ~guard:(M.And (M.Eq (M.Reg "base", M.Reg "next"), nothing_lost))
+          ~timer:cancel ();
       ]
-    [
-      t ~label:"sr_send" ~src:"open" ~event:"send" ~dst:"open"
-        ~guard:(M.And (M.Lt (occupancy, M.Int window), nothing_lost))
-        ~actions:[ M.Assign ("next", M.Add (M.Reg "next", M.Int 1)) ]
-        ();
-      t ~label:"sr_ack" ~src:"open" ~event:"ack" ~dst:"open"
-        ~guard:(M.And (M.Ne (M.Reg "base", M.Reg "next"), nothing_lost))
-        ~actions:[ M.Assign ("base", M.Add (M.Reg "base", M.Int 1)) ]
-        ();
-      t ~label:"sr_nak" ~src:"open" ~event:"nak" ~dst:"open"
-        ~guard:(M.And (M.Ne (M.Reg "base", M.Reg "next"), nothing_lost))
-        ~actions:[ M.Assign ("lost", M.Int 1) ]
-        ();
-      (* Unlike go-back-N, only the one reported frame is retransmitted:
-         base and next are untouched. *)
-      t ~label:"sr_resend" ~src:"open" ~event:"resend" ~dst:"open"
-        ~guard:(M.Eq (M.Reg "lost", M.Int 1))
-        ~actions:[ M.Assign ("lost", M.Int 0) ]
-        ();
-      t ~label:"sr_finish" ~src:"open" ~event:"finish" ~dst:"done"
-        ~guard:(M.And (M.Eq (M.Reg "base", M.Reg "next"), nothing_lost))
-        ();
-    ]
+    @ timeouts)
 
 let all =
   [

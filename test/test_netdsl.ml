@@ -17,4 +17,5 @@ let () =
          Test_engine.suite;
          Test_check.suite;
          Test_net.suite;
+         Test_timers.suite;
        ])
