@@ -703,8 +703,19 @@ let serve_cmd =
     Arg.(value & opt int 1 & info [ "tick" ] ~docv:"MS"
            ~doc:"Timer-wheel granularity: one engine tick per MS milliseconds (default 1).  Timeout durations declared by the served machine round up to whole ticks; without $(b,timeout) clauses the flag has no effect.")
   in
+  let io_opt =
+    Arg.(value
+         & opt (enum [ ("auto", `Auto); ("legacy", `Legacy); ("mmsg", `Mmsg) ])
+             `Auto
+         & info [ "io" ] ~docv:"MODE"
+             ~doc:"Receive-loop flavor: $(b,mmsg) forces the batched recvmmsg/sendmmsg + persistent-epoll path (UDP only; fails fast where the kernel lacks it), $(b,legacy) forces select + recvfrom/sendto, $(b,auto) (the default) picks mmsg when available.")
+  in
+  let io_batch_opt =
+    Arg.(value & opt int 32 & info [ "io-batch" ] ~docv:"N"
+           ~doc:"Datagrams moved per recvmmsg/sendmmsg call on the batched path (default 32); also sizes the reply staging window.")
+  in
   let run file fmt_name stack_name host udp tcp mode max_packets duration patches
-      workers shard_key stealing allow_oversubscribe tick_ms =
+      workers shard_key stealing allow_oversubscribe tick_ms io io_batch =
     let program = load file in
     let die msg =
       Format.eprintf "netdsl: %s@." msg;
@@ -808,9 +819,16 @@ let serve_cmd =
     if workers > 1 && shard_key = None then
       die "--workers > 1 requires --shard-key FIELD (the flow field to steer on)";
     if tick_ms <= 0 then die "--tick must be a positive millisecond count";
+    if io_batch <= 0 then die "--io-batch must be a positive batch size";
+    let io =
+      match io with
+      | `Auto -> Net.Server.Auto
+      | `Legacy -> Net.Server.Legacy
+      | `Mmsg -> Net.Server.Mmsg
+    in
     match
       Net.Server.create ~mode ?stack ~flight ~listeners ~workers
-        ~allow_oversubscribe ~stealing ?shard_key ~tick_ms fmt
+        ~allow_oversubscribe ~stealing ?shard_key ~tick_ms ~io ~io_batch fmt
     with
     | Error msg -> die msg
     | Ok srv ->
@@ -827,10 +845,17 @@ let serve_cmd =
             (match mode with
             | Netdsl.Engine.Pipeline.Fused -> "fused"
             | Netdsl.Engine.Pipeline.Staged -> "staged")
-            (if Net.Server.workers srv > 1 then
-               Printf.sprintf ", %d workers%s" (Net.Server.workers srv)
-                 (if stealing then " + stealing" else "")
-             else ""))
+            ((if Net.Server.workers srv > 1 then
+                Printf.sprintf ", %d workers%s" (Net.Server.workers srv)
+                  (if stealing then " + stealing" else "")
+              else "")
+            (* only a forced flavor is printed: what Auto resolves to
+               depends on the host kernel, and cram output must not *)
+            ^
+            match io with
+            | Net.Server.Auto -> ""
+            | Net.Server.Legacy -> ", legacy io"
+            | Net.Server.Mmsg -> ", batched io"))
         (Net.Server.bound srv);
       let n = Net.Server.run ?max_packets ?duration srv in
       (* Reported unconditionally: a SIGINT/SIGTERM exit lands here too,
@@ -852,7 +877,7 @@ let serve_cmd =
     Term.(const run $ file_arg $ format_opt $ stack_opt $ host_opt $ udp_opt
           $ tcp_opt $ mode_opt $ max_packets_opt $ duration_opt $ patch_opt
           $ serve_workers_opt $ shard_key_opt $ steal_opt $ oversubscribe_opt
-          $ tick_opt)
+          $ tick_opt $ io_opt $ io_batch_opt)
 
 let () =
   let doc = "a DSL toolchain for network protocols" in

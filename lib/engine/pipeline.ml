@@ -187,6 +187,11 @@ type t = {
   respond_fmt : F.Desc.t;
   on_response : string -> unit;
   on_reply : (Bytes.t -> int -> unit) option;
+  on_reply_slot : (int -> Bytes.t -> int -> unit) option;
+  (* window index of the packet whose reply is being emitted; -1 outside
+     packet context (timer-driven emission), maintained by the batch
+     loops so [on_reply_slot] can hand external slab owners the slot *)
+  mutable cur_slot : int;
   (* encode-stage machinery: a compiled emitter for [respond_fmt], a cache
      of compiled in-place patchers (keyed by field, against [fmt] — patches
      rewrite the *request* bytes), and one reusable reply buffer with a
@@ -218,6 +223,11 @@ type t = {
   timed : bool;
   wheel : Wheel.t option;
   clock_ms : unit -> int;
+  (* stage-timing clock, integer nanoseconds: injectable so a socket
+     front end with C stubs can supply an allocation-free monotonic
+     reading — the default boxes a float per call, which a batched hot
+     loop must not pay per packet *)
+  now_ns : unit -> int;
   tick_ms : int;
   mutable w_expired : int;
   mutable w_cancelled : int;
@@ -317,11 +327,13 @@ let fire_expiry t ~key ~ev =
       t.expiry_refused <- t.expiry_refused + 1)
 
 let default_clock_ms () = int_of_float (Unix.gettimeofday () *. 1e3)
+let default_now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
     ?classify ?classify_id ?machine ?flow_key ?on_transition
-    ?(clock_ms = default_clock_ms) ?(tick_ms = 1) ?respond ?respond_patch
-    ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply fmt =
+    ?(clock_ms = default_clock_ms) ?(now_ns = default_now_ns) ?(tick_ms = 1)
+    ?respond ?respond_patch ?respond_fmt ?(on_response = fun _ -> ()) ?on_reply
+    ?on_reply_slot fmt =
   if config.batch <= 0 then invalid_arg "Pipeline.create: batch must be positive";
   if config.max_flows <= 0 then
     invalid_arg "Pipeline.create: max_flows must be positive";
@@ -424,6 +436,8 @@ let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
     respond_fmt;
     on_response;
     on_reply;
+    on_reply_slot;
+    cur_slot = -1;
     emitter = F.Emit.create respond_fmt;
     patchers = Hashtbl.create 4;
     reply_buf = Bytes.create reply_base;
@@ -466,6 +480,7 @@ let create ?(config = default_config) ?(mode = Staged) ?stack ?flight ?verify
     timed;
     wheel = (if timed then Some (Wheel.create ~now:(clock_ms () / tick_ms) ()) else None);
     clock_ms;
+    now_ns;
     tick_ms;
     w_expired = 0;
     w_cancelled = 0;
@@ -591,9 +606,12 @@ let rec encode_reply t value =
 
 let emit_reply t len =
   if len > t.reply_hwm then t.reply_hwm <- len;
-  match t.on_reply with
-  | Some f -> f t.reply_buf len
-  | None -> t.on_response (Bytes.sub_string t.reply_buf 0 len)
+  match t.on_reply_slot with
+  | Some f -> f t.cur_slot t.reply_buf len
+  | None -> (
+    match t.on_reply with
+    | Some f -> f t.reply_buf len
+    | None -> t.on_response (Bytes.sub_string t.reply_buf 0 len))
 
 (* High-water reset, once per batch: a single oversized reply grows the
    buffer transiently; if the batch's replies fit in half the buffer it
@@ -606,8 +624,6 @@ let reset_reply_buf t =
   then t.reply_buf <- Bytes.create (max t.reply_base t.reply_hwm);
   t.reply_hwm <- 0
 
-let now () = Unix.gettimeofday ()
-let elapsed_ns t0 t1 = int_of_float ((t1 -. t0) *. 1e9)
 
 (* ---- staged mode: each stage walks the whole batch before the next
    starts, so stage timing is a straight wall-clock interval around a
@@ -618,7 +634,7 @@ let staged_batch t n =
   (* decode (includes full verification of the view) *)
   let bytes = ref 0 in
   let rejects = ref 0 in
-  let t0 = now () in
+  let t0 = t.now_ns () in
   for i = 0 to n - 1 do
     bytes := !bytes + t.blen.(i);
     match F.View.decode t.views.(i) ~len:t.blen.(i) t.inbuf.(i) with
@@ -631,13 +647,13 @@ let staged_batch t n =
       incr rejects
   done;
   Stats.record_batch stats st_decode ~packets:n ~bytes:!bytes ~rejects:!rejects
-    ~elapsed_ns:(elapsed_ns t0 (now ()));
+    ~elapsed_ns:(t.now_ns () - t0);
   (* verify: caller-supplied semantic predicate over the view *)
   (match t.verify with
   | None -> ()
   | Some pred ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
-    let t0 = now () in
+    let t0 = t.now_ns () in
     for i = 0 to n - 1 do
       if t.status.(i) = live then begin
         incr packets;
@@ -649,7 +665,7 @@ let staged_batch t n =
       end
     done;
     Stats.record_batch stats st_verify ~packets:!packets ~bytes:!bytes
-      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())));
+      ~rejects:!rejects ~elapsed_ns:(t.now_ns () - t0));
   (* step: drive the per-flow compiled machine with the classified event id.
      The accept path is ids and flat arrays end to end — no strings, no
      allocation; label reconstruction happens only inside the opt-in
@@ -657,7 +673,7 @@ let staged_batch t n =
   (match (t.classifier, t.default_inst) with
   | Some classify, Some dflt ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
-    let t0 = now () in
+    let t0 = t.now_ns () in
     for i = 0 to n - 1 do
       if t.status.(i) = live then begin
         incr packets;
@@ -684,7 +700,7 @@ let staged_batch t n =
       end
     done;
     Stats.record_batch stats st_step ~packets:!packets ~bytes:!bytes
-      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ()))
+      ~rejects:!rejects ~elapsed_ns:(t.now_ns () - t0)
   | _ -> ());
   (* encode: build and emit responses.  The in-place patch path is tried
      first — it rewrites a copy of the request's wire bytes and updates the
@@ -695,9 +711,10 @@ let staged_batch t n =
   | None, None -> ()
   | _ ->
     let packets = ref 0 and bytes = ref 0 and rejects = ref 0 in
-    let t0 = now () in
+    let t0 = t.now_ns () in
     for i = 0 to n - 1 do
       if t.status.(i) = live then begin
+        t.cur_slot <- i;
         let view = t.views.(i) in
         let inst () = instance_for t view in
         let emitted len =
@@ -747,7 +764,7 @@ let staged_batch t n =
       end
     done;
     Stats.record_batch stats st_encode ~packets:!packets ~bytes:!bytes
-      ~rejects:!rejects ~elapsed_ns:(elapsed_ns t0 (now ())))
+      ~rejects:!rejects ~elapsed_ns:(t.now_ns () - t0))
 
 (* ---- fused mode: one run-to-completion pass per packet, no [View.t] on
    the fast tier.  Counters mirror the staged stage rows exactly (same
@@ -773,7 +790,7 @@ let fused_batch t n =
   let v_pkts = ref 0 and v_bytes = ref 0 and v_rej = ref 0 in
   let s_pkts = ref 0 and s_bytes = ref 0 and s_rej = ref 0 in
   let e_pkts = ref 0 and e_bytes = ref 0 and e_rej = ref 0 in
-  let t0 = now () in
+  let t0 = t.now_ns () in
   for i = 0 to n - 1 do
     let blen = t.blen.(i) in
     d_bytes := !d_bytes + blen;
@@ -856,6 +873,7 @@ let fused_batch t n =
         let ridx = Flight.response fl in
         if ridx >= 0 then begin
           incr e_pkts;
+          t.cur_slot <- i;
           ensure_reply t blen;
           Bytes.blit_string t.inbuf.(i) 0 t.reply_buf 0 blen;
           if Flight.apply fl ridx t.reply_buf ~len:blen then begin
@@ -870,7 +888,7 @@ let fused_batch t n =
       end
     end
   done;
-  let elapsed = elapsed_ns t0 (now ()) in
+  let elapsed = t.now_ns () - t0 in
   Stats.record_batch stats st_decode ~packets:n ~bytes:!d_bytes
     ~rejects:!d_rej ~elapsed_ns:elapsed;
   if verify_armed then
@@ -894,13 +912,13 @@ let poll_timers t =
     let target = if t.tick_ms = 1 then c else c / t.tick_ms in
     if target <= Wheel.now w then 0
     else begin
-      let t0 = now () in
+      let t0 = t.now_ns () in
       t.expiry_refused <- 0;
       let fired = Wheel.advance w ~now:target t.expiry_cb in
       let refused = t.expiry_refused in
       if fired > 0 || refused > 0 then
         Stats.record_batch t.stats st_step ~packets:(fired + refused) ~bytes:0
-          ~rejects:refused ~elapsed_ns:(elapsed_ns t0 (now ()));
+          ~rejects:refused ~elapsed_ns:(t.now_ns () - t0);
       sync_timer_stats t;
       fired
     end
@@ -918,6 +936,21 @@ let next_timer_s t =
       Some (if ms <= 0 then 0. else float_of_int ms /. 1e3)
     end
 
+(* Allocation-free sibling of [next_timer_s] for event loops that poll
+   it every pass: the option + boxed float there is one small block per
+   idle iteration, which the batched server's 0 B/pkt budget cannot
+   absorb. *)
+let next_timer_ms t =
+  match t.wheel with
+  | None -> -1
+  | Some w ->
+    let due = Wheel.next_due w in
+    if due < 0 then -1
+    else begin
+      let ms = (due * t.tick_ms) - t.clock_ms () in
+      if ms <= 0 then 0 else ms
+    end
+
 let peek_flow t k =
   match t.flows with
   | None -> None
@@ -927,6 +960,8 @@ let peek_flow t k =
 
 let run_window t n =
   (match t.mode with Staged -> staged_batch t n | Fused -> fused_batch t n);
+  (* replies fired past this point (timer expiries) have no window slot *)
+  t.cur_slot <- -1;
   if t.timed then ignore (poll_timers t);
   reset_reply_buf t
 
@@ -1000,6 +1035,23 @@ let process_ring_batch t ring ~n =
   for i = 0 to n - 1 do
     t.inbuf.(i) <- Bytes.unsafe_to_string (Spsc.buf ring i);
     t.blen.(i) <- Spsc.len ring i
+  done;
+  run_window t n
+
+(* Slab-window sibling of [process_ring_batch] for external slab owners
+   (the batched socket front end): map a popped run of caller-owned
+   slots into the window and run it once, so stats recording and timer
+   polling cost per batch, not per packet.  Same read-only contract as
+   [run]: slots are not touched by the producer until [Slab.release],
+   which must come after this returns (and after any replies staged via
+   [on_reply_slot] — which receives each reply's window index — are
+   flushed, if their destinations live in per-slot sidecars). *)
+let process_slab_batch t slab ~n =
+  if n > t.cfg.batch then
+    invalid_arg "Pipeline.process_slab_batch: batch too large";
+  for i = 0 to n - 1 do
+    t.inbuf.(i) <- Bytes.unsafe_to_string (Slab.buf slab i);
+    t.blen.(i) <- Slab.len slab i
   done;
   run_window t n
 

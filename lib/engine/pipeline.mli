@@ -72,6 +72,7 @@ val create :
   ?flow_key:string ->
   ?on_transition:(Netdsl_fsm.Machine.transition -> unit) ->
   ?clock_ms:(unit -> int) ->
+  ?now_ns:(unit -> int) ->
   ?tick_ms:int ->
   ?respond:
     (Netdsl_format.View.t -> Netdsl_fsm.Step.instance -> Netdsl_format.Value.t option) ->
@@ -82,6 +83,7 @@ val create :
   ?respond_fmt:Netdsl_format.Desc.t ->
   ?on_response:(string -> unit) ->
   ?on_reply:(Bytes.t -> int -> unit) ->
+  ?on_reply_slot:(int -> Bytes.t -> int -> unit) ->
   Netdsl_format.Desc.t ->
   t
 (** [create fmt] builds a pipeline for [fmt].
@@ -123,6 +125,11 @@ val create :
       consulted when polling timers ({!poll_timers}, and once per
       {!run}/{!process_ring_batch} window).  The default reads wall time;
       tests inject a virtual clock and drive it deterministically.
+    - [now_ns] is the stage-timing clock (integer nanoseconds; only
+      differences are taken, so any monotone base works).  The default
+      reads [Unix.gettimeofday], which boxes a float per batch; callers
+      with an allocation-free monotonic source (the socket front end's C
+      stub) inject it here to keep batch timing off the GC entirely.
     - [tick_ms] (default 1, must be positive) is the timer granularity:
       one {!Wheel} tick per [tick_ms] milliseconds.  Timeout durations
       round up to whole ticks.  A wheel exists only when [machine] has
@@ -143,11 +150,15 @@ val create :
       to fall through to [respond].  A field that cannot be patched (see
       {!Netdsl_format.Emit.patcher}) rejects the packet at the encode
       stage.
-    - replies go to [on_reply] (borrowed buffer + length — zero-copy; the
-      bytes are only valid during the call) when given, else to
-      [on_response] as a fresh string.  The reply buffer carries a
-      per-batch high-water mark: one oversized reply grows it only until
-      the end of the batch. *)
+    - replies go to [on_reply_slot] when given (the [on_reply] contract
+      plus a leading window index: which slot of the current batch the
+      reply answers, or [-1] for a reply fired outside packet context,
+      e.g. timer-driven — lets a batched slab owner file the reply
+      against its per-slot return-address sidecar), else to [on_reply]
+      (borrowed buffer + length — zero-copy; the bytes are only valid
+      during the call), else to [on_response] as a fresh string.  The
+      reply buffer carries a per-batch high-water mark: one oversized
+      reply grows it only until the end of the batch. *)
 
 val process : t -> string -> outcome
 val process_batch : t -> string array -> int -> unit
@@ -168,6 +179,17 @@ val process_ring_batch : t -> Spsc.t -> n:int -> unit
     drain step of the sharded path.  The caller owns the claim lifetime:
     [Spsc.poll] before, [Spsc.release] after ({!Shard} checks bucket
     migration fences in between).  [n] at most [config.batch]. *)
+
+val process_slab_batch : t -> Slab.t -> n:int -> unit
+(** Run the [n] slots the caller has popped (and not yet released) from
+    its own {!Slab} through the batch window in place — the slab sibling
+    of {!process_ring_batch}, for front ends that batch their ingest
+    (one engine window per [recvmmsg] run instead of one
+    {!process_buffer} call per packet, so stats recording and timer
+    polling cost per batch).  The caller owns the slot lifetime:
+    [Slab.pop_batch] before, [Slab.release] after — and after flushing
+    any replies staged via [on_reply_slot] whose return addresses live
+    in per-slot sidecars.  [n] at most [config.batch]. *)
 
 val feed : t -> string -> bool
 (** Blit one packet into the input slab; blocks while the slab is full,
@@ -231,6 +253,12 @@ val next_timer_s : t -> float option
 (** Seconds until the timer wheel next needs a {!poll_timers} call —
     a "sleep no longer than" bound for a select loop ([Some 0.] when
     already due).  [None] when no timers are armed. *)
+
+val next_timer_ms : t -> int
+(** {!next_timer_s} without the option or the float: whole milliseconds
+    until the wheel is next due ([0] when already due), [-1] when no
+    timers are armed.  Allocation-free — the epoll loop consults it
+    every idle pass. *)
 
 val peek_flow : t -> int -> Netdsl_fsm.Step.instance option
 (** The live machine instance for a flow key, without touching LRU order

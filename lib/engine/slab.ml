@@ -24,6 +24,7 @@ type t = {
   mutable head : int; (* first unreleased slot (absolute counter) *)
   mutable tail : int; (* next slot to fill (absolute counter) *)
   mutable leased : bool;
+  mutable lease_len : int; (* slots covered by the outstanding lease *)
   mutable batch_len : int; (* outstanding consumer batch; 0 = none *)
   mutable batch_start : int;
   mutable closed : bool;
@@ -42,6 +43,7 @@ let create ?(slot_bytes = 2048) ~capacity () =
     head = 0;
     tail = 0;
     leased = false;
+    lease_len = 0;
     batch_len = 0;
     batch_start = 0;
     closed = false;
@@ -168,6 +170,7 @@ let lease t =
   end
   else begin
     t.leased <- true;
+    t.lease_len <- 1;
     let b = t.bufs.(t.tail mod Array.length t.bufs) in
     Mutex.unlock t.mu;
     Some b
@@ -187,6 +190,7 @@ let publish t len =
   t.lens.(t.tail mod Array.length t.bufs) <- len;
   t.tail <- t.tail + 1;
   t.leased <- false;
+  t.lease_len <- 0;
   Condition.signal t.not_empty;
   Mutex.unlock t.mu
 
@@ -197,7 +201,76 @@ let abandon t =
     invalid_arg "Slab.abandon: no leased slot"
   end;
   t.leased <- false;
+  t.lease_len <- 0;
   Mutex.unlock t.mu
+
+(* ---- contiguous-run lease (batched socket ingest) ----
+
+   [recvmmsg] fills many slots with one syscall, so the producer leases a
+   whole run of free slots at once.  The run never wraps the ring seam —
+   the C stub indexes [bufs]/[lens] linearly from [producer_slot] — and
+   the caller publishes only the prefix the kernel actually filled.
+   Never blocks: a full ring returns 0 and the socket loop applies its
+   own drop policy. *)
+
+let lease_run t ~max =
+  if max <= 0 then invalid_arg "Slab.lease_run: max must be positive";
+  Mutex.lock t.mu;
+  if t.leased then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Slab.lease_run: a lease is outstanding"
+  end;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    0
+  end
+  else begin
+    let cap = Array.length t.bufs in
+    let seam = cap - (t.tail mod cap) in
+    let k = min (min max (free t)) seam in
+    if k > 0 then begin
+      t.leased <- true;
+      t.lease_len <- k
+    end;
+    Mutex.unlock t.mu;
+    k
+  end
+
+(* Producer-thread-only; [tail] is stable while the run is leased. *)
+let producer_slot t = t.tail mod Array.length t.bufs
+
+let publish_run t ~n =
+  Mutex.lock t.mu;
+  if not t.leased then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Slab.publish_run: no leased run"
+  end;
+  if n < 0 || n > t.lease_len then begin
+    t.leased <- false;
+    t.lease_len <- 0;
+    Mutex.unlock t.mu;
+    invalid_arg "Slab.publish_run: count outside the leased run"
+  end;
+  let cap = Array.length t.bufs in
+  let bad = ref false in
+  for i = 0 to n - 1 do
+    let l = t.lens.((t.tail + i) mod cap) in
+    if l < 0 || l > t.slot_bytes then bad := true
+  done;
+  if !bad then begin
+    t.leased <- false;
+    t.lease_len <- 0;
+    Mutex.unlock t.mu;
+    invalid_arg "Slab.publish_run: slot length out of range"
+  end;
+  t.tail <- t.tail + n;
+  t.leased <- false;
+  t.lease_len <- 0;
+  if n > 0 then Condition.signal t.not_empty;
+  Mutex.unlock t.mu
+
+let raw_bufs t = t.bufs
+let raw_lens t = t.lens
 
 (* ---- consumer side ---- *)
 
@@ -208,7 +281,27 @@ let pop_batch t ~max =
     Mutex.unlock t.mu;
     invalid_arg "Slab.pop_batch: previous batch not released"
   end;
-  backoff_wait t t.not_empty (fun () -> t.tail - t.head > 0 || t.closed);
+  (* [backoff_wait]'s predicate argument would be a fresh closure per
+     call; this is the consumer's per-batch hot path, so the backoff
+     loop is open-coded to keep it allocation-free *)
+  let attempt = ref 0 in
+  while not (t.tail - t.head > 0 || t.closed) do
+    if !attempt < spin_rounds then begin
+      Mutex.unlock t.mu;
+      for _ = 1 to 1 lsl !attempt do
+        Domain.cpu_relax ()
+      done;
+      incr attempt;
+      Mutex.lock t.mu
+    end
+    else if !attempt < spin_rounds + yield_rounds then begin
+      Mutex.unlock t.mu;
+      Thread.yield ();
+      incr attempt;
+      Mutex.lock t.mu
+    end
+    else Condition.wait t.not_empty t.mu
+  done;
   let n = min (t.tail - t.head) max in
   t.batch_start <- t.head;
   t.batch_len <- n;
@@ -228,6 +321,10 @@ let buf t i =
 let len t i =
   check_slot t i;
   t.lens.((t.batch_start + i) mod Array.length t.bufs)
+
+let batch_slot t i =
+  check_slot t i;
+  (t.batch_start + i) mod Array.length t.bufs
 
 let release t =
   Mutex.lock t.mu;

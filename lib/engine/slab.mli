@@ -65,6 +65,41 @@ val publish : t -> int -> unit
 val abandon : t -> unit
 (** Return the leased slot unpublished. *)
 
+(** {2 Contiguous-run lease}
+
+    The batched socket path ([recvmmsg]) fills many slots with one
+    syscall: lease a whole run of free slots, let the kernel scatter
+    datagrams straight into their buffers (lengths land in
+    {!raw_lens}), then publish only the prefix that was filled.  The
+    run is contiguous in array index space — it never wraps the ring
+    seam — so a C stub may walk [raw_bufs]/[raw_lens] linearly from
+    {!producer_slot}. *)
+
+val lease_run : t -> max:int -> int
+(** Lease up to [max] contiguous free slots starting at
+    {!producer_slot}.  Returns the run length, [0] when the ring is
+    full or closed — unlike {!lease} this never blocks; the socket
+    loop owns the drop policy.  Raises [Invalid_argument] if a lease
+    is already outstanding or [max <= 0]. *)
+
+val producer_slot : t -> int
+(** Array index of the first slot of the leased run (producer thread
+    only; stable while the lease is outstanding). *)
+
+val publish_run : t -> n:int -> unit
+(** Publish the first [n] slots of the leased run — their lengths must
+    already be stored in {!raw_lens} — and return the rest unfilled.
+    [n = 0] abandons the whole run.  Raises [Invalid_argument] without
+    an outstanding run, if [n] exceeds it, or if a published slot's
+    recorded length is outside [0 .. slot_bytes]. *)
+
+val raw_bufs : t -> Bytes.t array
+val raw_lens : t -> int array
+(** The backing slot arrays, exposed for the C-stub boundary (iovec
+    construction and kernel-written datagram lengths).  Outside a
+    leased run / claimed batch their contents are unstable; treat them
+    as write-targets for the current lease only. *)
+
 (** {2 Consumer side} *)
 
 val pop_batch : t -> max:int -> int
@@ -80,6 +115,11 @@ val buf : t -> int -> Bytes.t
 
 val len : t -> int -> int
 (** Published byte length of the [i]th slot of the current batch. *)
+
+val batch_slot : t -> int -> int
+(** Absolute array index of the [i]th slot of the current batch — the
+    key under which a batched socket loop filed per-slot sidecar state
+    (source address, owning listener) at ingest time. *)
 
 val release : t -> unit
 (** Hand the current batch's slots back to the producer.  Raises

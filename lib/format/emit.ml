@@ -1120,6 +1120,19 @@ let rec enum_mem cases v =
   | [] -> false
   | (_, c) :: rest -> Int64.equal c v || enum_mem rest v
 
+(* Unboxed enum membership for the native fast path: [v] has already
+   passed the [0, 2^56) range check there, so a case constant outside
+   that range cannot match and the [Int64.to_int] comparison is exact.
+   [Int64.compare] against static bounds allocates nothing. *)
+let rec enum_mem_int cases v =
+  match cases with
+  | [] -> false
+  | (_, c) :: rest ->
+    (Int64.compare c 0L >= 0
+    && Int64.compare c 0x0100_0000_0000_0000L < 0
+    && Int64.to_int c = v)
+    || enum_mem_int rest v
+
 let bswap_nat ~bits v =
   let n = bits / 8 in
   let r = ref 0 in
@@ -1233,11 +1246,13 @@ let patch_window p ~off ~len buf v =
 
 (* Unboxed-int variant of [patch_window]: the fused respond path reads its
    source values as native-int registers, and boxing an [Int64] per patch
-   is the last allocation on that path.  Fields wider than 56 bits, enums
-   and constrained fields delegate to the boxing path (identical
-   validation; a native register cannot carry > 62 bits anyway). *)
+   is the last allocation on that path.  Fields wider than 56 bits and
+   constrained fields delegate to the boxing path (identical validation;
+   a native register cannot carry > 62 bits anyway).  Enum fields stay on
+   the fast path — membership checks through {!enum_mem_int} without
+   touching the boxed case constants' values. *)
 let patch_window_int p ~off ~len buf v =
-  if p.pa_bits > 56 || p.pa_enum <> None || p.pa_constraints <> [] then
+  if p.pa_bits > 56 || p.pa_constraints <> [] then
     patch_window p ~off ~len buf (Int64.of_int v)
   else if off < 0 || len < 0 || off + len > Bytes.length buf then
     invalid_arg "Emit.patch: window out of bounds"
@@ -1254,6 +1269,11 @@ let patch_window_int p ~off ~len buf v =
         fail
           (Value_out_of_range
              { path = [ p.pa_name ]; value = Int64.of_int v; bits = p.pa_bits });
+      (match p.pa_enum with
+      | Some cases ->
+        if not (enum_mem_int cases v) then
+          fail (Enum_unknown { path = [ p.pa_name ]; value = Int64.of_int v })
+      | None -> ());
       let fbyte = off + (p.pa_bit_off lsr 3) in
       let nbytes = p.pa_bits lsr 3 in
       let wire =

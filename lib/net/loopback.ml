@@ -47,9 +47,11 @@ let client_socket () =
    meter sees only the server's own garbage) — and run [body] as the
    client.  The restart between phases doubles as a run-twice exercise
    of the server loop. *)
-let with_server ?mode ?machine ?config ?stack ~flight ~warmup ~count fmt body =
+let with_server ?mode ?machine ?config ?stack ?io ?io_batch ~flight ~warmup
+    ~count fmt body =
   match
-    Server.create ?config ?mode ?machine ?stack ~signals:false ~flight
+    Server.create ?config ?mode ?machine ?stack ?io ?io_batch ~signals:false
+      ~flight
       ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
       fmt
   with
@@ -64,10 +66,18 @@ let with_server ?mode ?machine ?config ?stack ~flight ~warmup ~count fmt body =
           let dom =
             Domain.spawn (fun () ->
                 let n1 = Server.run ~max_packets:warmup srv in
+                (* the measurement must not charge the server for its own
+                   bracket: [Gc.allocated_bytes] boxes its float result
+                   after reading the counters, so [a0]'s boxes land
+                   inside the window — [a0 -. cal] is exactly one call's
+                   self-allocation, subtracted back out.  The [?max_packets]
+                   option cell is built before [a0] for the same reason. *)
+                let mp = Some (count - n1) in
+                let cal = Gc.allocated_bytes () in
                 let a0 = Gc.allocated_bytes () in
-                let n2 = Server.run ~max_packets:(count - n1) srv in
+                let n2 = Server.run ?max_packets:mp srv in
                 let a1 = Gc.allocated_bytes () in
-                (n1 + n2, a1 -. a0, n2))
+                (n1 + n2, a1 -. a0 -. (a0 -. cal), n2))
           in
           let sent, replies, expected, disagreements, first, elapsed =
             body port
@@ -85,14 +95,15 @@ let with_server ?mode ?machine ?config ?stack ~flight ~warmup ~count fmt body =
               elapsed_s = elapsed;
               net = Server.net_stats srv })
 
-let soak ?(mode = Pipeline.Fused) ?machine ?config ?warmup ~flight ~packets
-    ~count fmt =
+let soak ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?io ?io_batch
+    ~flight ~packets ~count fmt =
   if count < 2 then Error "loopback soak: count must be at least 2"
   else begin
     let warmup = default_warmup ?warmup count in
     (* The reference leg: same spec, staged derivation, in-memory. *)
     let reference = Oracle.Reply_ref.create ?config ?machine ~flight fmt in
-    with_server ?config ~mode ?machine ~flight ~warmup ~count fmt (fun port ->
+    with_server ?config ~mode ?machine ?io ?io_batch ~flight ~warmup ~count fmt
+      (fun port ->
         let addr =
           Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
         in
@@ -149,13 +160,20 @@ let soak ?(mode = Pipeline.Fused) ?machine ?config ?warmup ~flight ~packets
             (count, !replies, !expected_n, !disagreements, !first, elapsed)))
   end
 
-let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?stack
-    ?(window = 64) ~flight ~packets ~count fmt =
+let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?stack ?io
+    ?io_batch ?(window = 64) ~flight ~packets ~count fmt =
   if count < 2 then Error "loopback blast: count must be at least 2"
   else begin
     let warmup = default_warmup ?warmup count in
-    with_server ?config ~mode ?machine ?stack ~flight ~warmup ~count fmt
-      (fun port ->
+    (* A forced-mmsg server gets an mmsg client: otherwise the
+       per-packet sender is the bottleneck and the measurement says
+       nothing about the server's batched path. *)
+    let batched_client = io = Some Server.Mmsg in
+    let client_batch =
+      match io_batch with Some b when b > 0 -> b | _ -> 32
+    in
+    with_server ?config ~mode ?machine ?stack ?io ?io_batch ~flight ~warmup
+      ~count fmt (fun port ->
         let addr =
           Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port)
         in
@@ -164,48 +182,107 @@ let blast ?(mode = Pipeline.Fused) ?machine ?config ?warmup ?stack
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () ->
-            let rbuf = Bytes.create 65536 in
             let sent = ref 0 in
             let replies = ref 0 in
             let stalls = ref 0 in
-            let t0 = Unix.gettimeofday () in
-            let drain_replies () =
-              let continue = ref true in
-              while !continue do
-                match recv_one fd rbuf with
-                | None -> continue := false
-                | Some _ -> incr replies
-              done
+            let drain_replies =
+              if batched_client then begin
+                (* Connected socket: sends use addr slot [-1], receives
+                   need no source address.  Batches are regenerated from
+                   [!sent] after a partial send, so nothing is queued on
+                   the OCaml side. *)
+                Unix.connect fd addr;
+                let mm = Mmsg.create client_batch in
+                let tx_bufs =
+                  Array.init client_batch (fun _ -> Bytes.create 65536)
+                in
+                let tx_lens = Array.make client_batch 0 in
+                let tx_addr = Array.make client_batch (-1) in
+                let rx_bufs =
+                  Array.init client_batch (fun _ -> Bytes.create 65536)
+                in
+                let rx_lens = Array.make client_batch 0 in
+                let drain_replies () =
+                  let continue = ref true in
+                  while !continue do
+                    let r =
+                      Mmsg.recv mm fd ~bufs:rx_bufs ~lens:rx_lens ~base:0
+                        ~count:client_batch
+                    in
+                    if r > 0 then replies := !replies + r
+                    else continue := false
+                  done
+                in
+                let send_batch () =
+                  let room =
+                    min client_batch
+                      (min (count - !sent) (window - (!sent - !replies)))
+                  in
+                  if room > 0 then begin
+                    for i = 0 to room - 1 do
+                      let pkt = packets (!sent + i) in
+                      let len = String.length pkt in
+                      Bytes.blit_string pkt 0 tx_bufs.(i) 0 len;
+                      tx_lens.(i) <- len
+                    done;
+                    let r =
+                      Mmsg.send mm fd ~bufs:tx_bufs ~lens:tx_lens
+                        ~addr_idx:tx_addr ~off:0 ~n:room
+                    in
+                    if r > 0 then sent := !sent + r
+                    else if r = Mmsg.eagain then
+                      ignore (readable ~timeout:0.2 fd)
+                  end
+                in
+                fun ~send ->
+                  if send then send_batch ();
+                  drain_replies ()
+              end
+              else begin
+                let rbuf = Bytes.create 65536 in
+                let drain_replies () =
+                  let continue = ref true in
+                  while !continue do
+                    match recv_one fd rbuf with
+                    | None -> continue := false
+                    | Some _ -> incr replies
+                  done
+                in
+                let send_one () =
+                  let pkt = packets !sent in
+                  match
+                    Unix.sendto fd (Bytes.of_string pkt) 0 (String.length pkt)
+                      [] addr
+                  with
+                  | _ -> incr sent
+                  | exception
+                      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                    ->
+                    ignore (readable ~timeout:0.2 fd)
+                in
+                fun ~send ->
+                  if send then send_one ();
+                  drain_replies ()
+              end
             in
+            let t0 = Unix.gettimeofday () in
             (* Window of outstanding packets; if the pipe goes dead
                (every reply dropped) give up rather than spin. *)
             while !sent < count && !stalls < 5 do
               if !sent - !replies >= window then begin
                 let before = !replies in
                 ignore (readable ~timeout:1.0 fd);
-                drain_replies ();
+                drain_replies ~send:false;
                 if !replies = before then incr stalls else stalls := 0
               end
-              else begin
-                let pkt = packets !sent in
-                (match
-                   Unix.sendto fd (Bytes.of_string pkt) 0 (String.length pkt)
-                     [] addr
-                 with
-                | _ -> incr sent
-                | exception
-                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-                  ->
-                  ignore (readable ~timeout:0.2 fd));
-                drain_replies ()
-              end
+              else drain_replies ~send:true
             done;
             (* tail: collect stragglers until the socket goes quiet *)
             let quiet = ref 0 in
             while !replies < !sent && !quiet < 3 do
               if readable ~timeout:0.5 fd then begin
                 let before = !replies in
-                drain_replies ();
+                drain_replies ~send:false;
                 if !replies = before then incr quiet else quiet := 0
               end
               else incr quiet

@@ -37,6 +37,8 @@ val soak :
   ?machine:Netdsl_fsm.Machine.t ->
   ?config:Netdsl_engine.Pipeline.config ->
   ?warmup:int ->
+  ?io:Server.io ->
+  ?io_batch:int ->
   flight:Netdsl_engine.Flight.spec ->
   packets:(int -> string) ->
   count:int ->
@@ -49,7 +51,10 @@ val soak :
     server is diffed against the staged derivation of its own spec.
     The server restarts its loop once after [warmup] packets (default
     [count/5], capped at 2000) to exercise run-twice restart and scope
-    the allocation measurement to steady state. *)
+    the allocation measurement to steady state.  [io]/[io_batch] select
+    the server's receive loop ({!Server.create}) — the client stays
+    lock-step either way, so [~io:Mmsg] diffs the batched drain/flush
+    path against the same in-memory reference. *)
 
 val blast :
   ?mode:Netdsl_engine.Pipeline.mode ->
@@ -57,6 +62,8 @@ val blast :
   ?config:Netdsl_engine.Pipeline.config ->
   ?warmup:int ->
   ?stack:Netdsl_format.Stack.t ->
+  ?io:Server.io ->
+  ?io_batch:int ->
   ?window:int ->
   flight:Netdsl_engine.Flight.spec ->
   packets:(int -> string) ->
@@ -71,7 +78,11 @@ val blast :
     box oversubscribes — callers report that caveat.  [stack] serves a
     layered chain through the fused plan (flight operands become
     qualified ["layer.field"] names); [fmt] must then be the stack's
-    outermost format. *)
+    outermost format.  [io]/[io_batch] select the server's receive
+    loop; forcing [~io:Mmsg] also switches the {e client} to a
+    connected-socket [sendmmsg]/[recvmmsg] batch of [io_batch]
+    (default 32) — otherwise the per-packet sender caps the measurement
+    below what the batched server can absorb. *)
 
 (** {2 Lossy virtual-time loopback}
 

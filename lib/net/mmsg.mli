@@ -1,0 +1,94 @@
+(** Batched kernel I/O: [recvmmsg] / [sendmmsg] / persistent [epoll].
+
+    The first C stubs in the tree.  A {!t} owns preallocated C-side
+    [mmsghdr] / [iovec] / [sockaddr_storage] arrays sized to the slab
+    ring, so one syscall scatters a whole batch of datagrams straight
+    into leased {!Netdsl_engine.Slab} slots (or gathers a batch of
+    staged replies out) with zero per-packet allocation on the OCaml
+    side.  Hot-path calls return ints by the shared convention:
+
+    - [r >= 0] — datagrams moved / events ready;
+    - [-1] ({!eagain}) — nothing to do right now (EAGAIN / EINTR);
+    - [-2] ({!unavailable}) — the syscall does not exist here (ENOSYS,
+      pre-2.6.33 kernel, or a non-Linux build);
+    - [-3] — any other socket error; callers count it and drop rather
+      than raise on the hot path.
+
+    The sockets involved must be non-blocking (the stubs also pass
+    [MSG_DONTWAIT]): the runtime lock stays held across recv/send so
+    the naked buffer pointers cannot be moved by a stop-the-world GC,
+    which is only sound because the calls cannot block.
+    [Epoll.wait] is the one call that may sleep, and it releases the
+    lock around the kernel wait. *)
+
+type t
+
+val create : int -> t
+(** [create slots] allocates the reusable C arrays ([slots] must cover
+    the slab ring: rx source addresses are filed by absolute slot
+    index and must survive until that slot's reply is flushed).
+    Raises [Failure] on non-Linux builds — check {!available} first. *)
+
+val available : unit -> bool
+(** Runtime probe: true iff [recvmmsg] answers on this kernel {e and}
+    the [NETDSL_NO_MMSG] environment kill switch is not set. *)
+
+val recv :
+  t -> Unix.file_descr -> bufs:Bytes.t array -> lens:int array -> base:int ->
+  count:int -> int
+(** Drain up to [count] datagrams into [bufs.(base .. base+count-1)]
+    (a contiguous leased slab run), writing kernel lengths into
+    [lens.(base ..)] and source addresses into the C slots of the same
+    indices.  Returns the number received or a negative code. *)
+
+val send :
+  t -> Unix.file_descr -> bufs:Bytes.t array -> lens:int array ->
+  addr_idx:int array -> off:int -> n:int -> int
+(** Flush staging entries [off .. off+n-1]: [bufs.(i)] holds
+    [lens.(i)] bytes for the address in C slot [addr_idx.(i)]
+    ([-1] = connected socket).  Returns how many the kernel accepted —
+    resume from [off + sent] on a partial send. *)
+
+val set_addr : t -> int -> Unix.sockaddr -> unit
+(** Store an [ADDR_INET] destination in a C slot (the batched client's
+    fixed peer). *)
+
+val addr : t -> int -> Unix.sockaddr
+(** Rebuild C slot [i]'s stored address as a [Unix.sockaddr]
+    (allocates — sharded steering's per-packet sinks only). *)
+
+val eagain : int
+val unavailable : int
+
+val now_ns : unit -> int
+(** Allocation-free monotonic clock, integer nanoseconds ([@@noalloc] C
+    stub over [clock_gettime(CLOCK_MONOTONIC)]; always compiled, not
+    gated on {!available}).  The server injects it as the engine's
+    [now_ns]/[clock_ms] so batch stage timing and timer polling never
+    box a float — the default wall-clock readings would put
+    [Unix.gettimeofday]'s boxed float on every batch. *)
+
+val now_ms : unit -> int
+(** {!now_ns} / 1e6 — a monotone [clock_ms] for {!Netdsl_engine.Pipeline}. *)
+
+(** Persistent epoll instance with edge-triggered read interest.
+    Fallback-free on Linux; non-Linux builds report unavailable and
+    the server keeps its [Unix.select] loop. *)
+module Epoll : sig
+  type ep
+
+  val create : int -> ep
+  (** [create cap] — [cap] bounds events returned per {!wait}. *)
+
+  val add : ep -> Unix.file_descr -> int -> unit
+  (** Register [fd] with [EPOLLIN lor EPOLLET]; the int tag comes back
+      from {!wait}.  Edge-triggered: the owner must drain to EAGAIN
+      (or remember the fd is hot) after every wake. *)
+
+  val wait : ep -> tags:int array -> timeout_ms:int -> int
+  (** Ready tags land in [tags.(0 .. r-1)].  [-1] on EINTR.  Releases
+      the runtime lock while sleeping. *)
+
+  val close : ep -> unit
+  val available : unit -> bool
+end

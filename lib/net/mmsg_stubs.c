@@ -1,0 +1,491 @@
+/* Batched kernel I/O for the socket front end: recvmmsg / sendmmsg over
+ * preallocated msghdr / iovec / sockaddr arrays, plus a persistent epoll
+ * instance for edge-triggered readiness.  One syscall moves up to a whole
+ * batch of datagrams straight into (or out of) Engine.Slab slots.
+ *
+ * Calling convention shared by every I/O stub here:
+ *   >= 0  datagrams moved / events ready
+ *   -1    EAGAIN / EWOULDBLOCK / EINTR  (nothing to do right now)
+ *   -2    unavailable on this platform or kernel (ENOSYS; or non-Linux build)
+ *   -3    any other socket error (caller counts it and drops, never raises
+ *         on the hot path)
+ *
+ * The runtime lock stays HELD across recvmmsg/sendmmsg: the sockets are
+ * non-blocking (MSG_DONTWAIT besides), so the calls cannot block, and
+ * holding the lock keeps naked Bytes_val pointers stable — OCaml 5's
+ * stop-the-world minor GC cannot move the buffers while this domain is
+ * inside the stub.  epoll_wait DOES release the lock around the (possibly
+ * blocking) wait and copies ready tags out of C-side storage afterwards.
+ */
+
+#ifdef __linux__
+#define _GNU_SOURCE /* recvmmsg/sendmmsg; must precede every libc header */
+#endif
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/custom.h>
+#include <caml/threads.h>
+
+#include <string.h>
+#include <errno.h>
+
+#ifdef __linux__
+
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/epoll.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+/* ---- batch: the reusable scatter/gather arrays ---------------------- */
+
+struct netdsl_batch {
+  int cap;
+  struct mmsghdr *hdrs;
+  struct iovec *iovs;
+  struct sockaddr_storage *addrs; /* indexed by slab slot: rx source, tx dest */
+  socklen_t *addrlens;
+};
+
+#define Batch_val(v) (*(struct netdsl_batch **)Data_custom_val(v))
+
+static void netdsl_batch_finalize(value v)
+{
+  struct netdsl_batch *b = Batch_val(v);
+  if (b) {
+    free(b->hdrs);
+    free(b->iovs);
+    free(b->addrs);
+    free(b->addrlens);
+    free(b);
+    Batch_val(v) = NULL;
+  }
+}
+
+static struct custom_operations netdsl_batch_ops = {
+  "netdsl.mmsg.batch",
+  netdsl_batch_finalize,
+  custom_compare_default,
+  custom_hash_default,
+  custom_serialize_default,
+  custom_deserialize_default,
+  custom_compare_ext_default,
+  custom_fixed_length_default
+};
+
+CAMLprim value netdsl_mmsg_create(value vslots)
+{
+  CAMLparam1(vslots);
+  CAMLlocal1(res);
+  int cap = Int_val(vslots);
+  if (cap <= 0) caml_invalid_argument("Mmsg.create: slots must be positive");
+  struct netdsl_batch *b = malloc(sizeof *b);
+  if (!b) caml_raise_out_of_memory();
+  b->cap = cap;
+  b->hdrs = calloc(cap, sizeof *b->hdrs);
+  b->iovs = calloc(cap, sizeof *b->iovs);
+  b->addrs = calloc(cap, sizeof *b->addrs);
+  b->addrlens = calloc(cap, sizeof *b->addrlens);
+  if (!b->hdrs || !b->iovs || !b->addrs || !b->addrlens) {
+    free(b->hdrs); free(b->iovs); free(b->addrs); free(b->addrlens); free(b);
+    caml_raise_out_of_memory();
+  }
+  res = caml_alloc_custom(&netdsl_batch_ops, sizeof(struct netdsl_batch *), 0, 1);
+  Batch_val(res) = b;
+  CAMLreturn(res);
+}
+
+/* recv batch fd bufs lens base count -> moved
+ *
+ * Scatters up to [count] datagrams into bufs[base..base+count-1] (a leased
+ * Slab run: contiguous, never wrapping), records kernel-written lengths in
+ * the OCaml int array lens[base..] (Val_long into an int array needs no
+ * write barrier) and source addresses in the C sockaddr slots of the same
+ * indices, where they stay valid until the slot's reply is flushed. */
+CAMLprim value netdsl_mmsg_recv(value vbatch, value vfd, value vbufs,
+                                value vlens, value vbase, value vcount)
+{
+  struct netdsl_batch *b = Batch_val(vbatch);
+  int fd = Int_val(vfd);
+  int base = Int_val(vbase);
+  int count = Int_val(vcount);
+  if (base < 0 || count <= 0 || base + count > b->cap)
+    caml_invalid_argument("Mmsg.recv: run outside the batch");
+  for (int i = 0; i < count; i++) {
+    value buf = Field(vbufs, base + i);
+    b->iovs[base + i].iov_base = Bytes_val(buf);
+    b->iovs[base + i].iov_len = caml_string_length(buf);
+    memset(&b->hdrs[base + i].msg_hdr, 0, sizeof(struct msghdr));
+    b->hdrs[base + i].msg_hdr.msg_iov = &b->iovs[base + i];
+    b->hdrs[base + i].msg_hdr.msg_iovlen = 1;
+    b->hdrs[base + i].msg_hdr.msg_name = &b->addrs[base + i];
+    b->hdrs[base + i].msg_hdr.msg_namelen = sizeof(struct sockaddr_storage);
+  }
+  int r = recvmmsg(fd, &b->hdrs[base], count, MSG_DONTWAIT, NULL);
+  if (r < 0) {
+    if (errno == EINTR) return Val_int(0); /* retry; edge state unknown */
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Val_int(-1);
+    if (errno == ENOSYS) return Val_int(-2);
+    return Val_int(-3);
+  }
+  for (int i = 0; i < r; i++) {
+    Field(vlens, base + i) = Val_long(b->hdrs[base + i].msg_len);
+    b->addrlens[base + i] = b->hdrs[base + i].msg_hdr.msg_namelen;
+  }
+  return Val_int(r);
+}
+
+CAMLprim value netdsl_mmsg_recv_byte(value *argv, int argn)
+{
+  (void)argn;
+  return netdsl_mmsg_recv(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+}
+
+/* send batch fd bufs lens addr_idx off n -> sent
+ *
+ * Gathers entries off..off+n-1 of the staging arrays: bufs.(i) holds
+ * lens.(i) reply bytes, addr_idx.(i) names the sockaddr slot to send to
+ * (-1 = connected socket, no address).  Returns how many left — the
+ * caller resumes from off+sent on a partial send. */
+CAMLprim value netdsl_mmsg_send(value vbatch, value vfd, value vbufs,
+                                value vlens, value vaddr_idx, value voff,
+                                value vn)
+{
+  struct netdsl_batch *b = Batch_val(vbatch);
+  int fd = Int_val(vfd);
+  int off = Int_val(voff);
+  int n = Int_val(vn);
+  if (off < 0 || n <= 0 || off + n > b->cap)
+    caml_invalid_argument("Mmsg.send: run outside the batch");
+  for (int i = 0; i < n; i++) {
+    value buf = Field(vbufs, off + i);
+    b->iovs[off + i].iov_base = Bytes_val(buf);
+    b->iovs[off + i].iov_len = Long_val(Field(vlens, off + i));
+    memset(&b->hdrs[off + i].msg_hdr, 0, sizeof(struct msghdr));
+    b->hdrs[off + i].msg_hdr.msg_iov = &b->iovs[off + i];
+    b->hdrs[off + i].msg_hdr.msg_iovlen = 1;
+    long ai = Long_val(Field(vaddr_idx, off + i));
+    if (ai >= 0) {
+      if (ai >= b->cap) caml_invalid_argument("Mmsg.send: bad address slot");
+      b->hdrs[off + i].msg_hdr.msg_name = &b->addrs[ai];
+      b->hdrs[off + i].msg_hdr.msg_namelen = b->addrlens[ai];
+    }
+  }
+  int r = sendmmsg(fd, &b->hdrs[off], n, MSG_DONTWAIT);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      return Val_int(-1);
+    if (errno == ENOSYS) return Val_int(-2);
+    return Val_int(-3);
+  }
+  return Val_int(r);
+}
+
+CAMLprim value netdsl_mmsg_send_byte(value *argv, int argn)
+{
+  (void)argn;
+  return netdsl_mmsg_send(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6]);
+}
+
+/* set_addr batch i sockaddr: store an ADDR_INET destination in slot i
+ * (the batched client's fixed server address). */
+CAMLprim value netdsl_mmsg_set_addr(value vbatch, value vi, value vsa)
+{
+  CAMLparam3(vbatch, vi, vsa);
+  struct netdsl_batch *b = Batch_val(vbatch);
+  int i = Int_val(vi);
+  if (i < 0 || i >= b->cap) caml_invalid_argument("Mmsg.set_addr: bad slot");
+  if (Is_long(vsa) || Tag_val(vsa) != 1)
+    caml_invalid_argument("Mmsg.set_addr: ADDR_INET expected");
+  value vaddr = Field(vsa, 0);
+  int port = Int_val(Field(vsa, 1));
+  mlsize_t alen = caml_string_length(vaddr);
+  memset(&b->addrs[i], 0, sizeof(struct sockaddr_storage));
+  if (alen == 4) {
+    struct sockaddr_in *sin = (struct sockaddr_in *)&b->addrs[i];
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(port);
+    memcpy(&sin->sin_addr, Bytes_val(vaddr), 4);
+    b->addrlens[i] = sizeof(struct sockaddr_in);
+  } else if (alen == 16) {
+    struct sockaddr_in6 *sin6 = (struct sockaddr_in6 *)&b->addrs[i];
+    sin6->sin6_family = AF_INET6;
+    sin6->sin6_port = htons(port);
+    memcpy(&sin6->sin6_addr, Bytes_val(vaddr), 16);
+    b->addrlens[i] = sizeof(struct sockaddr_in6);
+  } else
+    caml_invalid_argument("Mmsg.set_addr: bad inet address length");
+  CAMLreturn(Val_unit);
+}
+
+/* addr batch i: rebuild slot i's source address as a Unix.sockaddr
+ * (ADDR_INET: tag-1 block of inet_addr string + port) for the sharded
+ * steering path's per-packet sinks. */
+CAMLprim value netdsl_mmsg_addr(value vbatch, value vi)
+{
+  CAMLparam2(vbatch, vi);
+  CAMLlocal2(res, vaddr);
+  struct netdsl_batch *b = Batch_val(vbatch);
+  int i = Int_val(vi);
+  if (i < 0 || i >= b->cap) caml_invalid_argument("Mmsg.addr: bad slot");
+  struct sockaddr_storage *ss = &b->addrs[i];
+  if (ss->ss_family == AF_INET) {
+    struct sockaddr_in *sin = (struct sockaddr_in *)ss;
+    vaddr = caml_alloc_initialized_string(4, (const char *)&sin->sin_addr);
+    res = caml_alloc_small(2, 1);
+    Field(res, 0) = vaddr;
+    Field(res, 1) = Val_int(ntohs(sin->sin_port));
+  } else if (ss->ss_family == AF_INET6) {
+    struct sockaddr_in6 *sin6 = (struct sockaddr_in6 *)ss;
+    vaddr = caml_alloc_initialized_string(16, (const char *)&sin6->sin6_addr);
+    res = caml_alloc_small(2, 1);
+    Field(res, 0) = vaddr;
+    Field(res, 1) = Val_int(ntohs(sin6->sin6_port));
+  } else
+    caml_invalid_argument("Mmsg.addr: empty slot");
+  CAMLreturn(res);
+}
+
+/* Availability probe: a throwaway recvmmsg on an unbound UDP socket.
+ * EAGAIN means the syscall exists; ENOSYS means a pre-2.6.33 kernel (or
+ * a seccomp filter) and the caller falls back to recvfrom/sendto. */
+CAMLprim value netdsl_mmsg_available(value vunit)
+{
+  (void)vunit;
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return Val_false;
+  char scratch[8];
+  struct iovec iov = { .iov_base = scratch, .iov_len = sizeof scratch };
+  struct mmsghdr h;
+  memset(&h, 0, sizeof h);
+  h.msg_hdr.msg_iov = &iov;
+  h.msg_hdr.msg_iovlen = 1;
+  int r = recvmmsg(fd, &h, 1, MSG_DONTWAIT, NULL);
+  int ok = !(r < 0 && errno == ENOSYS);
+  close(fd);
+  return Val_bool(ok);
+}
+
+/* ---- persistent epoll ----------------------------------------------- */
+
+struct netdsl_epoll {
+  int epfd;
+  int cap;                   /* max events per wait */
+  struct epoll_event *evs;   /* C-side event storage (stable across GC) */
+};
+
+#define Epoll_val(v) (*(struct netdsl_epoll **)Data_custom_val(v))
+
+static void netdsl_epoll_finalize(value v)
+{
+  struct netdsl_epoll *e = Epoll_val(v);
+  if (e) {
+    if (e->epfd >= 0) close(e->epfd);
+    free(e->evs);
+    free(e);
+    Epoll_val(v) = NULL;
+  }
+}
+
+static struct custom_operations netdsl_epoll_ops = {
+  "netdsl.mmsg.epoll",
+  netdsl_epoll_finalize,
+  custom_compare_default,
+  custom_hash_default,
+  custom_serialize_default,
+  custom_deserialize_default,
+  custom_compare_ext_default,
+  custom_fixed_length_default
+};
+
+CAMLprim value netdsl_epoll_create(value vcap)
+{
+  CAMLparam1(vcap);
+  CAMLlocal1(res);
+  int cap = Int_val(vcap);
+  if (cap <= 0) caml_invalid_argument("Epoll.create: cap must be positive");
+  int epfd = epoll_create1(0);
+  if (epfd < 0) caml_failwith("Epoll.create: epoll_create1 failed");
+  struct netdsl_epoll *e = malloc(sizeof *e);
+  struct epoll_event *evs = calloc(cap, sizeof *evs);
+  if (!e || !evs) {
+    close(epfd); free(e); free(evs);
+    caml_raise_out_of_memory();
+  }
+  e->epfd = epfd;
+  e->cap = cap;
+  e->evs = evs;
+  res = caml_alloc_custom(&netdsl_epoll_ops, sizeof(struct netdsl_epoll *), 0, 1);
+  Epoll_val(res) = e;
+  CAMLreturn(res);
+}
+
+/* add ep fd tag: edge-triggered read interest; tag comes back from wait. */
+CAMLprim value netdsl_epoll_add(value vep, value vfd, value vtag)
+{
+  struct netdsl_epoll *e = Epoll_val(vep);
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof ev);
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.u64 = (uint64_t)Long_val(vtag);
+  if (epoll_ctl(e->epfd, EPOLL_CTL_ADD, Int_val(vfd), &ev) < 0)
+    caml_failwith("Epoll.add: epoll_ctl failed");
+  return Val_unit;
+}
+
+/* wait ep tags timeout_ms -> ready count (tags.(0..n-1) filled), or -1 on
+ * EINTR.  Releases the runtime lock around the wait — other domains must
+ * stay free to run (and to start a stop-the-world GC) while this one
+ * sleeps in the kernel. */
+CAMLprim value netdsl_epoll_wait(value vep, value vtags, value vtimeout)
+{
+  CAMLparam3(vep, vtags, vtimeout);
+  struct netdsl_epoll *e = Epoll_val(vep);
+  int timeout = Int_val(vtimeout);
+  int cap = e->cap;
+  int want = Wosize_val(vtags);
+  if (want < cap) cap = want;
+  int r;
+  if (timeout == 0)
+    r = epoll_wait(e->epfd, e->evs, cap, 0);
+  else {
+    caml_release_runtime_system();
+    r = epoll_wait(e->epfd, e->evs, cap, timeout);
+    caml_acquire_runtime_system();
+  }
+  if (r < 0) {
+    if (errno == EINTR) CAMLreturn(Val_int(-1));
+    caml_failwith("Epoll.wait: epoll_wait failed");
+  }
+  for (int i = 0; i < r; i++)
+    Field(vtags, i) = Val_long((long)e->evs[i].data.u64);
+  CAMLreturn(Val_int(r));
+}
+
+CAMLprim value netdsl_epoll_close(value vep)
+{
+  struct netdsl_epoll *e = Epoll_val(vep);
+  if (e->epfd >= 0) {
+    close(e->epfd);
+    e->epfd = -1;
+  }
+  return Val_unit;
+}
+
+CAMLprim value netdsl_epoll_available(value vunit)
+{
+  (void)vunit;
+  return Val_true;
+}
+
+#else /* !__linux__ : every stub reports unavailable / fails cleanly */
+
+CAMLprim value netdsl_mmsg_create(value vslots)
+{
+  (void)vslots;
+  caml_failwith("Mmsg.create: batched I/O unavailable on this platform");
+}
+
+CAMLprim value netdsl_mmsg_recv(value a, value b, value c, value d, value e,
+                                value f)
+{
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f;
+  return Val_int(-2);
+}
+
+CAMLprim value netdsl_mmsg_recv_byte(value *argv, int argn)
+{
+  (void)argv; (void)argn;
+  return Val_int(-2);
+}
+
+CAMLprim value netdsl_mmsg_send(value a, value b, value c, value d, value e,
+                                value f, value g)
+{
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f; (void)g;
+  return Val_int(-2);
+}
+
+CAMLprim value netdsl_mmsg_send_byte(value *argv, int argn)
+{
+  (void)argv; (void)argn;
+  return Val_int(-2);
+}
+
+CAMLprim value netdsl_mmsg_set_addr(value a, value b, value c)
+{
+  (void)a; (void)b; (void)c;
+  return Val_unit;
+}
+
+CAMLprim value netdsl_mmsg_addr(value a, value b)
+{
+  (void)a; (void)b;
+  caml_failwith("Mmsg.addr: batched I/O unavailable on this platform");
+}
+
+CAMLprim value netdsl_mmsg_available(value vunit)
+{
+  (void)vunit;
+  return Val_false;
+}
+
+CAMLprim value netdsl_epoll_create(value vcap)
+{
+  (void)vcap;
+  caml_failwith("Epoll.create: epoll unavailable on this platform");
+}
+
+CAMLprim value netdsl_epoll_add(value a, value b, value c)
+{
+  (void)a; (void)b; (void)c;
+  return Val_unit;
+}
+
+CAMLprim value netdsl_epoll_wait(value a, value b, value c)
+{
+  (void)a; (void)b; (void)c;
+  return Val_int(-2);
+}
+
+CAMLprim value netdsl_epoll_close(value vep)
+{
+  (void)vep;
+  return Val_unit;
+}
+
+CAMLprim value netdsl_epoll_available(value vunit)
+{
+  (void)vunit;
+  return Val_false;
+}
+
+#endif
+
+/* Allocation-free monotonic clock, integer nanoseconds in an OCaml
+ * immediate (62 bits holds ~73 years of nanoseconds).  Declared
+ * [@@noalloc] on the OCaml side: no caml_* calls, no lock dance —
+ * cheap enough to bracket every engine batch.  Portable: every POSIX
+ * target of this tree has clock_gettime; wall time is the (boxed-float
+ * parity) fallback of last resort. */
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value netdsl_now_ns(value vunit)
+{
+  (void)vunit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+  }
+}

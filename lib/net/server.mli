@@ -28,6 +28,21 @@
     stream of [u16 big-endian length]-prefixed frames, each frame one
     engine packet, each reply written back with the same prefix.
 
+    {b Batched I/O} ([~io], UDP only): when the {!Mmsg} stubs report the
+    kernel supports them, the loop swaps [select]+[recvfrom]/[sendto]
+    for a persistent edge-triggered [epoll] instance plus
+    [recvmmsg]/[sendmmsg]: one wake leases a contiguous run of slab
+    slots, one [recvmmsg] fills them all (the kernel writes lengths and
+    source addresses directly into preallocated arrays), and replies are
+    staged into a reusable transmit window flushed with one [sendmmsg].
+    Steady state performs {e zero} OCaml allocation per packet and
+    amortizes the syscall cost across the batch
+    ({!Stats.t.hwm_pkts_per_syscall}).  The ordering invariant is
+    unchanged: a batch drain publishes slots in kernel receive order, so
+    per-flow arrival order into the slab — and run-to-completion
+    processing order — are exactly what the per-packet path gives
+    (DESIGN.md, "Syscall batching at the socket boundary").
+
     {b Sharded mode} ([~workers] > 1, UDP only): the select loop becomes
     a pure steering stage — it reads each datagram into scratch, reads
     the flow key at its fixed wire offset (no decode), and blits the
@@ -55,6 +70,14 @@ type endpoint =
       (** [host] must be a numeric address ("127.0.0.1", "0.0.0.0", …);
           [port] 0 binds an ephemeral port (see {!bound}). *)
 
+type io =
+  | Auto  (** batched I/O when the stubs work here, legacy otherwise *)
+  | Legacy  (** force [select] + [recvfrom]/[sendto] *)
+  | Mmsg
+      (** force [epoll] + [recvmmsg]/[sendmmsg]; [create] errors when
+          the kernel (or [NETDSL_NO_MMSG]) says no, rather than
+          silently degrading *)
+
 type t
 
 val create :
@@ -68,6 +91,8 @@ val create :
   ?allow_oversubscribe:bool ->
   ?stealing:bool ->
   ?shard_key:string ->
+  ?io:io ->
+  ?io_batch:int ->
   flight:Netdsl_engine.Flight.spec ->
   listeners:endpoint list ->
   Netdsl_format.Desc.t ->
@@ -101,7 +126,14 @@ val create :
     through the fused {!Netdsl_format.Stack} plan and the flight spec
     (all fields ["layer.field"]-qualified) patches replies inside layer
     windows — see {!Netdsl_engine.Pipeline.create}.  Requires
-    [~mode:Fused]; [fmt] should be the chain's outermost format. *)
+    [~mode:Fused]; [fmt] should be the chain's outermost format.
+
+    [io] (default [Auto]) selects the receive loop; [io_batch]
+    (default 32, must be positive) bounds the datagrams moved per
+    [recvmmsg]/[sendmmsg] call and sizes the transmit staging window.
+    [Mmsg] requires UDP-only listeners and working stubs ([Error]
+    otherwise); [Auto] quietly picks legacy when they are missing, so
+    portable callers need not probe first. *)
 
 val run : ?max_packets:int -> ?duration:float -> t -> int
 (** Serve until a stop condition; returns the number of packets
@@ -132,11 +164,17 @@ val listener_stats : t -> (string * Stats.t) list
 (** Live per-listener counters, labelled ["udp 127.0.0.1:9000"]-style.
     Sharded mode appends one ["worker N (tx)"] row per worker: replies
     leave from worker domains and are counted there, never on a
-    listener. *)
+    listener.  A final ["event loop"] row carries the readiness
+    syscalls ([select]/[epoll_wait]), which belong to the loop rather
+    than any one socket. *)
 
 val net_stats : t -> Stats.t
-(** All listeners (and, sharded, all worker tx rows) merged via
-    {!Stats.merge}. *)
+(** All listeners (plus the event-loop row and, sharded, all worker tx
+    rows) merged via {!Stats.merge}. *)
+
+val batched_io : t -> bool
+(** Whether this server actually runs the [recvmmsg]/[sendmmsg] path
+    (after [Auto] resolution). *)
 
 val engine_stats : t -> Netdsl_engine.Stats.t
 (** Sharded mode merges every worker pipeline and folds in the steering

@@ -33,6 +33,19 @@ type t = {
   mutable hwm_drain : int;
       (** largest datagram run drained on one readiness wake this run *)
   mutable hwm_datagram : int;  (** largest datagram seen this run *)
+  mutable syscalls : int;
+      (** kernel round trips charged to this listener (or, for the
+          server's event-loop row, readiness waits): every recv/send —
+          including ones that return [EAGAIN] — plus [select] /
+          [epoll_wait] calls.  [rx_pkts + tx_pkts] over [syscalls] is
+          the batching amortization the mmsg path exists to buy. *)
+  mutable batched_rx : int;
+      (** datagrams that arrived through a [recvmmsg] batch *)
+  mutable batched_tx : int;
+      (** replies that left through a [sendmmsg] batch *)
+  mutable hwm_pkts_per_syscall : int;
+      (** largest single-syscall batch observed this run (either
+          direction) — per-run like the other high-water marks *)
 }
 
 val create : unit -> t
@@ -45,4 +58,4 @@ val merge : t list -> t
 (** Fold into a fresh [t] (the inputs are untouched). *)
 
 val to_text : t -> string
-(** Two aligned lines, deterministic for a given counter state. *)
+(** Three aligned lines, deterministic for a given counter state. *)

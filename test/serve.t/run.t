@@ -66,6 +66,26 @@ rather than silently rejecting every reply at runtime:
   netdsl: cannot patch field "hops" in place: checksum algorithm xor8 has no incremental update
   [1]
 
+The batched-I/O knobs reject nonsense before binding: a zero batch, a
+zero tick, a forced mmsg flavor where the kernel stubs are unavailable
+(masked here with NETDSL_NO_MMSG), and mmsg over a TCP listener:
+
+  $ netdsl serve ping.ndsl --udp 0 --io-batch 0
+  netdsl: --io-batch must be a positive batch size
+  [1]
+
+  $ netdsl serve ping.ndsl --udp 0 --tick 0
+  netdsl: --tick must be a positive millisecond count
+  [1]
+
+  $ NETDSL_NO_MMSG=1 netdsl serve ping.ndsl --udp 0 --io mmsg --max-packets 0
+  netdsl: batched I/O unavailable: the recvmmsg/epoll stubs report unsupported on this kernel (or NETDSL_NO_MMSG is set); use --io legacy
+  [1]
+
+  $ netdsl serve ping.ndsl --udp 0 --tcp 0 --io mmsg --max-packets 0
+  netdsl: batched I/O serves UDP listeners only
+  [1]
+
 The green path is deterministic with --max-packets 0: bind an ephemeral
 port (masked below), process nothing, report the (all-zero) per-listener
 and per-stage counters, exit 0.
@@ -76,6 +96,11 @@ and per-stage counters, exit 0.
   udp 127.0.0.1:PORT
     rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
     send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
+  event loop
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
   stage         packets          bytes   rejects       mean     ~p50     ~p99
   decode              0              0         0        0ns      0ns      0ns
   verify              0              0         0        0ns      0ns      0ns
@@ -90,6 +115,11 @@ Both termination flags parse together (still zero packets):
   udp 127.0.0.1:PORT
     rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
     send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
+  event loop
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
   stage         packets          bytes   rejects       mean     ~p50     ~p99
   decode              0              0         0        0ns      0ns      0ns
   verify              0              0         0        0ns      0ns      0ns

@@ -136,6 +136,11 @@ packets:
   udp 127.0.0.1:PORT
     rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
     send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
+  event loop
+    rx 0 pkts / 0 B   tx 0 pkts / 0 B   drops 0
+    send-eagain 0   short-writes 0   tx-errors 0   hwm drain 0 pkts, datagram 0 B
+    syscalls 0   batched-rx 0   batched-tx 0   hwm 0 pkts/syscall
   stage         packets          bytes   rejects       mean     ~p50     ~p99
   decode              0              0         0        0ns      0ns      0ns
   verify              0              0         0        0ns      0ns      0ns

@@ -180,6 +180,77 @@ let slab_lease_discipline () =
     Alcotest.fail "oversize push allowed"
   with Invalid_argument _ -> ()
 
+(* The contiguous-run lease behind the recvmmsg drain: lease a run,
+   fill slots in place (lengths through [raw_lens], as the C stub
+   does), publish the filled prefix. *)
+let slab_lease_run () =
+  let s = Slab.create ~slot_bytes:16 ~capacity:4 () in
+  let k = Slab.lease_run s ~max:3 in
+  check_int "run of 3" 3 k;
+  let base = Slab.producer_slot s in
+  check_int "run starts at the ring head" 0 base;
+  let bufs = Slab.raw_bufs s and lens = Slab.raw_lens s in
+  Bytes.blit_string "aa" 0 bufs.(base) 0 2;
+  lens.(base) <- 2;
+  Bytes.blit_string "bbb" 0 bufs.(base + 1) 0 3;
+  lens.(base + 1) <- 3;
+  (* the run is one lease: single-slot leases and pushes must refuse *)
+  (try
+     ignore (Slab.lease s);
+     Alcotest.fail "lease over an outstanding run allowed"
+   with Invalid_argument _ -> ());
+  (* a short syscall publishes only the filled prefix *)
+  Slab.publish_run s ~n:2;
+  check_int "published prefix only" 2 (Slab.length s);
+  let n = Slab.pop_batch s ~max:4 in
+  check_bool "filled in place" true (slab_contents s n = [ "aa"; "bbb" ]);
+  (* batch_slot maps a consumer batch index to its absolute slot (the
+     sidecar-state key: source addresses are filed by slot) *)
+  check_int "batch_slot 0" 0 (Slab.batch_slot s 0);
+  check_int "batch_slot 1" 1 (Slab.batch_slot s 1);
+  Slab.release s;
+  (* the run never wraps the ring seam: tail is at 2 of 4, so a max-4
+     ask clips to the 2 seam slots even though 4 are free *)
+  let k = Slab.lease_run s ~max:4 in
+  check_int "clipped at the seam" 2 k;
+  check_int "producer slot after the seam clip" 2 (Slab.producer_slot s);
+  (* publishing beyond the run refuses — and drops the lease, so the
+     ring stays usable after the caller bug *)
+  (try
+     Slab.publish_run s ~n:3;
+     Alcotest.fail "publishing beyond the run allowed"
+   with Invalid_argument _ -> ());
+  (* publishing 0 abandons the run *)
+  let k = Slab.lease_run s ~max:4 in
+  check_int "re-leased after the refused publish" 2 k;
+  Slab.publish_run s ~n:0;
+  check_int "nothing published" 0 (Slab.length s);
+  (* an oversize kernel length is a stub bug, not silent corruption *)
+  let k = Slab.lease_run s ~max:1 in
+  check_int "one slot" 1 k;
+  lens.(Slab.producer_slot s) <- 99;
+  (try
+     Slab.publish_run s ~n:1;
+     Alcotest.fail "oversize slot length allowed"
+   with Invalid_argument _ -> ());
+  (* the failed publish dropped the lease: nothing landed, ring usable *)
+  check_int "nothing published by the refused run" 0 (Slab.length s);
+  (* fill the ring through run leases; a full ring leases nothing *)
+  let fill () =
+    let k = Slab.lease_run s ~max:4 in
+    for i = 0 to k - 1 do
+      lens.(Slab.producer_slot s + i) <- 1
+    done;
+    Slab.publish_run s ~n:k;
+    k
+  in
+  check_int "seam half" 2 (fill ());
+  check_int "second half" 2 (fill ());
+  check_int "full ring leases nothing" 0 (Slab.lease_run s ~max:4);
+  (* closed slab leases nothing either *)
+  Slab.close s;
+  check_int "closed leases nothing" 0 (Slab.lease_run s ~max:4)
+
 let slab_close_drains () =
   let s = Slab.create ~capacity:4 () in
   ignore (Slab.push s "a");
@@ -1266,6 +1337,7 @@ let suite =
           slab_backpressure;
         Alcotest.test_case "lease/return discipline" `Quick
           slab_lease_discipline;
+        Alcotest.test_case "contiguous-run lease" `Quick slab_lease_run;
         Alcotest.test_case "close drains" `Quick slab_close_drains ] );
     ( "engine.stats",
       [ Alcotest.test_case "counters" `Quick stats_counters;

@@ -495,6 +495,204 @@ let stacked_serve_chained_tftp () =
             check_int "one reply sent" 1 st.Nstats.tx_pkts))
 
 (* ------------------------------------------------------------------ *)
+(* socket-side stats: the batching counters fold like the others *)
+
+let stats_merge_folds_batch_counters () =
+  let a = Nstats.create () and b = Nstats.create () in
+  a.Nstats.rx_pkts <- 3;
+  a.Nstats.syscalls <- 10;
+  a.Nstats.batched_rx <- 100;
+  a.Nstats.batched_tx <- 50;
+  a.Nstats.hwm_pkts_per_syscall <- 8;
+  b.Nstats.rx_pkts <- 4;
+  b.Nstats.syscalls <- 5;
+  b.Nstats.batched_rx <- 7;
+  b.Nstats.batched_tx <- 3;
+  b.Nstats.hwm_pkts_per_syscall <- 32;
+  let m = Nstats.merge [ a; b ] in
+  check_int "rx adds" 7 m.Nstats.rx_pkts;
+  check_int "syscalls add" 15 m.Nstats.syscalls;
+  check_int "batched rx adds" 107 m.Nstats.batched_rx;
+  check_int "batched tx adds" 53 m.Nstats.batched_tx;
+  check_int "pkts/syscall hwm maxes" 32 m.Nstats.hwm_pkts_per_syscall;
+  (* inputs untouched; the hwm is per-run, the counters are cumulative *)
+  check_int "input untouched" 100 a.Nstats.batched_rx;
+  Nstats.reset_highwater a;
+  check_int "hwm resets" 0 a.Nstats.hwm_pkts_per_syscall;
+  check_int "cumulative counters survive the reset" 10 a.Nstats.syscalls
+
+(* ------------------------------------------------------------------ *)
+(* the batched (recvmmsg/sendmmsg + epoll) receive loop *)
+
+let mmsg_available () =
+  Netdsl_net.Mmsg.available () && Netdsl_net.Mmsg.Epoll.available ()
+
+(* Forced-mmsg server, plain per-packet client: every data packet
+   acked through the batched drain / staged-flush path, the batching
+   counters actually ticking. *)
+let mmsg_udp_roundtrip () =
+  if not (mmsg_available ()) then ()
+  else
+    match
+      Server.create ~mode:Pipeline.Fused ~signals:false ~flight:arq_flight
+        ~io:Server.Mmsg ~io_batch:8
+        ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+        Fm.Arq.format
+    with
+    | Error e -> Alcotest.fail e
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Server.close srv)
+        (fun () ->
+          check_bool "batched io resolved" true (Server.batched_io srv);
+          let port = Option.get (Server.udp_port srv) in
+          let n = 40 in
+          let dom = Domain.spawn (fun () -> Server.run ~max_packets:n srv) in
+          let fd = udp_client () in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              for i = 1 to n do
+                send fd port (arq_data ~seq:(i land 0xFF) (Printf.sprintf "b%02d" i))
+              done;
+              check_int "all processed" n (Domain.join dom);
+              let got = ref 0 in
+              let continue = ref true in
+              while !continue do
+                match recv_timeout ~timeout:1.0 fd with
+                | None -> continue := false
+                | Some reply ->
+                  incr got;
+                  check_int "kind patched to ack" 1 (Char.code reply.[1])
+              done;
+              check_int "every packet answered" n !got;
+              let st = Server.net_stats srv in
+              check_int "rx counted" n st.Nstats.rx_pkts;
+              check_int "tx counted" n st.Nstats.tx_pkts;
+              check_int "all rx arrived batched" n st.Nstats.batched_rx;
+              check_int "all tx left batched" n st.Nstats.batched_tx;
+              check_bool "syscalls counted" true (st.Nstats.syscalls > 0);
+              check_bool "a batch amortized" true
+                (st.Nstats.hwm_pkts_per_syscall >= 1)))
+
+(* The same graceful-shutdown guarantee as the legacy loop: datagrams
+   already queued in the kernel when stop lands are drained, answered
+   and flushed before [run] returns. *)
+let mmsg_shutdown_drains_in_flight () =
+  if not (mmsg_available ()) then ()
+  else
+    match
+      Server.create ~mode:Pipeline.Fused ~signals:false ~flight:echo_flight
+        ~io:Server.Mmsg ~io_batch:16
+        ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+        Fm.Arq.format
+    with
+    | Error e -> Alcotest.fail e
+    | Ok srv ->
+      Fun.protect
+        ~finally:(fun () -> Server.close srv)
+        (fun () ->
+          let port = Option.get (Server.udp_port srv) in
+          let fd = udp_client () in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              let n = 50 in
+              for i = 0 to n - 1 do
+                send fd port (arq_data ~seq:(i land 0xff) "inflight")
+              done;
+              Server.request_stop srv;
+              check_int "drained on stop" n (Server.run srv);
+              for i = 0 to n - 1 do
+                match recv_timeout fd with
+                | None -> Alcotest.failf "reply %d missing" i
+                | Some _ -> ()
+              done;
+              check_bool "multi-packet batches observed" true
+                ((Server.net_stats srv).Nstats.hwm_pkts_per_syscall > 1)))
+
+(* Forcing the legacy loop must behave exactly like the default used to:
+   the fallback stays a first-class, tested path. *)
+let legacy_forced_roundtrip () =
+  match
+    Server.create ~mode:Pipeline.Fused ~signals:false ~flight:echo_flight
+      ~io:Server.Legacy
+      ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+      Fm.Arq.format
+  with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect
+      ~finally:(fun () -> Server.close srv)
+      (fun () ->
+        check_bool "legacy io resolved" true (not (Server.batched_io srv));
+        let port = Option.get (Server.udp_port srv) in
+        let dom = Domain.spawn (fun () -> Server.run ~max_packets:1 srv) in
+        let fd = udp_client () in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let pkt = arq_data ~seq:9 "legacy" in
+            send fd port pkt;
+            (match recv_timeout fd with
+            | None -> Alcotest.fail "no reply on the legacy path"
+            | Some reply -> check_string "echoed" pkt reply);
+            check_int "processed" 1 (Domain.join dom);
+            check_int "no batched rx on legacy" 0
+              (Server.net_stats srv).Nstats.batched_rx))
+
+let mmsg_create_red_paths () =
+  let contains msg sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg
+      && (String.equal (String.sub msg i n) sub || go (i + 1))
+    in
+    go 0
+  in
+  let fail_is expect = function
+    | Error msg ->
+      check_bool
+        (Printf.sprintf "error %S mentions %S" msg expect)
+        true (contains msg expect)
+    | Ok srv ->
+      Server.close srv;
+      Alcotest.failf "expected an error mentioning %S" expect
+  in
+  (* batched I/O is a UDP story: the TCP reframer needs recv/read *)
+  fail_is "UDP"
+    (Server.create ~signals:false ~flight:echo_flight ~io:Server.Mmsg
+       ~listeners:[ Server.Tcp { host = "127.0.0.1"; port = 0 } ]
+       Fm.Arq.format);
+  fail_is "io-batch"
+    (Server.create ~signals:false ~flight:echo_flight ~io_batch:0
+       ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+       Fm.Arq.format);
+  (* the kill switch makes the stubs report unavailable, so a forced
+     Mmsg must refuse rather than silently serve legacy *)
+  Unix.putenv "NETDSL_NO_MMSG" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "NETDSL_NO_MMSG" "")
+    (fun () ->
+      fail_is "unavailable"
+        (Server.create ~signals:false ~flight:echo_flight ~io:Server.Mmsg
+           ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+           Fm.Arq.format);
+      (* Auto under the kill switch degrades quietly to legacy *)
+      match
+        Server.create ~signals:false ~flight:echo_flight
+          ~listeners:[ Server.Udp { host = "127.0.0.1"; port = 0 } ]
+          Fm.Arq.format
+      with
+      | Error e -> Alcotest.fail e
+      | Ok srv ->
+        Fun.protect
+          ~finally:(fun () -> Server.close srv)
+          (fun () ->
+            check_bool "auto degrades to legacy" true
+              (not (Server.batched_io srv))))
+
+(* ------------------------------------------------------------------ *)
 (* the socket oracle leg *)
 
 (* 5k structure-aware mutants (1 in 4 packets mutated) through a real
@@ -529,6 +727,40 @@ let loopback_soak_agrees () =
     check_int "every expected reply arrived" r.Loopback.expected_replies
       r.Loopback.replies
 
+(* The same differential soak with the server forced onto the batched
+   drain/flush path: byte-for-byte agreement with the in-memory staged
+   reference is the correctness gate for the mmsg rework. *)
+let loopback_soak_mmsg_agrees () =
+  if not (mmsg_available ()) then ()
+  else begin
+    let rng = Prng.of_int 1177 in
+    let plan = Mutate.plan Fm.Arq.format in
+    let packets i =
+      let seq = i land 0xff in
+      let valid =
+        if i mod 7 = 0 then Fm.Arq.to_bytes (Fm.Arq.Ack { seq })
+        else arq_data ~seq (String.make (i mod 48) 'q')
+      in
+      if i mod 4 = 3 then Mutate.apply (Mutate.random plan rng valid) valid
+      else valid
+    in
+    match
+      Loopback.soak ~mode:Pipeline.Fused
+        ~machine:(Netdsl_proto.Arq_fsm.receiver ~seq_bits:8)
+        ~flight:arq_flight ~io:Server.Mmsg ~io_batch:8 ~packets ~count:2000
+        Fm.Arq.format
+    with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      (match r.Loopback.first_disagreement with
+      | None -> ()
+      | Some d -> Alcotest.failf "disagreement: %s" d);
+      check_int "0 disagreements" 0 r.Loopback.disagreements;
+      check_int "all packets processed" 2000 r.Loopback.server_processed;
+      check_int "every expected reply arrived" r.Loopback.expected_replies
+        r.Loopback.replies
+  end
+
 let suite =
   [ ( "net.pipeline",
       [ Alcotest.test_case "process_buffer = process" `Quick
@@ -548,6 +780,19 @@ let suite =
           sharded_udp_roundtrip;
         Alcotest.test_case "sharded create red paths" `Quick
           sharded_create_red_paths ] );
+    ( "net.stats",
+      [ Alcotest.test_case "merge folds the batching counters" `Quick
+          stats_merge_folds_batch_counters ] );
+    ( "net.mmsg",
+      [ Alcotest.test_case "batched udp round trip" `Quick mmsg_udp_roundtrip;
+        Alcotest.test_case "batched shutdown drains in-flight" `Quick
+          mmsg_shutdown_drains_in_flight;
+        Alcotest.test_case "forced legacy round trip" `Quick
+          legacy_forced_roundtrip;
+        Alcotest.test_case "batched create red paths" `Quick
+          mmsg_create_red_paths ] );
     ( "net.loopback",
       [ Alcotest.test_case "5k-mutant socket soak agrees with memory" `Quick
-          loopback_soak_agrees ] ) ]
+          loopback_soak_agrees;
+        Alcotest.test_case "2k-mutant soak through the batched path" `Quick
+          loopback_soak_mmsg_agrees ] ) ]
